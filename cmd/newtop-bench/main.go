@@ -1,0 +1,114 @@
+// Command newtop-bench regenerates every experiment table of the Newtop
+// reproduction: the paper's figures (F1–F3), worked examples (X1–X3) and
+// comparative claims (C1–C9). See DESIGN.md §4 for the index and
+// EXPERIMENTS.md for the expected shapes.
+//
+// Usage:
+//
+//	newtop-bench            # run everything
+//	newtop-bench C1 C2 X3   # run selected experiments
+//	newtop-bench -list      # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"newtop/internal/harness"
+)
+
+type experiment struct {
+	id   string
+	desc string
+	run  func() (*harness.Table, error)
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"F1", "fig.1 online server migration", harness.F1Migration},
+		{"F2", "fig.2 causal chain across overlapping groups (alias of X2)", harness.X2CausalChain},
+		{"F3", "fig.3 atomic delivery vs total order", harness.F3AtomicVsTotal},
+		{"X1", "§5 ex.1 joint failure, orphan erased", harness.X1JointFailure},
+		{"X2", "§5 ex.2 MD5' partition exclusion", harness.X2CausalChain},
+		{"X3", "§5 ex.3 concurrent subgroup views", harness.X3ConcurrentViews},
+		{"C1", "§6 header overhead vs vector clocks", func() (*harness.Table, error) {
+			return harness.C1HeaderOverhead([]int{3, 5, 9, 17, 33, 65, 129}), nil
+		}},
+		{"C2", "§4 symmetric vs asymmetric", func() (*harness.Table, error) {
+			return harness.C2SymVsAsym([]int{3, 5, 9, 17})
+		}},
+		{"C3", "§4.3 send blocking by asymmetric share", harness.C3SendBlocking},
+		{"C4", "§4.1 time-silence null overhead", harness.C4TimeSilence},
+		{"C5", "§5.3 group formation cost", func() (*harness.Table, error) {
+			return harness.C5Formation([]int{3, 5, 9, 17, 33})
+		}},
+		{"C6", "§5.2 membership agreement latency", func() (*harness.Table, error) {
+			return harness.C6Membership([]int{3, 5, 9, 17})
+		}},
+		{"C7", "§6 vs Garcia-Molina/Spauster propagation graph", func() (*harness.Table, error) {
+			return harness.C7VsPropagationGraph([]int{2, 4, 8, 16})
+		}},
+		{"C8", "§6 cyclic overlapping groups", func() (*harness.Table, error) {
+			return harness.C8CyclicGroups([]int{3, 6, 12})
+		}},
+		{"C9", "§7 flow control", harness.C9FlowControl},
+	}
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "newtop-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("newtop-bench", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list experiment IDs and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	exps := experiments()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-4s %s\n", e.id, e.desc)
+		}
+		return nil
+	}
+	want := fs.Args()
+	selected := exps
+	if len(want) > 0 {
+		byID := make(map[string]experiment, len(exps))
+		for _, e := range exps {
+			byID[strings.ToUpper(e.id)] = e
+		}
+		selected = selected[:0]
+		sort.Strings(want)
+		for _, id := range want {
+			e, ok := byID[strings.ToUpper(id)]
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (try -list)", id)
+			}
+			selected = append(selected, e)
+		}
+	}
+	fmt.Printf("Newtop reproduction — experiment tables (%d experiments)\n", len(selected))
+	fmt.Printf("All runs are deterministic virtual-time simulations; wall time shown per table.\n\n")
+	for _, e := range selected {
+		start := time.Now()
+		tab, err := e.run()
+		if err != nil {
+			if tab != nil {
+				tab.Fprint(os.Stdout)
+			}
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+		tab.Notes = append(tab.Notes, fmt.Sprintf("computed in %v wall time", time.Since(start).Round(time.Millisecond)))
+		tab.Fprint(os.Stdout)
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+// Command newtopd runs one Newtop process over real TCP and demonstrates
+// totally ordered group communication across machines (or terminals).
+//
+// Start three processes in three terminals:
+//
+//	newtopd -id 1 -listen 127.0.0.1:7001 -peers 2=127.0.0.1:7002,3=127.0.0.1:7003
+//	newtopd -id 2 -listen 127.0.0.1:7002 -peers 1=127.0.0.1:7001,3=127.0.0.1:7003
+//	newtopd -id 3 -listen 127.0.0.1:7003 -peers 1=127.0.0.1:7001,2=127.0.0.1:7002
+//
+// Each process joins group 1 (symmetric total order by default) with the
+// full peer set, multicasts one numbered message per -interval, and prints
+// every delivery and view change. Kill one process and watch the others
+// agree on its exclusion; restart is not supported (Newtop processes never
+// rejoin — they would form a new group).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"newtop"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal("newtopd: ", err)
+	}
+}
+
+func run() error {
+	var (
+		id       = flag.Uint("id", 0, "process ID (non-zero, unique)")
+		listen   = flag.String("listen", "", "TCP listen address, e.g. 127.0.0.1:7001")
+		peers    = flag.String("peers", "", "comma-separated id=addr peer list")
+		mode     = flag.String("mode", "symmetric", "ordering: symmetric|asymmetric|atomic")
+		omega    = flag.Duration("omega", 100*time.Millisecond, "time-silence interval ω")
+		interval = flag.Duration("interval", time.Second, "application multicast interval (0 = silent)")
+	)
+	flag.Parse()
+	if *id == 0 || *listen == "" {
+		flag.Usage()
+		return fmt.Errorf("-id and -listen are required")
+	}
+	peerMap, err := parsePeers(*peers)
+	if err != nil {
+		return err
+	}
+	var om newtop.OrderMode
+	switch *mode {
+	case "symmetric":
+		om = newtop.Symmetric
+	case "asymmetric":
+		om = newtop.Asymmetric
+	case "atomic":
+		om = newtop.Atomic
+	default:
+		return fmt.Errorf("unknown -mode %q", *mode)
+	}
+
+	self := newtop.ProcessID(*id)
+	proc, err := newtop.Start(newtop.Config{
+		Self:       self,
+		ListenAddr: *listen,
+		Peers:      peerMap,
+		Omega:      *omega,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = proc.Close() }()
+
+	members := []newtop.ProcessID{self}
+	for p := range peerMap {
+		members = append(members, p)
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	if err := proc.BootstrapGroup(1, om, members); err != nil {
+		return err
+	}
+	log.Printf("P%d up at %s; group g1 (%s) members %v", *id, proc.Addr(), *mode, members)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	go func() {
+		for d := range proc.Deliveries() {
+			log.Printf("deliver %v/%v: %s", d.Group, d.Sender, d.Payload)
+		}
+	}()
+	go func() {
+		for ev := range proc.Events() {
+			switch ev.Kind {
+			case newtop.EventViewChanged:
+				log.Printf("view change %v: %v (removed %v)", ev.Group, ev.View, ev.Removed)
+			case newtop.EventSuspected:
+				log.Printf("suspecting P%d in %v", ev.Suspect, ev.Group)
+			case newtop.EventGroupReady:
+				log.Printf("group %v ready", ev.Group)
+			case newtop.EventFormationFailed:
+				log.Printf("formation of %v failed: %s", ev.Group, ev.Reason)
+			}
+		}
+	}()
+
+	var ticker <-chan time.Time
+	if *interval > 0 {
+		t := time.NewTicker(*interval)
+		defer t.Stop()
+		ticker = t.C
+	}
+	n := 0
+	for {
+		select {
+		case <-stop:
+			st := proc.Stats()
+			log.Printf("shutting down: sent=%d delivered=%d nulls=%d views=%d",
+				st.DataSent, st.Delivered, st.NullsSent, st.ViewChanges)
+			return nil
+		case <-ticker:
+			n++
+			msg := fmt.Sprintf("P%d says hello #%d", *id, n)
+			if err := proc.Submit(1, []byte(msg)); err != nil {
+				log.Printf("submit: %v", err)
+			}
+		}
+	}
+}
+
+func parsePeers(s string) (map[newtop.ProcessID]string, error) {
+	out := make(map[newtop.ProcessID]string)
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad peer entry %q (want id=addr)", part)
+		}
+		id, err := strconv.ParseUint(kv[0], 10, 32)
+		if err != nil || id == 0 {
+			return nil, fmt.Errorf("bad peer id %q", kv[0])
+		}
+		out[newtop.ProcessID(id)] = kv[1]
+	}
+	return out, nil
+}

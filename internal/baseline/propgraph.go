@@ -1,0 +1,164 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Garcia-Molina & Spauster's ordered multicast [9] totally orders messages
+// across overlapping groups with a propagation graph: overlapping groups
+// are joined under a common ordering node, and every message first travels
+// to the meet point of its group's component, is sequenced there, and then
+// propagates to the members. §6 of the Newtop paper contrasts this with
+// Newtop's coordination-free overlapping groups ("unlike [9], it does not
+// require that a common sequencer be chosen for overlapping groups nor
+// that the sequencers of different overlapping groups coordinate").
+//
+// This implementation models the cost structure that comparison is about:
+// per-component master sequencing (hot spot), an extra routing hop for
+// every multicast, and a single total order per overlap component.
+
+// GroupSpec names a group and its member processes.
+type GroupSpec struct {
+	ID      int
+	Members []int
+}
+
+// PropGraph is a propagation-graph orderer over a static set of groups.
+type PropGraph struct {
+	groups    map[int]GroupSpec
+	component map[int]int // group ID → component root group ID
+	masters   map[int]int // component root → master process
+	seq       map[int]uint64
+	msgsAt    map[int]uint64 // per-process forwarding/sequencing load
+}
+
+// OrderedMsg is a sequenced multicast: Seq is unique and totally ordered
+// within the overlap component.
+type OrderedMsg struct {
+	Group   int
+	Seq     uint64
+	Sender  int
+	Master  int
+	Payload []byte
+}
+
+// NewPropGraph builds the propagation graph: groups sharing members are
+// merged into components (union-find), and each component's master is its
+// lowest-numbered member process.
+func NewPropGraph(specs []GroupSpec) (*PropGraph, error) {
+	pg := &PropGraph{
+		groups:    make(map[int]GroupSpec),
+		component: make(map[int]int),
+		masters:   make(map[int]int),
+		seq:       make(map[int]uint64),
+		msgsAt:    make(map[int]uint64),
+	}
+	parent := make(map[int]int)
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if rb < ra {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	byMember := make(map[int]int) // member → some group it belongs to
+	for _, g := range specs {
+		if len(g.Members) == 0 {
+			return nil, fmt.Errorf("baseline: group %d has no members", g.ID)
+		}
+		if _, dup := pg.groups[g.ID]; dup {
+			return nil, fmt.Errorf("baseline: duplicate group %d", g.ID)
+		}
+		ms := append([]int(nil), g.Members...)
+		sort.Ints(ms)
+		pg.groups[g.ID] = GroupSpec{ID: g.ID, Members: ms}
+		parent[g.ID] = g.ID
+		for _, m := range ms {
+			if prev, ok := byMember[m]; ok {
+				union(prev, g.ID)
+			} else {
+				byMember[m] = g.ID
+			}
+		}
+	}
+	for id := range pg.groups {
+		root := find(id)
+		pg.component[id] = root
+	}
+	// Master of a component: lowest process ID across its groups.
+	for id, root := range pg.component {
+		master, ok := pg.masters[root]
+		low := pg.groups[id].Members[0]
+		if !ok || low < master {
+			pg.masters[root] = low
+		}
+	}
+	return pg, nil
+}
+
+// Master returns the ordering master process for group g.
+func (pg *PropGraph) Master(g int) (int, error) {
+	root, ok := pg.component[g]
+	if !ok {
+		return 0, fmt.Errorf("baseline: unknown group %d", g)
+	}
+	return pg.masters[root], nil
+}
+
+// SameComponent reports whether two groups share an ordering master.
+func (pg *PropGraph) SameComponent(a, b int) bool {
+	return pg.component[a] == pg.component[b] && pg.component[a] != 0
+}
+
+// Multicast routes one message: unicast to the component master (one hop,
+// unless the sender is the master), sequencing there, then one multicast
+// copy per destination. It returns the ordered message and the number of
+// point-to-point transmissions consumed.
+func (pg *PropGraph) Multicast(g, sender int, payload []byte) (*OrderedMsg, int, error) {
+	spec, ok := pg.groups[g]
+	if !ok {
+		return nil, 0, fmt.Errorf("baseline: unknown group %d", g)
+	}
+	root := pg.component[g]
+	master := pg.masters[root]
+	pg.seq[root]++
+	hops := 0
+	if sender != master {
+		hops++ // forwarding unicast to the meet point
+		pg.msgsAt[master]++
+	}
+	for _, m := range spec.Members {
+		if m != master {
+			hops++
+		}
+		pg.msgsAt[m]++
+	}
+	return &OrderedMsg{
+		Group: g, Seq: pg.seq[root], Sender: sender, Master: master, Payload: payload,
+	}, hops, nil
+}
+
+// LoadAt returns the number of messages process p has handled (sequencing
+// plus receiving) — the hot-spot metric for benchmark C7.
+func (pg *PropGraph) LoadAt(p int) uint64 { return pg.msgsAt[p] }
+
+// MaxLoad returns the highest per-process load and the process bearing it.
+func (pg *PropGraph) MaxLoad() (proc int, load uint64) {
+	for p, l := range pg.msgsAt {
+		if l > load || (l == load && p < proc) {
+			proc, load = p, l
+		}
+	}
+	return proc, load
+}

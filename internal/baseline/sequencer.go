@@ -1,0 +1,64 @@
+package baseline
+
+// Fixed-sequencer total order (ABCAST-style): one distinguished process
+// stamps every multicast with a global sequence number; members deliver in
+// stamp order, holding back out-of-order arrivals. This is the classic
+// asymmetric baseline §4.2 builds on (for a single group).
+
+// SeqMessage is a sequencer-stamped multicast.
+type SeqMessage struct {
+	Seq     uint64
+	Sender  int
+	Payload []byte
+}
+
+// HeaderBytes returns the encoded header size (kind + seq + sender +
+// payload length), for overhead comparisons.
+func (m *SeqMessage) HeaderBytes() int {
+	return 1 + uvarintLen(m.Seq) + uvarintLen(uint64(m.Sender)) + uvarintLen(uint64(len(m.Payload)))
+}
+
+// Sequencer stamps multicasts in arrival order.
+type Sequencer struct {
+	next uint64
+}
+
+// Stamp assigns the next global sequence number.
+func (s *Sequencer) Stamp(sender int, payload []byte) *SeqMessage {
+	s.next++
+	return &SeqMessage{Seq: s.next, Sender: sender, Payload: payload}
+}
+
+// SeqReceiver delivers sequencer-stamped messages in sequence order.
+type SeqReceiver struct {
+	next     uint64
+	holdback map[uint64]*SeqMessage
+}
+
+// NewSeqReceiver creates a receiver expecting sequence 1 first.
+func NewSeqReceiver() *SeqReceiver {
+	return &SeqReceiver{next: 1, holdback: make(map[uint64]*SeqMessage)}
+}
+
+// Receive buffers m and returns every message that became deliverable, in
+// sequence order.
+func (r *SeqReceiver) Receive(m *SeqMessage) []*SeqMessage {
+	if m.Seq < r.next {
+		return nil // duplicate
+	}
+	r.holdback[m.Seq] = m
+	var out []*SeqMessage
+	for {
+		q, ok := r.holdback[r.next]
+		if !ok {
+			break
+		}
+		delete(r.holdback, r.next)
+		out = append(out, q)
+		r.next++
+	}
+	return out
+}
+
+// Pending returns the number of held-back messages.
+func (r *SeqReceiver) Pending() int { return len(r.holdback) }

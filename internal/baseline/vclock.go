@@ -1,0 +1,133 @@
+// Package baseline implements the comparator protocols that §6 of the
+// Newtop paper positions against: an ISIS-style vector-clock causal
+// multicast (CBCAST [4]), a fixed-sequencer total-order multicast
+// (ABCAST-style), and the Garcia-Molina/Spauster propagation-graph
+// ordering for overlapping groups [9]. The experiment harness runs them
+// head-to-head with Newtop to regenerate the paper's comparative claims:
+// message space overhead (benchmark C1) and multi-group ordering cost
+// (benchmark C7).
+//
+// The baselines are failure-free protocol cores — the comparison targets
+// ordering structure and header cost, not fault tolerance.
+package baseline
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// VCMessage is a vector-clock-stamped multicast (CBCAST-style): the header
+// carries one counter per group member, so its size grows linearly with
+// group size — the overhead Newtop's paper contrasts with its own bounded
+// header (§6).
+type VCMessage struct {
+	Sender  int // index of the sender within the group
+	VT      []uint64
+	Payload []byte
+}
+
+// HeaderBytes returns the encoded header size of m (everything except the
+// payload), using the same varint conventions as Newtop's codec so the C1
+// comparison is apples-to-apples.
+func (m *VCMessage) HeaderBytes() int {
+	n := 1 // kind
+	n += uvarintLen(uint64(m.Sender))
+	n += uvarintLen(uint64(len(m.VT)))
+	for _, v := range m.VT {
+		n += uvarintLen(v)
+	}
+	n += uvarintLen(uint64(len(m.Payload)))
+	return n
+}
+
+func uvarintLen(v uint64) int {
+	var buf [binary.MaxVarintLen64]byte
+	return binary.PutUvarint(buf[:], v)
+}
+
+// CausalProcess is one group member running vector-clock causal broadcast:
+// deliver m from sender s when VT(m)[s] = VT(p)[s]+1 and
+// VT(m)[k] ≤ VT(p)[k] for all k ≠ s (the CBCAST condition).
+type CausalProcess struct {
+	self    int
+	n       int
+	vt      []uint64
+	pending []*VCMessage
+}
+
+// NewCausalProcess creates member self of an n-member group.
+func NewCausalProcess(self, n int) (*CausalProcess, error) {
+	if self < 0 || self >= n {
+		return nil, fmt.Errorf("baseline: member %d out of range [0,%d)", self, n)
+	}
+	return &CausalProcess{self: self, n: n, vt: make([]uint64, n)}, nil
+}
+
+// VT returns a copy of the process's current vector time.
+func (p *CausalProcess) VT() []uint64 {
+	return append([]uint64(nil), p.vt...)
+}
+
+// Send stamps and returns a new multicast, advancing the local vector.
+// The sender delivers its own message immediately (as CBCAST does).
+func (p *CausalProcess) Send(payload []byte) *VCMessage {
+	p.vt[p.self]++
+	return &VCMessage{
+		Sender:  p.self,
+		VT:      append([]uint64(nil), p.vt...),
+		Payload: payload,
+	}
+}
+
+// Receive processes an incoming multicast and returns every message that
+// became deliverable (in delivery order). Duplicates and own messages are
+// ignored.
+func (p *CausalProcess) Receive(m *VCMessage) []*VCMessage {
+	if m.Sender == p.self {
+		return nil
+	}
+	p.pending = append(p.pending, m)
+	var out []*VCMessage
+	for {
+		advanced := false
+		for i, q := range p.pending {
+			if q == nil || !p.deliverable(q) {
+				continue
+			}
+			p.vt[q.Sender]++
+			out = append(out, q)
+			p.pending[i] = nil
+			advanced = true
+		}
+		if !advanced {
+			break
+		}
+	}
+	// Compact the pending list.
+	kept := p.pending[:0]
+	for _, q := range p.pending {
+		if q != nil {
+			kept = append(kept, q)
+		}
+	}
+	p.pending = kept
+	return out
+}
+
+// Pending returns the number of received-but-undeliverable messages.
+func (p *CausalProcess) Pending() int { return len(p.pending) }
+
+func (p *CausalProcess) deliverable(m *VCMessage) bool {
+	if m.VT[m.Sender] != p.vt[m.Sender]+1 {
+		return false
+	}
+	for k := 0; k < p.n; k++ {
+		if k == m.Sender {
+			continue
+		}
+		if m.VT[k] > p.vt[k] {
+			return false
+		}
+	}
+	return true
+}

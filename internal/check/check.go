@@ -1,0 +1,446 @@
+// Package check verifies the Newtop correctness properties — the message
+// delivery properties MD1–MD5' and the view consistency properties VC1–VC3
+// of §3 of the paper — against the per-process event histories recorded by
+// a deterministic simulation (internal/sim).
+//
+// Messages are identified by their payloads, which therefore must be
+// unique per multicast within a checked run (the sim test helpers
+// guarantee this). The happened-before relation m → m' is reconstructed
+// exactly from local event orders: m → m' iff some process submitted or
+// delivered m before submitting m', transitively closed — Lamport's
+// definition over the recorded events.
+package check
+
+import (
+	"fmt"
+
+	"newtop/internal/sim"
+	"newtop/internal/types"
+)
+
+// Violation describes one broken property.
+type Violation struct {
+	Property string // e.g. "MD4", "VC1"
+	Detail   string
+}
+
+// Error renders the violation.
+func (v Violation) Error() string { return v.Property + ": " + v.Detail }
+
+// Result aggregates the violations found in one run.
+type Result struct {
+	Violations []Violation
+}
+
+// Ok reports whether no property was violated.
+func (r *Result) Ok() bool { return len(r.Violations) == 0 }
+
+// Err returns an error summarising up to 10 violations, or nil.
+func (r *Result) Err() error {
+	if r.Ok() {
+		return nil
+	}
+	s := fmt.Sprintf("%d violations:", len(r.Violations))
+	for i, v := range r.Violations {
+		if i == 10 {
+			s += "\n  ..."
+			break
+		}
+		s += "\n  " + v.Error()
+	}
+	return fmt.Errorf("%s", s)
+}
+
+func (r *Result) add(prop, format string, args ...interface{}) {
+	r.Violations = append(r.Violations, Violation{Property: prop, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Checker verifies properties over a finished simulation.
+type Checker struct {
+	c       *sim.Cluster
+	crashed map[types.ProcessID]bool
+	procs   []types.ProcessID
+}
+
+// New builds a checker over cluster c. crashed lists processes that were
+// crashed (or permanently partitioned away) during the run; several
+// properties only bind never-crashing processes.
+func New(c *sim.Cluster, crashed []types.ProcessID) *Checker {
+	cm := make(map[types.ProcessID]bool, len(crashed))
+	for _, p := range crashed {
+		cm[p] = true
+	}
+	return &Checker{c: c, crashed: cm, procs: c.Processes()}
+}
+
+// All runs every property check and returns the aggregate result.
+func (k *Checker) All() *Result {
+	r := &Result{}
+	k.CheckTotalOrder(r)
+	k.CheckCausality(r)
+	k.CheckMD1(r)
+	k.CheckAtomicity(r)
+	k.CheckViewConsistency(r)
+	return r
+}
+
+// key identifies a multicast by its payload.
+func key(payload []byte) string { return string(payload) }
+
+// deliveriesOf lists p's deliveries (all groups) in local order.
+func (k *Checker) deliveriesOf(p types.ProcessID) []sim.Event {
+	var out []sim.Event
+	for _, ev := range k.c.History(p).Events {
+		if ev.Kind == sim.EvDeliver {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// CheckTotalOrder verifies MD4/MD4' first clause: any two processes
+// deliver their common messages in the same relative order — across all
+// groups, which is the multi-group extension MD4'.
+func (k *Checker) CheckTotalOrder(r *Result) {
+	pos := make(map[types.ProcessID]map[string]int, len(k.procs))
+	for _, p := range k.procs {
+		m := make(map[string]int)
+		for i, ev := range k.deliveriesOf(p) {
+			if _, dup := m[key(ev.Payload)]; dup {
+				r.add("MD4", "%v delivered %q twice", p, ev.Payload)
+			}
+			m[key(ev.Payload)] = i
+		}
+		pos[p] = m
+	}
+	for a := 0; a < len(k.procs); a++ {
+		for b := a + 1; b < len(k.procs); b++ {
+			pa, pb := k.procs[a], k.procs[b]
+			da := k.deliveriesOf(pa)
+			// Collect common messages in pa's order; their positions at
+			// pb must be strictly increasing.
+			last := -1
+			var lastKey string
+			for _, ev := range da {
+				kk := key(ev.Payload)
+				j, ok := pos[pb][kk]
+				if !ok {
+					continue
+				}
+				if j <= last {
+					r.add("MD4'", "%v delivers %q before %q; %v delivers them in the opposite order",
+						pa, lastKey, kk, pb)
+				}
+				if j > last {
+					last = j
+					lastKey = kk
+				}
+			}
+		}
+	}
+}
+
+// happenedBefore reconstructs Lamport's → over submitted messages from the
+// local event orders and returns it as, for each message, the set of
+// messages it causally precedes.
+//
+// The construction walks each process's history once: every submit event
+// inherits the "causal past" accumulated at that process (all messages it
+// submitted or delivered so far, plus their pasts).
+func (k *Checker) happenedBefore() map[string]map[string]bool {
+	// past[m] = set of messages strictly before m.
+	past := make(map[string]map[string]bool)
+	// Iteratively propagate until fixpoint: delivery events import the
+	// delivered message's past, submits snapshot the accumulated set.
+	// One forward pass per process suffices if we process events in
+	// global timestamp order — but cross-process chains need the sender's
+	// past computed before the receiver's delivery. Global At order gives
+	// that (a delivery is always after its submit in virtual time).
+	var all []pev
+	for _, p := range k.procs {
+		for _, ev := range k.c.History(p).Events {
+			if ev.Kind == sim.EvSubmit || ev.Kind == sim.EvDeliver {
+				all = append(all, pev{p, ev})
+			}
+		}
+	}
+	// Stable sort by (At, process, Idx): virtual time, deterministic ties.
+	sortPevs(all)
+	acc := make(map[types.ProcessID]map[string]bool)
+	for _, pe := range all {
+		a := acc[pe.p]
+		if a == nil {
+			a = make(map[string]bool)
+			acc[pe.p] = a
+		}
+		kk := key(pe.ev.Payload)
+		switch pe.ev.Kind {
+		case sim.EvSubmit:
+			// Everything in the accumulator happened before this send.
+			snap := make(map[string]bool, len(a))
+			for m := range a {
+				snap[m] = true
+			}
+			past[kk] = snap
+			a[kk] = true
+		case sim.EvDeliver:
+			// Import the delivered message and its past.
+			a[kk] = true
+			for m := range past[kk] {
+				a[m] = true
+			}
+		}
+	}
+	return past
+}
+
+type pev struct {
+	p  types.ProcessID
+	ev sim.Event
+}
+
+func sortPevs(all []pev) {
+	lt := func(i, j int) bool {
+		a, b := all[i], all[j]
+		if !a.ev.At.Equal(b.ev.At) {
+			return a.ev.At.Before(b.ev.At)
+		}
+		if a.p != b.p {
+			return a.p < b.p
+		}
+		return a.ev.Idx < b.ev.Idx
+	}
+	// insertion sort: histories are mostly time-sorted already
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && lt(j, j-1); j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+}
+
+// CheckCausality verifies the causal clauses: MD4 second clause (causal
+// deliveries in order), MD5 (same-group causal prefix always delivered)
+// and MD5' (cross-group causal prefix delivered when the prefix's sender
+// is still in the delivering process's view of the prefix's group).
+func (k *Checker) CheckCausality(r *Result) {
+	past := k.happenedBefore()
+	// Metadata per message: group and origin, from any submit event.
+	group := make(map[string]types.GroupID)
+	origin := make(map[string]types.ProcessID)
+	for _, p := range k.procs {
+		for _, ev := range k.c.History(p).Events {
+			if ev.Kind == sim.EvSubmit {
+				group[key(ev.Payload)] = ev.Group
+				origin[key(ev.Payload)] = ev.Origin
+			}
+		}
+	}
+
+	for _, p := range k.procs {
+		h := k.c.History(p)
+		// Position of each delivered message and current view tracking.
+		dpos := make(map[string]int)
+		for i, ev := range k.deliveriesOf(p) {
+			dpos[key(ev.Payload)] = i
+		}
+		// members[g] at each event index, replayed forward.
+		members := make(map[types.GroupID]map[types.ProcessID]bool)
+		for _, ev := range h.Events {
+			switch ev.Kind {
+			case sim.EvView:
+				ms := make(map[types.ProcessID]bool, len(ev.View.Members))
+				for _, q := range ev.View.Members {
+					ms[q] = true
+				}
+				members[ev.Group] = ms
+			case sim.EvDeliver:
+				mu := key(ev.Payload)
+				i := dpos[mu]
+				for m := range past[mu] {
+					j, delivered := dpos[m]
+					if delivered {
+						// MD4 second clause: m → µ and both delivered
+						// here ⇒ m delivered first.
+						if j >= i {
+							r.add("MD4", "%v delivered %q (pos %d) not before causal successor %q (pos %d)",
+								p, m, j, mu, i)
+						}
+						continue
+					}
+					if group[m] == ev.Group {
+						// MD5: same-group causal prefix must have been
+						// delivered.
+						r.add("MD5", "%v delivered %q without its same-group causal predecessor %q",
+							p, mu, m)
+						continue
+					}
+					// MD5': cross-group prefix may be missing only if its
+					// sender is no longer in p's view of its group.
+					gm := members[group[m]]
+					if gm != nil && gm[origin[m]] {
+						r.add("MD5'", "%v delivered %q while %q's sender %v is still in its view of %v, but %q was never delivered",
+							p, mu, m, origin[m], group[m], m)
+					}
+				}
+			}
+		}
+	}
+}
+
+// CheckMD1 verifies delivery validity: a message is delivered in view Vr
+// only if its sender belongs to Vr.
+func (k *Checker) CheckMD1(r *Result) {
+	for _, p := range k.procs {
+		members := make(map[types.GroupID]map[types.ProcessID]bool)
+		for _, ev := range k.c.History(p).Events {
+			switch ev.Kind {
+			case sim.EvView:
+				ms := make(map[types.ProcessID]bool, len(ev.View.Members))
+				for _, q := range ev.View.Members {
+					ms[q] = true
+				}
+				members[ev.Group] = ms
+			case sim.EvDeliver:
+				gm := members[ev.Group]
+				if gm == nil {
+					r.add("MD1", "%v delivered %q in %v before installing any view", p, ev.Payload, ev.Group)
+					continue
+				}
+				if !gm[ev.Origin] {
+					r.add("MD1", "%v delivered %q from %v in %v, but the sender is not in the current view",
+						p, ev.Payload, ev.Origin, ev.Group)
+				}
+			}
+		}
+	}
+}
+
+// CheckAtomicity verifies MD3/VC3: two never-crashing processes that
+// install identical consecutive views (same index, same membership)
+// deliver exactly the same set of messages between them.
+func (k *Checker) CheckAtomicity(r *Result) {
+	type epoch struct {
+		view types.View
+		next *types.View
+		set  map[string]bool
+	}
+	// Per process per group: the sequence of epochs.
+	epochs := make(map[types.ProcessID]map[types.GroupID][]*epoch)
+	for _, p := range k.procs {
+		eg := make(map[types.GroupID][]*epoch)
+		cur := make(map[types.GroupID]*epoch)
+		for _, ev := range k.c.History(p).Events {
+			switch ev.Kind {
+			case sim.EvView:
+				if prev := cur[ev.Group]; prev != nil {
+					v := ev.View
+					prev.next = &v
+				}
+				e := &epoch{view: ev.View, set: make(map[string]bool)}
+				cur[ev.Group] = e
+				eg[ev.Group] = append(eg[ev.Group], e)
+			case sim.EvDeliver:
+				if e := cur[ev.Group]; e != nil {
+					e.set[key(ev.Payload)] = true
+				}
+			}
+		}
+		epochs[p] = eg
+	}
+	for a := 0; a < len(k.procs); a++ {
+		for b := a + 1; b < len(k.procs); b++ {
+			pa, pb := k.procs[a], k.procs[b]
+			if k.crashed[pa] || k.crashed[pb] {
+				continue
+			}
+			for g, eas := range epochs[pa] {
+				for _, ea := range eas {
+					if ea.next == nil {
+						continue
+					}
+					for _, eb := range epochs[pb][g] {
+						if eb.next == nil {
+							continue
+						}
+						if !ea.view.Equal(eb.view) || !ea.next.Equal(*eb.next) {
+							continue
+						}
+						for m := range ea.set {
+							if !eb.set[m] {
+								r.add("MD3", "in %v view %d, %v delivered %q but %v did not",
+									g, ea.view.Index, pa, m, pb)
+							}
+						}
+						for m := range eb.set {
+							if !ea.set[m] {
+								r.add("MD3", "in %v view %d, %v delivered %q but %v did not",
+									g, eb.view.Index, pb, m, pa)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// CheckViewConsistency verifies VC1: two never-crashing processes that
+// never suspected each other install identical view sequences per group.
+func (k *Checker) CheckViewConsistency(r *Result) {
+	suspected := make(map[types.ProcessID]map[types.ProcessID]bool)
+	views := make(map[types.ProcessID]map[types.GroupID][]types.View)
+	memberOf := make(map[types.ProcessID]map[types.GroupID]bool)
+	for _, p := range k.procs {
+		s := make(map[types.ProcessID]bool)
+		vs := make(map[types.GroupID][]types.View)
+		mo := make(map[types.GroupID]bool)
+		for _, ev := range k.c.History(p).Events {
+			switch ev.Kind {
+			case sim.EvSuspect:
+				s[ev.Susp.Proc] = true
+			case sim.EvView:
+				vs[ev.Group] = append(vs[ev.Group], ev.View)
+				mo[ev.Group] = true
+			}
+		}
+		suspected[p] = s
+		views[p] = vs
+		memberOf[p] = mo
+	}
+	for a := 0; a < len(k.procs); a++ {
+		for b := a + 1; b < len(k.procs); b++ {
+			pa, pb := k.procs[a], k.procs[b]
+			if k.crashed[pa] || k.crashed[pb] {
+				continue
+			}
+			if suspected[pa][pb] || suspected[pb][pa] {
+				continue
+			}
+			for g, va := range views[pa] {
+				if !memberOf[pb][g] {
+					continue
+				}
+				vb := views[pb][g]
+				n := len(va)
+				if len(vb) < n {
+					n = len(vb)
+				}
+				for i := 0; i < n; i++ {
+					if !va[i].Equal(vb[i]) {
+						r.add("VC1", "%v and %v (never mutually suspecting) diverge in %v at view %d: %v vs %v",
+							pa, pb, g, i, va[i], vb[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// FinalView returns the last view p installed for g (ok=false if none).
+func FinalView(c *sim.Cluster, p types.ProcessID, g types.GroupID) (types.View, bool) {
+	vs := c.History(p).Views[g]
+	if len(vs) == 0 {
+		return types.View{}, false
+	}
+	return vs[len(vs)-1].View, true
+}

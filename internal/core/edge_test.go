@@ -1,0 +1,315 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"newtop/internal/core"
+	"newtop/internal/sim"
+	"newtop/internal/types"
+)
+
+func TestAtomicModeMembershipChange(t *testing.T) {
+	// Atomic groups skip the ordering gate but still get view-synchronous
+	// membership: the crashed member is excluded and late messages from
+	// it are cut off consistently.
+	c, ps := newCluster(t, 401, 4)
+	if err := c.Bootstrap(1, core.Atomic, ps); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(50 * time.Millisecond)
+	for i := 0; i < 5; i++ {
+		if err := c.Submit(4, 1, payload(4, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Run(50 * time.Millisecond)
+	c.Crash(4)
+	if !c.RunUntil(15*time.Second, viewExcludes(c, 1, ps[:3], 4)) {
+		t.Fatal("atomic group never excluded the crashed member")
+	}
+	// All pre-crash messages arrived everywhere (FIFO atomic delivery).
+	for _, p := range ps[:3] {
+		if got := len(deliveredPayloads(c, p, 1)); got != 5 {
+			t.Errorf("%v delivered %d, want 5", p, got)
+		}
+	}
+}
+
+func TestAsymmetricDynamicFormation(t *testing.T) {
+	// §5.3 formation works for asymmetric groups too; the sequencer of
+	// the new group is the lowest member and ordering works immediately.
+	c, ps := newCluster(t, 403, 4)
+	if err := c.CreateGroup(2, 7, core.Asymmetric, ps); err != nil {
+		t.Fatal(err)
+	}
+	if !c.RunUntil(15*time.Second, allReady(c, 7, ps)) {
+		t.Fatal("asymmetric formation never completed")
+	}
+	for i := 0; i < 4; i++ {
+		if err := c.Submit(ps[i], 7, payload(ps[i], i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.RunUntil(15*time.Second, allDelivered(c, 7, ps, 4)) {
+		t.Fatal("post-formation asymmetric deliveries incomplete")
+	}
+	if got := c.Engine(1).Stats().SeqMulticasts; got != 4 {
+		t.Errorf("sequencer P1 multicast %d messages, want 4", got)
+	}
+	runChecks(t, c)
+}
+
+func TestSignatureViewsNormalCrash(t *testing.T) {
+	// The §6 signature variant behaves identically to plain views on a
+	// simple crash: one exclusion, identical signatures at survivors.
+	c, ps := newCluster(t, 407, 4, func(cfg *core.Config) { cfg.SignatureViews = true })
+	if err := c.Bootstrap(1, core.Symmetric, ps); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(50 * time.Millisecond)
+	c.Crash(4)
+	if !c.RunUntil(15*time.Second, viewExcludes(c, 1, ps[:3], 4)) {
+		t.Fatal("exclusion never happened")
+	}
+	ref := lastView(t, c, 1, 1)
+	if ref.Excluded == nil {
+		t.Fatal("signature views not carried")
+	}
+	for _, e := range ref.Excluded {
+		if e != 1 {
+			t.Errorf("exclusion count = %d, want 1", e)
+		}
+	}
+	for _, p := range ps[1:3] {
+		if v := lastView(t, c, p, 1); !v.Equal(ref) {
+			t.Errorf("%v signature view %v != %v", p, v, ref)
+		}
+	}
+	runChecks(t, c, 4)
+}
+
+func TestCrossGroupProgramOrderPreservedUnderFlowControl(t *testing.T) {
+	// Regression for the global-FIFO-queue invariant: with flow control
+	// throttling group 1, a subsequent submit to group 2 must NOT
+	// overtake the queued group-1 messages (same-process causal order).
+	c, _ := newCluster(t, 409, 4, func(cfg *core.Config) { cfg.FlowControlWindow = 2 })
+	g1 := []types.ProcessID{1, 2, 3}
+	g2 := []types.ProcessID{1, 2, 4}
+	if err := c.Bootstrap(1, core.Symmetric, g1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Bootstrap(2, core.Symmetric, g2); err != nil {
+		t.Fatal(err)
+	}
+	// Burst into g1 beyond the window, then one message into g2.
+	for i := 0; i < 10; i++ {
+		if err := c.Submit(1, 1, []byte(fmt.Sprintf("g1-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Submit(1, 2, []byte("g2-after")); err != nil {
+		t.Fatal(err)
+	}
+	done := func() bool {
+		return allDelivered(c, 1, g1, 10)() && allDelivered(c, 2, g2, 1)()
+	}
+	if !c.RunUntil(30*time.Second, done) {
+		t.Fatal("deliveries incomplete")
+	}
+	// P2 is in both groups: it must see every g1 message before g2-after.
+	var sawAfter bool
+	var g1Count int
+	for _, d := range c.History(2).Deliveries {
+		switch {
+		case d.Group == 1:
+			g1Count++
+			if sawAfter {
+				t.Fatalf("g1 message delivered after the causally later g2 message")
+			}
+		case d.Group == 2 && string(d.Payload) == "g2-after":
+			if g1Count != 10 {
+				t.Fatalf("g2-after delivered after only %d g1 messages", g1Count)
+			}
+			sawAfter = true
+		}
+	}
+	runChecks(t, c)
+}
+
+func TestStabilityGCBoundsLog(t *testing.T) {
+	// §5.1: stable messages are discarded. After sustained traffic with
+	// all members live, the retained log must stay small (proportional to
+	// the stability lag, not to history length).
+	c, ps := newCluster(t, 411, 3)
+	if err := c.Bootstrap(1, core.Symmetric, ps); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		src := ps[i%3]
+		if err := c.Submit(src, 1, payload(src, i)); err != nil {
+			t.Fatal(err)
+		}
+		c.Run(time.Millisecond)
+	}
+	if !c.RunUntil(15*time.Second, allDelivered(c, 1, ps, 200)) {
+		t.Fatal("incomplete")
+	}
+	c.Run(500 * time.Millisecond) // several ω rounds: stability catches up
+	for _, p := range ps {
+		if got := c.Engine(p).LogSize(1); got > 40 {
+			t.Errorf("%v retains %d messages after stability; want a small residue", p, got)
+		}
+	}
+	runChecks(t, c)
+}
+
+func TestManyGroupsPerProcess(t *testing.T) {
+	// A process in 8 groups simultaneously: D = min over all of them;
+	// ordering must hold across every pair.
+	c, _ := newCluster(t, 413, 5)
+	hub := types.ProcessID(1)
+	memberships := [][]types.ProcessID{
+		{1, 2}, {1, 3}, {1, 4}, {1, 5},
+		{1, 2, 3}, {1, 3, 4}, {1, 4, 5}, {1, 2, 5},
+	}
+	var groups []types.GroupID
+	for g, ms := range memberships {
+		gid := types.GroupID(g + 1)
+		if err := c.Bootstrap(gid, core.Symmetric, ms); err != nil {
+			t.Fatal(err)
+		}
+		groups = append(groups, gid)
+	}
+	for i := 0; i < 3; i++ {
+		for _, g := range groups {
+			if err := c.Submit(hub, g, []byte(fmt.Sprintf("h-%v-%d", g, i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.Run(2 * time.Millisecond)
+	}
+	ok := c.RunUntil(20*time.Second, func() bool {
+		return len(c.History(hub).Deliveries) >= 24
+	})
+	if !ok {
+		t.Fatal("hub deliveries incomplete")
+	}
+	runChecks(t, c)
+	if got := len(c.Engine(hub).Groups()); got != 8 {
+		t.Errorf("hub groups = %d", got)
+	}
+}
+
+func TestPartitionHealedBeforeSuspicionTimeout(t *testing.T) {
+	// A cut shorter than Ω with no traffic during it: nothing is lost,
+	// nobody is suspected, no view changes.
+	c, ps := newCluster(t, 417, 3)
+	if err := c.Bootstrap(1, core.Symmetric, ps); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(50 * time.Millisecond)
+	viewsBefore := c.Engine(1).Stats().ViewChanges
+	c.Disconnect(1, 3)
+	c.Run(40 * time.Millisecond) // < Ω = 100ms
+	c.Reconnect(1, 3)
+	if err := c.Submit(3, 1, []byte("post-heal")); err != nil {
+		t.Fatal(err)
+	}
+	if !c.RunUntil(15*time.Second, allDelivered(c, 1, ps, 1)) {
+		t.Fatal("post-heal delivery failed")
+	}
+	c.Run(300 * time.Millisecond)
+	// Nulls lost during the cut create gaps, which may trigger transient
+	// suspicion + recovery — but no exclusion may result.
+	for _, p := range ps {
+		if v := lastView(t, c, p, 1); v.Size() != 3 {
+			t.Errorf("%v view shrank: %v", p, v)
+		}
+	}
+	_ = viewsBefore
+	runChecks(t, c)
+}
+
+func TestDeliveryViewIndexMatchesInstalledView(t *testing.T) {
+	// The r in delivery(m, r): deliveries report the view index they
+	// occurred in, before and after a change.
+	c, ps := newCluster(t, 419, 3)
+	if err := c.Bootstrap(1, core.Symmetric, ps); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(1, 1, []byte("epoch0")); err != nil {
+		t.Fatal(err)
+	}
+	if !c.RunUntil(10*time.Second, allDelivered(c, 1, ps[:2], 1)) {
+		t.Fatal("epoch0 delivery incomplete")
+	}
+	c.Crash(3)
+	if !c.RunUntil(15*time.Second, viewExcludes(c, 1, ps[:2], 3)) {
+		t.Fatal("exclusion never happened")
+	}
+	if err := c.Submit(1, 1, []byte("epoch1")); err != nil {
+		t.Fatal(err)
+	}
+	ok := c.RunUntil(10*time.Second, func() bool {
+		return len(deliveredPayloads(c, 2, 1)) >= 2
+	})
+	if !ok {
+		t.Fatal("epoch1 delivery incomplete")
+	}
+	for _, d := range c.History(2).Deliveries {
+		switch string(d.Payload) {
+		case "epoch0":
+			if d.View != 0 {
+				t.Errorf("epoch0 delivered in view %d", d.View)
+			}
+		case "epoch1":
+			if d.View != 1 {
+				t.Errorf("epoch1 delivered in view %d", d.View)
+			}
+		}
+	}
+	runChecks(t, c, 3)
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	// Two identical engines fed the identical event sequence emit the
+	// identical effect sequence (the property the simulator relies on).
+	runOnce := func() []string {
+		e := core.NewEngine(core.Config{Self: 1, Omega: 20 * time.Millisecond})
+		now := sim.Epoch
+		var out []string
+		apply := func(effs []core.Effect, err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, eff := range effs {
+				out = append(out, eff.String())
+			}
+		}
+		apply(e.BootstrapGroup(now, 1, core.Symmetric, []types.ProcessID{1, 2, 3}))
+		apply(e.Submit(now, 1, []byte("a")))
+		m := &types.Message{Kind: types.KindData, Group: 1, Sender: 2, Origin: 2, Num: 5, Seq: 1, Payload: []byte("b")}
+		out = append(out, effStrings(e.HandleMessage(now.Add(time.Millisecond), 2, m))...)
+		out = append(out, effStrings(e.Tick(now.Add(25*time.Millisecond)))...)
+		return out
+	}
+	a, b := runOnce(), runOnce()
+	if len(a) != len(b) {
+		t.Fatalf("effect counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("effects diverge at %d:\n  %s\n  %s", i, a[i], b[i])
+		}
+	}
+}
+
+func effStrings(effs []core.Effect) []string {
+	out := make([]string, len(effs))
+	for i, e := range effs {
+		out[i] = e.String()
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"time"
+
+	"newtop/internal/types"
+)
+
+// This file implements the dynamic group-formation protocol of §5.3: a
+// two-phase invite/vote exchange (any 'no' vetoes) followed by a
+// start-group agreement fixing the minimum number with which computational
+// messages may be multicast in the new group.
+
+// onFormInvite handles step 1→2: an invitation to form group m.Group with
+// membership m.Invite. The invitee diffuses its yes/no decision to every
+// intended member.
+func (e *Engine) onFormInvite(now time.Time, from types.ProcessID, m *types.Message) {
+	g := m.Group
+	if _, ok := e.groups[g]; ok {
+		// Already forming or member (duplicate invite): ignore.
+		return
+	}
+	mode := OrderMode(0)
+	if len(m.Payload) == 1 {
+		mode = OrderMode(m.Payload[0])
+	}
+	members := types.NewView(g, 0, m.Invite).Members
+	accept := mode >= Atomic && mode <= Asymmetric && containsProc(members, e.cfg.Self) && !e.left[g]
+	if accept && e.cfg.AcceptInvite != nil {
+		accept = e.cfg.AcceptInvite(g, members)
+	}
+
+	vote := &types.Message{
+		Kind: types.KindFormVote, Group: g,
+		Sender: e.cfg.Self, Origin: e.cfg.Self,
+		Vote: accept, Invite: members, Payload: []byte{byte(mode)},
+	}
+	e.stats.CtrlSent++
+	e.mcastTo(members, vote)
+
+	if !accept {
+		// Our 'no' vetoes the formation; nothing further to track.
+		e.emit(FormationFailedEffect{Group: g, Reason: "declined invitation"})
+		return
+	}
+	gs := newGroupState(g, mode)
+	gs.staticD = e.cfg.DisableFailureDetection
+	gs.status = statusForming
+	gs.formation = &formationState{
+		members:  members,
+		mode:     mode,
+		yes:      map[types.ProcessID]bool{e.cfg.Self: true},
+		deadline: now.Add(e.cfg.FormationTimeout),
+	}
+	gs.formation.votedSelf = true
+	e.groups[g] = gs
+	// Votes that outran this invitation were buffered; replay them.
+	e.replayPre(now, g)
+	if gs, ok := e.groups[g]; ok {
+		e.tryActivate(now, gs)
+	}
+}
+
+// onFormVote handles steps 2–4: collect yes/no diffusions. A 'no' vetoes;
+// once a yes has been seen from every intended member, the group activates
+// and the start-group exchange begins.
+func (e *Engine) onFormVote(now time.Time, from types.ProcessID, m *types.Message) {
+	gs, ok := e.groups[m.Group]
+	if !ok || gs.status != statusForming || gs.formation == nil {
+		return
+	}
+	f := gs.formation
+	if !containsProc(f.members, from) {
+		return
+	}
+	if !m.Vote {
+		e.emit(FormationFailedEffect{Group: gs.id, Reason: "vetoed by " + from.String()})
+		delete(e.groups, gs.id)
+		delete(e.pre, gs.id)
+		e.left[gs.id] = true
+		return
+	}
+	f.yes[from] = true
+
+	// Step 3: the initiator votes yes only after the rest have.
+	if f.initiator && !f.votedSelf && e.allOthersYes(f) {
+		f.votedSelf = true
+		f.yes[e.cfg.Self] = true
+		vote := &types.Message{
+			Kind: types.KindFormVote, Group: gs.id,
+			Sender: e.cfg.Self, Origin: e.cfg.Self,
+			Vote: true, Invite: f.members, Payload: []byte{byte(f.mode)},
+		}
+		e.stats.CtrlSent++
+		e.mcastTo(f.members, vote)
+	}
+	e.tryActivate(now, gs)
+}
+
+func (e *Engine) allOthersYes(f *formationState) bool {
+	for _, p := range f.members {
+		if p != e.cfg.Self && !f.yes[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// tryActivate performs step 4 once a yes has been received from every
+// proposed member: install V0, start the time-silence and GV machinery,
+// and multicast the start-group message carrying our proposed
+// start-number.
+func (e *Engine) tryActivate(now time.Time, gs *groupState) {
+	f := gs.formation
+	if gs.status != statusForming || f == nil {
+		return
+	}
+	for _, p := range f.members {
+		if !f.yes[p] {
+			return
+		}
+	}
+	gs.status = statusStartWait
+	gs.activate(f.members, now, e.cfg.SignatureViews)
+	gs.formation = nil
+	gs.startPin = 0
+	e.emit(ViewEffect{View: gs.view.Clone()}) // install V0 (§3)
+
+	num := e.lc.TickSend()
+	gs.mySeq++
+	sg := &types.Message{
+		Kind:   types.KindStartGroup,
+		Group:  gs.id,
+		Sender: e.cfg.Self, Origin: e.cfg.Self,
+		Num: num, Seq: gs.mySeq, LDN: 0, StartNum: num,
+	}
+	e.stats.CtrlSent++
+	e.mcast(gs, sg)
+	gs.lastSent = now
+	e.onDataPlane(now, gs, sg)
+
+	// Traffic from members that activated before us was buffered.
+	e.replayPre(now, gs.id)
+}
+
+// onStartGroup records a member's proposed start-number (step 5). While
+// waiting, D is pinned but may rise to a larger proposed start-number; once
+// a start-group has arrived from every member of the *current* view (the
+// membership protocol runs in parallel and may have shrunk it), D jumps to
+// start-number-max, the Lamport clock catches up, and computational sends
+// open.
+func (e *Engine) onStartGroup(now time.Time, gs *groupState, m *types.Message) {
+	gs.startNums[m.Sender] = m.StartNum
+	if gs.status != statusStartWait {
+		return
+	}
+	if m.StartNum > gs.startPin {
+		gs.startPin = m.StartNum
+	}
+	e.checkStartComplete(now, gs)
+}
+
+// checkStartComplete completes step 5 when every current-view member's
+// start-number is known.
+func (e *Engine) checkStartComplete(now time.Time, gs *groupState) {
+	if gs.status != statusStartWait {
+		return
+	}
+	var max types.MsgNum
+	for _, p := range gs.view.Members {
+		sn, ok := gs.startNums[p]
+		if !ok {
+			return
+		}
+		if sn > max {
+			max = sn
+		}
+	}
+	gs.status = statusActive
+	gs.dFloor = max
+	gs.startPin = 0
+	e.lc.ForceAtLeast(max)
+	e.emit(GroupReadyEffect{Group: gs.id, StartMax: max})
+}
+
+func containsProc(ps []types.ProcessID, p types.ProcessID) bool {
+	for _, q := range ps {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,313 @@
+package core_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"newtop/internal/core"
+	"newtop/internal/sim"
+	"newtop/internal/types"
+)
+
+// allReady builds a RunUntil condition: group g completed formation at all
+// listed processes.
+func allReady(c *sim.Cluster, g types.GroupID, procs []types.ProcessID) func() bool {
+	return func() bool {
+		for _, p := range procs {
+			if !c.Engine(p).GroupReady(g) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+func TestGroupFormationSucceeds(t *testing.T) {
+	c, ps := newCluster(t, 201, 4)
+	if err := c.CreateGroup(1, 7, core.Symmetric, ps); err != nil {
+		t.Fatal(err)
+	}
+	if !c.RunUntil(10*time.Second, allReady(c, 7, ps)) {
+		t.Fatal("formation never completed")
+	}
+	// GroupReadyEffect observed everywhere; start-numbers agreed: the
+	// engine clocks are all at least the agreed start-number-max.
+	for _, p := range ps {
+		found := false
+		for _, g := range c.History(p).Ready {
+			if g == 7 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%v never reported group ready", p)
+		}
+	}
+	// The new group is usable for totally ordered multicast.
+	for i := 0; i < 4; i++ {
+		src := ps[i%len(ps)]
+		if err := c.Submit(src, 7, payload(src, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.RunUntil(5*time.Second, allDelivered(c, 7, ps, 4)) {
+		t.Fatal("post-formation deliveries incomplete")
+	}
+	runChecks(t, c)
+}
+
+func TestGroupFormationWhileMemberOfOtherGroups(t *testing.T) {
+	// §5.3 correctness: a member of existing groups forms a new one; its
+	// deliveries across old and new groups stay totally ordered. Old
+	// group traffic continues during formation.
+	c, ps := newCluster(t, 203, 4)
+	if err := c.Bootstrap(1, core.Symmetric, ps); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(30 * time.Millisecond)
+	sub := []types.ProcessID{1, 2}
+	if err := c.CreateGroup(1, 9, core.Symmetric, sub); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := c.Submit(3, 1, payload(3, i)); err != nil {
+			t.Fatal(err)
+		}
+		c.Run(5 * time.Millisecond)
+	}
+	if !c.RunUntil(10*time.Second, allReady(c, 9, sub)) {
+		t.Fatal("formation never completed")
+	}
+	for i := 0; i < 5; i++ {
+		if err := c.Submit(2, 9, []byte(fmt.Sprintf("new-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := func() bool {
+		return allDelivered(c, 1, ps, 5)() && allDelivered(c, 9, sub, 5)()
+	}
+	if !c.RunUntil(10*time.Second, done) {
+		t.Fatal("deliveries incomplete")
+	}
+	runChecks(t, c)
+}
+
+func TestGroupFormationVeto(t *testing.T) {
+	// Any 'no' vote vetoes formation (§5.3 step 3).
+	c, ps := newCluster(t, 207, 3, func(cfg *core.Config) {
+		self := cfg.Self
+		cfg.AcceptInvite = func(g types.GroupID, members []types.ProcessID) bool {
+			return self != 3 // P3 declines every invitation
+		}
+	})
+	if err := c.CreateGroup(1, 7, core.Symmetric, ps); err != nil {
+		t.Fatal(err)
+	}
+	failed := func() bool {
+		for _, p := range []types.ProcessID{1, 2} {
+			ok := false
+			for _, g := range c.History(p).Failed {
+				if g == 7 {
+					ok = true
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if !c.RunUntil(10*time.Second, failed) {
+		t.Fatal("vetoed formation did not fail everywhere")
+	}
+	for _, p := range ps {
+		if c.Engine(p).GroupReady(7) {
+			t.Errorf("%v considers the vetoed group ready", p)
+		}
+	}
+}
+
+func TestGroupFormationTimeoutWhenInviteeCrashed(t *testing.T) {
+	// An invitee that crashed before voting stalls the vote phase; the
+	// deadline aborts the formation everywhere.
+	c, ps := newCluster(t, 211, 3)
+	c.Crash(3)
+	if err := c.CreateGroup(1, 7, core.Symmetric, ps); err != nil {
+		t.Fatal(err)
+	}
+	failed := func() bool {
+		for _, p := range []types.ProcessID{1, 2} {
+			ok := false
+			for _, g := range c.History(p).Failed {
+				if g == 7 {
+					ok = true
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if !c.RunUntil(30*time.Second, failed) {
+		t.Fatal("formation with a crashed invitee never timed out")
+	}
+}
+
+func TestGroupFormationMemberCrashAfterYes(t *testing.T) {
+	// A member crashes after voting yes but before (or while) sending its
+	// start-group: the survivors' GV excludes it and the group becomes
+	// ready over the shrunken view (§5.3 step 5 counts the current view).
+	c, ps := newCluster(t, 213, 4)
+	if err := c.CreateGroup(1, 7, core.Symmetric, ps); err != nil {
+		t.Fatal(err)
+	}
+	// Crash P4 shortly after votes circulate; depending on timing its
+	// start-group may reach nobody.
+	c.At(6*time.Millisecond, func() { c.Crash(4) })
+	live := ps[:3]
+	if !c.RunUntil(30*time.Second, allReady(c, 7, live)) {
+		t.Fatal("formation never completed after member crash")
+	}
+	// Whether P4 got its start-group out or not, the survivors must end
+	// up in a view without it.
+	if !c.RunUntil(30*time.Second, viewExcludes(c, 7, live, 4)) {
+		t.Fatal("crashed member never excluded from the formed group")
+	}
+	// The group works.
+	if err := c.Submit(2, 7, []byte("post")); err != nil {
+		t.Fatal(err)
+	}
+	if !c.RunUntil(5*time.Second, allDelivered(c, 7, live, 1)) {
+		t.Fatal("post-formation delivery incomplete")
+	}
+	runChecks(t, c, 4)
+}
+
+func TestSubmitDuringFormationQueuesUntilReady(t *testing.T) {
+	// §5.3 step 5: computational messages wait for the start-group
+	// condition; submits during formation are queued, not lost.
+	c, ps := newCluster(t, 217, 3)
+	if err := c.CreateGroup(1, 7, core.Symmetric, ps); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(1, 7, []byte("early")); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Engine(1).QueuedSubmits(7); got != 1 {
+		t.Errorf("early submit not queued: %d", got)
+	}
+	if !c.RunUntil(10*time.Second, allDelivered(c, 7, ps, 1)) {
+		t.Fatal("queued early submit never delivered")
+	}
+	runChecks(t, c)
+}
+
+func TestServerMigrationScenario(t *testing.T) {
+	// Fig. 1 of the paper: replica group g1 = {P1, P2}; P2 migrates to
+	// P3. A new group g2 = {P1, P2, P3} is formed, state flows in g2
+	// while g1 keeps serving, then P2 leaves both; the surviving service
+	// group is {P1, P3}.
+	c, _ := newCluster(t, 219, 3)
+	g1 := []types.ProcessID{1, 2}
+	if err := c.Bootstrap(1, core.Symmetric, g1); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(30 * time.Millisecond)
+	// Service traffic in g1.
+	for i := 0; i < 3; i++ {
+		if err := c.Submit(1, 1, []byte(fmt.Sprintf("req-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// P3 initiates g2 = {P1, P2, P3}.
+	g2 := []types.ProcessID{1, 2, 3}
+	if err := c.CreateGroup(3, 2, core.Symmetric, g2); err != nil {
+		t.Fatal(err)
+	}
+	if !c.RunUntil(10*time.Second, allReady(c, 2, g2)) {
+		t.Fatal("migration group never formed")
+	}
+	// State transfer in g2 while g1 still serves.
+	if err := c.Submit(1, 2, []byte("state-chunk")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(2, 1, []byte("req-3")); err != nil {
+		t.Fatal(err)
+	}
+	done := func() bool {
+		return allDelivered(c, 1, g1, 4)() && allDelivered(c, 2, g2, 1)()
+	}
+	if !c.RunUntil(10*time.Second, done) {
+		t.Fatal("migration traffic incomplete")
+	}
+	// P2 departs both groups; P1 and P3 remain in g2.
+	if err := c.Leave(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Leave(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	rest := []types.ProcessID{1, 3}
+	if !c.RunUntil(20*time.Second, viewExcludes(c, 2, rest, 2)) {
+		t.Fatal("P2 never excluded from the migration group")
+	}
+	// The migrated pair still serves.
+	if err := c.Submit(3, 2, []byte("served-by-new-replica")); err != nil {
+		t.Fatal(err)
+	}
+	ok := c.RunUntil(10*time.Second, func() bool {
+		for _, p := range rest {
+			found := false
+			for _, d := range c.History(p).Deliveries {
+				if string(d.Payload) == "served-by-new-replica" {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	})
+	if !ok {
+		t.Fatal("post-migration service broken")
+	}
+	runChecks(t, c, 2)
+}
+
+func TestCreateGroupValidation(t *testing.T) {
+	c, ps := newCluster(t, 223, 3)
+	if err := c.Bootstrap(1, core.Symmetric, ps); err != nil {
+		t.Fatal(err)
+	}
+	e := c.Engine(1)
+	now := c.Now()
+	tests := []struct {
+		name    string
+		g       types.GroupID
+		members []types.ProcessID
+		want    error
+	}{
+		{"duplicate id", 1, []types.ProcessID{1, 2}, core.ErrGroupExists},
+		{"identical membership", 5, []types.ProcessID{1, 2, 3}, core.ErrDuplicateView},
+		{"self missing", 5, []types.ProcessID{2, 3}, core.ErrBadMembers},
+		{"empty", 5, nil, core.ErrBadMembers},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := e.CreateGroup(now, tt.g, core.Symmetric, tt.members); !errors.Is(err, tt.want) {
+				t.Errorf("CreateGroup err = %v, want %v", err, tt.want)
+			}
+		})
+	}
+	// Departed groups cannot be re-created at the departing process.
+	if _, err := e.LeaveGroup(now, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.CreateGroup(now, 1, core.Symmetric, []types.ProcessID{1, 2}); !errors.Is(err, core.ErrLeftGroup) {
+		t.Errorf("recreate departed group: err = %v, want ErrLeftGroup", err)
+	}
+}

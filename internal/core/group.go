@@ -1,0 +1,249 @@
+package core
+
+import (
+	"time"
+
+	"newtop/internal/types"
+)
+
+// groupStatus tracks a group's lifecycle at this process.
+type groupStatus uint8
+
+const (
+	// statusForming: invited (or initiating), collecting formation votes
+	// (§5.3 steps 1–3).
+	statusForming groupStatus = iota + 1
+	// statusStartWait: formation succeeded, waiting for a start-group
+	// message from every member of the current view (§5.3 steps 4–5).
+	// D is pinned to the largest start-number seen so far.
+	statusStartWait
+	// statusActive: normal operation.
+	statusActive
+)
+
+// viewInstall is a scheduled update_view(F, N) (§5.2 step viii): install
+// view minus failed once the last message with Num ≤ lnmn has been
+// delivered.
+type viewInstall struct {
+	failed map[types.ProcessID]bool
+	lnmn   types.MsgNum
+}
+
+// confirmRec buffers a received confirmed message whose detection set is
+// not yet a subset of our suspicions (we have not suspected all of its
+// members yet); re-evaluated as suspicions grow.
+type confirmRec struct {
+	from      types.ProcessID
+	detection []types.Suspicion
+}
+
+// heldMsg is a message from a suspected process, kept pending until the
+// suspicion is refuted (reprocess) or confirmed (discard) — §5.2.
+type heldMsg struct {
+	from types.ProcessID
+	m    *types.Message
+}
+
+// formationState tracks the two-phase formation protocol (§5.3).
+type formationState struct {
+	initiator bool
+	members   []types.ProcessID // intended membership, sorted
+	mode      OrderMode
+	yes       map[types.ProcessID]bool
+	votedSelf bool
+	deadline  time.Time
+}
+
+// groupState is the per-group protocol state of one process: its view,
+// receive/stability vectors, message log, membership-agreement state and
+// ordering-mode bookkeeping.
+type groupState struct {
+	id     types.GroupID
+	mode   OrderMode
+	status groupStatus
+	view   types.View
+
+	// staticD selects the §4.2 failure-free delivery gate for asymmetric
+	// groups (D = last number from the sequencer); see dx.
+	staticD bool
+
+	rv        map[types.ProcessID]types.MsgNum // receive vector (§4.1)
+	sv        map[types.ProcessID]types.MsgNum // stability vector (§5.1)
+	lastHeard map[types.ProcessID]time.Time    // failure-suspector input (§5.2)
+	lastSent  time.Time                        // time-silence input (§4.1)
+
+	// Per-origin FIFO high-water marks, split by path: direct multicasts
+	// (sender == origin) and sequencer-relayed multicasts (asymmetric
+	// mode; sender == sequencer ≠ origin). The two paths are separately
+	// FIFO, so each gets its own monotone check.
+	lastSeqDirect  map[types.ProcessID]uint64
+	lastSeqRelayed map[types.ProcessID]uint64
+
+	// relayedNum records, per origin, the highest Lamport number seen on
+	// a sequencer relay of that origin's messages. Suspicion evidence and
+	// the lnmn cutoff must cover relays, or the agreement boundary could
+	// fall below numbers some member already delivered (breaking MD3 in
+	// asymmetric groups).
+	relayedNum map[types.ProcessID]types.MsgNum
+
+	mySeq    uint64 // seq counter for my direct multicasts
+	myReqSeq uint64 // seq counter for my sequencer requests (asymmetric)
+
+	log *msgLog
+
+	// dFloor is a lower bound on Dx: the start-number-max agreed at
+	// group formation (§5.3 step 5). Nulls numbered below it may still
+	// arrive but are never delivered, so the floor is safe.
+	dFloor types.MsgNum
+	// startPin pins Dx while status == statusStartWait.
+	startPin  types.MsgNum
+	startNums map[types.ProcessID]types.MsgNum
+
+	// Membership agreement (§5.2).
+	suspicions      map[types.ProcessID]types.MsgNum // my active suspicions: proc → ln
+	votes           map[types.Suspicion]map[types.ProcessID]bool
+	held            map[types.ProcessID][]heldMsg
+	pendingConfirms []confirmRec
+	installs        []viewInstall
+	removedEver     map[types.ProcessID]bool
+
+	formation *formationState
+
+	// Asymmetric mode (§4.2).
+	pendingReqs []*types.Message // my unsequenced requests, in unicast order
+}
+
+func newGroupState(id types.GroupID, mode OrderMode) *groupState {
+	return &groupState{
+		id:             id,
+		mode:           mode,
+		rv:             make(map[types.ProcessID]types.MsgNum),
+		sv:             make(map[types.ProcessID]types.MsgNum),
+		lastHeard:      make(map[types.ProcessID]time.Time),
+		lastSeqDirect:  make(map[types.ProcessID]uint64),
+		lastSeqRelayed: make(map[types.ProcessID]uint64),
+		relayedNum:     make(map[types.ProcessID]types.MsgNum),
+		log:            newMsgLog(),
+		suspicions:     make(map[types.ProcessID]types.MsgNum),
+		votes:          make(map[types.Suspicion]map[types.ProcessID]bool),
+		held:           make(map[types.ProcessID][]heldMsg),
+		removedEver:    make(map[types.ProcessID]bool),
+		startNums:      make(map[types.ProcessID]types.MsgNum),
+	}
+}
+
+// activate installs the initial view V0 and primes the vectors.
+func (g *groupState) activate(members []types.ProcessID, now time.Time, signatures bool) {
+	g.view = types.NewView(g.id, 0, members)
+	if signatures {
+		g.view.Excluded = make([]int, len(g.view.Members))
+	}
+	for _, p := range g.view.Members {
+		g.rv[p] = 0
+		g.sv[p] = 0
+		g.lastHeard[p] = now
+	}
+	g.lastSent = now
+}
+
+// sequencer returns the asymmetric-mode sequencer for the current view:
+// the lowest-numbered member. Processes with identical views elect the same
+// sequencer deterministically (§4.2).
+func (g *groupState) sequencer() types.ProcessID {
+	if len(g.view.Members) == 0 {
+		return types.NilProcess
+	}
+	return g.view.Members[0]
+}
+
+// dx returns this group's largest-deliverable-number D_x (§4.1/§4.2).
+//
+// In the static failure-free configuration, an asymmetric group uses the
+// paper's §4.2 rule — D_x is the number of the last message received from
+// the sequencer, so sequenced messages deliver immediately. In the
+// fault-tolerant configuration D_x is min(RV) for every mode: the §5.2
+// agreement boundary is only consistent because no process can deliver a
+// number beyond a silent member's last message ("absent or rejected
+// messages from suspected processes prevent D from increasing beyond
+// lnmn"), and that argument needs D ≤ RV[k] pointwise. Universal
+// time-silence (which §5 mandates in every group precisely for failure
+// detection) keeps min(RV) advancing, so asymmetric delivery stays live —
+// the sequencer contributes ordering economy, min(RV) the safety boundary.
+func (g *groupState) dx() types.MsgNum {
+	if g.status == statusStartWait {
+		return g.startPin
+	}
+	var d types.MsgNum
+	if g.mode == Asymmetric && g.staticD {
+		d = g.rv[g.sequencer()]
+	} else {
+		d = types.InfNum
+		for _, p := range g.view.Members {
+			if v := g.rv[p]; v < d {
+				d = v
+			}
+		}
+		if len(g.view.Members) == 0 {
+			d = 0
+		}
+	}
+	if d < g.dFloor {
+		d = g.dFloor
+	}
+	return d
+}
+
+// minSV returns the stability threshold: every message with Num ≤ minSV
+// has been received by all members of the current view (§5.1).
+func (g *groupState) minSV() types.MsgNum {
+	min := types.InfNum
+	for _, p := range g.view.Members {
+		if v := g.sv[p]; v < min {
+			min = v
+		}
+	}
+	if len(g.view.Members) == 0 {
+		return 0
+	}
+	return min
+}
+
+// knownNum returns the highest Lamport number this process has witnessed
+// from p in this group, over both the direct path (rv) and sequencer
+// relays of p's messages. It is the ln used when suspecting p and the
+// evidence threshold when judging others' suspicions of p.
+func (g *groupState) knownNum(p types.ProcessID) types.MsgNum {
+	n := g.rv[p]
+	if n == types.InfNum {
+		return n
+	}
+	if r := g.relayedNum[p]; r > n {
+		n = r
+	}
+	return n
+}
+
+// ordered reports whether the group gates delivery on the logical-clock
+// condition safe1' (total order); atomic groups bypass the gate (fig. 3).
+func (g *groupState) ordered() bool { return g.mode == Symmetric || g.mode == Asymmetric }
+
+// runsTimeSilence reports whether this process operates the time-silence
+// mechanism in this group. With failure detection on (dynamic Newtop, §5)
+// every member does; in the static failure-free configuration only
+// symmetric members and the asymmetric sequencer need it (§4).
+func (g *groupState) runsTimeSilence(self types.ProcessID, failureDetection bool) bool {
+	if g.status != statusActive && g.status != statusStartWait {
+		return false
+	}
+	if failureDetection {
+		return true
+	}
+	switch g.mode {
+	case Symmetric:
+		return true
+	case Asymmetric:
+		return g.sequencer() == self
+	default:
+		return false
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"sort"
+
+	"newtop/internal/types"
+)
+
+// msgLog retains the data-plane messages of one group until they become
+// stable (§5.1): a message may be discarded only once the process knows
+// every member of the current view has received it, because until then it
+// may be needed to refute a suspicion (piggybacked recovery, §5.2 step
+// iii). Entries are kept per origin in seq order; per-origin FIFO receipt
+// means Num is non-decreasing within each slice.
+type msgLog struct {
+	byOrigin map[types.ProcessID][]*types.Message
+	size     int
+}
+
+func newMsgLog() *msgLog {
+	return &msgLog{byOrigin: make(map[types.ProcessID][]*types.Message)}
+}
+
+// add retains m. Duplicates (same origin and seq) are ignored.
+func (l *msgLog) add(m *types.Message) {
+	s := l.byOrigin[m.Origin]
+	if n := len(s); n > 0 && s[n-1].Seq >= m.Seq {
+		// Out-of-order or duplicate insert: keep the log's per-origin
+		// seq ordering invariant by rejecting anything not newer.
+		for _, e := range s {
+			if e.Seq == m.Seq {
+				return
+			}
+		}
+		s = append(s, m)
+		sort.Slice(s, func(i, j int) bool { return s[i].Seq < s[j].Seq })
+		l.byOrigin[m.Origin] = s
+		l.size++
+		return
+	}
+	l.byOrigin[m.Origin] = append(s, m)
+	l.size++
+}
+
+// concerningAbove returns the retained messages concerning process p with
+// Num > ln, in transmission (Num) order: everything p transmitted (for a
+// suspected sequencer this includes its relays of other members'
+// messages) plus sequencer relays *of* p's messages. This is exactly the
+// piggyback set of a refute message for suspicion {p, ln} — the evidence
+// behind knownNum(p) > ln.
+func (l *msgLog) concerningAbove(p types.ProcessID, ln types.MsgNum) []*types.Message {
+	var out []*types.Message
+	for _, s := range l.byOrigin {
+		for _, m := range s {
+			if (m.Sender == p || m.Origin == p) && m.Num > ln {
+				out = append(out, m)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Num < out[j].Num })
+	return out
+}
+
+// latestNum returns the highest Num retained from origin (0 when none).
+func (l *msgLog) latestNum(origin types.ProcessID) types.MsgNum {
+	s := l.byOrigin[origin]
+	if len(s) == 0 {
+		return 0
+	}
+	return s[len(s)-1].Num
+}
+
+// gc discards every entry with Num ≤ stable. Stable messages have been
+// received by all members, so no refutation can ever need them.
+func (l *msgLog) gc(stable types.MsgNum) {
+	for origin, s := range l.byOrigin {
+		i := sort.Search(len(s), func(i int) bool { return s[i].Num > stable })
+		if i == 0 {
+			continue
+		}
+		l.size -= i
+		if i == len(s) {
+			delete(l.byOrigin, origin)
+			continue
+		}
+		rest := make([]*types.Message, len(s)-i)
+		copy(rest, s[i:])
+		l.byOrigin[origin] = rest
+	}
+}
+
+// dropOrigin discards every entry from origin (used when a failed process
+// is removed from the view).
+func (l *msgLog) dropOrigin(origin types.ProcessID) {
+	l.size -= len(l.byOrigin[origin])
+	delete(l.byOrigin, origin)
+}
+
+// countAbove returns how many retained messages from origin have Num > n.
+// Flow control uses it to bound a sender's unstable backlog.
+func (l *msgLog) countAbove(origin types.ProcessID, n types.MsgNum) int {
+	s := l.byOrigin[origin]
+	i := sort.Search(len(s), func(i int) bool { return s[i].Num > n })
+	return len(s) - i
+}
+
+// len returns the total number of retained messages.
+func (l *msgLog) len() int { return l.size }

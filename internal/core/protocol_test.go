@@ -1,0 +1,493 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"newtop/internal/check"
+	"newtop/internal/core"
+	"newtop/internal/sim"
+	"newtop/internal/types"
+)
+
+// runChecks asserts all MD/VC properties over the cluster.
+func runChecks(t *testing.T, c *sim.Cluster, crashed ...types.ProcessID) {
+	t.Helper()
+	if err := check.New(c, crashed).All().Err(); err != nil {
+		t.Error(err)
+	}
+}
+
+// allDelivered reports whether every live process delivered want messages
+// in group g.
+func allDelivered(c *sim.Cluster, g types.GroupID, procs []types.ProcessID, want int) func() bool {
+	return func() bool {
+		for _, p := range procs {
+			if len(deliveredPayloads(c, p, g)) < want {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+func TestSymmetricSingleGroupTotalOrderManySeeds(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			c, ps := newCluster(t, seed, 5)
+			if err := c.Bootstrap(1, core.Symmetric, ps); err != nil {
+				t.Fatal(err)
+			}
+			const per = 8
+			for i := 0; i < per; i++ {
+				for _, p := range ps {
+					if err := c.Submit(p, 1, payload(p, i)); err != nil {
+						t.Fatal(err)
+					}
+				}
+				c.Run(time.Duration(seed) * time.Millisecond)
+			}
+			if !c.RunUntil(5*time.Second, allDelivered(c, 1, ps, per*len(ps))) {
+				t.Fatal("not all messages delivered")
+			}
+			runChecks(t, c)
+		})
+	}
+}
+
+func TestSymmetricSingleSenderFIFO(t *testing.T) {
+	c, ps := newCluster(t, 7, 4)
+	if err := c.Bootstrap(1, core.Symmetric, ps); err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := c.Submit(1, 1, payload(1, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.RunUntil(5*time.Second, allDelivered(c, 1, ps, n)) {
+		t.Fatal("not all delivered")
+	}
+	for _, p := range ps {
+		got := deliveredPayloads(c, p, 1)
+		for i := 0; i < n; i++ {
+			if got[i] != string(payload(1, i)) {
+				t.Fatalf("%v: delivery %d = %q, want %q", p, i, got[i], payload(1, i))
+			}
+		}
+	}
+	runChecks(t, c)
+}
+
+func TestSelfDelivery(t *testing.T) {
+	// A process delivers its own messages by executing the protocol (§3).
+	c, ps := newCluster(t, 9, 3)
+	if err := c.Bootstrap(1, core.Symmetric, ps); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(2, 1, []byte("own")); err != nil {
+		t.Fatal(err)
+	}
+	if !c.RunUntil(2*time.Second, allDelivered(c, 1, []types.ProcessID{2}, 1)) {
+		t.Fatal("sender never delivered its own message")
+	}
+	runChecks(t, c)
+}
+
+func TestMultiGroupOverlapTotalOrder(t *testing.T) {
+	// Overlapping groups: P2 and P3 belong to both g1 and g2; deliveries
+	// of messages from both groups must be mutually ordered (MD4').
+	c, _ := newCluster(t, 11, 4)
+	g1 := []types.ProcessID{1, 2, 3}
+	g2 := []types.ProcessID{2, 3, 4}
+	if err := c.Bootstrap(1, core.Symmetric, g1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Bootstrap(2, core.Symmetric, g2); err != nil {
+		t.Fatal(err)
+	}
+	const per = 6
+	for i := 0; i < per; i++ {
+		if err := c.Submit(1, 1, payload(1, i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Submit(4, 2, payload(4, i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Submit(2, 1, []byte(fmt.Sprintf("P2-g1-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Submit(3, 2, []byte(fmt.Sprintf("P3-g2-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		c.Run(3 * time.Millisecond)
+	}
+	done := func() bool {
+		return allDelivered(c, 1, g1, 2*per)() && allDelivered(c, 2, g2, 2*per)()
+	}
+	if !c.RunUntil(5*time.Second, done) {
+		t.Fatal("not all messages delivered in both groups")
+	}
+	// The common members must agree on the interleaving of g1 and g2
+	// deliveries (verified pairwise by the checker over all groups).
+	runChecks(t, c)
+
+	// Explicit MD4' assertion for the two common members.
+	var seq2, seq3 []string
+	for _, d := range c.History(2).Deliveries {
+		seq2 = append(seq2, string(d.Payload))
+	}
+	for _, d := range c.History(3).Deliveries {
+		seq3 = append(seq3, string(d.Payload))
+	}
+	if len(seq2) != len(seq3) {
+		t.Fatalf("common members delivered different counts: %d vs %d", len(seq2), len(seq3))
+	}
+	for i := range seq2 {
+		if seq2[i] != seq3[i] {
+			t.Fatalf("MD4' violated at position %d: %q vs %q", i, seq2[i], seq3[i])
+		}
+	}
+}
+
+func TestCyclicGroupStructure(t *testing.T) {
+	// §4.1: the delivery conditions "cope with arbitrarily complex group
+	// structures", including cyclic overlaps (fig. 2 of the paper's
+	// discussion of ISIS): g1={1,2}, g2={2,3}, g3={3,1}.
+	c, _ := newCluster(t, 13, 3)
+	groups := map[types.GroupID][]types.ProcessID{
+		1: {1, 2}, 2: {2, 3}, 3: {3, 1},
+	}
+	for g, ms := range groups {
+		if err := c.Bootstrap(g, core.Symmetric, ms); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if err := c.Submit(1, 1, []byte(fmt.Sprintf("a%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Submit(2, 2, []byte(fmt.Sprintf("b%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Submit(3, 3, []byte(fmt.Sprintf("c%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		c.Run(2 * time.Millisecond)
+	}
+	done := func() bool {
+		for g, ms := range groups {
+			if !allDelivered(c, g, ms, 5)() {
+				return false
+			}
+		}
+		return true
+	}
+	if !c.RunUntil(5*time.Second, done) {
+		t.Fatal("cyclic structure deliveries incomplete")
+	}
+	runChecks(t, c)
+}
+
+func TestAsymmetricSequencerIsDeterministic(t *testing.T) {
+	c, ps := newCluster(t, 17, 4)
+	if err := c.Bootstrap(1, core.Asymmetric, ps); err != nil {
+		t.Fatal(err)
+	}
+	// All data multicasts must come from the sequencer (lowest ID = P1):
+	// submit from a non-sequencer and verify delivery happens and order
+	// is uniform.
+	for i := 0; i < 6; i++ {
+		src := ps[i%len(ps)]
+		if err := c.Submit(src, 1, payload(src, i)); err != nil {
+			t.Fatal(err)
+		}
+		c.Run(2 * time.Millisecond)
+	}
+	if !c.RunUntil(5*time.Second, allDelivered(c, 1, ps, 6)) {
+		t.Fatal("not all delivered")
+	}
+	runChecks(t, c)
+	// The sequencer performed the multicasts.
+	st := c.Engine(1).Stats()
+	if st.SeqMulticasts != 6 {
+		t.Errorf("sequencer multicasts = %d, want 6", st.SeqMulticasts)
+	}
+	for _, p := range ps[1:] {
+		if got := c.Engine(p).Stats().SeqMulticasts; got != 0 {
+			t.Errorf("%v performed %d sequencer multicasts, want 0", p, got)
+		}
+	}
+}
+
+func TestAsymmetricSequencerOrderIsReceiptOrder(t *testing.T) {
+	// Two concurrent submits from different members: every process
+	// (including the senders) must deliver them in the sequencer's
+	// multicast order.
+	c, ps := newCluster(t, 19, 3)
+	if err := c.Bootstrap(1, core.Asymmetric, ps); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(2, 1, []byte("from-2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(3, 1, []byte("from-3")); err != nil {
+		t.Fatal(err)
+	}
+	if !c.RunUntil(5*time.Second, allDelivered(c, 1, ps, 2)) {
+		t.Fatal("not all delivered")
+	}
+	runChecks(t, c)
+}
+
+func TestMixedModeAcrossGroups(t *testing.T) {
+	// §4.3: P2 runs symmetric in g1 and asymmetric in g2 simultaneously;
+	// total order must hold across both.
+	c, _ := newCluster(t, 23, 4)
+	g1 := []types.ProcessID{1, 2, 3}
+	g2 := []types.ProcessID{2, 3, 4}
+	if err := c.Bootstrap(1, core.Symmetric, g1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Bootstrap(2, core.Asymmetric, g2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := c.Submit(2, 1, []byte(fmt.Sprintf("sym-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Submit(2, 2, []byte(fmt.Sprintf("asym-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Submit(4, 2, []byte(fmt.Sprintf("p4-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		c.Run(4 * time.Millisecond)
+	}
+	done := func() bool {
+		return allDelivered(c, 1, g1, 6)() && allDelivered(c, 2, g2, 12)()
+	}
+	if !c.RunUntil(5*time.Second, done) {
+		t.Fatal("mixed-mode deliveries incomplete")
+	}
+	runChecks(t, c)
+}
+
+func TestMixedModeBlockingRule(t *testing.T) {
+	// §4.3: after unicasting in asymmetric g2, P2's multicast in g1 must
+	// wait until the sequenced message returns. Setting a huge latency
+	// between P2 and the sequencer keeps the request pending.
+	c, _ := newCluster(t, 29, 4)
+	g1 := []types.ProcessID{1, 2, 3}
+	g2 := []types.ProcessID{2, 3, 4} // sequencer = P2? lowest id = 2 → self-sequencing!
+	// Use P4 as member and make sequencer P2... to get blocking we need a
+	// remote sequencer, so build g2 with P1 in it: sequencer = P1.
+	g2 = []types.ProcessID{1, 2, 4}
+	if err := c.Bootstrap(1, core.Symmetric, g1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Bootstrap(2, core.Asymmetric, g2); err != nil {
+		t.Fatal(err)
+	}
+	// Unicast request from P2 to the sequencer P1 is in flight; the g1
+	// submit must queue until the sequenced multicast returns.
+	if err := c.Submit(2, 2, []byte("asym-first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(2, 1, []byte("sym-after")); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Engine(2).QueuedSubmits(1); got != 1 {
+		t.Errorf("g1 submit not queued behind pending sequencer request: queued = %d", got)
+	}
+	if got := c.Engine(2).Stats().BlockedSends; got != 1 {
+		t.Errorf("BlockedSends = %d, want 1", got)
+	}
+	done := func() bool {
+		return allDelivered(c, 1, g1, 1)() && allDelivered(c, 2, g2, 1)()
+	}
+	if !c.RunUntil(5*time.Second, done) {
+		t.Fatal("blocked send never drained")
+	}
+	if got := c.Engine(2).QueuedSubmits(1); got != 0 {
+		t.Errorf("queued submits after drain = %d, want 0", got)
+	}
+	runChecks(t, c)
+}
+
+func TestSymmetricSendsNeverBlock(t *testing.T) {
+	// §7: "If only symmetric version is used, Newtop is totally
+	// non-blocking on send operations."
+	c, _ := newCluster(t, 31, 4)
+	g1 := []types.ProcessID{1, 2, 3}
+	g2 := []types.ProcessID{2, 3, 4}
+	if err := c.Bootstrap(1, core.Symmetric, g1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Bootstrap(2, core.Symmetric, g2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := c.Submit(2, 1, []byte(fmt.Sprintf("a%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Submit(2, 2, []byte(fmt.Sprintf("b%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Engine(2).Stats().BlockedSends; got != 0 {
+		t.Errorf("symmetric-only sends blocked %d times, want 0", got)
+	}
+	if got := c.Engine(2).QueuedSubmits(1) + c.Engine(2).QueuedSubmits(2); got != 0 {
+		t.Errorf("symmetric-only sends queued %d, want 0", got)
+	}
+}
+
+func TestAtomicModeDeliversWithoutOrderingGate(t *testing.T) {
+	c, ps := newCluster(t, 37, 3)
+	if err := c.Bootstrap(1, core.Atomic, ps); err != nil {
+		t.Fatal(err)
+	}
+	// Per-sender FIFO must hold in atomic mode; total order need not.
+	for i := 0; i < 10; i++ {
+		if err := c.Submit(1, 1, payload(1, i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Submit(2, 1, payload(2, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.RunUntil(5*time.Second, allDelivered(c, 1, ps, 20)) {
+		t.Fatal("atomic deliveries incomplete")
+	}
+	for _, p := range ps {
+		var from1, from2 int
+		for _, d := range c.History(p).Deliveries {
+			switch d.Origin {
+			case 1:
+				if string(d.Payload) != string(payload(1, from1)) {
+					t.Fatalf("%v: P1 FIFO broken at %d: %q", p, from1, d.Payload)
+				}
+				from1++
+			case 2:
+				if string(d.Payload) != string(payload(2, from2)) {
+					t.Fatalf("%v: P2 FIFO broken at %d: %q", p, from2, d.Payload)
+				}
+				from2++
+			}
+		}
+	}
+}
+
+func TestTimeSilenceKeepsDeliveryLive(t *testing.T) {
+	// A single multicast with all other members silent becomes
+	// deliverable only through time-silence nulls advancing D (§4.1).
+	c, ps := newCluster(t, 41, 5)
+	if err := c.Bootstrap(1, core.Symmetric, ps); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(1, 1, []byte("lonely")); err != nil {
+		t.Fatal(err)
+	}
+	if !c.RunUntil(5*time.Second, allDelivered(c, 1, ps, 1)) {
+		t.Fatal("delivery never became live despite time-silence")
+	}
+	// Null messages were actually sent by the silent members.
+	var nulls uint64
+	for _, p := range ps {
+		nulls += c.Engine(p).Stats().NullsSent
+	}
+	if nulls == 0 {
+		t.Error("no null messages sent")
+	}
+	runChecks(t, c)
+}
+
+func TestStaticFailureFreeAsymmetricOnlySequencerTimeSilences(t *testing.T) {
+	// §4.2: with failure detection disabled, only the sequencer operates
+	// time-silence in an asymmetric group.
+	c, ps := newCluster(t, 43, 3, func(cfg *core.Config) {
+		cfg.DisableFailureDetection = true
+	})
+	if err := c.Bootstrap(1, core.Asymmetric, ps); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(3, 1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if !c.RunUntil(5*time.Second, allDelivered(c, 1, ps, 1)) {
+		t.Fatal("delivery incomplete")
+	}
+	c.Run(200 * time.Millisecond)
+	if got := c.Engine(1).Stats().NullsSent; got == 0 {
+		t.Error("sequencer sent no nulls")
+	}
+	for _, p := range ps[1:] {
+		if got := c.Engine(p).Stats().NullsSent; got != 0 {
+			t.Errorf("non-sequencer %v sent %d nulls in static asymmetric mode", p, got)
+		}
+	}
+}
+
+func TestFlowControlWindowBoundsUnstableBacklog(t *testing.T) {
+	c, ps := newCluster(t, 47, 3, func(cfg *core.Config) {
+		cfg.FlowControlWindow = 4
+	})
+	if err := c.Bootstrap(1, core.Symmetric, ps); err != nil {
+		t.Fatal(err)
+	}
+	// Burst 20 submits with no time to stabilise: only the window may go
+	// out immediately, the rest queue.
+	for i := 0; i < 20; i++ {
+		if err := c.Submit(1, 1, payload(1, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Engine(1).Stats().FlowBlocked; got == 0 {
+		t.Error("flow control never engaged on a 20-message burst with window 4")
+	}
+	if q := c.Engine(1).QueuedSubmits(1); q < 10 {
+		t.Errorf("queued = %d, want most of the burst held back", q)
+	}
+	// Everything still goes out eventually, in order.
+	if !c.RunUntil(10*time.Second, allDelivered(c, 1, ps, 20)) {
+		t.Fatal("flow-controlled messages never fully delivered")
+	}
+	got := deliveredPayloads(c, 2, 1)
+	for i := 0; i < 20; i++ {
+		if got[i] != string(payload(1, i)) {
+			t.Fatalf("flow control broke FIFO at %d: %q", i, got[i])
+		}
+	}
+	runChecks(t, c)
+}
+
+func TestLamportNumbersNonDecreasingInDeliveryOrder(t *testing.T) {
+	c, ps := newCluster(t, 53, 4)
+	if err := c.Bootstrap(1, core.Symmetric, ps); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		for _, p := range ps {
+			if err := c.Submit(p, 1, payload(p, i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.Run(time.Millisecond)
+	}
+	if !c.RunUntil(5*time.Second, allDelivered(c, 1, ps, 20)) {
+		t.Fatal("incomplete")
+	}
+	for _, p := range ps {
+		var last types.MsgNum
+		for _, d := range c.History(p).Deliveries {
+			if d.Num < last {
+				t.Fatalf("%v: delivery numbers decreased: %v after %v", p, d.Num, last)
+			}
+			last = d.Num
+		}
+	}
+}

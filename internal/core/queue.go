@@ -1,0 +1,83 @@
+package core
+
+import (
+	"container/heap"
+
+	"newtop/internal/types"
+)
+
+// deliveryQueue is the process-wide priority queue of received, not yet
+// delivered application messages, ordered by the deterministic total order
+// of safe2 (non-decreasing m.c; ties by origin, group, seq). One queue
+// spans all groups: delivery order is a single sequence per process, which
+// is what extends total order across overlapping groups (MD4').
+type deliveryQueue struct {
+	h msgHeap
+}
+
+func newDeliveryQueue() *deliveryQueue { return &deliveryQueue{} }
+
+// Push inserts m.
+func (q *deliveryQueue) Push(m *types.Message) { heap.Push(&q.h, m) }
+
+// Peek returns the smallest message without removing it, or nil when empty.
+func (q *deliveryQueue) Peek() *types.Message {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0]
+}
+
+// Pop removes and returns the smallest message, or nil when empty.
+func (q *deliveryQueue) Pop() *types.Message {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.h).(*types.Message)
+}
+
+// Len returns the number of queued messages.
+func (q *deliveryQueue) Len() int { return len(q.h) }
+
+// Discard removes every message matching pred (used by the §5.2 step viii
+// cutoff: drop messages from failed processes with Num > lnmn).
+func (q *deliveryQueue) Discard(pred func(*types.Message) bool) int {
+	kept := q.h[:0]
+	removed := 0
+	for _, m := range q.h {
+		if pred(m) {
+			removed++
+		} else {
+			kept = append(kept, m)
+		}
+	}
+	for i := len(kept); i < len(q.h); i++ {
+		q.h[i] = nil
+	}
+	q.h = kept
+	if removed > 0 {
+		heap.Init(&q.h)
+	}
+	return removed
+}
+
+// HasAtOrBelow reports whether any queued message has Num ≤ n. Because the
+// heap minimum is the delivery head, checking the head suffices.
+func (q *deliveryQueue) HasAtOrBelow(n types.MsgNum) bool {
+	return len(q.h) > 0 && q.h[0].Num <= n
+}
+
+type msgHeap []*types.Message
+
+func (h msgHeap) Len() int            { return len(h) }
+func (h msgHeap) Less(i, j int) bool  { return types.TotalOrderLess(h[i], h[j]) }
+func (h msgHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *msgHeap) Push(x interface{}) { *h = append(*h, x.(*types.Message)) }
+func (h *msgHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	m := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return m
+}

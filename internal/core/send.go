@@ -1,0 +1,198 @@
+package core
+
+import (
+	"time"
+
+	"newtop/internal/types"
+)
+
+// blockReason classifies why a submit in gs cannot be transmitted now.
+type blockReason uint8
+
+const (
+	blockNone blockReason = iota
+	blockForming
+	blockRule // Send Blocking / Mixed-mode Blocking Rule (§4.2/§4.3)
+	blockFlow // flow-control window (§7 / [11])
+)
+
+// submitBlock returns the first reason an application multicast in gs must
+// be queued, or blockNone when it may be transmitted immediately.
+func (e *Engine) submitBlock(gs *groupState) blockReason {
+	if gs.status != statusActive {
+		return blockForming
+	}
+	// Send Blocking / Mixed-mode Blocking Rule: a multi-group process
+	// must delay unicasting or multicasting m until every previous m'
+	// with m'.g ≠ m.g that it unicast has come back from its sequencer.
+	// Null messages are exempt: they are never delivered, so they cannot
+	// violate delivery causality (see DESIGN.md).
+	for _, other := range e.groups {
+		if other.id != gs.id && len(other.pendingReqs) > 0 {
+			return blockRule
+		}
+	}
+	// Flow control (§7 / [11]): bound this process's unstable backlog.
+	if w := e.cfg.FlowControlWindow; w > 0 {
+		if gs.log.countAbove(e.cfg.Self, gs.minSV()) >= w {
+			return blockFlow
+		}
+	}
+	return blockNone
+}
+
+// submittable reports whether an application multicast in gs may be
+// transmitted right now.
+func (e *Engine) submittable(gs *groupState) bool { return e.submitBlock(gs) == blockNone }
+
+// transmit performs the actual multicast of an application payload in gs,
+// which must be submittable.
+func (e *Engine) transmit(now time.Time, gs *groupState, payload []byte) {
+	e.stats.DataSent++
+	if gs.mode == Asymmetric {
+		e.transmitAsym(now, gs, payload)
+		return
+	}
+	// Symmetric (§4.1) and atomic modes multicast directly.
+	num := e.lc.TickSend() // CA1
+	gs.mySeq++
+	m := &types.Message{
+		Kind:    types.KindData,
+		Group:   gs.id,
+		Sender:  e.cfg.Self,
+		Origin:  e.cfg.Self,
+		Num:     num,
+		Seq:     gs.mySeq,
+		LDN:     gs.dx(),
+		Payload: payload,
+	}
+	e.mcast(gs, m)
+	gs.lastSent = now
+	// Deliver own messages by executing the protocol (§3): loop the
+	// multicast back through the receive path.
+	e.onDataPlane(now, gs, m)
+}
+
+// transmitAsym disseminates a message through the group's sequencer
+// (§4.2). The process unicasts to the sequencer, which multicasts in
+// receipt order with a fresh number; the sender delivers its own message
+// when the sequencer's multicast arrives.
+func (e *Engine) transmitAsym(now time.Time, gs *groupState, payload []byte) {
+	num := e.lc.TickSend() // CA1 — unicasts advance the clock like multicasts
+	gs.myReqSeq++
+	req := &types.Message{
+		Kind:    types.KindSeqRequest,
+		Group:   gs.id,
+		Sender:  e.cfg.Self,
+		Origin:  e.cfg.Self,
+		Num:     num,
+		Seq:     gs.myReqSeq,
+		Payload: payload,
+	}
+	seqr := gs.sequencer()
+	if seqr == e.cfg.Self {
+		// The sequencer logically unicasts to itself and multicasts
+		// (§4.2): sequence immediately.
+		e.sequenceRequest(now, gs, req)
+		return
+	}
+	gs.pendingReqs = append(gs.pendingReqs, req)
+	e.stats.SeqRequests++
+	e.send(seqr, req)
+}
+
+// onSeqRequest handles a unicast ordering request at the sequencer.
+func (e *Engine) onSeqRequest(now time.Time, gs *groupState, m *types.Message) {
+	e.lc.Witness(m.Num) // CA2 — receiving a unicast advances the clock
+	gs.lastHeard[m.Sender] = now
+	if gs.sequencer() != e.cfg.Self {
+		// Views diverge briefly around membership changes; the
+		// requester re-unicasts to the new sequencer after its own view
+		// change, so dropping here is safe.
+		return
+	}
+	e.sequenceRequest(now, gs, m)
+}
+
+// sequenceRequest multicasts a request in receipt order with a fresh
+// number. Requests already sequenced (observed as relays) are deduplicated;
+// out-of-order requests are dropped (the requester re-unicasts after a
+// view change, in order).
+func (e *Engine) sequenceRequest(now time.Time, gs *groupState, req *types.Message) {
+	if gs.removedEver[req.Origin] {
+		return // never relay messages of an excluded member
+	}
+	num := e.lc.TickSend() // CA1 for the ordered multicast
+	m := &types.Message{
+		Kind:    types.KindData,
+		Group:   gs.id,
+		Sender:  e.cfg.Self,
+		Num:     num,
+		LDN:     gs.dx(),
+		Payload: req.Payload,
+	}
+	if req.Origin == e.cfg.Self {
+		// Our own message: the multicast is a direct transmission, so it
+		// is numbered in the direct sequence space.
+		gs.mySeq++
+		m.Origin = e.cfg.Self
+		m.Seq = gs.mySeq
+	} else {
+		if req.Seq != gs.lastSeqRelayed[req.Origin]+1 {
+			return // duplicate or out-of-order request
+		}
+		m.Origin = req.Origin
+		m.Seq = req.Seq
+	}
+	e.stats.SeqMulticasts++
+	e.mcast(gs, m)
+	gs.lastSent = now
+	e.onDataPlane(now, gs, m)
+}
+
+// sendNull multicasts a time-silence null message in gs (§4.1). Nulls
+// carry only protocol information; they advance clocks and receive vectors
+// but are never delivered.
+func (e *Engine) sendNull(now time.Time, gs *groupState) {
+	num := e.lc.TickSend()
+	gs.mySeq++
+	m := &types.Message{
+		Kind:   types.KindNull,
+		Group:  gs.id,
+		Sender: e.cfg.Self,
+		Origin: e.cfg.Self,
+		Num:    num,
+		Seq:    gs.mySeq,
+		LDN:    gs.dx(),
+	}
+	e.stats.NullsSent++
+	e.mcast(gs, m)
+	gs.lastSent = now
+	e.onDataPlane(now, gs, m)
+}
+
+// drainQueued transmits queued submits that have become unblocked. The
+// queue is a strict FIFO across all groups: if the head stays blocked,
+// everything behind it waits, preserving the submitter's program order in
+// the happened-before relation.
+func (e *Engine) drainQueued(now time.Time) {
+	for len(e.queued) > 0 {
+		head := e.queued[0]
+		gs, ok := e.groups[head.g]
+		if !ok {
+			// The group was departed or its formation failed; the queued
+			// send is dropped with it.
+			e.queued = e.queued[1:]
+			continue
+		}
+		if !e.submittable(gs) {
+			return
+		}
+		e.queued[0] = queuedSubmit{}
+		e.queued = e.queued[1:]
+		if len(e.queued) == 0 {
+			e.queued = nil
+		}
+		e.transmit(now, gs, head.payload)
+	}
+}

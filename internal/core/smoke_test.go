@@ -1,0 +1,144 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"newtop/internal/core"
+	"newtop/internal/sim"
+	"newtop/internal/types"
+)
+
+// newCluster builds a cluster of n processes P1..Pn with test-friendly
+// timing (ω = 20ms, latency 1–3ms).
+func newCluster(t testing.TB, seed int64, n int, mutate ...func(*core.Config)) (*sim.Cluster, []types.ProcessID) {
+	t.Helper()
+	c := sim.New(seed, sim.WithLatency(1*time.Millisecond, 3*time.Millisecond))
+	ps := make([]types.ProcessID, 0, n)
+	for i := 1; i <= n; i++ {
+		cfg := core.Config{Self: types.ProcessID(i), Omega: 20 * time.Millisecond}
+		for _, m := range mutate {
+			m(&cfg)
+		}
+		c.AddProcess(cfg)
+		ps = append(ps, types.ProcessID(i))
+	}
+	return c, ps
+}
+
+// payload tags a message for later identification.
+func payload(p types.ProcessID, i int) []byte {
+	return []byte(fmt.Sprintf("%v-m%d", p, i))
+}
+
+// deliveredPayloads extracts the payload strings delivered at p for group g.
+func deliveredPayloads(c *sim.Cluster, p types.ProcessID, g types.GroupID) []string {
+	var out []string
+	for _, d := range c.History(p).Deliveries {
+		if d.Group == g {
+			out = append(out, string(d.Payload))
+		}
+	}
+	return out
+}
+
+func TestSmokeSymmetricTotalOrder(t *testing.T) {
+	c, ps := newCluster(t, 1, 3)
+	if err := c.Bootstrap(1, core.Symmetric, ps); err != nil {
+		t.Fatal(err)
+	}
+	// Each process multicasts two messages, interleaved in time.
+	for i := 0; i < 2; i++ {
+		for _, p := range ps {
+			if err := c.Submit(p, 1, payload(p, i)); err != nil {
+				t.Fatal(err)
+			}
+			c.Run(2 * time.Millisecond)
+		}
+	}
+	// Run long enough for time-silence to flush delivery everywhere.
+	c.Run(500 * time.Millisecond)
+
+	want := 6
+	var ref []string
+	for _, p := range ps {
+		got := deliveredPayloads(c, p, 1)
+		if len(got) != want {
+			t.Fatalf("%v delivered %d messages (%v), want %d", p, len(got), got, want)
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("delivery order diverges at %v: %v vs %v", p, got, ref)
+			}
+		}
+	}
+}
+
+func TestSmokeAsymmetricTotalOrder(t *testing.T) {
+	c, ps := newCluster(t, 2, 3)
+	if err := c.Bootstrap(1, core.Asymmetric, ps); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		for _, p := range ps {
+			if err := c.Submit(p, 1, payload(p, i)); err != nil {
+				t.Fatal(err)
+			}
+			c.Run(2 * time.Millisecond)
+		}
+	}
+	c.Run(500 * time.Millisecond)
+
+	var ref []string
+	for _, p := range ps {
+		got := deliveredPayloads(c, p, 1)
+		if len(got) != 6 {
+			t.Fatalf("%v delivered %d messages (%v), want 6", p, len(got), got)
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("delivery order diverges at %v: %v vs %v", p, got, ref)
+			}
+		}
+	}
+}
+
+func TestSmokeCrashTriggersViewChange(t *testing.T) {
+	c, ps := newCluster(t, 3, 3)
+	if err := c.Bootstrap(1, core.Symmetric, ps); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(100 * time.Millisecond)
+	c.Crash(3)
+	ok := c.RunUntil(5*time.Second, func() bool {
+		for _, p := range []types.ProcessID{1, 2} {
+			vs := c.History(p).Views[1]
+			if len(vs) == 0 || vs[len(vs)-1].View.Contains(3) {
+				return false
+			}
+		}
+		return true
+	})
+	if !ok {
+		t.Fatal("survivors never installed a view excluding the crashed process")
+	}
+	for _, p := range []types.ProcessID{1, 2} {
+		vs := c.History(p).Views[1]
+		last := vs[len(vs)-1].View
+		if last.Contains(3) {
+			t.Errorf("%v still has P3 in view %v", p, last)
+		}
+		if !last.Contains(1) || !last.Contains(2) {
+			t.Errorf("%v's view lost a live member: %v", p, last)
+		}
+	}
+}

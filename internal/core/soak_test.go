@@ -1,0 +1,226 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"newtop/internal/check"
+	"newtop/internal/core"
+	"newtop/internal/sim"
+	"newtop/internal/types"
+)
+
+// TestSoakRandomisedTopologiesAndFailures runs randomised workloads over
+// randomised overlapping group topologies with crash injection, and
+// verifies every MD/VC property on each run. Each seed is fully
+// deterministic and reproducible.
+func TestSoakRandomisedTopologiesAndFailures(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	if testing.Short() {
+		seeds = seeds[:3]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			soakOnce(t, seed)
+		})
+	}
+}
+
+func soakOnce(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	n := 4 + rng.Intn(4) // 4..7 processes
+	c, ps := newCluster(t, seed, n)
+
+	// 2..4 random overlapping groups of size ≥ 2 with distinct
+	// memberships (Newtop forbids two groups with identical views).
+	nGroups := 2 + rng.Intn(3)
+	groups := make(map[types.GroupID][]types.ProcessID)
+	seen := make(map[string]bool)
+	for g := 1; g <= nGroups; g++ {
+		var ms []types.ProcessID
+		for {
+			size := 2 + rng.Intn(n-1)
+			perm := rng.Perm(n)
+			ms = ms[:0]
+			for _, idx := range perm[:size] {
+				ms = append(ms, ps[idx])
+			}
+			types.SortProcesses(ms)
+			if !seen[fmt.Sprint(ms)] {
+				seen[fmt.Sprint(ms)] = true
+				break
+			}
+		}
+		mode := core.Symmetric
+		if rng.Intn(3) == 0 {
+			mode = core.Asymmetric
+		}
+		gid := types.GroupID(g)
+		if err := c.Bootstrap(gid, mode, ms); err != nil {
+			t.Fatal(err)
+		}
+		groups[gid] = append([]types.ProcessID(nil), ms...)
+	}
+	c.Run(50 * time.Millisecond)
+
+	// One random crash in half the runs (never P1, to keep at least one
+	// stable observer; the crashed process may be in any group).
+	var crashed []types.ProcessID
+	if rng.Intn(2) == 0 {
+		victim := ps[1+rng.Intn(n-1)]
+		at := time.Duration(100+rng.Intn(300)) * time.Millisecond
+		c.At(at, func() { c.Crash(victim) })
+		crashed = append(crashed, victim)
+	}
+
+	// Random traffic: every process submits into random groups it belongs
+	// to at random instants. Groups are iterated in ID order so the whole
+	// run is a deterministic function of the seed.
+	gids := make([]types.GroupID, 0, len(groups))
+	for gid := range groups {
+		gids = append(gids, gid)
+	}
+	for i := 1; i < len(gids); i++ {
+		for j := i; j > 0 && gids[j] < gids[j-1]; j-- {
+			gids[j], gids[j-1] = gids[j-1], gids[j]
+		}
+	}
+	msgID := 0
+	for round := 0; round < 20; round++ {
+		for _, gid := range gids {
+			gid := gid
+			ms := groups[gid]
+			src := ms[rng.Intn(len(ms))]
+			pl := []byte(fmt.Sprintf("s%d-%d", seed, msgID))
+			msgID++
+			at := time.Duration(60+rng.Intn(500)) * time.Millisecond
+			c.At(at, func() {
+				if !crashedContains(crashed, src) || c.Now().Sub(sim.Epoch) < at {
+					_ = c.Submit(src, gid, pl) // errors fine post-crash
+				}
+			})
+		}
+	}
+	c.Run(2 * time.Second)
+	// Let membership and delivery settle completely.
+	c.Run(3 * time.Second)
+
+	if err := check.New(c, crashed).All().Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sanity: something actually happened.
+	var delivered int
+	for _, p := range ps {
+		delivered += len(c.History(p).Deliveries)
+	}
+	if delivered == 0 {
+		t.Fatal("soak run delivered nothing")
+	}
+
+	// Liveness: in each group, every pair of live members must agree on
+	// the full delivered sequence for that group (total order plus
+	// atomicity over the final view).
+	for gid, ms := range groups {
+		var live []types.ProcessID
+		for _, p := range ms {
+			if !crashedContains(crashed, p) {
+				live = append(live, p)
+			}
+		}
+		if len(live) < 2 {
+			continue
+		}
+		ref := deliveredPayloads(c, live[0], gid)
+		for _, p := range live[1:] {
+			got := deliveredPayloads(c, p, gid)
+			if len(got) != len(ref) {
+				t.Errorf("%v: %v delivered %d, %v delivered %d", gid, live[0], len(ref), p, len(got))
+				continue
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Errorf("%v: order diverges at %d: %q vs %q", gid, i, ref[i], got[i])
+					break
+				}
+			}
+		}
+	}
+}
+
+func crashedContains(cs []types.ProcessID, p types.ProcessID) bool {
+	for _, q := range cs {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// TestSoakPartitionAndHeal drives a partition through a live workload and
+// verifies each side stabilises consistently (no cross-side agreement is
+// required — Newtop is partitionable, not primary-partition).
+func TestSoakPartitionAndHeal(t *testing.T) {
+	for _, seed := range []int64{11, 12, 13} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			c, ps := newCluster(t, seed, 6)
+			if err := c.Bootstrap(1, core.Symmetric, ps); err != nil {
+				t.Fatal(err)
+			}
+			c.Run(50 * time.Millisecond)
+			for i := 0; i < 10; i++ {
+				src := ps[i%len(ps)]
+				if err := c.Submit(src, 1, payload(src, i)); err != nil {
+					t.Fatal(err)
+				}
+				c.Run(5 * time.Millisecond)
+			}
+			sideA := []types.ProcessID{1, 2, 3}
+			sideB := []types.ProcessID{4, 5, 6}
+			c.Partition(sideA, sideB)
+			// Traffic continues on both sides.
+			for i := 10; i < 16; i++ {
+				if err := c.Submit(sideA[i%3], 1, payload(sideA[i%3], i)); err != nil {
+					t.Fatal(err)
+				}
+				if err := c.Submit(sideB[i%3], 1, payload(sideB[i%3], i)); err != nil {
+					t.Fatal(err)
+				}
+				c.Run(20 * time.Millisecond)
+			}
+			ok := c.RunUntil(30*time.Second, func() bool {
+				return viewExcludes(c, 1, sideA, 4, 5, 6)() && viewExcludes(c, 1, sideB, 1, 2, 3)()
+			})
+			if !ok {
+				t.Fatal("sides never stabilised into disjoint subgroups")
+			}
+			c.Run(time.Second)
+			// Each side is internally consistent.
+			for _, side := range [][]types.ProcessID{sideA, sideB} {
+				ref := deliveredPayloads(c, side[0], 1)
+				for _, p := range side[1:] {
+					got := deliveredPayloads(c, p, 1)
+					if len(got) != len(ref) {
+						t.Errorf("side of %v: %v delivered %d vs %d", side[0], p, len(got), len(ref))
+						continue
+					}
+					for i := range ref {
+						if got[i] != ref[i] {
+							t.Errorf("side of %v: order diverges at %d", side[0], i)
+							break
+						}
+					}
+				}
+			}
+			// Global pairwise total order still holds for common prefixes
+			// (messages delivered on both sides before the split).
+			if err := check.New(c, nil).All().Err(); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}

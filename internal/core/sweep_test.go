@@ -1,0 +1,18 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSweepWide(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wide sweep skipped in -short mode")
+	}
+	for seed := int64(100); seed < 400; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			soakOnce(t, seed)
+		})
+	}
+}

@@ -1,0 +1,357 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"newtop/internal/check"
+	"newtop/internal/core"
+	"newtop/internal/sim"
+	"newtop/internal/types"
+	"newtop/internal/workload"
+)
+
+// Scenario experiments: the paper's figures and worked examples replayed
+// end to end, with the outcome the paper predicts asserted and quantified.
+
+// F1Migration replays fig. 1: online migration of replica P2 to P3 via an
+// overlapping group, while the original group keeps serving requests. The
+// table reports service continuity (requests served, largest gap between
+// consecutive deliveries at the surviving replica) and phase timings.
+func F1Migration() (*Table, error) {
+	t := &Table{
+		Title:   "F1 — fig.1 online server migration via overlapping groups",
+		Columns: []string{"metric", "value"},
+		Notes: []string{
+			"g1={P1,P2} serves throughout; g2={P1,P2,P3} formed online; P2 departs; service continues on {P1,P3}",
+		},
+	}
+	groups := []workload.Group{{ID: 1, Mode: core.Symmetric, Members: []types.ProcessID{1, 2}}}
+	r, err := NewRun(3, groups, Params{Seed: 31})
+	if err != nil {
+		return nil, err
+	}
+	c := r.Cluster
+	// Client requests into g1 every 10ms for 400ms.
+	const requests = 40
+	for i := 0; i < requests; i++ {
+		pl := []byte(fmt.Sprintf("req-%03d", i))
+		c.At(time.Duration(i*10)*time.Millisecond, func() { _ = c.Submit(1, 1, pl) })
+	}
+	// Phase 2: P3 initiates g2 = {1,2,3} at 50ms.
+	var formedAt time.Time
+	c.At(50*time.Millisecond, func() {
+		_ = c.CreateGroup(3, 2, core.Symmetric, []types.ProcessID{1, 2, 3})
+	})
+	ok := c.RunUntil(30*time.Second, func() bool {
+		for _, p := range []types.ProcessID{1, 2, 3} {
+			if !c.Engine(p).GroupReady(2) {
+				return false
+			}
+		}
+		return true
+	})
+	if !ok {
+		return nil, fmt.Errorf("harness: F1 migration group never formed")
+	}
+	formedAt = c.Now()
+	// Phase 3: state transfer in g2.
+	for i := 0; i < 5; i++ {
+		pl := []byte(fmt.Sprintf("state-%d", i))
+		_ = c.Submit(1, 2, pl)
+	}
+	// Phase 4: P2 departs both groups at 250ms.
+	c.At(250*time.Millisecond, func() {
+		_ = c.Leave(2, 1)
+		_ = c.Leave(2, 2)
+	})
+	// Run until all requests delivered at P1 and P2 excluded from g2 at
+	// the survivors.
+	ok = c.RunUntil(60*time.Second, func() bool {
+		if len(deliveriesMatching(c, 1, 1, "req-")) < requests {
+			return false
+		}
+		for _, p := range []types.ProcessID{1, 3} {
+			vs := c.History(p).Views[2]
+			if len(vs) == 0 || vs[len(vs)-1].View.Contains(2) {
+				return false
+			}
+		}
+		return true
+	})
+	if !ok {
+		return nil, fmt.Errorf("harness: F1 migration never completed")
+	}
+	// Post-migration service on the new pair.
+	_ = c.Submit(3, 2, []byte("served-by-P3"))
+	ok = c.RunUntil(30*time.Second, func() bool {
+		return len(deliveriesMatching(c, 1, 2, "served-by-P3")) == 1
+	})
+	if !ok {
+		return nil, fmt.Errorf("harness: F1 post-migration service broken")
+	}
+
+	// Service continuity: max gap between consecutive request deliveries
+	// at P1.
+	reqs := deliveriesMatching(c, 1, 1, "req-")
+	var maxGap time.Duration
+	for i := 1; i < len(reqs); i++ {
+		if g := reqs[i].Sub(reqs[i-1]); g > maxGap {
+			maxGap = g
+		}
+	}
+	t.AddRow("requests served at P1", fmt.Sprintf("%d/%d", len(reqs), requests))
+	t.AddRow("max service gap (ms)", ms(maxGap))
+	t.AddRow("migration group formed at (ms)", ms(formedAt.Sub(sim.Epoch)))
+	t.AddRow("P2 fully excluded at (ms)", ms(c.Now().Sub(sim.Epoch)))
+	t.AddRow("post-migration service", "ok")
+	return t, nil
+}
+
+func deliveriesMatching(c *sim.Cluster, p types.ProcessID, g types.GroupID, prefix string) []time.Time {
+	var out []time.Time
+	for _, d := range c.History(p).Deliveries {
+		if d.Group == g && len(d.Payload) >= len(prefix) && string(d.Payload[:len(prefix)]) == prefix {
+			out = append(out, d.At)
+		}
+	}
+	return out
+}
+
+// F3AtomicVsTotal quantifies fig. 3's layering: atomic delivery (clock
+// gate bypassed) against symmetric total order, single-sender probes.
+func F3AtomicVsTotal() (*Table, error) {
+	t := &Table{
+		Title:   "F3 — atomic delivery vs total order latency (n=5, single sender)",
+		Columns: []string{"mode", "mean lat(ms)", "max lat(ms)", "msg/dlv"},
+		Notes: []string{
+			"atomic delivers on receipt (≈ link latency); total order waits for D to pass the message number",
+		},
+	}
+	for _, mode := range []core.OrderMode{core.Atomic, core.Symmetric} {
+		groups := workload.SingleGroup(5, mode)
+		r, err := NewRun(5, groups, Params{Seed: 37})
+		if err != nil {
+			return nil, err
+		}
+		const probes = 20
+		r.Apply(workload.SingleSenderTraffic(1, 1, probes, 50))
+		ok := r.Cluster.RunUntil(120*time.Second, func() bool {
+			for _, pid := range r.Cluster.Processes() {
+				if len(r.Cluster.History(pid).Deliveries) < probes {
+					return false
+				}
+			}
+			return true
+		})
+		if !ok {
+			return nil, fmt.Errorf("harness: F3 mode=%v stalled", mode)
+		}
+		m := r.Collect()
+		t.AddRow(mode.String(), ms(m.MeanLatency), ms(m.MaxLatency), f2(m.MsgsPerDelivery()))
+	}
+	return t, nil
+}
+
+// X1JointFailure replays §5 Example 1: a partially received multicast m
+// whose only holder crashes; the causal successor m' must be erased with
+// it (no orphan delivery).
+func X1JointFailure() (*Table, error) {
+	t := &Table{
+		Title:   "X1 — §5 example 1: joint failure, orphan erased",
+		Columns: []string{"metric", "value"},
+	}
+	groups := workload.SingleGroup(5, core.Symmetric)
+	r, err := NewRun(5, groups, Params{Seed: 41})
+	if err != nil {
+		return nil, err
+	}
+	c := r.Cluster
+	c.Run(100 * time.Millisecond)
+	// Pr = P4 multicasts m seen only by Ps = P5 (links to others cut).
+	c.Disconnect(4, 1)
+	c.Disconnect(4, 2)
+	c.Disconnect(4, 3)
+	_ = c.Submit(4, 1, []byte("m-partial"))
+	c.Run(10 * time.Millisecond)
+	c.Crash(4)
+	_ = c.Submit(5, 1, []byte("m-prime"))
+	c.Run(5 * time.Millisecond)
+	c.Crash(5)
+	survivors := []types.ProcessID{1, 2, 3}
+	ok := c.RunUntil(120*time.Second, func() bool {
+		for _, p := range survivors {
+			vs := c.History(p).Views[1]
+			if len(vs) == 0 {
+				return false
+			}
+			last := vs[len(vs)-1].View
+			if last.Contains(4) || last.Contains(5) {
+				return false
+			}
+		}
+		return true
+	})
+	if !ok {
+		return nil, fmt.Errorf("harness: X1 exclusion never completed")
+	}
+	c.Run(500 * time.Millisecond)
+	orphans := 0
+	for _, p := range survivors {
+		for _, d := range c.History(p).Deliveries {
+			if string(d.Payload) == "m-partial" || string(d.Payload) == "m-prime" {
+				orphans++
+			}
+		}
+	}
+	res := check.New(c, []types.ProcessID{4, 5}).All()
+	t.AddRow("joint detection", "P4, P5 excluded together")
+	t.AddRow("orphan deliveries (m, m')", fmt.Sprintf("%d (want 0)", orphans))
+	t.AddRow("MD/VC properties", fmt.Sprintf("ok=%v", res.Ok()))
+	if orphans != 0 || !res.Ok() {
+		return t, fmt.Errorf("harness: X1 outcome wrong: orphans=%d check=%v", orphans, res.Err())
+	}
+	return t, nil
+}
+
+// X2CausalChain replays fig. 2 / §5 Example 2: the causal chain
+// m1→m2→m3→m4 across four overlapping groups with a permanent partition;
+// MD5' forces the view change excluding m1's sender to precede m4's
+// delivery. Reports the forced wait.
+func X2CausalChain() (*Table, error) {
+	t := &Table{
+		Title:   "X2 — fig.2/§5 example 2: MD5' across overlapping groups",
+		Columns: []string{"metric", "value"},
+	}
+	const (
+		pk = types.ProcessID(1)
+		pq = types.ProcessID(2)
+		ps = types.ProcessID(3)
+		pi = types.ProcessID(4)
+		pj = types.ProcessID(5)
+	)
+	groups := []workload.Group{
+		{ID: 1, Mode: core.Symmetric, Members: []types.ProcessID{pk, pi, pj}},
+		{ID: 2, Mode: core.Symmetric, Members: []types.ProcessID{pk, pq}},
+		{ID: 3, Mode: core.Symmetric, Members: []types.ProcessID{pq, ps}},
+		{ID: 4, Mode: core.Symmetric, Members: []types.ProcessID{ps, pi, pj}},
+	}
+	r, err := NewRun(5, groups, Params{Seed: 43})
+	if err != nil {
+		return nil, err
+	}
+	c := r.Cluster
+	c.Run(100 * time.Millisecond)
+	c.Disconnect(pk, pi)
+	c.Disconnect(pk, pj)
+	partitionAt := c.Now()
+	_ = c.Submit(pk, 1, []byte("m1"))
+	_ = c.Submit(pk, 2, []byte("m2"))
+	del := func(p types.ProcessID, payload string) func() bool {
+		return func() bool {
+			for _, d := range c.History(p).Deliveries {
+				if string(d.Payload) == payload {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	if !c.RunUntil(60*time.Second, del(pq, "m2")) {
+		return nil, fmt.Errorf("harness: X2 m2 stalled")
+	}
+	_ = c.Submit(pq, 3, []byte("m3"))
+	if !c.RunUntil(60*time.Second, del(ps, "m3")) {
+		return nil, fmt.Errorf("harness: X2 m3 stalled")
+	}
+	m4At := c.Now()
+	_ = c.Submit(ps, 4, []byte("m4"))
+	if !c.RunUntil(120*time.Second, del(pi, "m4")) {
+		return nil, fmt.Errorf("harness: X2 m4 never delivered at Pi")
+	}
+	m4Delivered := c.Now()
+
+	// Verify the view change preceded the delivery in Pi's local history.
+	viewIdx, delIdx := -1, -1
+	for _, ev := range c.History(pi).Events {
+		switch {
+		case ev.Kind == sim.EvView && ev.Group == 1 && !ev.View.Contains(pk) && viewIdx == -1:
+			viewIdx = ev.Idx
+		case ev.Kind == sim.EvDeliver && string(ev.Payload) == "m4":
+			delIdx = ev.Idx
+		}
+	}
+	ordered := viewIdx != -1 && delIdx != -1 && viewIdx < delIdx
+	t.AddRow("m4 delivery wait at Pi (ms)", ms(m4Delivered.Sub(m4At)))
+	t.AddRow("partition → m4 delivery (ms)", ms(m4Delivered.Sub(partitionAt)))
+	t.AddRow("g1 view change before m4 delivery", fmt.Sprintf("%v (MD5' option b)", ordered))
+	t.AddRow("m1 delivered at Pi", fmt.Sprintf("%v (irretrievable)", del(pi, "m1")()))
+	if !ordered || del(pi, "m1")() {
+		return t, fmt.Errorf("harness: X2 MD5' outcome wrong")
+	}
+	return t, nil
+}
+
+// X3ConcurrentViews replays §5 Example 3: a crash plus a partition during
+// the agreement; the subgroup views must stabilise into non-intersecting
+// memberships. Runs both the plain and the §6 signature-view variants.
+func X3ConcurrentViews() (*Table, error) {
+	t := &Table{
+		Title:   "X3 — §5 example 3: concurrent subgroup views stabilise disjoint",
+		Columns: []string{"variant", "side A view", "side B view", "disjoint", "stabilise(ms)"},
+	}
+	for _, sig := range []bool{false, true} {
+		c := sim.New(47, sim.WithLatency(time.Millisecond, 3*time.Millisecond))
+		for i := 1; i <= 5; i++ {
+			c.AddProcess(core.Config{
+				Self: types.ProcessID(i), Omega: 20 * time.Millisecond, SignatureViews: sig,
+			})
+		}
+		if err := c.Bootstrap(1, core.Symmetric, workload.Procs(5)); err != nil {
+			return nil, err
+		}
+		c.Run(100 * time.Millisecond)
+		c.Crash(5)
+		c.Run(60 * time.Millisecond)
+		splitAt := c.Now()
+		c.Partition([]types.ProcessID{1, 2}, []types.ProcessID{3, 4})
+		ok := c.RunUntil(120*time.Second, func() bool {
+			for _, p := range []types.ProcessID{1, 2} {
+				vs := c.History(p).Views[1]
+				if len(vs) == 0 {
+					return false
+				}
+				last := vs[len(vs)-1].View
+				if last.Contains(3) || last.Contains(4) || last.Contains(5) {
+					return false
+				}
+			}
+			for _, p := range []types.ProcessID{3, 4} {
+				vs := c.History(p).Views[1]
+				if len(vs) == 0 {
+					return false
+				}
+				last := vs[len(vs)-1].View
+				if last.Contains(1) || last.Contains(2) || last.Contains(5) {
+					return false
+				}
+			}
+			return true
+		})
+		if !ok {
+			return nil, fmt.Errorf("harness: X3 sig=%v never stabilised", sig)
+		}
+		va, _ := check.FinalView(c, 1, 1)
+		vb, _ := check.FinalView(c, 3, 1)
+		disjoint := !va.Intersects(vb)
+		variant := "plain views"
+		if sig {
+			variant = "signature views (§6)"
+		}
+		t.AddRow(variant, va.String(), vb.String(), fmt.Sprintf("%v", disjoint), ms(c.Now().Sub(splitAt)))
+		if !disjoint {
+			return t, fmt.Errorf("harness: X3 sig=%v stabilised views intersect", sig)
+		}
+	}
+	return t, nil
+}

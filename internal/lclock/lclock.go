@@ -1,0 +1,51 @@
+// Package lclock implements the Lamport logical clock [Lamport 1978] that
+// drives Newtop's message numbering.
+//
+// A process maintains exactly one clock regardless of how many groups it
+// belongs to (§4.1), advanced by the two counter-advance rules:
+//
+//	CA1: before sending m, increment LC and stamp m.c with the new value;
+//	CA2: on receiving m, set LC = max(LC, m.c).
+//
+// Together these give the happened-before properties pr1/pr2 of §4.1:
+// consecutive sends by one process carry increasing numbers, and a message
+// sent after a delivery carries a number above the delivered message's.
+package lclock
+
+import "newtop/internal/types"
+
+// Clock is a Lamport logical clock. The zero value is a clock at 0, ready
+// to use. Clock is not safe for concurrent use; in Newtop it lives inside a
+// single-threaded protocol engine.
+type Clock struct {
+	lc types.MsgNum
+}
+
+// Now returns the current counter value without advancing it.
+func (c *Clock) Now() types.MsgNum { return c.lc }
+
+// TickSend applies CA1: increments the clock and returns the new value,
+// which the caller stamps into m.c.
+func (c *Clock) TickSend() types.MsgNum {
+	c.lc++
+	return c.lc
+}
+
+// Witness applies CA2 for a received message number: LC = max(LC, n).
+func (c *Clock) Witness(n types.MsgNum) {
+	if n == types.InfNum {
+		return // ∞ markers are bookkeeping, not real message numbers
+	}
+	if n > c.lc {
+		c.lc = n
+	}
+}
+
+// ForceAtLeast raises the clock to at least n. The group-formation protocol
+// uses it in step 5 of §5.3: "LCk is set to start-number-max if
+// start-number-max is larger".
+func (c *Clock) ForceAtLeast(n types.MsgNum) {
+	if n != types.InfNum && n > c.lc {
+		c.lc = n
+	}
+}

@@ -1,0 +1,113 @@
+package lclock
+
+import (
+	"testing"
+	"testing/quick"
+
+	"newtop/internal/types"
+)
+
+func TestZeroValueUsable(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Errorf("zero clock Now() = %v, want 0", c.Now())
+	}
+}
+
+func TestTickSendIncrements(t *testing.T) {
+	var c Clock
+	for i := types.MsgNum(1); i <= 5; i++ {
+		if got := c.TickSend(); got != i {
+			t.Errorf("TickSend() = %v, want %v", got, i)
+		}
+	}
+}
+
+func TestWitnessMax(t *testing.T) {
+	var c Clock
+	c.Witness(10)
+	if c.Now() != 10 {
+		t.Errorf("Now() = %v, want 10", c.Now())
+	}
+	c.Witness(5) // lower: no effect
+	if c.Now() != 10 {
+		t.Errorf("Now() after lower witness = %v, want 10", c.Now())
+	}
+	if got := c.TickSend(); got != 11 {
+		t.Errorf("TickSend after witness = %v, want 11", got)
+	}
+}
+
+func TestWitnessIgnoresInfinity(t *testing.T) {
+	var c Clock
+	c.Witness(types.InfNum)
+	if c.Now() != 0 {
+		t.Errorf("Witness(∞) advanced clock to %v", c.Now())
+	}
+}
+
+func TestForceAtLeast(t *testing.T) {
+	var c Clock
+	c.ForceAtLeast(7)
+	if c.Now() != 7 {
+		t.Errorf("Now() = %v, want 7", c.Now())
+	}
+	c.ForceAtLeast(3)
+	if c.Now() != 7 {
+		t.Errorf("ForceAtLeast lowered the clock to %v", c.Now())
+	}
+	c.ForceAtLeast(types.InfNum)
+	if c.Now() != 7 {
+		t.Errorf("ForceAtLeast(∞) changed the clock to %v", c.Now())
+	}
+}
+
+// pr1 (§4.1): consecutive sends by one process carry strictly increasing
+// numbers, regardless of interleaved receives.
+func TestPr1Property(t *testing.T) {
+	f := func(events []uint16) bool {
+		var c Clock
+		var last types.MsgNum
+		first := true
+		for _, e := range events {
+			if e%2 == 0 {
+				c.Witness(types.MsgNum(e))
+				continue
+			}
+			n := c.TickSend()
+			if !first && n <= last {
+				return false
+			}
+			last, first = n, false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// pr2 (§4.1): a send after witnessing (delivering) m carries a number
+// strictly above m.c.
+func TestPr2Property(t *testing.T) {
+	f := func(n uint32) bool {
+		var c Clock
+		c.Witness(types.MsgNum(n))
+		return c.TickSend() > types.MsgNum(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Causal chains across two clocks: if send(m) -> send(m') via a message
+// exchange, then m.c < m'.c (Lamport's clock condition).
+func TestClockConditionAcrossProcesses(t *testing.T) {
+	var a, b Clock
+	m := a.TickSend()  // a sends m
+	b.Witness(m)       // b receives m
+	m2 := b.TickSend() // b sends m' (causally after m)
+	if m2 <= m {
+		t.Errorf("causal successor number %v not above predecessor %v", m2, m)
+	}
+}

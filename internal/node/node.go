@@ -1,0 +1,368 @@
+// Package node is the concurrent runtime around a Newtop protocol engine:
+// one event-loop goroutine per process that serialises transport receipts,
+// timer ticks and application calls into the single-threaded engine, and
+// fans the engine's effects out to the network and to application-facing
+// channels.
+//
+// The loop never blocks on the application: deliveries and membership
+// events are buffered in unbounded queues drained by pump goroutines, so a
+// slow consumer delays itself, not the protocol. Flow control (the
+// engine's window) is the mechanism that bounds memory under sustained
+// overload.
+package node
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"newtop/internal/core"
+	"newtop/internal/simtime"
+	"newtop/internal/transport"
+	"newtop/internal/types"
+)
+
+// ErrClosed is returned by operations on a closed node.
+var ErrClosed = errors.New("node: closed")
+
+// Delivery is one application message delivered in the agreed order.
+type Delivery struct {
+	Group   types.GroupID
+	Sender  types.ProcessID // the multicast's author
+	Payload []byte
+	ViewIdx int
+}
+
+// EventKind tags membership events surfaced to the application.
+type EventKind uint8
+
+// Membership event kinds.
+const (
+	EventViewChanged EventKind = iota + 1
+	EventGroupReady
+	EventFormationFailed
+	EventSuspected
+)
+
+// Event is a membership-service notification.
+type Event struct {
+	Kind    EventKind
+	Group   types.GroupID
+	View    types.View        // EventViewChanged
+	Removed []types.ProcessID // EventViewChanged
+	Reason  string            // EventFormationFailed
+	Suspect types.ProcessID   // EventSuspected
+}
+
+// Options tunes the runtime.
+type Options struct {
+	// Clock supplies time; nil selects the wall clock.
+	Clock simtime.Clock
+	// TickEvery overrides the engine tick cadence (default ω/2).
+	TickEvery time.Duration
+}
+
+// Node runs one Newtop process: engine + transport + timers.
+type Node struct {
+	eng  *core.Engine
+	ep   transport.Endpoint
+	clk  simtime.Clock
+	tick time.Duration
+
+	calls chan func()
+	done  chan struct{} // closed by Close
+	dead  chan struct{} // closed when the loop exits (e.g. transport gone)
+	wg    sync.WaitGroup
+
+	deliveries *outbox[Delivery]
+	events     *outbox[Event]
+
+	closeOnce sync.Once
+}
+
+// New creates and starts a node over the given endpoint. The endpoint's
+// identity must match cfg.Self.
+func New(cfg core.Config, ep transport.Endpoint, opts Options) *Node {
+	clk := opts.Clock
+	if clk == nil {
+		clk = simtime.Real{}
+	}
+	eng := core.NewEngine(cfg)
+	tick := opts.TickEvery
+	if tick <= 0 {
+		tick = eng.Omega() / 2
+		if tick <= 0 {
+			tick = core.DefaultOmega / 2
+		}
+	}
+	n := &Node{
+		eng:        eng,
+		ep:         ep,
+		clk:        clk,
+		tick:       tick,
+		calls:      make(chan func()),
+		done:       make(chan struct{}),
+		dead:       make(chan struct{}),
+		deliveries: newOutbox[Delivery](),
+		events:     newOutbox[Event](),
+	}
+	n.wg.Add(1)
+	go n.loop()
+	return n
+}
+
+// Self returns the process identifier.
+func (n *Node) Self() types.ProcessID { return n.eng.Self() }
+
+// Deliveries returns the ordered application-delivery channel. It is
+// closed when the node closes.
+func (n *Node) Deliveries() <-chan Delivery { return n.deliveries.ch }
+
+// Events returns the membership-event channel. It is closed when the node
+// closes.
+func (n *Node) Events() <-chan Event { return n.events.ch }
+
+// Close stops the node. The transport endpoint is closed as well.
+func (n *Node) Close() error {
+	n.closeOnce.Do(func() {
+		close(n.done)
+		_ = n.ep.Close()
+		n.deliveries.close()
+		n.events.close()
+	})
+	n.wg.Wait()
+	return nil
+}
+
+// call runs fn inside the event loop and waits for it.
+func (n *Node) call(fn func()) error {
+	doneCh := make(chan struct{})
+	select {
+	case n.calls <- func() { fn(); close(doneCh) }:
+	case <-n.done:
+		return ErrClosed
+	case <-n.dead:
+		return ErrClosed
+	}
+	select {
+	case <-doneCh:
+		return nil
+	case <-n.done:
+		return ErrClosed
+	case <-n.dead:
+		return ErrClosed
+	}
+}
+
+// Submit multicasts payload in group g with the group's ordering mode.
+func (n *Node) Submit(g types.GroupID, payload []byte) error {
+	var err error
+	p := append([]byte(nil), payload...) // caller keeps its slice
+	cerr := n.call(func() {
+		var effs []core.Effect
+		effs, err = n.eng.Submit(n.clk.Now(), g, p)
+		n.route(effs)
+	})
+	if cerr != nil {
+		return cerr
+	}
+	return err
+}
+
+// BootstrapGroup installs a statically agreed group (§4 style).
+func (n *Node) BootstrapGroup(g types.GroupID, mode core.OrderMode, members []types.ProcessID) error {
+	var err error
+	ms := append([]types.ProcessID(nil), members...)
+	cerr := n.call(func() {
+		var effs []core.Effect
+		effs, err = n.eng.BootstrapGroup(n.clk.Now(), g, mode, ms)
+		n.route(effs)
+	})
+	if cerr != nil {
+		return cerr
+	}
+	return err
+}
+
+// CreateGroup initiates dynamic group formation (§5.3).
+func (n *Node) CreateGroup(g types.GroupID, mode core.OrderMode, members []types.ProcessID) error {
+	var err error
+	ms := append([]types.ProcessID(nil), members...)
+	cerr := n.call(func() {
+		var effs []core.Effect
+		effs, err = n.eng.CreateGroup(n.clk.Now(), g, mode, ms)
+		n.route(effs)
+	})
+	if cerr != nil {
+		return cerr
+	}
+	return err
+}
+
+// LeaveGroup departs group g.
+func (n *Node) LeaveGroup(g types.GroupID) error {
+	var err error
+	cerr := n.call(func() {
+		var effs []core.Effect
+		effs, err = n.eng.LeaveGroup(n.clk.Now(), g)
+		n.route(effs)
+	})
+	if cerr != nil {
+		return cerr
+	}
+	return err
+}
+
+// View returns the current membership view of g.
+func (n *Node) View(g types.GroupID) (types.View, error) {
+	var v types.View
+	var err error
+	cerr := n.call(func() { v, err = n.eng.View(g) })
+	if cerr != nil {
+		return types.View{}, cerr
+	}
+	return v, err
+}
+
+// GroupReady reports whether g has completed formation.
+func (n *Node) GroupReady(g types.GroupID) bool {
+	var ok bool
+	_ = n.call(func() { ok = n.eng.GroupReady(g) })
+	return ok
+}
+
+// Stats snapshots the engine counters.
+func (n *Node) Stats() core.Stats {
+	var s core.Stats
+	_ = n.call(func() { s = n.eng.Stats() })
+	return s
+}
+
+// loop is the single-threaded protocol driver.
+func (n *Node) loop() {
+	defer n.wg.Done()
+	defer close(n.dead)
+	timer := n.clk.After(n.tick)
+	for {
+		select {
+		case <-n.done:
+			return
+		case fn := <-n.calls:
+			fn()
+		case in, ok := <-n.ep.Recv():
+			if !ok {
+				return
+			}
+			n.route(n.eng.HandleMessage(n.clk.Now(), in.From, in.Msg))
+		case <-timer:
+			n.route(n.eng.Tick(n.clk.Now()))
+			timer = n.clk.After(n.tick)
+		}
+	}
+}
+
+// route executes engine effects: transmissions to the endpoint,
+// everything else to the application queues.
+func (n *Node) route(effs []core.Effect) {
+	for _, eff := range effs {
+		switch eff := eff.(type) {
+		case core.SendEffect:
+			// Transport loss surfaces through the protocol's own
+			// failure handling; nothing useful to do with the error
+			// here beyond not wedging the loop.
+			_ = n.ep.Send(eff.To, eff.Msg)
+		case core.DeliverEffect:
+			n.deliveries.push(Delivery{
+				Group:   eff.Msg.Group,
+				Sender:  eff.Msg.Origin,
+				Payload: eff.Msg.Payload,
+				ViewIdx: eff.View,
+			})
+		case core.ViewEffect:
+			n.events.push(Event{
+				Kind:    EventViewChanged,
+				Group:   eff.View.Group,
+				View:    eff.View,
+				Removed: eff.Removed,
+			})
+		case core.GroupReadyEffect:
+			n.events.push(Event{Kind: EventGroupReady, Group: eff.Group})
+		case core.FormationFailedEffect:
+			n.events.push(Event{Kind: EventFormationFailed, Group: eff.Group, Reason: eff.Reason})
+		case core.SuspectEffect:
+			n.events.push(Event{Kind: EventSuspected, Group: eff.Group, Suspect: eff.Susp.Proc})
+		}
+	}
+}
+
+// outbox is an unbounded queue pumped into a channel, so the protocol loop
+// never blocks on a slow application consumer.
+type outbox[T any] struct {
+	ch     chan T
+	done   chan struct{}
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []T
+	closed bool
+	wg     sync.WaitGroup
+}
+
+func newOutbox[T any]() *outbox[T] {
+	o := &outbox[T]{ch: make(chan T), done: make(chan struct{})}
+	o.cond = sync.NewCond(&o.mu)
+	o.wg.Add(1)
+	go o.pump()
+	return o
+}
+
+func (o *outbox[T]) push(v T) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return
+	}
+	o.queue = append(o.queue, v)
+	o.cond.Signal()
+}
+
+func (o *outbox[T]) close() {
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		return
+	}
+	o.closed = true
+	o.cond.Signal()
+	o.mu.Unlock()
+	close(o.done)
+	o.wg.Wait()
+}
+
+func (o *outbox[T]) pump() {
+	defer o.wg.Done()
+	defer close(o.ch)
+	for {
+		o.mu.Lock()
+		for len(o.queue) == 0 && !o.closed {
+			o.cond.Wait()
+		}
+		if o.closed {
+			o.mu.Unlock()
+			return
+		}
+		v := o.queue[0]
+		var zero T
+		o.queue[0] = zero
+		o.queue = o.queue[1:]
+		if len(o.queue) == 0 {
+			o.queue = nil
+		}
+		o.mu.Unlock()
+		// A consumer that stops reading must not wedge shutdown.
+		select {
+		case o.ch <- v:
+		case <-o.done:
+			return
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package node
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"newtop/internal/core"
+	"newtop/internal/transport/memnet"
+	"newtop/internal/types"
+)
+
+// newTrio starts three nodes over an in-memory network.
+func newTrio(t *testing.T, mutate ...func(*core.Config)) (*memnet.Network, []*Node) {
+	t.Helper()
+	net := memnet.New(memnet.WithSeed(1))
+	var nodes []*Node
+	for i := 1; i <= 3; i++ {
+		ep, err := net.Attach(types.ProcessID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := core.Config{Self: types.ProcessID(i), Omega: 10 * time.Millisecond}
+		for _, m := range mutate {
+			m(&cfg)
+		}
+		nodes = append(nodes, New(cfg, ep, Options{}))
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+		net.Close()
+	})
+	return net, nodes
+}
+
+func members(n int) []types.ProcessID {
+	out := make([]types.ProcessID, n)
+	for i := range out {
+		out[i] = types.ProcessID(i + 1)
+	}
+	return out
+}
+
+func recvDelivery(t *testing.T, n *Node) Delivery {
+	t.Helper()
+	select {
+	case d, ok := <-n.Deliveries():
+		if !ok {
+			t.Fatal("deliveries channel closed")
+		}
+		return d
+	case <-time.After(10 * time.Second):
+		t.Fatalf("%v: timed out waiting for delivery", n.Self())
+	}
+	return Delivery{}
+}
+
+func TestNodeTotalOrderOverMemnet(t *testing.T) {
+	_, nodes := newTrio(t)
+	for _, n := range nodes {
+		if err := n.BootstrapGroup(1, core.Symmetric, members(3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const per = 10
+	// Concurrent senders from all three nodes.
+	for _, n := range nodes {
+		n := n
+		go func() {
+			for i := 0; i < per; i++ {
+				if err := n.Submit(1, []byte(fmt.Sprintf("%v-%d", n.Self(), i))); err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	var seqs [3][]string
+	for i, n := range nodes {
+		for k := 0; k < 3*per; k++ {
+			d := recvDelivery(t, n)
+			seqs[i] = append(seqs[i], string(d.Payload))
+		}
+	}
+	for i := 1; i < 3; i++ {
+		for k := range seqs[0] {
+			if seqs[i][k] != seqs[0][k] {
+				t.Fatalf("node %d diverges at %d: %q vs %q", i+1, k, seqs[i][k], seqs[0][k])
+			}
+		}
+	}
+}
+
+func TestNodeViewChangeOnCrash(t *testing.T) {
+	net, nodes := newTrio(t)
+	for _, n := range nodes {
+		if err := n.BootstrapGroup(1, core.Symmetric, members(3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	net.Crash(3)
+	deadline := time.After(20 * time.Second)
+	for _, n := range nodes[:2] {
+		for {
+			select {
+			case ev := <-n.Events():
+				if ev.Kind == EventViewChanged && !ev.View.Contains(3) {
+					goto next
+				}
+			case <-deadline:
+				t.Fatalf("%v never installed a view excluding P3", n.Self())
+			}
+		}
+	next:
+	}
+	v, err := nodes[0].View(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Size() != 2 {
+		t.Errorf("view = %v, want 2 members", v)
+	}
+}
+
+func TestNodeDynamicFormationAndLeave(t *testing.T) {
+	_, nodes := newTrio(t)
+	if err := nodes[0].CreateGroup(5, core.Symmetric, members(3)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(20 * time.Second)
+	for _, n := range nodes {
+		for {
+			select {
+			case ev := <-n.Events():
+				if ev.Kind == EventGroupReady && ev.Group == 5 {
+					goto ready
+				}
+				if ev.Kind == EventFormationFailed {
+					t.Fatalf("%v: formation failed: %s", n.Self(), ev.Reason)
+				}
+			case <-deadline:
+				t.Fatalf("%v: formation never completed", n.Self())
+			}
+		}
+	ready:
+	}
+	if err := nodes[1].Submit(5, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes {
+		d := recvDelivery(t, n)
+		if string(d.Payload) != "hello" || d.Group != 5 || d.Sender != 2 {
+			t.Errorf("%v got %+v", n.Self(), d)
+		}
+	}
+	if err := nodes[2].LeaveGroup(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := nodes[2].Submit(5, []byte("x")); !errors.Is(err, core.ErrLeftGroup) {
+		t.Errorf("submit after leave: err = %v, want ErrLeftGroup", err)
+	}
+}
+
+func TestNodeSubmitUnknownGroup(t *testing.T) {
+	_, nodes := newTrio(t)
+	if err := nodes[0].Submit(99, []byte("x")); !errors.Is(err, core.ErrUnknownGroup) {
+		t.Errorf("err = %v, want ErrUnknownGroup", err)
+	}
+}
+
+func TestNodeCloseIsIdempotentAndUnblocks(t *testing.T) {
+	_, nodes := newTrio(t)
+	n := nodes[0]
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Submit(1, []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("submit after close: err = %v, want ErrClosed", err)
+	}
+	select {
+	case _, ok := <-n.Deliveries():
+		if ok {
+			t.Error("unexpected delivery after close")
+		}
+	case <-time.After(time.Second):
+		t.Error("deliveries channel not closed")
+	}
+}
+
+func TestNodeStatsAndGroupReady(t *testing.T) {
+	_, nodes := newTrio(t)
+	for _, n := range nodes {
+		if err := n.BootstrapGroup(1, core.Symmetric, members(3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !nodes[0].GroupReady(1) {
+		t.Error("bootstrapped group not ready")
+	}
+	if err := nodes[0].Submit(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	recvDelivery(t, nodes[0])
+	st := nodes[0].Stats()
+	if st.DataSent != 1 {
+		t.Errorf("DataSent = %d, want 1", st.DataSent)
+	}
+	if st.Delivered == 0 {
+		t.Error("Delivered = 0")
+	}
+}
+
+func TestNodeSubmitPayloadIsCopied(t *testing.T) {
+	_, nodes := newTrio(t)
+	for _, n := range nodes {
+		if err := n.BootstrapGroup(1, core.Symmetric, members(3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := []byte("original")
+	if err := nodes[0].Submit(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "CLOBBER!")
+	d := recvDelivery(t, nodes[1])
+	if string(d.Payload) != "original" {
+		t.Errorf("payload = %q; caller's buffer mutation leaked", d.Payload)
+	}
+}

@@ -1,0 +1,490 @@
+// Package sim is a deterministic discrete-event simulator for Newtop
+// protocol engines. It owns virtual time, a seeded latency model, link
+// cuts/partitions and crash injection (including crash-mid-multicast), and
+// routes engine effects: SendEffects become future arrival events with
+// per-pair FIFO preserved, deliveries and view changes are recorded in
+// per-process histories.
+//
+// Everything is single-threaded and seeded, so every scenario — including
+// the paper's failure examples — replays bit-for-bit identically. The
+// goroutine-based runtimes (internal/node over memnet/tcpnet) exercise the
+// same engines under real concurrency; sim is where ordering properties
+// are asserted exactly.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"newtop/internal/core"
+	"newtop/internal/types"
+)
+
+// Epoch is the virtual time origin of every simulation.
+var Epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// Option configures a Cluster.
+type Option func(*Cluster)
+
+// WithLatency sets the message-latency band [min, max). Default [1ms, 5ms).
+func WithLatency(min, max time.Duration) Option {
+	return func(c *Cluster) { c.latMin, c.latMax = min, max }
+}
+
+// WithTickEvery sets how often each engine's Tick fires. Default ω/2 of
+// the first process added.
+func WithTickEvery(d time.Duration) Option {
+	return func(c *Cluster) { c.tickEvery = d }
+}
+
+// EventKind classifies a recorded history event.
+type EventKind uint8
+
+// History event kinds.
+const (
+	EvSubmit EventKind = iota + 1 // application multicast accepted
+	EvDeliver
+	EvView // view installation (index 0 = initial view)
+	EvReady
+	EvFormFailed
+	EvSuspect
+)
+
+// Event is one observable local event at a process, in local occurrence
+// order. The per-process sequence of events is the ground truth the
+// property checkers (internal/check) verify MD1–MD5'/VC1–VC3 against.
+type Event struct {
+	Idx     int // position in the process's local history
+	At      time.Time
+	Kind    EventKind
+	Group   types.GroupID
+	Origin  types.ProcessID // EvDeliver: message author; EvSubmit: self
+	Num     types.MsgNum    // EvDeliver: m.c
+	Seq     uint64          // EvDeliver: origin sequence number
+	ViewIdx int             // EvDeliver: view delivered in
+	Payload []byte          // EvSubmit/EvDeliver
+	View    types.View      // EvView
+	Removed []types.ProcessID
+	Susp    types.Suspicion // EvSuspect
+}
+
+// Delivery is one application delivery recorded at a process.
+type Delivery struct {
+	At      time.Time
+	Group   types.GroupID
+	Origin  types.ProcessID
+	Num     types.MsgNum
+	Seq     uint64
+	View    int
+	Payload []byte
+}
+
+// ViewChange is one view installation recorded at a process.
+type ViewChange struct {
+	At      time.Time
+	View    types.View
+	Removed []types.ProcessID
+}
+
+// History is everything observable that happened at one process.
+type History struct {
+	Events     []Event
+	Deliveries []Delivery
+	Views      map[types.GroupID][]ViewChange
+	Ready      []types.GroupID // groups that completed formation
+	Failed     []types.GroupID // formations that failed
+	Suspicions []types.Suspicion
+}
+
+func (h *History) record(ev Event) {
+	ev.Idx = len(h.Events)
+	h.Events = append(h.Events, ev)
+}
+
+// Cluster is a deterministic simulation of a set of Newtop processes.
+type Cluster struct {
+	latMin, latMax time.Duration
+	tickEvery      time.Duration
+
+	now      time.Time
+	rng      *rand.Rand
+	seq      uint64
+	cal      calendar
+	engines  map[types.ProcessID]*core.Engine
+	hist     map[types.ProcessID]*History
+	cut      map[[2]types.ProcessID]bool
+	crashed  map[types.ProcessID]bool
+	lastArr  map[[2]types.ProcessID]time.Time
+	armKill  map[types.ProcessID]int // crash after N more transmissions
+	msgCount uint64
+	byteFn   func(*types.Message) int // optional size accounting
+	bytes    uint64
+}
+
+// New creates an empty cluster with the given deterministic seed.
+func New(seed int64, opts ...Option) *Cluster {
+	c := &Cluster{
+		latMin:  1 * time.Millisecond,
+		latMax:  5 * time.Millisecond,
+		now:     Epoch,
+		rng:     rand.New(rand.NewSource(seed)),
+		engines: make(map[types.ProcessID]*core.Engine),
+		hist:    make(map[types.ProcessID]*History),
+		cut:     make(map[[2]types.ProcessID]bool),
+		crashed: make(map[types.ProcessID]bool),
+		lastArr: make(map[[2]types.ProcessID]time.Time),
+		armKill: make(map[types.ProcessID]int),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Now returns the current virtual time.
+func (c *Cluster) Now() time.Time { return c.now }
+
+// AddProcess creates an engine with cfg and registers it. The first
+// process's ω fixes the default tick interval.
+func (c *Cluster) AddProcess(cfg core.Config) *core.Engine {
+	if _, ok := c.engines[cfg.Self]; ok {
+		panic(fmt.Sprintf("sim: duplicate process %v", cfg.Self))
+	}
+	e := core.NewEngine(cfg)
+	c.engines[cfg.Self] = e
+	c.hist[cfg.Self] = &History{Views: make(map[types.GroupID][]ViewChange)}
+	if c.tickEvery == 0 {
+		c.tickEvery = e.Omega() / 2
+	}
+	c.scheduleTick(cfg.Self, c.now.Add(c.tickEvery))
+	return e
+}
+
+// Engine returns the engine of process p.
+func (c *Cluster) Engine(p types.ProcessID) *core.Engine { return c.engines[p] }
+
+// History returns the recorded history of process p.
+func (c *Cluster) History(p types.ProcessID) *History { return c.hist[p] }
+
+// Processes returns all process IDs, sorted.
+func (c *Cluster) Processes() []types.ProcessID {
+	out := make([]types.ProcessID, 0, len(c.engines))
+	for p := range c.engines {
+		out = append(out, p)
+	}
+	return types.SortProcesses(out)
+}
+
+// CountBytes turns on wire-size accounting using fn (e.g. wire.Size);
+// TotalBytes reports the sum over every transmitted message.
+func (c *Cluster) CountBytes(fn func(*types.Message) int) { c.byteFn = fn }
+
+// TotalBytes returns the accumulated transmitted bytes (CountBytes mode).
+func (c *Cluster) TotalBytes() uint64 { return c.bytes }
+
+// TotalMessages returns the number of point-to-point transmissions routed.
+func (c *Cluster) TotalMessages() uint64 { return c.msgCount }
+
+// Bootstrap installs a static group (§4 style) on every member at the
+// current instant.
+func (c *Cluster) Bootstrap(g types.GroupID, mode core.OrderMode, members []types.ProcessID) error {
+	for _, p := range members {
+		e, ok := c.engines[p]
+		if !ok {
+			return fmt.Errorf("sim: bootstrap of %v: no process %v", g, p)
+		}
+		effs, err := e.BootstrapGroup(c.now, g, mode, members)
+		if err != nil {
+			return fmt.Errorf("sim: bootstrap %v at %v: %w", g, p, err)
+		}
+		c.route(p, effs)
+	}
+	return nil
+}
+
+// Submit multicasts payload from p in group g at the current instant.
+func (c *Cluster) Submit(p types.ProcessID, g types.GroupID, payload []byte) error {
+	e, ok := c.engines[p]
+	if !ok || c.crashed[p] {
+		return fmt.Errorf("sim: no live process %v", p)
+	}
+	effs, err := e.Submit(c.now, g, payload)
+	if err != nil {
+		return err
+	}
+	c.hist[p].record(Event{At: c.now, Kind: EvSubmit, Group: g, Origin: p, Payload: payload})
+	c.route(p, effs)
+	return nil
+}
+
+// CreateGroup initiates dynamic formation from p.
+func (c *Cluster) CreateGroup(p types.ProcessID, g types.GroupID, mode core.OrderMode, members []types.ProcessID) error {
+	e, ok := c.engines[p]
+	if !ok || c.crashed[p] {
+		return fmt.Errorf("sim: no live process %v", p)
+	}
+	effs, err := e.CreateGroup(c.now, g, mode, members)
+	if err != nil {
+		return err
+	}
+	c.route(p, effs)
+	return nil
+}
+
+// Leave departs p from g.
+func (c *Cluster) Leave(p types.ProcessID, g types.GroupID) error {
+	e, ok := c.engines[p]
+	if !ok || c.crashed[p] {
+		return fmt.Errorf("sim: no live process %v", p)
+	}
+	effs, err := e.LeaveGroup(c.now, g)
+	if err != nil {
+		return err
+	}
+	c.route(p, effs)
+	return nil
+}
+
+// Crash stops p immediately (crash-stop): its engine receives no further
+// events and its queued transmissions are lost.
+func (c *Cluster) Crash(p types.ProcessID) { c.crashed[p] = true }
+
+// CrashAfterSends arms a crash of p after it performs n more point-to-point
+// transmissions — the paper's "multicast interrupted by the crash of the
+// sender", leaving some destinations with the message and others without.
+func (c *Cluster) CrashAfterSends(p types.ProcessID, n int) { c.armKill[p] = n }
+
+// Disconnect cuts the bidirectional link a↔b; in-flight messages are lost.
+func (c *Cluster) Disconnect(a, b types.ProcessID) {
+	c.cut[[2]types.ProcessID{a, b}] = true
+	c.cut[[2]types.ProcessID{b, a}] = true
+}
+
+// Reconnect heals the link a↔b.
+func (c *Cluster) Reconnect(a, b types.ProcessID) {
+	delete(c.cut, [2]types.ProcessID{a, b})
+	delete(c.cut, [2]types.ProcessID{b, a})
+}
+
+// Partition splits the processes into islands, cutting every cross-island
+// link and healing every intra-island link.
+func (c *Cluster) Partition(islands ...[]types.ProcessID) {
+	island := make(map[types.ProcessID]int)
+	for i, ps := range islands {
+		for _, p := range ps {
+			island[p] = i + 1
+		}
+	}
+	for a := range c.engines {
+		for b := range c.engines {
+			if a == b {
+				continue
+			}
+			ia, oka := island[a]
+			ib, okb := island[b]
+			key := [2]types.ProcessID{a, b}
+			switch {
+			case oka && okb && ia == ib:
+				delete(c.cut, key)
+			case oka || okb:
+				if !oka || !okb || ia != ib {
+					c.cut[key] = true
+				}
+			}
+		}
+	}
+}
+
+// Heal removes every link cut.
+func (c *Cluster) Heal() { c.cut = make(map[[2]types.ProcessID]bool) }
+
+// At schedules fn to run at the given offset from the epoch (must not be
+// in the simulated past).
+func (c *Cluster) At(offset time.Duration, fn func()) {
+	at := Epoch.Add(offset)
+	if at.Before(c.now) {
+		at = c.now
+	}
+	c.push(event{at: at, fn: fn})
+}
+
+// Run advances virtual time by d, dispatching every due event in
+// deterministic order.
+func (c *Cluster) Run(d time.Duration) {
+	deadline := c.now.Add(d)
+	for len(c.cal) > 0 {
+		ev := c.cal[0]
+		if ev.at.After(deadline) {
+			break
+		}
+		heap.Pop(&c.cal)
+		if ev.at.After(c.now) {
+			c.now = ev.at
+		}
+		c.dispatch(ev)
+	}
+	c.now = deadline
+}
+
+// RunUntil advances time in tick-sized steps until cond holds or the
+// budget elapses; it returns whether cond held.
+func (c *Cluster) RunUntil(budget time.Duration, cond func() bool) bool {
+	deadline := c.now.Add(budget)
+	for !cond() {
+		if !c.now.Before(deadline) {
+			return cond()
+		}
+		step := c.tickEvery
+		if rem := deadline.Sub(c.now); rem < step {
+			step = rem
+		}
+		c.Run(step)
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Event plumbing
+// ---------------------------------------------------------------------------
+
+type event struct {
+	at   time.Time
+	seq  uint64 // FIFO tie-break for equal times
+	from types.ProcessID
+	to   types.ProcessID
+	msg  *types.Message
+	tick bool
+	fn   func()
+}
+
+func (c *Cluster) push(ev event) {
+	c.seq++
+	ev.seq = c.seq
+	heap.Push(&c.cal, ev)
+}
+
+func (c *Cluster) scheduleTick(p types.ProcessID, at time.Time) {
+	c.push(event{at: at, to: p, tick: true})
+}
+
+func (c *Cluster) dispatch(ev event) {
+	switch {
+	case ev.fn != nil:
+		ev.fn()
+	case ev.tick:
+		if c.crashed[ev.to] {
+			return
+		}
+		e := c.engines[ev.to]
+		c.route(ev.to, e.Tick(c.now))
+		c.scheduleTick(ev.to, c.now.Add(c.tickEvery))
+	default:
+		// Message arrival: link cuts and receiver crashes apply at
+		// arrival time (in-flight losses). A message already transmitted
+		// by a process that crashed afterwards still arrives — crash-stop
+		// interrupts future sends, not messages in flight (the paper's
+		// partial multicast is modelled by CrashAfterSends).
+		if c.crashed[ev.to] {
+			return
+		}
+		if c.cut[[2]types.ProcessID{ev.from, ev.to}] {
+			return
+		}
+		e := c.engines[ev.to]
+		c.route(ev.to, e.HandleMessage(c.now, ev.from, ev.msg))
+	}
+}
+
+// route applies the effects produced by process p, honouring an armed
+// crash-mid-multicast.
+func (c *Cluster) route(p types.ProcessID, effs []core.Effect) {
+	h := c.hist[p]
+	for _, eff := range effs {
+		if c.crashed[p] {
+			return // crashed mid-effect-stream: remaining effects lost
+		}
+		switch eff := eff.(type) {
+		case core.SendEffect:
+			if n, armed := c.armKill[p]; armed {
+				if n <= 0 {
+					delete(c.armKill, p)
+					c.Crash(p)
+					return
+				}
+				c.armKill[p] = n - 1
+			}
+			c.transmit(p, eff.To, eff.Msg)
+		case core.DeliverEffect:
+			h.Deliveries = append(h.Deliveries, Delivery{
+				At:      c.now,
+				Group:   eff.Msg.Group,
+				Origin:  eff.Msg.Origin,
+				Num:     eff.Msg.Num,
+				Seq:     eff.Msg.Seq,
+				View:    eff.View,
+				Payload: eff.Msg.Payload,
+			})
+			h.record(Event{
+				At: c.now, Kind: EvDeliver, Group: eff.Msg.Group,
+				Origin: eff.Msg.Origin, Num: eff.Msg.Num, Seq: eff.Msg.Seq,
+				ViewIdx: eff.View, Payload: eff.Msg.Payload,
+			})
+		case core.ViewEffect:
+			g := eff.View.Group
+			h.Views[g] = append(h.Views[g], ViewChange{At: c.now, View: eff.View, Removed: eff.Removed})
+			h.record(Event{At: c.now, Kind: EvView, Group: g, View: eff.View, Removed: eff.Removed})
+		case core.GroupReadyEffect:
+			h.Ready = append(h.Ready, eff.Group)
+			h.record(Event{At: c.now, Kind: EvReady, Group: eff.Group})
+		case core.FormationFailedEffect:
+			h.Failed = append(h.Failed, eff.Group)
+			h.record(Event{At: c.now, Kind: EvFormFailed, Group: eff.Group})
+		case core.SuspectEffect:
+			h.Suspicions = append(h.Suspicions, eff.Susp)
+			h.record(Event{At: c.now, Kind: EvSuspect, Group: eff.Group, Susp: eff.Susp})
+		}
+	}
+}
+
+// transmit schedules the arrival of m at dest, preserving per-pair FIFO
+// under randomised latency.
+func (c *Cluster) transmit(from, to types.ProcessID, m *types.Message) {
+	c.msgCount++
+	if c.byteFn != nil {
+		c.bytes += uint64(c.byteFn(m))
+	}
+	lat := c.latMin
+	if c.latMax > c.latMin {
+		lat += time.Duration(c.rng.Int63n(int64(c.latMax - c.latMin)))
+	}
+	arr := c.now.Add(lat)
+	key := [2]types.ProcessID{from, to}
+	if last := c.lastArr[key]; arr.Before(last) {
+		arr = last
+	}
+	c.lastArr[key] = arr
+	c.push(event{at: arr, from: from, to: to, msg: m})
+}
+
+// calendar is a time-ordered event heap (FIFO on equal instants).
+type calendar []event
+
+func (h calendar) Len() int { return len(h) }
+func (h calendar) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h calendar) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *calendar) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *calendar) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return ev
+}

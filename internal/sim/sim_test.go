@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"newtop/internal/core"
+	"newtop/internal/types"
+	"newtop/internal/wire"
+)
+
+func twoProc(t *testing.T, seed int64) *Cluster {
+	t.Helper()
+	c := New(seed, WithLatency(time.Millisecond, 2*time.Millisecond))
+	for i := 1; i <= 2; i++ {
+		c.AddProcess(core.Config{Self: types.ProcessID(i), Omega: 20 * time.Millisecond})
+	}
+	return c
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	trace := func() []Event {
+		c := twoProc(t, 99)
+		if err := c.Bootstrap(1, core.Symmetric, []types.ProcessID{1, 2}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			if err := c.Submit(1, 1, []byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+			c.Run(7 * time.Millisecond)
+		}
+		c.Run(time.Second)
+		return c.History(2).Events
+	}
+	a, b := trace(), trace()
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Kind != b[i].Kind || !a[i].At.Equal(b[i].At) || string(a[i].Payload) != string(b[i].Payload) {
+			t.Fatalf("traces diverge at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestVirtualTimeAdvances(t *testing.T) {
+	c := twoProc(t, 1)
+	start := c.Now()
+	c.Run(123 * time.Millisecond)
+	if got := c.Now().Sub(start); got != 123*time.Millisecond {
+		t.Errorf("advanced %v, want 123ms", got)
+	}
+}
+
+func TestAtSchedulesCallbacks(t *testing.T) {
+	c := twoProc(t, 1)
+	var fired []time.Duration
+	c.At(50*time.Millisecond, func() { fired = append(fired, c.Now().Sub(Epoch)) })
+	c.At(20*time.Millisecond, func() { fired = append(fired, c.Now().Sub(Epoch)) })
+	c.Run(100 * time.Millisecond)
+	if len(fired) != 2 || fired[0] != 20*time.Millisecond || fired[1] != 50*time.Millisecond {
+		t.Errorf("callbacks fired at %v", fired)
+	}
+}
+
+func TestRunUntilStopsEarly(t *testing.T) {
+	c := twoProc(t, 1)
+	if err := c.Bootstrap(1, core.Symmetric, []types.ProcessID{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(1, 1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	ok := c.RunUntil(10*time.Second, func() bool {
+		return len(c.History(2).Deliveries) > 0
+	})
+	if !ok {
+		t.Fatal("condition never held")
+	}
+	if c.Now().Sub(Epoch) >= 10*time.Second {
+		t.Error("RunUntil consumed the whole budget despite early success")
+	}
+}
+
+func TestCrashStopsEverything(t *testing.T) {
+	c := twoProc(t, 2)
+	if err := c.Bootstrap(1, core.Symmetric, []types.ProcessID{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	c.Crash(2)
+	if err := c.Submit(2, 1, []byte("x")); err == nil {
+		t.Error("submit from crashed process accepted")
+	}
+	// P2 receives nothing after the crash.
+	before := len(c.History(2).Events)
+	_ = c.Submit(1, 1, []byte("y"))
+	c.Run(time.Second)
+	if got := len(c.History(2).Events); got != before {
+		t.Errorf("crashed process gained %d events", got-before)
+	}
+}
+
+func TestCrashAfterSendsPartialMulticast(t *testing.T) {
+	c := New(3, WithLatency(time.Millisecond, 2*time.Millisecond))
+	for i := 1; i <= 4; i++ {
+		c.AddProcess(core.Config{Self: types.ProcessID(i), Omega: 20 * time.Millisecond})
+	}
+	if err := c.Bootstrap(1, core.Symmetric, []types.ProcessID{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(50 * time.Millisecond)
+	// P1's next multicast reaches only the first destination (P2).
+	c.CrashAfterSends(1, 1)
+	_ = c.Submit(1, 1, []byte("partial"))
+	// The survivors must agree on the crashed sender's last message: P2
+	// holds it, so the refute piggyback spreads it and ALL survivors
+	// deliver it (atomicity resolves to "all", not "none", when a
+	// connected process retains a copy).
+	c.Run(5 * time.Second)
+	for _, p := range []types.ProcessID{2, 3, 4} {
+		n := 0
+		for _, d := range c.History(p).Deliveries {
+			if string(d.Payload) == "partial" {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Errorf("%v delivered the partial multicast %d times, want exactly 1", p, n)
+		}
+	}
+}
+
+func TestDisconnectAndHealControls(t *testing.T) {
+	// Three members: when the P1↔P2 link loses a message, P3 still holds
+	// it and the gap heals through refutation+recovery.
+	c := New(4, WithLatency(time.Millisecond, 2*time.Millisecond))
+	for i := 1; i <= 3; i++ {
+		c.AddProcess(core.Config{Self: types.ProcessID(i), Omega: 20 * time.Millisecond})
+	}
+	if err := c.Bootstrap(1, core.Symmetric, []types.ProcessID{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(50 * time.Millisecond)
+	c.Disconnect(1, 2)
+	_ = c.Submit(1, 1, []byte("lost-to-P2"))
+	c.Run(50 * time.Millisecond)
+	delivered := func(p types.ProcessID, payload string) bool {
+		for _, d := range c.History(p).Deliveries {
+			if string(d.Payload) == payload {
+				return true
+			}
+		}
+		return false
+	}
+	if delivered(2, "lost-to-P2") {
+		t.Error("message crossed a cut link")
+	}
+	c.Heal()
+	_ = c.Submit(1, 1, []byte("after-heal"))
+	ok := c.RunUntil(30*time.Second, func() bool {
+		return delivered(2, "lost-to-P2") && delivered(2, "after-heal")
+	})
+	if !ok {
+		t.Error("post-heal recovery never completed at P2")
+	}
+}
+
+func TestByteAccounting(t *testing.T) {
+	c := twoProc(t, 5)
+	c.CountBytes(wire.Size)
+	if err := c.Bootstrap(1, core.Symmetric, []types.ProcessID{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Submit(1, 1, []byte("hello"))
+	c.Run(200 * time.Millisecond)
+	if c.TotalMessages() == 0 {
+		t.Error("no messages counted")
+	}
+	if c.TotalBytes() == 0 {
+		t.Error("no bytes counted")
+	}
+	if c.TotalBytes() < c.TotalMessages() {
+		t.Error("bytes < messages: accounting broken")
+	}
+}
+
+func TestProcessesSorted(t *testing.T) {
+	c := New(1)
+	for _, id := range []types.ProcessID{5, 2, 9} {
+		c.AddProcess(core.Config{Self: id, Omega: time.Millisecond})
+	}
+	ps := c.Processes()
+	if len(ps) != 3 || ps[0] != 2 || ps[1] != 5 || ps[2] != 9 {
+		t.Errorf("Processes() = %v", ps)
+	}
+}

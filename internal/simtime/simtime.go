@@ -1,0 +1,144 @@
+// Package simtime provides the time source used by Newtop's timeout
+// machinery (the time-silence interval ω and the failure-suspicion interval
+// Ω, §4.1/§5.2).
+//
+// Two implementations are provided: Real, a thin wrapper over the time
+// package, and Virtual, a deterministic manually-advanced clock that lets
+// tests and the simulated network drive timers without real sleeping.
+// Protocol code depends only on the Clock interface, so every timeout-driven
+// behaviour (null messages, suspicions, membership agreement) is fully
+// deterministic under test.
+package simtime
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock is an abstract time source. Implementations must be safe for
+// concurrent use.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+	// After returns a channel that receives the then-current time once d
+	// has elapsed.
+	After(d time.Duration) <-chan time.Time
+}
+
+// Real is a Clock backed by the machine's wall clock.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Virtual is a deterministic, manually advanced Clock. Time only moves when
+// Advance (or AdvanceTo) is called; timers scheduled with After fire, in
+// deadline order, during the advance. The zero value is not usable; call
+// NewVirtual.
+type Virtual struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers timerHeap
+	seq    uint64 // tie-break so equal deadlines fire in creation order
+}
+
+// NewVirtual returns a Virtual clock starting at the given origin.
+func NewVirtual(origin time.Time) *Virtual {
+	return &Virtual{now: origin}
+}
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// After implements Clock. Non-positive durations fire on the next Advance
+// call (never synchronously), mirroring the asynchrony of real timers.
+func (v *Virtual) After(d time.Duration) <-chan time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	v.seq++
+	heap.Push(&v.timers, &timer{deadline: v.now.Add(d), ch: ch, seq: v.seq})
+	return ch
+}
+
+// Advance moves virtual time forward by d, firing every timer whose
+// deadline falls within the window, in deadline order.
+func (v *Virtual) Advance(d time.Duration) {
+	v.mu.Lock()
+	v.advanceToLocked(v.now.Add(d))
+	v.mu.Unlock()
+}
+
+// AdvanceTo moves virtual time forward to instant t (no-op if t is not
+// after the current time), firing elapsed timers in deadline order.
+func (v *Virtual) AdvanceTo(t time.Time) {
+	v.mu.Lock()
+	v.advanceToLocked(t)
+	v.mu.Unlock()
+}
+
+// NextDeadline returns the earliest pending timer deadline, and false when
+// no timer is pending. Simulation drivers use it to step time efficiently.
+func (v *Virtual) NextDeadline() (time.Time, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.timers) == 0 {
+		return time.Time{}, false
+	}
+	return v.timers[0].deadline, true
+}
+
+// PendingTimers returns the number of timers not yet fired.
+func (v *Virtual) PendingTimers() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.timers)
+}
+
+func (v *Virtual) advanceToLocked(t time.Time) {
+	if !t.After(v.now) {
+		return
+	}
+	for len(v.timers) > 0 && !v.timers[0].deadline.After(t) {
+		tm := heap.Pop(&v.timers).(*timer)
+		if tm.deadline.After(v.now) {
+			v.now = tm.deadline
+		}
+		tm.ch <- v.now
+	}
+	v.now = t
+}
+
+type timer struct {
+	deadline time.Time
+	ch       chan time.Time
+	seq      uint64
+}
+
+type timerHeap []*timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if !h[i].deadline.Equal(h[j].deadline) {
+		return h[i].deadline.Before(h[j].deadline)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(*timer)) }
+func (h *timerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}

@@ -1,0 +1,150 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+var origin = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestVirtualNow(t *testing.T) {
+	v := NewVirtual(origin)
+	if !v.Now().Equal(origin) {
+		t.Errorf("Now() = %v, want %v", v.Now(), origin)
+	}
+	v.Advance(time.Second)
+	if !v.Now().Equal(origin.Add(time.Second)) {
+		t.Errorf("Now() after Advance = %v", v.Now())
+	}
+}
+
+func TestVirtualAfterFiresInOrder(t *testing.T) {
+	v := NewVirtual(origin)
+	c2 := v.After(2 * time.Second)
+	c1 := v.After(1 * time.Second)
+	v.Advance(3 * time.Second)
+	t1 := <-c1
+	t2 := <-c2
+	if !t1.Equal(origin.Add(1 * time.Second)) {
+		t.Errorf("timer1 fired at %v, want +1s", t1)
+	}
+	if !t2.Equal(origin.Add(2 * time.Second)) {
+		t.Errorf("timer2 fired at %v, want +2s", t2)
+	}
+}
+
+func TestVirtualAfterNotBeforeDeadline(t *testing.T) {
+	v := NewVirtual(origin)
+	c := v.After(10 * time.Second)
+	v.Advance(9 * time.Second)
+	select {
+	case <-c:
+		t.Fatal("timer fired before deadline")
+	default:
+	}
+	v.Advance(time.Second)
+	select {
+	case <-c:
+	default:
+		t.Fatal("timer did not fire at deadline")
+	}
+}
+
+func TestVirtualEqualDeadlinesFireInCreationOrder(t *testing.T) {
+	v := NewVirtual(origin)
+	var order []int
+	a := v.After(time.Second)
+	b := v.After(time.Second)
+	v.Advance(time.Second)
+	// Both buffered; drain in the order they became ready.
+	select {
+	case <-a:
+		order = append(order, 1)
+	default:
+	}
+	select {
+	case <-b:
+		order = append(order, 2)
+	default:
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Errorf("fire order = %v, want [1 2]", order)
+	}
+}
+
+func TestVirtualAdvanceToBackwardsIsNoop(t *testing.T) {
+	v := NewVirtual(origin.Add(time.Hour))
+	v.AdvanceTo(origin)
+	if !v.Now().Equal(origin.Add(time.Hour)) {
+		t.Error("AdvanceTo moved time backwards")
+	}
+}
+
+func TestVirtualNextDeadline(t *testing.T) {
+	v := NewVirtual(origin)
+	if _, ok := v.NextDeadline(); ok {
+		t.Error("NextDeadline on empty clock should report none")
+	}
+	v.After(5 * time.Second)
+	v.After(2 * time.Second)
+	d, ok := v.NextDeadline()
+	if !ok || !d.Equal(origin.Add(2*time.Second)) {
+		t.Errorf("NextDeadline = %v,%v; want +2s", d, ok)
+	}
+	if v.PendingTimers() != 2 {
+		t.Errorf("PendingTimers = %d, want 2", v.PendingTimers())
+	}
+	v.Advance(10 * time.Second)
+	if v.PendingTimers() != 0 {
+		t.Errorf("PendingTimers after advance = %d, want 0", v.PendingTimers())
+	}
+}
+
+func TestVirtualNonPositiveAfter(t *testing.T) {
+	v := NewVirtual(origin)
+	c := v.After(0)
+	select {
+	case <-c:
+		t.Fatal("zero-duration timer fired synchronously")
+	default:
+	}
+	v.Advance(time.Nanosecond)
+	select {
+	case <-c:
+	default:
+		t.Fatal("zero-duration timer did not fire on advance")
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	var c Clock = Real{}
+	before := time.Now()
+	got := c.Now()
+	if got.Before(before.Add(-time.Second)) {
+		t.Error("Real.Now() is far in the past")
+	}
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(5 * time.Second):
+		t.Fatal("Real.After never fired")
+	}
+}
+
+func TestVirtualConcurrentAccess(t *testing.T) {
+	v := NewVirtual(origin)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			v.After(time.Duration(i) * time.Millisecond)
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		v.Advance(time.Millisecond)
+	}
+	<-done
+	v.Advance(time.Second)
+	if v.PendingTimers() != 0 {
+		t.Errorf("PendingTimers = %d, want 0", v.PendingTimers())
+	}
+}

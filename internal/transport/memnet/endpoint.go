@@ -1,0 +1,119 @@
+package memnet
+
+import (
+	"sync"
+
+	"newtop/internal/transport"
+	"newtop/internal/types"
+)
+
+// endpoint is a process's attachment to the memnet network. Inbound
+// messages land in an unbounded queue (the honest model of an asynchronous
+// network: the network, not the receiver, buffers) and a pump goroutine
+// feeds them to the Recv channel in arrival order.
+type endpoint struct {
+	n    *Network
+	self types.ProcessID
+	recv chan transport.Inbound
+	done chan struct{}
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []transport.Inbound
+	closed bool
+}
+
+var _ transport.Endpoint = (*endpoint)(nil)
+
+func newEndpoint(n *Network, self types.ProcessID) *endpoint {
+	ep := &endpoint{
+		n:    n,
+		self: self,
+		recv: make(chan transport.Inbound),
+		done: make(chan struct{}),
+	}
+	ep.cond = sync.NewCond(&ep.mu)
+	n.wg.Add(1)
+	go ep.pump()
+	return ep
+}
+
+// Self implements transport.Endpoint.
+func (ep *endpoint) Self() types.ProcessID { return ep.self }
+
+// Send implements transport.Endpoint. Self-sends loop back through the
+// network like any other message (with latency).
+func (ep *endpoint) Send(dest types.ProcessID, m *types.Message) error {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return transport.ErrClosed
+	}
+	ep.mu.Unlock()
+	return ep.n.send(ep.self, dest, m)
+}
+
+// Recv implements transport.Endpoint.
+func (ep *endpoint) Recv() <-chan transport.Inbound { return ep.recv }
+
+// Close implements transport.Endpoint.
+func (ep *endpoint) Close() error {
+	ep.shutdown()
+	return nil
+}
+
+// push appends an inbound message (called by links at delivery time).
+func (ep *endpoint) push(from types.ProcessID, m *types.Message) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.closed {
+		return
+	}
+	ep.queue = append(ep.queue, transport.Inbound{From: from, Msg: m})
+	ep.cond.Signal()
+}
+
+func (ep *endpoint) shutdown() {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return
+	}
+	ep.closed = true
+	ep.queue = nil
+	ep.cond.Signal()
+	ep.mu.Unlock()
+	close(ep.done)
+}
+
+// pump moves messages from the unbounded queue to the (unbuffered) recv
+// channel, preserving arrival order. It exits, closing recv, when the
+// endpoint is shut down.
+func (ep *endpoint) pump() {
+	defer ep.n.wg.Done()
+	defer close(ep.recv)
+	for {
+		ep.mu.Lock()
+		for len(ep.queue) == 0 && !ep.closed {
+			ep.cond.Wait()
+		}
+		if ep.closed {
+			ep.mu.Unlock()
+			return
+		}
+		in := ep.queue[0]
+		ep.queue[0] = transport.Inbound{}
+		ep.queue = ep.queue[1:]
+		if len(ep.queue) == 0 {
+			ep.queue = nil // let the backing array be collected
+		}
+		ep.mu.Unlock()
+		// A consumer that stops reading must not wedge shutdown: give up
+		// on the blocked handoff once the endpoint is closed.
+		select {
+		case ep.recv <- in:
+		case <-ep.done:
+			return
+		}
+	}
+}

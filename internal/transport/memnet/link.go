@@ -1,0 +1,71 @@
+package memnet
+
+import (
+	"sync"
+	"time"
+
+	"newtop/internal/types"
+)
+
+// link carries messages for one ordered process pair. A single goroutine
+// drains the queue, waits out each message's latency, and hands the message
+// to the destination endpoint — which is what guarantees per-pair FIFO even
+// with randomised latency.
+type link struct {
+	n   *Network
+	key linkKey
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*types.Message
+	stopped bool
+}
+
+func newLink(n *Network, key linkKey) *link {
+	l := &link{n: n, key: key}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+func (l *link) enqueue(m *types.Message) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.stopped {
+		return
+	}
+	l.queue = append(l.queue, m)
+	l.cond.Signal()
+}
+
+func (l *link) stop() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.stopped = true
+	l.cond.Signal()
+}
+
+func (l *link) run() {
+	defer l.n.wg.Done()
+	for {
+		l.mu.Lock()
+		for len(l.queue) == 0 && !l.stopped {
+			l.cond.Wait()
+		}
+		if l.stopped {
+			l.mu.Unlock()
+			return
+		}
+		m := l.queue[0]
+		copy(l.queue, l.queue[1:])
+		l.queue[len(l.queue)-1] = nil
+		l.queue = l.queue[:len(l.queue)-1]
+		l.mu.Unlock()
+
+		time.Sleep(l.n.latency())
+		// Cut/crash state is evaluated at delivery time: a message in
+		// flight when the link is cut (or an end crashes) is lost.
+		if ep := l.n.deliverable(l.key); ep != nil {
+			ep.push(l.key.from, m)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+// Package memnet is an in-memory implementation of the Newtop transport
+// abstraction: per-pair FIFO channels with configurable delivery latency,
+// bidirectional link cuts, group partitions and process crashes.
+//
+// It models the paper's asynchronous communication environment (§2/§3):
+// message transmission times are unpredictable (uniform random latency
+// within a configured band), the network may partition, and messages in
+// flight across a cut or to a crashed process are silently lost — but
+// messages between connected, functioning processes are delivered
+// uncorrupted and in FIFO order per sender.
+//
+// memnet runs on real goroutines and the wall clock; it is the substrate
+// for integration tests, examples and throughput benchmarks. For
+// deterministic scripted scenarios use internal/sim instead.
+package memnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"newtop/internal/transport"
+	"newtop/internal/types"
+)
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithLatency sets the per-message delivery latency band [min, max]. The
+// default is [50µs, 200µs].
+func WithLatency(min, max time.Duration) Option {
+	return func(n *Network) { n.latMin, n.latMax = min, max }
+}
+
+// WithSeed seeds the latency jitter source for reproducible runs.
+func WithSeed(seed int64) Option {
+	return func(n *Network) { n.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// Network is an in-memory message network. Create with New, attach one
+// endpoint per process, and wire the endpoints into node runtimes.
+type Network struct {
+	latMin, latMax time.Duration
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	eps     map[types.ProcessID]*endpoint
+	links   map[linkKey]*link
+	cut     map[linkKey]bool // directed cuts; a<->b cut stores both directions
+	crashed map[types.ProcessID]bool
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+type linkKey struct{ from, to types.ProcessID }
+
+// New creates an empty network.
+func New(opts ...Option) *Network {
+	n := &Network{
+		latMin:  50 * time.Microsecond,
+		latMax:  200 * time.Microsecond,
+		rng:     rand.New(rand.NewSource(1)),
+		eps:     make(map[types.ProcessID]*endpoint),
+		links:   make(map[linkKey]*link),
+		cut:     make(map[linkKey]bool),
+		crashed: make(map[types.ProcessID]bool),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Attach creates the endpoint for process p. Each process may attach once.
+func (n *Network) Attach(p types.ProcessID) (transport.Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, transport.ErrClosed
+	}
+	if _, ok := n.eps[p]; ok {
+		return nil, fmt.Errorf("memnet: process %v already attached", p)
+	}
+	ep := newEndpoint(n, p)
+	n.eps[p] = ep
+	return ep, nil
+}
+
+// Disconnect cuts the bidirectional link between a and b. Messages in
+// flight are lost.
+func (n *Network) Disconnect(a, b types.ProcessID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cut[linkKey{a, b}] = true
+	n.cut[linkKey{b, a}] = true
+}
+
+// Reconnect heals the bidirectional link between a and b.
+func (n *Network) Reconnect(a, b types.ProcessID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.cut, linkKey{a, b})
+	delete(n.cut, linkKey{b, a})
+}
+
+// Partition splits the attached processes into the given islands: every
+// link between processes in different islands is cut, every link within an
+// island is healed. Processes not listed keep their current links to each
+// other but are cut from all listed processes.
+func (n *Network) Partition(islands ...[]types.ProcessID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	island := make(map[types.ProcessID]int)
+	for i, ps := range islands {
+		for _, p := range ps {
+			island[p] = i + 1
+		}
+	}
+	for a := range n.eps {
+		for b := range n.eps {
+			if a == b {
+				continue
+			}
+			ia, oka := island[a]
+			ib, okb := island[b]
+			switch {
+			case oka && okb && ia == ib:
+				delete(n.cut, linkKey{a, b})
+			case oka && okb && ia != ib, oka != okb:
+				n.cut[linkKey{a, b}] = true
+			}
+		}
+	}
+}
+
+// Heal removes every cut.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cut = make(map[linkKey]bool)
+}
+
+// Connected reports whether messages currently flow from a to b.
+func (n *Network) Connected(a, b types.ProcessID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return !n.cut[linkKey{a, b}] && !n.crashed[a] && !n.crashed[b]
+}
+
+// Crash marks p as crashed: its endpoint stops sending and receiving, and
+// undelivered messages addressed to it are dropped. Crashes are permanent
+// (crash-stop model, §3).
+func (n *Network) Crash(p types.ProcessID) {
+	n.mu.Lock()
+	ep := n.eps[p]
+	n.crashed[p] = true
+	n.mu.Unlock()
+	if ep != nil {
+		ep.shutdown()
+	}
+}
+
+// Crashed reports whether p has crashed.
+func (n *Network) Crashed(p types.ProcessID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.crashed[p]
+}
+
+// Close shuts the network down, closing every endpoint and waiting for all
+// delivery goroutines to exit.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	eps := make([]*endpoint, 0, len(n.eps))
+	for _, ep := range n.eps {
+		eps = append(eps, ep)
+	}
+	links := make([]*link, 0, len(n.links))
+	for _, l := range n.links {
+		links = append(links, l)
+	}
+	n.mu.Unlock()
+	for _, l := range links {
+		l.stop()
+	}
+	for _, ep := range eps {
+		ep.shutdown()
+	}
+	n.wg.Wait()
+}
+
+func (n *Network) latency() time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.latMax <= n.latMin {
+		return n.latMin
+	}
+	return n.latMin + time.Duration(n.rng.Int63n(int64(n.latMax-n.latMin)))
+}
+
+// send routes one message from `from` to `to`, applying crash and cut
+// semantics at send time; in-flight losses are applied at delivery time by
+// the link.
+func (n *Network) send(from, to types.ProcessID, m *types.Message) error {
+	n.mu.Lock()
+	if n.closed || n.crashed[from] {
+		n.mu.Unlock()
+		return transport.ErrClosed
+	}
+	if _, ok := n.eps[to]; !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %v", transport.ErrUnknownPeer, to)
+	}
+	key := linkKey{from, to}
+	l, ok := n.links[key]
+	if !ok {
+		l = newLink(n, key)
+		n.links[key] = l
+		n.wg.Add(1)
+		go l.run()
+	}
+	n.mu.Unlock()
+	l.enqueue(m)
+	return nil
+}
+
+// deliverable is checked by links at delivery time. A sender crash does
+// not void messages already in flight (crash-stop interrupts future sends
+// only); receiver crashes and link cuts do.
+func (n *Network) deliverable(key linkKey) *endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed || n.cut[key] || n.crashed[key.to] {
+		return nil
+	}
+	return n.eps[key.to]
+}

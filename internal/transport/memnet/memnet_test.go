@@ -1,0 +1,297 @@
+package memnet
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"newtop/internal/transport"
+	"newtop/internal/types"
+)
+
+func testMsg(sender types.ProcessID, seq uint64) *types.Message {
+	return &types.Message{
+		Kind: types.KindData, Group: 1, Sender: sender, Origin: sender,
+		Num: types.MsgNum(seq), Seq: seq, Payload: []byte{byte(seq)},
+	}
+}
+
+func recvOne(t *testing.T, ep transport.Endpoint) transport.Inbound {
+	t.Helper()
+	select {
+	case in, ok := <-ep.Recv():
+		if !ok {
+			t.Fatal("recv channel closed")
+		}
+		return in
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for message")
+	}
+	return transport.Inbound{}
+}
+
+func TestBasicDelivery(t *testing.T) {
+	n := New(WithSeed(42))
+	defer n.Close()
+	a, err := n.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Attach(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(2, testMsg(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	in := recvOne(t, b)
+	if in.From != 1 || in.Msg.Seq != 1 {
+		t.Errorf("got %v from %v", in.Msg, in.From)
+	}
+}
+
+func TestFIFOPerPair(t *testing.T) {
+	n := New(WithSeed(7), WithLatency(0, 500*time.Microsecond))
+	defer n.Close()
+	a, _ := n.Attach(1)
+	b, _ := n.Attach(2)
+	const count = 200
+	for i := 1; i <= count; i++ {
+		if err := a.Send(2, testMsg(1, uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= count; i++ {
+		in := recvOne(t, b)
+		if in.Msg.Seq != uint64(i) {
+			t.Fatalf("out of order: got seq %d, want %d", in.Msg.Seq, i)
+		}
+	}
+}
+
+func TestSelfSendLoopsBack(t *testing.T) {
+	n := New()
+	defer n.Close()
+	a, _ := n.Attach(1)
+	if err := a.Send(1, testMsg(1, 9)); err != nil {
+		t.Fatal(err)
+	}
+	in := recvOne(t, a)
+	if in.From != 1 || in.Msg.Seq != 9 {
+		t.Errorf("self loopback got %v", in.Msg)
+	}
+}
+
+func TestUnknownPeer(t *testing.T) {
+	n := New()
+	defer n.Close()
+	a, _ := n.Attach(1)
+	err := a.Send(99, testMsg(1, 1))
+	if !errors.Is(err, transport.ErrUnknownPeer) {
+		t.Errorf("err = %v, want ErrUnknownPeer", err)
+	}
+}
+
+func TestDoubleAttachRejected(t *testing.T) {
+	n := New()
+	defer n.Close()
+	if _, err := n.Attach(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Attach(1); err == nil {
+		t.Error("second Attach(1) succeeded, want error")
+	}
+}
+
+func TestDisconnectDropsMessages(t *testing.T) {
+	n := New(WithSeed(3))
+	defer n.Close()
+	a, _ := n.Attach(1)
+	b, _ := n.Attach(2)
+	n.Disconnect(1, 2)
+	if n.Connected(1, 2) || n.Connected(2, 1) {
+		t.Error("link should be cut both ways")
+	}
+	if err := a.Send(2, testMsg(1, 1)); err != nil {
+		t.Fatal(err) // send succeeds; the message is lost in flight
+	}
+	select {
+	case in := <-b.Recv():
+		t.Errorf("message crossed a cut link: %v", in.Msg)
+	case <-time.After(50 * time.Millisecond):
+	}
+	n.Reconnect(1, 2)
+	if !n.Connected(1, 2) {
+		t.Error("Reconnect did not heal the link")
+	}
+	if err := a.Send(2, testMsg(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	in := recvOne(t, b)
+	if in.Msg.Seq != 2 {
+		t.Errorf("got seq %d after heal, want 2", in.Msg.Seq)
+	}
+}
+
+func TestPartitionIslands(t *testing.T) {
+	n := New(WithSeed(5))
+	defer n.Close()
+	eps := make(map[types.ProcessID]transport.Endpoint)
+	for p := types.ProcessID(1); p <= 4; p++ {
+		ep, err := n.Attach(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps[p] = ep
+	}
+	n.Partition([]types.ProcessID{1, 2}, []types.ProcessID{3, 4})
+	tests := []struct {
+		a, b types.ProcessID
+		want bool
+	}{
+		{1, 2, true}, {3, 4, true}, {1, 3, false}, {1, 4, false}, {2, 3, false},
+	}
+	for _, tt := range tests {
+		if got := n.Connected(tt.a, tt.b); got != tt.want {
+			t.Errorf("Connected(%v,%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+	// Within-island traffic flows.
+	if err := eps[3].Send(4, testMsg(3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	in := recvOne(t, eps[4])
+	if in.From != 3 {
+		t.Errorf("island traffic from %v, want P3", in.From)
+	}
+	// Heal restores everything.
+	n.Heal()
+	if !n.Connected(1, 3) {
+		t.Error("Heal did not restore cross-island link")
+	}
+}
+
+func TestCrashStopsTraffic(t *testing.T) {
+	n := New(WithSeed(11))
+	defer n.Close()
+	a, _ := n.Attach(1)
+	b, _ := n.Attach(2)
+	n.Crash(2)
+	if !n.Crashed(2) {
+		t.Error("Crashed(2) = false after Crash")
+	}
+	if err := a.Send(2, testMsg(1, 1)); err != nil {
+		t.Fatal(err) // lost, not an error at the sender
+	}
+	select {
+	case _, ok := <-b.Recv():
+		if ok {
+			t.Error("crashed process received a message")
+		}
+	case <-time.After(100 * time.Millisecond):
+		t.Error("crashed endpoint's recv channel not closed")
+	}
+	// The crashed process cannot send either.
+	if err := b.Send(1, testMsg(2, 1)); !errors.Is(err, transport.ErrClosed) {
+		t.Errorf("send from crashed process: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestMulticastHelper(t *testing.T) {
+	n := New(WithSeed(13))
+	defer n.Close()
+	a, _ := n.Attach(1)
+	b, _ := n.Attach(2)
+	c, _ := n.Attach(3)
+	dests := []types.ProcessID{1, 2, 3} // includes self; must be skipped
+	if err := transport.Multicast(a, dests, testMsg(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	for _, ep := range []transport.Endpoint{b, c} {
+		in := recvOne(t, ep)
+		if in.From != 1 {
+			t.Errorf("multicast from %v, want P1", in.From)
+		}
+	}
+	select {
+	case in := <-a.Recv():
+		t.Errorf("multicast looped back to sender: %v", in.Msg)
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+func TestCloseShutsEverything(t *testing.T) {
+	n := New()
+	a, _ := n.Attach(1)
+	b, _ := n.Attach(2)
+	for i := 1; i <= 10; i++ {
+		_ = a.Send(2, testMsg(1, uint64(i)))
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		n.Close()
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Network.Close hung")
+	}
+	if err := a.Send(2, testMsg(1, 99)); !errors.Is(err, transport.ErrClosed) {
+		t.Errorf("send after close: err = %v, want ErrClosed", err)
+	}
+	_ = b
+}
+
+func TestConcurrentSendersManyReceivers(t *testing.T) {
+	n := New(WithSeed(17), WithLatency(0, 100*time.Microsecond))
+	defer n.Close()
+	const procs = 8
+	const perSender = 50
+	eps := make([]transport.Endpoint, procs)
+	for i := 0; i < procs; i++ {
+		ep, err := n.Attach(types.ProcessID(i + 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps[i] = ep
+	}
+	errc := make(chan error, 1)
+	for i := 0; i < procs; i++ {
+		go func(i int) {
+			self := types.ProcessID(i + 1)
+			for s := 1; s <= perSender; s++ {
+				for d := 0; d < procs; d++ {
+					if d == i {
+						continue
+					}
+					if err := eps[i].Send(types.ProcessID(d+1), testMsg(self, uint64(s))); err != nil {
+						select {
+						case errc <- fmt.Errorf("send: %w", err):
+						default:
+						}
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	// Each process expects perSender messages from each of procs-1 peers,
+	// in FIFO order per peer.
+	for i := 0; i < procs; i++ {
+		lastSeq := make(map[types.ProcessID]uint64)
+		for k := 0; k < perSender*(procs-1); k++ {
+			in := recvOne(t, eps[i])
+			if in.Msg.Seq != lastSeq[in.From]+1 {
+				t.Fatalf("P%d: from %v got seq %d after %d", i+1, in.From, in.Msg.Seq, lastSeq[in.From])
+			}
+			lastSeq[in.From] = in.Msg.Seq
+		}
+	}
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+}

@@ -1,0 +1,124 @@
+package tcpnet
+
+import (
+	"encoding/binary"
+	"net"
+	"sync"
+	"time"
+
+	"newtop/internal/types"
+)
+
+// peerSender owns the single outbound TCP connection to one peer. One
+// goroutine drains an unbounded queue and writes frames in order; any
+// connection error drops the current connection (and the failed message),
+// and the next message triggers a re-dial. That maps TCP failures onto the
+// protocol's lossy-but-FIFO link model.
+type peerSender struct {
+	ep   *Endpoint
+	dest types.ProcessID
+	addr string
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*types.Message
+	stopped bool
+
+	conn net.Conn // owned by run(); nil when disconnected
+}
+
+func newPeerSender(ep *Endpoint, dest types.ProcessID, addr string) *peerSender {
+	ps := &peerSender{ep: ep, dest: dest, addr: addr}
+	ps.cond = sync.NewCond(&ps.mu)
+	return ps
+}
+
+func (ps *peerSender) enqueue(m *types.Message) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if ps.stopped {
+		return
+	}
+	ps.queue = append(ps.queue, m)
+	ps.cond.Signal()
+}
+
+func (ps *peerSender) stop() {
+	ps.mu.Lock()
+	ps.stopped = true
+	conn := ps.conn
+	ps.cond.Signal()
+	ps.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close() // unblock a writer stuck in Write
+	}
+}
+
+func (ps *peerSender) run() {
+	defer ps.ep.wg.Done()
+	defer func() {
+		ps.mu.Lock()
+		if ps.conn != nil {
+			_ = ps.conn.Close()
+			ps.conn = nil
+		}
+		ps.mu.Unlock()
+	}()
+	for {
+		ps.mu.Lock()
+		for len(ps.queue) == 0 && !ps.stopped {
+			ps.cond.Wait()
+		}
+		if ps.stopped {
+			ps.mu.Unlock()
+			return
+		}
+		m := ps.queue[0]
+		ps.queue[0] = nil
+		ps.queue = ps.queue[1:]
+		if len(ps.queue) == 0 {
+			ps.queue = nil
+		}
+		conn := ps.conn
+		ps.mu.Unlock()
+
+		if conn == nil {
+			c, err := ps.dial()
+			if err != nil {
+				continue // message lost: peer unreachable (cut link)
+			}
+			ps.mu.Lock()
+			if ps.stopped {
+				ps.mu.Unlock()
+				_ = c.Close()
+				return
+			}
+			ps.conn = c
+			conn = c
+			ps.mu.Unlock()
+		}
+
+		_ = conn.SetWriteDeadline(time.Now().Add(ps.ep.cfg.WriteTimeout))
+		if err := writeFrame(conn, m); err != nil {
+			_ = conn.Close()
+			ps.mu.Lock()
+			ps.conn = nil
+			ps.mu.Unlock()
+		}
+	}
+}
+
+func (ps *peerSender) dial() (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", ps.addr, ps.ep.cfg.DialTimeout)
+	if err != nil {
+		return nil, errPeerGone
+	}
+	var hello [4]byte
+	binary.BigEndian.PutUint32(hello[:], uint32(ps.ep.cfg.Self))
+	_ = conn.SetWriteDeadline(time.Now().Add(ps.ep.cfg.WriteTimeout))
+	if _, err := conn.Write(hello[:]); err != nil {
+		_ = conn.Close()
+		return nil, errPeerGone
+	}
+	return conn, nil
+}

@@ -1,0 +1,288 @@
+// Package tcpnet implements the Newtop transport over real TCP
+// connections, so that processes can run across machines ("communicating
+// over the Internet", §2 of the paper).
+//
+// Each process listens on one address and knows a static address book of
+// its peers. Outbound messages to a peer are carried, in order, over a
+// single TCP connection driven by a dedicated sender goroutine — TCP's
+// in-order byte stream gives the per-pair FIFO guarantee the protocol
+// assumes. Frames are length-prefixed wire-codec messages. A connection
+// failure models a link cut: queued and in-flight messages to that peer are
+// dropped (the asynchronous-network loss semantics), and the next send
+// attempts a fresh connection.
+package tcpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"newtop/internal/transport"
+	"newtop/internal/types"
+	"newtop/internal/wire"
+)
+
+// MaxFrame bounds a single framed message on the wire.
+const MaxFrame = 32 << 20
+
+// Config configures an Endpoint.
+type Config struct {
+	// Self is this process's identifier.
+	Self types.ProcessID
+	// ListenAddr is the local address to accept peer connections on
+	// (e.g. "127.0.0.1:7001").
+	ListenAddr string
+	// Peers maps every peer process to its listen address.
+	Peers map[types.ProcessID]string
+	// DialTimeout bounds connection establishment (default 2s).
+	DialTimeout time.Duration
+	// WriteTimeout bounds a single frame write (default 5s); a timed-out
+	// write drops the connection, modelling a cut link.
+	WriteTimeout time.Duration
+}
+
+// Endpoint is a TCP-backed transport endpoint.
+type Endpoint struct {
+	cfg Config
+	ln  net.Listener
+
+	mu      sync.Mutex
+	senders map[types.ProcessID]*peerSender
+	inConns map[net.Conn]bool
+	closed  bool
+
+	recvMu   sync.Mutex
+	recvCond *sync.Cond
+	queue    []transport.Inbound
+
+	recv chan transport.Inbound
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+var _ transport.Endpoint = (*Endpoint)(nil)
+
+// New creates the endpoint and starts listening. Call Close to release the
+// listener and all connections.
+func New(cfg Config) (*Endpoint, error) {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 5 * time.Second
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet listen: %w", err)
+	}
+	ep := &Endpoint{
+		cfg:     cfg,
+		ln:      ln,
+		senders: make(map[types.ProcessID]*peerSender),
+		inConns: make(map[net.Conn]bool),
+		recv:    make(chan transport.Inbound),
+		done:    make(chan struct{}),
+	}
+	ep.recvCond = sync.NewCond(&ep.recvMu)
+	ep.wg.Add(2)
+	go ep.acceptLoop()
+	go ep.pump()
+	return ep, nil
+}
+
+// Addr returns the actual listen address (useful with ":0").
+func (ep *Endpoint) Addr() string { return ep.ln.Addr().String() }
+
+// Self implements transport.Endpoint.
+func (ep *Endpoint) Self() types.ProcessID { return ep.cfg.Self }
+
+// Recv implements transport.Endpoint.
+func (ep *Endpoint) Recv() <-chan transport.Inbound { return ep.recv }
+
+// Send implements transport.Endpoint. It never blocks on the network: the
+// message is handed to the peer's sender goroutine.
+func (ep *Endpoint) Send(dest types.ProcessID, m *types.Message) error {
+	if dest == ep.cfg.Self {
+		// Self-delivery short-circuits the network.
+		ep.push(ep.cfg.Self, m.Clone())
+		return nil
+	}
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return transport.ErrClosed
+	}
+	ps, ok := ep.senders[dest]
+	if !ok {
+		addr, known := ep.cfg.Peers[dest]
+		if !known {
+			ep.mu.Unlock()
+			return fmt.Errorf("%w: %v", transport.ErrUnknownPeer, dest)
+		}
+		ps = newPeerSender(ep, dest, addr)
+		ep.senders[dest] = ps
+		ep.wg.Add(1)
+		go ps.run()
+	}
+	ep.mu.Unlock()
+	ps.enqueue(m)
+	return nil
+}
+
+// Close implements transport.Endpoint.
+func (ep *Endpoint) Close() error {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return nil
+	}
+	ep.closed = true
+	senders := make([]*peerSender, 0, len(ep.senders))
+	for _, s := range ep.senders {
+		senders = append(senders, s)
+	}
+	conns := make([]net.Conn, 0, len(ep.inConns))
+	for c := range ep.inConns {
+		conns = append(conns, c)
+	}
+	ep.mu.Unlock()
+
+	close(ep.done)
+	_ = ep.ln.Close()
+	for _, s := range senders {
+		s.stop()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	ep.recvMu.Lock()
+	ep.recvCond.Signal()
+	ep.recvMu.Unlock()
+	ep.wg.Wait()
+	return nil
+}
+
+func (ep *Endpoint) isClosed() bool {
+	select {
+	case <-ep.done:
+		return true
+	default:
+		return false
+	}
+}
+
+func (ep *Endpoint) push(from types.ProcessID, m *types.Message) {
+	ep.recvMu.Lock()
+	defer ep.recvMu.Unlock()
+	if ep.isClosed() {
+		return
+	}
+	ep.queue = append(ep.queue, transport.Inbound{From: from, Msg: m})
+	ep.recvCond.Signal()
+}
+
+func (ep *Endpoint) pump() {
+	defer ep.wg.Done()
+	defer close(ep.recv)
+	for {
+		ep.recvMu.Lock()
+		for len(ep.queue) == 0 && !ep.isClosed() {
+			ep.recvCond.Wait()
+		}
+		if ep.isClosed() {
+			ep.recvMu.Unlock()
+			return
+		}
+		in := ep.queue[0]
+		ep.queue[0] = transport.Inbound{}
+		ep.queue = ep.queue[1:]
+		if len(ep.queue) == 0 {
+			ep.queue = nil
+		}
+		ep.recvMu.Unlock()
+		select {
+		case ep.recv <- in:
+		case <-ep.done:
+			return
+		}
+	}
+}
+
+func (ep *Endpoint) acceptLoop() {
+	defer ep.wg.Done()
+	for {
+		conn, err := ep.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		ep.mu.Lock()
+		if ep.closed {
+			ep.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		ep.inConns[conn] = true
+		ep.mu.Unlock()
+		ep.wg.Add(1)
+		go ep.readLoop(conn)
+	}
+}
+
+func (ep *Endpoint) readLoop(conn net.Conn) {
+	defer ep.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		ep.mu.Lock()
+		delete(ep.inConns, conn)
+		ep.mu.Unlock()
+	}()
+	// Hello: 4-byte peer process ID.
+	var hello [4]byte
+	if _, err := io.ReadFull(conn, hello[:]); err != nil {
+		return
+	}
+	from := types.ProcessID(binary.BigEndian.Uint32(hello[:]))
+	for {
+		m, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		ep.push(from, m)
+	}
+}
+
+func readFrame(r io.Reader) (*types.Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("tcpnet: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	m, err := wire.Unmarshal(buf)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet decode: %w", err)
+	}
+	return m, nil
+}
+
+func writeFrame(w io.Writer, m *types.Message) error {
+	body := wire.Marshal(nil, m)
+	frame := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(frame, uint32(len(body)))
+	copy(frame[4:], body)
+	_, err := w.Write(frame)
+	return err
+}
+
+// errPeerGone marks a dial failure; the message batch is dropped.
+var errPeerGone = errors.New("tcpnet: peer unreachable")

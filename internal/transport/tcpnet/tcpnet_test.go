@@ -1,0 +1,212 @@
+package tcpnet
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"newtop/internal/transport"
+	"newtop/internal/types"
+)
+
+// newPair starts two endpoints on loopback that know each other's address.
+func newPair(t *testing.T) (*Endpoint, *Endpoint) {
+	t.Helper()
+	a, err := New(Config{Self: 1, ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Config{Self: 2, ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		_ = a.Close()
+		t.Fatal(err)
+	}
+	a.cfg.Peers = map[types.ProcessID]string{2: b.Addr()}
+	b.cfg.Peers = map[types.ProcessID]string{1: a.Addr()}
+	t.Cleanup(func() {
+		_ = a.Close()
+		_ = b.Close()
+	})
+	return a, b
+}
+
+func msg(sender types.ProcessID, seq uint64, payload string) *types.Message {
+	return &types.Message{
+		Kind: types.KindData, Group: 1, Sender: sender, Origin: sender,
+		Num: types.MsgNum(seq), Seq: seq, Payload: []byte(payload),
+	}
+}
+
+func recvOne(t *testing.T, ep transport.Endpoint) transport.Inbound {
+	t.Helper()
+	select {
+	case in, ok := <-ep.Recv():
+		if !ok {
+			t.Fatal("recv channel closed")
+		}
+		return in
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out waiting for message")
+	}
+	return transport.Inbound{}
+}
+
+func TestRoundTripOverTCP(t *testing.T) {
+	a, b := newPair(t)
+	if err := a.Send(2, msg(1, 1, "hello over tcp")); err != nil {
+		t.Fatal(err)
+	}
+	in := recvOne(t, b)
+	if in.From != 1 {
+		t.Errorf("From = %v, want P1", in.From)
+	}
+	if string(in.Msg.Payload) != "hello over tcp" {
+		t.Errorf("payload = %q", in.Msg.Payload)
+	}
+	// And the reverse direction.
+	if err := b.Send(1, msg(2, 1, "reply")); err != nil {
+		t.Fatal(err)
+	}
+	in = recvOne(t, a)
+	if in.From != 2 || string(in.Msg.Payload) != "reply" {
+		t.Errorf("reply got %v from %v", in.Msg, in.From)
+	}
+}
+
+func TestFIFOOverTCP(t *testing.T) {
+	a, b := newPair(t)
+	const count = 500
+	for i := 1; i <= count; i++ {
+		if err := a.Send(2, msg(1, uint64(i), "x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= count; i++ {
+		in := recvOne(t, b)
+		if in.Msg.Seq != uint64(i) {
+			t.Fatalf("out of order: got %d, want %d", in.Msg.Seq, i)
+		}
+	}
+}
+
+func TestSelfSendShortCircuits(t *testing.T) {
+	a, _ := newPair(t)
+	if err := a.Send(1, msg(1, 7, "self")); err != nil {
+		t.Fatal(err)
+	}
+	in := recvOne(t, a)
+	if in.From != 1 || in.Msg.Seq != 7 {
+		t.Errorf("self delivery got %v", in.Msg)
+	}
+}
+
+func TestUnknownPeer(t *testing.T) {
+	a, _ := newPair(t)
+	if err := a.Send(42, msg(1, 1, "x")); !errors.Is(err, transport.ErrUnknownPeer) {
+		t.Errorf("err = %v, want ErrUnknownPeer", err)
+	}
+}
+
+func TestSendAfterCloseFails(t *testing.T) {
+	a, err := New(Config{Self: 1, ListenAddr: "127.0.0.1:0", Peers: map[types.ProcessID]string{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(2, msg(1, 1, "x")); !errors.Is(err, transport.ErrClosed) {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+	// Double close is fine.
+	if err := a.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestUnreachablePeerDropsSilently(t *testing.T) {
+	a, err := New(Config{
+		Self:        1,
+		ListenAddr:  "127.0.0.1:0",
+		Peers:       map[types.ProcessID]string{2: "127.0.0.1:1"}, // nothing listening
+		DialTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	// Sends succeed (async loss semantics), nothing is delivered anywhere,
+	// and Close does not hang on the failed dials.
+	for i := 0; i < 5; i++ {
+		if err := a.Send(2, msg(1, uint64(i+1), "lost")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(300 * time.Millisecond)
+}
+
+func TestPeerRestartReconnects(t *testing.T) {
+	a, b := newPair(t)
+	if err := a.Send(2, msg(1, 1, "first")); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b)
+
+	// Kill b's endpoint; messages to it are lost while it is down.
+	addr := b.Addr()
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_ = a.Send(2, msg(1, 2, "lost"))
+	time.Sleep(100 * time.Millisecond)
+
+	// Restart b on the same address.
+	b2, err := New(Config{Self: 2, ListenAddr: addr, Peers: map[types.ProcessID]string{1: a.Addr()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = b2.Close() }()
+
+	// Eventually a fresh send gets through on a new connection.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := a.Send(2, msg(1, 3, "after restart")); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case in := <-b2.Recv():
+			if string(in.Msg.Payload) == "after restart" {
+				return
+			}
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+	t.Fatal("no message delivered after peer restart")
+}
+
+func TestManyMessagesBothWays(t *testing.T) {
+	a, b := newPair(t)
+	const count = 200
+	go func() {
+		for i := 1; i <= count; i++ {
+			_ = a.Send(2, msg(1, uint64(i), "a->b"))
+		}
+	}()
+	go func() {
+		for i := 1; i <= count; i++ {
+			_ = b.Send(1, msg(2, uint64(i), "b->a"))
+		}
+	}()
+	for i := 1; i <= count; i++ {
+		in := recvOne(t, b)
+		if in.Msg.Seq != uint64(i) {
+			t.Fatalf("b: out of order %d vs %d", in.Msg.Seq, i)
+		}
+	}
+	for i := 1; i <= count; i++ {
+		in := recvOne(t, a)
+		if in.Msg.Seq != uint64(i) {
+			t.Fatalf("a: out of order %d vs %d", in.Msg.Seq, i)
+		}
+	}
+}

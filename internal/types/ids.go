@@ -1,0 +1,77 @@
+// Package types defines the identifiers, views and message structures shared
+// by every layer of the Newtop protocol suite (Ezhilchelvan, Macêdo,
+// Shrivastava — ICDCS 1995).
+//
+// The package is deliberately free of protocol logic: it is the vocabulary
+// spoken between the transport, the ordering engine, the membership service
+// and the application-facing API.
+package types
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ProcessID identifies a process in the system. Process identifiers are
+// totally ordered; the order is used for deterministic tie-breaking in
+// total-order delivery (safe2) and for deterministic sequencer election in
+// the asymmetric protocol.
+type ProcessID uint32
+
+// NilProcess is the zero ProcessID, never assigned to a real process.
+const NilProcess ProcessID = 0
+
+// String implements fmt.Stringer.
+func (p ProcessID) String() string { return fmt.Sprintf("P%d", uint32(p)) }
+
+// GroupID identifies a process group. Groups are created by the dynamic
+// group-formation protocol (§5.3); a process may belong to many groups
+// simultaneously.
+type GroupID uint32
+
+// NilGroup is the zero GroupID, never assigned to a real group.
+const NilGroup GroupID = 0
+
+// String implements fmt.Stringer.
+func (g GroupID) String() string { return fmt.Sprintf("g%d", uint32(g)) }
+
+// MsgNum is a logical-clock message number (the paper's m.c). Message numbers
+// are assigned by the sender's Lamport clock under rules CA1/CA2 and drive
+// both causal ordering and the total-order delivery gate.
+type MsgNum uint64
+
+// InfNum is the "infinity" message number installed in RV/SV entries for
+// processes removed from a view (§5.2 step viii), so that the delivery gate
+// D can advance past the departed member.
+const InfNum MsgNum = ^MsgNum(0)
+
+// String implements fmt.Stringer.
+func (n MsgNum) String() string {
+	if n == InfNum {
+		return "∞"
+	}
+	return fmt.Sprintf("%d", uint64(n))
+}
+
+// MessageID uniquely identifies a multicast message: the sender plus the
+// sender-local sequence number of the multicast within a group. The pair is
+// unique because a process sends with strictly increasing sequence numbers
+// per group (FIFO transport assumption, §3).
+type MessageID struct {
+	Sender ProcessID
+	Group  GroupID
+	Seq    uint64
+}
+
+// String implements fmt.Stringer.
+func (id MessageID) String() string {
+	return fmt.Sprintf("%v/%v#%d", id.Sender, id.Group, id.Seq)
+}
+
+// SortProcesses sorts a slice of process IDs ascending, in place, and
+// returns it. The deterministic order underpins sequencer election and
+// delivery tie-breaking.
+func SortProcesses(ps []ProcessID) []ProcessID {
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	return ps
+}

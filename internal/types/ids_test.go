@@ -1,0 +1,91 @@
+package types
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestProcessIDString(t *testing.T) {
+	tests := []struct {
+		p    ProcessID
+		want string
+	}{
+		{NilProcess, "P0"},
+		{ProcessID(1), "P1"},
+		{ProcessID(42), "P42"},
+	}
+	for _, tt := range tests {
+		if got := tt.p.String(); got != tt.want {
+			t.Errorf("ProcessID(%d).String() = %q, want %q", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestGroupIDString(t *testing.T) {
+	if got := GroupID(7).String(); got != "g7" {
+		t.Errorf("GroupID(7).String() = %q, want g7", got)
+	}
+}
+
+func TestMsgNumString(t *testing.T) {
+	if got := MsgNum(9).String(); got != "9" {
+		t.Errorf("MsgNum(9).String() = %q, want 9", got)
+	}
+	if got := InfNum.String(); got != "∞" {
+		t.Errorf("InfNum.String() = %q, want ∞", got)
+	}
+}
+
+func TestMessageIDString(t *testing.T) {
+	id := MessageID{Sender: 3, Group: 2, Seq: 11}
+	if got := id.String(); got != "P3/g2#11" {
+		t.Errorf("MessageID.String() = %q", got)
+	}
+}
+
+func TestSortProcesses(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []ProcessID
+		want []ProcessID
+	}{
+		{"empty", nil, nil},
+		{"single", []ProcessID{5}, []ProcessID{5}},
+		{"reverse", []ProcessID{3, 2, 1}, []ProcessID{1, 2, 3}},
+		{"duplicates kept", []ProcessID{2, 1, 2}, []ProcessID{1, 2, 2}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := SortProcesses(append([]ProcessID(nil), tt.in...))
+			if len(got) != len(tt.want) {
+				t.Fatalf("len = %d, want %d", len(got), len(tt.want))
+			}
+			for i := range got {
+				if got[i] != tt.want[i] {
+					t.Errorf("got[%d] = %v, want %v", i, got[i], tt.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestSortProcessesProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		ps := make([]ProcessID, len(raw))
+		for i, r := range raw {
+			ps[i] = ProcessID(r)
+		}
+		SortProcesses(ps)
+		return sort.SliceIsSorted(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInfNumIsMax(t *testing.T) {
+	if InfNum < MsgNum(1<<63) {
+		t.Error("InfNum must compare greater than any realistic message number")
+	}
+}

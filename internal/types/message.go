@@ -1,0 +1,203 @@
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind enumerates the protocol message kinds. Data and Null flow through
+// the ordering layer; the remaining kinds are control-plane traffic for the
+// membership service (GV processes, §5.2) and the group-formation protocol
+// (§5.3).
+type Kind uint8
+
+const (
+	// KindData is an application multicast (or, in the asymmetric
+	// protocol, the sequencer's ordered multicast of one).
+	KindData Kind = iota + 1
+	// KindNull is a time-silence null message (§4.1): it advances clocks
+	// and receive vectors but is never delivered to the application.
+	KindNull
+	// KindSeqRequest is the asymmetric protocol's unicast of a message to
+	// the group's sequencer for ordering (§4.2).
+	KindSeqRequest
+	// KindSuspect announces a failure suspicion {Pk, ln} (§5.2 step i).
+	KindSuspect
+	// KindRefute refutes a suspicion, piggybacking the suspected process's
+	// missing messages (§5.2 steps iii–iv).
+	KindRefute
+	// KindConfirmed announces an agreed failure-detection set (§5.2 step v).
+	KindConfirmed
+	// KindFormInvite invites processes to form a new group (§5.3 step 1).
+	KindFormInvite
+	// KindFormVote diffuses a member's yes/no decision (§5.3 steps 2–3).
+	KindFormVote
+	// KindStartGroup is the first message in a freshly formed group,
+	// carrying the proposed start-number (§5.3 steps 4–5).
+	KindStartGroup
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindData:
+		return "data"
+	case KindNull:
+		return "null"
+	case KindSeqRequest:
+		return "seqreq"
+	case KindSuspect:
+		return "suspect"
+	case KindRefute:
+		return "refute"
+	case KindConfirmed:
+		return "confirmed"
+	case KindFormInvite:
+		return "form-invite"
+	case KindFormVote:
+		return "form-vote"
+	case KindStartGroup:
+		return "start-group"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Suspicion is the pair {Pk, ln} of §5.2: process Pk is suspected to have
+// crashed, and ln is the number of the last message received from Pk by the
+// suspecting process.
+type Suspicion struct {
+	Proc ProcessID
+	LN   MsgNum
+}
+
+// String implements fmt.Stringer.
+func (s Suspicion) String() string { return fmt.Sprintf("{%v,ln=%v}", s.Proc, s.LN) }
+
+// Message is the single wire unit exchanged by Newtop processes. Exactly
+// which fields are meaningful depends on Kind; the codec in internal/wire
+// serialises only the fields a kind uses, which is what keeps Newtop's
+// message space overhead low and bounded (§6).
+type Message struct {
+	Kind   Kind
+	Group  GroupID
+	Sender ProcessID // transport-level sender of this message
+	Origin ProcessID // original author (differs from Sender for sequencer multicasts)
+
+	// Num is m.c, the Lamport number assigned under CA1. For
+	// KindSeqRequest it is the requester's provisional number; the
+	// sequencer re-stamps the multicast with a fresh number.
+	Num MsgNum
+
+	// Seq is the per-(sender,group) FIFO sequence number, used as the
+	// unique message identity together with Origin and Group.
+	Seq uint64
+
+	// LDN is the stability piggyback (§5.1): the sender's D_x for this
+	// group at send time ("largest deliverable number").
+	LDN MsgNum
+
+	// Payload is the opaque application payload (KindData/KindSeqRequest).
+	Payload []byte
+
+	// Suspicion is used by KindSuspect and KindRefute.
+	Suspicion Suspicion
+
+	// Detection is the agreed failure set of a KindConfirmed message.
+	Detection []Suspicion
+
+	// Recovered carries the missing messages piggybacked on a KindRefute
+	// (§5.2 step iii: "all received m of Pk, m.c > ln, can be piggybacked
+	// on the refute message").
+	Recovered []Message
+
+	// Invite lists the intended members of a new group (KindFormInvite,
+	// KindFormVote).
+	Invite []ProcessID
+
+	// Vote is the yes/no decision carried by KindFormVote.
+	Vote bool
+
+	// StartNum is the proposed start-number of a KindStartGroup message.
+	StartNum MsgNum
+}
+
+// ID returns the unique identity of a data-plane message: the pair
+// (Origin, Group, Seq). Valid for KindData, KindNull and KindStartGroup.
+func (m *Message) ID() MessageID {
+	return MessageID{Sender: m.Origin, Group: m.Group, Seq: m.Seq}
+}
+
+// IsDataPlane reports whether the message flows through the ordering layer
+// (its Num participates in RV/D bookkeeping).
+func (m *Message) IsDataPlane() bool {
+	switch m.Kind {
+	case KindData, KindNull, KindStartGroup:
+		return true
+	default:
+		return false
+	}
+}
+
+// IsControlPlane reports whether the message belongs to the membership or
+// formation services.
+func (m *Message) IsControlPlane() bool { return !m.IsDataPlane() && m.Kind != KindSeqRequest }
+
+// Clone returns a deep copy of the message.
+func (m *Message) Clone() *Message {
+	c := *m
+	if m.Payload != nil {
+		c.Payload = append([]byte(nil), m.Payload...)
+	}
+	if m.Detection != nil {
+		c.Detection = append([]Suspicion(nil), m.Detection...)
+	}
+	if m.Invite != nil {
+		c.Invite = append([]ProcessID(nil), m.Invite...)
+	}
+	if m.Recovered != nil {
+		c.Recovered = make([]Message, len(m.Recovered))
+		for i := range m.Recovered {
+			c.Recovered[i] = *m.Recovered[i].Clone()
+		}
+	}
+	return &c
+}
+
+// String implements fmt.Stringer.
+func (m *Message) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%v %v %v c=%v seq=%d", m.Kind, m.Group, m.Sender, m.Num, m.Seq)
+	if m.Origin != m.Sender && m.Origin != NilProcess {
+		fmt.Fprintf(&b, " origin=%v", m.Origin)
+	}
+	switch m.Kind {
+	case KindSuspect, KindRefute:
+		fmt.Fprintf(&b, " %v", m.Suspicion)
+	case KindConfirmed:
+		fmt.Fprintf(&b, " detection=%v", m.Detection)
+	case KindStartGroup:
+		fmt.Fprintf(&b, " start=%v", m.StartNum)
+	case KindData:
+		fmt.Fprintf(&b, " |payload|=%d", len(m.Payload))
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// TotalOrderLess is the deterministic delivery order of safe2: messages are
+// delivered in non-decreasing number order, ties broken by (origin, group,
+// seq). Every correct process applies the same comparison, which is what
+// makes equal-numbered deliveries identical everywhere.
+func TotalOrderLess(a, b *Message) bool {
+	if a.Num != b.Num {
+		return a.Num < b.Num
+	}
+	if a.Origin != b.Origin {
+		return a.Origin < b.Origin
+	}
+	if a.Group != b.Group {
+		return a.Group < b.Group
+	}
+	return a.Seq < b.Seq
+}

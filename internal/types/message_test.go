@@ -1,0 +1,161 @@
+package types
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		k    Kind
+		want string
+	}{
+		{KindData, "data"},
+		{KindNull, "null"},
+		{KindSeqRequest, "seqreq"},
+		{KindSuspect, "suspect"},
+		{KindRefute, "refute"},
+		{KindConfirmed, "confirmed"},
+		{KindFormInvite, "form-invite"},
+		{KindFormVote, "form-vote"},
+		{KindStartGroup, "start-group"},
+		{Kind(99), "kind(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.k.String(); got != tt.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestMessagePlaneClassification(t *testing.T) {
+	tests := []struct {
+		kind    Kind
+		data    bool
+		control bool
+	}{
+		{KindData, true, false},
+		{KindNull, true, false},
+		{KindStartGroup, true, false},
+		{KindSeqRequest, false, false},
+		{KindSuspect, false, true},
+		{KindRefute, false, true},
+		{KindConfirmed, false, true},
+		{KindFormInvite, false, true},
+		{KindFormVote, false, true},
+	}
+	for _, tt := range tests {
+		m := &Message{Kind: tt.kind}
+		if got := m.IsDataPlane(); got != tt.data {
+			t.Errorf("%v.IsDataPlane() = %v, want %v", tt.kind, got, tt.data)
+		}
+		if got := m.IsControlPlane(); got != tt.control {
+			t.Errorf("%v.IsControlPlane() = %v, want %v", tt.kind, got, tt.control)
+		}
+	}
+}
+
+func TestMessageID(t *testing.T) {
+	m := &Message{Kind: KindData, Group: 2, Sender: 7, Origin: 3, Seq: 5}
+	id := m.ID()
+	if id.Sender != 3 || id.Group != 2 || id.Seq != 5 {
+		t.Errorf("ID() = %v, want origin-based identity", id)
+	}
+}
+
+func TestMessageCloneDeep(t *testing.T) {
+	m := &Message{
+		Kind:      KindRefute,
+		Group:     1,
+		Sender:    2,
+		Origin:    2,
+		Payload:   []byte{1, 2, 3},
+		Detection: []Suspicion{{Proc: 4, LN: 9}},
+		Invite:    []ProcessID{1, 2},
+		Recovered: []Message{{Kind: KindData, Payload: []byte{9}}},
+	}
+	c := m.Clone()
+	c.Payload[0] = 42
+	c.Detection[0].LN = 1
+	c.Invite[0] = 99
+	c.Recovered[0].Payload[0] = 42
+	if m.Payload[0] != 1 || m.Detection[0].LN != 9 || m.Invite[0] != 1 || m.Recovered[0].Payload[0] != 9 {
+		t.Error("Clone shares memory with original")
+	}
+}
+
+func TestTotalOrderLess(t *testing.T) {
+	mk := func(num MsgNum, origin ProcessID, group GroupID, seq uint64) *Message {
+		return &Message{Num: num, Origin: origin, Group: group, Seq: seq}
+	}
+	tests := []struct {
+		name string
+		a, b *Message
+		want bool
+	}{
+		{"by num", mk(1, 9, 9, 9), mk(2, 1, 1, 1), true},
+		{"num ties: by origin", mk(5, 1, 9, 9), mk(5, 2, 1, 1), true},
+		{"origin ties: by group", mk(5, 1, 1, 9), mk(5, 1, 2, 1), true},
+		{"group ties: by seq", mk(5, 1, 1, 1), mk(5, 1, 1, 2), true},
+		{"equal", mk(5, 1, 1, 1), mk(5, 1, 1, 1), false},
+		{"reverse", mk(6, 1, 1, 1), mk(5, 9, 9, 9), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := TotalOrderLess(tt.a, tt.b); got != tt.want {
+				t.Errorf("TotalOrderLess = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+// Property: TotalOrderLess is a strict weak ordering — irreflexive,
+// asymmetric, and transitive over random messages.
+func TestTotalOrderLessProperty(t *testing.T) {
+	type key struct {
+		Num    uint8
+		Origin uint8
+		Group  uint8
+		Seq    uint8
+	}
+	mk := func(k key) *Message {
+		return &Message{Num: MsgNum(k.Num), Origin: ProcessID(k.Origin), Group: GroupID(k.Group), Seq: uint64(k.Seq)}
+	}
+	f := func(a, b, c key) bool {
+		ma, mb, mc := mk(a), mk(b), mk(c)
+		if TotalOrderLess(ma, ma) {
+			return false // irreflexive
+		}
+		if TotalOrderLess(ma, mb) && TotalOrderLess(mb, ma) {
+			return false // asymmetric
+		}
+		if TotalOrderLess(ma, mb) && TotalOrderLess(mb, mc) && !TotalOrderLess(ma, mc) {
+			return false // transitive
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sorting by TotalOrderLess yields non-decreasing Num.
+func TestTotalOrderSortNonDecreasingNum(t *testing.T) {
+	f := func(nums []uint8) bool {
+		ms := make([]*Message, len(nums))
+		for i, n := range nums {
+			ms[i] = &Message{Num: MsgNum(n), Origin: ProcessID(i), Seq: uint64(i)}
+		}
+		sort.Slice(ms, func(i, j int) bool { return TotalOrderLess(ms[i], ms[j]) })
+		for i := 1; i < len(ms); i++ {
+			if ms[i].Num < ms[i-1].Num {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

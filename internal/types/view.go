@@ -1,0 +1,163 @@
+package types
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// View is a membership view of a group (the paper's V^r_{x,i}): the set of
+// processes that member Pi currently believes to be the functioning,
+// connected members of group gx, together with the index r of the view in
+// the sequence of views Pi has installed for gx.
+//
+// Views are immutable once created; installation of a new view replaces the
+// whole value. In Newtop a new view is always a proper subset of the old
+// one — processes never rejoin a group they left, they form a new group
+// (§3).
+type View struct {
+	Group   GroupID
+	Index   int         // r: 0 for the initial view, +1 per installation
+	Members []ProcessID // sorted ascending, no duplicates
+
+	// Excluded counts, per member, how many processes that member has
+	// excluded from the initial view when this view was installed. It
+	// implements the signature-view variant ϑ of §6 (adapted from
+	// Schiper & Ricciardi [19]): a view is then the set of signatures
+	// {Pj, ej}, and concurrent views never intersect. Excluded[k]
+	// corresponds to Members[k]. Nil when the variant is disabled.
+	Excluded []int
+}
+
+// NewView builds a view over the given members (copied, sorted,
+// de-duplicated).
+func NewView(g GroupID, index int, members []ProcessID) View {
+	ms := make([]ProcessID, 0, len(members))
+	seen := make(map[ProcessID]bool, len(members))
+	for _, p := range members {
+		if !seen[p] {
+			seen[p] = true
+			ms = append(ms, p)
+		}
+	}
+	SortProcesses(ms)
+	return View{Group: g, Index: index, Members: ms}
+}
+
+// Contains reports whether p is a member of the view.
+func (v View) Contains(p ProcessID) bool {
+	i := sort.Search(len(v.Members), func(i int) bool { return v.Members[i] >= p })
+	return i < len(v.Members) && v.Members[i] == p
+}
+
+// Size returns the number of members.
+func (v View) Size() int { return len(v.Members) }
+
+// Without returns a new view (index+1) with the given processes removed.
+// Excluded signatures, when present, are advanced by the number of removed
+// processes as in the §6 signature-view scheme.
+func (v View) Without(removed map[ProcessID]bool) View {
+	ms := make([]ProcessID, 0, len(v.Members))
+	var exc []int
+	for i, p := range v.Members {
+		if removed[p] {
+			continue
+		}
+		ms = append(ms, p)
+		if v.Excluded != nil {
+			exc = append(exc, v.Excluded[i])
+		}
+	}
+	nRemoved := len(v.Members) - len(ms)
+	if exc != nil {
+		for i := range exc {
+			exc[i] += nRemoved
+		}
+	}
+	return View{Group: v.Group, Index: v.Index + 1, Members: ms, Excluded: exc}
+}
+
+// Equal reports whether the two views have the same group, index and
+// membership (and signatures, when present).
+func (v View) Equal(o View) bool {
+	if v.Group != o.Group || v.Index != o.Index || len(v.Members) != len(o.Members) {
+		return false
+	}
+	for i := range v.Members {
+		if v.Members[i] != o.Members[i] {
+			return false
+		}
+	}
+	if (v.Excluded == nil) != (o.Excluded == nil) {
+		return false
+	}
+	for i := range v.Excluded {
+		if v.Excluded[i] != o.Excluded[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SameMembers reports whether the two views contain exactly the same
+// processes, regardless of index.
+func (v View) SameMembers(o View) bool {
+	if len(v.Members) != len(o.Members) {
+		return false
+	}
+	for i := range v.Members {
+		if v.Members[i] != o.Members[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether the two views share at least one member. Under
+// the signature-view variant two members intersect only if they share a
+// member with an identical exclusion count, matching ϑ of §6.
+func (v View) Intersects(o View) bool {
+	for i, p := range v.Members {
+		for j, q := range o.Members {
+			if p != q {
+				continue
+			}
+			if v.Excluded == nil || o.Excluded == nil {
+				return true
+			}
+			if v.Excluded[i] == o.Excluded[j] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the view.
+func (v View) Clone() View {
+	ms := make([]ProcessID, len(v.Members))
+	copy(ms, v.Members)
+	var exc []int
+	if v.Excluded != nil {
+		exc = make([]int, len(v.Excluded))
+		copy(exc, v.Excluded)
+	}
+	return View{Group: v.Group, Index: v.Index, Members: ms, Excluded: exc}
+}
+
+// String implements fmt.Stringer.
+func (v View) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "V%d_%v{", v.Index, v.Group)
+	for i, p := range v.Members {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString(p.String())
+		if v.Excluded != nil {
+			fmt.Fprintf(&b, ":%d", v.Excluded[i])
+		}
+	}
+	b.WriteString("}")
+	return b.String()
+}

@@ -1,0 +1,165 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewViewSortsAndDedups(t *testing.T) {
+	v := NewView(1, 0, []ProcessID{3, 1, 2, 3, 1})
+	want := []ProcessID{1, 2, 3}
+	if len(v.Members) != len(want) {
+		t.Fatalf("members = %v, want %v", v.Members, want)
+	}
+	for i := range want {
+		if v.Members[i] != want[i] {
+			t.Errorf("members[%d] = %v, want %v", i, v.Members[i], want[i])
+		}
+	}
+}
+
+func TestViewContains(t *testing.T) {
+	v := NewView(1, 0, []ProcessID{1, 3, 5})
+	tests := []struct {
+		p    ProcessID
+		want bool
+	}{
+		{1, true}, {2, false}, {3, true}, {4, false}, {5, true}, {6, false},
+	}
+	for _, tt := range tests {
+		if got := v.Contains(tt.p); got != tt.want {
+			t.Errorf("Contains(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestViewWithout(t *testing.T) {
+	v := NewView(1, 0, []ProcessID{1, 2, 3, 4})
+	v2 := v.Without(map[ProcessID]bool{2: true, 4: true})
+	if v2.Index != 1 {
+		t.Errorf("Index = %d, want 1", v2.Index)
+	}
+	if v2.Size() != 2 || !v2.Contains(1) || !v2.Contains(3) {
+		t.Errorf("members = %v, want [P1 P3]", v2.Members)
+	}
+	// Original untouched (immutability).
+	if v.Size() != 4 {
+		t.Errorf("original view mutated: %v", v)
+	}
+}
+
+func TestViewWithoutSignatures(t *testing.T) {
+	v := NewView(1, 0, []ProcessID{1, 2, 3, 4, 5})
+	v.Excluded = []int{0, 0, 0, 0, 0}
+	// Replay example 3 of §6: {Pi,Pj} exclude three processes at once.
+	v1 := v.Without(map[ProcessID]bool{3: true, 4: true, 5: true})
+	for i, e := range v1.Excluded {
+		if e != 3 {
+			t.Errorf("Excluded[%d] = %d, want 3", i, e)
+		}
+	}
+	// {Pk,Pl} exclude one then two.
+	w1 := v.Without(map[ProcessID]bool{5: true})
+	w2 := w1.Without(map[ProcessID]bool{1: true, 2: true})
+	for i, e := range w2.Excluded {
+		if e != 3 {
+			t.Errorf("w2.Excluded[%d] = %d, want 3", i, e)
+		}
+	}
+	// Signature views: v1 = {P1:3, P2:3}, w1 = {P1:1,...}: intersect must be false,
+	// because shared members carry different exclusion counts.
+	if v1.Intersects(w1) {
+		t.Error("signature views with different exclusion counts must not intersect")
+	}
+	// Plain views over the same member sets would intersect.
+	p1, q1 := v1.Clone(), w1.Clone()
+	p1.Excluded, q1.Excluded = nil, nil
+	if !p1.Intersects(q1) {
+		t.Error("plain views sharing members must intersect")
+	}
+}
+
+func TestViewEqual(t *testing.T) {
+	a := NewView(1, 0, []ProcessID{1, 2})
+	b := NewView(1, 0, []ProcessID{1, 2})
+	c := NewView(1, 1, []ProcessID{1, 2})
+	d := NewView(2, 0, []ProcessID{1, 2})
+	e := NewView(1, 0, []ProcessID{1, 3})
+	if !a.Equal(b) {
+		t.Error("identical views must be Equal")
+	}
+	for _, o := range []View{c, d, e} {
+		if a.Equal(o) {
+			t.Errorf("a.Equal(%v) = true, want false", o)
+		}
+	}
+}
+
+func TestViewSameMembers(t *testing.T) {
+	a := NewView(1, 0, []ProcessID{1, 2})
+	c := NewView(1, 5, []ProcessID{1, 2})
+	if !a.SameMembers(c) {
+		t.Error("SameMembers must ignore index")
+	}
+	if a.SameMembers(NewView(1, 0, []ProcessID{1})) {
+		t.Error("different sizes must not be SameMembers")
+	}
+}
+
+func TestViewCloneIndependence(t *testing.T) {
+	a := NewView(1, 0, []ProcessID{1, 2})
+	a.Excluded = []int{4, 4}
+	b := a.Clone()
+	b.Members[0] = 9
+	b.Excluded[0] = 9
+	if a.Members[0] != 1 || a.Excluded[0] != 4 {
+		t.Error("Clone shares backing arrays")
+	}
+}
+
+func TestViewString(t *testing.T) {
+	v := NewView(2, 1, []ProcessID{1, 3})
+	if got := v.String(); got != "V1_g2{P1,P3}" {
+		t.Errorf("String() = %q", got)
+	}
+	v.Excluded = []int{2, 2}
+	if got := v.String(); got != "V1_g2{P1:2,P3:2}" {
+		t.Errorf("String() with signatures = %q", got)
+	}
+}
+
+// Property: Without never grows a view and always bumps the index by one.
+func TestViewWithoutProperty(t *testing.T) {
+	f := func(raw []uint32, removeMask []bool) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		ps := make([]ProcessID, len(raw))
+		for i, r := range raw {
+			ps[i] = ProcessID(r%64 + 1)
+		}
+		v := NewView(1, 0, ps)
+		rm := make(map[ProcessID]bool)
+		for i, p := range v.Members {
+			if i < len(removeMask) && removeMask[i] {
+				rm[p] = true
+			}
+		}
+		v2 := v.Without(rm)
+		if v2.Index != v.Index+1 {
+			return false
+		}
+		if v2.Size() != v.Size()-len(rm) {
+			return false
+		}
+		for _, p := range v2.Members {
+			if rm[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

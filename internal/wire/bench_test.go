@@ -1,0 +1,71 @@
+package wire
+
+import (
+	"testing"
+
+	"newtop/internal/types"
+)
+
+// Codec micro-benchmarks: the marshal path runs once per point-to-point
+// transmission in the TCP transport, so its cost and allocation profile
+// matter for throughput.
+
+func benchMsg(payload int) *types.Message {
+	return &types.Message{
+		Kind: types.KindData, Group: 3, Sender: 17, Origin: 17,
+		Num: 1 << 20, Seq: 9999, LDN: 1<<20 - 40,
+		Payload: make([]byte, payload),
+	}
+}
+
+func BenchmarkMarshalData64(b *testing.B) {
+	m := benchMsg(64)
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = Marshal(buf[:0], m)
+	}
+}
+
+func BenchmarkMarshalData4K(b *testing.B) {
+	m := benchMsg(4096)
+	buf := make([]byte, 0, 8192)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = Marshal(buf[:0], m)
+	}
+}
+
+func BenchmarkUnmarshalData64(b *testing.B) {
+	enc := Marshal(nil, benchMsg(64))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarshalNull(b *testing.B) {
+	m := &types.Message{Kind: types.KindNull, Group: 3, Sender: 17, Origin: 17, Num: 1 << 20, Seq: 9999, LDN: 1 << 19}
+	buf := make([]byte, 0, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = Marshal(buf[:0], m)
+	}
+}
+
+func BenchmarkMarshalRefuteWithRecovery(b *testing.B) {
+	ref := &types.Message{
+		Kind: types.KindRefute, Group: 3, Sender: 2, Origin: 2,
+		Suspicion: types.Suspicion{Proc: 5, LN: 100},
+	}
+	for i := 0; i < 8; i++ {
+		ref.Recovered = append(ref.Recovered, *benchMsg(64))
+	}
+	buf := make([]byte, 0, 2048)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = Marshal(buf[:0], ref)
+	}
+}

@@ -1,0 +1,285 @@
+// Package wire is the binary codec for Newtop protocol messages.
+//
+// The encoding is deliberately compact: a message carries only its kind,
+// addressing, its Lamport number m.c and the stability piggyback m.ldn —
+// the "small, bounded message space overhead" that §6 of the paper credits
+// for Newtop's advantage over vector-clock protocols, whose headers grow
+// with group size. Benchmark C1 measures exactly this difference using
+// Marshal and the vector-clock baseline's codec.
+//
+// Integers are encoded as unsigned varints (encoding/binary). Kind-specific
+// fields follow a fixed common header; fields a kind does not use are not
+// transmitted.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"newtop/internal/types"
+)
+
+// Codec errors. ErrTruncated and ErrTrailing are returned by Unmarshal for
+// malformed input; ErrTooLarge guards against absurd length fields from a
+// hostile or corrupted peer.
+var (
+	ErrTruncated = errors.New("wire: truncated message")
+	ErrTrailing  = errors.New("wire: trailing bytes after message")
+	ErrBadKind   = errors.New("wire: unknown message kind")
+	ErrTooLarge  = errors.New("wire: declared length exceeds limit")
+)
+
+// MaxPayload bounds a single message payload; MaxList bounds any embedded
+// list (members, detection sets, recovered messages).
+const (
+	MaxPayload = 16 << 20
+	MaxList    = 1 << 16
+)
+
+// Marshal appends the binary encoding of m to dst and returns the extended
+// slice.
+func Marshal(dst []byte, m *types.Message) []byte {
+	dst = append(dst, byte(m.Kind))
+	dst = binary.AppendUvarint(dst, uint64(m.Group))
+	dst = binary.AppendUvarint(dst, uint64(m.Sender))
+	dst = binary.AppendUvarint(dst, uint64(m.Origin))
+	dst = binary.AppendUvarint(dst, uint64(m.Num))
+	dst = binary.AppendUvarint(dst, m.Seq)
+	dst = binary.AppendUvarint(dst, uint64(m.LDN))
+	switch m.Kind {
+	case types.KindData, types.KindSeqRequest:
+		dst = binary.AppendUvarint(dst, uint64(len(m.Payload)))
+		dst = append(dst, m.Payload...)
+	case types.KindNull:
+		// header only
+	case types.KindSuspect:
+		dst = appendSuspicion(dst, m.Suspicion)
+	case types.KindRefute:
+		dst = appendSuspicion(dst, m.Suspicion)
+		dst = binary.AppendUvarint(dst, uint64(len(m.Recovered)))
+		for i := range m.Recovered {
+			inner := Marshal(nil, &m.Recovered[i])
+			dst = binary.AppendUvarint(dst, uint64(len(inner)))
+			dst = append(dst, inner...)
+		}
+	case types.KindConfirmed:
+		dst = binary.AppendUvarint(dst, uint64(len(m.Detection)))
+		for _, s := range m.Detection {
+			dst = appendSuspicion(dst, s)
+		}
+	case types.KindFormInvite:
+		dst = appendProcs(dst, m.Invite)
+	case types.KindFormVote:
+		if m.Vote {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = appendProcs(dst, m.Invite)
+	case types.KindStartGroup:
+		dst = binary.AppendUvarint(dst, uint64(m.StartNum))
+	}
+	return dst
+}
+
+// Unmarshal decodes exactly one message from buf, which must contain the
+// complete encoding and nothing else.
+func Unmarshal(buf []byte) (*types.Message, error) {
+	m, rest, err := decode(buf, 0)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTrailing, len(rest))
+	}
+	return m, nil
+}
+
+// Size returns the encoded size of m in bytes.
+func Size(m *types.Message) int { return len(Marshal(nil, m)) }
+
+// Overhead returns the protocol-header bytes of m: encoded size minus the
+// application payload. This is the quantity compared against vector-clock
+// headers in benchmark C1.
+func Overhead(m *types.Message) int { return Size(m) - len(m.Payload) }
+
+const maxDepth = 2 // refutes embed data messages; those embed nothing
+
+func decode(buf []byte, depth int) (*types.Message, []byte, error) {
+	if depth > maxDepth {
+		return nil, nil, fmt.Errorf("%w: nesting too deep", ErrTooLarge)
+	}
+	if len(buf) < 1 {
+		return nil, nil, ErrTruncated
+	}
+	m := &types.Message{Kind: types.Kind(buf[0])}
+	buf = buf[1:]
+	var v uint64
+	var err error
+	if v, buf, err = uvarint(buf); err != nil {
+		return nil, nil, err
+	}
+	m.Group = types.GroupID(v)
+	if v, buf, err = uvarint(buf); err != nil {
+		return nil, nil, err
+	}
+	m.Sender = types.ProcessID(v)
+	if v, buf, err = uvarint(buf); err != nil {
+		return nil, nil, err
+	}
+	m.Origin = types.ProcessID(v)
+	if v, buf, err = uvarint(buf); err != nil {
+		return nil, nil, err
+	}
+	m.Num = types.MsgNum(v)
+	if m.Seq, buf, err = uvarint(buf); err != nil {
+		return nil, nil, err
+	}
+	if v, buf, err = uvarint(buf); err != nil {
+		return nil, nil, err
+	}
+	m.LDN = types.MsgNum(v)
+
+	switch m.Kind {
+	case types.KindData, types.KindSeqRequest:
+		var n uint64
+		if n, buf, err = uvarint(buf); err != nil {
+			return nil, nil, err
+		}
+		if n > MaxPayload {
+			return nil, nil, fmt.Errorf("%w: payload %d", ErrTooLarge, n)
+		}
+		if uint64(len(buf)) < n {
+			return nil, nil, ErrTruncated
+		}
+		if n > 0 {
+			m.Payload = append([]byte(nil), buf[:n]...)
+		}
+		buf = buf[n:]
+	case types.KindNull:
+	case types.KindSuspect:
+		if m.Suspicion, buf, err = decodeSuspicion(buf); err != nil {
+			return nil, nil, err
+		}
+	case types.KindRefute:
+		if m.Suspicion, buf, err = decodeSuspicion(buf); err != nil {
+			return nil, nil, err
+		}
+		var n uint64
+		if n, buf, err = uvarint(buf); err != nil {
+			return nil, nil, err
+		}
+		if n > MaxList {
+			return nil, nil, fmt.Errorf("%w: recovered %d", ErrTooLarge, n)
+		}
+		for i := uint64(0); i < n; i++ {
+			var sz uint64
+			if sz, buf, err = uvarint(buf); err != nil {
+				return nil, nil, err
+			}
+			if uint64(len(buf)) < sz {
+				return nil, nil, ErrTruncated
+			}
+			inner, rest, err := decode(buf[:sz], depth+1)
+			if err != nil {
+				return nil, nil, err
+			}
+			if len(rest) != 0 {
+				return nil, nil, ErrTrailing
+			}
+			m.Recovered = append(m.Recovered, *inner)
+			buf = buf[sz:]
+		}
+	case types.KindConfirmed:
+		var n uint64
+		if n, buf, err = uvarint(buf); err != nil {
+			return nil, nil, err
+		}
+		if n > MaxList {
+			return nil, nil, fmt.Errorf("%w: detection %d", ErrTooLarge, n)
+		}
+		for i := uint64(0); i < n; i++ {
+			var s types.Suspicion
+			if s, buf, err = decodeSuspicion(buf); err != nil {
+				return nil, nil, err
+			}
+			m.Detection = append(m.Detection, s)
+		}
+	case types.KindFormInvite:
+		if m.Invite, buf, err = decodeProcs(buf); err != nil {
+			return nil, nil, err
+		}
+	case types.KindFormVote:
+		if len(buf) < 1 {
+			return nil, nil, ErrTruncated
+		}
+		m.Vote = buf[0] == 1
+		buf = buf[1:]
+		if m.Invite, buf, err = decodeProcs(buf); err != nil {
+			return nil, nil, err
+		}
+	case types.KindStartGroup:
+		if v, buf, err = uvarint(buf); err != nil {
+			return nil, nil, err
+		}
+		m.StartNum = types.MsgNum(v)
+	default:
+		return nil, nil, fmt.Errorf("%w: %d", ErrBadKind, m.Kind)
+	}
+	return m, buf, nil
+}
+
+func appendSuspicion(dst []byte, s types.Suspicion) []byte {
+	dst = binary.AppendUvarint(dst, uint64(s.Proc))
+	return binary.AppendUvarint(dst, uint64(s.LN))
+}
+
+func decodeSuspicion(buf []byte) (types.Suspicion, []byte, error) {
+	var s types.Suspicion
+	v, buf, err := uvarint(buf)
+	if err != nil {
+		return s, nil, err
+	}
+	s.Proc = types.ProcessID(v)
+	if v, buf, err = uvarint(buf); err != nil {
+		return s, nil, err
+	}
+	s.LN = types.MsgNum(v)
+	return s, buf, nil
+}
+
+func appendProcs(dst []byte, ps []types.ProcessID) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ps)))
+	for _, p := range ps {
+		dst = binary.AppendUvarint(dst, uint64(p))
+	}
+	return dst
+}
+
+func decodeProcs(buf []byte) ([]types.ProcessID, []byte, error) {
+	n, buf, err := uvarint(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > MaxList {
+		return nil, nil, fmt.Errorf("%w: members %d", ErrTooLarge, n)
+	}
+	ps := make([]types.ProcessID, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var v uint64
+		if v, buf, err = uvarint(buf); err != nil {
+			return nil, nil, err
+		}
+		ps = append(ps, types.ProcessID(v))
+	}
+	return ps, buf, nil
+}
+
+func uvarint(buf []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, nil, ErrTruncated
+	}
+	return v, buf[n:], nil
+}

@@ -1,0 +1,178 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"newtop/internal/types"
+)
+
+func sampleMessages() []*types.Message {
+	return []*types.Message{
+		{Kind: types.KindData, Group: 1, Sender: 2, Origin: 2, Num: 10, Seq: 3, LDN: 7, Payload: []byte("hello")},
+		{Kind: types.KindData, Group: 1, Sender: 2, Origin: 2, Num: 10, Seq: 3, LDN: 7}, // empty payload
+		{Kind: types.KindNull, Group: 4, Sender: 9, Origin: 9, Num: 99, Seq: 12, LDN: 98},
+		{Kind: types.KindSeqRequest, Group: 2, Sender: 3, Origin: 3, Num: 5, Seq: 1, Payload: []byte{0, 1, 2}},
+		{Kind: types.KindSuspect, Group: 1, Sender: 1, Origin: 1, Suspicion: types.Suspicion{Proc: 5, LN: 17}},
+		{Kind: types.KindRefute, Group: 1, Sender: 2, Origin: 2, Suspicion: types.Suspicion{Proc: 5, LN: 17},
+			Recovered: []types.Message{
+				{Kind: types.KindData, Group: 1, Sender: 5, Origin: 5, Num: 18, Seq: 6, LDN: 11, Payload: []byte("lost")},
+				{Kind: types.KindNull, Group: 1, Sender: 5, Origin: 5, Num: 19, Seq: 7, LDN: 12},
+			}},
+		{Kind: types.KindConfirmed, Group: 3, Sender: 4, Origin: 4,
+			Detection: []types.Suspicion{{Proc: 1, LN: 2}, {Proc: 6, LN: 30}}},
+		{Kind: types.KindFormInvite, Group: 9, Sender: 1, Origin: 1, Invite: []types.ProcessID{1, 2, 3}},
+		{Kind: types.KindFormVote, Group: 9, Sender: 2, Origin: 2, Vote: true, Invite: []types.ProcessID{1, 2, 3}},
+		{Kind: types.KindFormVote, Group: 9, Sender: 3, Origin: 3, Vote: false, Invite: []types.ProcessID{1, 2, 3}},
+		{Kind: types.KindStartGroup, Group: 9, Sender: 1, Origin: 1, Num: 44, Seq: 1, LDN: 0, StartNum: 44},
+		{Kind: types.KindData, Group: 1, Sender: 7, Origin: 7, Num: types.InfNum - 1, Seq: 1 << 60, LDN: types.InfNum},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, m := range sampleMessages() {
+		t.Run(m.Kind.String(), func(t *testing.T) {
+			enc := Marshal(nil, m)
+			got, err := Unmarshal(enc)
+			if err != nil {
+				t.Fatalf("Unmarshal: %v", err)
+			}
+			if !reflect.DeepEqual(m, got) {
+				t.Errorf("round trip mismatch:\n in: %#v\nout: %#v", m, got)
+			}
+		})
+	}
+}
+
+func TestMarshalAppends(t *testing.T) {
+	prefix := []byte("prefix")
+	m := &types.Message{Kind: types.KindNull, Group: 1, Sender: 1, Origin: 1}
+	out := Marshal(append([]byte(nil), prefix...), m)
+	if !bytes.HasPrefix(out, prefix) {
+		t.Error("Marshal must append to dst")
+	}
+}
+
+func TestSizeMatchesMarshal(t *testing.T) {
+	for _, m := range sampleMessages() {
+		if Size(m) != len(Marshal(nil, m)) {
+			t.Errorf("Size(%v) = %d, want %d", m.Kind, Size(m), len(Marshal(nil, m)))
+		}
+	}
+}
+
+func TestOverheadExcludesPayload(t *testing.T) {
+	small := &types.Message{Kind: types.KindData, Group: 1, Sender: 1, Origin: 1, Num: 5, Seq: 1, LDN: 4, Payload: []byte{1}}
+	big := small.Clone()
+	big.Payload = make([]byte, 10000)
+	// Payload length varint differs by at most 2 bytes between the two.
+	if d := Overhead(big) - Overhead(small); d < 0 || d > 2 {
+		t.Errorf("overhead grew by %d with payload size; want ≤2 (length varint only)", d)
+	}
+}
+
+func TestOverheadBounded(t *testing.T) {
+	// §6 claim: protocol information in a multicast is small and bounded.
+	// A data message header must stay under 64 bytes even with maximal
+	// field values.
+	m := &types.Message{
+		Kind: types.KindData, Group: 1 << 30, Sender: 1 << 30, Origin: 1 << 30,
+		Num: types.InfNum - 1, Seq: 1 << 62, LDN: types.InfNum - 1,
+		Payload: []byte("x"),
+	}
+	if oh := Overhead(m); oh > 64 {
+		t.Errorf("data header overhead = %d bytes; want bounded ≤ 64", oh)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	valid := Marshal(nil, &types.Message{Kind: types.KindData, Group: 1, Sender: 2, Origin: 2, Num: 3, Seq: 4, LDN: 1, Payload: []byte("abc")})
+	tests := []struct {
+		name string
+		buf  []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"bad kind", append([]byte{0xEE}, valid[1:]...), ErrBadKind},
+		{"truncated header", valid[:2], ErrTruncated},
+		{"truncated payload", valid[:len(valid)-1], ErrTruncated},
+		{"trailing", append(append([]byte(nil), valid...), 0x00), ErrTrailing},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Unmarshal(tt.buf)
+			if !errors.Is(err, tt.want) {
+				t.Errorf("Unmarshal error = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestUnmarshalRejectsHugePayloadClaim(t *testing.T) {
+	// Header claiming a payload far beyond MaxPayload must be rejected
+	// without allocating.
+	m := &types.Message{Kind: types.KindData, Group: 1, Sender: 1, Origin: 1, Num: 1, Seq: 1}
+	enc := Marshal(nil, m)
+	// Rewrite payload length varint (last byte, since payload empty) to a huge value.
+	enc = enc[:len(enc)-1]
+	var tail []byte
+	tail = appendHugeUvarint(tail)
+	enc = append(enc, tail...)
+	_, err := Unmarshal(enc)
+	if !errors.Is(err, ErrTooLarge) && !errors.Is(err, ErrTruncated) {
+		t.Errorf("Unmarshal error = %v, want ErrTooLarge/ErrTruncated", err)
+	}
+}
+
+func appendHugeUvarint(dst []byte) []byte {
+	// 2^40: way past MaxPayload.
+	return append(dst, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01)
+}
+
+func TestUnmarshalGarbageNeverPanics(t *testing.T) {
+	f := func(buf []byte) bool {
+		_, _ = Unmarshal(buf) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(group, sender, origin uint32, num, seq uint64, payload []byte) bool {
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		m := &types.Message{
+			Kind: types.KindData, Group: types.GroupID(group), Sender: types.ProcessID(sender),
+			Origin: types.ProcessID(origin), Num: types.MsgNum(num), Seq: seq, LDN: types.MsgNum(num / 2),
+		}
+		if len(payload) > 0 {
+			m.Payload = payload
+		}
+		got, err := Unmarshal(Marshal(nil, m))
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(m, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNestedRefuteDepthLimit(t *testing.T) {
+	// A refute containing a refute containing a refute exceeds maxDepth and
+	// must be rejected rather than recursing unboundedly.
+	inner := types.Message{Kind: types.KindRefute, Group: 1, Sender: 1, Origin: 1,
+		Recovered: []types.Message{{Kind: types.KindRefute, Group: 1, Sender: 1, Origin: 1,
+			Recovered: []types.Message{{Kind: types.KindNull, Group: 1, Sender: 1, Origin: 1}}}}}
+	top := &types.Message{Kind: types.KindRefute, Group: 1, Sender: 1, Origin: 1, Recovered: []types.Message{inner}}
+	if _, err := Unmarshal(Marshal(nil, top)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("deeply nested refute: err = %v, want ErrTooLarge", err)
+	}
+}

@@ -1,0 +1,134 @@
+// Package workload generates the group topologies and traffic patterns
+// used by the experiment harness: single groups, overlapping chains,
+// cyclic overlaps (the structure §6 notes is hard for vector-clock
+// protocols), stars, and uniform per-member traffic schedules.
+package workload
+
+import (
+	"fmt"
+
+	"newtop/internal/core"
+	"newtop/internal/types"
+)
+
+// Group describes one group to create in an experiment.
+type Group struct {
+	ID      types.GroupID
+	Mode    core.OrderMode
+	Members []types.ProcessID
+}
+
+// Procs returns process IDs 1..n.
+func Procs(n int) []types.ProcessID {
+	out := make([]types.ProcessID, n)
+	for i := range out {
+		out[i] = types.ProcessID(i + 1)
+	}
+	return out
+}
+
+// SingleGroup is one group over processes 1..n.
+func SingleGroup(n int, mode core.OrderMode) []Group {
+	return []Group{{ID: 1, Mode: mode, Members: Procs(n)}}
+}
+
+// Chain builds k groups of the given size where consecutive groups share
+// `overlap` processes: g1 = {1..s}, g2 = {s-o+1 .. 2s-o}, ... The chain is
+// the propagation-graph worst case of benchmark C7.
+func Chain(k, size, overlap int, mode core.OrderMode) ([]Group, int, error) {
+	if overlap >= size || overlap < 1 || k < 1 {
+		return nil, 0, fmt.Errorf("workload: invalid chain k=%d size=%d overlap=%d", k, size, overlap)
+	}
+	var groups []Group
+	start := 1
+	maxProc := 0
+	for i := 0; i < k; i++ {
+		ms := make([]types.ProcessID, size)
+		for j := 0; j < size; j++ {
+			ms[j] = types.ProcessID(start + j)
+		}
+		if int(ms[size-1]) > maxProc {
+			maxProc = int(ms[size-1])
+		}
+		groups = append(groups, Group{ID: types.GroupID(i + 1), Mode: mode, Members: ms})
+		start += size - overlap
+	}
+	return groups, maxProc, nil
+}
+
+// Ring builds k groups of pairwise-overlapping processes arranged in a
+// cycle: g_i = {i, i+1 mod n}, the cyclic structure of fig. 2 that §6
+// singles out as expensive for ISIS-style protocols.
+func Ring(k int, mode core.OrderMode) ([]Group, int, error) {
+	if k < 3 {
+		return nil, 0, fmt.Errorf("workload: ring needs ≥ 3 groups, got %d", k)
+	}
+	var groups []Group
+	for i := 0; i < k; i++ {
+		a := types.ProcessID(i + 1)
+		b := types.ProcessID((i+1)%k + 1)
+		groups = append(groups, Group{ID: types.GroupID(i + 1), Mode: mode, Members: []types.ProcessID{a, b}})
+	}
+	return groups, k, nil
+}
+
+// Star builds k leaf groups all overlapping in one hub process:
+// g_i = {1, i+1}.
+func Star(k int, mode core.OrderMode) ([]Group, int, error) {
+	if k < 1 {
+		return nil, 0, fmt.Errorf("workload: star needs ≥ 1 group")
+	}
+	var groups []Group
+	for i := 0; i < k; i++ {
+		groups = append(groups, Group{
+			ID: types.GroupID(i + 1), Mode: mode,
+			Members: []types.ProcessID{1, types.ProcessID(i + 2)},
+		})
+	}
+	return groups, k + 1, nil
+}
+
+// Submission is one scheduled application multicast.
+type Submission struct {
+	AtMillis int // offset from experiment start
+	From     types.ProcessID
+	Group    types.GroupID
+	Payload  []byte
+}
+
+// UniformTraffic schedules perMember multicasts from every member of every
+// group, spaced spacingMillis apart, round-robin across senders. Payloads
+// are unique (required by the property checkers).
+func UniformTraffic(groups []Group, perMember, spacingMillis int) []Submission {
+	var subs []Submission
+	t := 0
+	for i := 0; i < perMember; i++ {
+		for _, g := range groups {
+			for _, p := range g.Members {
+				subs = append(subs, Submission{
+					AtMillis: t,
+					From:     p,
+					Group:    g.ID,
+					Payload:  []byte(fmt.Sprintf("w-%v-%v-%d", g.ID, p, i)),
+				})
+				t += spacingMillis
+			}
+		}
+	}
+	return subs
+}
+
+// SingleSenderTraffic schedules n multicasts from one member (latency
+// probes measure the undisturbed delivery path).
+func SingleSenderTraffic(g types.GroupID, from types.ProcessID, n, spacingMillis int) []Submission {
+	subs := make([]Submission, 0, n)
+	for i := 0; i < n; i++ {
+		subs = append(subs, Submission{
+			AtMillis: i * spacingMillis,
+			From:     from,
+			Group:    g,
+			Payload:  []byte(fmt.Sprintf("p-%v-%d", from, i)),
+		})
+	}
+	return subs
+}

@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"testing"
+
+	"newtop/internal/core"
+	"newtop/internal/types"
+)
+
+func TestProcs(t *testing.T) {
+	ps := Procs(3)
+	if len(ps) != 3 || ps[0] != 1 || ps[2] != 3 {
+		t.Errorf("Procs(3) = %v", ps)
+	}
+}
+
+func TestSingleGroup(t *testing.T) {
+	gs := SingleGroup(4, core.Symmetric)
+	if len(gs) != 1 || gs[0].ID != 1 || len(gs[0].Members) != 4 || gs[0].Mode != core.Symmetric {
+		t.Errorf("SingleGroup = %+v", gs)
+	}
+}
+
+func TestChain(t *testing.T) {
+	gs, maxProc, err := Chain(3, 3, 1, core.Symmetric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 3 {
+		t.Fatalf("groups = %d", len(gs))
+	}
+	// g1 = {1,2,3}, g2 = {3,4,5}, g3 = {5,6,7}: consecutive overlap of 1.
+	if maxProc != 7 {
+		t.Errorf("maxProc = %d, want 7", maxProc)
+	}
+	for i := 0; i < len(gs)-1; i++ {
+		shared := 0
+		for _, a := range gs[i].Members {
+			for _, b := range gs[i+1].Members {
+				if a == b {
+					shared++
+				}
+			}
+		}
+		if shared != 1 {
+			t.Errorf("groups %d,%d share %d members, want 1", i, i+1, shared)
+		}
+	}
+	if _, _, err := Chain(2, 3, 3, core.Symmetric); err == nil {
+		t.Error("overlap == size accepted")
+	}
+	if _, _, err := Chain(0, 3, 1, core.Symmetric); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestRing(t *testing.T) {
+	gs, n, err := Ring(4, core.Symmetric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 || len(gs) != 4 {
+		t.Fatalf("ring = %d groups over %d procs", len(gs), n)
+	}
+	// Every process appears in exactly 2 groups; last group wraps.
+	count := make(map[types.ProcessID]int)
+	for _, g := range gs {
+		if len(g.Members) != 2 {
+			t.Errorf("group %v size %d", g.ID, len(g.Members))
+		}
+		for _, m := range g.Members {
+			count[m]++
+		}
+	}
+	for p, c := range count {
+		if c != 2 {
+			t.Errorf("%v appears in %d groups, want 2", p, c)
+		}
+	}
+	if _, _, err := Ring(2, core.Symmetric); err == nil {
+		t.Error("ring of 2 accepted")
+	}
+}
+
+func TestStar(t *testing.T) {
+	gs, n, err := Star(3, core.Symmetric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 || len(gs) != 3 {
+		t.Fatalf("star = %d groups over %d procs", len(gs), n)
+	}
+	for _, g := range gs {
+		if !containsP(g.Members, 1) {
+			t.Errorf("group %v missing the hub", g.ID)
+		}
+	}
+	if _, _, err := Star(0, core.Symmetric); err == nil {
+		t.Error("empty star accepted")
+	}
+}
+
+func TestUniformTrafficUniquePayloads(t *testing.T) {
+	gs, _, err := Chain(2, 3, 1, core.Symmetric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := UniformTraffic(gs, 3, 5)
+	want := 3 * (3 + 3) // perMember × total memberships
+	if len(subs) != want {
+		t.Fatalf("submissions = %d, want %d", len(subs), want)
+	}
+	seen := make(map[string]bool)
+	lastAt := -1
+	for _, s := range subs {
+		if seen[string(s.Payload)] {
+			t.Fatalf("duplicate payload %q", s.Payload)
+		}
+		seen[string(s.Payload)] = true
+		if s.AtMillis < lastAt {
+			t.Fatal("submissions not time-ordered")
+		}
+		lastAt = s.AtMillis
+		if !containsP(memberOf(gs, s.Group), s.From) {
+			t.Fatalf("submission from non-member %v of %v", s.From, s.Group)
+		}
+	}
+}
+
+func TestSingleSenderTraffic(t *testing.T) {
+	subs := SingleSenderTraffic(1, 2, 4, 10)
+	if len(subs) != 4 {
+		t.Fatalf("len = %d", len(subs))
+	}
+	for i, s := range subs {
+		if s.From != 2 || s.Group != 1 || s.AtMillis != i*10 {
+			t.Errorf("sub %d = %+v", i, s)
+		}
+	}
+}
+
+func containsP(ps []types.ProcessID, p types.ProcessID) bool {
+	for _, q := range ps {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+func memberOf(gs []Group, id types.GroupID) []types.ProcessID {
+	for _, g := range gs {
+		if g.ID == id {
+			return g.Members
+		}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package newtop
+
+import (
+	"time"
+
+	"newtop/internal/transport/memnet"
+	"newtop/internal/types"
+)
+
+// Network is an in-memory message network connecting Processes started
+// with Config.Network. It models the paper's asynchronous environment —
+// randomised latency, link cuts, partitions, crashes — and is the
+// transport used by the examples, tests and benchmarks. All methods are
+// safe for concurrent use.
+type Network struct {
+	inner *memnet.Network
+}
+
+// NetworkOption configures a Network.
+type NetworkOption func(*networkConfig)
+
+type networkConfig struct {
+	latMin, latMax time.Duration
+	seed           int64
+	hasSeed        bool
+}
+
+// WithLatency sets the per-message delivery latency band.
+func WithLatency(min, max time.Duration) NetworkOption {
+	return func(c *networkConfig) { c.latMin, c.latMax = min, max }
+}
+
+// WithSeed makes the latency jitter reproducible.
+func WithSeed(seed int64) NetworkOption {
+	return func(c *networkConfig) { c.seed, c.hasSeed = seed, true }
+}
+
+// NewNetwork creates an in-memory network.
+func NewNetwork(opts ...NetworkOption) *Network {
+	cfg := networkConfig{latMin: 50 * time.Microsecond, latMax: 200 * time.Microsecond}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	mopts := []memnet.Option{memnet.WithLatency(cfg.latMin, cfg.latMax)}
+	if cfg.hasSeed {
+		mopts = append(mopts, memnet.WithSeed(cfg.seed))
+	}
+	return &Network{inner: memnet.New(mopts...)}
+}
+
+// Disconnect cuts the bidirectional link between a and b; messages in
+// flight are lost.
+func (n *Network) Disconnect(a, b ProcessID) { n.inner.Disconnect(a, b) }
+
+// Reconnect heals the link between a and b.
+func (n *Network) Reconnect(a, b ProcessID) { n.inner.Reconnect(a, b) }
+
+// Partition splits the attached processes into islands: cross-island
+// links are cut, intra-island links healed.
+func (n *Network) Partition(islands ...[]ProcessID) {
+	conv := make([][]types.ProcessID, len(islands))
+	for i, is := range islands {
+		conv[i] = is
+	}
+	n.inner.Partition(conv...)
+}
+
+// Heal removes every link cut.
+func (n *Network) Heal() { n.inner.Heal() }
+
+// Crash permanently stops process p at the transport (crash-stop).
+func (n *Network) Crash(p ProcessID) { n.inner.Crash(p) }
+
+// Connected reports whether messages currently flow from a to b.
+func (n *Network) Connected(a, b ProcessID) bool { return n.inner.Connected(a, b) }
+
+// Close shuts the network and every attached endpoint down.
+func (n *Network) Close() { n.inner.Close() }

@@ -1,0 +1,237 @@
+// Package newtop is a from-scratch Go implementation of Newtop, the
+// fault-tolerant group communication protocol suite of Ezhilchelvan,
+// Macêdo and Shrivastava (ICDCS 1995).
+//
+// Newtop provides causality-preserving total-order multicast to process
+// groups in an asynchronous network. Processes may belong to many groups
+// at once — total order extends across overlapping groups — and each group
+// independently chooses an ordering discipline:
+//
+//   - Symmetric: fully decentralised ordering by Lamport numbers and
+//     receive vectors (§4.1 of the paper); sends never block.
+//   - Asymmetric: a deterministic per-view sequencer orders messages
+//     (§4.2); cheap for large groups with few senders.
+//   - Atomic: per-sender FIFO with view-synchronous membership but no
+//     inter-sender ordering (the logical-clock gate is bypassed, fig. 3).
+//
+// The membership service tolerates crashes and network partitions without
+// requiring a primary partition: a partitioned group stabilises into
+// disjoint subgroups, each internally consistent, and the application
+// decides their fate. New groups form dynamically with the §5.3 two-phase
+// protocol; "joining" a group is subsumed by forming a new one.
+//
+// # Quick start
+//
+//	net := newtop.NewNetwork()                  // in-memory transport
+//	a, _ := newtop.Start(newtop.Config{Self: 1, Network: net})
+//	b, _ := newtop.Start(newtop.Config{Self: 2, Network: net})
+//	members := []newtop.ProcessID{1, 2}
+//	a.BootstrapGroup(1, newtop.Symmetric, members)
+//	b.BootstrapGroup(1, newtop.Symmetric, members)
+//	a.Submit(1, []byte("hello"))
+//	d := <-b.Deliveries()                       // total-order delivery
+//
+// For real deployments set ListenAddr and Peers instead of Network: the
+// same protocol runs over TCP connections between machines.
+package newtop
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"newtop/internal/core"
+	"newtop/internal/node"
+	"newtop/internal/transport"
+	"newtop/internal/transport/tcpnet"
+	"newtop/internal/types"
+)
+
+// Re-exported identifier and view types.
+type (
+	// ProcessID identifies a process; the total order over IDs drives
+	// sequencer election and delivery tie-breaking.
+	ProcessID = types.ProcessID
+	// GroupID identifies a process group.
+	GroupID = types.GroupID
+	// View is a group membership view: the set of processes a member
+	// currently believes functioning and connected.
+	View = types.View
+	// Delivery is one application message delivered in the agreed order.
+	Delivery = node.Delivery
+	// Event is a membership notification (view change, group ready,
+	// formation failure, suspicion).
+	Event = node.Event
+	// Stats are per-process protocol counters.
+	Stats = core.Stats
+	// OrderMode selects a group's delivery discipline.
+	OrderMode = core.OrderMode
+)
+
+// Ordering disciplines (see package documentation).
+const (
+	Atomic     = core.Atomic
+	Symmetric  = core.Symmetric
+	Asymmetric = core.Asymmetric
+)
+
+// Membership event kinds.
+const (
+	EventViewChanged     = node.EventViewChanged
+	EventGroupReady      = node.EventGroupReady
+	EventFormationFailed = node.EventFormationFailed
+	EventSuspected       = node.EventSuspected
+)
+
+// Re-exported sentinel errors.
+var (
+	ErrUnknownGroup  = core.ErrUnknownGroup
+	ErrGroupExists   = core.ErrGroupExists
+	ErrLeftGroup     = core.ErrLeftGroup
+	ErrDuplicateView = core.ErrDuplicateView
+	ErrBadMembers    = core.ErrBadMembers
+	ErrClosed        = node.ErrClosed
+)
+
+// Config configures one Newtop process.
+type Config struct {
+	// Self is this process's unique non-zero identifier.
+	Self ProcessID
+
+	// Network attaches the process to an in-memory network (tests,
+	// examples, single-binary deployments). Exactly one of Network or
+	// ListenAddr must be set.
+	Network *Network
+
+	// ListenAddr is the TCP address to listen on (e.g. "10.0.0.1:7000").
+	ListenAddr string
+	// Peers maps peer process IDs to their TCP addresses.
+	Peers map[ProcessID]string
+
+	// Omega is the time-silence interval ω (§4.1): how long a process
+	// stays quiet in a group before multicasting a null message. It is
+	// the main latency/overhead dial. Zero selects 50ms.
+	Omega time.Duration
+	// SuspicionTimeout is Ω (§5.2): silence beyond this raises a failure
+	// suspicion. Zero selects 5ω. Must exceed Omega.
+	SuspicionTimeout time.Duration
+	// FormationTimeout bounds the group-formation vote phase (§5.3).
+	// Zero selects 20ω.
+	FormationTimeout time.Duration
+
+	// SignatureViews enables the §6 view-signature variant under which
+	// concurrent views never intersect.
+	SignatureViews bool
+
+	// FlowControlWindow bounds this process's unstable-message backlog
+	// per group; extra submits queue until stability advances. Zero
+	// disables flow control.
+	FlowControlWindow int
+
+	// AcceptInvite, when set, decides group-formation invitations
+	// (§5.3 step 2). Nil accepts everything.
+	AcceptInvite func(GroupID, []ProcessID) bool
+}
+
+// Process is a running Newtop process: the protocol engine, its timers and
+// its transport, driven by a background event loop.
+type Process struct {
+	n    *node.Node
+	tcp  *tcpnet.Endpoint
+	self ProcessID
+}
+
+// Start launches a process with the given configuration.
+func Start(cfg Config) (*Process, error) {
+	if cfg.Self == types.NilProcess {
+		return nil, errors.New("newtop: Config.Self must be non-zero")
+	}
+	if (cfg.Network == nil) == (cfg.ListenAddr == "") {
+		return nil, errors.New("newtop: set exactly one of Config.Network or Config.ListenAddr")
+	}
+	var (
+		ep  transport.Endpoint
+		tcp *tcpnet.Endpoint
+		err error
+	)
+	if cfg.Network != nil {
+		ep, err = cfg.Network.inner.Attach(cfg.Self)
+		if err != nil {
+			return nil, fmt.Errorf("newtop: %w", err)
+		}
+	} else {
+		tcp, err = tcpnet.New(tcpnet.Config{
+			Self:       cfg.Self,
+			ListenAddr: cfg.ListenAddr,
+			Peers:      cfg.Peers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("newtop: %w", err)
+		}
+		ep = tcp
+	}
+	n := node.New(core.Config{
+		Self:              cfg.Self,
+		Omega:             cfg.Omega,
+		SuspicionTimeout:  cfg.SuspicionTimeout,
+		FormationTimeout:  cfg.FormationTimeout,
+		SignatureViews:    cfg.SignatureViews,
+		FlowControlWindow: cfg.FlowControlWindow,
+		AcceptInvite:      cfg.AcceptInvite,
+	}, ep, node.Options{})
+	return &Process{n: n, tcp: tcp, self: cfg.Self}, nil
+}
+
+// Self returns the process identifier.
+func (p *Process) Self() ProcessID { return p.self }
+
+// Addr returns the actual TCP listen address ("" for in-memory processes);
+// useful when ListenAddr used port 0.
+func (p *Process) Addr() string {
+	if p.tcp == nil {
+		return ""
+	}
+	return p.tcp.Addr()
+}
+
+// BootstrapGroup installs group g with a statically agreed initial
+// membership (every member must bootstrap the identical group). For
+// dynamic formation use CreateGroup.
+func (p *Process) BootstrapGroup(g GroupID, mode OrderMode, members []ProcessID) error {
+	return p.n.BootstrapGroup(g, mode, members)
+}
+
+// CreateGroup initiates dynamic formation of group g with this process as
+// coordinator (§5.3). Watch Events for EventGroupReady or
+// EventFormationFailed.
+func (p *Process) CreateGroup(g GroupID, mode OrderMode, members []ProcessID) error {
+	return p.n.CreateGroup(g, mode, members)
+}
+
+// LeaveGroup departs group g permanently. A departed group cannot be
+// rejoined; form a new group instead (§3).
+func (p *Process) LeaveGroup(g GroupID) error { return p.n.LeaveGroup(g) }
+
+// Submit multicasts payload to group g under the group's ordering mode.
+// The call is asynchronous: ordering happens at delivery. Sends may be
+// queued internally by the paper's blocking rules or by flow control.
+func (p *Process) Submit(g GroupID, payload []byte) error { return p.n.Submit(g, payload) }
+
+// Deliveries returns the channel of ordered application deliveries (all
+// groups; one totally ordered stream per process).
+func (p *Process) Deliveries() <-chan Delivery { return p.n.Deliveries() }
+
+// Events returns the channel of membership notifications.
+func (p *Process) Events() <-chan Event { return p.n.Events() }
+
+// View returns the current membership view of g.
+func (p *Process) View(g GroupID) (View, error) { return p.n.View(g) }
+
+// GroupReady reports whether g is open for sends.
+func (p *Process) GroupReady(g GroupID) bool { return p.n.GroupReady(g) }
+
+// Stats snapshots protocol counters.
+func (p *Process) Stats() Stats { return p.n.Stats() }
+
+// Close stops the process and releases its transport.
+func (p *Process) Close() error { return p.n.Close() }

@@ -1,0 +1,196 @@
+package newtop_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"newtop"
+)
+
+func startTrio(t *testing.T, net *newtop.Network) []*newtop.Process {
+	t.Helper()
+	var procs []*newtop.Process
+	for i := 1; i <= 3; i++ {
+		p, err := newtop.Start(newtop.Config{
+			Self:    newtop.ProcessID(i),
+			Network: net,
+			Omega:   10 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs = append(procs, p)
+	}
+	t.Cleanup(func() {
+		for _, p := range procs {
+			_ = p.Close()
+		}
+		net.Close()
+	})
+	return procs
+}
+
+func TestPublicAPITotalOrder(t *testing.T) {
+	net := newtop.NewNetwork(newtop.WithSeed(1))
+	procs := startTrio(t, net)
+	members := []newtop.ProcessID{1, 2, 3}
+	for _, p := range procs {
+		if err := p.BootstrapGroup(1, newtop.Symmetric, members); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, p := range procs {
+		if err := p.Submit(1, []byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var ref []string
+	for _, p := range procs {
+		var got []string
+		for k := 0; k < 3; k++ {
+			select {
+			case d := <-p.Deliveries():
+				got = append(got, string(d.Payload))
+			case <-time.After(10 * time.Second):
+				t.Fatalf("%v: timed out", p.Self())
+			}
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		for k := range got {
+			if got[k] != ref[k] {
+				t.Fatalf("order diverges: %v vs %v", got, ref)
+			}
+		}
+	}
+}
+
+func TestPublicAPIConfigValidation(t *testing.T) {
+	if _, err := newtop.Start(newtop.Config{Self: 0, Network: newtop.NewNetwork()}); err == nil {
+		t.Error("zero Self accepted")
+	}
+	if _, err := newtop.Start(newtop.Config{Self: 1}); err == nil {
+		t.Error("missing transport accepted")
+	}
+	if _, err := newtop.Start(newtop.Config{Self: 1, Network: newtop.NewNetwork(), ListenAddr: "x"}); err == nil {
+		t.Error("double transport accepted")
+	}
+}
+
+func TestPublicAPIOverTCP(t *testing.T) {
+	// Three processes over real TCP on loopback, with fixed ports so the
+	// address book is known up front (as in a real deployment).
+	addrs := map[newtop.ProcessID]string{
+		1: "127.0.0.1:42311",
+		2: "127.0.0.1:42312",
+		3: "127.0.0.1:42313",
+	}
+	var procs []*newtop.Process
+	for id, addr := range addrs {
+		peers := make(map[newtop.ProcessID]string)
+		for pid, a := range addrs {
+			if pid != id {
+				peers[pid] = a
+			}
+		}
+		p, err := newtop.Start(newtop.Config{
+			Self: id, ListenAddr: addr, Peers: peers, Omega: 10 * time.Millisecond,
+		})
+		if err != nil {
+			for _, q := range procs {
+				_ = q.Close()
+			}
+			t.Skipf("fixed port unavailable: %v", err)
+		}
+		procs = append(procs, p)
+	}
+	defer func() {
+		for _, p := range procs {
+			_ = p.Close()
+		}
+	}()
+
+	members := []newtop.ProcessID{1, 2, 3}
+	for _, p := range procs {
+		if err := p.BootstrapGroup(1, newtop.Symmetric, members); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range procs {
+		if err := p.Submit(1, []byte(fmt.Sprintf("from-%v", p.Self()))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var ref []string
+	for _, p := range procs {
+		var got []string
+		for k := 0; k < 3; k++ {
+			select {
+			case d := <-p.Deliveries():
+				got = append(got, string(d.Payload))
+			case <-time.After(15 * time.Second):
+				t.Fatalf("%v: TCP delivery timed out", p.Self())
+			}
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		for k := range got {
+			if got[k] != ref[k] {
+				t.Fatalf("TCP order diverges: %v vs %v", got, ref)
+			}
+		}
+	}
+}
+
+func TestPublicAPIPartitionControls(t *testing.T) {
+	net := newtop.NewNetwork(newtop.WithSeed(7), newtop.WithLatency(time.Millisecond, 2*time.Millisecond))
+	procs := startTrio(t, net)
+	_ = procs
+	if !net.Connected(1, 2) {
+		t.Error("fresh network should be connected")
+	}
+	net.Disconnect(1, 2)
+	if net.Connected(1, 2) {
+		t.Error("Disconnect had no effect")
+	}
+	net.Reconnect(1, 2)
+	if !net.Connected(1, 2) {
+		t.Error("Reconnect had no effect")
+	}
+	net.Partition([]newtop.ProcessID{1}, []newtop.ProcessID{2, 3})
+	if net.Connected(1, 3) || !net.Connected(2, 3) {
+		t.Error("Partition wrong")
+	}
+	net.Heal()
+	if !net.Connected(1, 3) {
+		t.Error("Heal wrong")
+	}
+}
+
+func TestPublicAPIErrors(t *testing.T) {
+	net := newtop.NewNetwork()
+	procs := startTrio(t, net)
+	p := procs[0]
+	if err := p.Submit(42, []byte("x")); !errors.Is(err, newtop.ErrUnknownGroup) {
+		t.Errorf("err = %v, want ErrUnknownGroup", err)
+	}
+	members := []newtop.ProcessID{1, 2, 3}
+	if err := p.BootstrapGroup(1, newtop.Symmetric, members); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.BootstrapGroup(1, newtop.Symmetric, members); !errors.Is(err, newtop.ErrGroupExists) {
+		t.Errorf("err = %v, want ErrGroupExists", err)
+	}
+	if err := p.LeaveGroup(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Submit(1, []byte("x")); !errors.Is(err, newtop.ErrLeftGroup) {
+		t.Errorf("err = %v, want ErrLeftGroup", err)
+	}
+}
