@@ -8,6 +8,12 @@
 //	newtop-bench            # run everything
 //	newtop-bench C1 C2 X3   # run selected experiments
 //	newtop-bench -list      # list experiment IDs
+//
+// Engine micro-benchmarks (machine-readable, for the perf trajectory):
+//
+//	newtop-bench -perf                          # run, print, write BENCH_core.json
+//	newtop-bench -perf -perf-out results.json   # choose the output path
+//	newtop-bench -perf -perf-baseline old.json  # record before/after in one file
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"time"
 
 	"newtop/internal/harness"
+	"newtop/internal/perf"
 )
 
 type experiment struct {
@@ -69,8 +76,15 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("newtop-bench", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list experiment IDs and exit")
+	perfRun := fs.Bool("perf", false, "run the engine micro-benchmarks and emit machine-readable results")
+	perfOut := fs.String("perf-out", "BENCH_core.json", "output path for -perf results")
+	perfBase := fs.String("perf-baseline", "", "previous -perf report whose numbers are recorded as the baseline")
+	perfNote := fs.String("perf-baseline-note", "", "note attached to the merged baseline entries")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *perfRun {
+		return runPerf(*perfOut, *perfBase, *perfNote)
 	}
 	exps := experiments()
 	if *list {
@@ -110,5 +124,32 @@ func run(args []string) error {
 		tab.Notes = append(tab.Notes, fmt.Sprintf("computed in %v wall time", time.Since(start).Round(time.Millisecond)))
 		tab.Fprint(os.Stdout)
 	}
+	return nil
+}
+
+// runPerf executes the engine micro-benchmark suite via testing.Benchmark
+// (the identical bodies back `go test -bench Engine ./internal/core`) and
+// writes BENCH_core.json: name, ns/op, B/op, allocs/op per benchmark,
+// optionally carrying a prior report's numbers as the baseline so one file
+// records before/after.
+func runPerf(out, baselinePath, note string) error {
+	// Validate the baseline before spending a minute benchmarking.
+	var prev *perf.Report
+	if baselinePath != "" {
+		var err error
+		if prev, err = perf.LoadReport(baselinePath); err != nil {
+			return fmt.Errorf("load baseline: %w", err)
+		}
+	}
+	fmt.Println("Newtop engine micro-benchmarks (testing.Benchmark, default benchtime)")
+	results := perf.RunAll(os.Stdout)
+	if prev != nil {
+		perf.MergeBaseline(results, prev, note)
+	}
+	report := perf.NewReport(results)
+	if err := perf.WriteReport(out, report); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", out, len(results))
 	return nil
 }

@@ -1,0 +1,3 @@
+module newtop
+
+go 1.24

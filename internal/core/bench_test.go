@@ -1,126 +1,31 @@
 package core_test
 
 import (
-	"fmt"
 	"testing"
-	"time"
 
 	"newtop/internal/core"
-	"newtop/internal/sim"
-	"newtop/internal/types"
+	"newtop/internal/perf"
 )
 
 // Engine micro-benchmarks: end-to-end protocol throughput under the
 // deterministic simulator (all members, full ordering and stability
-// machinery engaged). These are ablation-style measurements of the
-// implementation, complementing the paper-level experiments in the
-// repository root.
+// machinery engaged). The benchmark bodies live in internal/perf so that
+// cmd/newtop-bench can run the identical measurements programmatically
+// and emit BENCH_core.json; payloads are pre-generated there, outside the
+// timed loops, so these numbers measure the engine, not fmt.
 
-func benchClusterN(b *testing.B, n int, mode core.OrderMode) (*sim.Cluster, []types.ProcessID) {
-	b.Helper()
-	c := sim.New(1, sim.WithLatency(100*time.Microsecond, 300*time.Microsecond))
-	ps := make([]types.ProcessID, 0, n)
-	for i := 1; i <= n; i++ {
-		c.AddProcess(core.Config{Self: types.ProcessID(i), Omega: 5 * time.Millisecond})
-		ps = append(ps, types.ProcessID(i))
-	}
-	if err := c.Bootstrap(1, mode, ps); err != nil {
-		b.Fatal(err)
-	}
-	return c, ps
-}
-
-func benchThroughput(b *testing.B, n int, mode core.OrderMode) {
-	c, ps := benchClusterN(b, n, mode)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		src := ps[i%len(ps)]
-		if err := c.Submit(src, 1, []byte(fmt.Sprintf("b%d", i))); err != nil {
-			b.Fatal(err)
-		}
-		if i%64 == 63 {
-			c.Run(10 * time.Millisecond) // let deliveries drain
-		}
-	}
-	c.Run(200 * time.Millisecond)
-	b.StopTimer()
-	want := b.N
-	got := len(c.History(ps[0]).Deliveries)
-	if got < want {
-		b.Fatalf("delivered %d of %d", got, want)
-	}
-}
-
-func BenchmarkEngineSymmetricN3(b *testing.B)  { benchThroughput(b, 3, core.Symmetric) }
-func BenchmarkEngineSymmetricN9(b *testing.B)  { benchThroughput(b, 9, core.Symmetric) }
-func BenchmarkEngineAsymmetricN3(b *testing.B) { benchThroughput(b, 3, core.Asymmetric) }
-func BenchmarkEngineAsymmetricN9(b *testing.B) { benchThroughput(b, 9, core.Asymmetric) }
-func BenchmarkEngineAtomicN9(b *testing.B)     { benchThroughput(b, 9, core.Atomic) }
+func BenchmarkEngineSymmetricN3(b *testing.B)  { perf.EngineThroughput(b, 3, core.Symmetric) }
+func BenchmarkEngineSymmetricN9(b *testing.B)  { perf.EngineThroughput(b, 9, core.Symmetric) }
+func BenchmarkEngineAsymmetricN3(b *testing.B) { perf.EngineThroughput(b, 3, core.Asymmetric) }
+func BenchmarkEngineAsymmetricN9(b *testing.B) { perf.EngineThroughput(b, 9, core.Asymmetric) }
+func BenchmarkEngineAtomicN9(b *testing.B)     { perf.EngineThroughput(b, 9, core.Atomic) }
 
 // BenchmarkEngineHandleMessage isolates the receive path: one engine
 // processing a pre-built stream of data messages from a peer.
-func BenchmarkEngineHandleMessage(b *testing.B) {
-	e := core.NewEngine(core.Config{Self: 1, Omega: time.Hour})
-	now := sim.Epoch
-	if _, err := e.BootstrapGroup(now, 1, core.Symmetric, []types.ProcessID{1, 2}); err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		m := &types.Message{
-			Kind: types.KindData, Group: 1, Sender: 2, Origin: 2,
-			Num: types.MsgNum(i + 1), Seq: uint64(i + 1), LDN: types.MsgNum(i),
-			Payload: []byte("x"),
-		}
-		e.HandleMessage(now, 2, m)
-	}
-}
+func BenchmarkEngineHandleMessage(b *testing.B) { perf.EngineHandleMessage(b) }
 
 // BenchmarkMembershipAgreement measures a full crash-to-view-change cycle.
-func BenchmarkMembershipAgreement(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		c, ps := benchClusterN(b, 5, core.Symmetric)
-		c.Run(20 * time.Millisecond)
-		c.Crash(5)
-		ok := c.RunUntil(10*time.Second, func() bool {
-			for _, p := range ps[:4] {
-				vs := c.History(p).Views[1]
-				if len(vs) == 0 || vs[len(vs)-1].View.Contains(5) {
-					return false
-				}
-			}
-			return true
-		})
-		if !ok {
-			b.Fatal("agreement never completed")
-		}
-	}
-}
+func BenchmarkMembershipAgreement(b *testing.B) { perf.MembershipAgreement(b) }
 
 // BenchmarkGroupFormation measures the §5.3 protocol end to end.
-func BenchmarkGroupFormation(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		c := sim.New(int64(i+1), sim.WithLatency(100*time.Microsecond, 300*time.Microsecond))
-		ps := make([]types.ProcessID, 0, 5)
-		for j := 1; j <= 5; j++ {
-			c.AddProcess(core.Config{Self: types.ProcessID(j), Omega: 5 * time.Millisecond})
-			ps = append(ps, types.ProcessID(j))
-		}
-		if err := c.CreateGroup(1, 7, core.Symmetric, ps); err != nil {
-			b.Fatal(err)
-		}
-		ok := c.RunUntil(10*time.Second, func() bool {
-			for _, p := range ps {
-				if !c.Engine(p).GroupReady(7) {
-					return false
-				}
-			}
-			return true
-		})
-		if !ok {
-			b.Fatal("formation never completed")
-		}
-	}
-}
+func BenchmarkGroupFormation(b *testing.B) { perf.GroupFormation(b) }

@@ -57,6 +57,16 @@ type Engine struct {
 	stats  Stats
 	effs   []Effect
 
+	// gD caches globalD (the cross-group delivery gate); every mutation
+	// that can move any group's D_x clears gDValid (see globalD).
+	gD      types.MsgNum
+	gDValid bool
+
+	// glist caches the id-sorted group list used by Tick and the pump;
+	// rebuilt (glistDirty) only when the group set changes.
+	glist      []*groupState
+	glistDirty bool
+
 	// queued holds application submits delayed by the blocking rules,
 	// flow control or an incomplete formation. It is a single FIFO across
 	// all groups: a process's submit order is part of the happened-before
@@ -111,14 +121,10 @@ func (e *Engine) View(g types.GroupID) (types.View, error) {
 // Groups returns the IDs of the groups this process is currently a member
 // of (including ones still forming), sorted.
 func (e *Engine) Groups() []types.GroupID {
-	out := make([]types.GroupID, 0, len(e.groups))
-	for id := range e.groups {
-		out = append(out, id)
-	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
+	gss := e.sortedGroups()
+	out := make([]types.GroupID, len(gss))
+	for i, gs := range gss {
+		out[i] = gs.id
 	}
 	return out
 }
@@ -173,6 +179,7 @@ func (e *Engine) BootstrapGroup(now time.Time, g types.GroupID, mode OrderMode, 
 	gs.status = statusActive
 	gs.activate(members, now, e.cfg.SignatureViews)
 	e.groups[g] = gs
+	e.groupsChanged()
 	e.emit(ViewEffect{View: gs.view.Clone()}) // install V0 (§3)
 	e.replayPre(now, g)
 	return e.finish(now), nil
@@ -199,6 +206,7 @@ func (e *Engine) CreateGroup(now time.Time, g types.GroupID, mode OrderMode, mem
 		deadline:  now.Add(e.cfg.FormationTimeout),
 	}
 	e.groups[g] = gs
+	e.groupsChanged()
 	invite := &types.Message{
 		Kind: types.KindFormInvite, Group: g, Sender: e.cfg.Self, Origin: e.cfg.Self,
 		Invite: sorted, Payload: []byte{byte(mode)},
@@ -229,6 +237,7 @@ func (e *Engine) LeaveGroup(now time.Time, g types.GroupID) ([]Effect, error) {
 	// "continues to function as a member".
 	e.queue.Discard(func(m *types.Message) bool { return m.Group == g })
 	delete(e.groups, g)
+	e.groupsChanged()
 	e.left[g] = true
 	_ = gs
 	return e.finish(now), nil
@@ -285,14 +294,17 @@ func (e *Engine) Tick(now time.Time) []Effect {
 // Internals: effects plumbing
 // ---------------------------------------------------------------------------
 
-func (e *Engine) begin() { e.effs = nil }
+// begin starts a stimulus, reusing the effects buffer: the slice returned
+// by the previous finish is only valid until the next engine call. Every
+// runtime (sim, node) consumes effects synchronously before re-entering
+// the engine, so the reuse is invisible there; external callers must copy
+// if they retain effects across calls.
+func (e *Engine) begin() { e.effs = e.effs[:0] }
 
 func (e *Engine) finish(now time.Time) []Effect {
 	e.pump(now)
 	e.drainQueued(now)
-	out := e.effs
-	e.effs = nil
-	return out
+	return e.effs
 }
 
 func (e *Engine) emit(eff Effect) { e.effs = append(e.effs, eff) }
@@ -321,13 +333,33 @@ func (e *Engine) mcastTo(dests []types.ProcessID, m *types.Message) {
 	}
 }
 
+// sortedGroups returns the id-sorted group list. The list is cached and
+// rebuilt only when the group set changed (groupsChanged), so the pump —
+// which consults it on every stimulus — allocates nothing. Callers must
+// not mutate the returned slice; a rebuild always allocates fresh backing,
+// so snapshots held across a group add/remove stay intact.
 func (e *Engine) sortedGroups() []*groupState {
-	ids := e.Groups()
-	out := make([]*groupState, 0, len(ids))
-	for _, id := range ids {
-		out = append(out, e.groups[id])
+	if e.glistDirty {
+		out := make([]*groupState, 0, len(e.groups))
+		for _, gs := range e.groups {
+			out = append(out, gs)
+		}
+		for i := 1; i < len(out); i++ {
+			for j := i; j > 0 && out[j].id < out[j-1].id; j-- {
+				out[j], out[j-1] = out[j-1], out[j]
+			}
+		}
+		e.glist = out
+		e.glistDirty = false
 	}
-	return out
+	return e.glist
+}
+
+// groupsChanged invalidates the caches derived from the group set: the
+// sorted group list and the cross-group delivery gate.
+func (e *Engine) groupsChanged() {
+	e.glistDirty = true
+	e.gDValid = false
 }
 
 func (e *Engine) checkNewGroup(g types.GroupID, members []types.ProcessID) error {

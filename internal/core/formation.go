@@ -54,6 +54,7 @@ func (e *Engine) onFormInvite(now time.Time, from types.ProcessID, m *types.Mess
 	}
 	gs.formation.votedSelf = true
 	e.groups[g] = gs
+	e.groupsChanged()
 	// Votes that outran this invitation were buffered; replay them.
 	e.replayPre(now, g)
 	if gs, ok := e.groups[g]; ok {
@@ -76,6 +77,7 @@ func (e *Engine) onFormVote(now time.Time, from types.ProcessID, m *types.Messag
 	if !m.Vote {
 		e.emit(FormationFailedEffect{Group: gs.id, Reason: "vetoed by " + from.String()})
 		delete(e.groups, gs.id)
+		e.groupsChanged()
 		delete(e.pre, gs.id)
 		e.left[gs.id] = true
 		return
@@ -124,6 +126,7 @@ func (e *Engine) tryActivate(now time.Time, gs *groupState) {
 	gs.activate(f.members, now, e.cfg.SignatureViews)
 	gs.formation = nil
 	gs.startPin = 0
+	e.gDValid = false                         // the group starts gating delivery (D pinned at startPin)
 	e.emit(ViewEffect{View: gs.view.Clone()}) // install V0 (§3)
 
 	num := e.lc.TickSend()
@@ -137,7 +140,7 @@ func (e *Engine) tryActivate(now time.Time, gs *groupState) {
 	e.stats.CtrlSent++
 	e.mcast(gs, sg)
 	gs.lastSent = now
-	e.onDataPlane(now, gs, sg)
+	e.onDataPlane(now, gs, gs.memberIndex(e.cfg.Self), sg)
 
 	// Traffic from members that activated before us was buffered.
 	e.replayPre(now, gs.id)
@@ -156,6 +159,7 @@ func (e *Engine) onStartGroup(now time.Time, gs *groupState, m *types.Message) {
 	}
 	if m.StartNum > gs.startPin {
 		gs.startPin = m.StartNum
+		e.gDValid = false // D is pinned to startPin while waiting
 	}
 	e.checkStartComplete(now, gs)
 }
@@ -179,6 +183,7 @@ func (e *Engine) checkStartComplete(now time.Time, gs *groupState) {
 	gs.status = statusActive
 	gs.dFloor = max
 	gs.startPin = 0
+	e.gDValid = false // D jumps from the pin to max(min(RV), dFloor)
 	e.lc.ForceAtLeast(max)
 	e.emit(GroupReadyEffect{Group: gs.id, StartMax: max})
 }

@@ -54,6 +54,31 @@ type formationState struct {
 	deadline  time.Time
 }
 
+// memberSlot is the per-member hot-path state of one view member, indexed
+// by the member's position in view.Members. Keeping these seven quantities
+// in one dense slice (instead of seven ProcessID-keyed maps) makes the
+// receive path a couple of array indexings per message — the §6 "constant,
+// small per-message overhead" story applied to the implementation itself.
+type memberSlot struct {
+	rv         types.MsgNum // receive vector entry (§4.1)
+	sv         types.MsgNum // stability vector entry (§5.1)
+	relayedNum types.MsgNum // highest Num seen on a sequencer relay of this origin
+	seqDirect  uint64       // FIFO high-water mark, direct multicasts
+	seqRelayed uint64       // FIFO high-water mark, sequencer-relayed multicasts
+	lastHeard  time.Time    // failure-suspector input (§5.2)
+}
+
+// strayOrigin holds relay bookkeeping for an origin that is not (and never
+// was) a member of the current view. Honest traffic never references such
+// origins — the sender of every accepted message is a view member, and a
+// relay of a removed member is discarded — so this map stays nil except
+// under hostile/fuzzed input, where it preserves the exact duplicate/gap
+// semantics the per-origin maps used to give.
+type strayOrigin struct {
+	seqRelayed uint64
+	relayedNum types.MsgNum
+}
+
 // groupState is the per-group protocol state of one process: its view,
 // receive/stability vectors, message log, membership-agreement state and
 // ordering-mode bookkeeping.
@@ -67,24 +92,26 @@ type groupState struct {
 	// groups (D = last number from the sequencer); see dx.
 	staticD bool
 
-	rv        map[types.ProcessID]types.MsgNum // receive vector (§4.1)
-	sv        map[types.ProcessID]types.MsgNum // stability vector (§5.1)
-	lastHeard map[types.ProcessID]time.Time    // failure-suspector input (§5.2)
-	lastSent  time.Time                        // time-silence input (§4.1)
+	// mem is the dense per-member state, parallel to view.Members;
+	// rebuilt on every view installation (rare) so the receive path
+	// (every message) indexes instead of hashing.
+	mem []memberSlot
 
-	// Per-origin FIFO high-water marks, split by path: direct multicasts
-	// (sender == origin) and sequencer-relayed multicasts (asymmetric
-	// mode; sender == sequencer ≠ origin). The two paths are separately
-	// FIFO, so each gets its own monotone check.
-	lastSeqDirect  map[types.ProcessID]uint64
-	lastSeqRelayed map[types.ProcessID]uint64
+	// Incrementally maintained delivery/stability gates: rvMin is
+	// min(RV) over the view, svMin is min(SV), each with a count of the
+	// members currently sitting at the minimum. A bump away from the
+	// minimum decrements the count; only when it hits zero is the O(n)
+	// rescan paid. Both are monotone non-decreasing between view
+	// installations (RV/SV entries only ever grow), which is what makes
+	// the counting scheme sound.
+	rvMin    types.MsgNum
+	rvMinCnt int
+	svMin    types.MsgNum
+	svMinCnt int
 
-	// relayedNum records, per origin, the highest Lamport number seen on
-	// a sequencer relay of that origin's messages. Suspicion evidence and
-	// the lnmn cutoff must cover relays, or the agreement boundary could
-	// fall below numbers some member already delivered (breaking MD3 in
-	// asymmetric groups).
-	relayedNum map[types.ProcessID]types.MsgNum
+	strays map[types.ProcessID]*strayOrigin // lazily allocated, see strayOrigin
+
+	lastSent time.Time // time-silence input (§4.1)
 
 	mySeq    uint64 // seq counter for my direct multicasts
 	myReqSeq uint64 // seq counter for my sequencer requests (asymmetric)
@@ -105,7 +132,7 @@ type groupState struct {
 	held            map[types.ProcessID][]heldMsg
 	pendingConfirms []confirmRec
 	installs        []viewInstall
-	removedEver     map[types.ProcessID]bool
+	removed         []types.ProcessID // ever-removed processes, sorted
 
 	formation *formationState
 
@@ -115,20 +142,13 @@ type groupState struct {
 
 func newGroupState(id types.GroupID, mode OrderMode) *groupState {
 	return &groupState{
-		id:             id,
-		mode:           mode,
-		rv:             make(map[types.ProcessID]types.MsgNum),
-		sv:             make(map[types.ProcessID]types.MsgNum),
-		lastHeard:      make(map[types.ProcessID]time.Time),
-		lastSeqDirect:  make(map[types.ProcessID]uint64),
-		lastSeqRelayed: make(map[types.ProcessID]uint64),
-		relayedNum:     make(map[types.ProcessID]types.MsgNum),
-		log:            newMsgLog(),
-		suspicions:     make(map[types.ProcessID]types.MsgNum),
-		votes:          make(map[types.Suspicion]map[types.ProcessID]bool),
-		held:           make(map[types.ProcessID][]heldMsg),
-		removedEver:    make(map[types.ProcessID]bool),
-		startNums:      make(map[types.ProcessID]types.MsgNum),
+		id:         id,
+		mode:       mode,
+		log:        newMsgLog(),
+		suspicions: make(map[types.ProcessID]types.MsgNum),
+		votes:      make(map[types.Suspicion]map[types.ProcessID]bool),
+		held:       make(map[types.ProcessID][]heldMsg),
+		startNums:  make(map[types.ProcessID]types.MsgNum),
 	}
 }
 
@@ -138,12 +158,195 @@ func (g *groupState) activate(members []types.ProcessID, now time.Time, signatur
 	if signatures {
 		g.view.Excluded = make([]int, len(g.view.Members))
 	}
-	for _, p := range g.view.Members {
-		g.rv[p] = 0
-		g.sv[p] = 0
-		g.lastHeard[p] = now
+	n := len(g.view.Members)
+	g.mem = make([]memberSlot, n)
+	for i := range g.mem {
+		g.mem[i].lastHeard = now
 	}
+	g.rvMin, g.rvMinCnt = 0, n
+	g.svMin, g.svMinCnt = 0, n
 	g.lastSent = now
+}
+
+// memberIndex returns the position of p in view.Members (the index into
+// mem), or -1 when p is not a current member. The members slice is sorted,
+// so this is a branch-free binary search — no hashing on the hot path.
+func (g *groupState) memberIndex(p types.ProcessID) int {
+	ms := g.view.Members
+	if len(ms) <= 8 {
+		for i, q := range ms {
+			if q == p {
+				return i
+			}
+			if q > p {
+				return -1
+			}
+		}
+		return -1
+	}
+	lo, hi := 0, len(ms)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ms[mid] < p {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(ms) && ms[lo] == p {
+		return lo
+	}
+	return -1
+}
+
+// isRemoved reports whether p was ever excluded from a view of this group.
+func (g *groupState) isRemoved(p types.ProcessID) bool {
+	rs := g.removed
+	if len(rs) == 0 {
+		return false
+	}
+	lo, hi := 0, len(rs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if rs[mid] < p {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(rs) && rs[lo] == p
+}
+
+// markRemoved records p as ever-excluded (idempotent, keeps order).
+func (g *groupState) markRemoved(p types.ProcessID) {
+	rs := g.removed
+	i := 0
+	for i < len(rs) && rs[i] < p {
+		i++
+	}
+	if i < len(rs) && rs[i] == p {
+		return
+	}
+	rs = append(rs, 0)
+	copy(rs[i+1:], rs[i:])
+	rs[i] = p
+	g.removed = rs
+}
+
+// stray returns (allocating on first use) the relay bookkeeping for a
+// non-member origin. Only hostile traffic reaches here; see strayOrigin.
+func (g *groupState) stray(p types.ProcessID) *strayOrigin {
+	if s, ok := g.strays[p]; ok {
+		return s
+	}
+	if g.strays == nil {
+		g.strays = make(map[types.ProcessID]*strayOrigin)
+	}
+	s := &strayOrigin{}
+	g.strays[p] = s
+	return s
+}
+
+// bumpRV raises member i's receive-vector entry to num (no-op if not an
+// increase) and maintains the cached min(RV). Reports whether min(RV)
+// advanced — i.e. the delivery gate D_x may have moved.
+func (g *groupState) bumpRV(i int, num types.MsgNum) bool {
+	s := &g.mem[i]
+	if num <= s.rv {
+		return false
+	}
+	old := s.rv
+	s.rv = num
+	if old != g.rvMin {
+		return false
+	}
+	if g.rvMinCnt--; g.rvMinCnt > 0 {
+		return false
+	}
+	min, cnt := types.InfNum, 0
+	for j := range g.mem {
+		switch v := g.mem[j].rv; {
+		case v < min:
+			min, cnt = v, 1
+		case v == min:
+			cnt++
+		}
+	}
+	g.rvMin, g.rvMinCnt = min, cnt
+	return true
+}
+
+// bumpSV raises member i's stability-vector entry to ldn and maintains the
+// cached min(SV). Reports whether min(SV) — the stability threshold —
+// advanced.
+func (g *groupState) bumpSV(i int, ldn types.MsgNum) bool {
+	s := &g.mem[i]
+	if ldn <= s.sv {
+		return false
+	}
+	old := s.sv
+	s.sv = ldn
+	if old != g.svMin {
+		return false
+	}
+	if g.svMinCnt--; g.svMinCnt > 0 {
+		return false
+	}
+	min, cnt := types.InfNum, 0
+	for j := range g.mem {
+		switch v := g.mem[j].sv; {
+		case v < min:
+			min, cnt = v, 1
+		case v == min:
+			cnt++
+		}
+	}
+	g.svMin, g.svMinCnt = min, cnt
+	return true
+}
+
+// recomputeMins rescans both cached minima (used after a view rebuild).
+func (g *groupState) recomputeMins() {
+	rvMin, rvCnt := types.InfNum, 0
+	svMin, svCnt := types.InfNum, 0
+	for i := range g.mem {
+		switch v := g.mem[i].rv; {
+		case v < rvMin:
+			rvMin, rvCnt = v, 1
+		case v == rvMin:
+			rvCnt++
+		}
+		switch v := g.mem[i].sv; {
+		case v < svMin:
+			svMin, svCnt = v, 1
+		case v == svMin:
+			svCnt++
+		}
+	}
+	if len(g.mem) == 0 {
+		rvMin, svMin = 0, 0
+	}
+	g.rvMin, g.rvMinCnt = rvMin, rvCnt
+	g.svMin, g.svMinCnt = svMin, svCnt
+}
+
+// rebuildMem remaps the dense member state after a view installation: the
+// new view is a subset of the old one, both sorted, so surviving slots are
+// copied positionally and the minima recomputed once.
+func (g *groupState) rebuildMem(oldMembers []types.ProcessID, oldMem []memberSlot) {
+	mem := make([]memberSlot, len(g.view.Members))
+	j := 0
+	for i, p := range g.view.Members {
+		for j < len(oldMembers) && oldMembers[j] != p {
+			j++
+		}
+		if j < len(oldMembers) {
+			mem[i] = oldMem[j]
+			j++
+		}
+	}
+	g.mem = mem
+	g.recomputeMins()
 }
 
 // sequencer returns the asymmetric-mode sequencer for the current view:
@@ -169,20 +372,19 @@ func (g *groupState) sequencer() types.ProcessID {
 // time-silence (which §5 mandates in every group precisely for failure
 // detection) keeps min(RV) advancing, so asymmetric delivery stays live —
 // the sequencer contributes ordering economy, min(RV) the safety boundary.
+//
+// min(RV) is maintained incrementally (see bumpRV), so dx is O(1).
 func (g *groupState) dx() types.MsgNum {
 	if g.status == statusStartWait {
 		return g.startPin
 	}
 	var d types.MsgNum
 	if g.mode == Asymmetric && g.staticD {
-		d = g.rv[g.sequencer()]
-	} else {
-		d = types.InfNum
-		for _, p := range g.view.Members {
-			if v := g.rv[p]; v < d {
-				d = v
-			}
+		if len(g.mem) > 0 {
+			d = g.mem[0].rv // sequencer = lowest-numbered = Members[0]
 		}
+	} else {
+		d = g.rvMin
 		if len(g.view.Members) == 0 {
 			d = 0
 		}
@@ -194,18 +396,13 @@ func (g *groupState) dx() types.MsgNum {
 }
 
 // minSV returns the stability threshold: every message with Num ≤ minSV
-// has been received by all members of the current view (§5.1).
+// has been received by all members of the current view (§5.1). O(1) via
+// the incrementally maintained cache (see bumpSV).
 func (g *groupState) minSV() types.MsgNum {
-	min := types.InfNum
-	for _, p := range g.view.Members {
-		if v := g.sv[p]; v < min {
-			min = v
-		}
-	}
 	if len(g.view.Members) == 0 {
 		return 0
 	}
-	return min
+	return g.svMin
 }
 
 // knownNum returns the highest Lamport number this process has witnessed
@@ -213,11 +410,16 @@ func (g *groupState) minSV() types.MsgNum {
 // relays of p's messages. It is the ln used when suspecting p and the
 // evidence threshold when judging others' suspicions of p.
 func (g *groupState) knownNum(p types.ProcessID) types.MsgNum {
-	n := g.rv[p]
+	var n, r types.MsgNum
+	if i := g.memberIndex(p); i >= 0 {
+		n, r = g.mem[i].rv, g.mem[i].relayedNum
+	} else if s, ok := g.strays[p]; ok {
+		r = s.relayedNum
+	}
 	if n == types.InfNum {
 		return n
 	}
-	if r := g.relayedNum[p]; r > n {
+	if r > n {
 		n = r
 	}
 	return n

@@ -150,16 +150,30 @@ func TestDeliveryQueueHeapProperty(t *testing.T) {
 	}
 }
 
+// setRV / setSV force vector entries through the dense member table while
+// keeping the incremental min caches consistent (tests only).
+func setRV(g *groupState, p types.ProcessID, v types.MsgNum) {
+	g.mem[g.memberIndex(p)].rv = v
+	g.recomputeMins()
+}
+
+func setSV(g *groupState, p types.ProcessID, v types.MsgNum) {
+	g.mem[g.memberIndex(p)].sv = v
+	g.recomputeMins()
+}
+
 func TestGroupStateDx(t *testing.T) {
 	gs := newGroupState(1, Symmetric)
 	gs.status = statusActive
 	gs.activate([]types.ProcessID{1, 2, 3}, time.Time{}, false)
-	gs.rv[1], gs.rv[2], gs.rv[3] = 10, 7, 12
+	setRV(gs, 1, 10)
+	setRV(gs, 2, 7)
+	setRV(gs, 3, 12)
 	if got := gs.dx(); got != 7 {
 		t.Errorf("symmetric dx = %v, want 7 (min)", got)
 	}
 	// Removed member at ∞ no longer gates.
-	gs.rv[2] = types.InfNum
+	setRV(gs, 2, types.InfNum)
 	if got := gs.dx(); got != 10 {
 		t.Errorf("dx with ∞ entry = %v, want 10", got)
 	}
@@ -174,7 +188,9 @@ func TestGroupStateDxAsymmetric(t *testing.T) {
 	gs := newGroupState(1, Asymmetric)
 	gs.status = statusActive
 	gs.activate([]types.ProcessID{2, 3, 5}, time.Time{}, false)
-	gs.rv[2], gs.rv[3], gs.rv[5] = 9, 4, 6
+	setRV(gs, 2, 9)
+	setRV(gs, 3, 4)
+	setRV(gs, 5, 6)
 	// Fault-tolerant mode: min(RV) like symmetric.
 	if got := gs.dx(); got != 4 {
 		t.Errorf("asymmetric FT dx = %v, want 4", got)
@@ -193,7 +209,8 @@ func TestGroupStateStartWaitPinsD(t *testing.T) {
 	gs := newGroupState(1, Symmetric)
 	gs.status = statusStartWait
 	gs.activate([]types.ProcessID{1, 2}, time.Time{}, false)
-	gs.rv[1], gs.rv[2] = 50, 60
+	setRV(gs, 1, 50)
+	setRV(gs, 2, 60)
 	gs.startPin = 3
 	if got := gs.dx(); got != 3 {
 		t.Errorf("startWait dx = %v, want pinned 3", got)
@@ -204,7 +221,9 @@ func TestGroupStateMinSV(t *testing.T) {
 	gs := newGroupState(1, Symmetric)
 	gs.status = statusActive
 	gs.activate([]types.ProcessID{1, 2, 3}, time.Time{}, false)
-	gs.sv[1], gs.sv[2], gs.sv[3] = 5, 2, 9
+	setSV(gs, 1, 5)
+	setSV(gs, 2, 2)
+	setSV(gs, 3, 9)
 	if got := gs.minSV(); got != 2 {
 		t.Errorf("minSV = %v, want 2", got)
 	}
@@ -212,14 +231,21 @@ func TestGroupStateMinSV(t *testing.T) {
 
 func TestGroupStateKnownNum(t *testing.T) {
 	gs := newGroupState(1, Asymmetric)
-	gs.rv[4] = 10
-	gs.relayedNum[4] = 25
+	gs.status = statusActive
+	gs.activate([]types.ProcessID{3, 4}, time.Time{}, false)
+	setRV(gs, 4, 10)
+	gs.mem[gs.memberIndex(4)].relayedNum = 25
 	if got := gs.knownNum(4); got != 25 {
 		t.Errorf("knownNum = %v, want 25 (relay dominates)", got)
 	}
-	gs.rv[4] = types.InfNum
+	setRV(gs, 4, types.InfNum)
 	if got := gs.knownNum(4); got != types.InfNum {
 		t.Errorf("knownNum with ∞ rv = %v", got)
+	}
+	// Non-member origins are tracked through the stray overflow.
+	gs.stray(9).relayedNum = 7
+	if got := gs.knownNum(9); got != 7 {
+		t.Errorf("knownNum of stray origin = %v, want 7", got)
 	}
 }
 

@@ -15,6 +15,11 @@ import (
 type msgLog struct {
 	byOrigin map[types.ProcessID][]*types.Message
 	size     int
+
+	// lastGC is the stability threshold of the most recent gc pass.
+	// min(SV) is monotone, so callers can skip gc entirely until the
+	// threshold advances past lastGC (see onDataPlane).
+	lastGC types.MsgNum
 }
 
 func newMsgLog() *msgLog {
@@ -71,8 +76,13 @@ func (l *msgLog) latestNum(origin types.ProcessID) types.MsgNum {
 }
 
 // gc discards every entry with Num ≤ stable. Stable messages have been
-// received by all members, so no refutation can ever need them.
+// received by all members, so no refutation can ever need them. The
+// surviving tail is resliced in place — the dropped prefix is nilled so
+// the messages themselves become collectable, but no copy is allocated;
+// subsequent appends grow past the tail and can never resurrect dropped
+// entries.
 func (l *msgLog) gc(stable types.MsgNum) {
+	l.lastGC = stable
 	for origin, s := range l.byOrigin {
 		i := sort.Search(len(s), func(i int) bool { return s[i].Num > stable })
 		if i == 0 {
@@ -83,9 +93,10 @@ func (l *msgLog) gc(stable types.MsgNum) {
 			delete(l.byOrigin, origin)
 			continue
 		}
-		rest := make([]*types.Message, len(s)-i)
-		copy(rest, s[i:])
-		l.byOrigin[origin] = rest
+		for j := 0; j < i; j++ {
+			s[j] = nil
+		}
+		l.byOrigin[origin] = s[i:]
 	}
 }
 

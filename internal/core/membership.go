@@ -17,7 +17,7 @@ import (
 // {Pk, ln}; GV records it and multicasts a suspect message to every GV
 // process in the current view (including GVk itself).
 func (e *Engine) raiseSuspicion(now time.Time, gs *groupState, pk types.ProcessID) {
-	if pk == e.cfg.Self || gs.removedEver[pk] || !gs.view.Contains(pk) {
+	if pk == e.cfg.Self || gs.isRemoved(pk) || !gs.view.Contains(pk) {
 		return
 	}
 	if _, already := gs.suspicions[pk]; already {
@@ -60,7 +60,7 @@ func (e *Engine) onSuspect(now time.Time, gs *groupState, from types.ProcessID, 
 		// some other GV will refute it; (vii) handles confirmation.
 		return
 	}
-	if gs.removedEver[s.Proc] {
+	if gs.isRemoved(s.Proc) {
 		return
 	}
 	// (iii): if we have received a message from Pk (directly or via a
@@ -78,6 +78,9 @@ func (e *Engine) onSuspect(now time.Time, gs *groupState, from types.ProcessID, 
 // sender numbered num disproves every recorded suspicion {sender, ln} with
 // ln < num.
 func (e *Engine) refuteGossip(now time.Time, gs *groupState, sender types.ProcessID, num types.MsgNum) {
+	if len(gs.votes) == 0 {
+		return // fast path: no recorded suspicions (every data message lands here)
+	}
 	for s := range gs.votes {
 		if s.Proc == sender && s.LN < num {
 			if _, mine := gs.suspicions[sender]; mine {
@@ -113,7 +116,7 @@ func (e *Engine) sendRefute(gs *groupState, s types.Suspicion) {
 // echo the refute so other suspectors also stand down.
 func (e *Engine) onRefute(now time.Time, gs *groupState, from types.ProcessID, m *types.Message) {
 	s := m.Suspicion
-	if gs.removedEver[s.Proc] {
+	if gs.isRemoved(s.Proc) {
 		return
 	}
 	delete(gs.votes, s) // the suspicion is globally dead once refuted
@@ -165,7 +168,7 @@ func (e *Engine) checkAgreement(now time.Time, gs *groupState) {
 		s := types.Suspicion{Proc: pk, LN: ln}
 		votes := gs.votes[s]
 		for _, pj := range gs.view.Members {
-			if pj == e.cfg.Self || gs.removedEver[pj] {
+			if pj == e.cfg.Self || gs.isRemoved(pj) {
 				continue
 			}
 			if _, suspected := gs.suspicions[pj]; suspected {
@@ -207,7 +210,7 @@ func (e *Engine) onConfirmed(now time.Time, gs *groupState, from types.ProcessID
 	// agreement we have applied).
 	fresh := m.Detection[:0:0]
 	for _, s := range m.Detection {
-		if !gs.removedEver[s.Proc] {
+		if !gs.isRemoved(s.Proc) {
 			fresh = append(fresh, s)
 		}
 	}
@@ -227,7 +230,7 @@ func (e *Engine) adoptPendingConfirms(now time.Time, gs *groupState) {
 		// Prune processes already detected (view installed or pending).
 		live := rec.detection[:0:0]
 		for _, s := range rec.detection {
-			if !gs.removedEver[s.Proc] {
+			if !gs.isRemoved(s.Proc) {
 				live = append(live, s)
 			}
 		}
@@ -279,7 +282,7 @@ func (e *Engine) applyDetection(now time.Time, gs *groupState, detection []types
 		}
 	}
 	for pk := range failed {
-		gs.removedEver[pk] = true
+		gs.markRemoved(pk)
 		delete(gs.suspicions, pk)
 		delete(gs.held, pk)
 	}
@@ -295,10 +298,14 @@ func (e *Engine) applyDetection(now time.Time, gs *groupState, detection []types
 		return m.Group == gs.id && (failed[m.Sender] || failed[m.Origin]) && m.Num > lnmn
 	}))
 	// RV[k] := ∞, SV[k] := ∞ — lets D and stability advance past the
-	// departed processes.
+	// departed processes (the failed set is always a subset of the
+	// current view; see checkAgreement/adoptPendingConfirms).
 	for pk := range failed {
-		gs.rv[pk] = types.InfNum
-		gs.sv[pk] = types.InfNum
+		if i := gs.memberIndex(pk); i >= 0 {
+			gs.bumpRV(i, types.InfNum)
+			gs.bumpSV(i, types.InfNum)
+		}
 	}
+	e.gDValid = false
 	gs.installs = append(gs.installs, viewInstall{failed: failed, lnmn: lnmn})
 }

@@ -1,0 +1,313 @@
+package core
+
+// Equivalence guard for the incremental min-tracking introduced by the
+// hot-path overhaul: the cached dx() (min RV), minSV() and the engine's
+// cross-group globalD() must equal brute-force scans of the underlying
+// state after EVERY stimulus, across randomized receive / suspect /
+// confirm / view-change sequences. A missed cache invalidation anywhere
+// would show up here as a divergence.
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"newtop/internal/types"
+)
+
+// bruteDx recomputes D_x the way the pre-cache code did: a full scan of
+// the receive vector.
+func bruteDx(g *groupState) types.MsgNum {
+	if g.status == statusStartWait {
+		return g.startPin
+	}
+	var d types.MsgNum
+	if g.mode == Asymmetric && g.staticD {
+		if i := g.memberIndex(g.sequencer()); i >= 0 {
+			d = g.mem[i].rv
+		}
+	} else {
+		d = types.InfNum
+		for i := range g.mem {
+			if v := g.mem[i].rv; v < d {
+				d = v
+			}
+		}
+		if len(g.view.Members) == 0 {
+			d = 0
+		}
+	}
+	if d < g.dFloor {
+		d = g.dFloor
+	}
+	return d
+}
+
+// bruteMinSV recomputes the stability threshold by scanning.
+func bruteMinSV(g *groupState) types.MsgNum {
+	min := types.InfNum
+	for i := range g.mem {
+		if v := g.mem[i].sv; v < min {
+			min = v
+		}
+	}
+	if len(g.view.Members) == 0 {
+		return 0
+	}
+	return min
+}
+
+// bruteGlobalD recomputes the cross-group gate by scanning every group.
+func bruteGlobalD(e *Engine) types.MsgNum {
+	d := types.InfNum
+	for _, gs := range e.groups {
+		if gs.status == statusForming || !gs.ordered() {
+			continue
+		}
+		if v := bruteDx(gs); v < d {
+			d = v
+		}
+	}
+	return d
+}
+
+// checkCaches asserts cached == brute for every group plus the engine
+// gate, and that the min counts are internally consistent.
+func checkCaches(t *testing.T, e *Engine, step int) {
+	t.Helper()
+	for id, gs := range e.groups {
+		if gs.status == statusForming {
+			continue
+		}
+		if got, want := gs.dx(), bruteDx(gs); got != want {
+			t.Fatalf("step %d group %v: cached dx = %v, brute force = %v", step, id, got, want)
+		}
+		if got, want := gs.minSV(), bruteMinSV(gs); got != want {
+			t.Fatalf("step %d group %v: cached minSV = %v, brute force = %v", step, id, got, want)
+		}
+		// Count consistency of the incremental trackers.
+		rvCnt, svCnt := 0, 0
+		for i := range gs.mem {
+			if gs.mem[i].rv == gs.rvMin {
+				rvCnt++
+			}
+			if gs.mem[i].sv == gs.svMin {
+				svCnt++
+			}
+		}
+		if len(gs.mem) > 0 && (rvCnt != gs.rvMinCnt || svCnt != gs.svMinCnt) {
+			t.Fatalf("step %d group %v: min counts rv=%d/%d sv=%d/%d diverged",
+				step, id, gs.rvMinCnt, rvCnt, gs.svMinCnt, svCnt)
+		}
+		// The in-place log GC must never retain an entry at or below the
+		// last collected threshold.
+		for origin, s := range gs.log.byOrigin {
+			for _, m := range s {
+				if m == nil {
+					t.Fatalf("step %d group %v: nil entry retained for origin %v", step, id, origin)
+				}
+				if m.Num <= gs.log.lastGC {
+					t.Fatalf("step %d group %v: log retains %v (Num %v ≤ lastGC %v)",
+						step, id, m, m.Num, gs.log.lastGC)
+				}
+			}
+		}
+	}
+	if got, want := e.globalD(), bruteGlobalD(e); got != want {
+		t.Fatalf("step %d: cached globalD = %v, brute force = %v", step, got, want)
+	}
+}
+
+// TestMinCachesMatchBruteForce drives an engine through randomized hostile
+// event sequences — valid FIFO traffic, garbage, gaps, remote suspicions,
+// confirmations (which force detections and view installs) — checking the
+// cached gates against brute-force scans after every stimulus.
+func TestMinCachesMatchBruteForce(t *testing.T) {
+	members := []types.ProcessID{1, 2, 3, 4, 5}
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine(Config{Self: 1, Omega: 10 * time.Millisecond})
+		now := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+		mode := Symmetric
+		if seed%2 == 1 {
+			mode = Asymmetric
+		}
+		if _, err := e.BootstrapGroup(now, 1, mode, members); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.BootstrapGroup(now, 2, Symmetric, []types.ProcessID{1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+		checkCaches(t, e, -1)
+
+		// Per-(group, sender) FIFO counters for generating valid traffic.
+		type key struct {
+			g types.GroupID
+			p types.ProcessID
+		}
+		seqs := make(map[key]uint64)
+		num := types.MsgNum(1)
+
+		for step := 0; step < 400; step++ {
+			now = now.Add(time.Duration(rng.Intn(7)) * time.Millisecond)
+			g := types.GroupID(rng.Intn(2) + 1)
+			p := members[rng.Intn(len(members))]
+			switch rng.Intn(12) {
+			case 0:
+				e.Tick(now) // may raise suspicions, send nulls
+			case 1:
+				e.Submit(now, g, []byte{byte(step)})
+			case 2:
+				// Remote suspicion of a random member.
+				e.HandleMessage(now, p, &types.Message{
+					Kind: types.KindSuspect, Group: g, Sender: p, Origin: p,
+					Suspicion: types.Suspicion{Proc: members[rng.Intn(len(members))], LN: types.MsgNum(rng.Intn(int(num) + 1))},
+				})
+			case 3:
+				// Remote confirmation — can trigger adoption, detection,
+				// install scheduling, RV/SV → ∞ and a view change.
+				victim := members[1+rng.Intn(len(members)-1)]
+				e.HandleMessage(now, p, &types.Message{
+					Kind: types.KindConfirmed, Group: g, Sender: p, Origin: p,
+					Detection: []types.Suspicion{{Proc: victim, LN: types.MsgNum(rng.Intn(int(num) + 1))}},
+				})
+			case 4:
+				// Garbage data message (random fields: duplicates, gaps,
+				// stray origins).
+				e.HandleMessage(now, p, &types.Message{
+					Kind:   types.KindData,
+					Group:  g,
+					Sender: p,
+					Origin: types.ProcessID(rng.Intn(8)),
+					Num:    types.MsgNum(rng.Intn(2000)),
+					Seq:    uint64(rng.Intn(30)),
+					LDN:    types.MsgNum(rng.Intn(2000)),
+				})
+			default:
+				// Valid-ish FIFO data or null from a random member.
+				k := key{g, p}
+				seqs[k]++
+				num += types.MsgNum(rng.Intn(3) + 1)
+				kind := types.KindData
+				if rng.Intn(4) == 0 {
+					kind = types.KindNull
+				}
+				e.HandleMessage(now, p, &types.Message{
+					Kind: kind, Group: g, Sender: p, Origin: p,
+					Num: num, Seq: seqs[k], LDN: types.MsgNum(rng.Intn(int(num) + 1)),
+				})
+			}
+			checkCaches(t, e, step)
+		}
+	}
+}
+
+// TestMinCachesAcrossViewChange drives a deterministic crash-to-install
+// sequence and checks the caches before, during and after the rebuild:
+// suspicion → unanimous agreement → detection (RV/SV jump to ∞) →
+// installation (dense table rebuilt over the survivors).
+func TestMinCachesAcrossViewChange(t *testing.T) {
+	members := []types.ProcessID{1, 2, 3}
+	e := NewEngine(Config{Self: 1, Omega: 10 * time.Millisecond})
+	now := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	if _, err := e.BootstrapGroup(now, 1, Symmetric, members); err != nil {
+		t.Fatal(err)
+	}
+	gs := e.groups[1]
+
+	// Traffic from 2 only; 3 stays silent.
+	for i := 1; i <= 5; i++ {
+		e.HandleMessage(now, 2, &types.Message{
+			Kind: types.KindData, Group: 1, Sender: 2, Origin: 2,
+			Num: types.MsgNum(i * 2), Seq: uint64(i), LDN: 0,
+		})
+		checkCaches(t, e, i)
+	}
+	// Advance far past the suspicion timeout: both silent peers are
+	// suspected in one Tick, and with no live unsuspected member left the
+	// agreement is immediately unanimous — detection fires, RV/SV jump to
+	// ∞ (exercising bumpRV/bumpSV with InfNum), and the install completes
+	// in the pump, rebuilding the dense table over the lone survivor.
+	now = now.Add(time.Hour)
+	e.Tick(now)
+	checkCaches(t, e, 100)
+	if len(gs.suspicions) != 0 {
+		t.Fatalf("suspicions not consumed by detection: %v", gs.suspicions)
+	}
+	if !gs.isRemoved(2) || !gs.isRemoved(3) {
+		t.Fatal("joint detection did not mark 2 and 3 as removed")
+	}
+	if got := gs.view.Members; len(got) != 1 || got[0] != 1 {
+		t.Fatalf("view after joint detection = %v, want [1]", got)
+	}
+	checkCaches(t, e, 101)
+	if gs.rvMinCnt != 1 || gs.svMinCnt != 1 {
+		t.Fatalf("rebuilt min counts = %d/%d, want 1/1", gs.rvMinCnt, gs.svMinCnt)
+	}
+	// Post-install traffic from the survivor keeps the caches coherent.
+	if _, err := e.Submit(now, 1, []byte("solo")); err != nil {
+		t.Fatal(err)
+	}
+	checkCaches(t, e, 102)
+}
+
+// TestMsgLogGCInPlaceNeverResurrects pins the in-place reslice behaviour
+// of msgLog.gc: collected entries must be gone from every query, later
+// appends into the resliced tail must never bring them back, and the
+// dropped prefix must be nilled (so the messages are collectable).
+func TestMsgLogGCInPlaceNeverResurrects(t *testing.T) {
+	l := newMsgLog()
+	for i := 1; i <= 10; i++ {
+		l.add(msg(1, 1, types.MsgNum(i), uint64(i)))
+	}
+	for i := 1; i <= 4; i++ {
+		l.add(msg(2, 2, types.MsgNum(i*3), uint64(i)))
+	}
+	if l.len() != 14 {
+		t.Fatalf("len = %d, want 14", l.len())
+	}
+
+	l.gc(6)
+	if l.len() != 4+2 {
+		t.Fatalf("len after gc(6) = %d, want 6", l.len())
+	}
+	if got := l.countAbove(1, 0); got != 4 {
+		t.Fatalf("countAbove(1,0) = %d, want 4 (nums 7..10)", got)
+	}
+	for _, m := range l.concerningAbove(1, 0) {
+		if m.Num <= 6 {
+			t.Fatalf("gc(6) left %v in the log", m)
+		}
+	}
+
+	// Append into the resliced tail: must extend, not resurrect.
+	for i := 11; i <= 13; i++ {
+		l.add(msg(1, 1, types.MsgNum(i), uint64(i)))
+	}
+	got := l.concerningAbove(1, 0)
+	if len(got) != 7 {
+		t.Fatalf("after re-append: %d entries, want 7 (7..13)", len(got))
+	}
+	for i, m := range got {
+		if want := types.MsgNum(7 + i); m.Num != want {
+			t.Fatalf("entry %d has Num %v, want %v", i, m.Num, want)
+		}
+	}
+
+	// Collect an origin completely: the origin must vanish...
+	l.gc(12)
+	if _, ok := l.byOrigin[2]; ok {
+		t.Fatal("origin 2 still present after full collection")
+	}
+	if got := l.latestNum(2); got != 0 {
+		t.Fatalf("latestNum(2) = %v, want 0", got)
+	}
+	// ...and adding again after deletion must start fresh.
+	l.add(msg(2, 2, 20, 5))
+	if got := l.latestNum(2); got != 20 {
+		t.Fatalf("latestNum(2) after re-add = %v, want 20", got)
+	}
+	if l.len() != 2 {
+		t.Fatalf("final len = %d, want 2 (num 13 + num 20)", l.len())
+	}
+}

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"container/heap"
-
 	"newtop/internal/types"
 )
 
@@ -11,14 +9,21 @@ import (
 // of safe2 (non-decreasing m.c; ties by origin, group, seq). One queue
 // spans all groups: delivery order is a single sequence per process, which
 // is what extends total order across overlapping groups (MD4').
+//
+// The heap is a concrete *Message min-heap (sift-up/down inlined) rather
+// than container/heap: no interface boxing, no indirect Less/Swap calls on
+// the per-message hot path.
 type deliveryQueue struct {
-	h msgHeap
+	h []*types.Message
 }
 
 func newDeliveryQueue() *deliveryQueue { return &deliveryQueue{} }
 
 // Push inserts m.
-func (q *deliveryQueue) Push(m *types.Message) { heap.Push(&q.h, m) }
+func (q *deliveryQueue) Push(m *types.Message) {
+	q.h = append(q.h, m)
+	q.up(len(q.h) - 1)
+}
 
 // Peek returns the smallest message without removing it, or nil when empty.
 func (q *deliveryQueue) Peek() *types.Message {
@@ -30,10 +35,19 @@ func (q *deliveryQueue) Peek() *types.Message {
 
 // Pop removes and returns the smallest message, or nil when empty.
 func (q *deliveryQueue) Pop() *types.Message {
-	if len(q.h) == 0 {
+	h := q.h
+	if len(h) == 0 {
 		return nil
 	}
-	return heap.Pop(&q.h).(*types.Message)
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	q.h = h[:n]
+	if n > 0 {
+		q.down(0)
+	}
+	return top
 }
 
 // Len returns the number of queued messages.
@@ -56,7 +70,10 @@ func (q *deliveryQueue) Discard(pred func(*types.Message) bool) int {
 	}
 	q.h = kept
 	if removed > 0 {
-		heap.Init(&q.h)
+		// Re-establish the heap property bottom-up.
+		for i := len(q.h)/2 - 1; i >= 0; i-- {
+			q.down(i)
+		}
 	}
 	return removed
 }
@@ -67,17 +84,40 @@ func (q *deliveryQueue) HasAtOrBelow(n types.MsgNum) bool {
 	return len(q.h) > 0 && q.h[0].Num <= n
 }
 
-type msgHeap []*types.Message
+// up restores the heap property from leaf i towards the root.
+func (q *deliveryQueue) up(i int) {
+	h := q.h
+	m := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !types.TotalOrderLess(m, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = m
+}
 
-func (h msgHeap) Len() int            { return len(h) }
-func (h msgHeap) Less(i, j int) bool  { return types.TotalOrderLess(h[i], h[j]) }
-func (h msgHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *msgHeap) Push(x interface{}) { *h = append(*h, x.(*types.Message)) }
-func (h *msgHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	m := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return m
+// down restores the heap property from node i towards the leaves.
+func (q *deliveryQueue) down(i int) {
+	h := q.h
+	n := len(h)
+	m := h[i]
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		best := l
+		if r := l + 1; r < n && types.TotalOrderLess(h[r], h[l]) {
+			best = r
+		}
+		if !types.TotalOrderLess(h[best], m) {
+			break
+		}
+		h[i] = h[best]
+		i = best
+	}
+	h[i] = m
 }

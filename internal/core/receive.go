@@ -51,10 +51,11 @@ func (e *Engine) handleMessage(now time.Time, from types.ProcessID, m *types.Mes
 	// either Pk ∈ failed or Pk ∉ Vi"). A sequencer relay whose origin was
 	// excluded is equally dead: its content is a removed member's
 	// message.
-	if gs.removedEver[m.Sender] || gs.removedEver[m.Origin] {
+	if gs.isRemoved(m.Sender) || gs.isRemoved(m.Origin) {
 		return
 	}
-	if !gs.view.Contains(m.Sender) {
+	si := gs.memberIndex(m.Sender)
+	if si < 0 {
 		return
 	}
 	// Messages from currently suspected processes are kept pending until
@@ -66,9 +67,9 @@ func (e *Engine) handleMessage(now time.Time, from types.ProcessID, m *types.Mes
 
 	switch m.Kind {
 	case types.KindData, types.KindNull, types.KindStartGroup:
-		e.onDataPlane(now, gs, m)
+		e.onDataPlane(now, gs, si, m)
 	case types.KindSeqRequest:
-		e.onSeqRequest(now, gs, m)
+		e.onSeqRequest(now, gs, si, m)
 	case types.KindSuspect:
 		e.onSuspect(now, gs, from, m)
 	case types.KindRefute:
@@ -80,7 +81,9 @@ func (e *Engine) handleMessage(now time.Time, from types.ProcessID, m *types.Mes
 
 // onDataPlane processes a numbered (data-plane) message: CA2 clock
 // witness, receive-vector and stability bookkeeping, then kind dispatch.
-func (e *Engine) onDataPlane(now time.Time, gs *groupState, m *types.Message) {
+// si is the sender's member index (see memberIndex); the caller has
+// already verified membership.
+func (e *Engine) onDataPlane(now time.Time, gs *groupState, si int, m *types.Message) {
 	// Refutation by receipt (§5.2 step iii): a message from m.Sender
 	// numbered above a gossiped suspicion's ln disproves that suspicion.
 	e.refuteGossip(now, gs, m.Sender, m.Num)
@@ -94,43 +97,62 @@ func (e *Engine) onDataPlane(now time.Time, gs *groupState, m *types.Message) {
 	// piggyback — gaps heal via the membership machinery, never by
 	// reordering.
 	direct := m.Sender == m.Origin
+	oi := si // origin's member index; differs from si only on relays
 	if direct {
-		if m.Seq <= gs.lastSeqDirect[m.Origin] {
+		slot := &gs.mem[si]
+		if m.Seq <= slot.seqDirect {
 			return // duplicate
 		}
-		if m.Seq != gs.lastSeqDirect[m.Origin]+1 {
+		if m.Seq != slot.seqDirect+1 {
 			e.stats.Gaps++
 			e.raiseSuspicion(now, gs, m.Sender)
 			return
 		}
-		gs.lastSeqDirect[m.Origin] = m.Seq
+		slot.seqDirect = m.Seq
+	} else if oi = gs.memberIndex(m.Origin); oi >= 0 {
+		slot := &gs.mem[oi]
+		if m.Seq <= slot.seqRelayed {
+			return
+		}
+		if m.Seq != slot.seqRelayed+1 {
+			e.stats.Gaps++
+			e.raiseSuspicion(now, gs, m.Sender)
+			return
+		}
+		slot.seqRelayed = m.Seq
 	} else {
-		if m.Seq <= gs.lastSeqRelayed[m.Origin] {
+		// Relay of an origin outside the view: hostile traffic; the
+		// overflow record preserves the map-era duplicate/gap semantics.
+		st := gs.stray(m.Origin)
+		if m.Seq <= st.seqRelayed {
 			return
 		}
-		if m.Seq != gs.lastSeqRelayed[m.Origin]+1 {
+		if m.Seq != st.seqRelayed+1 {
 			e.stats.Gaps++
 			e.raiseSuspicion(now, gs, m.Sender)
 			return
 		}
-		gs.lastSeqRelayed[m.Origin] = m.Seq
+		st.seqRelayed = m.Seq
 	}
 
 	e.lc.Witness(m.Num) // CA2
-	if m.Num > gs.rv[m.Sender] {
-		gs.rv[m.Sender] = m.Num
+	if gs.bumpRV(si, m.Num) || (gs.staticD && gs.mode == Asymmetric && si == 0) {
+		e.gDValid = false // the delivery gate D_x moved
 	}
-	gs.lastHeard[m.Sender] = now
-	if m.LDN > gs.sv[m.Sender] && gs.sv[m.Sender] != types.InfNum {
-		gs.sv[m.Sender] = m.LDN
-	}
+	gs.mem[si].lastHeard = now
+	gs.bumpSV(si, m.LDN)
+
 	gs.log.add(m)
 
 	switch m.Kind {
 	case types.KindData:
 		if !direct {
-			if m.Num > gs.relayedNum[m.Origin] {
-				gs.relayedNum[m.Origin] = m.Num
+			if oi >= 0 {
+				if m.Num > gs.mem[oi].relayedNum {
+					gs.mem[oi].relayedNum = m.Num
+				}
+			} else if st := gs.stray(m.Origin); m.Num > st.relayedNum {
+				st.relayedNum = m.Num
 			}
 			// A relay numbered above a gossiped suspicion of its origin
 			// raises the evidence threshold for that origin too.
@@ -153,7 +175,13 @@ func (e *Engine) onDataPlane(now time.Time, gs *groupState, m *types.Message) {
 		e.onStartGroup(now, gs, m)
 	}
 
-	gs.log.gc(gs.minSV())
+	// Amortized log GC: the stability threshold min(SV) is monotone, so
+	// collecting is only useful when it advanced past the last collection
+	// — or when the message just logged is already below it (the map-era
+	// per-message gc would have dropped it immediately).
+	if sv := gs.minSV(); sv > gs.log.lastGC || m.Num <= sv {
+		gs.log.gc(sv)
+	}
 }
 
 // ackOwnRequest clears a now-sequenced request from the pending list,
@@ -173,8 +201,13 @@ func (e *Engine) ackOwnRequest(gs *groupState, seq uint64) {
 
 // globalD returns D = min over ordered groups of D_x (§4.1: safe1' gates
 // delivery on the minimum across every group the process belongs to).
-// Atomic groups do not gate.
+// Atomic groups do not gate. The result is cached; every mutation that can
+// move any group's D_x (an RV-min advance, a view install, a status or
+// floor change, the group set changing) clears gDValid.
 func (e *Engine) globalD() types.MsgNum {
+	if e.gDValid {
+		return e.gD
+	}
 	d := types.InfNum
 	for _, gs := range e.groups {
 		if gs.status == statusForming || !gs.ordered() {
@@ -184,6 +217,7 @@ func (e *Engine) globalD() types.MsgNum {
 			d = v
 		}
 	}
+	e.gD, e.gDValid = d, true
 	return d
 }
 
@@ -262,9 +296,10 @@ func (e *Engine) canInstall(gs *groupState, ins viewInstall) bool {
 	return gs.dx() >= ins.lnmn
 }
 
-// installView performs the view change: V := V − failed, resets
-// bookkeeping for the removed processes, re-targets pending asymmetric
-// requests if the sequencer changed, and emits the ViewEffect.
+// installView performs the view change: V := V − failed, rebuilds the
+// dense member table and its cached minima for the surviving members,
+// re-targets pending asymmetric requests if the sequencer changed, and
+// emits the ViewEffect.
 func (e *Engine) installView(now time.Time, gs *groupState, ins viewInstall) {
 	oldSequencer := gs.sequencer()
 	removed := make([]types.ProcessID, 0, len(ins.failed))
@@ -276,13 +311,15 @@ func (e *Engine) installView(now time.Time, gs *groupState, ins viewInstall) {
 	if len(removed) == 0 {
 		return
 	}
+	oldMembers, oldMem := gs.view.Members, gs.mem
 	gs.view = gs.view.Without(ins.failed)
+	gs.rebuildMem(oldMembers, oldMem)
+	e.gDValid = false
 	e.stats.ViewChanges++
 	for _, p := range removed {
 		delete(gs.held, p)
 		gs.log.dropOrigin(p)
 		delete(gs.suspicions, p)
-		delete(gs.lastHeard, p)
 	}
 	for s := range gs.votes {
 		if ins.failed[s.Proc] {

@@ -70,7 +70,7 @@ func (e *Engine) transmit(now time.Time, gs *groupState, payload []byte) {
 	gs.lastSent = now
 	// Deliver own messages by executing the protocol (§3): loop the
 	// multicast back through the receive path.
-	e.onDataPlane(now, gs, m)
+	e.onDataPlane(now, gs, gs.memberIndex(e.cfg.Self), m)
 }
 
 // transmitAsym disseminates a message through the group's sequencer
@@ -101,10 +101,11 @@ func (e *Engine) transmitAsym(now time.Time, gs *groupState, payload []byte) {
 	e.send(seqr, req)
 }
 
-// onSeqRequest handles a unicast ordering request at the sequencer.
-func (e *Engine) onSeqRequest(now time.Time, gs *groupState, m *types.Message) {
+// onSeqRequest handles a unicast ordering request at the sequencer. si is
+// the sender's member index (membership verified by the caller).
+func (e *Engine) onSeqRequest(now time.Time, gs *groupState, si int, m *types.Message) {
 	e.lc.Witness(m.Num) // CA2 — receiving a unicast advances the clock
-	gs.lastHeard[m.Sender] = now
+	gs.mem[si].lastHeard = now
 	if gs.sequencer() != e.cfg.Self {
 		// Views diverge briefly around membership changes; the
 		// requester re-unicasts to the new sequencer after its own view
@@ -119,7 +120,7 @@ func (e *Engine) onSeqRequest(now time.Time, gs *groupState, m *types.Message) {
 // out-of-order requests are dropped (the requester re-unicasts after a
 // view change, in order).
 func (e *Engine) sequenceRequest(now time.Time, gs *groupState, req *types.Message) {
-	if gs.removedEver[req.Origin] {
+	if gs.isRemoved(req.Origin) {
 		return // never relay messages of an excluded member
 	}
 	num := e.lc.TickSend() // CA1 for the ordered multicast
@@ -138,7 +139,13 @@ func (e *Engine) sequenceRequest(now time.Time, gs *groupState, req *types.Messa
 		m.Origin = e.cfg.Self
 		m.Seq = gs.mySeq
 	} else {
-		if req.Seq != gs.lastSeqRelayed[req.Origin]+1 {
+		var last uint64
+		if oi := gs.memberIndex(req.Origin); oi >= 0 {
+			last = gs.mem[oi].seqRelayed
+		} else if st, ok := gs.strays[req.Origin]; ok {
+			last = st.seqRelayed
+		}
+		if req.Seq != last+1 {
 			return // duplicate or out-of-order request
 		}
 		m.Origin = req.Origin
@@ -147,7 +154,7 @@ func (e *Engine) sequenceRequest(now time.Time, gs *groupState, req *types.Messa
 	e.stats.SeqMulticasts++
 	e.mcast(gs, m)
 	gs.lastSent = now
-	e.onDataPlane(now, gs, m)
+	e.onDataPlane(now, gs, gs.memberIndex(e.cfg.Self), m)
 }
 
 // sendNull multicasts a time-silence null message in gs (§4.1). Nulls
@@ -168,7 +175,7 @@ func (e *Engine) sendNull(now time.Time, gs *groupState) {
 	e.stats.NullsSent++
 	e.mcast(gs, m)
 	gs.lastSent = now
-	e.onDataPlane(now, gs, m)
+	e.onDataPlane(now, gs, gs.memberIndex(e.cfg.Self), m)
 }
 
 // drainQueued transmits queued submits that have become unblocked. The

@@ -24,21 +24,18 @@ func (e *Engine) tickGroup(now time.Time, gs *groupState) {
 		e.sendNull(now, gs)
 	}
 
-	// Failure suspicion (§5.2): suspect members silent for Ω > ω.
+	// Failure suspicion (§5.2): suspect members silent for Ω > ω. Every
+	// view member has a dense slot with lastHeard primed at activation,
+	// so the scan is a straight pass over the member table.
 	if !e.cfg.DisableFailureDetection {
-		for _, p := range gs.view.Members {
-			if p == e.cfg.Self || gs.removedEver[p] {
+		for i, p := range gs.view.Members {
+			if p == e.cfg.Self || gs.isRemoved(p) {
 				continue
 			}
 			if _, suspected := gs.suspicions[p]; suspected {
 				continue
 			}
-			last, ok := gs.lastHeard[p]
-			if !ok {
-				gs.lastHeard[p] = now
-				continue
-			}
-			if now.Sub(last) >= e.cfg.SuspicionTimeout {
+			if now.Sub(gs.mem[i].lastHeard) >= e.cfg.SuspicionTimeout {
 				e.raiseSuspicion(now, gs, p)
 			}
 		}
@@ -62,6 +59,7 @@ func (e *Engine) tickFormation(now time.Time, gs *groupState) {
 	e.mcastTo(f.members, no)
 	e.emit(FormationFailedEffect{Group: gs.id, Reason: "vote timeout"})
 	delete(e.groups, gs.id)
+	e.groupsChanged()
 	delete(e.pre, gs.id)
 	e.left[gs.id] = true
 }

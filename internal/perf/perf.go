@@ -1,0 +1,157 @@
+// Package perf hosts the engine micro-benchmark bodies and a programmatic
+// runner for them. The same functions back two entry points:
+//
+//   - internal/core/bench_test.go wraps them as standard testing
+//     benchmarks (`go test -bench Engine ./internal/core`);
+//   - cmd/newtop-bench runs them via testing.Benchmark and emits
+//     machine-readable results (BENCH_core.json), so the perf trajectory
+//     of the hot path is tracked commit over commit.
+//
+// Payloads are pre-generated outside the timed loops: the benchmarks
+// measure the engine, not fmt.
+package perf
+
+import (
+	"testing"
+	"time"
+
+	"newtop/internal/core"
+	"newtop/internal/sim"
+	"newtop/internal/types"
+)
+
+// payloads is a fixed pool of distinct pre-generated payloads, reused
+// round-robin so payload construction never lands in a timed loop.
+var payloads = func() [][]byte {
+	out := make([][]byte, 256)
+	for i := range out {
+		p := []byte{'b', '-', byte('a' + i%26), byte('a' + (i/26)%26), 0}
+		p[4] = byte(i)
+		out[i] = p
+	}
+	return out
+}()
+
+// NewCluster builds the standard benchmark cluster: n processes, one
+// bootstrapped group, tight latency band.
+func NewCluster(b *testing.B, n int, mode core.OrderMode) (*sim.Cluster, []types.ProcessID) {
+	b.Helper()
+	c := sim.New(1, sim.WithLatency(100*time.Microsecond, 300*time.Microsecond))
+	ps := make([]types.ProcessID, 0, n)
+	for i := 1; i <= n; i++ {
+		c.AddProcess(core.Config{Self: types.ProcessID(i), Omega: 5 * time.Millisecond})
+		ps = append(ps, types.ProcessID(i))
+	}
+	if err := c.Bootstrap(1, mode, ps); err != nil {
+		b.Fatal(err)
+	}
+	return c, ps
+}
+
+// EngineThroughput is the end-to-end protocol throughput body: b.N
+// multicasts round-robin across all members of one n-member group, full
+// ordering and stability machinery engaged, deliveries drained.
+func EngineThroughput(b *testing.B, n int, mode core.OrderMode) {
+	c, ps := NewCluster(b, n, mode)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := ps[i%len(ps)]
+		if err := c.Submit(src, 1, payloads[i%len(payloads)]); err != nil {
+			b.Fatal(err)
+		}
+		if i%64 == 63 {
+			c.Run(10 * time.Millisecond) // let deliveries drain
+		}
+	}
+	c.Run(200 * time.Millisecond)
+	b.StopTimer()
+	want := b.N
+	got := len(c.History(ps[0]).Deliveries)
+	if got < want {
+		b.Fatalf("delivered %d of %d", got, want)
+	}
+}
+
+// EngineHandleMessage isolates the receive path: one engine processing a
+// pre-built stream of data messages from a peer. Messages are generated
+// in chunks with the timer stopped — each must be a distinct struct (the
+// engine retains accepted messages in its log and delivery queue), but
+// constructing them is harness work, not engine work.
+func EngineHandleMessage(b *testing.B) {
+	e := core.NewEngine(core.Config{Self: 1, Omega: time.Hour})
+	now := sim.Epoch
+	if _, err := e.BootstrapGroup(now, 1, core.Symmetric, []types.ProcessID{1, 2}); err != nil {
+		b.Fatal(err)
+	}
+	payload := payloads[0]
+	const chunk = 8192
+	msgs := make([]*types.Message, 0, chunk)
+	fill := func(from int) {
+		msgs = msgs[:0]
+		for i := from; i < from+chunk && i < b.N; i++ {
+			msgs = append(msgs, &types.Message{
+				Kind: types.KindData, Group: 1, Sender: 2, Origin: 2,
+				Num: types.MsgNum(i + 1), Seq: uint64(i + 1), LDN: types.MsgNum(i),
+				Payload: payload,
+			})
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%chunk == 0 {
+			b.StopTimer()
+			fill(i)
+			b.StartTimer()
+		}
+		e.HandleMessage(now, 2, msgs[i%chunk])
+	}
+}
+
+// MembershipAgreement measures a full crash-to-view-change cycle.
+func MembershipAgreement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, ps := NewCluster(b, 5, core.Symmetric)
+		c.Run(20 * time.Millisecond)
+		c.Crash(5)
+		ok := c.RunUntil(10*time.Second, func() bool {
+			for _, p := range ps[:4] {
+				vs := c.History(p).Views[1]
+				if len(vs) == 0 || vs[len(vs)-1].View.Contains(5) {
+					return false
+				}
+			}
+			return true
+		})
+		if !ok {
+			b.Fatal("agreement never completed")
+		}
+	}
+}
+
+// GroupFormation measures the §5.3 protocol end to end.
+func GroupFormation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := sim.New(int64(i+1), sim.WithLatency(100*time.Microsecond, 300*time.Microsecond))
+		ps := make([]types.ProcessID, 0, 5)
+		for j := 1; j <= 5; j++ {
+			c.AddProcess(core.Config{Self: types.ProcessID(j), Omega: 5 * time.Millisecond})
+			ps = append(ps, types.ProcessID(j))
+		}
+		if err := c.CreateGroup(1, 7, core.Symmetric, ps); err != nil {
+			b.Fatal(err)
+		}
+		ok := c.RunUntil(10*time.Second, func() bool {
+			for _, p := range ps {
+				if !c.Engine(p).GroupReady(7) {
+					return false
+				}
+			}
+			return true
+		})
+		if !ok {
+			b.Fatal("formation never completed")
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"newtop/internal/core"
+)
+
+// Result is the machine-readable outcome of one engine benchmark, with an
+// optional baseline for before/after tracking across commits.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+
+	// Baseline, when present, is the same benchmark measured at an
+	// earlier commit (loaded via MergeBaseline).
+	Baseline *Baseline `json:"baseline,omitempty"`
+}
+
+// Baseline is a prior measurement of the same benchmark.
+type Baseline struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Note        string  `json:"note,omitempty"`
+}
+
+// Report is the schema of BENCH_core.json.
+type Report struct {
+	Schema      int      `json:"schema"`
+	GeneratedAt string   `json:"generated_at"`
+	GoVersion   string   `json:"go_version"`
+	GOOS        string   `json:"goos"`
+	GOARCH      string   `json:"goarch"`
+	Results     []Result `json:"results"`
+}
+
+// benchmarks is the fixed suite RunAll executes.
+var benchmarks = []struct {
+	name string
+	fn   func(*testing.B)
+}{
+	{"EngineSymmetricN3", func(b *testing.B) { EngineThroughput(b, 3, core.Symmetric) }},
+	{"EngineSymmetricN9", func(b *testing.B) { EngineThroughput(b, 9, core.Symmetric) }},
+	{"EngineAsymmetricN3", func(b *testing.B) { EngineThroughput(b, 3, core.Asymmetric) }},
+	{"EngineAsymmetricN9", func(b *testing.B) { EngineThroughput(b, 9, core.Asymmetric) }},
+	{"EngineAtomicN9", func(b *testing.B) { EngineThroughput(b, 9, core.Atomic) }},
+	{"EngineHandleMessage", EngineHandleMessage},
+	{"MembershipAgreement", MembershipAgreement},
+	{"GroupFormation", GroupFormation},
+}
+
+// RunAll executes the engine benchmark suite via testing.Benchmark and
+// returns the results. progress (optional) receives one line per
+// benchmark as it completes.
+func RunAll(progress io.Writer) []Result {
+	out := make([]Result, 0, len(benchmarks))
+	for _, bm := range benchmarks {
+		r := testing.Benchmark(bm.fn)
+		res := Result{
+			Name:        bm.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if progress != nil {
+			fmt.Fprintf(progress, "%-22s %12.1f ns/op %8d B/op %6d allocs/op (n=%d)\n",
+				res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, res.Iterations)
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// NewReport wraps results in the BENCH_core.json envelope.
+func NewReport(results []Result) *Report {
+	return &Report{
+		Schema:      1,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Results:     results,
+	}
+}
+
+// MergeBaseline attaches the measurements of a previous report (by
+// benchmark name) as the Baseline of each matching result, so a written
+// report records before/after in one file.
+func MergeBaseline(results []Result, prev *Report, note string) {
+	byName := make(map[string]Result, len(prev.Results))
+	for _, r := range prev.Results {
+		byName[r.Name] = r
+	}
+	for i := range results {
+		if p, ok := byName[results[i].Name]; ok {
+			results[i].Baseline = &Baseline{
+				NsPerOp:     p.NsPerOp,
+				BytesPerOp:  p.BytesPerOp,
+				AllocsPerOp: p.AllocsPerOp,
+				Note:        note,
+			}
+		}
+	}
+}
+
+// LoadReport reads a previously written BENCH_core.json.
+func LoadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("perf: parse %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// WriteReport writes the report as indented JSON.
+func WriteReport(path string, r *Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -13,7 +13,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -314,12 +313,12 @@ func (c *Cluster) At(offset time.Duration, fn func()) {
 // deterministic order.
 func (c *Cluster) Run(d time.Duration) {
 	deadline := c.now.Add(d)
-	for len(c.cal) > 0 {
-		ev := c.cal[0]
+	for len(c.cal.h) > 0 {
+		ev := c.cal.h[0]
 		if ev.at.After(deadline) {
 			break
 		}
-		heap.Pop(&c.cal)
+		c.cal.pop()
 		if ev.at.After(c.now) {
 			c.now = ev.at
 		}
@@ -362,7 +361,7 @@ type event struct {
 func (c *Cluster) push(ev event) {
 	c.seq++
 	ev.seq = c.seq
-	heap.Push(&c.cal, ev)
+	c.cal.push(ev)
 }
 
 func (c *Cluster) scheduleTick(p types.ProcessID, at time.Time) {
@@ -468,23 +467,59 @@ func (c *Cluster) transmit(from, to types.ProcessID, m *types.Message) {
 	c.push(event{at: arr, from: from, to: to, msg: m})
 }
 
-// calendar is a time-ordered event heap (FIFO on equal instants).
-type calendar []event
-
-func (h calendar) Len() int { return len(h) }
-func (h calendar) Less(i, j int) bool {
-	if !h[i].at.Equal(h[j].at) {
-		return h[i].at.Before(h[j].at)
-	}
-	return h[i].seq < h[j].seq
+// calendar is a time-ordered event min-heap (FIFO on equal instants,
+// via the monotone seq tie-break). It is a concrete heap with inlined
+// sift-up/down — the interface-based container/heap showed up as ~25% of
+// the engine-benchmark CPU profile through boxing and indirect calls.
+type calendar struct {
+	h []event
 }
-func (h calendar) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *calendar) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *calendar) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = event{}
-	*h = old[:n-1]
-	return ev
+
+// before is the heap order: earlier instant first, FIFO on ties.
+func eventBefore(a, b *event) bool {
+	if !a.at.Equal(b.at) {
+		return a.at.Before(b.at)
+	}
+	return a.seq < b.seq
+}
+
+func (c *calendar) push(ev event) {
+	h := append(c.h, ev)
+	c.h = h
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventBefore(&h[i], &h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (c *calendar) pop() event {
+	h := c.h
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{}
+	h = h[:n]
+	c.h = h
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		best := l
+		if r := l + 1; r < n && eventBefore(&h[r], &h[l]) {
+			best = r
+		}
+		if !eventBefore(&h[best], &h[i]) {
+			break
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+	return top
 }

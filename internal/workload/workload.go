@@ -6,6 +6,7 @@ package workload
 
 import (
 	"fmt"
+	"strconv"
 
 	"newtop/internal/core"
 	"newtop/internal/types"
@@ -96,6 +97,21 @@ type Submission struct {
 	Payload  []byte
 }
 
+// payloadTag builds a unique payload "<prefix>-<a>-<b>-<i>" without going
+// through fmt — payloads are opaque uniqueness keys for the property
+// checkers, and Sprintf per scheduled message used to distort the
+// harness-level benchmarks that time whole experiments.
+func payloadTag(prefix byte, a, b uint64, i int) []byte {
+	buf := make([]byte, 0, 16)
+	buf = append(buf, prefix, '-')
+	buf = strconv.AppendUint(buf, a, 10)
+	buf = append(buf, '-')
+	buf = strconv.AppendUint(buf, b, 10)
+	buf = append(buf, '-')
+	buf = strconv.AppendInt(buf, int64(i), 10)
+	return buf
+}
+
 // UniformTraffic schedules perMember multicasts from every member of every
 // group, spaced spacingMillis apart, round-robin across senders. Payloads
 // are unique (required by the property checkers).
@@ -109,7 +125,7 @@ func UniformTraffic(groups []Group, perMember, spacingMillis int) []Submission {
 					AtMillis: t,
 					From:     p,
 					Group:    g.ID,
-					Payload:  []byte(fmt.Sprintf("w-%v-%v-%d", g.ID, p, i)),
+					Payload:  payloadTag('w', uint64(g.ID), uint64(p), i),
 				})
 				t += spacingMillis
 			}
@@ -127,7 +143,7 @@ func SingleSenderTraffic(g types.GroupID, from types.ProcessID, n, spacingMillis
 			AtMillis: i * spacingMillis,
 			From:     from,
 			Group:    g,
-			Payload:  []byte(fmt.Sprintf("p-%v-%d", from, i)),
+			Payload:  payloadTag('p', uint64(from), 0, i),
 		})
 	}
 	return subs
