@@ -1,7 +1,8 @@
 // Command newtop-bench regenerates every experiment table of the Newtop
-// reproduction: the paper's figures (F1–F3), worked examples (X1–X3) and
-// comparative claims (C1–C9). See DESIGN.md §4 for the index and
-// EXPERIMENTS.md for the expected shapes.
+// reproduction: the paper's figures (F1–F3), worked examples (X1–X3),
+// comparative claims (C1–C9) and the replicated-state-machine scenarios
+// (R1–R2). See DESIGN.md §4 for the index and EXPERIMENTS.md for the
+// expected shapes.
 //
 // Usage:
 //
@@ -14,6 +15,11 @@
 //	newtop-bench -perf                          # run, print, write BENCH_core.json
 //	newtop-bench -perf -perf-out results.json   # choose the output path
 //	newtop-bench -perf -perf-baseline old.json  # record before/after in one file
+//
+// CI regression gate (fails on a >2x ns/op regression of one benchmark
+// versus the checked-in report):
+//
+//	newtop-bench -perf-gate BENCH_core.json
 package main
 
 import (
@@ -39,6 +45,8 @@ func experiments() []experiment {
 		{"F1", "fig.1 online server migration", harness.F1Migration},
 		{"F2", "fig.2 causal chain across overlapping groups (alias of X2)", harness.X2CausalChain},
 		{"F3", "fig.3 atomic delivery vs total order", harness.F3AtomicVsTotal},
+		{"R1", "rsm replica catch-up into a loaded group", harness.R1ReplicaCatchUp},
+		{"R2", "rsm divergence detection across a healed partition", harness.R2PartitionDivergence},
 		{"X1", "§5 ex.1 joint failure, orphan erased", harness.X1JointFailure},
 		{"X2", "§5 ex.2 MD5' partition exclusion", harness.X2CausalChain},
 		{"X3", "§5 ex.3 concurrent subgroup views", harness.X3ConcurrentViews},
@@ -80,8 +88,23 @@ func run(args []string) error {
 	perfOut := fs.String("perf-out", "BENCH_core.json", "output path for -perf results")
 	perfBase := fs.String("perf-baseline", "", "previous -perf report whose numbers are recorded as the baseline")
 	perfNote := fs.String("perf-baseline-note", "", "note attached to the merged baseline entries")
+	gate := fs.String("perf-gate", "", "re-measure one benchmark against this baseline report and fail on regression (CI)")
+	gateBench := fs.String("perf-gate-bench", "EngineHandleMessage", "benchmark name checked by -perf-gate")
+	gateFactor := fs.Float64("perf-gate-factor", 2.0, "maximum allowed ns/op ratio versus the baseline")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *gate != "" {
+		baseline, err := perf.LoadReport(*gate)
+		if err != nil {
+			return fmt.Errorf("load gate baseline: %w", err)
+		}
+		got, err := perf.Gate(baseline, *gateBench, *gateFactor)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("perf gate ok: %s %.1f ns/op within %.1fx of baseline\n", got.Name, got.NsPerOp, *gateFactor)
+		return nil
 	}
 	if *perfRun {
 		return runPerf(*perfOut, *perfBase, *perfNote)

@@ -1,5 +1,6 @@
 // Command newtopd runs one Newtop process over real TCP and demonstrates
-// totally ordered group communication across machines (or terminals).
+// replicated state machines on totally ordered group communication across
+// machines (or terminals).
 //
 // Start three processes in three terminals:
 //
@@ -7,11 +8,29 @@
 //	newtopd -id 2 -listen 127.0.0.1:7002 -peers 1=127.0.0.1:7001,3=127.0.0.1:7003
 //	newtopd -id 3 -listen 127.0.0.1:7003 -peers 1=127.0.0.1:7001,2=127.0.0.1:7002
 //
-// Each process joins group 1 (symmetric total order by default) with the
-// full peer set, multicasts one numbered message per -interval, and prints
-// every delivery and view change. Kill one process and watch the others
-// agree on its exclusion; restart is not supported (Newtop processes never
-// rejoin — they would form a new group).
+// Each process replicates a key-value store in group 1 (symmetric total
+// order by default), proposes one write per -interval, and prints its
+// applied sequence, key count and state digest — identical digests at
+// identical sequence numbers are the replication guarantee, across
+// machines. Kill one process and watch the others agree on its exclusion
+// and keep serving.
+//
+// A process never rejoins a group it left (§3); a new or returning
+// machine joins by forming a successor group and catching up:
+//
+//	newtopd -id 4 -listen 127.0.0.1:7004 -join 2 \
+//	        -peers 1=127.0.0.1:7001,2=127.0.0.1:7002,3=127.0.0.1:7003
+//
+// forms group 2 = {P1..P4}; the incumbents carry their stores over, P4
+// receives a chunked snapshot plus replay tail through the total order
+// (EventStateTransferred), and everyone's writes continue in group 2.
+//
+// The peer address book is static, so every incumbent must know the
+// joiner's address up front — start the originals with
+// 4=127.0.0.1:7004 already in -peers (an address that is not yet
+// listening is harmless: sends to it are dropped until it comes up).
+// Group 1 membership is self plus the peers listed in -initial (default:
+// every peer), so the future P4 is not part of g1.
 package main
 
 import (
@@ -23,6 +42,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -42,7 +62,9 @@ func run() error {
 		peers    = flag.String("peers", "", "comma-separated id=addr peer list")
 		mode     = flag.String("mode", "symmetric", "ordering: symmetric|asymmetric|atomic")
 		omega    = flag.Duration("omega", 100*time.Millisecond, "time-silence interval ω")
-		interval = flag.Duration("interval", time.Second, "application multicast interval (0 = silent)")
+		interval = flag.Duration("interval", time.Second, "write-proposal interval (0 = silent)")
+		join     = flag.Uint("join", 0, "join the running cluster by forming this new group ID and catching up (skips group 1)")
+		initial  = flag.String("initial", "", "comma-separated process IDs of the bootstrap group 1 (default: self + every peer)")
 	)
 	flag.Parse()
 	if *id == 0 || *listen == "" {
@@ -66,11 +88,25 @@ func run() error {
 	}
 
 	self := newtop.ProcessID(*id)
+	// Formation invites for groups we have not replicated yet are
+	// signalled to the main loop, which attaches a replica while the vote
+	// is still in flight — before the group can deliver anything.
+	invites := make(chan newtop.GroupID, 16)
 	proc, err := newtop.Start(newtop.Config{
 		Self:       self,
 		ListenAddr: *listen,
 		Peers:      peerMap,
 		Omega:      *omega,
+		AcceptInvite: func(g newtop.GroupID, members []newtop.ProcessID) bool {
+			select {
+			case invites <- g:
+				return true
+			default:
+				// Joining a group we would never replicate is worse than
+				// vetoing the formation: the initiator can retry.
+				return false
+			}
+		},
 	})
 	if err != nil {
 		return err
@@ -82,19 +118,98 @@ func run() error {
 		members = append(members, p)
 	}
 	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
-	if err := proc.BootstrapGroup(1, om, members); err != nil {
-		return err
+	// The bootstrap group may be a subset of the address book (e.g. the
+	// book already lists a machine that will join later via -join).
+	bootMembers := members
+	if *initial != "" {
+		bootMembers = nil
+		for _, part := range strings.Split(*initial, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 32)
+			if err != nil || v == 0 {
+				return fmt.Errorf("bad -initial entry %q", part)
+			}
+			bootMembers = append(bootMembers, newtop.ProcessID(v))
+		}
+		sort.Slice(bootMembers, func(i, j int) bool { return bootMembers[i] < bootMembers[j] })
 	}
-	log.Printf("P%d up at %s; group g1 (%s) members %v", *id, proc.Addr(), *mode, members)
+
+	// One store per process, carried across every group it replicates.
+	kv := newtop.NewKV()
+	var mu sync.Mutex // guards reps/serving
+	reps := map[newtop.GroupID]*newtop.Replica{}
+	var serving newtop.GroupID
+	replicate := func(g newtop.GroupID, opts ...newtop.ReplicaOption) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if _, ok := reps[g]; ok {
+			return nil
+		}
+		rep, err := newtop.Replicate(proc, g, kv, opts...)
+		if err != nil {
+			return err
+		}
+		reps[g] = rep
+		if g > serving {
+			serving = g // always serve in the newest group
+		}
+		return nil
+	}
+	current := func() (*newtop.Replica, newtop.GroupID) {
+		mu.Lock()
+		defer mu.Unlock()
+		return reps[serving], serving
+	}
+
+	if *join == 0 {
+		// Founding member: replicate then bootstrap the static group 1.
+		if err := replicate(1); err != nil {
+			return err
+		}
+		if err := proc.BootstrapGroup(1, om, bootMembers); err != nil {
+			return err
+		}
+		log.Printf("P%d up at %s; group g1 (%s) members %v", *id, proc.Addr(), *mode, bootMembers)
+	} else {
+		// Joining: form the successor group and catch up from the
+		// incumbents — state transfer rides the total order.
+		g := newtop.GroupID(*join)
+		if err := replicate(g, newtop.CatchUp()); err != nil {
+			return err
+		}
+		if err := proc.CreateGroup(g, om, members); err != nil {
+			return err
+		}
+		log.Printf("P%d up at %s; joining via new group g%d (%s) members %v", *id, proc.Addr(), g, *mode, members)
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 
+	// Invites get their own goroutine so a replica attaches within
+	// microseconds of the vote, long before the formation's start-group
+	// exchange completes and deliveries can begin. (Correctness does not
+	// hinge on winning that race for *old-group* traffic: an incumbent's
+	// last old-group write is submitted before its formation vote, so it
+	// is Lamport-ordered — and by the cross-group delivery gate,
+	// delivered — before the successor group's start-number agreement,
+	// hence before any snapshot cut in the new group.)
 	go func() {
-		for d := range proc.Deliveries() {
-			log.Printf("deliver %v/%v: %s", d.Group, d.Sender, d.Payload)
+		for g := range invites {
+			if err := replicate(g); err != nil {
+				log.Printf("replicate g%d: %v", g, err)
+			} else {
+				log.Printf("replicating successor group g%d (service cut over)", g)
+			}
 		}
 	}()
+	// Drain the shared delivery channel: groups without a replica (e.g. a
+	// raw Submit from a peer) must not accumulate unread.
+	go func() {
+		for d := range proc.Deliveries() {
+			log.Printf("unreplicated delivery %v/%v: %q", d.Group, d.Sender, d.Payload)
+		}
+	}()
+
 	go func() {
 		for ev := range proc.Events() {
 			switch ev.Kind {
@@ -106,6 +221,8 @@ func run() error {
 				log.Printf("group %v ready", ev.Group)
 			case newtop.EventFormationFailed:
 				log.Printf("formation of %v failed: %s", ev.Group, ev.Reason)
+			case newtop.EventStateTransferred:
+				log.Printf("state transferred into %v (snapshot from P%d)", ev.Group, ev.Peer)
 			}
 		}
 	}()
@@ -120,15 +237,26 @@ func run() error {
 	for {
 		select {
 		case <-stop:
-			st := proc.Stats()
-			log.Printf("shutting down: sent=%d delivered=%d nulls=%d views=%d",
-				st.DataSent, st.Delivered, st.NullsSent, st.ViewChanges)
+			rep, g := current()
+			if rep != nil {
+				log.Printf("shutting down: g%d applied=%d keys=%d digest=%016x",
+					g, rep.AppliedSeq(), kv.Len(), rep.Digest())
+			}
 			return nil
 		case <-ticker:
+			rep, g := current()
+			if rep == nil || !rep.CaughtUp() {
+				continue
+			}
 			n++
-			msg := fmt.Sprintf("P%d says hello #%d", *id, n)
-			if err := proc.Submit(1, []byte(msg)); err != nil {
-				log.Printf("submit: %v", err)
+			cmd := fmt.Sprintf("put p%d:%04d hello-%d", *id, n, n)
+			if err := rep.Propose([]byte(cmd)); err != nil {
+				log.Printf("propose: %v", err)
+				continue
+			}
+			if err := rep.Read(func(newtop.StateMachine) {}); err == nil {
+				log.Printf("g%d applied=%d keys=%d digest=%016x",
+					g, rep.AppliedSeq(), kv.Len(), rep.Digest())
 			}
 		}
 	}

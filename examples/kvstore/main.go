@@ -1,6 +1,8 @@
-// kvstore: a sharded, replicated key-value store built on Newtop total
-// order — the classic state-machine-replication application the paper's
-// motivation section points at.
+// kvstore: a sharded, replicated key-value store on the newtop.Replicate
+// API — the classic state-machine-replication application the paper's
+// motivation section points at, including the part the raw delivery
+// stream cannot give you: bringing a brand-new replica into a loaded
+// shard with automatic state transfer.
 //
 // Run with:
 //
@@ -13,84 +15,35 @@
 //
 // P3 replicates both shards — an overlapping-group process whose delivery
 // stream interleaves both shards in one total order (MD4'). Writes are
-// multicast to the owning shard's group and applied in delivery order, so
-// replicas of a shard are always byte-identical. A replica crash is
-// injected; the shard keeps serving from the surviving replicas after the
-// membership agreement excludes the dead one.
+// proposed to the owning shard's replica and applied in delivery order, so
+// replicas of a shard are always byte-identical (compared by state
+// digest).
+//
+// Then P6 joins shard A. Newtop processes never rejoin a group, so the
+// join is a group formation (§5.3): g3 = {P1,P2,P3,P6} is formed, the
+// incumbents carry their machines over, and P6 catches up through a
+// chunked snapshot plus replay tail — all inside the total order, while
+// the shard keeps serving writes. Finally P2 crashes and the shard keeps
+// serving from the survivors.
 package main
 
 import (
 	"fmt"
 	"hash/fnv"
 	"log"
-	"sort"
-	"strings"
-	"sync"
 	"time"
 
 	"newtop"
 )
 
-// store is one process's replica state: per-shard key/value maps,
-// maintained purely by applying totally ordered writes.
-type store struct {
-	mu     sync.Mutex
-	shards map[newtop.GroupID]map[string]string
-	writes int
+// member is one process with its per-shard replicas.
+type member struct {
+	proc *newtop.Process
+	kvs  map[newtop.GroupID]*newtop.KV      // one machine per shard
+	reps map[newtop.GroupID]*newtop.Replica // one replica per replicated group
 }
 
-func newStore() *store {
-	return &store{shards: make(map[newtop.GroupID]map[string]string)}
-}
-
-func (s *store) apply(g newtop.GroupID, cmd string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	kv := s.shards[g]
-	if kv == nil {
-		kv = make(map[string]string)
-		s.shards[g] = kv
-	}
-	// Command format: "put <key> <value>" | "del <key>".
-	parts := strings.SplitN(cmd, " ", 3)
-	switch parts[0] {
-	case "put":
-		if len(parts) == 3 {
-			kv[parts[1]] = parts[2]
-		}
-	case "del":
-		if len(parts) >= 2 {
-			delete(kv, parts[1])
-		}
-	}
-	s.writes++
-}
-
-// fingerprint summarises one shard's state deterministically.
-func (s *store) fingerprint(g newtop.GroupID) string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	kv := s.shards[g]
-	keys := make([]string, 0, len(kv))
-	for k := range kv {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	h := fnv.New64a()
-	for _, k := range keys {
-		fmt.Fprintf(h, "%s=%s;", k, kv[k])
-	}
-	return fmt.Sprintf("%d keys, fp=%016x", len(keys), h.Sum64())
-}
-
-func (s *store) get(g newtop.GroupID, key string) (string, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	v, ok := s.shards[g][key]
-	return v, ok
-}
-
-// shardFor routes a key to its owning group.
+// shardFor routes a key to its owning shard group.
 func shardFor(key string) newtop.GroupID {
 	h := fnv.New32a()
 	h.Write([]byte(key))
@@ -109,159 +62,257 @@ func run() error {
 
 	shardA := []newtop.ProcessID{1, 2, 3}
 	shardB := []newtop.ProcessID{3, 4, 5}
-	membership := map[newtop.ProcessID][]newtop.GroupID{
-		1: {1}, 2: {1}, 3: {1, 2}, 4: {2}, 5: {2},
-	}
+	shardOf := map[newtop.GroupID][]newtop.ProcessID{1: shardA, 2: shardB}
 
-	procs := make(map[newtop.ProcessID]*newtop.Process)
-	stores := make(map[newtop.ProcessID]*store)
-	for id := newtop.ProcessID(1); id <= 5; id++ {
+	members := make(map[newtop.ProcessID]*member)
+	start := func(id newtop.ProcessID) (*member, error) {
 		p, err := newtop.Start(newtop.Config{Self: id, Network: net, Omega: 15 * time.Millisecond})
+		if err != nil {
+			return nil, err
+		}
+		m := &member{proc: p, kvs: map[newtop.GroupID]*newtop.KV{}, reps: map[newtop.GroupID]*newtop.Replica{}}
+		members[id] = m
+		return m, nil
+	}
+	// replicate attaches a (possibly pre-existing) machine to a group.
+	replicate := func(m *member, g newtop.GroupID, kv *newtop.KV, opts ...newtop.ReplicaOption) error {
+		rep, err := newtop.Replicate(m.proc, g, kv, opts...)
 		if err != nil {
 			return err
 		}
-		defer func() { _ = p.Close() }()
-		procs[id] = p
-		st := newStore()
-		stores[id] = st
-		go func(p *newtop.Process, st *store) {
-			for d := range p.Deliveries() {
-				st.apply(d.Group, string(d.Payload))
-			}
-		}(p, st)
+		m.kvs[g] = kv
+		m.reps[g] = rep
+		return nil
 	}
-	for id, groups := range membership {
-		for _, g := range groups {
-			members := shardA
-			if g == 2 {
-				members = shardB
+
+	for id := newtop.ProcessID(1); id <= 5; id++ {
+		m, err := start(id)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = m.proc.Close() }()
+	}
+	// Replicate before bootstrapping, so no delivery is missed.
+	for g, ms := range shardOf {
+		for _, id := range ms {
+			if err := replicate(members[id], g, newtop.NewKV()); err != nil {
+				return err
 			}
-			if err := procs[id].BootstrapGroup(g, newtop.Symmetric, members); err != nil {
+		}
+	}
+	for g, ms := range shardOf {
+		for _, id := range ms {
+			if err := members[id].proc.BootstrapGroup(g, newtop.Symmetric, ms); err != nil {
 				return err
 			}
 		}
 	}
 	fmt.Println("shard A (g1) = {P1,P2,P3}; shard B (g2) = {P3,P4,P5}; P3 replicates both")
 
-	// Load phase: 40 writes routed by key hash, issued from whichever
-	// replica "received the client request".
-	writers := map[newtop.GroupID][]newtop.ProcessID{1: shardA, 2: shardB}
+	// Load phase: 40 writes routed by key hash, proposed at whichever
+	// replica "received the client request", plus a few deletes.
 	written := map[newtop.GroupID]int{}
 	for i := 0; i < 40; i++ {
 		key := fmt.Sprintf("user:%04d", i)
 		g := shardFor(key)
-		w := writers[g][i%3]
-		cmd := fmt.Sprintf("put %s value-%d", key, i)
-		if err := procs[w].Submit(g, []byte(cmd)); err != nil {
+		w := members[shardOf[g][i%3]]
+		if err := w.reps[g].Propose([]byte(fmt.Sprintf("put %s value-%d", key, i))); err != nil {
 			return err
 		}
 		written[g]++
 	}
-	// A few deletes for good measure.
 	for i := 0; i < 5; i++ {
 		key := fmt.Sprintf("user:%04d", i*7)
 		g := shardFor(key)
-		if err := procs[writers[g][0]].Submit(g, []byte("del "+key)); err != nil {
+		if err := members[shardOf[g][0]].reps[g].Propose([]byte("del " + key)); err != nil {
 			return err
 		}
 		written[g]++
 	}
 
-	// Wait until every replica applied its shard's writes.
-	if err := waitWrites(stores, membership, written); err != nil {
+	// Read-your-writes: the proposer observes its own write immediately
+	// after Read returns, no polling.
+	gA := shardFor("user:0001")
+	reader := members[shardOf[gA][1]]
+	if err := reader.reps[gA].Propose([]byte("put user:0001 overwritten")); err != nil {
+		return err
+	}
+	written[gA]++
+	if err := reader.reps[gA].Read(func(newtop.StateMachine) {
+		v, ok := reader.kvs[gA].Get("user:0001")
+		fmt.Printf("read-your-writes at P%d: user:0001 = %q (%v)\n", reader.proc.Self(), v, ok)
+	}); err != nil {
 		return err
 	}
 
-	// All replicas of a shard must agree byte-for-byte.
-	fmt.Println("\nshard fingerprints after load:")
+	// Quiesce and compare state digests shard by shard.
+	if err := waitApplied(members, shardOf, written); err != nil {
+		return err
+	}
+	fmt.Println("\nshard digests after load:")
 	for _, g := range []newtop.GroupID{1, 2} {
-		members := shardA
-		if g == 2 {
-			members = shardB
-		}
-		ref := stores[members[0]].fingerprint(g)
-		for _, id := range members {
-			fp := stores[id].fingerprint(g)
-			fmt.Printf("  g%d @ P%d: %s\n", g, id, fp)
-			if fp != ref {
-				return fmt.Errorf("shard g%d replicas diverge: P%d has %s, P%d has %s",
-					g, members[0], ref, id, fp)
-			}
+		if _, err := digestsAgree(g, shardOf[g], members); err != nil {
+			return err
 		}
 	}
 	fmt.Println("replicas identical within each shard ✓")
 
-	// Failure: crash P2 (a shard-A replica); the shard keeps accepting
-	// writes and the survivors converge.
+	// Join phase: P6 joins shard A. Joining = forming the successor group
+	// g3 = {P1,P2,P3,P6}; the incumbents' machines ride along, P6 catches
+	// up via snapshot + replay while the shard keeps writing.
+	fmt.Println("\nP6 joins shard A via group formation (g3 = {P1,P2,P3,P6})…")
+	m6, err := start(6)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = m6.proc.Close() }()
+	const g3 = newtop.GroupID(3)
+	for _, id := range shardA {
+		m := members[id]
+		if err := replicate(m, g3, m.kvs[1], newtop.WithSnapshotChunkSize(512)); err != nil {
+			return err
+		}
+	}
+	if err := replicate(m6, g3, newtop.NewKV(), newtop.CatchUp(), newtop.WithSnapshotChunkSize(512)); err != nil {
+		return err
+	}
+	if err := m6.proc.CreateGroup(g3, newtop.Symmetric, []newtop.ProcessID{1, 2, 3, 6}); err != nil {
+		return err
+	}
+	// Writes keep flowing into the shard's successor group while P6 is
+	// still catching up (shard A traffic now targets g3). Propose fails
+	// with ErrUnknownGroup until the formation invite reaches the
+	// proposing member — retry, exactly as a client would.
+	const joinWrites = 20
+	for i := 0; i < joinWrites; i++ {
+		rep := members[shardA[i%3]].reps[g3]
+		cmd := []byte(fmt.Sprintf("put join:%03d v%d", i, i))
+		for deadline := time.Now().Add(30 * time.Second); ; {
+			if err := rep.Propose(cmd); err == nil {
+				break
+			} else if time.Now().After(deadline) {
+				return fmt.Errorf("join write %d never accepted: %v", i, err)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	select {
+	case <-m6.reps[g3].Ready():
+	case <-time.After(60 * time.Second):
+		return fmt.Errorf("P6 never caught up: %+v", m6.reps[g3].Stats())
+	}
+	st := m6.reps[g3].Stats()
+	fmt.Printf("P6 caught up: snapshot %d B in %d chunks, replay tail %d, base seq %d\n",
+		st.SnapshotBytes, st.ChunksIn, st.Replayed, m6.reps[g3].AppliedSeq())
+
+	// Every member of g3 (incumbents and newcomer) must agree once the
+	// join writes have settled.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		settled := true
+		for _, id := range []newtop.ProcessID{1, 2, 3, 6} {
+			if members[id].reps[g3].AppliedSeq() < uint64(joinWrites) {
+				settled = false
+			}
+		}
+		if settled {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("join writes never settled")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, err := digestsAgree(g3, []newtop.ProcessID{1, 2, 3, 6}, members); err != nil {
+		return err
+	}
+	fmt.Println("new replica byte-identical to incumbents ✓")
+
+	// Failure: crash P2; the shard keeps serving from the survivors.
 	fmt.Println("\ncrashing replica P2 of shard A…")
 	net.Crash(2)
-	if err := waitView(procs[1], 1, 2); err != nil {
+	if err := waitView(members[1].proc, g3, 2); err != nil {
 		return err
 	}
-	v, _ := procs[1].View(1)
+	v, _ := members[1].proc.View(g3)
 	fmt.Printf("shard A view after exclusion: %v\n", v)
-
-	if err := procs[1].Submit(1, []byte("put after-crash yes")); err != nil {
+	if err := members[6].reps[g3].Propose([]byte("put after-crash yes")); err != nil {
 		return err
 	}
-	deadline := time.After(30 * time.Second)
+	if err := members[6].reps[g3].Read(func(newtop.StateMachine) {}); err != nil {
+		return err
+	}
+	// The write reaches the other survivors through the total order.
+	deadline = time.Now().Add(30 * time.Second)
 	for {
-		v1, ok1 := stores[1].get(1, "after-crash")
-		v3, ok3 := stores[3].get(1, "after-crash")
+		v1, ok1 := members[1].kvs[1].Get("after-crash")
+		v3, ok3 := members[3].kvs[1].Get("after-crash")
 		if ok1 && ok3 && v1 == "yes" && v3 == "yes" {
 			break
 		}
-		select {
-		case <-deadline:
+		if time.Now().After(deadline) {
 			return fmt.Errorf("post-crash write never applied at the survivors")
-		case <-time.After(10 * time.Millisecond):
 		}
+		time.Sleep(10 * time.Millisecond)
 	}
-	if a, b := stores[1].fingerprint(1), stores[3].fingerprint(1); a != b {
-		return fmt.Errorf("survivors diverge after crash: %s vs %s", a, b)
+	if _, err := digestsAgree(g3, []newtop.ProcessID{1, 3, 6}, members); err != nil {
+		return err
 	}
 	fmt.Println("shard A served writes through the failure; survivors identical ✓")
 	return nil
 }
 
-func waitWrites(stores map[newtop.ProcessID]*store, membership map[newtop.ProcessID][]newtop.GroupID, written map[newtop.GroupID]int) error {
-	deadline := time.After(30 * time.Second)
+// digestsAgree prints and compares the state digests of g's replicas.
+func digestsAgree(g newtop.GroupID, ids []newtop.ProcessID, members map[newtop.ProcessID]*member) (uint64, error) {
+	var ref uint64
+	for i, id := range ids {
+		rep := members[id].reps[g]
+		d := rep.Digest()
+		fmt.Printf("  g%d @ P%d: %d keys, digest %016x (applied %d)\n", g, id, kvOf(members[id], g).Len(), d, rep.AppliedSeq())
+		if i == 0 {
+			ref = d
+		} else if d != ref {
+			return 0, fmt.Errorf("g%d replicas diverge: P%d has %016x, P%d has %016x", g, ids[0], ref, id, d)
+		}
+	}
+	return ref, nil
+}
+
+func kvOf(m *member, g newtop.GroupID) *newtop.KV { return m.kvs[g] }
+
+// waitApplied blocks until every replica has applied its groups' writes.
+func waitApplied(members map[newtop.ProcessID]*member, shardOf map[newtop.GroupID][]newtop.ProcessID, written map[newtop.GroupID]int) error {
+	deadline := time.Now().Add(30 * time.Second)
 	for {
 		done := true
-		for id, groups := range membership {
-			want := 0
-			for _, g := range groups {
-				want += written[g]
-			}
-			stores[id].mu.Lock()
-			got := stores[id].writes
-			stores[id].mu.Unlock()
-			if got < want {
-				done = false
+		for g, ms := range shardOf {
+			for _, id := range ms {
+				if members[id].reps[g].AppliedSeq() < uint64(written[g]) {
+					done = false
+				}
 			}
 		}
 		if done {
 			return nil
 		}
-		select {
-		case <-deadline:
+		if time.Now().After(deadline) {
 			return fmt.Errorf("replicas never applied all writes")
-		case <-time.After(10 * time.Millisecond):
 		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 
 func waitView(p *newtop.Process, g newtop.GroupID, excluded newtop.ProcessID) error {
-	deadline := time.After(60 * time.Second)
+	deadline := time.Now().Add(60 * time.Second)
 	for {
 		v, err := p.View(g)
 		if err == nil && !v.Contains(excluded) {
 			return nil
 		}
-		select {
-		case <-deadline:
+		if time.Now().After(deadline) {
 			return fmt.Errorf("P%d never excluded from g%d", excluded, g)
-		case <-time.After(10 * time.Millisecond):
 		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

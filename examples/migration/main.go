@@ -1,62 +1,36 @@
 // Migration: the paper's fig. 1 scenario — online migration of a
-// replicated server using overlapping groups.
+// replicated server using overlapping groups — with the server's actual
+// state moved by the replication layer instead of a hand-rolled "state N"
+// message.
 //
 // Run with:
 //
 //	go run ./examples/migration
 //
-// A replicated counter server runs as group g1 = {P1, P2}. Replica P2 must
-// move to a new machine, represented by P3, without interrupting service:
+// A replicated kvstore server runs as group g1 = {P1, P2}. Replica P2
+// must move to a new machine, represented by P3, without interrupting
+// service:
 //
 //  1. P3 starts and initiates a new group g2 = {P1, P2, P3} (§5.3
-//     formation) — P1 and P2 keep serving client requests in g1 throughout.
-//  2. The replica state is transferred inside g2, totally ordered with the
-//     ongoing g1 updates at the common members.
+//     formation) — P1 and P2 keep serving client requests in g1.
+//  2. Client traffic cuts over to g2; once the g1 stream has quiesced,
+//     P3 asks for the state and an incumbent (elected by the total order
+//     itself) streams a snapshot; writes continue in g2 throughout, P3
+//     replays the tail ordered after the snapshot cut.
 //  3. P2 departs both groups; the membership service excludes it, leaving
 //     g2 = {P1, P3} as the surviving server group.
 //
-// The example applies every delivered update to a per-process replica of
-// the counter state and verifies P1 and P3 converge to the same state.
+// The example verifies P1 and P3 converge to the same state digest — the
+// migrated replica is byte-identical, nothing lost, nothing applied twice.
 package main
 
 import (
 	"fmt"
 	"log"
-	"strconv"
-	"strings"
-	"sync"
 	"time"
 
 	"newtop"
 )
-
-// replica is a trivially replicated state machine: a named counter
-// updated by totally ordered "add N" commands.
-type replica struct {
-	mu      sync.Mutex
-	counter int
-	applied []string
-}
-
-func (r *replica) apply(cmd string) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	switch {
-	case strings.HasPrefix(cmd, "add "):
-		n, _ := strconv.Atoi(strings.TrimPrefix(cmd, "add "))
-		r.counter += n
-	case strings.HasPrefix(cmd, "state "):
-		n, _ := strconv.Atoi(strings.TrimPrefix(cmd, "state "))
-		r.counter = n // state transfer: overwrite
-	}
-	r.applied = append(r.applied, cmd)
-}
-
-func (r *replica) value() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.counter
-}
 
 func main() {
 	if err := run(); err != nil {
@@ -68,52 +42,65 @@ func run() error {
 	net := newtop.NewNetwork(newtop.WithSeed(7))
 	defer net.Close()
 
-	start := func(id newtop.ProcessID) (*newtop.Process, *replica, error) {
-		p, err := newtop.Start(newtop.Config{Self: id, Network: net, Omega: 20 * time.Millisecond})
-		if err != nil {
-			return nil, nil, err
-		}
-		r := &replica{}
-		go func() {
-			for d := range p.Deliveries() {
-				r.apply(string(d.Payload))
-			}
-		}()
-		return p, r, nil
+	start := func(id newtop.ProcessID) (*newtop.Process, error) {
+		return newtop.Start(newtop.Config{Self: id, Network: net, Omega: 20 * time.Millisecond})
 	}
-
-	p1, r1, err := start(1)
+	p1, err := start(1)
 	if err != nil {
 		return err
 	}
 	defer func() { _ = p1.Close() }()
-	p2, _, err := start(2)
+	p2, err := start(2)
 	if err != nil {
 		return err
 	}
 	defer func() { _ = p2.Close() }()
 
 	// Phase 0: the server group g1 = {P1, P2} serves updates.
-	g1 := []newtop.ProcessID{1, 2}
+	kv1, kv2 := newtop.NewKV(), newtop.NewKV()
+	rep1g1, err := newtop.Replicate(p1, 1, kv1)
+	if err != nil {
+		return err
+	}
+	rep2g1, err := newtop.Replicate(p2, 1, kv2)
+	if err != nil {
+		return err
+	}
 	for _, p := range []*newtop.Process{p1, p2} {
-		if err := p.BootstrapGroup(1, newtop.Symmetric, g1); err != nil {
+		if err := p.BootstrapGroup(1, newtop.Symmetric, []newtop.ProcessID{1, 2}); err != nil {
 			return err
 		}
 	}
 	fmt.Println("phase 0: server group g1={P1,P2} serving")
-	for i := 1; i <= 5; i++ {
-		if err := p1.Submit(1, []byte(fmt.Sprintf("add %d", i))); err != nil {
+	const preWrites = 8
+	for i := 1; i <= preWrites; i++ {
+		if err := rep1g1.Propose([]byte(fmt.Sprintf("put order:%03d item-%d", i, i))); err != nil {
 			return err
 		}
 	}
 
 	// Phase 1: P3 (the migration target) starts and forms g2 = {P1,P2,P3}.
-	p3, r3, err := start(3)
+	// Everyone replicates g2 — the incumbents with the machines they
+	// already have (the state rides along), P3 empty, catching up.
+	p3, err := start(3)
 	if err != nil {
 		return err
 	}
 	defer func() { _ = p3.Close() }()
 	fmt.Println("phase 1: P3 initiates migration group g2={P1,P2,P3}")
+	rep1g2, err := newtop.Replicate(p1, 2, kv1)
+	if err != nil {
+		return err
+	}
+	rep2g2, err := newtop.Replicate(p2, 2, kv2)
+	if err != nil {
+		return err
+	}
+	kv3 := newtop.NewKV()
+	rep3g2, err := newtop.Replicate(p3, 2, kv3, newtop.CatchUp())
+	if err != nil {
+		return err
+	}
 	if err := p3.CreateGroup(2, newtop.Symmetric, []newtop.ProcessID{1, 2, 3}); err != nil {
 		return err
 	}
@@ -122,31 +109,32 @@ func run() error {
 	}
 	fmt.Println("phase 1: g2 formed (two-phase vote + start-group agreement)")
 
-	// Phase 2: state transfer inside g2 while g1 keeps serving. Snapshot
-	// only after the pre-migration updates have been delivered and
-	// applied locally (deliveries are asynchronous).
-	if err := waitValue(r1, 1+2+3+4+5); err != nil {
+	// Phase 2: cut client traffic over to g2 and quiesce g1 (the handover
+	// discipline: a g1 write ordered after the snapshot cut would be
+	// invisible to the newcomer). Quiescence is observable: both g1
+	// replicas have applied every g1 write.
+	if err := waitApplied(preWrites, rep1g1, rep2g1); err != nil {
 		return err
 	}
-	fmt.Println("phase 2: state transfer in g2, service continues in g1")
-	if err := p1.Submit(2, []byte(fmt.Sprintf("state %d", r1.value()))); err != nil {
-		return err
-	}
-	for i := 6; i <= 8; i++ {
-		if err := p2.Submit(1, []byte(fmt.Sprintf("add %d", i))); err != nil {
-			return err
-		}
-		// Mirror post-snapshot updates into g2 so the new replica stays
-		// current (a real system would route updates to both groups
-		// during the handover window).
-		if err := p2.Submit(2, []byte(fmt.Sprintf("add %d", i))); err != nil {
+	fmt.Println("phase 2: g1 quiesced; service continues in g2 while the state streams to P3")
+	for i := preWrites + 1; i <= preWrites+6; i++ {
+		if err := rep2g2.Propose([]byte(fmt.Sprintf("put order:%03d item-%d", i, i))); err != nil {
 			return err
 		}
 	}
+	select {
+	case <-rep3g2.Ready():
+	case <-time.After(60 * time.Second):
+		return fmt.Errorf("state transfer never completed: %+v", rep3g2.Stats())
+	}
+	st := rep3g2.Stats()
+	fmt.Printf("phase 2: state transferred — snapshot %d B in %d chunks, replay tail %d\n",
+		st.SnapshotBytes, st.ChunksIn, st.Replayed)
 
 	// Phase 3: P2 departs both groups.
-	time.Sleep(300 * time.Millisecond) // let the handover traffic settle
 	fmt.Println("phase 3: P2 departs; membership excludes it from g2")
+	_ = rep2g1.Close()
+	_ = rep2g2.Close()
 	if err := p2.LeaveGroup(1); err != nil {
 		return err
 	}
@@ -165,66 +153,71 @@ func run() error {
 	}
 	fmt.Printf("phase 3: surviving server group view: %v\n", v)
 
-	// Phase 4: service continues on {P1, P3}.
-	if err := p3.Submit(2, []byte("add 100")); err != nil {
+	// Phase 4: service continues on {P1, P3} — the migrated replica now
+	// serves writes itself.
+	if err := rep3g2.Propose([]byte("put served-by P3")); err != nil {
 		return err
 	}
-	time.Sleep(300 * time.Millisecond)
-
-	v1 := r1.value() // P1 applied g1 updates AND g2 updates
-	v3 := r3.value()
-	fmt.Printf("phase 4: P3 replica state = %d (P1 g2-visible state matches: %v)\n", v3, v3 == stateOf(r3))
-	// P3's state: snapshot(15) + adds 6..8 (21) + 100 = 136.
-	const want = 15 + 6 + 7 + 8 + 100
-	if v3 != want {
-		return fmt.Errorf("migrated replica state = %d, want %d", v3, want)
+	// AppliedSeq counts one group's command stream (the snapshot carries
+	// the base across), so both g2 replicas settle at the 7 g2 writes.
+	if err := waitApplied(6+1, rep1g2, rep3g2); err != nil {
+		return err
 	}
-	_ = v1
-	fmt.Println("migration complete: no request lost, replica state correct ✓")
+	d1, d3 := rep1g2.Digest(), rep3g2.Digest()
+	fmt.Printf("phase 4: state digests P1=%016x P3=%016x (match: %v; %d keys)\n", d1, d3, d1 == d3, kv3.Len())
+	if d1 != d3 {
+		return fmt.Errorf("migrated replica diverges from the survivor")
+	}
+	if v, ok := kv3.Get("order:001"); !ok || v != "item-1" {
+		return fmt.Errorf("pre-migration state missing at P3 (%q %v)", v, ok)
+	}
+	fmt.Println("migration complete: no request lost, replica state identical ✓")
 	return nil
 }
 
-func stateOf(r *replica) int { return r.value() }
-
-func waitValue(r *replica, want int) error {
-	deadline := time.After(30 * time.Second)
+// waitApplied blocks until every replica's applied sequence reaches n.
+func waitApplied(n int, reps ...*newtop.Replica) error {
+	deadline := time.Now().Add(60 * time.Second)
 	for {
-		if r.value() == want {
+		done := true
+		for _, r := range reps {
+			if r.AppliedSeq() < uint64(n) {
+				done = false
+			}
+		}
+		if done {
 			return nil
 		}
-		select {
-		case <-deadline:
-			return fmt.Errorf("replica never reached state %d (at %d)", want, r.value())
-		case <-time.After(5 * time.Millisecond):
+		if time.Now().After(deadline) {
+			return fmt.Errorf("replicas never reached applied seq %d", n)
 		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 
 func waitReady(p *newtop.Process, g newtop.GroupID) error {
-	deadline := time.After(30 * time.Second)
+	deadline := time.Now().Add(60 * time.Second)
 	for {
 		if p.GroupReady(g) {
 			return nil
 		}
-		select {
-		case <-deadline:
+		if time.Now().After(deadline) {
 			return fmt.Errorf("P%d: group %v never became ready", p.Self(), g)
-		case <-time.After(10 * time.Millisecond):
 		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 
 func waitViewWithout(p *newtop.Process, g newtop.GroupID, excluded newtop.ProcessID) error {
-	deadline := time.After(30 * time.Second)
+	deadline := time.Now().Add(60 * time.Second)
 	for {
 		v, err := p.View(g)
 		if err == nil && !v.Contains(excluded) {
 			return nil
 		}
-		select {
-		case <-deadline:
+		if time.Now().After(deadline) {
 			return fmt.Errorf("P%d: %v never excluded from %v", p.Self(), excluded, g)
-		case <-time.After(10 * time.Millisecond):
 		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

@@ -1,0 +1,66 @@
+// Package smoke builds and runs every example end to end, so `go test
+// ./...` exercises them instead of letting them rot silently. Each example
+// is a self-checking program: it exits non-zero when its invariants
+// (identical replica digests, exclusion agreement, migration state) fail.
+package smoke
+
+import (
+	"os/exec"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// examples lists the programs under ../ with a rough upper bound on how
+// long a healthy run takes (they all finish in a few seconds; the bound
+// only caps a wedged run).
+var examples = []struct {
+	dir     string
+	timeout time.Duration
+}{
+	{"quickstart", 60 * time.Second},
+	{"overlap", 60 * time.Second},
+	{"kvstore", 120 * time.Second},
+	{"migration", 120 * time.Second},
+	{"partition", 120 * time.Second},
+}
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples take seconds each; skipped in -short")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	for _, ex := range examples {
+		ex := ex
+		t.Run(ex.dir, func(t *testing.T) {
+			t.Parallel()
+			done := make(chan struct{})
+			cmd := exec.Command(goBin, "run", "newtop/examples/"+ex.dir)
+			cmd.Dir = ".." // anywhere inside the module works
+			// Own process group: on timeout the kill must reach the
+			// example binary itself, not just the `go run` parent —
+			// otherwise the orphan keeps the output pipes open and
+			// CombinedOutput never returns.
+			cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+			var out []byte
+			var runErr error
+			go func() {
+				out, runErr = cmd.CombinedOutput()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(ex.timeout):
+				_ = syscall.Kill(-cmd.Process.Pid, syscall.SIGKILL)
+				<-done
+				t.Fatalf("example %s wedged after %v:\n%s", ex.dir, ex.timeout, out)
+			}
+			if runErr != nil {
+				t.Fatalf("example %s failed: %v\n%s", ex.dir, runErr, out)
+			}
+		})
+	}
+}

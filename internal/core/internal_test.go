@@ -129,6 +129,43 @@ func TestDeliveryQueueDiscardAndHasAtOrBelow(t *testing.T) {
 	}
 }
 
+// TestDeliveryQueueDiscardKeepsHeapInvariant drives Discard the way a
+// partition's view cutoff does — arbitrary queue contents, a predicate
+// over (origin, num) — and checks the O(n) bottom-up rebuild leaves a
+// valid heap with exactly the right survivors.
+func TestDeliveryQueueDiscardKeepsHeapInvariant(t *testing.T) {
+	f := func(nums []uint16, cutoff uint16, origin uint8) bool {
+		q := newDeliveryQueue()
+		expectKept := 0
+		pred := func(m *types.Message) bool {
+			return m.Origin == types.ProcessID(origin%4+1) && m.Num > types.MsgNum(cutoff)
+		}
+		for i, n := range nums {
+			m := msg(types.ProcessID(i%4+1), types.ProcessID(i%4+1), types.MsgNum(n), uint64(i))
+			q.Push(m)
+			if !pred(m) {
+				expectKept++
+			}
+		}
+		removed := q.Discard(pred)
+		if removed != len(nums)-expectKept || q.Len() != expectKept {
+			return false
+		}
+		var last types.MsgNum
+		for q.Len() > 0 {
+			m := q.Pop()
+			if m.Num < last || pred(m) {
+				return false
+			}
+			last = m.Num
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestDeliveryQueueHeapProperty(t *testing.T) {
 	f := func(nums []uint16) bool {
 		q := newDeliveryQueue()

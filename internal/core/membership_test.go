@@ -41,6 +41,66 @@ func viewExcludes(c *sim.Cluster, g types.GroupID, procs []types.ProcessID, excl
 	}
 }
 
+// TestDiscardDuringPartition exercises the §5.2 step-viii cutoff under a
+// partition: messages from the to-be-excluded side that sit undelivered in
+// survivor queues above the agreed lnmn must be discarded (heap rebuilt in
+// one O(n) pass) and never delivered, while the survivors stay mutually
+// consistent.
+func TestDiscardDuringPartition(t *testing.T) {
+	c, ps := newCluster(t, 7, 5)
+	if err := c.Bootstrap(1, core.Symmetric, ps); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(100 * time.Millisecond)
+
+	// P1 stops hearing P4; P4's burst reaches P2/P3/P5 but is not
+	// deliverable there (P1's receive vector pins D below the burst), so
+	// it sits in their delivery queues.
+	c.Disconnect(4, 1)
+	for i := 0; i < 5; i++ {
+		if err := c.Submit(4, 1, []byte(fmt.Sprintf("doomed-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Run(10 * time.Millisecond)
+	queued := 0
+	for _, p := range []types.ProcessID{2, 3} {
+		queued += c.Engine(p).PendingDeliveries()
+	}
+	if queued == 0 {
+		t.Fatal("burst not pending anywhere — scenario mis-staged")
+	}
+
+	// Partition away {4,5}. The agreement's lnmn is pinned by P1 (which
+	// missed the burst), so P2/P3 must discard it from their queues on
+	// view cutoff.
+	c.Partition([]types.ProcessID{1, 2, 3}, []types.ProcessID{4, 5})
+	survivors := []types.ProcessID{1, 2, 3}
+	if !c.RunUntil(60*time.Second, viewExcludes(c, 1, survivors, 4, 5)) {
+		t.Fatal("survivors never excluded the partitioned side")
+	}
+	c.Run(500 * time.Millisecond)
+
+	var discarded uint64
+	for _, p := range survivors {
+		discarded += c.Engine(p).Stats().Discarded
+	}
+	if discarded == 0 {
+		t.Fatal("view cutoff discarded nothing")
+	}
+	for _, p := range survivors {
+		for _, d := range c.History(p).Deliveries {
+			if len(d.Payload) >= 6 && string(d.Payload[:6]) == "doomed" {
+				t.Fatalf("%v delivered %q past the cutoff", p, d.Payload)
+			}
+		}
+		if n := c.Engine(p).PendingDeliveries(); n != 0 {
+			t.Errorf("%v still has %d undelivered messages", p, n)
+		}
+	}
+	runChecks(t, c, 4, 5)
+}
+
 func TestCrashExclusionAgreesOnLastMessage(t *testing.T) {
 	// The membership agreement must converge on the last message sent by
 	// the crashed process: messages it sent before crashing are either

@@ -185,3 +185,16 @@ func TestScenarios(t *testing.T) {
 		t.Errorf("X3: %v", err)
 	}
 }
+
+// TestReplicationScenarios runs the rsm-layer stories: catch-up into a
+// loaded group (R1) and digest-based divergence detection (R2). Each
+// asserts its own acceptance conditions internally (chunked snapshot,
+// non-empty replay tail, digest equality / inequality).
+func TestReplicationScenarios(t *testing.T) {
+	if _, err := R1ReplicaCatchUp(); err != nil {
+		t.Errorf("R1: %v", err)
+	}
+	if _, err := R2PartitionDivergence(); err != nil {
+		t.Errorf("R2: %v", err)
+	}
+}

@@ -13,6 +13,7 @@ package node
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -42,6 +43,10 @@ const (
 	EventGroupReady
 	EventFormationFailed
 	EventSuspected
+	// EventStateTransferred is posted by the replication layer
+	// (internal/rsm) when a replica finishes catching up: a snapshot plus
+	// replay tail moved the group's state to this process.
+	EventStateTransferred
 )
 
 // Event is a membership-service notification.
@@ -52,6 +57,7 @@ type Event struct {
 	Removed []types.ProcessID // EventViewChanged
 	Reason  string            // EventFormationFailed
 	Suspect types.ProcessID   // EventSuspected
+	Peer    types.ProcessID   // EventStateTransferred: the snapshot streamer
 }
 
 // Options tunes the runtime.
@@ -76,6 +82,11 @@ type Node struct {
 
 	deliveries *outbox[Delivery]
 	events     *outbox[Event]
+
+	// sinks routes one group's deliveries to a dedicated subscriber (the
+	// replication layer's per-group applier) instead of the shared
+	// Deliveries channel. Only the event loop touches the map.
+	sinks map[types.GroupID]*outbox[Delivery]
 
 	closeOnce sync.Once
 }
@@ -105,6 +116,7 @@ func New(cfg core.Config, ep transport.Endpoint, opts Options) *Node {
 		dead:       make(chan struct{}),
 		deliveries: newOutbox[Delivery](),
 		events:     newOutbox[Event](),
+		sinks:      make(map[types.GroupID]*outbox[Delivery]),
 	}
 	n.wg.Add(1)
 	go n.loop()
@@ -127,12 +139,64 @@ func (n *Node) Close() error {
 	n.closeOnce.Do(func() {
 		close(n.done)
 		_ = n.ep.Close()
+		n.wg.Wait() // loop stopped: sinks is safe to read from here
 		n.deliveries.close()
 		n.events.close()
+		for _, s := range n.sinks {
+			s.close()
+		}
 	})
 	n.wg.Wait()
 	return nil
 }
+
+// SubscribeGroup diverts group g's deliveries from the shared Deliveries
+// channel to a dedicated channel — the replication layer's per-group
+// applier feed. One subscriber per group; the channel is closed by
+// UnsubscribeGroup or Close. Subscribing to a group that does not exist
+// yet is allowed (and is how a replica guarantees it sees the group's very
+// first delivery).
+func (n *Node) SubscribeGroup(g types.GroupID) (<-chan Delivery, error) {
+	var (
+		ch  <-chan Delivery
+		err error
+	)
+	cerr := n.call(func() {
+		if _, ok := n.sinks[g]; ok {
+			err = fmt.Errorf("node: group %v already subscribed", g)
+			return
+		}
+		ob := newOutbox[Delivery]()
+		n.sinks[g] = ob
+		ch = ob.ch
+	})
+	if cerr != nil {
+		return nil, cerr
+	}
+	return ch, err
+}
+
+// UnsubscribeGroup removes g's delivery subscription; subsequent
+// deliveries go to the shared channel again. The subscriber's channel is
+// closed.
+func (n *Node) UnsubscribeGroup(g types.GroupID) error {
+	var ob *outbox[Delivery]
+	cerr := n.call(func() {
+		ob = n.sinks[g]
+		delete(n.sinks, g)
+	})
+	if cerr != nil {
+		return cerr
+	}
+	if ob != nil {
+		ob.close()
+	}
+	return nil
+}
+
+// PostEvent publishes an application-layer event (e.g. the replication
+// layer's EventStateTransferred) on the node's Events channel.
+func (n *Node) PostEvent(ev Event) { n.events.push(ev) }
 
 // call runs fn inside the event loop and waits for it.
 func (n *Node) call(fn func()) error {
@@ -272,12 +336,17 @@ func (n *Node) route(effs []core.Effect) {
 			// here beyond not wedging the loop.
 			_ = n.ep.Send(eff.To, eff.Msg)
 		case core.DeliverEffect:
-			n.deliveries.push(Delivery{
+			d := Delivery{
 				Group:   eff.Msg.Group,
 				Sender:  eff.Msg.Origin,
 				Payload: eff.Msg.Payload,
 				ViewIdx: eff.View,
-			})
+			}
+			if sink, ok := n.sinks[d.Group]; ok {
+				sink.push(d)
+			} else {
+				n.deliveries.push(d)
+			}
 		case core.ViewEffect:
 			n.events.push(Event{
 				Kind:    EventViewChanged,

@@ -217,6 +217,77 @@ func TestNodeStatsAndGroupReady(t *testing.T) {
 	}
 }
 
+func TestNodeSubscribeGroupRoutesDeliveries(t *testing.T) {
+	_, nodes := newTrio(t)
+	// Subscribing before the group exists is allowed — it guarantees the
+	// subscriber sees the group's very first delivery.
+	sub, err := nodes[0].SubscribeGroup(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nodes[0].SubscribeGroup(7); err == nil {
+		t.Fatal("double subscribe succeeded")
+	}
+	for _, n := range nodes {
+		if err := n.BootstrapGroup(7, core.Symmetric, members(3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A second group (distinct membership — identical memberships are
+	// forbidden, §5.3) to show the shared channel still works.
+	for _, n := range nodes[:2] {
+		if err := n.BootstrapGroup(8, core.Symmetric, members(2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := nodes[1].Submit(7, []byte("to-sink")); err != nil {
+		t.Fatal(err)
+	}
+	if err := nodes[1].Submit(8, []byte("to-shared")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case d := <-sub:
+		if string(d.Payload) != "to-sink" || d.Group != 7 {
+			t.Fatalf("sink got %+v", d)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("subscribed delivery never arrived")
+	}
+	// The other group still flows through the shared channel.
+	d := recvDelivery(t, nodes[0])
+	if string(d.Payload) != "to-shared" || d.Group != 8 {
+		t.Fatalf("shared channel got %+v", d)
+	}
+	// Unsubscribe closes the sink and reroutes the group.
+	if err := nodes[0].UnsubscribeGroup(7); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-sub; ok {
+		t.Fatal("sink channel not closed by unsubscribe")
+	}
+	if err := nodes[1].Submit(7, []byte("back-to-shared")); err != nil {
+		t.Fatal(err)
+	}
+	d = recvDelivery(t, nodes[0])
+	if string(d.Payload) != "back-to-shared" {
+		t.Fatalf("rerouted delivery = %+v", d)
+	}
+}
+
+func TestNodePostEventSurfacesOnEventsChannel(t *testing.T) {
+	_, nodes := newTrio(t)
+	nodes[0].PostEvent(Event{Kind: EventStateTransferred, Group: 3, Peer: 2})
+	select {
+	case ev := <-nodes[0].Events():
+		if ev.Kind != EventStateTransferred || ev.Group != 3 || ev.Peer != 2 {
+			t.Fatalf("event = %+v", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("posted event never surfaced")
+	}
+}
+
 func TestNodeSubmitPayloadIsCopied(t *testing.T) {
 	_, nodes := newTrio(t)
 	for _, n := range nodes {

@@ -12,11 +12,14 @@
 package perf
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
 	"newtop/internal/core"
+	"newtop/internal/rsm"
 	"newtop/internal/sim"
+	"newtop/internal/transport/tcpnet"
 	"newtop/internal/types"
 )
 
@@ -127,6 +130,107 @@ func MembershipAgreement(b *testing.B) {
 		if !ok {
 			b.Fatal("agreement never completed")
 		}
+	}
+}
+
+// RSMCatchUp measures the replication layer's state-transfer cycle end to
+// end: a newcomer joins three loaded replicas by dynamic group formation,
+// a streamer is elected through the total order, and a chunked snapshot
+// (256 keys, 4 KiB chunks) plus replay tail brings it current.
+func RSMCatchUp(b *testing.B) {
+	const keys = 256
+	for i := 0; i < b.N; i++ {
+		c := sim.New(int64(i+1), sim.WithLatency(100*time.Microsecond, 300*time.Microsecond))
+		ps := make([]types.ProcessID, 0, 4)
+		for j := 1; j <= 4; j++ {
+			c.AddProcess(core.Config{Self: types.ProcessID(j), Omega: 5 * time.Millisecond})
+			ps = append(ps, types.ProcessID(j))
+		}
+		cores := make(map[types.ProcessID]*rsm.Core, 4)
+		for j := 1; j <= 3; j++ {
+			kv := rsm.NewKV()
+			for k := 0; k < keys; k++ {
+				kv.Apply([]byte(fmt.Sprintf("put user:%04d value-%d", k, k)))
+			}
+			p := types.ProcessID(j)
+			cores[p] = rsm.NewCore(rsm.CoreConfig{Self: p, Group: 1, ChunkSize: 4096}, kv)
+		}
+		newcomer := rsm.NewCore(rsm.CoreConfig{Self: 4, Group: 1, CatchUp: true, ChunkSize: 4096}, rsm.NewKV())
+		cores[4] = newcomer
+		c.OnDeliver(func(p types.ProcessID, d sim.Delivery) {
+			cr, ok := cores[p]
+			if !ok || d.Group != 1 {
+				return
+			}
+			for _, pl := range cr.Step(d.Origin, d.Payload).Submits {
+				_ = c.Submit(p, 1, pl)
+			}
+		})
+		if err := c.CreateGroup(4, 1, core.Symmetric, ps); err != nil {
+			b.Fatal(err)
+		}
+		for _, pl := range newcomer.Start() {
+			if err := c.Submit(4, 1, pl); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if !c.RunUntil(10*time.Second, newcomer.CaughtUp) {
+			b.Fatalf("catch-up never completed: %+v", newcomer.Stats())
+		}
+		if newcomer.Stats().ChunksIn < 2 {
+			b.Fatal("snapshot was not chunked")
+		}
+	}
+}
+
+// TCPSendRecv measures real-transport throughput: b.N data messages from
+// one tcpnet endpoint to another over loopback, waiting for every
+// receipt, with the default batching configuration. Besides ns/op it
+// reports the realised coalescing factor as frames/write (>1 means the
+// sender shipped multiple frames per syscall). The before/after of the
+// batching change itself is recorded in ROADMAP.md — it was measured
+// against the pre-batching sender at the prior commit, which cannot be
+// recreated by a runtime knob (disabling the flush window still drains
+// the whole backlog per write).
+func TCPSendRecv(b *testing.B) {
+	recvEp, err := tcpnet.New(tcpnet.Config{Self: 2, ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = recvEp.Close() }()
+	sendEp, err := tcpnet.New(tcpnet.Config{
+		Self: 1, ListenAddr: "127.0.0.1:0",
+		Peers: map[types.ProcessID]string{2: recvEp.Addr()},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = sendEp.Close() }()
+
+	m := &types.Message{
+		Kind: types.KindData, Group: 1, Sender: 1, Origin: 1,
+		Num: 1, Seq: 1, LDN: 0, Payload: payloads[0],
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	go func() {
+		for i := 0; i < b.N; i++ {
+			if err := sendEp.Send(2, m); err != nil {
+				return
+			}
+		}
+	}()
+	for got := 0; got < b.N; {
+		in, ok := <-recvEp.Recv()
+		if !ok {
+			b.Fatal("receiver closed early")
+		}
+		_ = in
+		got++
+	}
+	b.StopTimer()
+	if writes, frames := sendEp.BatchStats(); writes > 0 {
+		b.ReportMetric(float64(frames)/float64(writes), "frames/write")
 	}
 }
 

@@ -57,6 +57,22 @@ var benchmarks = []struct {
 	{"EngineHandleMessage", EngineHandleMessage},
 	{"MembershipAgreement", MembershipAgreement},
 	{"GroupFormation", GroupFormation},
+	{"RSMCatchUp", RSMCatchUp},
+	{"TCPSendRecv", TCPSendRecv},
+}
+
+// measure runs one benchmark body via testing.Benchmark and wraps the
+// outcome — the single place the Result fields are computed, shared by
+// RunAll (-perf) and RunOne (-perf-gate).
+func measure(name string, fn func(*testing.B)) Result {
+	r := testing.Benchmark(fn)
+	return Result{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
 }
 
 // RunAll executes the engine benchmark suite via testing.Benchmark and
@@ -65,14 +81,7 @@ var benchmarks = []struct {
 func RunAll(progress io.Writer) []Result {
 	out := make([]Result, 0, len(benchmarks))
 	for _, bm := range benchmarks {
-		r := testing.Benchmark(bm.fn)
-		res := Result{
-			Name:        bm.name,
-			Iterations:  r.N,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			AllocsPerOp: r.AllocsPerOp(),
-		}
+		res := measure(bm.name, bm.fn)
 		if progress != nil {
 			fmt.Fprintf(progress, "%-22s %12.1f ns/op %8d B/op %6d allocs/op (n=%d)\n",
 				res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, res.Iterations)
@@ -80,6 +89,41 @@ func RunAll(progress io.Writer) []Result {
 		out = append(out, res)
 	}
 	return out
+}
+
+// RunOne executes a single benchmark from the suite by name.
+func RunOne(name string) (Result, error) {
+	for _, bm := range benchmarks {
+		if bm.name == name {
+			return measure(bm.name, bm.fn), nil
+		}
+	}
+	return Result{}, fmt.Errorf("perf: unknown benchmark %q", name)
+}
+
+// Gate re-measures one benchmark and fails if it regressed by more than
+// factor versus the baseline report (the CI bench-smoke step). It returns
+// the fresh measurement for logging.
+func Gate(baseline *Report, name string, factor float64) (Result, error) {
+	var base *Result
+	for i := range baseline.Results {
+		if baseline.Results[i].Name == name {
+			base = &baseline.Results[i]
+			break
+		}
+	}
+	if base == nil {
+		return Result{}, fmt.Errorf("perf: baseline has no entry for %q", name)
+	}
+	got, err := RunOne(name)
+	if err != nil {
+		return Result{}, err
+	}
+	if limit := base.NsPerOp * factor; got.NsPerOp > limit {
+		return got, fmt.Errorf("perf: %s regressed: %.1f ns/op > %.1fx baseline %.1f ns/op",
+			name, got.NsPerOp, factor, base.NsPerOp)
+	}
+	return got, nil
 }
 
 // NewReport wraps results in the BENCH_core.json envelope.

@@ -1,0 +1,13 @@
+package rsm_test
+
+import (
+	"testing"
+
+	"newtop/internal/perf"
+)
+
+// BenchmarkRSMCatchUp measures the replication layer's state-transfer
+// cycle end to end (formation + streamer election + chunked snapshot +
+// replay). The body lives in internal/perf so cmd/newtop-bench can run
+// the identical measurement into BENCH_core.json.
+func BenchmarkRSMCatchUp(b *testing.B) { perf.RSMCatchUp(b) }

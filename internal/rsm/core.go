@@ -1,0 +1,339 @@
+package rsm
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"newtop/internal/types"
+	"newtop/internal/wire"
+)
+
+// DefaultChunkSize is the default snapshot chunk size. Chunks ride inside
+// ordinary data messages, so they are kept well under wire.MaxPayload and
+// small enough that command traffic interleaves with a long transfer.
+const DefaultChunkSize = 64 << 10
+
+// CoreConfig configures a Core.
+type CoreConfig struct {
+	// Self is the local process.
+	Self types.ProcessID
+	// Group is the replicated group this core applies.
+	Group types.GroupID
+	// CatchUp starts the core empty: it requests a state transfer and
+	// buffers commands until a snapshot is installed. A core without
+	// CatchUp is authoritative — its machine is already current (initial
+	// members, incumbents carrying state into a successor group).
+	CatchUp bool
+	// ChunkSize overrides the snapshot chunk size (default 64 KiB).
+	ChunkSize int
+}
+
+// Stats counts a core's replication activity.
+type Stats struct {
+	Applied       uint64 // commands applied, cumulative across the transfer lineage
+	Replayed      uint64 // buffered tail commands replayed after a snapshot install
+	Buffered      uint64 // commands buffered while catching up (high-water, not current)
+	ChunksOut     uint64 // snapshot chunks served
+	ChunksIn      uint64 // snapshot chunks accepted
+	SnapshotBytes uint64 // bytes of the last snapshot served or installed
+	SnapshotsOut  uint64 // snapshots served to newcomers
+	SnapshotsIn   uint64 // snapshots installed
+	BadPayloads   uint64 // undecodable envelopes skipped
+	StaleFrames   uint64 // offers/chunks dropped as stale or foreign
+}
+
+// Outcome reports what one Step did and what must be multicast next. The
+// Submits payloads are handed to the group's ordinary multicast primitive;
+// everything else is informational for runtimes and tests.
+type Outcome struct {
+	Submits    [][]byte        // payloads to multicast in the group, in order
+	Applied    int             // commands applied by this step (incl. replayed tail)
+	OwnApplied int             // of those, commands originated by self
+	OwnCovered int             // own commands whose effect arrived via the snapshot instead of Apply
+	Barrier    uint64          // non-zero: own barrier id delivered by this step
+	CaughtUp   bool            // a state transfer completed this step
+	Streamer   types.ProcessID // valid with CaughtUp: who served the snapshot
+	ServedTo   types.ProcessID // non-zero: this core streamed a snapshot to that process
+}
+
+// bufferedCmd is a command delivered while this core was still syncing.
+type bufferedCmd struct {
+	pos    uint64 // local stream position (1-based)
+	origin types.ProcessID
+	cmd    []byte
+}
+
+// Core is the pure replication state machine for one (process, group)
+// pair. Not safe for concurrent use — Replica (or a simulator) owns the
+// serialisation. Every mutation happens in Step/Start/Resync, driven
+// exclusively by the group's totally ordered delivery stream, which is what
+// keeps a set of Cores over the same stream in lockstep.
+type Core struct {
+	cfg CoreConfig
+	sm  StateMachine
+
+	caughtUp bool
+	pos      uint64 // deliveries seen in this group (local stream position)
+
+	// Catch-up state (only while !caughtUp).
+	syncID   uint64 // current transfer round
+	streamer types.ProcessID
+	cutPos   uint64 // stream position of the winning offer
+	assembly []byte // incoming snapshot
+	nextIdx  uint64 // next expected chunk index
+	buf      []bufferedCmd
+
+	// won tracks, per target, the newest sync round for which a streamer
+	// has been elected, so losing offers are ignored identically at every
+	// replica. A fresh EnvSync (higher round) reopens the election.
+	won map[types.ProcessID]uint64
+
+	stats Stats
+}
+
+// NewCore creates a core. The state machine must already be current unless
+// cfg.CatchUp is set.
+func NewCore(cfg CoreConfig, sm StateMachine) *Core {
+	if cfg.ChunkSize <= 0 {
+		cfg.ChunkSize = DefaultChunkSize
+	}
+	return &Core{
+		cfg:      cfg,
+		sm:       sm,
+		caughtUp: !cfg.CatchUp,
+		won:      make(map[types.ProcessID]uint64),
+	}
+}
+
+// Start returns the payloads to multicast when the core comes up: a
+// state-transfer request for catch-up cores, nothing for authoritative
+// ones.
+func (c *Core) Start() [][]byte {
+	if c.caughtUp {
+		return nil
+	}
+	return c.syncRequest()
+}
+
+// Resync abandons the current transfer round and requests a fresh one —
+// runtimes call it when a transfer stalls (e.g. the elected streamer
+// crashed before completing the stream).
+func (c *Core) Resync() [][]byte {
+	if c.caughtUp {
+		return nil
+	}
+	c.streamer = types.NilProcess
+	c.assembly = nil
+	c.nextIdx = 0
+	return c.syncRequest()
+}
+
+func (c *Core) syncRequest() [][]byte {
+	c.syncID++
+	return [][]byte{wire.MarshalEnvelope(nil, &wire.Envelope{Kind: wire.EnvSync, SyncID: c.syncID})}
+}
+
+// CaughtUp reports whether the machine is current (authoritative, or a
+// completed state transfer).
+func (c *Core) CaughtUp() bool { return c.caughtUp }
+
+// AppliedSeq returns the cumulative applied-command count. Snapshot
+// installation adopts the streamer's count, so the sequence is comparable
+// across the replicas of a group: equal AppliedSeq ⇒ same command prefix.
+func (c *Core) AppliedSeq() uint64 { return c.stats.Applied }
+
+// Stats returns a snapshot of the counters.
+func (c *Core) Stats() Stats { return c.stats }
+
+// Syncing reports whether a transfer round is in flight with no streamer
+// elected yet or a stream incomplete.
+func (c *Core) Syncing() bool { return !c.caughtUp }
+
+// Digest fingerprints the machine state via its deterministic snapshot.
+// Replicas with equal applied prefixes have equal digests; diverged
+// replicas (e.g. the two sides of a healed partition) differ — the
+// application-level divergence detector.
+func (c *Core) Digest() uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(c.sm.Snapshot())
+	return h.Sum64()
+}
+
+// Step processes one delivery of the group's totally ordered stream:
+// origin is the multicast's author, payload its bytes. It returns what
+// happened and what to multicast next.
+func (c *Core) Step(origin types.ProcessID, payload []byte) Outcome {
+	c.pos++
+	var out Outcome
+	env, err := wire.UnmarshalEnvelope(payload)
+	switch {
+	case err == wire.ErrNotEnvelope:
+		// Raw payloads are implicit commands: plain Submit traffic
+		// replicates too.
+		env = wire.Envelope{Kind: wire.EnvCommand, Data: payload}
+	case err != nil:
+		c.stats.BadPayloads++
+		return out
+	}
+
+	switch env.Kind {
+	case wire.EnvCommand:
+		c.onCommand(origin, env.Data, &out)
+	case wire.EnvBarrier:
+		// Barriers mutate nothing; delivery alone tells the origin that
+		// every command ordered before it has been applied here.
+		if origin == c.cfg.Self {
+			out.Barrier = env.Index
+		}
+	case wire.EnvSync:
+		c.onSync(origin, &env, &out)
+	case wire.EnvOffer:
+		c.onOffer(origin, &env, &out)
+	case wire.EnvSnapChunk:
+		c.onChunk(origin, &env, &out)
+	}
+	return out
+}
+
+func (c *Core) onCommand(origin types.ProcessID, cmd []byte, out *Outcome) {
+	if !c.caughtUp {
+		// Buffered, not applied: the winning offer decides which of these
+		// the snapshot already covers. Copy — the payload buffer may be
+		// reused by the transport.
+		c.buf = append(c.buf, bufferedCmd{pos: c.pos, origin: origin, cmd: append([]byte(nil), cmd...)})
+		c.stats.Buffered++
+		return
+	}
+	c.apply(origin, cmd, out)
+}
+
+func (c *Core) apply(origin types.ProcessID, cmd []byte, out *Outcome) {
+	c.sm.Apply(cmd)
+	c.stats.Applied++
+	out.Applied++
+	if origin == c.cfg.Self {
+		out.OwnApplied++
+	}
+}
+
+func (c *Core) onSync(origin types.ProcessID, env *wire.Envelope, out *Outcome) {
+	// A fresh round from the newcomer reopens the streamer election.
+	if env.SyncID > c.won[origin] {
+		delete(c.won, origin)
+	}
+	if origin == c.cfg.Self || !c.caughtUp {
+		return
+	}
+	out.Submits = append(out.Submits, wire.MarshalEnvelope(nil, &wire.Envelope{
+		Kind: wire.EnvOffer, Target: origin, SyncID: env.SyncID,
+	}))
+}
+
+func (c *Core) onOffer(origin types.ProcessID, env *wire.Envelope, out *Outcome) {
+	if c.won[env.Target] >= env.SyncID {
+		c.stats.StaleFrames++ // a streamer was already elected for this round
+		return
+	}
+	c.won[env.Target] = env.SyncID
+
+	if env.Target == c.cfg.Self && !c.caughtUp {
+		if env.SyncID != c.syncID {
+			c.stats.StaleFrames++ // an offer for a round we abandoned
+			return
+		}
+		// The winning offer is the snapshot's cut: everything buffered up
+		// to here is covered by the snapshot the streamer takes at this
+		// same position of the total order. Own commands dropped here
+		// still count for read-your-writes — their effect arrives in the
+		// snapshot — so report them (a Read waiting on them must not
+		// block forever).
+		for _, b := range c.buf {
+			if b.origin == c.cfg.Self {
+				out.OwnCovered++
+			}
+		}
+		c.streamer = origin
+		c.cutPos = c.pos
+		c.buf = c.buf[:0]
+		c.assembly = nil
+		c.nextIdx = 0
+		return
+	}
+
+	if origin == c.cfg.Self && c.caughtUp {
+		// We won the election: snapshot synchronously — at this exact
+		// position of the stream — and ship it in chunks.
+		snap := c.sm.Snapshot()
+		c.stats.SnapshotBytes = uint64(len(snap))
+		c.stats.SnapshotsOut++
+		out.ServedTo = env.Target
+		for off, idx := 0, uint64(0); ; idx++ {
+			end := off + c.cfg.ChunkSize
+			if end > len(snap) {
+				end = len(snap)
+			}
+			chunk := wire.Envelope{
+				Kind: wire.EnvSnapChunk, Target: env.Target, SyncID: env.SyncID,
+				Index: idx, Last: end == len(snap), Applied: c.stats.Applied,
+				Data: snap[off:end],
+			}
+			out.Submits = append(out.Submits, wire.MarshalEnvelope(nil, &chunk))
+			c.stats.ChunksOut++
+			if end == len(snap) {
+				break
+			}
+			off = end
+		}
+	}
+}
+
+func (c *Core) onChunk(origin types.ProcessID, env *wire.Envelope, out *Outcome) {
+	if env.Target != c.cfg.Self || c.caughtUp {
+		return // someone else's transfer
+	}
+	if env.SyncID != c.syncID || origin != c.streamer || env.Index != c.nextIdx {
+		c.stats.StaleFrames++ // stale round, losing streamer, or a gap
+		return
+	}
+	c.assembly = append(c.assembly, env.Data...)
+	c.nextIdx++
+	c.stats.ChunksIn++
+	if !env.Last {
+		return
+	}
+	if err := c.sm.Restore(c.assembly); err != nil {
+		// A snapshot that does not decode cannot be recovered from within
+		// this round; drop the stream and let the runtime resync.
+		c.stats.StaleFrames++
+		c.streamer = types.NilProcess
+		c.assembly = nil
+		c.nextIdx = 0
+		return
+	}
+	c.stats.SnapshotBytes = uint64(len(c.assembly))
+	c.stats.SnapshotsIn++
+	c.stats.Applied = env.Applied
+	c.caughtUp = true
+	out.CaughtUp = true
+	out.Streamer = origin
+	c.assembly = nil
+
+	// Replay the tail: commands ordered after the winning offer were not
+	// in the snapshot and were buffered in delivery order.
+	for _, b := range c.buf {
+		if b.pos > c.cutPos {
+			c.apply(b.origin, b.cmd, out)
+			c.stats.Replayed++
+		}
+	}
+	c.buf = nil
+}
+
+// String implements fmt.Stringer (diagnostics).
+func (c *Core) String() string {
+	state := "caught-up"
+	if !c.caughtUp {
+		state = fmt.Sprintf("syncing(round %d, streamer %v)", c.syncID, c.streamer)
+	}
+	return fmt.Sprintf("rsm.Core{%v/%v %s applied=%d}", c.cfg.Self, c.cfg.Group, state, c.stats.Applied)
+}

@@ -1,0 +1,379 @@
+package rsm
+
+import (
+	"fmt"
+	"testing"
+
+	"newtop/internal/types"
+	"newtop/internal/wire"
+)
+
+// bus is a miniature totally ordered multicast: one FIFO frame queue
+// delivered to every core in lockstep. It stands in for Newtop's delivery
+// stream in pure-core tests; the harness scenarios exercise the same cores
+// over the real protocol in internal/sim.
+type bus struct {
+	t     *testing.T
+	order []types.ProcessID // delivery fan-out order (all members)
+	cores map[types.ProcessID]*Core
+	kvs   map[types.ProcessID]*KV
+	queue []frame
+	// drop, when set, filters frames as they are popped (simulating a
+	// streamer crash losing its tail).
+	drop func(frame) bool
+}
+
+type frame struct {
+	origin  types.ProcessID
+	payload []byte
+}
+
+func newBus(t *testing.T, members ...types.ProcessID) *bus {
+	return &bus{t: t, order: members, cores: make(map[types.ProcessID]*Core), kvs: make(map[types.ProcessID]*KV)}
+}
+
+// addCore attaches a core for p; preload seeds the KV (authoritative state).
+func (b *bus) addCore(p types.ProcessID, catchUp bool, chunkSize int, preload map[string]string) *Core {
+	kv := NewKV()
+	for k, v := range preload {
+		kv.Apply([]byte("put " + k + " " + v))
+	}
+	c := NewCore(CoreConfig{Self: p, Group: 1, CatchUp: catchUp, ChunkSize: chunkSize}, kv)
+	b.cores[p] = c
+	b.kvs[p] = kv
+	for _, pl := range c.Start() {
+		b.submit(p, pl)
+	}
+	return c
+}
+
+func (b *bus) submit(p types.ProcessID, payload []byte) {
+	b.queue = append(b.queue, frame{origin: p, payload: payload})
+}
+
+// run delivers queued frames (and the submits they trigger) until the
+// queue drains or the step budget is exhausted.
+func (b *bus) run() {
+	for steps := 0; len(b.queue) > 0; steps++ {
+		if steps > 100000 {
+			b.t.Fatal("bus never drained")
+		}
+		f := b.queue[0]
+		b.queue = b.queue[1:]
+		if b.drop != nil && b.drop(f) {
+			continue
+		}
+		for _, p := range b.order {
+			c, ok := b.cores[p]
+			if !ok {
+				continue
+			}
+			out := c.Step(f.origin, f.payload)
+			for _, pl := range out.Submits {
+				b.submit(p, pl)
+			}
+		}
+	}
+}
+
+func (b *bus) digests() map[types.ProcessID]uint64 {
+	out := make(map[types.ProcessID]uint64)
+	for p, c := range b.cores {
+		out[p] = c.Digest()
+	}
+	return out
+}
+
+func sameDigests(t *testing.T, b *bus, ps ...types.ProcessID) {
+	t.Helper()
+	d := b.digests()
+	for _, p := range ps[1:] {
+		if d[p] != d[ps[0]] {
+			t.Fatalf("digest mismatch: P%v=%016x P%v=%016x", ps[0], d[ps[0]], p, d[p])
+		}
+	}
+}
+
+func TestCoreLockstepApply(t *testing.T) {
+	b := newBus(t, 1, 2, 3)
+	for p := types.ProcessID(1); p <= 3; p++ {
+		b.addCore(p, false, 0, nil)
+	}
+	for i := 0; i < 50; i++ {
+		p := types.ProcessID(i%3 + 1)
+		b.submit(p, EncodeCommand([]byte(fmt.Sprintf("put k%03d v%d", i, i))))
+	}
+	b.run()
+	sameDigests(t, b, 1, 2, 3)
+	for p := types.ProcessID(1); p <= 3; p++ {
+		if got := b.cores[p].AppliedSeq(); got != 50 {
+			t.Fatalf("P%v applied %d, want 50", p, got)
+		}
+		if b.kvs[p].Len() != 50 {
+			t.Fatalf("P%v has %d keys, want 50", p, b.kvs[p].Len())
+		}
+	}
+}
+
+func TestCoreRawPayloadIsImplicitCommand(t *testing.T) {
+	b := newBus(t, 1, 2)
+	b.addCore(1, false, 0, nil)
+	b.addCore(2, false, 0, nil)
+	b.submit(1, []byte("put raw works")) // no envelope framing
+	b.run()
+	sameDigests(t, b, 1, 2)
+	if v, ok := b.kvs[2].Get("raw"); !ok || v != "works" {
+		t.Fatalf("raw payload not applied: %q %v", v, ok)
+	}
+}
+
+// TestCoreCatchUp is the heart of state transfer: a newcomer joins a
+// loaded group, commands keep flowing while the snapshot streams, and the
+// newcomer converges through snapshot + replay tail.
+func TestCoreCatchUp(t *testing.T) {
+	preload := make(map[string]string)
+	for i := 0; i < 40; i++ {
+		preload[fmt.Sprintf("seed%02d", i)] = fmt.Sprintf("v%d", i)
+	}
+	b := newBus(t, 1, 2, 3)
+	c1 := b.addCore(1, false, 128, preload) // small chunks: force a multi-chunk stream
+	b.addCore(2, false, 128, preload)
+	// Pre-join traffic the newcomer never sees: covered by the snapshot.
+	b.submit(1, EncodeCommand([]byte("put pre-join yes")))
+	b.run()
+
+	nc := b.addCore(3, true, 128, nil) // enqueues EnvSync
+	// Interleave: these commands are ordered after the sync request but
+	// before (or among) the offers/chunks — the newcomer buffers them and
+	// must apply exactly those ordered after the winning offer.
+	b.submit(2, EncodeCommand([]byte("put during-sync-a 1")))
+	b.submit(1, EncodeCommand([]byte("put during-sync-b 2")))
+	b.run()
+	// Post-transfer traffic applies live everywhere.
+	b.submit(3, EncodeCommand([]byte("put from-newcomer 3")))
+	b.run()
+
+	if !nc.CaughtUp() {
+		t.Fatal("newcomer never caught up")
+	}
+	st := nc.Stats()
+	if st.SnapshotsIn != 1 {
+		t.Fatalf("SnapshotsIn = %d, want 1", st.SnapshotsIn)
+	}
+	if st.ChunksIn < 2 {
+		t.Fatalf("ChunksIn = %d, want a chunked stream (≥2)", st.ChunksIn)
+	}
+	sameDigests(t, b, 1, 2, 3)
+	if a, b_ := c1.AppliedSeq(), nc.AppliedSeq(); a != b_ {
+		t.Fatalf("applied seq diverges: incumbent %d newcomer %d", a, b_)
+	}
+	if v, ok := b.kvs[3].Get("pre-join"); !ok || v != "yes" {
+		t.Fatal("snapshot did not carry pre-join state")
+	}
+}
+
+// TestCoreOfferElection: with several caught-up members, exactly one
+// serves the snapshot — the first offer in the total order wins at every
+// replica identically.
+func TestCoreOfferElection(t *testing.T) {
+	preload := map[string]string{"k": "v"}
+	b := newBus(t, 1, 2, 3, 4)
+	var served int
+	for p := types.ProcessID(1); p <= 3; p++ {
+		b.addCore(p, false, 0, preload)
+	}
+	b.addCore(4, true, 0, nil)
+	b.run()
+	for p := types.ProcessID(1); p <= 3; p++ {
+		served += int(b.cores[p].Stats().SnapshotsOut)
+	}
+	if served != 1 {
+		t.Fatalf("%d snapshots served, want exactly 1", served)
+	}
+	if !b.cores[4].CaughtUp() {
+		t.Fatal("newcomer not caught up")
+	}
+	sameDigests(t, b, 1, 2, 3, 4)
+}
+
+// TestCoreResyncAfterStreamerLoss: the elected streamer's chunks are lost
+// (crash mid-stream); a fresh round elects another streamer and completes.
+func TestCoreResyncAfterStreamerLoss(t *testing.T) {
+	preload := map[string]string{"a": "1", "b": "2"}
+	b := newBus(t, 1, 2, 3)
+	b.addCore(1, false, 0, preload)
+	b.addCore(2, false, 0, preload)
+	nc := b.addCore(3, true, 0, nil)
+
+	// Round 1: drop every chunk — the stream never completes.
+	b.drop = func(f frame) bool {
+		if !wire.IsEnvelope(f.payload) {
+			return false
+		}
+		env, err := wire.UnmarshalEnvelope(f.payload)
+		return err == nil && env.Kind == wire.EnvSnapChunk
+	}
+	b.run()
+	if nc.CaughtUp() {
+		t.Fatal("caught up despite losing every chunk")
+	}
+
+	// Round 2: the runtime notices the stall and resyncs; chunks now flow.
+	b.drop = nil
+	for _, pl := range nc.Resync() {
+		b.submit(3, pl)
+	}
+	b.run()
+	if !nc.CaughtUp() {
+		t.Fatal("resync round never completed")
+	}
+	sameDigests(t, b, 1, 2, 3)
+}
+
+// TestCoreStaleChunkRejected: chunks from a losing streamer or an
+// abandoned round must not corrupt the assembly.
+func TestCoreStaleChunkRejected(t *testing.T) {
+	nc := NewCore(CoreConfig{Self: 9, Group: 1, CatchUp: true}, NewKV())
+	nc.Start()
+	// Deliver our own sync echo, then a winning offer from P1.
+	nc.Step(9, wire.MarshalEnvelope(nil, &wire.Envelope{Kind: wire.EnvSync, SyncID: 1}))
+	nc.Step(1, wire.MarshalEnvelope(nil, &wire.Envelope{Kind: wire.EnvOffer, Target: 9, SyncID: 1}))
+	// A chunk from P2 (not the elected streamer) must be dropped.
+	donor := NewKV()
+	donor.Apply([]byte("put poisoned state"))
+	out := nc.Step(2, wire.MarshalEnvelope(nil, &wire.Envelope{
+		Kind: wire.EnvSnapChunk, Target: 9, SyncID: 1, Index: 0, Last: true, Data: donor.Snapshot(),
+	}))
+	if out.CaughtUp || nc.CaughtUp() {
+		t.Fatal("installed a snapshot from a non-elected streamer")
+	}
+	if nc.Stats().StaleFrames == 0 {
+		t.Fatal("stale chunk not counted")
+	}
+	// The real streamer's stream still works.
+	good := NewKV()
+	good.Apply([]byte("put good state"))
+	out = nc.Step(1, wire.MarshalEnvelope(nil, &wire.Envelope{
+		Kind: wire.EnvSnapChunk, Target: 9, SyncID: 1, Index: 0, Last: true, Data: good.Snapshot(),
+	}))
+	if !out.CaughtUp {
+		t.Fatal("legitimate stream rejected")
+	}
+}
+
+// TestCoreReplayTail pins the snapshot cut semantics exactly: commands
+// ordered before the winning offer are covered by the snapshot (never
+// re-applied); commands ordered between the offer and the final chunk are
+// buffered and replayed once.
+func TestCoreReplayTail(t *testing.T) {
+	kv := NewKV()
+	nc := NewCore(CoreConfig{Self: 9, Group: 1, CatchUp: true}, kv)
+	nc.Start()
+	env := func(e wire.Envelope) []byte { return wire.MarshalEnvelope(nil, &e) }
+
+	nc.Step(9, env(wire.Envelope{Kind: wire.EnvSync, SyncID: 1}))
+	// Ordered before the offer: covered by the snapshot.
+	nc.Step(1, EncodeCommand([]byte("put n 1")))
+	nc.Step(1, env(wire.Envelope{Kind: wire.EnvOffer, Target: 9, SyncID: 1}))
+	// Ordered after the offer, before the last chunk: the replay tail.
+	nc.Step(2, EncodeCommand([]byte("put n 2")))
+	nc.Step(2, EncodeCommand([]byte("put tail yes")))
+
+	// The streamer's snapshot, taken at its delivery of the offer,
+	// already reflects "put n 1".
+	donor := NewKV()
+	donor.Apply([]byte("put n 1"))
+	snap := donor.Snapshot()
+	half := len(snap) / 2
+	nc.Step(1, env(wire.Envelope{Kind: wire.EnvSnapChunk, Target: 9, SyncID: 1, Index: 0, Applied: 1, Data: snap[:half]}))
+	out := nc.Step(1, env(wire.Envelope{Kind: wire.EnvSnapChunk, Target: 9, SyncID: 1, Index: 1, Last: true, Applied: 1, Data: snap[half:]}))
+
+	if !out.CaughtUp || out.Streamer != 1 {
+		t.Fatalf("transfer outcome wrong: %+v", out)
+	}
+	st := nc.Stats()
+	if st.Replayed != 2 {
+		t.Fatalf("Replayed = %d, want 2", st.Replayed)
+	}
+	if got := nc.AppliedSeq(); got != 3 { // snapshot base 1 + tail 2
+		t.Fatalf("AppliedSeq = %d, want 3", got)
+	}
+	if v, _ := kv.Get("n"); v != "2" {
+		t.Fatalf("n = %q: tail not applied over snapshot", v)
+	}
+	if v, _ := kv.Get("tail"); v != "yes" {
+		t.Fatalf("tail marker missing (%q)", v)
+	}
+}
+
+// TestCoreOwnCommandCoveredBySnapshot: a command the syncing replica
+// itself proposed, ordered before the winning offer, arrives via the
+// snapshot instead of Apply — the cut must report it (OwnCovered) so a
+// Read waiting on read-your-writes can unblock.
+func TestCoreOwnCommandCoveredBySnapshot(t *testing.T) {
+	nc := NewCore(CoreConfig{Self: 9, Group: 1, CatchUp: true}, NewKV())
+	nc.Start()
+	env := func(e wire.Envelope) []byte { return wire.MarshalEnvelope(nil, &e) }
+	nc.Step(9, env(wire.Envelope{Kind: wire.EnvSync, SyncID: 1}))
+	nc.Step(9, EncodeCommand([]byte("put mine 1"))) // own, pre-cut
+	nc.Step(1, EncodeCommand([]byte("put theirs 2")))
+	out := nc.Step(1, env(wire.Envelope{Kind: wire.EnvOffer, Target: 9, SyncID: 1}))
+	if out.OwnCovered != 1 {
+		t.Fatalf("OwnCovered = %d, want 1 (own pre-cut command)", out.OwnCovered)
+	}
+	if out.OwnApplied != 0 || out.Applied != 0 {
+		t.Fatalf("cut must not apply anything: %+v", out)
+	}
+}
+
+func TestCoreBarrierAndBadPayload(t *testing.T) {
+	c := NewCore(CoreConfig{Self: 1, Group: 1}, NewKV())
+	if out := c.Step(1, EncodeBarrier(7)); out.Barrier != 7 {
+		t.Fatalf("own barrier id = %d, want 7", out.Barrier)
+	}
+	if out := c.Step(2, EncodeBarrier(9)); out.Barrier != 0 {
+		t.Fatalf("foreign barrier surfaced: %d", out.Barrier)
+	}
+	if out := c.Step(2, []byte{wire.EnvMagic, 0xFF, 0x01}); out.Applied != 0 {
+		t.Fatal("malformed envelope applied")
+	}
+	if c.Stats().BadPayloads != 1 {
+		t.Fatalf("BadPayloads = %d, want 1", c.Stats().BadPayloads)
+	}
+}
+
+func TestKVSnapshotDeterministic(t *testing.T) {
+	a, b := NewKV(), NewKV()
+	// Same state reached by different command orders.
+	a.Apply([]byte("put x 1"))
+	a.Apply([]byte("put y 2"))
+	a.Apply([]byte("put z tmp"))
+	a.Apply([]byte("del z"))
+	b.Apply([]byte("put y 2"))
+	b.Apply([]byte("put x 1"))
+	if string(a.Snapshot()) != string(b.Snapshot()) {
+		t.Fatal("equal states, different snapshots")
+	}
+	c := NewKV()
+	if err := c.Restore(a.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := c.Get("y"); !ok || v != "2" {
+		t.Fatalf("restored state wrong: %q %v", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("restored %d keys, want 2", c.Len())
+	}
+	// Values with spaces survive the command syntax and the snapshot.
+	c.Apply([]byte("put msg hello world with spaces"))
+	d := NewKV()
+	if err := d.Restore(c.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := d.Get("msg"); v != "hello world with spaces" {
+		t.Fatalf("value with spaces: %q", v)
+	}
+	if err := NewKV().Restore([]byte{0xFF, 0x01, 0x02}); err == nil {
+		t.Fatal("malformed snapshot accepted")
+	}
+}

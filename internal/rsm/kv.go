@@ -1,0 +1,134 @@
+package rsm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// KV is the reference StateMachine: a replicated string map driven by
+// text commands, the classic kvstore the paper's motivation section points
+// at. It is what the examples, newtopd and the harness scenarios replicate.
+//
+// Commands:
+//
+//	put <key> <value>   set key (value may contain spaces)
+//	del <key>           delete key
+//
+// Unknown or malformed commands are ignored deterministically (every
+// replica ignores the same bytes the same way). All methods are
+// goroutine-safe so applications may read a replica's KV directly, though
+// Replica.Read remains the way to get read-your-writes ordering.
+type KV struct {
+	mu sync.RWMutex
+	m  map[string]string
+}
+
+// NewKV creates an empty store.
+func NewKV() *KV { return &KV{m: make(map[string]string)} }
+
+// Apply implements StateMachine.
+func (kv *KV) Apply(cmd []byte) {
+	s := string(cmd)
+	verb, rest, _ := strings.Cut(s, " ")
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	switch verb {
+	case "put":
+		if key, val, ok := strings.Cut(rest, " "); ok && key != "" {
+			kv.m[key] = val
+		}
+	case "del":
+		if rest != "" {
+			delete(kv.m, rest)
+		}
+	}
+}
+
+// Snapshot implements StateMachine: length-prefixed key/value pairs in
+// sorted key order — equal states encode to equal bytes.
+func (kv *KV) Snapshot() []byte {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	keys := make([]string, 0, len(kv.m))
+	for k := range kv.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := binary.AppendUvarint(nil, uint64(len(keys)))
+	for _, k := range keys {
+		out = binary.AppendUvarint(out, uint64(len(k)))
+		out = append(out, k...)
+		v := kv.m[k]
+		out = binary.AppendUvarint(out, uint64(len(v)))
+		out = append(out, v...)
+	}
+	return out
+}
+
+// Restore implements StateMachine.
+func (kv *KV) Restore(snapshot []byte) error {
+	n, buf, err := kvUvarint(snapshot)
+	if err != nil {
+		return err
+	}
+	// Each pair costs at least two length bytes, so a count beyond the
+	// remaining buffer is corruption — reject before sizing the map on it.
+	if n > uint64(len(buf)) {
+		return fmt.Errorf("rsm: snapshot declares %d keys in %d bytes", n, len(buf))
+	}
+	m := make(map[string]string, n)
+	for i := uint64(0); i < n; i++ {
+		var k, v string
+		if k, buf, err = kvString(buf); err != nil {
+			return err
+		}
+		if v, buf, err = kvString(buf); err != nil {
+			return err
+		}
+		m[k] = v
+	}
+	if len(buf) != 0 {
+		return fmt.Errorf("rsm: %d trailing snapshot bytes", len(buf))
+	}
+	kv.mu.Lock()
+	kv.m = m
+	kv.mu.Unlock()
+	return nil
+}
+
+// Get returns the value of key.
+func (kv *KV) Get(key string) (string, bool) {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	v, ok := kv.m[key]
+	return v, ok
+}
+
+// Len returns the number of keys.
+func (kv *KV) Len() int {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	return len(kv.m)
+}
+
+func kvUvarint(buf []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("rsm: truncated snapshot")
+	}
+	return v, buf[n:], nil
+}
+
+func kvString(buf []byte) (string, []byte, error) {
+	n, buf, err := kvUvarint(buf)
+	if err != nil {
+		return "", nil, err
+	}
+	if uint64(len(buf)) < n {
+		return "", nil, fmt.Errorf("rsm: truncated snapshot")
+	}
+	return string(buf[:n]), buf[n:], nil
+}

@@ -1,0 +1,336 @@
+package rsm
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"newtop/internal/node"
+	"newtop/internal/types"
+)
+
+// ErrClosed is returned by operations on a closed replica (or one whose
+// node shut down underneath it).
+var ErrClosed = errors.New("rsm: replica closed")
+
+// DefaultResyncInterval is how long a catch-up replica waits without
+// transfer progress before abandoning the round and requesting a fresh one
+// (e.g. because the elected streamer crashed mid-stream).
+const DefaultResyncInterval = 3 * time.Second
+
+// Option configures a Replica.
+type Option func(*options)
+
+type options struct {
+	catchUp     bool
+	chunkSize   int
+	resyncEvery time.Duration
+}
+
+// CatchUp starts the replica empty: it requests a state transfer from the
+// group and buffers commands until a snapshot is installed. Use it for the
+// newcomer when an application migrates or scales a replicated service by
+// forming a new group (fig. 1). Without it the replica is authoritative —
+// its machine already holds the current state.
+func CatchUp() Option { return func(o *options) { o.catchUp = true } }
+
+// WithChunkSize overrides the snapshot chunk size (default 64 KiB).
+func WithChunkSize(n int) Option { return func(o *options) { o.chunkSize = n } }
+
+// WithResyncInterval overrides how long a stalled state transfer waits
+// before retrying with a fresh round.
+func WithResyncInterval(d time.Duration) Option {
+	return func(o *options) { o.resyncEvery = d }
+}
+
+// Replica is one process's handle on a replicated state machine: the
+// per-group apply loop plus the application-facing operations. Create it
+// with Replicate BEFORE the group's first delivery can arrive (i.e. before
+// bootstrapping the group, or while formation is still in flight) so the
+// applier sees the stream from its beginning.
+type Replica struct {
+	n     *node.Node
+	group types.GroupID
+	sm    StateMachine
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	core       *Core
+	proposed   uint64 // own commands submitted
+	appliedOwn uint64 // own commands applied locally
+	barrierSeq uint64
+	barriers   map[uint64]chan struct{}
+	closed     bool
+
+	ready     chan struct{} // closed once the machine is current
+	readyOnce sync.Once
+	done      chan struct{} // closed when the replica stops
+	doneOnce  sync.Once
+	wg        sync.WaitGroup
+
+	resyncEvery time.Duration
+}
+
+// Replicate attaches a replicated state machine to group g on node n and
+// starts its apply loop. The group's deliveries are diverted to the
+// replica; the application interacts through Propose/Read/Barrier instead
+// of consuming the Deliveries channel for g.
+func Replicate(n *node.Node, g types.GroupID, sm StateMachine, opts ...Option) (*Replica, error) {
+	var o options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if o.resyncEvery <= 0 {
+		o.resyncEvery = DefaultResyncInterval
+	}
+	sub, err := n.SubscribeGroup(g)
+	if err != nil {
+		return nil, err
+	}
+	r := &Replica{
+		n:           n,
+		group:       g,
+		sm:          sm,
+		core:        NewCore(CoreConfig{Self: n.Self(), Group: g, CatchUp: o.catchUp, ChunkSize: o.chunkSize}, sm),
+		barriers:    make(map[uint64]chan struct{}),
+		ready:       make(chan struct{}),
+		done:        make(chan struct{}),
+		resyncEvery: o.resyncEvery,
+	}
+	r.cond = sync.NewCond(&r.mu)
+	if !o.catchUp {
+		r.readyOnce.Do(func() { close(r.ready) })
+	}
+	r.wg.Add(1)
+	go r.run(sub, r.core.Start())
+	return r, nil
+}
+
+// Group returns the replicated group.
+func (r *Replica) Group() types.GroupID { return r.group }
+
+// Ready returns a channel closed once the machine is current (immediately
+// for authoritative replicas, after state transfer for catch-up ones).
+func (r *Replica) Ready() <-chan struct{} { return r.ready }
+
+// CaughtUp reports whether the machine is current.
+func (r *Replica) CaughtUp() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.core.CaughtUp()
+}
+
+// AppliedSeq returns the cumulative applied-command sequence number; equal
+// across replicas with equal applied prefixes.
+func (r *Replica) AppliedSeq() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.core.AppliedSeq()
+}
+
+// Stats returns the replication counters.
+func (r *Replica) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.core.Stats()
+}
+
+// Digest fingerprints the machine via its deterministic snapshot; equal
+// digests mean identical replicated state.
+func (r *Replica) Digest() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.core.Digest()
+}
+
+// Propose multicasts one command. Ordering and application are
+// asynchronous: the command is applied — at every replica — when it comes
+// back through the group's total order. Use Read or Barrier to observe it.
+func (r *Replica) Propose(cmd []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	if err := r.n.Submit(r.group, EncodeCommand(cmd)); err != nil {
+		return err
+	}
+	r.proposed++
+	return nil
+}
+
+// Read runs fn on the state machine with read-your-writes consistency: it
+// waits until every command this replica proposed before the call has been
+// applied locally, then runs fn while applies are paused. fn must not
+// block and must not call back into the replica.
+func (r *Replica) Read(fn func(StateMachine)) error {
+	select {
+	case <-r.ready:
+	case <-r.done:
+		return ErrClosed
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	want := r.proposed
+	for r.appliedOwn < want && !r.closed {
+		r.cond.Wait()
+	}
+	if r.closed {
+		return ErrClosed
+	}
+	fn(r.sm)
+	return nil
+}
+
+// Barrier multicasts a no-op marker and waits for its local delivery:
+// when it returns, every command ordered before the barrier — by any
+// member — has been applied here. It is the linearizable read fence. On a
+// catch-up replica it first waits for the state transfer to complete —
+// a barrier through a still-buffering machine would promise nothing.
+func (r *Replica) Barrier() error {
+	select {
+	case <-r.ready:
+	case <-r.done:
+		return ErrClosed
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	r.barrierSeq++
+	id := r.barrierSeq
+	ch := make(chan struct{})
+	r.barriers[id] = ch
+	if err := r.n.Submit(r.group, EncodeBarrier(id)); err != nil {
+		delete(r.barriers, id)
+		r.mu.Unlock()
+		return err
+	}
+	r.mu.Unlock()
+	select {
+	case <-ch:
+		return nil
+	case <-r.done:
+		return ErrClosed
+	}
+}
+
+// Close stops the apply loop and routes the group's future deliveries back
+// to the node's shared Deliveries channel. The state machine is left as of
+// the last applied command.
+func (r *Replica) Close() error {
+	// Unsubscribing closes the applier's feed, which stops run().
+	err := r.n.UnsubscribeGroup(r.group)
+	r.shutdown()
+	r.wg.Wait()
+	return err
+}
+
+// shutdown marks the replica stopped and wakes every waiter.
+func (r *Replica) shutdown() {
+	r.doneOnce.Do(func() {
+		r.mu.Lock()
+		r.closed = true
+		r.cond.Broadcast()
+		r.mu.Unlock()
+		close(r.done)
+	})
+}
+
+// run is the applier goroutine: it submits the initial state-transfer
+// request (retrying while the group is still unknown locally — Replicate
+// may legitimately precede group creation), applies the delivery stream,
+// and watches for stalled transfers.
+func (r *Replica) run(sub <-chan node.Delivery, initial [][]byte) {
+	defer r.wg.Done()
+	defer r.shutdown()
+
+	pending := initial // start frames not yet accepted by the node
+	pending = r.trySubmit(pending)
+
+	var tick *time.Ticker
+	var tickCh <-chan time.Time
+	if !r.core.CaughtUp() {
+		tick = time.NewTicker(r.resyncEvery)
+		tickCh = tick.C
+		defer tick.Stop()
+	}
+	var lastChunks uint64
+	for {
+		select {
+		case d, ok := <-sub:
+			if !ok {
+				return
+			}
+			r.step(d)
+		case <-tickCh:
+			r.mu.Lock()
+			if r.core.CaughtUp() {
+				r.mu.Unlock()
+				tick.Stop()
+				tickCh = nil
+				continue
+			}
+			if len(pending) > 0 {
+				// The group did not exist yet; keep trying to get the
+				// sync request in.
+				r.mu.Unlock()
+				pending = r.trySubmit(pending)
+				continue
+			}
+			chunks := r.core.Stats().ChunksIn
+			if chunks == lastChunks {
+				// No transfer progress for a whole interval: new round.
+				pending = r.core.Resync()
+			}
+			lastChunks = chunks
+			r.mu.Unlock()
+			pending = r.trySubmit(pending)
+		case <-r.done:
+			return
+		}
+	}
+}
+
+// trySubmit submits frames in order, returning the ones not yet accepted.
+func (r *Replica) trySubmit(frames [][]byte) [][]byte {
+	for len(frames) > 0 {
+		if err := r.n.Submit(r.group, frames[0]); err != nil {
+			return frames
+		}
+		frames = frames[1:]
+	}
+	return nil
+}
+
+// step feeds one delivery to the core and acts on the outcome.
+func (r *Replica) step(d node.Delivery) {
+	r.mu.Lock()
+	out := r.core.Step(d.Sender, d.Payload)
+	r.appliedOwn += uint64(out.OwnApplied + out.OwnCovered)
+	var barrier chan struct{}
+	if out.Barrier != 0 {
+		barrier = r.barriers[out.Barrier]
+		delete(r.barriers, out.Barrier)
+	}
+	if out.Applied > 0 || out.OwnCovered > 0 || out.CaughtUp {
+		r.cond.Broadcast()
+	}
+	r.mu.Unlock()
+
+	if barrier != nil {
+		close(barrier)
+	}
+	for _, pl := range out.Submits {
+		// A failed submit here means the group is gone (left/closed);
+		// the membership machinery is the authority on that.
+		if err := r.n.Submit(r.group, pl); err != nil {
+			break
+		}
+	}
+	if out.CaughtUp {
+		r.readyOnce.Do(func() { close(r.ready) })
+		r.n.PostEvent(node.Event{Kind: node.EventStateTransferred, Group: r.group, Peer: out.Streamer})
+	}
+}

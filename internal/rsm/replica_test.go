@@ -1,0 +1,246 @@
+package rsm
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"newtop/internal/core"
+	"newtop/internal/node"
+	"newtop/internal/transport/memnet"
+	"newtop/internal/types"
+)
+
+func startNodes(t *testing.T, n int) (*memnet.Network, []*node.Node) {
+	t.Helper()
+	net := memnet.New(memnet.WithSeed(5))
+	var nodes []*node.Node
+	for i := 1; i <= n; i++ {
+		ep, err := net.Attach(types.ProcessID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, node.New(core.Config{Self: types.ProcessID(i), Omega: 10 * time.Millisecond}, ep, node.Options{}))
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+		net.Close()
+	})
+	return net, nodes
+}
+
+func procIDs(n int) []types.ProcessID {
+	out := make([]types.ProcessID, n)
+	for i := range out {
+		out[i] = types.ProcessID(i + 1)
+	}
+	return out
+}
+
+func TestReplicaProposeReadBarrier(t *testing.T) {
+	_, nodes := startNodes(t, 3)
+	kvs := make([]*KV, 3)
+	reps := make([]*Replica, 3)
+	for i, n := range nodes {
+		kvs[i] = NewKV()
+		rep, err := Replicate(n, 1, kvs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps[i] = rep
+	}
+	for _, n := range nodes {
+		if err := n.BootstrapGroup(1, core.Symmetric, procIDs(3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		if err := reps[i%3].Propose([]byte(fmt.Sprintf("put k%02d v%d", i, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Read-your-writes at each proposer.
+	for i, rep := range reps {
+		if err := rep.Read(func(sm StateMachine) {
+			kv := sm.(*KV)
+			for k := i; k < 20; k += 3 {
+				if v, ok := kv.Get(fmt.Sprintf("k%02d", k)); !ok || v != fmt.Sprintf("v%d", k) {
+					t.Errorf("P%d does not read its own write k%02d (%q %v)", i+1, k, v, ok)
+				}
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Barrier on every replica, then all states must be identical.
+	for _, rep := range reps {
+		if err := rep.Barrier(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d0 := reps[0].Digest()
+	for i, rep := range reps[1:] {
+		if d := rep.Digest(); d != d0 {
+			t.Fatalf("digest of P%d = %016x, want %016x", i+2, d, d0)
+		}
+	}
+	if got := reps[0].AppliedSeq(); got != 20 {
+		t.Fatalf("AppliedSeq = %d, want 20", got)
+	}
+}
+
+// TestReplicaCatchUpViaGroupFormation is the fig.-1 story over a real
+// (goroutine + memnet) runtime: a loaded group, a newcomer joining by
+// forming a successor group, state transfer inside the total order, and
+// an EventStateTransferred notification.
+func TestReplicaCatchUpViaGroupFormation(t *testing.T) {
+	_, nodes := startNodes(t, 4)
+	incumbents := nodes[:3]
+
+	// g1: the loaded service.
+	kvs := make([]*KV, 4)
+	g1reps := make([]*Replica, 3)
+	for i, n := range incumbents {
+		kvs[i] = NewKV()
+		rep, err := Replicate(n, 1, kvs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		g1reps[i] = rep
+	}
+	for _, n := range incumbents {
+		if err := n.BootstrapGroup(1, core.Symmetric, procIDs(3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 60; i++ {
+		if err := g1reps[i%3].Propose([]byte(fmt.Sprintf("put load%03d x%d", i, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, rep := range g1reps {
+		if err := rep.Barrier(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// g2 = g1 ∪ {P4}: incumbents carry their machines over, P4 catches up.
+	// Replicate precedes group creation on every member so no delivery is
+	// missed; small chunks force a multi-chunk stream.
+	g2reps := make([]*Replica, 4)
+	for i, n := range incumbents {
+		rep, err := Replicate(n, 2, kvs[i], WithChunkSize(256))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2reps[i] = rep
+	}
+	kvs[3] = NewKV()
+	rep4, err := Replicate(nodes[3], 2, kvs[3], CatchUp(), WithChunkSize(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2reps[3] = rep4
+	if err := nodes[3].CreateGroup(2, core.Symmetric, procIDs(4)); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case <-rep4.Ready():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("newcomer never caught up: %+v", rep4.Stats())
+	}
+	st := rep4.Stats()
+	if st.SnapshotsIn != 1 || st.ChunksIn < 2 {
+		t.Fatalf("expected a chunked snapshot install, got %+v", st)
+	}
+	// Writes keep flowing in the successor group after the transfer.
+	if err := g2reps[0].Propose([]byte("put after-join yes")); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep4.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := kvs[3].Get("after-join"); !ok || v != "yes" {
+		t.Fatalf("post-join write missing at newcomer (%q %v)", v, ok)
+	}
+	if v, ok := kvs[3].Get("load000"); !ok || v != "x0" {
+		t.Fatalf("transferred state missing at newcomer (%q %v)", v, ok)
+	}
+	for _, rep := range g2reps[:3] {
+		if err := rep.Barrier(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d0 := g2reps[0].Digest()
+	for i, rep := range g2reps[1:] {
+		if d := rep.Digest(); d != d0 {
+			t.Fatalf("digest of P%d = %016x, want %016x", i+2, d, d0)
+		}
+	}
+
+	// The runtime posted the state-transfer event on the newcomer's node.
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case ev := <-nodes[3].Events():
+			if ev.Kind == node.EventStateTransferred {
+				if ev.Group != 2 || ev.Peer == types.NilProcess {
+					t.Fatalf("bad transfer event: %+v", ev)
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("EventStateTransferred never posted")
+		}
+	}
+}
+
+func TestReplicaCloseRestoresDeliveryRouting(t *testing.T) {
+	_, nodes := startNodes(t, 3)
+	rep, err := Replicate(nodes[0], 1, NewKV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes {
+		if err := n.BootstrapGroup(1, core.Symmetric, procIDs(3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rep.Propose([]byte("put a 1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Read(func(StateMachine) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Propose([]byte("put b 2")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Propose after close: %v, want ErrClosed", err)
+	}
+	// After Close, g1 deliveries surface on the shared channel again.
+	if err := nodes[1].Submit(1, []byte("raw after close")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case d := <-nodes[0].Deliveries():
+		if string(d.Payload) != "raw after close" {
+			t.Fatalf("unexpected delivery %q", d.Payload)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("delivery never rerouted to the shared channel")
+	}
+	// Double subscribe must fail while a replica holds the group.
+	rep2, err := Replicate(nodes[0], 1, NewKV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replicate(nodes[0], 1, NewKV()); err == nil {
+		t.Fatal("second Replicate on the same group succeeded")
+	}
+	_ = rep2.Close()
+}

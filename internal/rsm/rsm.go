@@ -1,0 +1,69 @@
+// Package rsm is the replicated state-machine layer on top of Newtop's
+// totally ordered delivery stream — the standard atomic-broadcast → SMR
+// construction the paper's motivation points at: because every group member
+// delivers the same commands in the same order, feeding them into a
+// deterministic state machine keeps every replica byte-identical, through
+// crashes, partitions and membership changes.
+//
+// The package has two halves:
+//
+//   - Core is the pure, single-threaded replication state machine: fed one
+//     delivered payload at a time, it applies commands, elects snapshot
+//     streamers, serves and installs chunked state transfers, and reports
+//     what to multicast next. Core never blocks and owns no goroutines, so
+//     the deterministic simulator (internal/sim + internal/harness) drives
+//     it bit-for-bit reproducibly.
+//   - Replica is the concurrent runtime around a Core for real processes
+//     (internal/node): a per-group applier goroutine fed from the node's
+//     delivery stream, with Propose / Read / Barrier for applications.
+//
+// # State transfer
+//
+// Newtop processes never rejoin a group; an application brings a fresh
+// replica in by forming a new group that overlaps the old one (§3, §5.3,
+// fig. 1). The newcomer's Core starts in catch-up mode and multicasts an
+// EnvSync request. Every caught-up member answers with an EnvOffer; the
+// first offer delivered wins — total order elects the streamer identically
+// everywhere, with no extra agreement round. The winning streamer snapshots
+// its machine synchronously at the offer's position in the stream and
+// multicasts the snapshot in chunks. Because chunks are ordinary totally
+// ordered messages, the newcomer knows exactly which commands the snapshot
+// covers: everything ordered before the winning offer. It buffers commands
+// delivered while syncing, installs the snapshot, replays the buffered tail
+// ordered after the offer, and is then live — no command applied twice, none
+// skipped, writes never paused.
+package rsm
+
+import (
+	"newtop/internal/wire"
+)
+
+// StateMachine is the deterministic application state a group replicates.
+// The rsm layer serialises all calls; implementations need no locking of
+// their own unless they are also read outside Replica.Read.
+//
+// Determinism contract: Apply must depend only on the machine's state and
+// cmd (no clocks, map iteration order, or randomness may leak into state),
+// and Snapshot must encode equal states to equal bytes. Apply must not
+// retain cmd beyond the call.
+type StateMachine interface {
+	// Apply executes one command in the agreed total order.
+	Apply(cmd []byte)
+	// Snapshot serialises the current state deterministically.
+	Snapshot() []byte
+	// Restore replaces the current state with a decoded snapshot.
+	Restore(snapshot []byte) error
+}
+
+// EncodeCommand wraps an application command in an EnvCommand envelope.
+// Raw (non-envelope) payloads submitted into a replicated group are treated
+// as implicit commands, so plain Submit traffic interoperates; EncodeCommand
+// is for callers that want the framing explicit.
+func EncodeCommand(cmd []byte) []byte {
+	return wire.MarshalEnvelope(nil, &wire.Envelope{Kind: wire.EnvCommand, Data: cmd})
+}
+
+// EncodeBarrier encodes a barrier frame with the given origin-local id.
+func EncodeBarrier(id uint64) []byte {
+	return wire.MarshalEnvelope(nil, &wire.Envelope{Kind: wire.EnvBarrier, Index: id})
+}

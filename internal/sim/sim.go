@@ -120,6 +120,12 @@ type Cluster struct {
 	msgCount uint64
 	byteFn   func(*types.Message) int // optional size accounting
 	bytes    uint64
+
+	// deliverHook, when set, observes every application delivery (after it
+	// is recorded). Hooks may reenter the cluster (Submit and friends) —
+	// this is how the replicated-state-machine layer's pure cores are
+	// driven deterministically; see internal/harness.
+	deliverHook func(p types.ProcessID, d Delivery)
 }
 
 // New creates an empty cluster with the given deterministic seed.
@@ -179,6 +185,12 @@ func (c *Cluster) Processes() []types.ProcessID {
 // CountBytes turns on wire-size accounting using fn (e.g. wire.Size);
 // TotalBytes reports the sum over every transmitted message.
 func (c *Cluster) CountBytes(fn func(*types.Message) int) { c.byteFn = fn }
+
+// OnDeliver registers fn to observe every application delivery. fn runs
+// after the delivering engine's effect batch has been fully routed, so it
+// may reenter the cluster (e.g. Submit from the delivering process) — the
+// hook is the deterministic analogue of a per-group applier goroutine.
+func (c *Cluster) OnDeliver(fn func(p types.ProcessID, d Delivery)) { c.deliverHook = fn }
 
 // TotalBytes returns the accumulated transmitted bytes (CountBytes mode).
 func (c *Cluster) TotalBytes() uint64 { return c.bytes }
@@ -397,8 +409,11 @@ func (c *Cluster) dispatch(ev event) {
 }
 
 // route applies the effects produced by process p, honouring an armed
-// crash-mid-multicast.
+// crash-mid-multicast. Delivery hooks run only after the whole batch is
+// routed: effs aliases the engine's reusable effects buffer, and a hook
+// that reenters the engine (Submit) would clobber it mid-iteration.
 func (c *Cluster) route(p types.ProcessID, effs []core.Effect) {
+	var hooked []Delivery
 	h := c.hist[p]
 	for _, eff := range effs {
 		if c.crashed[p] {
@@ -416,7 +431,7 @@ func (c *Cluster) route(p types.ProcessID, effs []core.Effect) {
 			}
 			c.transmit(p, eff.To, eff.Msg)
 		case core.DeliverEffect:
-			h.Deliveries = append(h.Deliveries, Delivery{
+			d := Delivery{
 				At:      c.now,
 				Group:   eff.Msg.Group,
 				Origin:  eff.Msg.Origin,
@@ -424,12 +439,16 @@ func (c *Cluster) route(p types.ProcessID, effs []core.Effect) {
 				Seq:     eff.Msg.Seq,
 				View:    eff.View,
 				Payload: eff.Msg.Payload,
-			})
+			}
+			h.Deliveries = append(h.Deliveries, d)
 			h.record(Event{
 				At: c.now, Kind: EvDeliver, Group: eff.Msg.Group,
 				Origin: eff.Msg.Origin, Num: eff.Msg.Num, Seq: eff.Msg.Seq,
 				ViewIdx: eff.View, Payload: eff.Msg.Payload,
 			})
+			if c.deliverHook != nil {
+				hooked = append(hooked, d)
+			}
 		case core.ViewEffect:
 			g := eff.View.Group
 			h.Views[g] = append(h.Views[g], ViewChange{At: c.now, View: eff.View, Removed: eff.Removed})
@@ -444,6 +463,12 @@ func (c *Cluster) route(p types.ProcessID, effs []core.Effect) {
 			h.Suspicions = append(h.Suspicions, eff.Susp)
 			h.record(Event{At: c.now, Kind: EvSuspect, Group: eff.Group, Susp: eff.Susp})
 		}
+	}
+	for _, d := range hooked {
+		if c.crashed[p] {
+			return
+		}
+		c.deliverHook(p, d)
 	}
 }
 

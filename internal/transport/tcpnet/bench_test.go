@@ -1,0 +1,13 @@
+package tcpnet_test
+
+import (
+	"testing"
+
+	"newtop/internal/perf"
+)
+
+// BenchmarkTCPSendRecv is loopback transport throughput under the default
+// batching configuration; it also reports the realised frames/write
+// coalescing factor. The body lives in internal/perf so cmd/newtop-bench
+// records the same measurement into BENCH_core.json.
+func BenchmarkTCPSendRecv(b *testing.B) { perf.TCPSendRecv(b) }

@@ -4,16 +4,25 @@ import (
 	"encoding/binary"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"newtop/internal/types"
+	"newtop/internal/wire"
 )
 
 // peerSender owns the single outbound TCP connection to one peer. One
 // goroutine drains an unbounded queue and writes frames in order; any
-// connection error drops the current connection (and the failed message),
+// connection error drops the current connection (and the failed batch),
 // and the next message triggers a re-dial. That maps TCP failures onto the
 // protocol's lossy-but-FIFO link model.
+//
+// Sends are batched: every drain takes the whole queue and writes it as
+// one buffered syscall, and a small flush window lets a burst accumulate
+// before the first drain. Newtop's traffic is bursty by construction — a
+// multicast fan-out per stimulus, chunked snapshot streams, refute
+// piggybacks — so coalescing turns a syscall per message into a syscall
+// per burst (see the TCPSendRecv* rows of BENCH_core.json).
 type peerSender struct {
 	ep   *Endpoint
 	dest types.ProcessID
@@ -25,6 +34,7 @@ type peerSender struct {
 	stopped bool
 
 	conn net.Conn // owned by run(); nil when disconnected
+	buf  []byte   // reusable frame batch buffer, owned by run()
 }
 
 func newPeerSender(ep *Endpoint, dest types.ProcessID, addr string) *peerSender {
@@ -73,19 +83,31 @@ func (ps *peerSender) run() {
 			ps.mu.Unlock()
 			return
 		}
-		m := ps.queue[0]
-		ps.queue[0] = nil
-		ps.queue = ps.queue[1:]
-		if len(ps.queue) == 0 {
-			ps.queue = nil
+		ps.mu.Unlock()
+
+		// Flush window: give the rest of the burst a moment to arrive so
+		// it rides in the same write.
+		if w := ps.ep.flushWindow(); w > 0 {
+			time.Sleep(w)
 		}
+
+		ps.mu.Lock()
+		if ps.stopped {
+			ps.mu.Unlock()
+			return
+		}
+		batch := ps.queue
+		ps.queue = nil
 		conn := ps.conn
 		ps.mu.Unlock()
+		if len(batch) == 0 {
+			continue
+		}
 
 		if conn == nil {
 			c, err := ps.dial()
 			if err != nil {
-				continue // message lost: peer unreachable (cut link)
+				continue // batch lost: peer unreachable (cut link)
 			}
 			ps.mu.Lock()
 			if ps.stopped {
@@ -98,14 +120,34 @@ func (ps *peerSender) run() {
 			ps.mu.Unlock()
 		}
 
+		// All frames of the batch in one write. A partial or failed write
+		// drops the connection: the receiver's framing resyncs on the
+		// fresh connection, and the tail of the batch is lost — exactly
+		// the lossy-suffix link model the protocol assumes.
+		ps.buf = ps.buf[:0]
+		for _, m := range batch {
+			ps.buf = appendFrame(ps.buf, m)
+		}
 		_ = conn.SetWriteDeadline(time.Now().Add(ps.ep.cfg.WriteTimeout))
-		if err := writeFrame(conn, m); err != nil {
+		if _, err := conn.Write(ps.buf); err != nil {
 			_ = conn.Close()
 			ps.mu.Lock()
 			ps.conn = nil
 			ps.mu.Unlock()
+			continue
 		}
+		atomic.AddUint64(&ps.ep.batchWrites, 1)
+		atomic.AddUint64(&ps.ep.framesSent, uint64(len(batch)))
 	}
+}
+
+// appendFrame appends one length-prefixed wire frame to dst.
+func appendFrame(dst []byte, m *types.Message) []byte {
+	off := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst = wire.Marshal(dst, m)
+	binary.BigEndian.PutUint32(dst[off:], uint32(len(dst)-off-4))
+	return dst
 }
 
 func (ps *peerSender) dial() (net.Conn, error) {

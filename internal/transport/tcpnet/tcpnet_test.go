@@ -184,6 +184,76 @@ func TestPeerRestartReconnects(t *testing.T) {
 	t.Fatal("no message delivered after peer restart")
 }
 
+func TestBurstCoalescesIntoFewWrites(t *testing.T) {
+	a, b := newPair(t)
+	a.cfg.FlushWindow = 2 * time.Millisecond // generous window: the whole burst batches
+	const count = 200
+	for i := 1; i <= count; i++ {
+		if err := a.Send(2, msg(1, uint64(i), "burst")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= count; i++ {
+		in := recvOne(t, b)
+		if in.Msg.Seq != uint64(i) {
+			t.Fatalf("out of order under batching: got %d, want %d", in.Msg.Seq, i)
+		}
+	}
+	writes, frames := a.BatchStats()
+	if frames != count {
+		t.Fatalf("framesSent = %d, want %d", frames, count)
+	}
+	if writes >= count/2 {
+		t.Fatalf("burst of %d messages took %d writes — batching not effective", count, writes)
+	}
+	t.Logf("batching: %d frames in %d writes (%.1f frames/write)", frames, writes, float64(frames)/float64(writes))
+}
+
+func TestNegativeFlushWindowDisablesWait(t *testing.T) {
+	a, b := newPair(t)
+	a.cfg.FlushWindow = -1
+	if err := a.Send(2, msg(1, 1, "immediate")); err != nil {
+		t.Fatal(err)
+	}
+	in := recvOne(t, b)
+	if string(in.Msg.Payload) != "immediate" {
+		t.Fatalf("payload = %q", in.Msg.Payload)
+	}
+}
+
+func TestAppendFrameMatchesReadFrame(t *testing.T) {
+	// A multi-frame batch buffer must parse back into the same messages.
+	msgs := []*types.Message{msg(1, 1, "first"), msg(1, 2, ""), msg(1, 3, "third, longer payload")}
+	var buf []byte
+	for _, m := range msgs {
+		buf = appendFrame(buf, m)
+	}
+	r := &sliceReader{b: buf}
+	for _, want := range msgs {
+		got, err := readFrame(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Seq != want.Seq || string(got.Payload) != string(want.Payload) {
+			t.Fatalf("frame mismatch: %v vs %v", got, want)
+		}
+	}
+	if len(r.b) != 0 {
+		t.Fatalf("%d bytes left after parsing the batch", len(r.b))
+	}
+}
+
+type sliceReader struct{ b []byte }
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if len(r.b) == 0 {
+		return 0, errors.New("EOF")
+	}
+	n := copy(p, r.b)
+	r.b = r.b[n:]
+	return n, nil
+}
+
 func TestManyMessagesBothWays(t *testing.T) {
 	a, b := newPair(t)
 	const count = 200

@@ -1,0 +1,221 @@
+// RSM envelope frames.
+//
+// The replicated state-machine layer (internal/rsm) multiplexes several
+// frame types over ordinary Newtop data messages: application commands,
+// read barriers, state-transfer requests/offers and snapshot chunks. The
+// envelope is the payload-level codec for those frames. Because envelopes
+// travel as plain KindData multicasts, every frame — including a snapshot
+// chunk — is totally ordered against every other frame in the group, which
+// is what makes snapshot installation an exact cut of the command stream
+// rather than a fuzzy cutover.
+//
+// A payload that does not start with the envelope magic byte is, by
+// convention, an implicit command (EnvCommand): raw Submit traffic and
+// replicated groups interoperate.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"newtop/internal/types"
+)
+
+// EnvMagic is the first byte of every encoded envelope. It is deliberately
+// outside 7-bit text so that human-readable raw payloads ("put k v") are
+// never mistaken for envelopes.
+const EnvMagic = 0xA7
+
+// EnvKind enumerates the RSM frame types carried inside data payloads.
+type EnvKind uint8
+
+const (
+	// EnvCommand is one application command for StateMachine.Apply.
+	EnvCommand EnvKind = iota + 1
+	// EnvBarrier is a no-op marker; its delivery tells the origin that
+	// everything ordered before it has been applied locally.
+	EnvBarrier
+	// EnvSync is a newcomer's request for state transfer (round SyncID).
+	EnvSync
+	// EnvOffer is a caught-up member's offer to stream a snapshot to
+	// Target; the first offer delivered wins — the total order elects the
+	// streamer identically at every replica.
+	EnvOffer
+	// EnvSnapChunk is one chunk of a serialized snapshot streamed to
+	// Target. The chunk with Last set completes the transfer.
+	EnvSnapChunk
+)
+
+// String implements fmt.Stringer.
+func (k EnvKind) String() string {
+	switch k {
+	case EnvCommand:
+		return "command"
+	case EnvBarrier:
+		return "barrier"
+	case EnvSync:
+		return "sync"
+	case EnvOffer:
+		return "offer"
+	case EnvSnapChunk:
+		return "snap-chunk"
+	default:
+		return fmt.Sprintf("env(%d)", uint8(k))
+	}
+}
+
+// Envelope is one RSM frame. Which fields are meaningful depends on Kind;
+// unused fields are not transmitted.
+type Envelope struct {
+	Kind EnvKind
+
+	// Target is the process a state-transfer frame is aimed at
+	// (EnvOffer, EnvSnapChunk).
+	Target types.ProcessID
+
+	// SyncID is the newcomer's transfer round (EnvSync, EnvOffer,
+	// EnvSnapChunk): a newcomer that restarts its transfer bumps the
+	// round so stale offers and chunks are recognised and dropped.
+	SyncID uint64
+
+	// Index is the chunk index within a snapshot stream (EnvSnapChunk)
+	// or the origin-local barrier identifier (EnvBarrier).
+	Index uint64
+
+	// Last marks the final chunk of a snapshot stream (EnvSnapChunk).
+	Last bool
+
+	// Applied is the streamer's cumulative applied-command count at the
+	// moment the snapshot was taken (EnvSnapChunk); the newcomer adopts
+	// it as its base so apply sequence numbers stay comparable.
+	Applied uint64
+
+	// Data is the command bytes (EnvCommand) or chunk bytes (EnvSnapChunk).
+	Data []byte
+}
+
+// ErrNotEnvelope is returned by UnmarshalEnvelope for payloads without the
+// envelope magic; callers treat those as implicit commands.
+var ErrNotEnvelope = errors.New("wire: payload is not an RSM envelope")
+
+// ErrBadEnvelope is returned for malformed or unknown envelope frames.
+var ErrBadEnvelope = errors.New("wire: malformed RSM envelope")
+
+// IsEnvelope reports whether payload carries an encoded envelope.
+func IsEnvelope(payload []byte) bool {
+	return len(payload) >= 2 && payload[0] == EnvMagic
+}
+
+// MarshalEnvelope appends the encoding of e to dst and returns the
+// extended slice.
+func MarshalEnvelope(dst []byte, e *Envelope) []byte {
+	dst = append(dst, EnvMagic, byte(e.Kind))
+	switch e.Kind {
+	case EnvCommand:
+		dst = binary.AppendUvarint(dst, uint64(len(e.Data)))
+		dst = append(dst, e.Data...)
+	case EnvBarrier:
+		dst = binary.AppendUvarint(dst, e.Index)
+	case EnvSync:
+		dst = binary.AppendUvarint(dst, e.SyncID)
+	case EnvOffer:
+		dst = binary.AppendUvarint(dst, uint64(e.Target))
+		dst = binary.AppendUvarint(dst, e.SyncID)
+	case EnvSnapChunk:
+		dst = binary.AppendUvarint(dst, uint64(e.Target))
+		dst = binary.AppendUvarint(dst, e.SyncID)
+		dst = binary.AppendUvarint(dst, e.Index)
+		if e.Last {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = binary.AppendUvarint(dst, e.Applied)
+		dst = binary.AppendUvarint(dst, uint64(len(e.Data)))
+		dst = append(dst, e.Data...)
+	}
+	return dst
+}
+
+// UnmarshalEnvelope decodes one envelope from payload. Data aliases the
+// input buffer; callers that retain it across deliveries must copy.
+func UnmarshalEnvelope(payload []byte) (Envelope, error) {
+	var e Envelope
+	if !IsEnvelope(payload) {
+		return e, ErrNotEnvelope
+	}
+	e.Kind = EnvKind(payload[1])
+	buf := payload[2:]
+	var v uint64
+	var err error
+	switch e.Kind {
+	case EnvCommand:
+		if e.Data, buf, err = envBytes(buf); err != nil {
+			return e, err
+		}
+	case EnvBarrier:
+		if e.Index, buf, err = envUvarint(buf); err != nil {
+			return e, err
+		}
+	case EnvSync:
+		if e.SyncID, buf, err = envUvarint(buf); err != nil {
+			return e, err
+		}
+	case EnvOffer:
+		if v, buf, err = envUvarint(buf); err != nil {
+			return e, err
+		}
+		e.Target = types.ProcessID(v)
+		if e.SyncID, buf, err = envUvarint(buf); err != nil {
+			return e, err
+		}
+	case EnvSnapChunk:
+		if v, buf, err = envUvarint(buf); err != nil {
+			return e, err
+		}
+		e.Target = types.ProcessID(v)
+		if e.SyncID, buf, err = envUvarint(buf); err != nil {
+			return e, err
+		}
+		if e.Index, buf, err = envUvarint(buf); err != nil {
+			return e, err
+		}
+		if len(buf) < 1 {
+			return e, ErrBadEnvelope
+		}
+		e.Last = buf[0] == 1
+		buf = buf[1:]
+		if e.Applied, buf, err = envUvarint(buf); err != nil {
+			return e, err
+		}
+		if e.Data, buf, err = envBytes(buf); err != nil {
+			return e, err
+		}
+	default:
+		return e, fmt.Errorf("%w: kind %d", ErrBadEnvelope, payload[1])
+	}
+	if len(buf) != 0 {
+		return e, fmt.Errorf("%w: %d trailing bytes", ErrBadEnvelope, len(buf))
+	}
+	return e, nil
+}
+
+func envUvarint(buf []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, nil, ErrBadEnvelope
+	}
+	return v, buf[n:], nil
+}
+
+func envBytes(buf []byte) ([]byte, []byte, error) {
+	n, buf, err := envUvarint(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > MaxPayload || uint64(len(buf)) < n {
+		return nil, nil, ErrBadEnvelope
+	}
+	return buf[:n:n], buf[n:], nil
+}

@@ -1,0 +1,77 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	cases := []Envelope{
+		{Kind: EnvCommand, Data: []byte("put user:1 alice")},
+		{Kind: EnvCommand, Data: nil},
+		{Kind: EnvBarrier, Index: 42},
+		{Kind: EnvSync, SyncID: 7},
+		{Kind: EnvOffer, Target: 9, SyncID: 7},
+		{Kind: EnvSnapChunk, Target: 9, SyncID: 7, Index: 3, Last: false, Applied: 1234, Data: []byte{1, 2, 3}},
+		{Kind: EnvSnapChunk, Target: 1, SyncID: 1, Index: 0, Last: true, Applied: 0, Data: bytes.Repeat([]byte{0xFF}, 300)},
+	}
+	for _, want := range cases {
+		enc := MarshalEnvelope(nil, &want)
+		if !IsEnvelope(enc) {
+			t.Fatalf("%v: IsEnvelope = false", want.Kind)
+		}
+		got, err := UnmarshalEnvelope(enc)
+		if err != nil {
+			t.Fatalf("%v: %v", want.Kind, err)
+		}
+		if got.Kind != want.Kind || got.Target != want.Target || got.SyncID != want.SyncID ||
+			got.Index != want.Index || got.Last != want.Last || got.Applied != want.Applied ||
+			!bytes.Equal(got.Data, want.Data) {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+		}
+	}
+}
+
+func TestEnvelopeRejectsRawPayload(t *testing.T) {
+	for _, raw := range [][]byte{nil, {}, []byte("put k v"), {EnvMagic}} {
+		if IsEnvelope(raw) {
+			t.Fatalf("IsEnvelope(%q) = true", raw)
+		}
+		if _, err := UnmarshalEnvelope(raw); !errors.Is(err, ErrNotEnvelope) {
+			t.Fatalf("UnmarshalEnvelope(%q) err = %v, want ErrNotEnvelope", raw, err)
+		}
+	}
+}
+
+func TestEnvelopeMalformed(t *testing.T) {
+	cases := [][]byte{
+		{EnvMagic, 0},                          // unknown kind
+		{EnvMagic, byte(EnvCommand)},           // missing length
+		{EnvMagic, byte(EnvCommand), 5, 'a'},   // declared length exceeds data
+		{EnvMagic, byte(EnvSnapChunk), 1, 1},   // truncated chunk header
+		{EnvMagic, byte(EnvBarrier), 1, 0},     // trailing byte
+		{EnvMagic, byte(EnvOffer), 1, 1, 0xFF}, // trailing byte
+	}
+	for _, buf := range cases {
+		if _, err := UnmarshalEnvelope(buf); err == nil {
+			t.Fatalf("UnmarshalEnvelope(% x): no error", buf)
+		} else if errors.Is(err, ErrNotEnvelope) {
+			t.Fatalf("UnmarshalEnvelope(% x): ErrNotEnvelope for magic-prefixed frame", buf)
+		}
+	}
+}
+
+func TestEnvelopeDataAliasHasPrivateCap(t *testing.T) {
+	// Data is sliced with a private capacity so an append by the consumer
+	// cannot clobber bytes that follow inside the delivered payload.
+	enc := MarshalEnvelope(nil, &Envelope{Kind: EnvCommand, Data: []byte("abc")})
+	enc = append(enc, 0xEE) // trailing byte would make decode fail; re-encode properly
+	env, err := UnmarshalEnvelope(enc[:len(enc)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap(env.Data) != len(env.Data) {
+		t.Fatalf("Data cap %d > len %d: append would clobber the shared buffer", cap(env.Data), len(env.Data))
+	}
+}

@@ -73,6 +73,9 @@ func Marshal(dst []byte, m *types.Message) []byte {
 			dst = appendSuspicion(dst, s)
 		}
 	case types.KindFormInvite:
+		// The one-byte payload is the proposed ordering mode (§5.3 step 1);
+		// losing it would make remote invitees veto every formation.
+		dst = appendModeByte(dst, m.Payload)
 		dst = appendProcs(dst, m.Invite)
 	case types.KindFormVote:
 		if m.Vote {
@@ -80,11 +83,21 @@ func Marshal(dst []byte, m *types.Message) []byte {
 		} else {
 			dst = append(dst, 0)
 		}
+		dst = appendModeByte(dst, m.Payload)
 		dst = appendProcs(dst, m.Invite)
 	case types.KindStartGroup:
 		dst = binary.AppendUvarint(dst, uint64(m.StartNum))
 	}
 	return dst
+}
+
+// appendModeByte encodes the single-byte ordering-mode payload of the
+// formation messages (0 when absent).
+func appendModeByte(dst, payload []byte) []byte {
+	if len(payload) >= 1 {
+		return append(dst, payload[0])
+	}
+	return append(dst, 0)
 }
 
 // Unmarshal decodes exactly one message from buf, which must contain the
@@ -147,9 +160,9 @@ func Size(m *types.Message) int {
 			n += suspicionSize(s)
 		}
 	case types.KindFormInvite:
-		n += procsSize(m.Invite)
-	case types.KindFormVote:
 		n += 1 + procsSize(m.Invite)
+	case types.KindFormVote:
+		n += 2 + procsSize(m.Invite)
 	case types.KindStartGroup:
 		n += uvarintSize(uint64(m.StartNum))
 	}
@@ -264,6 +277,9 @@ func decode(buf []byte, depth int) (*types.Message, []byte, error) {
 			m.Detection = append(m.Detection, s)
 		}
 	case types.KindFormInvite:
+		if m.Payload, buf, err = decodeModeByte(buf); err != nil {
+			return nil, nil, err
+		}
 		if m.Invite, buf, err = decodeProcs(buf); err != nil {
 			return nil, nil, err
 		}
@@ -273,6 +289,9 @@ func decode(buf []byte, depth int) (*types.Message, []byte, error) {
 		}
 		m.Vote = buf[0] == 1
 		buf = buf[1:]
+		if m.Payload, buf, err = decodeModeByte(buf); err != nil {
+			return nil, nil, err
+		}
 		if m.Invite, buf, err = decodeProcs(buf); err != nil {
 			return nil, nil, err
 		}
@@ -312,6 +331,18 @@ func appendProcs(dst []byte, ps []types.ProcessID) []byte {
 		dst = binary.AppendUvarint(dst, uint64(p))
 	}
 	return dst
+}
+
+// decodeModeByte is the inverse of appendModeByte: a zero byte decodes to
+// an absent payload.
+func decodeModeByte(buf []byte) ([]byte, []byte, error) {
+	if len(buf) < 1 {
+		return nil, nil, ErrTruncated
+	}
+	if buf[0] == 0 {
+		return nil, buf[1:], nil
+	}
+	return []byte{buf[0]}, buf[1:], nil
 }
 
 func decodeProcs(buf []byte) ([]types.ProcessID, []byte, error) {

@@ -33,6 +33,26 @@
 //
 // For real deployments set ListenAddr and Peers instead of Network: the
 // same protocol runs over TCP connections between machines.
+//
+// # Replicated state machines
+//
+// Total order makes replication a one-liner: Replicate attaches a
+// deterministic StateMachine to a group and applies every member's
+// commands in the agreed order, so replicas stay byte-identical.
+//
+//	kv := newtop.NewKV()
+//	rep, _ := newtop.Replicate(a, 1, kv)        // before BootstrapGroup
+//	a.BootstrapGroup(1, newtop.Symmetric, members)
+//	rep.Propose([]byte("put user alice"))
+//	rep.Read(func(newtop.StateMachine) { v, _ := kv.Get("user"); _ = v })
+//
+// To add or move a replica, form a new group overlapping the old one (the
+// paper's fig. 1 migration) and Replicate it everywhere — the newcomer
+// with the CatchUp option. State transfer (snapshot chunks plus a replay
+// tail) travels inside the same total order as ongoing writes, so the
+// newcomer converges to the exact replicated state with no write pause.
+// Replica.Digest fingerprints state for divergence detection, e.g. across
+// the two sides of a healed partition.
 package newtop
 
 import (
@@ -42,6 +62,7 @@ import (
 
 	"newtop/internal/core"
 	"newtop/internal/node"
+	"newtop/internal/rsm"
 	"newtop/internal/transport"
 	"newtop/internal/transport/tcpnet"
 	"newtop/internal/types"
@@ -77,10 +98,11 @@ const (
 
 // Membership event kinds.
 const (
-	EventViewChanged     = node.EventViewChanged
-	EventGroupReady      = node.EventGroupReady
-	EventFormationFailed = node.EventFormationFailed
-	EventSuspected       = node.EventSuspected
+	EventViewChanged      = node.EventViewChanged
+	EventGroupReady       = node.EventGroupReady
+	EventFormationFailed  = node.EventFormationFailed
+	EventSuspected        = node.EventSuspected
+	EventStateTransferred = node.EventStateTransferred
 )
 
 // Re-exported sentinel errors.
@@ -235,3 +257,59 @@ func (p *Process) Stats() Stats { return p.n.Stats() }
 
 // Close stops the process and releases its transport.
 func (p *Process) Close() error { return p.n.Close() }
+
+// ---------------------------------------------------------------------------
+// Replicated state machines
+// ---------------------------------------------------------------------------
+
+// StateMachine is deterministic application state replicated over a
+// group's total order: Apply executes one command, Snapshot/Restore move
+// whole states for replica catch-up. See internal/rsm for the exact
+// determinism contract.
+type StateMachine = rsm.StateMachine
+
+// Replica is a process's handle on a replicated state machine: Propose
+// multicasts commands, Read gives read-your-writes access, Barrier is a
+// linearizable fence, and Digest fingerprints the state for cross-replica
+// comparison (e.g. divergence detection after a partition).
+type Replica = rsm.Replica
+
+// ReplicaOption configures Replicate.
+type ReplicaOption = rsm.Option
+
+// ReplicaStats counts a replica's replication activity.
+type ReplicaStats = rsm.Stats
+
+// CatchUp starts the replica empty: it requests a state transfer from the
+// group (snapshot plus replay tail, all inside the total order) and only
+// then starts serving. Use it for the newcomer when migrating or scaling a
+// replicated service by forming a new overlapping group (fig. 1); watch
+// for EventStateTransferred or Replica.Ready.
+func CatchUp() ReplicaOption { return rsm.CatchUp() }
+
+// WithSnapshotChunkSize overrides the snapshot chunk size used when this
+// replica streams state to a newcomer (default 64 KiB).
+func WithSnapshotChunkSize(n int) ReplicaOption { return rsm.WithChunkSize(n) }
+
+// Replicate attaches sm to group g and starts the replica's apply loop:
+// g's deliveries are diverted to the replica and fed to sm in the agreed
+// total order, so every member's machine stays identical. Call Replicate
+// before the group starts delivering — i.e. before BootstrapGroup, or
+// right after CreateGroup while formation is still in flight.
+//
+// Newtop processes never rejoin a group (§3); to add a replica, form a
+// new group overlapping the old one and Replicate it on every member —
+// incumbents as-is (their machines carry the state over), the newcomer
+// with CatchUp. An up-to-date incumbent, elected by the total order
+// itself, streams a snapshot and the newcomer replays the tail, all
+// ordered against ongoing writes — no write pause, no fuzzy cutover.
+func Replicate(p *Process, g GroupID, sm StateMachine, opts ...ReplicaOption) (*Replica, error) {
+	return rsm.Replicate(p.n, g, sm, opts...)
+}
+
+// KV is the reference StateMachine: a replicated string map driven by
+// "put <key> <value>" / "del <key>" commands.
+type KV = rsm.KV
+
+// NewKV creates an empty replicated map.
+func NewKV() *KV { return rsm.NewKV() }

@@ -148,6 +148,99 @@ func TestPublicAPIOverTCP(t *testing.T) {
 	}
 }
 
+// TestPublicAPIReplication walks the whole replication story through the
+// public API: replicate a KV over a group, read-your-writes, then bring a
+// fourth process in by forming a successor group and watch it catch up.
+func TestPublicAPIReplication(t *testing.T) {
+	net := newtop.NewNetwork(newtop.WithSeed(3))
+	procs := startTrio(t, net)
+	members := []newtop.ProcessID{1, 2, 3}
+
+	kvs := make([]*newtop.KV, 3)
+	reps := make([]*newtop.Replica, 3)
+	for i, p := range procs {
+		kvs[i] = newtop.NewKV()
+		rep, err := newtop.Replicate(p, 1, kvs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps[i] = rep
+	}
+	for _, p := range procs {
+		if err := p.BootstrapGroup(1, newtop.Symmetric, members); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 9; i++ {
+		if err := reps[i%3].Propose([]byte(fmt.Sprintf("put k%d v%d", i, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := reps[1].Read(func(newtop.StateMachine) {
+		if v, ok := kvs[1].Get("k7"); !ok || v != "v7" {
+			t.Errorf("read-your-writes: k7 = %q %v", v, ok)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range reps {
+		if err := rep.Barrier(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d0, d1 := reps[0].Digest(), reps[1].Digest(); d0 != d1 {
+		t.Fatalf("replicas diverge: %016x vs %016x", d0, d1)
+	}
+
+	// P4 joins by forming g2 = {1,2,3,4} and catches up via state transfer.
+	p4, err := newtop.Start(newtop.Config{Self: 4, Network: net, Omega: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = p4.Close() }()
+	// The chunk size is a streamer-side knob: set it on the incumbents
+	// (tiny here, to force a genuinely chunked stream).
+	for i, p := range procs {
+		if _, err := newtop.Replicate(p, 2, kvs[i], newtop.WithSnapshotChunkSize(16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kv4 := newtop.NewKV()
+	rep4, err := newtop.Replicate(p4, 2, kv4, newtop.CatchUp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p4.CreateGroup(2, newtop.Symmetric, []newtop.ProcessID{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-rep4.Ready():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("catch-up stalled: %+v", rep4.Stats())
+	}
+	if v, ok := kv4.Get("k0"); !ok || v != "v0" {
+		t.Fatalf("transferred state missing: k0 = %q %v", v, ok)
+	}
+	if st := rep4.Stats(); st.SnapshotsIn != 1 || st.ChunksIn < 2 {
+		t.Fatalf("expected a chunked snapshot install: %+v", st)
+	}
+	// The transfer event surfaces on the public Events channel.
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case ev := <-p4.Events():
+			if ev.Kind == newtop.EventStateTransferred {
+				if ev.Group != 2 {
+					t.Fatalf("transfer event for wrong group: %+v", ev)
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("EventStateTransferred never surfaced")
+		}
+	}
+}
+
 func TestPublicAPIPartitionControls(t *testing.T) {
 	net := newtop.NewNetwork(newtop.WithSeed(7), newtop.WithLatency(time.Millisecond, 2*time.Millisecond))
 	procs := startTrio(t, net)
