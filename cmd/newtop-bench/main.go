@@ -1,7 +1,7 @@
 // Command newtop-bench regenerates every experiment table of the Newtop
 // reproduction: the paper's figures (F1–F3), worked examples (X1–X3),
 // comparative claims (C1–C9) and the replicated-state-machine scenarios
-// (R1–R2). See DESIGN.md §4 for the index and EXPERIMENTS.md for the
+// (R1–R3). See DESIGN.md §4 for the index and EXPERIMENTS.md for the
 // expected shapes.
 //
 // Usage:
@@ -47,6 +47,7 @@ func experiments() []experiment {
 		{"F3", "fig.3 atomic delivery vs total order", harness.F3AtomicVsTotal},
 		{"R1", "rsm replica catch-up into a loaded group", harness.R1ReplicaCatchUp},
 		{"R2", "rsm divergence detection across a healed partition", harness.R2PartitionDivergence},
+		{"R3", "rsm partition reconciliation: digest diff → merged successor group", harness.R3PartitionReconciliation},
 		{"X1", "§5 ex.1 joint failure, orphan erased", harness.X1JointFailure},
 		{"X2", "§5 ex.2 MD5' partition exclusion", harness.X2CausalChain},
 		{"X3", "§5 ex.3 concurrent subgroup views", harness.X3ConcurrentViews},

@@ -31,6 +31,17 @@
 // listening is harmless: sends to it are dropped until it comes up).
 // Group 1 membership is self plus the peers listed in -initial (default:
 // every peer), so the future P4 is not part of g1.
+//
+// Partitions heal themselves: when the daemons on both sides of a healed
+// partition detect each other again (EventHealDetected, raised by the
+// node's low-rate probes to excluded members), each side pauses its
+// writes, the lowest-ID survivor forms a merged successor group over
+// everyone it can see, and the members reconcile their diverged stores by
+// digest diff under the -merge policy (lww: highest apply index wins;
+// prefer-low: the subgroup with the lowest leader dictates). Watch the
+// logs for "reconciled": the digests printed afterwards agree across all
+// daemons. -settle tunes how long a daemon waits after the first heal
+// signal before initiating, so in-flight old-group writes drain first.
 package main
 
 import (
@@ -65,6 +76,8 @@ func run() error {
 		interval = flag.Duration("interval", time.Second, "write-proposal interval (0 = silent)")
 		join     = flag.Uint("join", 0, "join the running cluster by forming this new group ID and catching up (skips group 1)")
 		initial  = flag.String("initial", "", "comma-separated process IDs of the bootstrap group 1 (default: self + every peer)")
+		merge    = flag.String("merge", "lww", "post-partition merge policy: lww|prefer-low")
+		settle   = flag.Duration("settle", 2*time.Second, "delay between detecting a heal and initiating reconciliation")
 	)
 	flag.Parse()
 	if *id == 0 || *listen == "" {
@@ -90,8 +103,14 @@ func run() error {
 	self := newtop.ProcessID(*id)
 	// Formation invites for groups we have not replicated yet are
 	// signalled to the main loop, which attaches a replica while the vote
-	// is still in flight — before the group can deliver anything.
-	invites := make(chan newtop.GroupID, 16)
+	// is still in flight — before the group can deliver anything. The
+	// member list rides along so the handler can tell a reconciliation
+	// (members we once excluded are back) from a plain join.
+	type invitation struct {
+		g       newtop.GroupID
+		members []newtop.ProcessID
+	}
+	invites := make(chan invitation, 16)
 	proc, err := newtop.Start(newtop.Config{
 		Self:       self,
 		ListenAddr: *listen,
@@ -99,7 +118,7 @@ func run() error {
 		Omega:      *omega,
 		AcceptInvite: func(g newtop.GroupID, members []newtop.ProcessID) bool {
 			select {
-			case invites <- g:
+			case invites <- invitation{g, append([]newtop.ProcessID(nil), members...)}:
 				return true
 			default:
 				// Joining a group we would never replicate is worse than
@@ -135,9 +154,21 @@ func run() error {
 
 	// One store per process, carried across every group it replicates.
 	kv := newtop.NewKV()
-	var mu sync.Mutex // guards reps/serving
+	var mu sync.Mutex // guards reps/serving/removed/healed/reconciling
 	reps := map[newtop.GroupID]*newtop.Replica{}
 	var serving newtop.GroupID
+	// removed accumulates, per group, the peers excluded from its views;
+	// healed the ones that came back. Together they drive reconciliation.
+	removed := map[newtop.GroupID]map[newtop.ProcessID]bool{}
+	healed := map[newtop.GroupID]map[newtop.ProcessID]bool{}
+	reconciling := map[newtop.GroupID]bool{}      // heal already being handled
+	healTimer := map[newtop.GroupID]*time.Timer{} // debounce: initiate -settle after the LAST heal signal
+	register := func(g newtop.GroupID, rep *newtop.Replica) {
+		reps[g] = rep
+		if g > serving {
+			serving = g // always serve in the newest group
+		}
+	}
 	replicate := func(g newtop.GroupID, opts ...newtop.ReplicaOption) error {
 		mu.Lock()
 		defer mu.Unlock()
@@ -148,16 +179,79 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		reps[g] = rep
-		if g > serving {
-			serving = g // always serve in the newest group
+		register(g, rep)
+		return nil
+	}
+	switch *merge {
+	case "lww", "prefer-low":
+	default:
+		return fmt.Errorf("unknown -merge %q", *merge)
+	}
+	mkPolicy := func(lowSide uint64) newtop.MergePolicy {
+		if *merge == "prefer-low" {
+			return newtop.PreferSide(lowSide)
 		}
+		return newtop.LastWriterWins()
+	}
+	// reconcile attaches a reconciling replica for the merged group g.
+	reconcile := func(g newtop.GroupID, members []newtop.ProcessID, side uint64, lowSide uint64) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if _, ok := reps[g]; ok {
+			return nil
+		}
+		rep, err := newtop.Reconcile(proc, g, kv, mkPolicy(lowSide), members,
+			newtop.WithPartitionSide(side))
+		if err != nil {
+			return err
+		}
+		register(g, rep)
 		return nil
 	}
 	current := func() (*newtop.Replica, newtop.GroupID) {
 		mu.Lock()
 		defer mu.Unlock()
 		return reps[serving], serving
+	}
+	// mySide returns this daemon's partition tag for group g: the lowest
+	// member of its current (pre-merge) view.
+	mySide := func(g newtop.GroupID) uint64 {
+		if v, err := proc.View(g); err == nil && len(v.Members) > 0 {
+			return uint64(v.Members[0])
+		}
+		return uint64(self)
+	}
+	// initiateReconcile fires -settle after the first heal signal for g:
+	// if this daemon is the lowest ID among everyone now reachable, it
+	// forms the merged successor group; otherwise it waits for the
+	// initiator's invitation (handled below).
+	initiateReconcile := func(g newtop.GroupID) {
+		v, err := proc.View(g)
+		if err != nil {
+			return
+		}
+		mu.Lock()
+		reconciling[g] = true
+		delete(healTimer, g)
+		members := append([]newtop.ProcessID(nil), v.Members...)
+		for p := range healed[g] {
+			members = append(members, p)
+		}
+		mu.Unlock()
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		if members[0] != self {
+			log.Printf("heal of g%d: waiting for P%d to initiate the merged group", g, members[0])
+			return
+		}
+		next := g + 1
+		log.Printf("heal of g%d: initiating merged successor group g%d = %v (%s merge)", g, next, members, *merge)
+		if err := reconcile(next, members, mySide(g), uint64(members[0])); err != nil {
+			log.Printf("reconcile g%d: %v", next, err)
+			return
+		}
+		if err := proc.CreateGroup(next, om, members); err != nil {
+			log.Printf("form g%d: %v", next, err)
+		}
 	}
 
 	if *join == 0 {
@@ -194,11 +288,37 @@ func run() error {
 	// delivered — before the successor group's start-number agreement,
 	// hence before any snapshot cut in the new group.)
 	go func() {
-		for g := range invites {
-			if err := replicate(g); err != nil {
-				log.Printf("replicate g%d: %v", g, err)
+		for inv := range invites {
+			// A successor group whose member list includes peers we had
+			// excluded is a post-heal merge: attach in reconcile mode so
+			// our diverged store takes part in the digest-diff exchange.
+			mu.Lock()
+			rejoining := false
+			var low newtop.ProcessID = self
+			for _, m := range inv.members {
+				if m < low {
+					low = m
+				}
+				for _, rm := range removed {
+					if rm[m] {
+						rejoining = true
+					}
+				}
+			}
+			mu.Unlock()
+			if rejoining {
+				_, g := current()
+				if err := reconcile(inv.g, inv.members, mySide(g), uint64(low)); err != nil {
+					log.Printf("reconcile g%d: %v", inv.g, err)
+				} else {
+					log.Printf("reconciling into merged group g%d = %v", inv.g, inv.members)
+				}
+				continue
+			}
+			if err := replicate(inv.g); err != nil {
+				log.Printf("replicate g%d: %v", inv.g, err)
 			} else {
-				log.Printf("replicating successor group g%d (service cut over)", g)
+				log.Printf("replicating successor group g%d (service cut over)", inv.g)
 			}
 		}
 	}()
@@ -215,14 +335,66 @@ func run() error {
 			switch ev.Kind {
 			case newtop.EventViewChanged:
 				log.Printf("view change %v: %v (removed %v)", ev.Group, ev.View, ev.Removed)
+				mu.Lock()
+				rm := removed[ev.Group]
+				if rm == nil {
+					rm = map[newtop.ProcessID]bool{}
+					removed[ev.Group] = rm
+				}
+				for _, p := range ev.Removed {
+					rm[p] = true
+				}
+				mu.Unlock()
 			case newtop.EventSuspected:
 				log.Printf("suspecting P%d in %v", ev.Suspect, ev.Group)
 			case newtop.EventGroupReady:
 				log.Printf("group %v ready", ev.Group)
 			case newtop.EventFormationFailed:
 				log.Printf("formation of %v failed: %s", ev.Group, ev.Reason)
+				// A failed merged-group formation (successor of a group
+				// we were reconciling) must not strand the heal: retry
+				// after another settle window.
+				mu.Lock()
+				if base := ev.Group - 1; reconciling[base] {
+					delete(reconciling, base)
+					if healTimer[base] == nil {
+						healTimer[base] = time.AfterFunc(*settle, func() { initiateReconcile(base) })
+					}
+				}
+				mu.Unlock()
 			case newtop.EventStateTransferred:
 				log.Printf("state transferred into %v (snapshot from P%d)", ev.Group, ev.Peer)
+			case newtop.EventHealDetected:
+				log.Printf("partition healed: P%d reachable again (was excluded from %v)", ev.Peer, ev.Group)
+				mu.Lock()
+				h := healed[ev.Group]
+				if h == nil {
+					h = map[newtop.ProcessID]bool{}
+					healed[ev.Group] = h
+				}
+				h[ev.Peer] = true
+				// Debounced initiation: (re)arm the timer on every heal
+				// signal, so the merged group forms -settle after the
+				// LAST peer is rediscovered — slow probes from the far
+				// side still make it into the member list — and the
+				// cut-over quiesce gets its drain window.
+				g := ev.Group
+				if g == serving && !reconciling[g] {
+					if tmr := healTimer[g]; tmr != nil {
+						tmr.Reset(*settle)
+					} else {
+						healTimer[g] = time.AfterFunc(*settle, func() { initiateReconcile(g) })
+					}
+				}
+				mu.Unlock()
+			case newtop.EventReconciled:
+				rep, g := current()
+				if rep != nil && g == ev.Group {
+					log.Printf("reconciled into g%d: applied=%d keys=%d digest=%016x",
+						g, rep.AppliedSeq(), kv.Len(), rep.Digest())
+				} else {
+					log.Printf("reconciled into g%d", ev.Group)
+				}
 			}
 		}
 	}()

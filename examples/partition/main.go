@@ -1,17 +1,23 @@
 // Partition: the paper's §5 example 3 — a crash plus a network partition
-// split a group into concurrent subgroups whose views stabilise into
-// non-intersecting memberships. Newtop is *partitionable*: unlike
-// primary-partition protocols it lets both sides keep operating and leaves
-// their fate to the application.
+// split a group into concurrent subgroups — extended with the repair half
+// of the story: digest-diff reconciliation into a merged successor group.
+// Newtop is *partitionable*: unlike primary-partition protocols it lets
+// both sides keep operating and leaves their fate to the application; the
+// reconciliation layer is how the application mends that fate afterwards.
 //
 // Run with:
 //
 //	go run ./examples/partition
 //
-// Five processes form one group. P5 crashes; while the survivors run the
-// membership agreement, the network splits {P1,P2} from {P3,P4}. Each side
-// agrees internally, installs a view containing only itself, and keeps
-// delivering its own traffic in total order.
+// Five processes replicate a kvstore in one group. P5 crashes; while the
+// survivors run the membership agreement, the network splits {P1,P2} from
+// {P3,P4}. Each side agrees internally, installs a view containing only
+// itself, and keeps serving writes — so the two sides' stores diverge,
+// visible as different state digests. When the network heals, the
+// survivors form a merged successor group (§5.3), exchange per-bucket
+// digest summaries, ship only the differing buckets, and converge under a
+// last-writer-wins merge — every replica ends digest-identical, with both
+// sides' writes preserved.
 package main
 
 import (
@@ -34,47 +40,66 @@ func run() error {
 
 	members := []newtop.ProcessID{1, 2, 3, 4, 5}
 	procs := make(map[newtop.ProcessID]*newtop.Process)
+	kvs := make(map[newtop.ProcessID]*newtop.KV)
+	reps := make(map[newtop.ProcessID]*newtop.Replica)
 	for _, id := range members {
-		p, err := newtop.Start(newtop.Config{Self: id, Network: net, Omega: 15 * time.Millisecond})
+		p, err := newtop.Start(newtop.Config{
+			Self: id, Network: net,
+			Omega:             15 * time.Millisecond,
+			HealProbeInterval: 50 * time.Millisecond,
+		})
 		if err != nil {
 			return err
 		}
 		defer func() { _ = p.Close() }()
 		procs[id] = p
-		if err := p.BootstrapGroup(1, newtop.Symmetric, members); err != nil {
+		kvs[id] = newtop.NewKV()
+		rep, err := newtop.Replicate(p, 1, kvs[id])
+		if err != nil {
+			return err
+		}
+		reps[id] = rep
+		go func(p *newtop.Process) { // drain events; deliveries go to the replica
+			for range p.Events() {
+			}
+		}(p)
+	}
+	for _, id := range members {
+		if err := procs[id].BootstrapGroup(1, newtop.Symmetric, members); err != nil {
 			return err
 		}
 	}
-	fmt.Println("group g1 = {P1..P5} running; P5 crashes, then the network splits {P1,P2} | {P3,P4}")
-
-	// Drain deliveries in the background; record per-process sequences.
-	seqs := make(map[newtop.ProcessID]chan string)
+	fmt.Println("g1 = {P1..P5} replicating a kvstore; P5 crashes, then the network splits {P1,P2} | {P3,P4}")
+	for i := 1; i <= 6; i++ {
+		if err := reps[newtop.ProcessID(i%5+1)].Propose([]byte(fmt.Sprintf("put base:%d v%d", i, i))); err != nil {
+			return err
+		}
+	}
 	for _, id := range members {
-		ch := make(chan string, 128)
-		seqs[id] = ch
-		go func(p *newtop.Process, ch chan string) {
-			for d := range p.Deliveries() {
-				ch <- string(d.Payload)
-			}
-			close(ch)
-		}(procs[id], ch)
+		if err := reps[id].Barrier(); err != nil {
+			return err
+		}
 	}
 
-	// Warm up, then inject the failures.
-	time.Sleep(100 * time.Millisecond)
+	// Inject the failures.
 	net.Crash(5)
 	time.Sleep(40 * time.Millisecond) // agreement on P5 begins
 	net.Partition([]newtop.ProcessID{1, 2}, []newtop.ProcessID{3, 4})
 
-	// Both sides keep multicasting through the turmoil.
-	for i := 1; i <= 3; i++ {
-		if err := procs[1].Submit(1, []byte(fmt.Sprintf("side-A msg %d", i))); err != nil {
-			return err
-		}
-		if err := procs[3].Submit(1, []byte(fmt.Sprintf("side-B msg %d", i))); err != nil {
-			return err
-		}
-		time.Sleep(30 * time.Millisecond)
+	// Both sides keep writing through the turmoil — including to the
+	// same key, the conflict the merge policy will have to resolve.
+	survivors := []newtop.ProcessID{1, 2, 3, 4}
+	if err := reps[1].Propose([]byte("put owner side-A")); err != nil {
+		return err
+	}
+	if err := reps[1].Propose([]byte("put a:only from-A")); err != nil {
+		return err
+	}
+	if err := reps[3].Propose([]byte("put b:only from-B")); err != nil {
+		return err
+	}
+	if err := reps[3].Propose([]byte("put owner side-B")); err != nil {
+		return err
 	}
 
 	// Wait until both sides stabilise into views of exactly themselves.
@@ -104,9 +129,6 @@ func run() error {
 			}
 		}
 	}
-
-	// Views of the two sides do not intersect; each side delivered its own
-	// traffic in an internally consistent order.
 	va, _ := procs[1].View(1)
 	vb, _ := procs[3].View(1)
 	for _, m := range va.Members {
@@ -114,30 +136,67 @@ func run() error {
 			return fmt.Errorf("stabilised views intersect: %v vs %v", va, vb)
 		}
 	}
-	fmt.Printf("\nconcurrent views are disjoint: %v vs %v ✓\n", va, vb)
-
-	time.Sleep(200 * time.Millisecond)
-	drain := func(id newtop.ProcessID) []string {
-		var out []string
-		for {
-			select {
-			case s := <-seqs[id]:
-				out = append(out, s)
-			default:
-				return out
-			}
+	// Quiesce g1 on both sides — the cut-over discipline before a merge.
+	for _, id := range survivors {
+		if err := reps[id].Barrier(); err != nil {
+			return err
 		}
 	}
-	a1, a2 := drain(1), drain(2)
-	b3, b4 := drain(3), drain(4)
-	if fmt.Sprint(a1) != fmt.Sprint(a2) {
-		return fmt.Errorf("side A diverged:\n  P1: %v\n  P2: %v", a1, a2)
+	dA, dB := reps[1].Digest(), reps[3].Digest()
+	fmt.Printf("\nconcurrent views are disjoint: %v vs %v ✓\n", va, vb)
+	fmt.Printf("states diverged: side A digest %016x, side B digest %016x\n", dA, dB)
+	if dA == dB {
+		return fmt.Errorf("sides did not diverge")
 	}
-	if fmt.Sprint(b3) != fmt.Sprint(b4) {
-		return fmt.Errorf("side B diverged:\n  P3: %v\n  P4: %v", b3, b4)
+
+	// Heal, then repair: a merged successor group g2 over the survivors,
+	// reconciled by digest diff under last-writer-wins.
+	net.Heal()
+	fmt.Println("\nnetwork healed; forming merged successor group g2 = {P1..P4} and reconciling (LWW)")
+	recs := make(map[newtop.ProcessID]*newtop.Replica)
+	for _, id := range survivors {
+		side := uint64(1)
+		if id >= 3 {
+			side = 3
+		}
+		rec, err := newtop.Reconcile(procs[id], 2, kvs[id], newtop.LastWriterWins(), survivors,
+			newtop.WithPartitionSide(side))
+		if err != nil {
+			return err
+		}
+		recs[id] = rec
 	}
-	fmt.Printf("side A delivered consistently: %v\n", a1)
-	fmt.Printf("side B delivered consistently: %v\n", b3)
-	fmt.Println("\nboth partitions remain live and internally consistent — no primary partition required ✓")
+	if err := procs[1].CreateGroup(2, newtop.Symmetric, survivors); err != nil {
+		return err
+	}
+	for _, id := range survivors {
+		select {
+		case <-recs[id].Ready():
+		case <-time.After(60 * time.Second):
+			return fmt.Errorf("P%d reconciliation stalled: %+v", id, recs[id].Stats())
+		}
+	}
+
+	d0 := recs[1].Digest()
+	for _, id := range survivors[1:] {
+		if d := recs[id].Digest(); d != d0 {
+			return fmt.Errorf("post-merge digest of P%d = %016x, want %016x", id, d, d0)
+		}
+	}
+	st := recs[1].Stats()
+	owner, _ := kvs[1].Get("owner")
+	fmt.Printf("reconciled: digest %016x at all 4 survivors (%d keys merged, %d entries frames)\n",
+		d0, st.MergedPuts+st.MergedDels, st.EntriesIn)
+	fmt.Printf("  conflict key 'owner' resolved to %q; a:only=%v b:only=%v\n",
+		owner, kvsHas(kvs[1], "a:only"), kvsHas(kvs[1], "b:only"))
+	if !kvsHas(kvs[1], "a:only") || !kvsHas(kvs[1], "b:only") {
+		return fmt.Errorf("a partition-era write was lost in the merge")
+	}
+	fmt.Println("\nboth partitions stayed live, and their histories were mechanically reconciled ✓")
 	return nil
+}
+
+func kvsHas(kv *newtop.KV, k string) bool {
+	_, ok := kv.Get(k)
+	return ok
 }

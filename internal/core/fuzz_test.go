@@ -14,37 +14,47 @@ import (
 
 // TestEngineRandomEventSequences drives a single engine with randomised
 // (possibly hostile) event sequences — garbage messages, wrong senders,
-// out-of-range fields — and asserts the engine never panics, never emits a
-// delivery out of number order, and never delivers the same message twice.
-// This is the engine-level robustness property backing the wire fuzzing:
-// anything that decodes must be safe to feed the protocol.
+// out-of-range fields — and asserts the engine never panics and never
+// emits a delivery that violates MD1 (origin and sender in the group's
+// current view, group known). This is the engine-level robustness
+// property backing the wire fuzzing: anything that decodes must be safe
+// to feed the protocol.
+//
+// Stronger ordering properties (monotone delivery numbers, no duplicate
+// (origin, seq)) deliberately are NOT asserted here: they are crash-fault
+// guarantees, and this stream is Byzantine. A forged message can carry an
+// arbitrarily high num/LDN that advances the delivery gate, after which a
+// later low-numbered forgery delivers "out of order" — quick.Check seed
+// 7525858044138189085 finds exactly that. Ordering under faithful
+// conditions is pinned by the multi-engine soaks and the MD/VC property
+// checkers (internal/check), which model crash faults only.
 func TestEngineRandomEventSequences(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		e := core.NewEngine(core.Config{Self: 1, Omega: 10 * time.Millisecond})
 		now := sim.Epoch
-		if _, err := e.BootstrapGroup(now, 1, core.Symmetric, []types.ProcessID{1, 2, 3}); err != nil {
-			return false
-		}
-		var lastNum types.MsgNum
-		seen := make(map[string]bool)
+		views := map[types.GroupID]types.View{}
 		ok := true
 		apply := func(effs []core.Effect) {
 			for _, eff := range effs {
-				d, isDel := eff.(core.DeliverEffect)
-				if !isDel {
-					continue
+				switch eff := eff.(type) {
+				case core.ViewEffect:
+					views[eff.View.Group] = eff.View
+				case core.DeliverEffect:
+					v, known := views[eff.Msg.Group]
+					if !known || !v.Contains(eff.Msg.Origin) || !v.Contains(eff.Msg.Sender) {
+						ok = false // MD1: delivery from outside the current view
+					}
 				}
-				if d.Msg.Num < lastNum {
-					ok = false
-				}
-				lastNum = d.Msg.Num
-				key := fmt.Sprintf("%v/%v/%d", d.Msg.Origin, d.Msg.Group, d.Msg.Seq)
-				if seen[key] {
-					ok = false
-				}
-				seen[key] = true
 			}
+		}
+		effs, err := e.BootstrapGroup(now, 1, core.Symmetric, []types.ProcessID{1, 2, 3})
+		if err != nil {
+			return false
+		}
+		apply(effs)
+		if v, verr := e.View(1); verr == nil {
+			views[1] = v // the initial view, if bootstrap did not emit it
 		}
 		for step := 0; step < 300 && ok; step++ {
 			now = now.Add(time.Duration(rng.Intn(8)) * time.Millisecond)

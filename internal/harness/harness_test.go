@@ -187,14 +187,19 @@ func TestScenarios(t *testing.T) {
 }
 
 // TestReplicationScenarios runs the rsm-layer stories: catch-up into a
-// loaded group (R1) and digest-based divergence detection (R2). Each
+// loaded group (R1), digest-based divergence detection (R2) and
+// digest-diff reconciliation into a merged successor group (R3). Each
 // asserts its own acceptance conditions internally (chunked snapshot,
-// non-empty replay tail, digest equality / inequality).
+// non-empty replay tail, digest equality / inequality, deterministic
+// merge outcome).
 func TestReplicationScenarios(t *testing.T) {
 	if _, err := R1ReplicaCatchUp(); err != nil {
 		t.Errorf("R1: %v", err)
 	}
 	if _, err := R2PartitionDivergence(); err != nil {
 		t.Errorf("R2: %v", err)
+	}
+	if _, err := R3PartitionReconciliation(); err != nil {
+		t.Errorf("R3: %v", err)
 	}
 }

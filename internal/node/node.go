@@ -47,6 +47,17 @@ const (
 	// (internal/rsm) when a replica finishes catching up: a snapshot plus
 	// replay tail moved the group's state to this process.
 	EventStateTransferred
+	// EventHealDetected is posted when a message arrives from a process
+	// this node had excluded from a group's view — the signal that a
+	// partition healed (the node probes removed members at a low rate to
+	// elicit exactly this). Groups never remerge (§5); the application
+	// reacts by forming a merged successor group and reconciling, see
+	// the rsm package.
+	EventHealDetected
+	// EventReconciled is posted by the replication layer when a
+	// reconciliation completes: the group's members converged to the
+	// merged state.
+	EventReconciled
 )
 
 // Event is a membership-service notification.
@@ -57,8 +68,12 @@ type Event struct {
 	Removed []types.ProcessID // EventViewChanged
 	Reason  string            // EventFormationFailed
 	Suspect types.ProcessID   // EventSuspected
-	Peer    types.ProcessID   // EventStateTransferred: the snapshot streamer
+	Peer    types.ProcessID   // EventStateTransferred: the streamer; EventHealDetected: the healed peer
 }
+
+// DefaultHealProbeEvery is the default cadence of heal probes to removed
+// members.
+const DefaultHealProbeEvery = 2 * time.Second
 
 // Options tunes the runtime.
 type Options struct {
@@ -66,6 +81,11 @@ type Options struct {
 	Clock simtime.Clock
 	// TickEvery overrides the engine tick cadence (default ω/2).
 	TickEvery time.Duration
+	// HealProbeEvery is how often the node probes members excluded from
+	// a view to detect a healed partition (any message arriving from a
+	// removed member — a probe or otherwise — raises EventHealDetected).
+	// Zero selects DefaultHealProbeEvery; negative disables probing.
+	HealProbeEvery time.Duration
 }
 
 // Node runs one Newtop process: engine + transport + timers.
@@ -88,7 +108,23 @@ type Node struct {
 	// Deliveries channel. Only the event loop touches the map.
 	sinks map[types.GroupID]*outbox[Delivery]
 
+	// Heal detection (only the event loop touches these): removed
+	// tracks, per group, the processes excluded from the view; healed
+	// marks (group, peer) pairs whose heal has already been reported so
+	// the event fires once. Probes to not-yet-healed removed members go
+	// out every probeEvery.
+	removed    map[types.GroupID]map[types.ProcessID]bool
+	healed     map[groupPeer]bool
+	probeEvery time.Duration
+	lastProbe  time.Time
+
 	closeOnce sync.Once
+}
+
+// groupPeer keys the heal-detection debounce.
+type groupPeer struct {
+	g types.GroupID
+	p types.ProcessID
 }
 
 // New creates and starts a node over the given endpoint. The endpoint's
@@ -106,6 +142,10 @@ func New(cfg core.Config, ep transport.Endpoint, opts Options) *Node {
 			tick = core.DefaultOmega / 2
 		}
 	}
+	probeEvery := opts.HealProbeEvery
+	if probeEvery == 0 {
+		probeEvery = DefaultHealProbeEvery
+	}
 	n := &Node{
 		eng:        eng,
 		ep:         ep,
@@ -117,6 +157,10 @@ func New(cfg core.Config, ep transport.Endpoint, opts Options) *Node {
 		deliveries: newOutbox[Delivery](),
 		events:     newOutbox[Event](),
 		sinks:      make(map[types.GroupID]*outbox[Delivery]),
+		removed:    make(map[types.GroupID]map[types.ProcessID]bool),
+		healed:     make(map[groupPeer]bool),
+		probeEvery: probeEvery,
+		lastProbe:  clk.Now(),
 	}
 	n.wg.Add(1)
 	go n.loop()
@@ -263,13 +307,20 @@ func (n *Node) CreateGroup(g types.GroupID, mode core.OrderMode, members []types
 	return err
 }
 
-// LeaveGroup departs group g.
+// LeaveGroup departs group g. Heal probing for the group stops: a
+// departed group's partitions are no longer this process's business.
 func (n *Node) LeaveGroup(g types.GroupID) error {
 	var err error
 	cerr := n.call(func() {
 		var effs []core.Effect
 		effs, err = n.eng.LeaveGroup(n.clk.Now(), g)
 		n.route(effs)
+		if err == nil {
+			for p := range n.removed[g] {
+				delete(n.healed, groupPeer{g, p})
+			}
+			delete(n.removed, g)
+		}
 	})
 	if cerr != nil {
 		return cerr
@@ -317,10 +368,48 @@ func (n *Node) loop() {
 			if !ok {
 				return
 			}
+			n.noteInbound(in.From, in.Msg.Group)
 			n.route(n.eng.HandleMessage(n.clk.Now(), in.From, in.Msg))
 		case <-timer:
-			n.route(n.eng.Tick(n.clk.Now()))
+			now := n.clk.Now()
+			n.route(n.eng.Tick(now))
+			n.maybeProbe(now)
 			timer = n.clk.After(n.tick)
+		}
+	}
+}
+
+// noteInbound watches for the heal signal: any message arriving from a
+// process this node excluded from the message's group. The engine will
+// discard the message itself (§5.2) — the arrival is the information.
+func (n *Node) noteInbound(from types.ProcessID, g types.GroupID) {
+	if rm := n.removed[g]; rm != nil && rm[from] {
+		key := groupPeer{g, from}
+		if !n.healed[key] {
+			n.healed[key] = true
+			n.events.push(Event{Kind: EventHealDetected, Group: g, Peer: from})
+		}
+	}
+}
+
+// maybeProbe sends a low-rate null to every removed member whose heal has
+// not been observed yet. A probe that gets through is discarded by the
+// receiving engine (its sender is removed there too) but trips the
+// receiver's noteInbound — each side learns of the heal from the other's
+// probes. A genuinely crashed member simply never answers; the cost is
+// one tiny message per probeEvery per removed member.
+func (n *Node) maybeProbe(now time.Time) {
+	if n.probeEvery < 0 || now.Sub(n.lastProbe) < n.probeEvery {
+		return
+	}
+	n.lastProbe = now
+	self := n.eng.Self()
+	for g, peers := range n.removed {
+		for p := range peers {
+			if n.healed[groupPeer{g, p}] {
+				continue
+			}
+			_ = n.ep.Send(p, &types.Message{Kind: types.KindNull, Group: g, Sender: self, Origin: self})
 		}
 	}
 }
@@ -348,9 +437,18 @@ func (n *Node) route(effs []core.Effect) {
 				n.deliveries.push(d)
 			}
 		case core.ViewEffect:
+			g := eff.View.Group
+			rm := n.removed[g]
+			if rm == nil {
+				rm = make(map[types.ProcessID]bool)
+				n.removed[g] = rm
+			}
+			for _, p := range eff.Removed {
+				rm[p] = true
+			}
 			n.events.push(Event{
 				Kind:    EventViewChanged,
-				Group:   eff.View.Group,
+				Group:   g,
 				View:    eff.View,
 				Removed: eff.Removed,
 			})

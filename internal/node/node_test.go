@@ -165,6 +165,93 @@ func TestNodeDynamicFormationAndLeave(t *testing.T) {
 	}
 }
 
+// TestNodeHealDetection: a partition splits a group; once each side has
+// excluded the other, the low-rate heal probes to removed members go
+// unanswered — until the network heals, when the first message through
+// (a probe from the far side) raises EventHealDetected on both sides.
+func TestNodeHealDetection(t *testing.T) {
+	net := memnet.New(memnet.WithSeed(4))
+	var nodes []*Node
+	for i := 1; i <= 4; i++ {
+		ep, err := net.Attach(types.ProcessID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, New(
+			core.Config{Self: types.ProcessID(i), Omega: 10 * time.Millisecond},
+			ep,
+			Options{HealProbeEvery: 30 * time.Millisecond},
+		))
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+		net.Close()
+	})
+	for _, n := range nodes {
+		if err := n.BootstrapGroup(1, core.Symmetric, members(4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	net.Partition([]types.ProcessID{1, 2}, []types.ProcessID{3, 4})
+
+	// Traffic accelerates suspicion; wait for disjoint stable views.
+	_ = nodes[0].Submit(1, []byte("side A"))
+	_ = nodes[2].Submit(1, []byte("side B"))
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		vA, errA := nodes[0].View(1)
+		vB, errB := nodes[2].View(1)
+		if errA == nil && errB == nil && !vA.Contains(3) && !vA.Contains(4) && !vB.Contains(1) && !vB.Contains(2) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sides never stabilised: %v / %v", vA, vB)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Probes are flowing into the cut; no heal may be reported yet.
+	drainUntil := time.After(100 * time.Millisecond)
+	for draining := true; draining; {
+		select {
+		case ev := <-nodes[0].Events():
+			if ev.Kind == EventHealDetected {
+				t.Fatalf("heal detected while still partitioned: %+v", ev)
+			}
+		case <-drainUntil:
+			draining = false
+		}
+	}
+
+	net.Heal()
+	for _, n := range []*Node{nodes[0], nodes[2]} {
+		healDeadline := time.After(20 * time.Second)
+		for {
+			select {
+			case ev := <-n.Events():
+				if ev.Kind == EventHealDetected {
+					if ev.Group != 1 {
+						t.Fatalf("heal event for wrong group: %+v", ev)
+					}
+					far := map[types.ProcessID]bool{3: true, 4: true}
+					if n.Self() >= 3 {
+						far = map[types.ProcessID]bool{1: true, 2: true}
+					}
+					if !far[ev.Peer] {
+						t.Fatalf("%v: healed peer %v is not from the far side", n.Self(), ev.Peer)
+					}
+					goto next
+				}
+			case <-healDeadline:
+				t.Fatalf("%v: EventHealDetected never posted", n.Self())
+			}
+		}
+	next:
+	}
+}
+
 func TestNodeSubmitUnknownGroup(t *testing.T) {
 	_, nodes := newTrio(t)
 	if err := nodes[0].Submit(99, []byte("x")); !errors.Is(err, core.ErrUnknownGroup) {

@@ -13,6 +13,13 @@ import (
 // small enough that command traffic interleaves with a long transfer.
 const DefaultChunkSize = 64 << 10
 
+// DefaultStreamWindow is the default bound on snapshot chunks in flight.
+// A streamer submits at most this many chunks ahead of its own delivery
+// stream: each chunk it sees come back through the total order releases
+// the next, so a large snapshot into a slow group occupies a bounded
+// amount of delivery-queue memory instead of flooding it.
+const DefaultStreamWindow = 4
+
 // CoreConfig configures a Core.
 type CoreConfig struct {
 	// Self is the local process.
@@ -26,6 +33,15 @@ type CoreConfig struct {
 	CatchUp bool
 	// ChunkSize overrides the snapshot chunk size (default 64 KiB).
 	ChunkSize int
+	// StreamWindow overrides the in-flight snapshot-chunk bound
+	// (default DefaultStreamWindow).
+	StreamWindow int
+	// Reconcile, when non-nil, starts the core in reconciliation mode:
+	// it exchanges digest summaries with the other members, merges
+	// diverged state under the configured policy, and only then starts
+	// applying (buffering commands in the meantime). The state machine
+	// must implement Differ.
+	Reconcile *ReconcileConfig
 }
 
 // Stats counts a core's replication activity.
@@ -40,6 +56,12 @@ type Stats struct {
 	SnapshotsIn   uint64 // snapshots installed
 	BadPayloads   uint64 // undecodable envelopes skipped
 	StaleFrames   uint64 // offers/chunks dropped as stale or foreign
+	Resyncs       uint64 // abandoned transfer rounds (streamer lost, stream stalled)
+	SummariesIn   uint64 // reconciliation digest summaries accepted
+	EntriesIn     uint64 // reconciliation entries frames accepted
+	MergedPuts    uint64 // keys overwritten by a reconciliation merge
+	MergedDels    uint64 // keys deleted by a reconciliation merge
+	Reconciles    uint64 // reconciliations completed
 }
 
 // Outcome reports what one Step did and what must be multicast next. The
@@ -52,8 +74,9 @@ type Outcome struct {
 	OwnCovered int             // own commands whose effect arrived via the snapshot instead of Apply
 	Barrier    uint64          // non-zero: own barrier id delivered by this step
 	CaughtUp   bool            // a state transfer completed this step
+	Reconciled bool            // a reconciliation completed this step
 	Streamer   types.ProcessID // valid with CaughtUp: who served the snapshot
-	ServedTo   types.ProcessID // non-zero: this core streamed a snapshot to that process
+	ServedTo   types.ProcessID // non-zero: this core started streaming a snapshot to that process
 }
 
 // bufferedCmd is a command delivered while this core was still syncing.
@@ -88,7 +111,25 @@ type Core struct {
 	// replica. A fresh EnvSync (higher round) reopens the election.
 	won map[types.ProcessID]uint64
 
+	// serves are this core's in-progress outbound snapshot streams, one
+	// per target, paced by the stream window: every own chunk seen back
+	// through the delivery stream releases the next.
+	serves map[types.ProcessID]*serveState
+
+	// recon is the in-flight reconciliation (nil otherwise).
+	recon *reconState
+
 	stats Stats
+}
+
+// serveState is one paced outbound snapshot stream.
+type serveState struct {
+	target  types.ProcessID
+	syncID  uint64
+	snap    []byte
+	off     int    // next byte offset
+	idx     uint64 // next chunk index
+	applied uint64 // streamer's apply count at the snapshot cut
 }
 
 // NewCore creates a core. The state machine must already be current unless
@@ -97,18 +138,28 @@ func NewCore(cfg CoreConfig, sm StateMachine) *Core {
 	if cfg.ChunkSize <= 0 {
 		cfg.ChunkSize = DefaultChunkSize
 	}
-	return &Core{
+	if cfg.StreamWindow <= 0 {
+		cfg.StreamWindow = DefaultStreamWindow
+	}
+	c := &Core{
 		cfg:      cfg,
 		sm:       sm,
-		caughtUp: !cfg.CatchUp,
+		caughtUp: !cfg.CatchUp && cfg.Reconcile == nil,
 		won:      make(map[types.ProcessID]uint64),
 	}
+	if cfg.Reconcile != nil {
+		c.recon = &reconState{cfg: *cfg.Reconcile}
+	}
+	return c
 }
 
 // Start returns the payloads to multicast when the core comes up: a
-// state-transfer request for catch-up cores, nothing for authoritative
-// ones.
+// state-transfer request for catch-up cores, a digest summary for
+// reconciling ones, nothing for authoritative ones.
 func (c *Core) Start() [][]byte {
+	if c.recon != nil {
+		return c.startRecon()
+	}
 	if c.caughtUp {
 		return nil
 	}
@@ -117,14 +168,16 @@ func (c *Core) Start() [][]byte {
 
 // Resync abandons the current transfer round and requests a fresh one —
 // runtimes call it when a transfer stalls (e.g. the elected streamer
-// crashed before completing the stream).
+// crashed before completing the stream). Reconciling cores do not resync;
+// their stall handling is PruneLive.
 func (c *Core) Resync() [][]byte {
-	if c.caughtUp {
+	if c.caughtUp || c.recon != nil {
 		return nil
 	}
 	c.streamer = types.NilProcess
 	c.assembly = nil
 	c.nextIdx = 0
+	c.stats.Resyncs++
 	return c.syncRequest()
 }
 
@@ -191,6 +244,10 @@ func (c *Core) Step(origin types.ProcessID, payload []byte) Outcome {
 		c.onOffer(origin, &env, &out)
 	case wire.EnvSnapChunk:
 		c.onChunk(origin, &env, &out)
+	case wire.EnvReconSummary:
+		c.onReconSummary(origin, &env, &out)
+	case wire.EnvReconEntries:
+		c.onReconEntries(origin, &env, &out)
 	}
 	return out
 }
@@ -220,6 +277,11 @@ func (c *Core) onSync(origin types.ProcessID, env *wire.Envelope, out *Outcome) 
 	// A fresh round from the newcomer reopens the streamer election.
 	if env.SyncID > c.won[origin] {
 		delete(c.won, origin)
+	}
+	// A newer round also obsoletes any stream we are serving that
+	// newcomer: it gave up on it (e.g. believes us crashed).
+	if s, ok := c.serves[origin]; ok && env.SyncID > s.syncID {
+		delete(c.serves, origin)
 	}
 	if origin == c.cfg.Self || !c.caughtUp {
 		return
@@ -262,32 +324,60 @@ func (c *Core) onOffer(origin types.ProcessID, env *wire.Envelope, out *Outcome)
 
 	if origin == c.cfg.Self && c.caughtUp {
 		// We won the election: snapshot synchronously — at this exact
-		// position of the stream — and ship it in chunks.
+		// position of the stream — then ship it in chunks, at most
+		// StreamWindow of them in flight at a time (each own chunk seen
+		// back through the total order releases the next, so a slow
+		// group bounds the stream instead of being flooded by it).
 		snap := c.sm.Snapshot()
 		c.stats.SnapshotBytes = uint64(len(snap))
 		c.stats.SnapshotsOut++
 		out.ServedTo = env.Target
-		for off, idx := 0, uint64(0); ; idx++ {
-			end := off + c.cfg.ChunkSize
-			if end > len(snap) {
-				end = len(snap)
-			}
-			chunk := wire.Envelope{
-				Kind: wire.EnvSnapChunk, Target: env.Target, SyncID: env.SyncID,
-				Index: idx, Last: end == len(snap), Applied: c.stats.Applied,
-				Data: snap[off:end],
-			}
-			out.Submits = append(out.Submits, wire.MarshalEnvelope(nil, &chunk))
-			c.stats.ChunksOut++
-			if end == len(snap) {
+		if c.serves == nil {
+			c.serves = make(map[types.ProcessID]*serveState)
+		}
+		s := &serveState{target: env.Target, syncID: env.SyncID, snap: snap, applied: c.stats.Applied}
+		c.serves[env.Target] = s
+		for i := 0; i < c.cfg.StreamWindow; i++ {
+			if !c.emitChunk(s, out) {
 				break
 			}
-			off = end
 		}
 	}
 }
 
+// emitChunk submits the serve's next snapshot chunk; it reports whether
+// more chunks remain afterwards, removing a completed serve.
+func (c *Core) emitChunk(s *serveState, out *Outcome) bool {
+	end := s.off + c.cfg.ChunkSize
+	if end > len(s.snap) {
+		end = len(s.snap)
+	}
+	last := end == len(s.snap)
+	chunk := wire.Envelope{
+		Kind: wire.EnvSnapChunk, Target: s.target, SyncID: s.syncID,
+		Index: s.idx, Last: last, Applied: s.applied,
+		Data: s.snap[s.off:end],
+	}
+	out.Submits = append(out.Submits, wire.MarshalEnvelope(nil, &chunk))
+	c.stats.ChunksOut++
+	s.idx++
+	s.off = end
+	if last {
+		delete(c.serves, s.target)
+		return false
+	}
+	return true
+}
+
 func (c *Core) onChunk(origin types.ProcessID, env *wire.Envelope, out *Outcome) {
+	if origin == c.cfg.Self {
+		// One of our own chunks came back through the total order: the
+		// flow-control ack that releases the next chunk of that stream.
+		if s, ok := c.serves[env.Target]; ok && env.SyncID == s.syncID {
+			c.emitChunk(s, out)
+		}
+		return
+	}
 	if env.Target != c.cfg.Self || c.caughtUp {
 		return // someone else's transfer
 	}
@@ -332,7 +422,10 @@ func (c *Core) onChunk(origin types.ProcessID, env *wire.Envelope, out *Outcome)
 // String implements fmt.Stringer (diagnostics).
 func (c *Core) String() string {
 	state := "caught-up"
-	if !c.caughtUp {
+	switch {
+	case c.recon != nil:
+		state = fmt.Sprintf("reconciling(%d classes, %d pending)", len(c.recon.classes), len(c.recon.pending))
+	case !c.caughtUp:
 		state = fmt.Sprintf("syncing(round %d, streamer %v)", c.syncID, c.streamer)
 	}
 	return fmt.Sprintf("rsm.Core{%v/%v %s applied=%d}", c.cfg.Self, c.cfg.Group, state, c.stats.Applied)

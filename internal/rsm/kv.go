@@ -3,6 +3,7 @@ package rsm
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"strings"
 	"sync"
@@ -21,13 +22,23 @@ import (
 // replica ignores the same bytes the same way). All methods are
 // goroutine-safe so applications may read a replica's KV directly, though
 // Replica.Read remains the way to get read-your-writes ordering.
+//
+// Beyond the plain map, KV keeps per-key revision metadata — the apply
+// index of each key's last write — and implements Differ, so diverged
+// copies (the two sides of a healed partition) can be reconciled by
+// digest diff and a revision-aware merge policy. Revisions are advisory:
+// they are excluded from Snapshot and from the digests, so they never
+// affect replica equality, and they reset on Restore (a transferred
+// snapshot starts a fresh local lineage).
 type KV struct {
-	mu sync.RWMutex
-	m  map[string]string
+	mu  sync.RWMutex
+	m   map[string]string
+	rev map[string]uint64 // apply index of each key's last write
+	seq uint64            // commands applied in this lineage
 }
 
 // NewKV creates an empty store.
-func NewKV() *KV { return &KV{m: make(map[string]string)} }
+func NewKV() *KV { return &KV{m: make(map[string]string), rev: make(map[string]uint64)} }
 
 // Apply implements StateMachine.
 func (kv *KV) Apply(cmd []byte) {
@@ -35,20 +46,24 @@ func (kv *KV) Apply(cmd []byte) {
 	verb, rest, _ := strings.Cut(s, " ")
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
+	kv.seq++
 	switch verb {
 	case "put":
 		if key, val, ok := strings.Cut(rest, " "); ok && key != "" {
 			kv.m[key] = val
+			kv.rev[key] = kv.seq
 		}
 	case "del":
 		if rest != "" {
 			delete(kv.m, rest)
+			delete(kv.rev, rest)
 		}
 	}
 }
 
 // Snapshot implements StateMachine: length-prefixed key/value pairs in
-// sorted key order — equal states encode to equal bytes.
+// sorted key order — equal states encode to equal bytes. Revision metadata
+// is deliberately excluded: it describes a local lineage, not the state.
 func (kv *KV) Snapshot() []byte {
 	kv.mu.RLock()
 	defer kv.mu.RUnlock()
@@ -95,6 +110,8 @@ func (kv *KV) Restore(snapshot []byte) error {
 	}
 	kv.mu.Lock()
 	kv.m = m
+	kv.rev = make(map[string]uint64)
+	kv.seq = 0
 	kv.mu.Unlock()
 	return nil
 }
@@ -107,11 +124,83 @@ func (kv *KV) Get(key string) (string, bool) {
 	return v, ok
 }
 
+// Rev returns the apply index of key's last write (0 if absent or if the
+// key arrived via Restore rather than Apply).
+func (kv *KV) Rev(key string) uint64 {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	return kv.rev[key]
+}
+
 // Len returns the number of keys.
 func (kv *KV) Len() int {
 	kv.mu.RLock()
 	defer kv.mu.RUnlock()
 	return len(kv.m)
+}
+
+// kvBucket maps a key to one of n diff buckets. DiffDigest and ExportDiff
+// must agree on this mapping, and so must every replica (the bucket count
+// travels implicitly as the summary's digest-vector length).
+func kvBucket(key string, n int) int {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum64() % uint64(n))
+}
+
+// DiffDigest implements Differ: an order-independent digest per bucket,
+// folding each present (key, value) pair — revisions excluded, matching
+// Snapshot. Two KVs differ in a bucket iff the bucket holds different
+// content (up to hash collision, which reconciliation tolerates by
+// falling back to a full exchange when no bucket differs).
+func (kv *KV) DiffDigest(nbuckets int) []uint64 {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	out := make([]uint64, nbuckets)
+	for k, v := range kv.m {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(k))
+		_, _ = h.Write([]byte{0})
+		_, _ = h.Write([]byte(v))
+		// XOR-fold: commutative, so map iteration order cannot leak in.
+		out[kvBucket(k, nbuckets)] ^= h.Sum64()
+	}
+	return out
+}
+
+// ExportDiff implements Differ: the entries of every marked bucket, sorted
+// by key, plus the current write cursor.
+func (kv *KV) ExportDiff(marked []bool) ([]Entry, uint64) {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	var out []Entry
+	for k, v := range kv.m {
+		if b := kvBucket(k, len(marked)); b < len(marked) && marked[b] {
+			out = append(out, Entry{Key: k, Value: v, Rev: kv.rev[k]})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, kv.seq
+}
+
+// ApplyMerge implements Differ: install the merge outcome — overwrite the
+// winning entries (value and revision), delete the losers, and advance the
+// write cursor to the maximum across the merged lineages so post-merge
+// writes get comparable revisions at every member.
+func (kv *KV) ApplyMerge(seq uint64, puts []Entry, dels []string) {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	for _, e := range puts {
+		kv.m[e.Key] = e.Value
+		kv.rev[e.Key] = e.Rev
+	}
+	for _, k := range dels {
+		delete(kv.m, k)
+		delete(kv.rev, k)
+	}
+	if seq > kv.seq {
+		kv.seq = seq
+	}
 }
 
 func kvUvarint(buf []byte) (uint64, []byte, error) {

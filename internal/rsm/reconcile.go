@@ -1,0 +1,511 @@
+package rsm
+
+import (
+	"sort"
+
+	"newtop/internal/types"
+	"newtop/internal/wire"
+)
+
+// Partition reconciliation.
+//
+// Newtop never remerges a partitioned group (§5): each side stabilises
+// into its own subgroup and keeps operating, so their replicated states
+// legitimately diverge. When the network heals, the application forms ONE
+// merged successor group (§5.3 — the same machinery that subsumes joins)
+// over the survivors of every side and runs this protocol inside it:
+//
+//  1. Every member multicasts an EnvReconSummary: its full-state digest
+//     and a per-bucket diff digest of its machine. Because summaries are
+//     ordinary totally ordered messages, every member sees the same
+//     summary sequence and partitions the group into the same
+//     digest-classes (members with equal digests — in practice, the
+//     former sides). While reconciling, a member buffers incoming
+//     commands instead of applying them, so the state it summarised stays
+//     frozen until the merge.
+//  2. One class ⇒ nothing diverged: reconciliation completes immediately
+//     (the fast path that makes Reconcile double as a cheap convergence
+//     check). Otherwise the buckets where classes disagree are computed —
+//     identically everywhere — and each class's proponent (the author of
+//     the class's first summary in the total order, elected exactly like
+//     a snapshot streamer) multicasts an EnvReconEntries frame with its
+//     entries for those buckets. The exchange is sublinear: only
+//     differing buckets travel, not whole states.
+//  3. When entries from every class have been delivered, each member runs
+//     the configured MergePolicy over the union of exchanged keys — same
+//     inputs, same policy, same outcome at every member — installs the
+//     winners via Differ.ApplyMerge, and replays its buffered commands.
+//     All members converge to digest-equal state; writes submitted during
+//     reconciliation are applied on top of the merged state, in the
+//     agreed order.
+//
+// A member that crashes mid-protocol is handled by PruneLive: once the
+// membership service excludes it from the view, its frames can never be
+// delivered (MD1), so expectations on it are dropped — the next live
+// author of its class takes over as proponent, or the class itself is
+// abandoned if no author survives.
+
+// DefaultBuckets is the default diff-digest bucket count.
+const DefaultBuckets = 64
+
+// Entry is one key's state in a reconciliation exchange. Rev is the apply
+// index of the key's last write in the exporting side's lineage.
+type Entry struct {
+	Key   string
+	Value string
+	Rev   uint64
+}
+
+// Differ is implemented by state machines that support digest-diff
+// reconciliation. KV is the reference implementation.
+type Differ interface {
+	StateMachine
+	// DiffDigest returns one order-independent digest per bucket; two
+	// machines disagree in a bucket iff the bucket's content differs.
+	DiffDigest(nbuckets int) []uint64
+	// ExportDiff returns the entries of every marked bucket, sorted by
+	// key, plus the machine's write cursor (apply index).
+	ExportDiff(marked []bool) ([]Entry, uint64)
+	// ApplyMerge installs a merge outcome: overwrite puts (value and
+	// revision), delete dels, and advance the write cursor to at least
+	// seq.
+	ApplyMerge(seq uint64, puts []Entry, dels []string)
+}
+
+// MergeCandidate is one digest-class's opinion about a key during a merge.
+type MergeCandidate struct {
+	// Side is the class's partition tag (from its proponent's summary).
+	Side uint64
+	// Rev is the apply index of the key's last write in that class's
+	// lineage; 0 when unknown.
+	Rev uint64
+	// Value is the class's value for the key (meaningless when !Present).
+	Value string
+	// Present reports whether the class holds the key at all.
+	Present bool
+}
+
+// MergePolicy decides, key by key, which of the diverged sides' values
+// survives a reconciliation merge. Merge is called with one candidate per
+// digest-class, sorted by Side then class digest, and must be a pure
+// function of its arguments — every member runs it on identical inputs
+// and must reach the identical outcome.
+type MergePolicy interface {
+	// Merge returns the surviving value, or present=false to delete the
+	// key everywhere.
+	Merge(key string, cands []MergeCandidate) (value string, present bool)
+}
+
+// lastWriterWins picks the present candidate with the highest revision
+// (ties broken by side tag, then value, for determinism).
+type lastWriterWins struct{}
+
+// LastWriterWins returns the default merge policy: the write with the
+// highest apply index wins. Apply indices from diverged lineages share the
+// common prefix, so the comparison is the natural "most writes since the
+// split" heuristic; note that deletions carry no tombstone, so a deleted
+// key loses to any surviving write.
+func LastWriterWins() MergePolicy { return lastWriterWins{} }
+
+func (lastWriterWins) Merge(_ string, cands []MergeCandidate) (string, bool) {
+	best := -1
+	for i, c := range cands {
+		if !c.Present {
+			continue
+		}
+		if best < 0 {
+			best = i
+			continue
+		}
+		b := cands[best]
+		if c.Rev > b.Rev || (c.Rev == b.Rev && (c.Side > b.Side || (c.Side == b.Side && c.Value > b.Value))) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return "", false
+	}
+	return cands[best].Value, true
+}
+
+// preferSide resolves every conflict in favour of one partition tag.
+type preferSide struct {
+	side uint64
+}
+
+// PreferSide returns the partition-priority merge policy: the class
+// tagged with side dictates the outcome for every exchanged key —
+// including deletions (a key the preferred side lacks is deleted
+// everywhere). If no class carries the tag (e.g. the preferred side did
+// not survive), the policy falls back to LastWriterWins.
+func PreferSide(side uint64) MergePolicy { return preferSide{side: side} }
+
+func (p preferSide) Merge(key string, cands []MergeCandidate) (string, bool) {
+	for _, c := range cands {
+		if c.Side == p.side {
+			return c.Value, c.Present
+		}
+	}
+	return lastWriterWins{}.Merge(key, cands)
+}
+
+// ReconcileConfig configures a Core for partition reconciliation.
+type ReconcileConfig struct {
+	// Policy merges conflicting keys. Required.
+	Policy MergePolicy
+	// Expect lists the merged group's members; reconciliation proceeds
+	// once a summary from each has been delivered (or the member has
+	// been excluded from the view — see PruneLive).
+	Expect []types.ProcessID
+	// Side is this member's partition tag (e.g. the lowest process ID of
+	// its pre-heal subgroup). 0 selects the member's own process ID.
+	Side uint64
+	// Buckets is the diff-digest bucket count (0 → DefaultBuckets).
+	// Every member of the merged group must use the same count.
+	Buckets int
+}
+
+// reconClass is one digest-class: the members whose summaries carried the
+// same full-state digest (in practice, one pre-heal side).
+type reconClass struct {
+	digest      uint64
+	side        uint64
+	buckets     []uint64
+	authors     []types.ProcessID // summary authors in delivery order
+	entries     []Entry
+	seq         uint64
+	haveEntries bool
+}
+
+// earlyEntries is an entries frame delivered before this member's summary
+// phase completed. That cannot happen through the delivery path alone
+// (the proponent only proposes after seeing every summary, and the total
+// order shows those summaries to everyone first), but the summary phase
+// can also complete via PruneLive — a *local* timer: the proponent's
+// timer may fire before ours, so its entries frame may outrun our own
+// prune. Stashed frames replay, in delivery order, when the phase
+// completes here.
+type earlyEntries struct {
+	digest  uint64
+	seq     uint64
+	entries []Entry
+}
+
+// reconState is a Core's in-flight reconciliation.
+type reconState struct {
+	cfg        ReconcileConfig
+	selfDigest uint64
+	pending    map[types.ProcessID]bool // members whose summary is awaited
+	classes    []*reconClass            // first-appearance order
+	diff       []bool                   // marked buckets, valid once summaries complete
+	done       bool                     // summaries complete
+	sentOwn    bool                     // this member already proposed its class's entries
+	early      []earlyEntries           // entries frames delivered before done
+}
+
+// Reconciling reports whether a reconciliation is still in flight.
+func (c *Core) Reconciling() bool { return c.recon != nil }
+
+// startRecon builds the reconcile state and returns the summary frame to
+// multicast. Called from Start.
+func (c *Core) startRecon() [][]byte {
+	r := c.recon
+	if r.cfg.Buckets <= 0 {
+		r.cfg.Buckets = DefaultBuckets
+	}
+	if r.cfg.Side == 0 {
+		r.cfg.Side = uint64(c.cfg.Self)
+	}
+	r.pending = make(map[types.ProcessID]bool, len(r.cfg.Expect))
+	for _, p := range r.cfg.Expect {
+		r.pending[p] = true
+	}
+	r.selfDigest = c.Digest()
+	return [][]byte{wire.MarshalEnvelope(nil, &wire.Envelope{
+		Kind:    wire.EnvReconSummary,
+		Side:    r.cfg.Side,
+		Digest:  r.selfDigest,
+		Digests: c.differ().DiffDigest(r.cfg.Buckets),
+	})}
+}
+
+// differ returns the state machine's Differ half. Replicate validates the
+// assertion up front; the sim harness attaches KVs, which always qualify.
+func (c *Core) differ() Differ { return c.sm.(Differ) }
+
+// onReconSummary handles one member's digest summary.
+func (c *Core) onReconSummary(origin types.ProcessID, env *wire.Envelope, out *Outcome) {
+	r := c.recon
+	if r == nil || r.done || !r.pending[origin] {
+		c.stats.StaleFrames++
+		return
+	}
+	delete(r.pending, origin)
+	c.stats.SummariesIn++
+	cl := r.class(env.Digest)
+	if cl == nil {
+		cl = &reconClass{digest: env.Digest, side: env.Side, buckets: append([]uint64(nil), env.Digests...)}
+		r.classes = append(r.classes, cl)
+	}
+	cl.authors = append(cl.authors, origin)
+	if len(r.pending) == 0 {
+		c.summariesComplete(out)
+	}
+}
+
+func (r *reconState) class(digest uint64) *reconClass {
+	for _, cl := range r.classes {
+		if cl.digest == digest {
+			return cl
+		}
+	}
+	return nil
+}
+
+// summariesComplete runs once every expected summary is in (or pruned):
+// single class ⇒ done; otherwise compute the diff and let proponents
+// propose their entries.
+func (c *Core) summariesComplete(out *Outcome) {
+	r := c.recon
+	r.done = true
+	if len(r.classes) <= 1 {
+		c.finishRecon(out)
+		return
+	}
+	n := r.cfg.Buckets
+	r.diff = make([]bool, n)
+	any := false
+	for b := 0; b < n; b++ {
+		for _, cl := range r.classes {
+			if len(cl.buckets) != n || cl.buckets[b] != r.classes[0].buckets[b] {
+				r.diff[b] = true
+				any = true
+				break
+			}
+		}
+	}
+	if !any {
+		// Distinct full digests but bucket-identical vectors: a digest
+		// collision. Exchange everything rather than merging nothing.
+		for b := range r.diff {
+			r.diff[b] = true
+		}
+	}
+	c.maybeProposeEntries(out)
+	// Replay proposals that outran this member's (prune-driven) summary
+	// completion, in their delivery order.
+	for _, e := range r.early {
+		c.acceptEntries(e.digest, e.seq, e.entries)
+	}
+	r.early = nil
+	c.tryMerge(out)
+}
+
+// maybeProposeEntries multicasts this member's class entries if it is the
+// class's acting proponent: the first author whose exclusion has not been
+// observed. The frozen machine (commands buffer during reconciliation)
+// makes the export identical no matter when it happens.
+func (c *Core) maybeProposeEntries(out *Outcome) {
+	r := c.recon
+	if !r.done || len(r.classes) <= 1 || r.sentOwn {
+		return
+	}
+	cl := r.class(r.selfDigest)
+	if cl == nil || cl.haveEntries || len(cl.authors) == 0 || cl.authors[0] != c.cfg.Self {
+		return
+	}
+	entries, seq := c.differ().ExportDiff(r.diff)
+	wes := make([]wire.ReconEntry, len(entries))
+	for i, e := range entries {
+		wes[i] = wire.ReconEntry{Key: []byte(e.Key), Value: []byte(e.Value), Rev: e.Rev}
+	}
+	r.sentOwn = true
+	out.Submits = append(out.Submits, wire.MarshalEnvelope(nil, &wire.Envelope{
+		Kind: wire.EnvReconEntries, Digest: cl.digest, Applied: seq, Entries: wes,
+	}))
+}
+
+// onReconEntries handles a class proponent's merge proposal. The first
+// frame per class in the total order wins; duplicates (a takeover racing
+// the original proponent) are dropped identically everywhere. A frame
+// that outruns this member's own (prune-driven) summary completion is
+// stashed and replayed at completion rather than lost — dropping it
+// would deadlock the merge, since proposals are one-shot.
+func (c *Core) onReconEntries(_ types.ProcessID, env *wire.Envelope, out *Outcome) {
+	r := c.recon
+	if r == nil {
+		c.stats.StaleFrames++
+		return
+	}
+	// Copy out of the delivery buffer: the merge happens later.
+	entries := make([]Entry, len(env.Entries))
+	for i, e := range env.Entries {
+		entries[i] = Entry{Key: string(e.Key), Value: string(e.Value), Rev: e.Rev}
+	}
+	if !r.done {
+		r.early = append(r.early, earlyEntries{digest: env.Digest, seq: env.Applied, entries: entries})
+		return
+	}
+	c.acceptEntries(env.Digest, env.Applied, entries)
+	c.tryMerge(out)
+}
+
+// acceptEntries records one class's proposal (first per class wins).
+func (c *Core) acceptEntries(digest, seq uint64, entries []Entry) {
+	cl := c.recon.class(digest)
+	if cl == nil || cl.haveEntries {
+		c.stats.StaleFrames++
+		return
+	}
+	cl.entries = entries
+	cl.seq = seq
+	cl.haveEntries = true
+	c.stats.EntriesIn++
+}
+
+// tryMerge merges and finishes once every class's entries are in.
+func (c *Core) tryMerge(out *Outcome) {
+	r := c.recon
+	for _, cl := range r.classes {
+		if !cl.haveEntries {
+			return
+		}
+	}
+	c.performMerge(out)
+	c.finishRecon(out)
+}
+
+// performMerge runs the policy over the union of exchanged keys and
+// installs the outcome. Everything here is a pure function of the
+// delivered summaries and entries, so every member computes byte-identical
+// results.
+func (c *Core) performMerge(out *Outcome) {
+	r := c.recon
+	// Deterministic class order for candidate lists: side, then digest.
+	classes := append([]*reconClass(nil), r.classes...)
+	sort.Slice(classes, func(i, j int) bool {
+		if classes[i].side != classes[j].side {
+			return classes[i].side < classes[j].side
+		}
+		return classes[i].digest < classes[j].digest
+	})
+	byKey := make([]map[string]Entry, len(classes))
+	var union []string
+	seen := make(map[string]bool)
+	var maxSeq uint64
+	for i, cl := range classes {
+		byKey[i] = make(map[string]Entry, len(cl.entries))
+		for _, e := range cl.entries {
+			byKey[i][e.Key] = e
+			if !seen[e.Key] {
+				seen[e.Key] = true
+				union = append(union, e.Key)
+			}
+		}
+		if cl.seq > maxSeq {
+			maxSeq = cl.seq
+		}
+	}
+	sort.Strings(union)
+
+	var puts []Entry
+	var dels []string
+	cands := make([]MergeCandidate, len(classes))
+	for _, k := range union {
+		var maxRev uint64
+		for i, cl := range classes {
+			e, ok := byKey[i][k]
+			cands[i] = MergeCandidate{Side: cl.side, Rev: e.Rev, Value: e.Value, Present: ok}
+			if e.Rev > maxRev {
+				maxRev = e.Rev
+			}
+		}
+		v, present := r.cfg.Policy.Merge(k, cands)
+		if present {
+			// The winner's revision if the value matches a candidate,
+			// else the max exchanged revision (synthesised values).
+			rev := maxRev
+			for i := range cands {
+				if cands[i].Present && cands[i].Value == v {
+					rev = cands[i].Rev
+					break
+				}
+			}
+			puts = append(puts, Entry{Key: k, Value: v, Rev: rev})
+		} else {
+			dels = append(dels, k)
+		}
+	}
+	c.differ().ApplyMerge(maxSeq, puts, dels)
+	c.stats.MergedPuts += uint64(len(puts))
+	c.stats.MergedDels += uint64(len(dels))
+}
+
+// finishRecon completes reconciliation: the machine is authoritative
+// again, and the commands buffered since the summary replay on top of the
+// merged state in the agreed order.
+func (c *Core) finishRecon(out *Outcome) {
+	c.recon = nil
+	c.caughtUp = true
+	c.stats.Reconciles++
+	out.Reconciled = true
+	for _, b := range c.buf {
+		c.apply(b.origin, b.cmd, out)
+		c.stats.Replayed++
+	}
+	c.buf = nil
+}
+
+// PruneLive drops reconciliation expectations on members no longer in
+// live (the group's current view). A member excluded from the view can
+// never have a frame delivered again (MD1), so waiting on it is futile:
+// pending summaries are abandoned, a dead proponent's duty passes to the
+// next live author of its class, and a class with no live authors and no
+// delivered entries is dropped. Runtimes call this from their stall
+// timers; the outcome's Submits must be multicast like any Step outcome.
+func (c *Core) PruneLive(live []types.ProcessID) Outcome {
+	var out Outcome
+	r := c.recon
+	if r == nil {
+		return out
+	}
+	alive := make(map[types.ProcessID]bool, len(live))
+	for _, p := range live {
+		alive[p] = true
+	}
+	for p := range r.pending {
+		if !alive[p] {
+			delete(r.pending, p)
+		}
+	}
+	if !r.done {
+		if len(r.pending) == 0 {
+			c.summariesComplete(&out)
+		}
+		return out
+	}
+	// Drop classes that can never produce entries; promote takeovers.
+	kept := r.classes[:0]
+	for _, cl := range r.classes {
+		la := cl.authors[:0]
+		for _, a := range cl.authors {
+			if alive[a] {
+				la = append(la, a)
+			}
+		}
+		cl.authors = la
+		if cl.haveEntries || len(cl.authors) > 0 {
+			kept = append(kept, cl)
+		}
+	}
+	r.classes = kept
+	if len(r.classes) <= 1 {
+		// Every other class died before proposing: nothing left to merge
+		// (the surviving class is necessarily this member's own).
+		c.finishRecon(&out)
+		return out
+	}
+	c.maybeProposeEntries(&out)
+	c.tryMerge(&out)
+	return out
+}

@@ -1,0 +1,453 @@
+package rsm
+
+import (
+	"fmt"
+	"testing"
+
+	"newtop/internal/types"
+	"newtop/internal/wire"
+)
+
+// applyAll builds a KV by applying commands in order (revisions track the
+// apply index, so command order controls LWW outcomes).
+func applyAll(kv *KV, cmds ...string) *KV {
+	for _, c := range cmds {
+		kv.Apply([]byte(c))
+	}
+	return kv
+}
+
+// addReconCore attaches a reconciling core for p over the given machine.
+func (b *bus) addReconCore(p types.ProcessID, kv *KV, policy MergePolicy, expect []types.ProcessID, side uint64) *Core {
+	c := NewCore(CoreConfig{
+		Self: p, Group: 1,
+		Reconcile: &ReconcileConfig{Policy: policy, Expect: expect, Side: side, Buckets: 16},
+	}, kv)
+	b.cores[p] = c
+	b.kvs[p] = kv
+	for _, pl := range c.Start() {
+		b.submit(p, pl)
+	}
+	return c
+}
+
+// divergedKVs builds the canonical two-side divergence: a common prefix,
+// side A's partition-era writes (shared key written early), side B's
+// (shared key written late, so its revision is higher). Returns one KV
+// per process: P1,P2 carry side A's state, P3,P4 side B's.
+func divergedKVs() map[types.ProcessID]*KV {
+	common := []string{"put base:1 c1", "put base:2 c2", "put victim gone-soon"}
+	sideA := append(append([]string{}, common...),
+		"put shared A", "del victim", "put a:1 va1", "put a:2 va2")
+	sideB := append(append([]string{}, common...),
+		"put b:1 vb1", "put b:2 vb2", "put b:3 vb3", "put shared B")
+	return map[types.ProcessID]*KV{
+		1: applyAll(NewKV(), sideA...),
+		2: applyAll(NewKV(), sideA...),
+		3: applyAll(NewKV(), sideB...),
+		4: applyAll(NewKV(), sideB...),
+	}
+}
+
+// TestCoreReconcileLastWriterWins is the heart of the merge protocol: two
+// diverged classes exchange summaries and diff entries, and every member
+// converges to the LWW merge — side B's later shared write wins, side A's
+// deletion (no tombstone) is resurrected, both sides' unique keys
+// survive.
+func TestCoreReconcileLastWriterWins(t *testing.T) {
+	all := []types.ProcessID{1, 2, 3, 4}
+	kvs := divergedKVs()
+	b := newBus(t, all...)
+	var cores []*Core
+	for _, p := range all {
+		side := uint64(1)
+		if p >= 3 {
+			side = 3
+		}
+		cores = append(cores, b.addReconCore(p, kvs[p], LastWriterWins(), all, side))
+	}
+	b.run()
+
+	for i, c := range cores {
+		if !c.CaughtUp() {
+			t.Fatalf("P%d never reconciled: %v", i+1, c)
+		}
+		st := c.Stats()
+		if st.Reconciles != 1 || st.SummariesIn != 4 || st.EntriesIn != 2 {
+			t.Fatalf("P%d stats: %+v", i+1, st)
+		}
+	}
+	sameDigests(t, b, 1, 2, 3, 4)
+	kv := kvs[1]
+	for k, want := range map[string]string{
+		"base:1": "c1", "shared": "B",
+		"a:1": "va1", "a:2": "va2",
+		"b:1": "vb1", "b:2": "vb2", "b:3": "vb3",
+		// Side A deleted victim but B's copy survives under LWW (no
+		// tombstones) — the documented resurrection semantics.
+		"victim": "gone-soon",
+	} {
+		if v, ok := kv.Get(k); !ok || v != want {
+			t.Errorf("%s = %q %v, want %q", k, v, ok, want)
+		}
+	}
+}
+
+// TestCoreReconcileSublinearExchange pins the DiffDigest point: keys in
+// buckets both sides agree on are never exchanged.
+func TestCoreReconcileSublinearExchange(t *testing.T) {
+	// A large identical prefix plus one diverged key: the entries frames
+	// must carry only the diverged key's bucket, not the whole state.
+	var common []string
+	for i := 0; i < 200; i++ {
+		common = append(common, fmt.Sprintf("put common:%03d v%d", i, i))
+	}
+	a := applyAll(NewKV(), append(append([]string{}, common...), "put only a")...)
+	bb := applyAll(NewKV(), append(append([]string{}, common...), "put only b")...)
+
+	members := []types.ProcessID{1, 2}
+	b := newBus(t, members...)
+	b.addReconCore(1, a, LastWriterWins(), members, 1)
+	b.addReconCore(2, bb, LastWriterWins(), members, 2)
+
+	var exchanged int
+	b.drop = func(f frame) bool {
+		if wire.IsEnvelope(f.payload) {
+			if env, err := wire.UnmarshalEnvelope(f.payload); err == nil && env.Kind == wire.EnvReconEntries {
+				exchanged += len(env.Entries)
+			}
+		}
+		return false
+	}
+	b.run()
+	sameDigests(t, b, 1, 2)
+	if v, _ := a.Get("only"); v != "b" && v != "a" {
+		t.Fatalf("diverged key lost: %q", v)
+	}
+	// 201 keys over 16 buckets ≈ 13 keys/bucket; both proponents export
+	// the one diverged bucket each. Anything near the full state means
+	// the diff is not sublinear.
+	if exchanged == 0 || exchanged > 80 {
+		t.Fatalf("entries exchanged = %d, want a small fraction of 201 keys", exchanged)
+	}
+}
+
+// TestCoreReconcileFastPath: equal states form a single digest-class and
+// reconciliation completes right after the summaries — no entries, no
+// merge. This is what lets Reconcile double as a convergence check.
+func TestCoreReconcileFastPath(t *testing.T) {
+	members := []types.ProcessID{1, 2, 3}
+	b := newBus(t, members...)
+	for _, p := range members {
+		b.addReconCore(p, applyAll(NewKV(), "put x 1", "put y 2"), LastWriterWins(), members, uint64(p))
+	}
+	b.run()
+	for _, p := range members {
+		c := b.cores[p]
+		if !c.CaughtUp() {
+			t.Fatalf("P%v never reconciled", p)
+		}
+		st := c.Stats()
+		if st.EntriesIn != 0 || st.MergedPuts != 0 || st.MergedDels != 0 {
+			t.Fatalf("fast path exchanged entries: %+v", st)
+		}
+	}
+	sameDigests(t, b, 1, 2, 3)
+}
+
+// TestCoreReconcilePreferSide: partition priority dictates the outcome for
+// every exchanged key — the losing side's partition-era writes are wiped,
+// its deletions honoured.
+func TestCoreReconcilePreferSide(t *testing.T) {
+	all := []types.ProcessID{1, 2, 3, 4}
+	kvs := divergedKVs()
+	b := newBus(t, all...)
+	for _, p := range all {
+		side := uint64(1)
+		if p >= 3 {
+			side = 3
+		}
+		b.addReconCore(p, kvs[p], PreferSide(1), all, side)
+	}
+	b.run()
+	sameDigests(t, b, 1, 2, 3, 4)
+	kv := kvs[3] // check a side-B member: it must now hold side A's view
+	for k, want := range map[string]string{"shared": "A", "a:1": "va1", "base:1": "c1"} {
+		if v, ok := kv.Get(k); !ok || v != want {
+			t.Errorf("%s = %q %v, want %q", k, v, ok, want)
+		}
+	}
+	for _, k := range []string{"b:1", "b:2", "b:3", "victim"} {
+		if v, ok := kv.Get(k); ok {
+			t.Errorf("%s = %q survived, but the preferred side lacks it", k, v)
+		}
+	}
+}
+
+// TestCoreReconcileBufferedReplay: commands delivered during a
+// reconciliation are buffered — the summarised state stays frozen — and
+// replay on top of the merged state in the agreed order.
+func TestCoreReconcileBufferedReplay(t *testing.T) {
+	all := []types.ProcessID{1, 2, 3, 4}
+	kvs := divergedKVs()
+	b := newBus(t, all...)
+	for _, p := range all {
+		side := uint64(1)
+		if p >= 3 {
+			side = 3
+		}
+		b.addReconCore(p, kvs[p], LastWriterWins(), all, side)
+	}
+	// Ordered after the Start summaries already queued, so these arrive
+	// mid-protocol at every member.
+	b.submit(2, EncodeCommand([]byte("put during reconcile")))
+	b.submit(3, EncodeCommand([]byte("put shared fresh-write")))
+	b.run()
+	sameDigests(t, b, 1, 2, 3, 4)
+	for _, p := range all {
+		st := b.cores[p].Stats()
+		if st.Buffered != 2 || st.Replayed != 2 {
+			t.Fatalf("P%v buffered/replayed = %d/%d, want 2/2", p, st.Buffered, st.Replayed)
+		}
+	}
+	if v, _ := kvs[1].Get("during"); v != "reconcile" {
+		t.Fatalf("buffered command lost: %q", v)
+	}
+	// The fresh write is ordered before the merge point but semantically
+	// newer than both partition-era values: replay-over-merge keeps it.
+	if v, _ := kvs[4].Get("shared"); v != "fresh-write" {
+		t.Fatalf("shared = %q, want the in-flight write to win", v)
+	}
+}
+
+// TestCorePruneLive: a participant that dies before summarising (or
+// before proposing its class's entries) must not wedge the protocol —
+// pruning the view's losses completes the round.
+func TestCorePruneLive(t *testing.T) {
+	// Self P1 (side A); P2 shares the class; P9 is expected but dead.
+	a := applyAll(NewKV(), "put x A")
+	c := NewCore(CoreConfig{Self: 1, Group: 1,
+		Reconcile: &ReconcileConfig{Policy: LastWriterWins(), Expect: []types.ProcessID{1, 2, 9}, Side: 1, Buckets: 8},
+	}, a)
+	start := c.Start()
+	if len(start) != 1 {
+		t.Fatalf("start frames = %d", len(start))
+	}
+	// Own summary and P2's identical summary arrive; P9's never will.
+	sum := func(side uint64, kv *KV) []byte {
+		probe := NewCore(CoreConfig{Self: 2, Group: 1,
+			Reconcile: &ReconcileConfig{Policy: LastWriterWins(), Expect: []types.ProcessID{2}, Side: side, Buckets: 8},
+		}, kv)
+		return probe.Start()[0]
+	}
+	c.Step(1, start[0])
+	c.Step(2, sum(1, applyAll(NewKV(), "put x A")))
+	if c.CaughtUp() {
+		t.Fatal("completed while a summary is still pending")
+	}
+	// The view excluded P9: prune completes the summaries; one class
+	// remains, so reconciliation finishes without a merge.
+	out := c.PruneLive([]types.ProcessID{1, 2})
+	if !out.Reconciled || !c.CaughtUp() {
+		t.Fatalf("prune did not complete the round: %+v", out)
+	}
+	if st := c.Stats(); st.Reconciles != 1 || st.MergedPuts != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestCorePruneProponentTakeover: the class proponent dies after its
+// summary but before its entries; the class's next live author must take
+// over and the merge must still complete.
+func TestCorePruneProponentTakeover(t *testing.T) {
+	// Self P2 shares a class with P9 (dead), whose summary arrives first
+	// — P9 is the elected proponent. P3 is its own class.
+	mine := applyAll(NewKV(), "put x A")
+	c := NewCore(CoreConfig{Self: 2, Group: 1,
+		Reconcile: &ReconcileConfig{Policy: LastWriterWins(), Expect: []types.ProcessID{2, 3, 9}, Side: 1, Buckets: 8},
+	}, mine)
+	c.Start()
+	mkSum := func(self types.ProcessID, side uint64, kv *KV) []byte {
+		probe := NewCore(CoreConfig{Self: self, Group: 1,
+			Reconcile: &ReconcileConfig{Policy: LastWriterWins(), Expect: []types.ProcessID{self}, Side: side, Buckets: 8},
+		}, kv)
+		return probe.Start()[0]
+	}
+	theirKV := applyAll(NewKV(), "put x B", "put y B")
+	c.Step(9, mkSum(9, 1, applyAll(NewKV(), "put x A"))) // dead proponent's summary
+	c.Step(2, mkSum(2, 1, mine))
+	out := c.Step(3, mkSum(3, 3, theirKV))
+	if len(out.Submits) != 0 {
+		t.Fatal("P2 proposed entries while P9 is still the proponent")
+	}
+	// P9 excluded: P2 becomes its class's acting proponent.
+	out = c.PruneLive([]types.ProcessID{2, 3})
+	if len(out.Submits) != 1 {
+		t.Fatalf("takeover produced %d submits, want the entries frame", len(out.Submits))
+	}
+	env, err := wire.UnmarshalEnvelope(out.Submits[0])
+	if err != nil || env.Kind != wire.EnvReconEntries {
+		t.Fatalf("takeover frame: %v %v", env.Kind, err)
+	}
+	// Deliver our own entries, then P3's class's (crafted directly from
+	// its machine, as its own core would): the merge completes.
+	c.Step(2, out.Submits[0])
+	entries, seq := theirKV.ExportDiff(allBuckets(8))
+	wes := make([]wire.ReconEntry, len(entries))
+	for i, e := range entries {
+		wes[i] = wire.ReconEntry{Key: []byte(e.Key), Value: []byte(e.Value), Rev: e.Rev}
+	}
+	cls := probeDigest(theirKV)
+	out = c.Step(3, wire.MarshalEnvelope(nil, &wire.Envelope{
+		Kind: wire.EnvReconEntries, Digest: cls, Applied: seq, Entries: wes,
+	}))
+	if !out.Reconciled || !c.CaughtUp() {
+		t.Fatalf("merge never completed: %v", c)
+	}
+	if v, _ := mine.Get("y"); v != "B" {
+		t.Fatalf("merged key missing: y = %q", v)
+	}
+}
+
+// TestCoreReconcileEntriesOutrunPrune pins the liveness fix for the
+// crash path: summary completion via PruneLive is driven by LOCAL timers,
+// so one member's entries proposal can be delivered at another member
+// before that member's own prune completes its summary phase. The frame
+// must be stashed and replayed — dropping it deadlocks the merge, since
+// proposals are one-shot.
+func TestCoreReconcileEntriesOutrunPrune(t *testing.T) {
+	// P1,P2 share class A; P3 is class B; P9 is expected but dead, so
+	// every member needs a prune to leave the summary phase.
+	expect := []types.ProcessID{1, 2, 3, 9}
+	live := []types.ProcessID{1, 2, 3}
+	b := newBus(t, 1, 2, 3)
+	b.addReconCore(1, applyAll(NewKV(), "put x A"), LastWriterWins(), expect, 1)
+	b.addReconCore(2, applyAll(NewKV(), "put x A"), LastWriterWins(), expect, 1)
+	b.addReconCore(3, applyAll(NewKV(), "put x B", "put y B"), LastWriterWins(), expect, 3)
+	b.run() // all summaries delivered; everyone still waits on P9
+
+	// P1's prune fires first: it completes summaries and proposes class
+	// A's entries, which are delivered everywhere while P2 and P3 are
+	// still in their summary phase.
+	out := b.cores[1].PruneLive(live)
+	if len(out.Submits) != 1 {
+		t.Fatalf("P1 prune produced %d submits, want its entries frame", len(out.Submits))
+	}
+	for _, pl := range out.Submits {
+		b.submit(1, pl)
+	}
+	b.run()
+
+	// P3's prune: summaries complete, its stashed copy of A's entries
+	// replays, and it proposes class B's.
+	out = b.cores[3].PruneLive(live)
+	for _, pl := range out.Submits {
+		b.submit(3, pl)
+	}
+	b.run() // B's entries delivered: P1 and P3 merge and finish
+
+	if !b.cores[1].CaughtUp() || !b.cores[3].CaughtUp() {
+		t.Fatalf("P1/P3 not reconciled: %v / %v", b.cores[1], b.cores[3])
+	}
+	if b.cores[2].CaughtUp() {
+		t.Fatal("P2 finished before its own prune — phase accounting broken")
+	}
+	// P2's prune last: both stashed proposals replay and it converges.
+	b.cores[2].PruneLive(live)
+	if !b.cores[2].CaughtUp() {
+		t.Fatalf("P2 deadlocked despite stashed entries: %v", b.cores[2])
+	}
+	sameDigests(t, b, 1, 2, 3)
+	for _, p := range live {
+		if v, _ := b.kvs[p].Get("y"); v != "B" {
+			t.Fatalf("P%v missing merged key: y = %q", p, v)
+		}
+	}
+}
+
+// allBuckets marks every bucket (full exchange).
+func allBuckets(n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = true
+	}
+	return out
+}
+
+// probeDigest returns the digest-class identifier of a machine, the same
+// way a summarising core computes it.
+func probeDigest(kv *KV) uint64 {
+	c := NewCore(CoreConfig{Self: 99, Group: 1}, kv)
+	return c.Digest()
+}
+
+// TestCoreStreamWindow pins the snapshot flow-control contract: a
+// streamer submits at most StreamWindow chunks up front and releases one
+// more per own chunk observed back through the total order, so a slow
+// group caps the streamer's in-flight footprint.
+func TestCoreStreamWindow(t *testing.T) {
+	kv := NewKV()
+	for i := 0; i < 64; i++ {
+		kv.Apply([]byte(fmt.Sprintf("put k%02d %d", i, i)))
+	}
+	c := NewCore(CoreConfig{Self: 1, Group: 1, ChunkSize: 64, StreamWindow: 2}, kv)
+	env := func(e wire.Envelope) []byte { return wire.MarshalEnvelope(nil, &e) }
+
+	// P9 asks for state; our offer wins the election.
+	out := c.Step(9, env(wire.Envelope{Kind: wire.EnvSync, SyncID: 1}))
+	if len(out.Submits) != 1 {
+		t.Fatalf("offer submits = %d", len(out.Submits))
+	}
+	out = c.Step(1, out.Submits[0]) // own offer delivered: we are elected
+	if out.ServedTo != 9 {
+		t.Fatalf("ServedTo = %v", out.ServedTo)
+	}
+	if len(out.Submits) != 2 {
+		t.Fatalf("initial burst = %d chunks, want the window (2)", len(out.Submits))
+	}
+	total := int(c.Stats().ChunksOut)
+	pending := out.Submits
+	// Echo chunks back one at a time: exactly one new chunk per echo.
+	for steps := 0; len(pending) > 0 && steps < 100; steps++ {
+		head := pending[0]
+		pending = pending[1:]
+		out = c.Step(1, head)
+		if len(out.Submits) > 1 {
+			t.Fatalf("echo released %d chunks, want ≤1", len(out.Submits))
+		}
+		pending = append(pending, out.Submits...)
+		total += len(out.Submits)
+	}
+	// The full snapshot must eventually stream, in ≥ total/window echoes.
+	snapLen := len(kv.Snapshot())
+	wantChunks := (snapLen + 63) / 64
+	if total != wantChunks {
+		t.Fatalf("streamed %d chunks, want %d", total, wantChunks)
+	}
+	if int(c.Stats().ChunksOut) != wantChunks {
+		t.Fatalf("ChunksOut = %d, want %d", c.Stats().ChunksOut, wantChunks)
+	}
+}
+
+// TestCoreStreamWindowAbandonOnResync: a fresh sync round from the target
+// abandons the paced stream mid-flight.
+func TestCoreStreamWindowAbandonOnResync(t *testing.T) {
+	kv := NewKV()
+	for i := 0; i < 32; i++ {
+		kv.Apply([]byte(fmt.Sprintf("put k%02d %d", i, i)))
+	}
+	c := NewCore(CoreConfig{Self: 1, Group: 1, ChunkSize: 32, StreamWindow: 1}, kv)
+	env := func(e wire.Envelope) []byte { return wire.MarshalEnvelope(nil, &e) }
+	out := c.Step(9, env(wire.Envelope{Kind: wire.EnvSync, SyncID: 1}))
+	out = c.Step(1, out.Submits[0])
+	if len(out.Submits) != 1 {
+		t.Fatalf("burst = %d", len(out.Submits))
+	}
+	first := out.Submits[0]
+	// The target resyncs (round 2) before the stream completes: the old
+	// serve is dropped; a late echo of round 1 releases nothing.
+	out = c.Step(9, env(wire.Envelope{Kind: wire.EnvSync, SyncID: 2}))
+	if out = c.Step(1, first); len(out.Submits) != 0 {
+		t.Fatal("echo of an abandoned stream released a chunk")
+	}
+}

@@ -22,9 +22,13 @@ const DefaultResyncInterval = 3 * time.Second
 type Option func(*options)
 
 type options struct {
-	catchUp     bool
-	chunkSize   int
-	resyncEvery time.Duration
+	catchUp      bool
+	chunkSize    int
+	streamWindow int
+	resyncEvery  time.Duration
+	reconcile    *ReconcileConfig
+	side         uint64
+	buckets      int
 }
 
 // CatchUp starts the replica empty: it requests a state transfer from the
@@ -38,9 +42,47 @@ func CatchUp() Option { return func(o *options) { o.catchUp = true } }
 func WithChunkSize(n int) Option { return func(o *options) { o.chunkSize = n } }
 
 // WithResyncInterval overrides how long a stalled state transfer waits
-// before retrying with a fresh round.
+// before retrying with a fresh round (and how often a stalled
+// reconciliation re-checks the view for crashed participants).
 func WithResyncInterval(d time.Duration) Option {
 	return func(o *options) { o.resyncEvery = d }
+}
+
+// WithStreamWindow overrides how many snapshot chunks this replica keeps
+// in flight when streaming state to a newcomer (default
+// DefaultStreamWindow). Each own chunk observed back through the total
+// order releases the next, so the window bounds the streamer's footprint
+// in a slow group.
+func WithStreamWindow(n int) Option {
+	return func(o *options) { o.streamWindow = n }
+}
+
+// ReconcileWith starts the replica in partition-reconciliation mode: it
+// exchanges digest summaries with the merged group's members, merges
+// diverged state under policy, and only becomes Ready once every member
+// converged to the merged state. The state machine must implement Differ.
+// Commands delivered while reconciling are buffered and replayed — in the
+// agreed order — on top of the merged state.
+//
+// members must list the merged group's membership (the caller knows it:
+// it either initiates the §5.3 formation or accepted its invitation).
+func ReconcileWith(policy MergePolicy, members []types.ProcessID) Option {
+	ms := append([]types.ProcessID(nil), members...)
+	return func(o *options) { o.reconcile = &ReconcileConfig{Policy: policy, Expect: ms} }
+}
+
+// WithSide sets this replica's partition tag for reconciliation — an
+// application-chosen identifier of its pre-heal subgroup (conventionally
+// the subgroup's lowest process ID), consumed by side-aware merge
+// policies such as PreferSide. Default: the replica's own process ID.
+func WithSide(side uint64) Option {
+	return func(o *options) { o.side = side }
+}
+
+// WithBuckets overrides the reconciliation diff-digest bucket count
+// (default DefaultBuckets). All members of a merged group must agree.
+func WithBuckets(n int) Option {
+	return func(o *options) { o.buckets = n }
 }
 
 // Replica is one process's handle on a replicated state machine: the
@@ -83,22 +125,39 @@ func Replicate(n *node.Node, g types.GroupID, sm StateMachine, opts ...Option) (
 	if o.resyncEvery <= 0 {
 		o.resyncEvery = DefaultResyncInterval
 	}
+	if o.reconcile != nil {
+		if o.catchUp {
+			return nil, errors.New("rsm: CatchUp and ReconcileWith are mutually exclusive")
+		}
+		if o.reconcile.Policy == nil {
+			return nil, errors.New("rsm: ReconcileWith needs a merge policy")
+		}
+		if _, ok := sm.(Differ); !ok {
+			return nil, errors.New("rsm: reconciliation needs a StateMachine that implements Differ")
+		}
+		o.reconcile.Side = o.side
+		o.reconcile.Buckets = o.buckets
+	}
 	sub, err := n.SubscribeGroup(g)
 	if err != nil {
 		return nil, err
 	}
 	r := &Replica{
-		n:           n,
-		group:       g,
-		sm:          sm,
-		core:        NewCore(CoreConfig{Self: n.Self(), Group: g, CatchUp: o.catchUp, ChunkSize: o.chunkSize}, sm),
+		n:     n,
+		group: g,
+		sm:    sm,
+		core: NewCore(CoreConfig{
+			Self: n.Self(), Group: g, CatchUp: o.catchUp,
+			ChunkSize: o.chunkSize, StreamWindow: o.streamWindow,
+			Reconcile: o.reconcile,
+		}, sm),
 		barriers:    make(map[uint64]chan struct{}),
 		ready:       make(chan struct{}),
 		done:        make(chan struct{}),
 		resyncEvery: o.resyncEvery,
 	}
 	r.cond = sync.NewCond(&r.mu)
-	if !o.catchUp {
+	if !o.catchUp && o.reconcile == nil {
 		r.readyOnce.Do(func() { close(r.ready) })
 	}
 	r.wg.Add(1)
@@ -274,9 +333,22 @@ func (r *Replica) run(sub <-chan node.Delivery, initial [][]byte) {
 			}
 			if len(pending) > 0 {
 				// The group did not exist yet; keep trying to get the
-				// sync request in.
+				// start frames in.
 				r.mu.Unlock()
 				pending = r.trySubmit(pending)
+				continue
+			}
+			if r.core.Reconciling() {
+				// A stalled reconciliation means a participant died:
+				// drop expectations on members the view excluded (their
+				// frames can never be delivered again) and take over
+				// proponent duties if they fell to us.
+				r.mu.Unlock()
+				if v, err := r.n.View(r.group); err == nil {
+					r.mu.Lock()
+					out := r.core.PruneLive(v.Members)
+					r.apply(out)
+				}
 				continue
 			}
 			chunks := r.core.Stats().ChunksIn
@@ -308,13 +380,21 @@ func (r *Replica) trySubmit(frames [][]byte) [][]byte {
 func (r *Replica) step(d node.Delivery) {
 	r.mu.Lock()
 	out := r.core.Step(d.Sender, d.Payload)
+	r.apply(out)
+}
+
+// apply finishes an outcome produced under mu (by Step or PruneLive): it
+// updates the waiters' accounting, releases the lock, then performs the
+// side effects — barrier wakeups, follow-up multicasts, readiness and
+// events. Must be called with mu held; returns with it released.
+func (r *Replica) apply(out Outcome) {
 	r.appliedOwn += uint64(out.OwnApplied + out.OwnCovered)
 	var barrier chan struct{}
 	if out.Barrier != 0 {
 		barrier = r.barriers[out.Barrier]
 		delete(r.barriers, out.Barrier)
 	}
-	if out.Applied > 0 || out.OwnCovered > 0 || out.CaughtUp {
+	if out.Applied > 0 || out.OwnCovered > 0 || out.CaughtUp || out.Reconciled {
 		r.cond.Broadcast()
 	}
 	r.mu.Unlock()
@@ -332,5 +412,9 @@ func (r *Replica) step(d node.Delivery) {
 	if out.CaughtUp {
 		r.readyOnce.Do(func() { close(r.ready) })
 		r.n.PostEvent(node.Event{Kind: node.EventStateTransferred, Group: r.group, Peer: out.Streamer})
+	}
+	if out.Reconciled {
+		r.readyOnce.Do(func() { close(r.ready) })
+		r.n.PostEvent(node.Event{Kind: node.EventReconciled, Group: r.group})
 	}
 }

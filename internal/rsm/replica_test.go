@@ -199,6 +199,124 @@ func TestReplicaCatchUpViaGroupFormation(t *testing.T) {
 	}
 }
 
+// TestReplicaStreamerLossMidSnapshot kills the elected streamer between
+// chunks of a paced (window-bounded) state transfer: the joiner's resync
+// timer must abandon the dead round, elect a surviving incumbent through
+// a fresh sync round, and still install a digest-correct snapshot. This
+// is the concurrent-runtime test for Replica.run's resync branch.
+func TestReplicaStreamerLossMidSnapshot(t *testing.T) {
+	_, nodes := startNodes(t, 4)
+	incumbents := nodes[:3]
+
+	kvs := make([]*KV, 4)
+	g1reps := make([]*Replica, 3)
+	for i, n := range incumbents {
+		kvs[i] = NewKV()
+		rep, err := Replicate(n, 1, kvs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		g1reps[i] = rep
+	}
+	for _, n := range incumbents {
+		if err := n.BootstrapGroup(1, core.Symmetric, procIDs(3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Enough state that the window-paced stream takes many delivery
+	// rounds — ample time to lose the streamer mid-flight.
+	for i := 0; i < 300; i++ {
+		if err := g1reps[i%3].Propose([]byte(fmt.Sprintf("put load%03d x%d", i, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, rep := range g1reps {
+		if err := rep.Barrier(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// g2 = g1 ∪ {P4}: tiny chunks, window 1 — one chunk per delivery
+	// round trip — and a short resync interval at the joiner.
+	g2reps := make([]*Replica, 3)
+	for i, n := range incumbents {
+		rep, err := Replicate(n, 2, kvs[i], WithChunkSize(64), WithStreamWindow(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2reps[i] = rep
+	}
+	kvs[3] = NewKV()
+	rep4, err := Replicate(nodes[3], 2, kvs[3], CatchUp(), WithResyncInterval(250*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nodes[3].CreateGroup(2, core.Symmetric, procIDs(4)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for an elected streamer to start serving and the joiner to
+	// have accepted at least one chunk, then kill the streamer.
+	deadline := time.Now().Add(30 * time.Second)
+	streamer := -1
+	for streamer < 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no streamer elected: joiner %+v", rep4.Stats())
+		}
+		if rep4.Stats().ChunksIn >= 1 {
+			for i, rep := range g2reps {
+				if rep.Stats().ChunksOut > 0 {
+					streamer = i
+					break
+				}
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if done := rep4.CaughtUp(); done {
+		t.Skip("stream completed before the kill; state too small for this machine")
+	}
+	t.Logf("killing streamer P%d after %d chunks", streamer+1, g2reps[streamer].Stats().ChunksOut)
+	_ = nodes[streamer].Close()
+
+	select {
+	case <-rep4.Ready():
+	case <-time.After(60 * time.Second):
+		t.Fatalf("joiner never recovered from streamer loss: %+v", rep4.Stats())
+	}
+	st := rep4.Stats()
+	if st.Resyncs == 0 {
+		t.Fatalf("no resync round despite streamer loss: %+v", st)
+	}
+	if st.SnapshotsIn != 1 {
+		t.Fatalf("SnapshotsIn = %d, want exactly 1 (the successful stream)", st.SnapshotsIn)
+	}
+	// The joiner converged to the survivors' state.
+	survivor := (streamer + 1) % 3
+	if err := g2reps[survivor].Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep4.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if d4, ds := rep4.Digest(), g2reps[survivor].Digest(); d4 != ds {
+		t.Fatalf("joiner digest %016x != survivor %016x", d4, ds)
+	}
+	if v, ok := kvs[3].Get("load000"); !ok || v != "x0" {
+		t.Fatalf("transferred state wrong: load000 = %q %v", v, ok)
+	}
+	// The second election picked a live incumbent.
+	served := 0
+	for i, rep := range g2reps {
+		if i != streamer && rep.Stats().SnapshotsOut > 0 {
+			served++
+		}
+	}
+	if served != 1 {
+		t.Fatalf("%d surviving incumbents served, want exactly 1", served)
+	}
+}
+
 func TestReplicaCloseRestoresDeliveryRouting(t *testing.T) {
 	_, nodes := startNodes(t, 3)
 	rep, err := Replicate(nodes[0], 1, NewKV())

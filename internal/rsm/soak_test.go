@@ -1,0 +1,343 @@
+package rsm_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"newtop/internal/core"
+	"newtop/internal/rsm"
+	"newtop/internal/sim"
+	"newtop/internal/types"
+)
+
+// Randomized partition/heal soak: a seeded PRNG drives a cluster through
+// random write workloads, a random crash, random two-way partitions and
+// heals — each heal followed by digest-diff reconciliation into a merged
+// successor group — and after quiescence asserts the delivery-safety
+// invariants (no duplicate, no per-origin reorder, agreed total order)
+// plus post-reconcile digest equality. Every failure message leads with
+// the seed, so any run replays bit-for-bit with
+//
+//	go test ./internal/rsm -run TestReconcileSoak/seed=<n>
+//
+// The full battery is 50 seeds; -short (CI's race job) runs a subset.
+
+const (
+	soakSeeds      = 50
+	soakSeedsShort = 10
+)
+
+func TestReconcileSoak(t *testing.T) {
+	seeds := soakSeeds
+	if testing.Short() {
+		seeds = soakSeedsShort
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			soakOnce(t, seed)
+		})
+	}
+}
+
+// soakFleet wires rsm cores into the simulated cluster, one shared KV per
+// process across its groups (the state survives group succession).
+type soakFleet struct {
+	c     *sim.Cluster
+	cores map[[2]uint64]*rsm.Core
+	kvs   map[types.ProcessID]*rsm.KV
+}
+
+func (f *soakFleet) key(p types.ProcessID, g types.GroupID) [2]uint64 {
+	return [2]uint64{uint64(p), uint64(g)}
+}
+
+func (f *soakFleet) kv(p types.ProcessID) *rsm.KV {
+	kv, ok := f.kvs[p]
+	if !ok {
+		kv = rsm.NewKV()
+		f.kvs[p] = kv
+	}
+	return kv
+}
+
+func (f *soakFleet) core(p types.ProcessID, g types.GroupID) *rsm.Core {
+	return f.cores[f.key(p, g)]
+}
+
+func (f *soakFleet) attach(p types.ProcessID, g types.GroupID) {
+	f.cores[f.key(p, g)] = rsm.NewCore(rsm.CoreConfig{Self: p, Group: g}, f.kv(p))
+}
+
+func (f *soakFleet) attachRecon(p types.ProcessID, g types.GroupID, policy rsm.MergePolicy, expect []types.ProcessID, side uint64) {
+	f.cores[f.key(p, g)] = rsm.NewCore(rsm.CoreConfig{Self: p, Group: g,
+		Reconcile: &rsm.ReconcileConfig{Policy: policy, Expect: expect, Side: side},
+	}, f.kv(p))
+}
+
+// start submits a core's start frames, retrying while the group is still
+// forming or unknown at p.
+func (f *soakFleet) start(p types.ProcessID, g types.GroupID) {
+	frames := f.core(p, g).Start()
+	var try func()
+	try = func() {
+		for len(frames) > 0 {
+			if err := f.c.Submit(p, g, frames[0]); err != nil {
+				f.c.At(f.c.Now().Sub(sim.Epoch)+20*time.Millisecond, try)
+				return
+			}
+			frames = frames[1:]
+		}
+	}
+	try()
+}
+
+func soakOnce(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	n := 4 + rng.Intn(3) // 4–6 processes
+	c := sim.New(seed, sim.WithLatency(time.Millisecond, 3*time.Millisecond))
+	var all []types.ProcessID
+	for i := 1; i <= n; i++ {
+		p := types.ProcessID(i)
+		all = append(all, p)
+		c.AddProcess(core.Config{Self: p, Omega: 20 * time.Millisecond})
+	}
+	f := &soakFleet{c: c, cores: make(map[[2]uint64]*rsm.Core), kvs: make(map[types.ProcessID]*rsm.KV)}
+	c.OnDeliver(func(p types.ProcessID, d sim.Delivery) {
+		cr := f.core(p, d.Group)
+		if cr == nil {
+			return
+		}
+		out := cr.Step(d.Origin, d.Payload)
+		for _, pl := range out.Submits {
+			_ = c.Submit(p, d.Group, pl)
+		}
+	})
+
+	fail := func(format string, args ...interface{}) {
+		t.Helper()
+		t.Fatalf("seed=%d: %s", seed, fmt.Sprintf(format, args...))
+	}
+
+	g := types.GroupID(1)
+	if err := c.Bootstrap(g, core.Symmetric, all); err != nil {
+		fail("bootstrap: %v", err)
+	}
+	for _, p := range all {
+		f.attach(p, g)
+	}
+
+	survivors := append([]types.ProcessID(nil), all...)
+	var crashed []types.ProcessID
+	writeSeq := 0
+	// write schedules one command from p into grp at a random near-future
+	// offset; keys overlap across writers and rounds so merges conflict.
+	write := func(p types.ProcessID, grp types.GroupID, jitter time.Duration) {
+		writeSeq++
+		key := fmt.Sprintf("k%02d", rng.Intn(25))
+		var pl []byte
+		if rng.Intn(8) == 0 {
+			pl = []byte("del " + key)
+		} else {
+			pl = []byte(fmt.Sprintf("put %s v%d", key, writeSeq))
+		}
+		c.At(c.Now().Sub(sim.Epoch)+jitter, func() { _ = c.Submit(p, grp, pl) })
+	}
+	applied := func(ps []types.ProcessID, grp types.GroupID, want uint64) bool {
+		for _, p := range ps {
+			if f.core(p, grp).AppliedSeq() < want {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Warm-up workload.
+	w1 := 10 + rng.Intn(15)
+	for i := 0; i < w1; i++ {
+		write(survivors[rng.Intn(len(survivors))], g, time.Duration(i*3)*time.Millisecond)
+	}
+	if !c.RunUntil(60*time.Second, func() bool { return applied(survivors, g, uint64(w1)) }) {
+		fail("warm-up never applied (%d writes)", w1)
+	}
+
+	rounds := 1 + rng.Intn(2)
+	for round := 0; round < rounds; round++ {
+		// Optional crash (keep ≥3 survivors so both sides stay non-empty).
+		if len(survivors) > 3 && rng.Intn(10) < 4 {
+			i := rng.Intn(len(survivors))
+			p := survivors[i]
+			survivors = append(survivors[:i], survivors[i+1:]...)
+			crashed = append(crashed, p)
+			c.Crash(p)
+		}
+
+		// Random two-way partition of the survivors.
+		perm := rng.Perm(len(survivors))
+		cut := 1 + rng.Intn(len(survivors)-1)
+		var sideA, sideB []types.ProcessID
+		for i, idx := range perm {
+			if i < cut {
+				sideA = append(sideA, survivors[idx])
+			} else {
+				sideB = append(sideB, survivors[idx])
+			}
+		}
+		types.SortProcesses(sideA)
+		types.SortProcesses(sideB)
+		c.Partition(sideA, sideB)
+
+		// Divergent workload on both sides.
+		preA, preB := f.core(sideA[0], g).AppliedSeq(), f.core(sideB[0], g).AppliedSeq()
+		wA, wB := 4+rng.Intn(8), 4+rng.Intn(8)
+		for i := 0; i < wA; i++ {
+			write(sideA[rng.Intn(len(sideA))], g, time.Duration(5+i*4)*time.Millisecond)
+		}
+		for i := 0; i < wB; i++ {
+			write(sideB[rng.Intn(len(sideB))], g, time.Duration(5+i*4)*time.Millisecond)
+		}
+
+		// Wait for both sides to stabilise (views disjoint from the other
+		// side and from crashed members) and quiesce their writes — the
+		// cut-over discipline before a reconcile.
+		stable := func(ps, gone []types.ProcessID) bool {
+			for _, p := range ps {
+				vs := c.History(p).Views[g]
+				if len(vs) == 0 {
+					return false
+				}
+				last := vs[len(vs)-1].View
+				for _, o := range gone {
+					if last.Contains(o) {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		ok := c.RunUntil(180*time.Second, func() bool {
+			return stable(sideA, append(sideB, crashed...)) &&
+				stable(sideB, append(sideA, crashed...)) &&
+				applied(sideA, g, preA+uint64(wA)) && applied(sideB, g, preB+uint64(wB))
+		})
+		if !ok {
+			fail("round %d: sides never stabilised (A=%v B=%v crashed=%v)", round, sideA, sideB, crashed)
+		}
+
+		diverged := f.core(sideA[0], g).Digest() != f.core(sideB[0], g).Digest()
+
+		// Heal and reconcile into the merged successor group.
+		c.Heal()
+		next := g + 1
+		policy := rsm.MergePolicy(rsm.LastWriterWins())
+		if rng.Intn(3) == 0 {
+			policy = rsm.PreferSide(uint64(sideA[0]))
+		}
+		for _, p := range sideA {
+			f.attachRecon(p, next, policy, survivors, uint64(sideA[0]))
+		}
+		for _, p := range sideB {
+			f.attachRecon(p, next, policy, survivors, uint64(sideB[0]))
+		}
+		if err := c.CreateGroup(survivors[0], next, core.Symmetric, survivors); err != nil {
+			fail("round %d: CreateGroup: %v", round, err)
+		}
+		for _, p := range survivors {
+			f.start(p, next)
+		}
+		// A few writes land mid-reconciliation: they must buffer and
+		// replay over the merged state.
+		dw := rng.Intn(4)
+		for i := 0; i < dw; i++ {
+			write(survivors[rng.Intn(len(survivors))], next, 30*time.Millisecond+time.Duration(i*3)*time.Millisecond)
+		}
+		ok = c.RunUntil(180*time.Second, func() bool {
+			for _, p := range survivors {
+				cr := f.core(p, next)
+				if cr.Reconciling() || cr.AppliedSeq() < uint64(dw) {
+					return false
+				}
+			}
+			return true
+		})
+		if !ok {
+			fail("round %d: reconciliation stalled: %v", round, f.core(survivors[0], next))
+		}
+		c.Run(200 * time.Millisecond)
+
+		// Post-reconcile digest equality at every survivor — and when the
+		// sides genuinely diverged, the convergence must have come from a
+		// real ≥2-class exchange, not a vacuous fast path.
+		d0 := f.core(survivors[0], next).Digest()
+		for _, p := range survivors[1:] {
+			if d := f.core(p, next).Digest(); d != d0 {
+				fail("round %d: post-merge digests diverge: P%v=%016x P%v=%016x",
+					round, survivors[0], d0, p, d)
+			}
+		}
+		if st := f.core(survivors[0], next).Stats(); diverged && st.EntriesIn < 2 {
+			fail("round %d: sides diverged but only %d entries frames were exchanged", round, st.EntriesIn)
+		}
+		g = next
+	}
+
+	checkDeliverySafety(t, c, survivors, seed)
+}
+
+// checkDeliverySafety asserts the total-order safety invariants over the
+// recorded histories, identifying each multicast by (group, origin, seq):
+// no survivor delivers a multicast twice, per-origin sequence numbers
+// never go backwards (no reorder, no regression after gaps), and every
+// pair of survivors delivers its common multicasts in the same relative
+// order (agreed delivery, the multi-group MD4').
+func checkDeliverySafety(t *testing.T, c *sim.Cluster, survivors []types.ProcessID, seed int64) {
+	t.Helper()
+	type mkey struct {
+		g types.GroupID
+		o types.ProcessID
+		s uint64
+	}
+	pos := make(map[types.ProcessID]map[mkey]int, len(survivors))
+	for _, p := range survivors {
+		m := make(map[mkey]int)
+		lastSeq := make(map[[2]uint64]uint64)
+		for i, d := range c.History(p).Deliveries {
+			k := mkey{d.Group, d.Origin, d.Seq}
+			if _, dup := m[k]; dup {
+				t.Errorf("seed=%d: P%v delivered %v twice", seed, p, k)
+			}
+			m[k] = i
+			ok := [2]uint64{uint64(d.Group), uint64(d.Origin)}
+			if d.Seq <= lastSeq[ok] {
+				t.Errorf("seed=%d: P%v delivered %v/%v seq %d after seq %d (reorder)",
+					seed, p, d.Group, d.Origin, d.Seq, lastSeq[ok])
+			}
+			lastSeq[ok] = d.Seq
+		}
+		pos[p] = m
+	}
+	for a := 0; a < len(survivors); a++ {
+		for b := a + 1; b < len(survivors); b++ {
+			pa, pb := survivors[a], survivors[b]
+			last := -1
+			var lastK mkey
+			for _, d := range c.History(pa).Deliveries {
+				k := mkey{d.Group, d.Origin, d.Seq}
+				j, ok := pos[pb][k]
+				if !ok {
+					continue
+				}
+				if j <= last {
+					t.Errorf("seed=%d: agreed order violated: P%v delivers %v before %v, P%v the opposite",
+						seed, pa, lastK, k, pb)
+				}
+				if j > last {
+					last = j
+					lastK = k
+				}
+			}
+		}
+	}
+}

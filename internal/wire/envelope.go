@@ -45,6 +45,18 @@ const (
 	// EnvSnapChunk is one chunk of a serialized snapshot streamed to
 	// Target. The chunk with Last set completes the transfer.
 	EnvSnapChunk
+	// EnvReconSummary is one member's digest summary at the start of
+	// partition reconciliation: its full-state digest (the digest-class
+	// identifier), its per-bucket diff digests, and its partition side
+	// tag. Delivered summaries partition the merged group into
+	// digest-classes; the first summary of each class elects that class's
+	// proponent, exactly as the first offer elects a streamer.
+	EnvReconSummary
+	// EnvReconEntries is a class proponent's merge proposal: the entries
+	// (key, value, revision) of every differing bucket, plus the
+	// proponent's write cursor. One accepted frame per class — the first
+	// in the total order — feeds the deterministic merge at every member.
+	EnvReconEntries
 )
 
 // String implements fmt.Stringer.
@@ -60,6 +72,10 @@ func (k EnvKind) String() string {
 		return "offer"
 	case EnvSnapChunk:
 		return "snap-chunk"
+	case EnvReconSummary:
+		return "recon-summary"
+	case EnvReconEntries:
+		return "recon-entries"
 	default:
 		return fmt.Sprintf("env(%d)", uint8(k))
 	}
@@ -93,6 +109,32 @@ type Envelope struct {
 
 	// Data is the command bytes (EnvCommand) or chunk bytes (EnvSnapChunk).
 	Data []byte
+
+	// Side is the sender's partition tag (EnvReconSummary): an
+	// application-chosen identifier of the pre-heal subgroup, fed to the
+	// merge policy (e.g. partition-priority).
+	Side uint64
+
+	// Digest is the full-state digest (EnvReconSummary: the sender's
+	// digest-class; EnvReconEntries: the class the entries speak for).
+	Digest uint64
+
+	// Digests are the per-bucket diff digests of the sender's state
+	// (EnvReconSummary). Buckets where classes disagree are the ones
+	// whose entries get exchanged — the diff is sublinear in state size.
+	Digests []uint64
+
+	// Entries are the (key, value, revision) triples of every differing
+	// bucket (EnvReconEntries), sorted by key.
+	Entries []ReconEntry
+}
+
+// ReconEntry is one key's state in a reconciliation merge proposal. Rev is
+// the apply index of the key's last write in the proposing side's lineage.
+type ReconEntry struct {
+	Key   []byte
+	Value []byte
+	Rev   uint64
 }
 
 // ErrNotEnvelope is returned by UnmarshalEnvelope for payloads without the
@@ -134,6 +176,25 @@ func MarshalEnvelope(dst []byte, e *Envelope) []byte {
 		dst = binary.AppendUvarint(dst, e.Applied)
 		dst = binary.AppendUvarint(dst, uint64(len(e.Data)))
 		dst = append(dst, e.Data...)
+	case EnvReconSummary:
+		dst = binary.AppendUvarint(dst, e.Side)
+		dst = binary.AppendUvarint(dst, e.Digest)
+		dst = binary.AppendUvarint(dst, uint64(len(e.Digests)))
+		for _, d := range e.Digests {
+			dst = binary.AppendUvarint(dst, d)
+		}
+	case EnvReconEntries:
+		dst = binary.AppendUvarint(dst, e.Digest)
+		dst = binary.AppendUvarint(dst, e.Applied)
+		dst = binary.AppendUvarint(dst, uint64(len(e.Entries)))
+		for i := range e.Entries {
+			en := &e.Entries[i]
+			dst = binary.AppendUvarint(dst, uint64(len(en.Key)))
+			dst = append(dst, en.Key...)
+			dst = binary.AppendUvarint(dst, uint64(len(en.Value)))
+			dst = append(dst, en.Value...)
+			dst = binary.AppendUvarint(dst, en.Rev)
+		}
 	}
 	return dst
 }
@@ -191,6 +252,54 @@ func UnmarshalEnvelope(payload []byte) (Envelope, error) {
 		}
 		if e.Data, buf, err = envBytes(buf); err != nil {
 			return e, err
+		}
+	case EnvReconSummary:
+		if e.Side, buf, err = envUvarint(buf); err != nil {
+			return e, err
+		}
+		if e.Digest, buf, err = envUvarint(buf); err != nil {
+			return e, err
+		}
+		var n uint64
+		if n, buf, err = envUvarint(buf); err != nil {
+			return e, err
+		}
+		if n > MaxList {
+			return e, fmt.Errorf("%w: %d buckets", ErrBadEnvelope, n)
+		}
+		e.Digests = make([]uint64, 0, n)
+		for i := uint64(0); i < n; i++ {
+			if v, buf, err = envUvarint(buf); err != nil {
+				return e, err
+			}
+			e.Digests = append(e.Digests, v)
+		}
+	case EnvReconEntries:
+		if e.Digest, buf, err = envUvarint(buf); err != nil {
+			return e, err
+		}
+		if e.Applied, buf, err = envUvarint(buf); err != nil {
+			return e, err
+		}
+		var n uint64
+		if n, buf, err = envUvarint(buf); err != nil {
+			return e, err
+		}
+		if n > MaxList {
+			return e, fmt.Errorf("%w: %d entries", ErrBadEnvelope, n)
+		}
+		for i := uint64(0); i < n; i++ {
+			var en ReconEntry
+			if en.Key, buf, err = envBytes(buf); err != nil {
+				return e, err
+			}
+			if en.Value, buf, err = envBytes(buf); err != nil {
+				return e, err
+			}
+			if en.Rev, buf, err = envUvarint(buf); err != nil {
+				return e, err
+			}
+			e.Entries = append(e.Entries, en)
 		}
 	default:
 		return e, fmt.Errorf("%w: kind %d", ErrBadEnvelope, payload[1])

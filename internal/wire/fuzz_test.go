@@ -1,0 +1,159 @@
+package wire_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"newtop/internal/types"
+	"newtop/internal/wire"
+)
+
+// fuzzSeedMessages is the seed corpus for FuzzUnmarshal: at least one
+// message of every kind, including the PR 2 regression shape — a formation
+// invite whose one-byte ordering-mode payload was silently dropped by the
+// codec, so every remote formation was vetoed.
+func fuzzSeedMessages() []*types.Message {
+	return []*types.Message{
+		{Kind: types.KindData, Group: 1, Sender: 2, Origin: 2, Num: 7, Seq: 3, LDN: 5, Payload: []byte("put k v")},
+		{Kind: types.KindNull, Group: 1, Sender: 1, Origin: 1, Num: 9, LDN: 9},
+		{Kind: types.KindSeqRequest, Group: 2, Sender: 3, Origin: 3, Num: 4, Seq: 1, Payload: []byte("req")},
+		{Kind: types.KindSuspect, Group: 1, Sender: 1, Origin: 1, Suspicion: types.Suspicion{Proc: 2, LN: 11}},
+		{Kind: types.KindRefute, Group: 1, Sender: 2, Origin: 2, Suspicion: types.Suspicion{Proc: 2, LN: 11},
+			Recovered: []types.Message{{Kind: types.KindData, Group: 1, Sender: 2, Origin: 2, Num: 6, Seq: 2, Payload: []byte("lost")}}},
+		{Kind: types.KindConfirmed, Group: 1, Sender: 1, Origin: 1,
+			Detection: []types.Suspicion{{Proc: 3, LN: 4}, {Proc: 4, LN: 8}}},
+		// The formation-mode-byte regression frame: Payload[0] is the
+		// proposed ordering mode and must survive a codec round trip.
+		{Kind: types.KindFormInvite, Group: 5, Sender: 1, Origin: 1, Payload: []byte{2}, Invite: []types.ProcessID{1, 2, 3}},
+		{Kind: types.KindFormVote, Group: 5, Sender: 2, Origin: 2, Vote: true, Payload: []byte{2}, Invite: []types.ProcessID{1, 2, 3}},
+		{Kind: types.KindStartGroup, Group: 5, Sender: 1, Origin: 1, Num: 3, StartNum: 17},
+	}
+}
+
+// FuzzUnmarshal feeds arbitrary bytes to the protocol-message decoder:
+// malformed frames must error — never panic, never over-read — and
+// anything that decodes must survive a marshal/unmarshal round trip with
+// Size agreeing with the actual encoding.
+func FuzzUnmarshal(f *testing.F) {
+	for _, m := range fuzzSeedMessages() {
+		f.Add(wire.Marshal(nil, m))
+	}
+	// A few hand-mangled frames: truncations and hostile lengths.
+	inv := wire.Marshal(nil, fuzzSeedMessages()[6])
+	f.Add(inv[:len(inv)-2])
+	f.Add([]byte{byte(types.KindData), 0x01, 0x01, 0x01, 0x01, 0x01, 0x01, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := wire.Unmarshal(data)
+		if err != nil {
+			return
+		}
+		enc := wire.Marshal(nil, m)
+		if got := wire.Size(m); got != len(enc) {
+			t.Fatalf("Size = %d, encoding is %d bytes", got, len(enc))
+		}
+		m2, err := wire.Unmarshal(enc)
+		if err != nil {
+			t.Fatalf("re-decode of own encoding failed: %v", err)
+		}
+		// The re-encoding is canonical (the input may use non-canonical
+		// varints), so compare decoded values, not input bytes.
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("round trip diverges:\n  %+v\n  %+v", m, m2)
+		}
+	})
+}
+
+// FuzzEnvelopeDecode does the same for the RSM envelope codec, which now
+// also carries the reconciliation frames (digest summaries and merge
+// proposals).
+func FuzzEnvelopeDecode(f *testing.F) {
+	seeds := []*wire.Envelope{
+		{Kind: wire.EnvCommand, Data: []byte("put user alice")},
+		{Kind: wire.EnvBarrier, Index: 42},
+		{Kind: wire.EnvSync, SyncID: 3},
+		{Kind: wire.EnvOffer, Target: 4, SyncID: 3},
+		{Kind: wire.EnvSnapChunk, Target: 4, SyncID: 3, Index: 1, Last: true, Applied: 99, Data: []byte{1, 2, 3}},
+		{Kind: wire.EnvReconSummary, Side: 1, Digest: 0xdeadbeef, Digests: []uint64{1, 2, 3, 0, 5}},
+		{Kind: wire.EnvReconEntries, Digest: 0xdeadbeef, Applied: 7, Entries: []wire.ReconEntry{
+			{Key: []byte("a"), Value: []byte("1"), Rev: 3},
+			{Key: []byte("shared"), Value: []byte("two words"), Rev: 9},
+		}},
+	}
+	for _, e := range seeds {
+		f.Add(wire.MarshalEnvelope(nil, e))
+	}
+	f.Add([]byte{wire.EnvMagic, 0xFF, 0x01})
+	f.Add([]byte{wire.EnvMagic})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := wire.UnmarshalEnvelope(data)
+		if err != nil {
+			return
+		}
+		enc := wire.MarshalEnvelope(nil, &e)
+		e2, err := wire.UnmarshalEnvelope(enc)
+		if err != nil {
+			t.Fatalf("re-decode of own encoding failed: %v", err)
+		}
+		// Data/Entries alias the input buffer; normalise empties so
+		// DeepEqual compares content, not nil-vs-empty.
+		norm := func(e *wire.Envelope) {
+			if len(e.Data) == 0 {
+				e.Data = nil
+			}
+			if len(e.Digests) == 0 {
+				e.Digests = nil
+			}
+			for i := range e.Entries {
+				if len(e.Entries[i].Key) == 0 {
+					e.Entries[i].Key = nil
+				}
+				if len(e.Entries[i].Value) == 0 {
+					e.Entries[i].Value = nil
+				}
+			}
+		}
+		norm(&e)
+		norm(&e2)
+		if !reflect.DeepEqual(e, e2) {
+			t.Fatalf("round trip diverges:\n  %+v\n  %+v", e, e2)
+		}
+	})
+}
+
+// TestEnvelopeReconRoundTrip pins the reconciliation frame encodings
+// outside the fuzzer, including the empty-diff and empty-entries shapes.
+func TestEnvelopeReconRoundTrip(t *testing.T) {
+	cases := []wire.Envelope{
+		{Kind: wire.EnvReconSummary, Side: 9, Digest: 1 << 60, Digests: []uint64{0, 0, 7}},
+		{Kind: wire.EnvReconSummary, Side: 0, Digest: 0},
+		{Kind: wire.EnvReconEntries, Digest: 5, Applied: 123},
+		{Kind: wire.EnvReconEntries, Digest: 5, Applied: 1, Entries: []wire.ReconEntry{
+			{Key: []byte("k"), Value: []byte("value with spaces"), Rev: 77},
+		}},
+	}
+	for _, e := range cases {
+		enc := wire.MarshalEnvelope(nil, &e)
+		got, err := wire.UnmarshalEnvelope(enc)
+		if err != nil {
+			t.Fatalf("%v: %v", e.Kind, err)
+		}
+		if got.Side != e.Side || got.Digest != e.Digest || got.Applied != e.Applied ||
+			len(got.Digests) != len(e.Digests) || len(got.Entries) != len(e.Entries) {
+			t.Fatalf("round trip diverges:\n  %+v\n  %+v", e, got)
+		}
+		for i := range e.Digests {
+			if got.Digests[i] != e.Digests[i] {
+				t.Fatalf("bucket %d: %d != %d", i, got.Digests[i], e.Digests[i])
+			}
+		}
+		for i := range e.Entries {
+			if !bytes.Equal(got.Entries[i].Key, e.Entries[i].Key) ||
+				!bytes.Equal(got.Entries[i].Value, e.Entries[i].Value) ||
+				got.Entries[i].Rev != e.Entries[i].Rev {
+				t.Fatalf("entry %d diverges: %+v vs %+v", i, got.Entries[i], e.Entries[i])
+			}
+		}
+	}
+}

@@ -103,6 +103,8 @@ const (
 	EventFormationFailed  = node.EventFormationFailed
 	EventSuspected        = node.EventSuspected
 	EventStateTransferred = node.EventStateTransferred
+	EventHealDetected     = node.EventHealDetected
+	EventReconciled       = node.EventReconciled
 )
 
 // Re-exported sentinel errors.
@@ -140,6 +142,11 @@ type Config struct {
 	// FormationTimeout bounds the group-formation vote phase (§5.3).
 	// Zero selects 20ω.
 	FormationTimeout time.Duration
+
+	// HealProbeInterval is how often this process probes members that
+	// were excluded from a view, to detect a healed partition
+	// (EventHealDetected). Zero selects 2s; negative disables probing.
+	HealProbeInterval time.Duration
 
 	// SignatureViews enables the §6 view-signature variant under which
 	// concurrent views never intersect.
@@ -200,7 +207,7 @@ func Start(cfg Config) (*Process, error) {
 		SignatureViews:    cfg.SignatureViews,
 		FlowControlWindow: cfg.FlowControlWindow,
 		AcceptInvite:      cfg.AcceptInvite,
-	}, ep, node.Options{})
+	}, ep, node.Options{HealProbeEvery: cfg.HealProbeInterval})
 	return &Process{n: n, tcp: tcp, self: cfg.Self}, nil
 }
 
@@ -313,3 +320,77 @@ type KV = rsm.KV
 
 // NewKV creates an empty replicated map.
 func NewKV() *KV { return rsm.NewKV() }
+
+// ---------------------------------------------------------------------------
+// Partition reconciliation
+// ---------------------------------------------------------------------------
+
+// MergePolicy decides, key by key, which diverged value survives a
+// partition reconciliation. Built-ins: LastWriterWins, PreferSide. The
+// policy must be a pure function — every member runs it on identical
+// inputs and must reach the identical outcome.
+type MergePolicy = rsm.MergePolicy
+
+// MergeCandidate is one diverged side's opinion about a key, as handed to
+// a MergePolicy.
+type MergeCandidate = rsm.MergeCandidate
+
+// Differ is a StateMachine that additionally supports digest-diff
+// reconciliation (per-bucket digests, diff export, merge install). KV
+// implements it; custom machines must too before they can Reconcile.
+type Differ = rsm.Differ
+
+// LastWriterWins is the default merge policy: for each conflicting key
+// the write with the highest apply index wins. Deletions carry no
+// tombstone, so a deleted key loses to any surviving write.
+func LastWriterWins() MergePolicy { return rsm.LastWriterWins() }
+
+// PreferSide resolves every conflict in favour of the partition tagged
+// with side (see WithPartitionSide), falling back to LastWriterWins if no
+// surviving member carries that tag.
+func PreferSide(side uint64) MergePolicy { return rsm.PreferSide(side) }
+
+// WithPartitionSide tags this replica's pre-heal subgroup for
+// reconciliation — conventionally the subgroup's lowest process ID, i.e.
+// the lowest member of the old group's final view on this side. The tag
+// feeds side-aware policies such as PreferSide. Default: the process's
+// own ID.
+func WithPartitionSide(side uint64) ReplicaOption { return rsm.WithSide(side) }
+
+// WithMergeBuckets overrides the reconciliation diff-digest bucket count
+// (default 64). More buckets mean a finer diff — fewer unrelated keys
+// exchanged — at the cost of a larger summary. All members must agree.
+func WithMergeBuckets(n int) ReplicaOption { return rsm.WithBuckets(n) }
+
+// WithSnapshotStreamWindow overrides how many snapshot chunks this
+// replica keeps in flight when streaming state to a newcomer (default 4):
+// each chunk observed back through the total order releases the next, so
+// a slow group bounds the streamer instead of being flooded by it.
+func WithSnapshotStreamWindow(n int) ReplicaOption { return rsm.WithStreamWindow(n) }
+
+// Reconcile repairs the divergence a partition left behind. Newtop never
+// remerges a partitioned group (§5): after the network heals — watch for
+// EventHealDetected — the application forms ONE merged successor group g
+// over the survivors of every side (the §5.3 formation that also subsumes
+// joins) and calls Reconcile on every member, with the group's member
+// list and a MergePolicy. Like Replicate, call it before the group's
+// first delivery: before CreateGroup at the initiator, at invitation
+// time elsewhere.
+//
+// The members exchange per-bucket state digests as ordinary totally
+// ordered messages, compute which buckets diverged (the exchange is
+// sublinear in state size), elect one proponent per diverged lineage by
+// first-summary-in-total-order, and apply the policy to the differing
+// keys — deterministically, so every member installs the identical merged
+// state. Writes submitted meanwhile are buffered and replayed on top, in
+// the agreed order. Ready (and EventReconciled) signal completion; if
+// nothing actually diverged the exchange short-circuits after the
+// summaries, making Reconcile double as a cheap convergence check.
+//
+// The old group's traffic must be quiesced (cut over to g) before its
+// members summarise their state — the same handover discipline as a
+// fig. 1 migration.
+func Reconcile(p *Process, g GroupID, sm StateMachine, policy MergePolicy, members []ProcessID, opts ...ReplicaOption) (*Replica, error) {
+	opts = append(opts, rsm.ReconcileWith(policy, members))
+	return rsm.Replicate(p.n, g, sm, opts...)
+}

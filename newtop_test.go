@@ -241,6 +241,206 @@ func TestPublicAPIReplication(t *testing.T) {
 	}
 }
 
+// TestPublicAPIReconcile walks the whole detect→repair loop through the
+// public API: a replicated group partitions and diverges, the heal is
+// detected by probes (EventHealDetected), the survivors form a merged
+// successor group and Reconcile converges every replica to the identical
+// merged state (EventReconciled).
+func TestPublicAPIReconcile(t *testing.T) {
+	net := newtop.NewNetwork(newtop.WithSeed(11))
+	members := []newtop.ProcessID{1, 2, 3, 4}
+	var procs []*newtop.Process
+	for _, id := range members {
+		p, err := newtop.Start(newtop.Config{
+			Self: id, Network: net,
+			Omega:             10 * time.Millisecond,
+			HealProbeInterval: 30 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs = append(procs, p)
+	}
+	t.Cleanup(func() {
+		for _, p := range procs {
+			_ = p.Close()
+		}
+		net.Close()
+	})
+	// Events channels must drain or the heal/reconcile signals back up.
+	healCh := make(chan newtop.ProcessID, 64)
+	reconCh := make(chan newtop.ProcessID, 64)
+	for _, p := range procs {
+		p := p
+		go func() {
+			for ev := range p.Events() {
+				switch ev.Kind {
+				case newtop.EventHealDetected:
+					healCh <- p.Self()
+				case newtop.EventReconciled:
+					if ev.Group == 2 {
+						reconCh <- p.Self()
+					}
+				}
+			}
+		}()
+	}
+
+	kvs := make(map[newtop.ProcessID]*newtop.KV)
+	reps := make(map[newtop.ProcessID]*newtop.Replica)
+	for i, p := range procs {
+		kvs[p.Self()] = newtop.NewKV()
+		rep, err := newtop.Replicate(p, 1, kvs[p.Self()])
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps[p.Self()] = rep
+		_ = i
+	}
+	for _, p := range procs {
+		if err := p.BootstrapGroup(1, newtop.Symmetric, members); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 12; i++ {
+		if err := reps[members[i%4]].Propose([]byte(fmt.Sprintf("put base:%d v%d", i, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range members {
+		if err := reps[id].Barrier(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Partition {1,2} | {3,4}; both sides keep writing, then quiesce.
+	net.Partition([]newtop.ProcessID{1, 2}, []newtop.ProcessID{3, 4})
+	waitView := func(p *newtop.Process, excluded ...newtop.ProcessID) {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			v, err := p.View(1)
+			ok := err == nil
+			for _, e := range excluded {
+				if err == nil && v.Contains(e) {
+					ok = false
+				}
+			}
+			if ok {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("P%d: view never excluded %v (last %v)", p.Self(), excluded, v)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitView(procs[0], 3, 4)
+	waitView(procs[2], 1, 2)
+	if err := reps[1].Propose([]byte("put conflict A")); err != nil {
+		t.Fatal(err)
+	}
+	if err := reps[1].Propose([]byte("put only-a yes")); err != nil {
+		t.Fatal(err)
+	}
+	if err := reps[3].Propose([]byte("put only-b yes")); err != nil {
+		t.Fatal(err)
+	}
+	if err := reps[3].Propose([]byte("put conflict B")); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range members {
+		if err := reps[id].Barrier(); err != nil { // quiesce g1: the cut-over discipline
+			t.Fatal(err)
+		}
+	}
+	if dA, dB := reps[1].Digest(), reps[3].Digest(); dA == dB {
+		t.Fatal("sides did not diverge")
+	}
+
+	// Heal: probes from both sides cross the restored links.
+	net.Heal()
+	select {
+	case <-healCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("EventHealDetected never fired after the heal")
+	}
+
+	// Merged successor group g2 over all four, reconciled under LWW.
+	// Side tags: the old subgroup's lowest member.
+	recs := make(map[newtop.ProcessID]*newtop.Replica)
+	for _, p := range procs {
+		side := uint64(1)
+		if p.Self() >= 3 {
+			side = 3
+		}
+		rec, err := newtop.Reconcile(p, 2, kvs[p.Self()], newtop.LastWriterWins(), members,
+			newtop.WithPartitionSide(side))
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs[p.Self()] = rec
+	}
+	if err := procs[0].CreateGroup(2, newtop.Symmetric, members); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range members {
+		select {
+		case <-recs[id].Ready():
+		case <-time.After(60 * time.Second):
+			t.Fatalf("P%d reconciliation stalled: %+v", id, recs[id].Stats())
+		}
+	}
+	reconciled := map[newtop.ProcessID]bool{}
+	for len(reconciled) < 4 {
+		select {
+		case id := <-reconCh:
+			reconciled[id] = true
+		case <-time.After(30 * time.Second):
+			t.Fatalf("EventReconciled missing: got %v", reconciled)
+		}
+	}
+
+	// Every replica converged to the same merged state: both sides'
+	// writes survive, the conflict resolved identically everywhere.
+	d0 := recs[1].Digest()
+	for _, id := range members[1:] {
+		if d := recs[id].Digest(); d != d0 {
+			t.Fatalf("post-merge digest of P%d = %016x, want %016x", id, d, d0)
+		}
+	}
+	for _, id := range members {
+		kv := kvs[id]
+		if v, ok := kv.Get("only-a"); !ok || v != "yes" {
+			t.Fatalf("P%d lost side A's write: %q %v", id, v, ok)
+		}
+		if v, ok := kv.Get("only-b"); !ok || v != "yes" {
+			t.Fatalf("P%d lost side B's write: %q %v", id, v, ok)
+		}
+		if v, ok := kv.Get("conflict"); !ok || (v != "A" && v != "B") {
+			t.Fatalf("P%d conflict = %q %v", id, v, ok)
+		}
+		if v, _ := kv.Get("conflict"); v != kvsGet(kvs[1], "conflict") {
+			t.Fatalf("P%d conflict resolution differs", id)
+		}
+	}
+	// Writes keep flowing in the merged group.
+	if err := recs[2].Propose([]byte("put after-merge yes")); err != nil {
+		t.Fatal(err)
+	}
+	if err := recs[2].Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := kvs[2].Get("after-merge"); v != "yes" {
+		t.Fatal("post-merge write lost")
+	}
+}
+
+func kvsGet(kv *newtop.KV, k string) string {
+	v, _ := kv.Get(k)
+	return v
+}
+
 func TestPublicAPIPartitionControls(t *testing.T) {
 	net := newtop.NewNetwork(newtop.WithSeed(7), newtop.WithLatency(time.Millisecond, 2*time.Millisecond))
 	procs := startTrio(t, net)
