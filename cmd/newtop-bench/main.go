@@ -89,22 +89,45 @@ func run(args []string) error {
 	perfOut := fs.String("perf-out", "BENCH_core.json", "output path for -perf results")
 	perfBase := fs.String("perf-baseline", "", "previous -perf report whose numbers are recorded as the baseline")
 	perfNote := fs.String("perf-baseline-note", "", "note attached to the merged baseline entries")
-	gate := fs.String("perf-gate", "", "re-measure one benchmark against this baseline report and fail on regression (CI)")
-	gateBench := fs.String("perf-gate-bench", "EngineHandleMessage", "benchmark name checked by -perf-gate")
-	gateFactor := fs.Float64("perf-gate-factor", 2.0, "maximum allowed ns/op ratio versus the baseline")
+	gate := fs.String("perf-gate", "", "re-measure the gated benchmarks against this baseline report and fail on regression (CI)")
+	gateBench := fs.String("perf-gate-bench", "", "gate only this benchmark (ns/op) instead of the default check set")
+	gateFactor := fs.Float64("perf-gate-factor", 2.0, "maximum allowed ratio versus the baseline (overrides every default check's factor when set)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	gateFactorSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "perf-gate-factor" {
+			gateFactorSet = true
+		}
+	})
 	if *gate != "" {
 		baseline, err := perf.LoadReport(*gate)
 		if err != nil {
 			return fmt.Errorf("load gate baseline: %w", err)
 		}
-		got, err := perf.Gate(baseline, *gateBench, *gateFactor)
+		checks := make([]perf.GateCheck, len(perf.DefaultGateChecks))
+		copy(checks, perf.DefaultGateChecks)
+		if gateFactorSet {
+			for i := range checks {
+				checks[i].Factor = *gateFactor
+			}
+		}
+		if *gateBench != "" {
+			checks = []perf.GateCheck{{Name: *gateBench, Metric: "ns/op", Factor: *gateFactor}}
+		}
+		results, err := perf.GateAll(baseline, checks)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("perf gate ok: %s %.1f ns/op within %.1fx of baseline\n", got.Name, got.NsPerOp, *gateFactor)
+		for i, ck := range checks {
+			switch ck.Metric {
+			case "allocs/op":
+				fmt.Printf("perf gate ok: %s %d allocs/op within %.1fx of baseline\n", ck.Name, results[i].AllocsPerOp, ck.Factor)
+			default:
+				fmt.Printf("perf gate ok: %s %.1f ns/op within %.1fx of baseline\n", ck.Name, results[i].NsPerOp, ck.Factor)
+			}
+		}
 		return nil
 	}
 	if *perfRun {

@@ -27,6 +27,10 @@ import (
 var ErrClosed = errors.New("node: closed")
 
 // Delivery is one application message delivered in the agreed order.
+// Payload is owned memory (the node seals borrowed transport buffers
+// before the engine retains them), so consumers — including the
+// SubscribeGroup fan-out feeding rsm appliers — may hold it indefinitely
+// without copying.
 type Delivery struct {
 	Group   types.GroupID
 	Sender  types.ProcessID // the multicast's author
@@ -369,6 +373,15 @@ func (n *Node) loop() {
 				return
 			}
 			n.noteInbound(in.From, in.Msg.Group)
+			// The engine retains stimuli (data messages sit in its log
+			// until stability), so a borrowed message is sealed — its
+			// payload copied out of the transport buffer — before the
+			// buffer reference goes back. This is the single copy left on
+			// the receive path.
+			if in.Buf != nil {
+				in.Msg.Own()
+				in.Release()
+			}
 			n.route(n.eng.HandleMessage(n.clk.Now(), in.From, in.Msg))
 		case <-timer:
 			now := n.clk.Now()

@@ -9,6 +9,7 @@ import (
 	"newtop/internal/core"
 	"newtop/internal/transport/memnet"
 	"newtop/internal/types"
+	"newtop/internal/wire"
 )
 
 // newTrio starts three nodes over an in-memory network.
@@ -390,5 +391,44 @@ func TestNodeSubmitPayloadIsCopied(t *testing.T) {
 	d := recvDelivery(t, nodes[1])
 	if string(d.Payload) != "original" {
 		t.Errorf("payload = %q; caller's buffer mutation leaked", d.Payload)
+	}
+}
+
+// TestNodeDeliveriesSurviveBufferReuse is the receive-side aliasing test
+// for the borrowed-buffer contract: with poison-on-release enabled, every
+// transport buffer is scribbled the moment its last reference drops, so a
+// delivery that still aliased transport memory would surface as poisoned
+// payload bytes. Distinct payloads from all three nodes must come out of
+// the delivery stream byte-exact while buffers churn underneath.
+func TestNodeDeliveriesSurviveBufferReuse(t *testing.T) {
+	prev := wire.SetPoisonOnRelease(true)
+	defer wire.SetPoisonOnRelease(prev)
+
+	_, nodes := newTrio(t)
+	for _, n := range nodes {
+		if err := n.BootstrapGroup(1, core.Symmetric, members(3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const per = 64
+	for _, n := range nodes {
+		n := n
+		go func() {
+			for i := 0; i < per; i++ {
+				if err := n.Submit(1, []byte(fmt.Sprintf("payload-%v-%03d", n.Self(), i))); err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	next := make(map[types.ProcessID]int)
+	for i := 0; i < 3*per; i++ {
+		d := recvDelivery(t, nodes[2])
+		want := fmt.Sprintf("payload-%v-%03d", d.Sender, next[d.Sender])
+		if string(d.Payload) != want {
+			t.Fatalf("delivery %d: payload = %q, want %q (poisoned or stale buffer?)", i, d.Payload, want)
+		}
+		next[d.Sender]++
 	}
 }

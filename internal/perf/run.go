@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -101,29 +102,73 @@ func RunOne(name string) (Result, error) {
 	return Result{}, fmt.Errorf("perf: unknown benchmark %q", name)
 }
 
-// Gate re-measures one benchmark and fails if it regressed by more than
-// factor versus the baseline report (the CI bench-smoke step). It returns
-// the fresh measurement for logging.
-func Gate(baseline *Report, name string, factor float64) (Result, error) {
-	var base *Result
+// GateCheck is one CI regression gate: a benchmark, the metric guarded,
+// and the maximum allowed ratio versus the baseline report.
+type GateCheck struct {
+	Name   string
+	Metric string // "ns/op" or "allocs/op"
+	Factor float64
+}
+
+// DefaultGateChecks are the gates CI runs: the engine receive hot path and
+// the two intake-pipeline benchmarks the zero-copy receive work targets.
+// Allocation counts are the tight gates — they are stable run to run,
+// while ns/op on shared CI machines swings with neighbour load — so the
+// ns/op checks carry a looser factor that still catches a catastrophic
+// regression without tripping on noise.
+var DefaultGateChecks = []GateCheck{
+	{Name: "EngineHandleMessage", Metric: "ns/op", Factor: 3},
+	{Name: "TCPSendRecv", Metric: "allocs/op", Factor: 2},
+	{Name: "RSMCatchUp", Metric: "allocs/op", Factor: 2},
+	{Name: "RSMCatchUp", Metric: "ns/op", Factor: 3},
+}
+
+// GateAll re-measures every benchmark named by checks (each once, even if
+// checked on several metrics) and fails if any metric regressed past its
+// factor versus the baseline report. All checks are evaluated; the error
+// aggregates every failure. The fresh measurements are returned in check
+// order for logging.
+func GateAll(baseline *Report, checks []GateCheck) ([]Result, error) {
+	byName := make(map[string]*Result, len(baseline.Results))
 	for i := range baseline.Results {
-		if baseline.Results[i].Name == name {
-			base = &baseline.Results[i]
-			break
+		byName[baseline.Results[i].Name] = &baseline.Results[i]
+	}
+	measured := make(map[string]Result, len(checks))
+	var out []Result
+	var failures []string
+	for _, ck := range checks {
+		base, ok := byName[ck.Name]
+		if !ok {
+			return out, fmt.Errorf("perf: baseline has no entry for %q", ck.Name)
+		}
+		got, ok := measured[ck.Name]
+		if !ok {
+			var err error
+			if got, err = RunOne(ck.Name); err != nil {
+				return out, err
+			}
+			measured[ck.Name] = got
+		}
+		out = append(out, got)
+		switch ck.Metric {
+		case "ns/op":
+			if limit := base.NsPerOp * ck.Factor; got.NsPerOp > limit {
+				failures = append(failures, fmt.Sprintf("%s regressed: %.1f ns/op > %.1fx baseline %.1f ns/op",
+					ck.Name, got.NsPerOp, ck.Factor, base.NsPerOp))
+			}
+		case "allocs/op":
+			if limit := float64(base.AllocsPerOp) * ck.Factor; float64(got.AllocsPerOp) > limit {
+				failures = append(failures, fmt.Sprintf("%s regressed: %d allocs/op > %.1fx baseline %d allocs/op",
+					ck.Name, got.AllocsPerOp, ck.Factor, base.AllocsPerOp))
+			}
+		default:
+			return out, fmt.Errorf("perf: unknown gate metric %q", ck.Metric)
 		}
 	}
-	if base == nil {
-		return Result{}, fmt.Errorf("perf: baseline has no entry for %q", name)
+	if len(failures) > 0 {
+		return out, fmt.Errorf("perf: %s", strings.Join(failures, "; "))
 	}
-	got, err := RunOne(name)
-	if err != nil {
-		return Result{}, err
-	}
-	if limit := base.NsPerOp * factor; got.NsPerOp > limit {
-		return got, fmt.Errorf("perf: %s regressed: %.1f ns/op > %.1fx baseline %.1f ns/op",
-			name, got.NsPerOp, factor, base.NsPerOp)
-	}
-	return got, nil
+	return out, nil
 }
 
 // NewReport wraps results in the BENCH_core.json envelope.

@@ -67,6 +67,14 @@ type Stats struct {
 // Outcome reports what one Step did and what must be multicast next. The
 // Submits payloads are handed to the group's ordinary multicast primitive;
 // everything else is informational for runtimes and tests.
+//
+// Ownership: Submits produced by Step and PruneLive are borrowed from the
+// core's reusable encode arena and stay valid only until the next call
+// into the core. Hand them to a multicast primitive that copies on
+// submit (node.Submit and sim.Cluster.Submit both do) before then, or
+// copy them yourself. In poison mode the arena is scribbled on reuse, so
+// a retained frame corrupts loudly. Frames from Start and Resync are
+// owned (runtimes retry them at arbitrary later times).
 type Outcome struct {
 	Submits    [][]byte        // payloads to multicast in the group, in order
 	Applied    int             // commands applied by this step (incl. replayed tail)
@@ -118,6 +126,11 @@ type Core struct {
 
 	// recon is the in-flight reconciliation (nil otherwise).
 	recon *reconState
+
+	// enc is the submit-frame arena: Step and PruneLive marshal their
+	// outgoing envelopes into it instead of a fresh buffer per frame, and
+	// Outcome.Submits borrow from it until the next call into the core.
+	enc []byte
 
 	stats Stats
 }
@@ -212,10 +225,34 @@ func (c *Core) Digest() uint64 {
 	return h.Sum64()
 }
 
+// resetArena reclaims the submit-frame arena at every core entry point:
+// the previous outcome's Submits are dead from here on. In poison mode the
+// freed region is scribbled first, so a frame retained past its lifetime
+// reads as loud garbage instead of silently stale bytes.
+func (c *Core) resetArena() {
+	if wire.PoisonOnRelease() {
+		wire.PoisonFill(c.enc[:cap(c.enc)])
+	}
+	c.enc = c.enc[:0]
+}
+
+// submitFrame marshals env into the arena and appends the encoded frame
+// to out.Submits.
+func (c *Core) submitFrame(out *Outcome, env *wire.Envelope) {
+	off := len(c.enc)
+	c.enc = wire.MarshalEnvelope(c.enc, env)
+	out.Submits = append(out.Submits, c.enc[off:len(c.enc):len(c.enc)])
+}
+
 // Step processes one delivery of the group's totally ordered stream:
 // origin is the multicast's author, payload its bytes. It returns what
 // happened and what to multicast next.
+//
+// payload is borrowed for the duration of the call (the core copies what
+// it retains); it must not alias the core's own arena — feeding a prior
+// outcome's Submits back in without a copy is an ownership violation.
 func (c *Core) Step(origin types.ProcessID, payload []byte) Outcome {
+	c.resetArena()
 	c.pos++
 	var out Outcome
 	env, err := wire.UnmarshalEnvelope(payload)
@@ -286,9 +323,9 @@ func (c *Core) onSync(origin types.ProcessID, env *wire.Envelope, out *Outcome) 
 	if origin == c.cfg.Self || !c.caughtUp {
 		return
 	}
-	out.Submits = append(out.Submits, wire.MarshalEnvelope(nil, &wire.Envelope{
+	c.submitFrame(out, &wire.Envelope{
 		Kind: wire.EnvOffer, Target: origin, SyncID: env.SyncID,
-	}))
+	})
 }
 
 func (c *Core) onOffer(origin types.ProcessID, env *wire.Envelope, out *Outcome) {
@@ -353,12 +390,13 @@ func (c *Core) emitChunk(s *serveState, out *Outcome) bool {
 		end = len(s.snap)
 	}
 	last := end == len(s.snap)
-	chunk := wire.Envelope{
+	// The chunk Data aliases the held snapshot and the frame is marshalled
+	// into the arena — no per-chunk envelope allocation.
+	c.submitFrame(out, &wire.Envelope{
 		Kind: wire.EnvSnapChunk, Target: s.target, SyncID: s.syncID,
 		Index: s.idx, Last: last, Applied: s.applied,
 		Data: s.snap[s.off:end],
-	}
-	out.Submits = append(out.Submits, wire.MarshalEnvelope(nil, &chunk))
+	})
 	c.stats.ChunksOut++
 	s.idx++
 	s.off = end

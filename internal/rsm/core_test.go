@@ -48,7 +48,9 @@ func (b *bus) addCore(p types.ProcessID, catchUp bool, chunkSize int, preload ma
 }
 
 func (b *bus) submit(p types.ProcessID, payload []byte) {
-	b.queue = append(b.queue, frame{origin: p, payload: payload})
+	// The hand-off copies, like node.Submit and sim.Submit: core outcomes
+	// borrow the submitting core's arena and die at its next Step.
+	b.queue = append(b.queue, frame{origin: p, payload: append([]byte(nil), payload...)})
 }
 
 // run delivers queued frames (and the submits they trigger) until the
@@ -80,6 +82,16 @@ func (b *bus) digests() map[types.ProcessID]uint64 {
 	out := make(map[types.ProcessID]uint64)
 	for p, c := range b.cores {
 		out[p] = c.Digest()
+	}
+	return out
+}
+
+// ownFrames copies an outcome's Submits out of the core's arena — what
+// any runtime that retains frames across core calls must do.
+func ownFrames(frames [][]byte) [][]byte {
+	out := make([][]byte, len(frames))
+	for i, f := range frames {
+		out[i] = append([]byte(nil), f...)
 	}
 	return out
 }

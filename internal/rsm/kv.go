@@ -9,6 +9,14 @@ import (
 	"sync"
 )
 
+// MaxTombstones bounds the delete-tombstone set a KV keeps between
+// reconciliations. When the bound is hit, the oldest tombstone (lowest
+// revision, ties by key) is evicted — an evicted delete degrades to the
+// old resurrection behaviour for that one key, which is the right failure
+// mode for a bounded-memory reference machine. Reconciliation completion
+// clears the whole set (see CompactTombstones).
+const MaxTombstones = 4096
+
 // KV is the reference StateMachine: a replicated string map driven by
 // text commands, the classic kvstore the paper's motivation section points
 // at. It is what the examples, newtopd and the harness scenarios replicate.
@@ -23,22 +31,43 @@ import (
 // goroutine-safe so applications may read a replica's KV directly, though
 // Replica.Read remains the way to get read-your-writes ordering.
 //
-// Beyond the plain map, KV keeps per-key revision metadata — the apply
-// index of each key's last write — and implements Differ, so diverged
-// copies (the two sides of a healed partition) can be reconciled by
-// digest diff and a revision-aware merge policy. Revisions are advisory:
-// they are excluded from Snapshot and from the digests, so they never
-// affect replica equality, and they reset on Restore (a transferred
-// snapshot starts a fresh local lineage).
+// Beyond the plain map, KV keeps per-key lineage metadata for
+// reconciliation: the apply index of each key's last write (rev) and of
+// each key's deletion (tomb — the delete tombstone that lets a
+// partition-era delete outrank an older surviving write under
+// LastWriterWins). Both are advisory: they are excluded from Snapshot and
+// from the full-state digest, so they never affect replica equality, and
+// they reset on Restore (a transferred snapshot starts a fresh local
+// lineage). Tombstones do participate in the per-bucket diff digests and
+// in ExportDiff/ApplyMerge, so deletes travel through a merge like writes
+// do; the set is bounded by MaxTombstones and cleared when a
+// reconciliation completes.
+//
+// The diff digests are incremental: every mutation folds the affected
+// pair in and out of its bucket's XOR digest, so DiffDigest is a copy of
+// a maintained vector rather than a full-map walk per reconcile summary.
 type KV struct {
-	mu  sync.RWMutex
-	m   map[string]string
-	rev map[string]uint64 // apply index of each key's last write
-	seq uint64            // commands applied in this lineage
+	mu   sync.RWMutex
+	m    map[string]string
+	rev  map[string]uint64 // apply index of each key's last write
+	tomb map[string]uint64 // apply index of each deleted key's deletion
+	seq  uint64            // commands applied in this lineage
+
+	// Incrementally maintained per-bucket diff digests. nbuckets is 0
+	// until the first DiffDigest call fixes the width; a call with a
+	// different width rebuilds once and re-fixes it.
+	nbuckets int
+	buckets  []uint64
 }
 
 // NewKV creates an empty store.
-func NewKV() *KV { return &KV{m: make(map[string]string), rev: make(map[string]uint64)} }
+func NewKV() *KV {
+	return &KV{
+		m:    make(map[string]string),
+		rev:  make(map[string]uint64),
+		tomb: make(map[string]uint64),
+	}
+}
 
 // Apply implements StateMachine.
 func (kv *KV) Apply(cmd []byte) {
@@ -50,29 +79,100 @@ func (kv *KV) Apply(cmd []byte) {
 	switch verb {
 	case "put":
 		if key, val, ok := strings.Cut(rest, " "); ok && key != "" {
-			kv.m[key] = val
-			kv.rev[key] = kv.seq
+			kv.setLocked(key, val, kv.seq)
 		}
 	case "del":
 		if rest != "" {
-			delete(kv.m, rest)
-			delete(kv.rev, rest)
+			kv.delLocked(rest, kv.seq)
 		}
 	}
 }
 
+// setLocked installs key=val at revision rev, maintaining the bucket
+// digests and clearing any tombstone the key carried.
+func (kv *KV) setLocked(key, val string, rev uint64) {
+	if kv.nbuckets > 0 {
+		b := kvBucket(key, kv.nbuckets)
+		if old, ok := kv.m[key]; ok {
+			kv.buckets[b] ^= pairHash(key, old)
+		}
+		if trev, ok := kv.tomb[key]; ok {
+			kv.buckets[b] ^= tombHash(key, trev)
+		}
+		kv.buckets[b] ^= pairHash(key, val)
+	}
+	delete(kv.tomb, key)
+	kv.m[key] = val
+	kv.rev[key] = rev
+}
+
+// delLocked removes key at revision rev, recording (and bounding) its
+// tombstone and maintaining the bucket digests. Deleting an absent key
+// still records the tombstone: the delete happened in this lineage and
+// must outrank older writes that only other lineages hold.
+func (kv *KV) delLocked(key string, rev uint64) {
+	if kv.nbuckets > 0 {
+		b := kvBucket(key, kv.nbuckets)
+		if old, ok := kv.m[key]; ok {
+			kv.buckets[b] ^= pairHash(key, old)
+		}
+		if trev, ok := kv.tomb[key]; ok {
+			kv.buckets[b] ^= tombHash(key, trev)
+		}
+		kv.buckets[b] ^= tombHash(key, rev)
+	}
+	delete(kv.m, key)
+	delete(kv.rev, key)
+	kv.tomb[key] = rev
+	if len(kv.tomb) > MaxTombstones {
+		kv.evictTombstonesLocked()
+	}
+}
+
+// evictTombstonesLocked drops the oldest tombstones (lowest revision,
+// ties broken by key) down to 7/8 of the bound in one pass, so a
+// delete-heavy workload pays one sort every MaxTombstones/8 deletes
+// instead of a full scan per delete. Deterministic given identical
+// lineages.
+func (kv *KV) evictTombstonesLocked() {
+	type tombEntry struct {
+		key string
+		rev uint64
+	}
+	all := make([]tombEntry, 0, len(kv.tomb))
+	for k, r := range kv.tomb {
+		all = append(all, tombEntry{k, r})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].rev != all[j].rev {
+			return all[i].rev < all[j].rev
+		}
+		return all[i].key < all[j].key
+	})
+	keep := MaxTombstones * 7 / 8
+	for _, e := range all[:len(all)-keep] {
+		if kv.nbuckets > 0 {
+			kv.buckets[kvBucket(e.key, kv.nbuckets)] ^= tombHash(e.key, e.rev)
+		}
+		delete(kv.tomb, e.key)
+	}
+}
+
 // Snapshot implements StateMachine: length-prefixed key/value pairs in
-// sorted key order — equal states encode to equal bytes. Revision metadata
-// is deliberately excluded: it describes a local lineage, not the state.
+// sorted key order — equal states encode to equal bytes. Lineage metadata
+// (revisions, tombstones) is deliberately excluded: it describes a local
+// history, not the state.
 func (kv *KV) Snapshot() []byte {
 	kv.mu.RLock()
 	defer kv.mu.RUnlock()
 	keys := make([]string, 0, len(kv.m))
+	size := binary.MaxVarintLen64
 	for k := range kv.m {
 		keys = append(keys, k)
+		size += 2*binary.MaxVarintLen64 + len(k) + len(kv.m[k])
 	}
 	sort.Strings(keys)
-	out := binary.AppendUvarint(nil, uint64(len(keys)))
+	out := binary.AppendUvarint(make([]byte, 0, size), uint64(len(keys)))
 	for _, k := range keys {
 		out = binary.AppendUvarint(out, uint64(len(k)))
 		out = append(out, k...)
@@ -111,7 +211,11 @@ func (kv *KV) Restore(snapshot []byte) error {
 	kv.mu.Lock()
 	kv.m = m
 	kv.rev = make(map[string]uint64)
+	kv.tomb = make(map[string]uint64)
 	kv.seq = 0
+	if kv.nbuckets > 0 {
+		kv.rebuildDigestLocked(kv.nbuckets)
+	}
 	kv.mu.Unlock()
 	return nil
 }
@@ -132,6 +236,21 @@ func (kv *KV) Rev(key string) uint64 {
 	return kv.rev[key]
 }
 
+// TombRev returns the apply index of key's deletion, or 0 if the key
+// carries no tombstone.
+func (kv *KV) TombRev(key string) uint64 {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	return kv.tomb[key]
+}
+
+// Tombstones returns the current tombstone count.
+func (kv *KV) Tombstones() int {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	return len(kv.tomb)
+}
+
 // Len returns the number of keys.
 func (kv *KV) Len() int {
 	kv.mu.RLock()
@@ -148,28 +267,57 @@ func kvBucket(key string, n int) int {
 	return int(h.Sum64() % uint64(n))
 }
 
-// DiffDigest implements Differ: an order-independent digest per bucket,
-// folding each present (key, value) pair — revisions excluded, matching
-// Snapshot. Two KVs differ in a bucket iff the bucket holds different
-// content (up to hash collision, which reconciliation tolerates by
-// falling back to a full exchange when no bucket differs).
-func (kv *KV) DiffDigest(nbuckets int) []uint64 {
-	kv.mu.RLock()
-	defer kv.mu.RUnlock()
-	out := make([]uint64, nbuckets)
-	for k, v := range kv.m {
-		h := fnv.New64a()
-		_, _ = h.Write([]byte(k))
-		_, _ = h.Write([]byte{0})
-		_, _ = h.Write([]byte(v))
-		// XOR-fold: commutative, so map iteration order cannot leak in.
-		out[kvBucket(k, nbuckets)] ^= h.Sum64()
-	}
-	return out
+// pairHash folds one live (key, value) pair. XOR of pair hashes is
+// commutative, so map iteration order cannot leak into a bucket digest.
+func pairHash(key, val string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(val))
+	return h.Sum64()
 }
 
-// ExportDiff implements Differ: the entries of every marked bucket, sorted
-// by key, plus the current write cursor.
+// tombHash folds one tombstone. The marker byte keeps a deleted key from
+// ever colliding with a live pair; the revision is part of the content —
+// sides that deleted the same key at different points genuinely differ.
+func tombHash(key string, rev uint64) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	_, _ = h.Write([]byte{1})
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], rev)
+	_, _ = h.Write(b[:])
+	return h.Sum64()
+}
+
+// DiffDigest implements Differ: an order-independent digest per bucket,
+// folding every live (key, value) pair and every tombstone. The vector is
+// maintained incrementally on mutation; a call is a copy, not a walk. A
+// width change (different nbuckets) rebuilds once and re-fixes the width.
+func (kv *KV) DiffDigest(nbuckets int) []uint64 {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	if nbuckets != kv.nbuckets {
+		kv.rebuildDigestLocked(nbuckets)
+	}
+	return append([]uint64(nil), kv.buckets...)
+}
+
+// rebuildDigestLocked recomputes the bucket vector at the given width —
+// the one full walk, paid when the width is first fixed or changes.
+func (kv *KV) rebuildDigestLocked(nbuckets int) {
+	kv.nbuckets = nbuckets
+	kv.buckets = make([]uint64, nbuckets)
+	for k, v := range kv.m {
+		kv.buckets[kvBucket(k, nbuckets)] ^= pairHash(k, v)
+	}
+	for k, r := range kv.tomb {
+		kv.buckets[kvBucket(k, nbuckets)] ^= tombHash(k, r)
+	}
+}
+
+// ExportDiff implements Differ: the live entries and tombstones of every
+// marked bucket, sorted by key, plus the current write cursor.
 func (kv *KV) ExportDiff(marked []bool) ([]Entry, uint64) {
 	kv.mu.RLock()
 	defer kv.mu.RUnlock()
@@ -179,28 +327,47 @@ func (kv *KV) ExportDiff(marked []bool) ([]Entry, uint64) {
 			out = append(out, Entry{Key: k, Value: v, Rev: kv.rev[k]})
 		}
 	}
+	for k, r := range kv.tomb {
+		if b := kvBucket(k, len(marked)); b < len(marked) && marked[b] {
+			out = append(out, Entry{Key: k, Rev: r, Tomb: true})
+		}
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out, kv.seq
 }
 
 // ApplyMerge implements Differ: install the merge outcome — overwrite the
-// winning entries (value and revision), delete the losers, and advance the
+// winning entries (value and revision), delete the losers (recording the
+// delete's revision as a tombstone at every member), and advance the
 // write cursor to the maximum across the merged lineages so post-merge
 // writes get comparable revisions at every member.
-func (kv *KV) ApplyMerge(seq uint64, puts []Entry, dels []string) {
+func (kv *KV) ApplyMerge(seq uint64, puts, dels []Entry) {
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
 	for _, e := range puts {
-		kv.m[e.Key] = e.Value
-		kv.rev[e.Key] = e.Rev
+		kv.setLocked(e.Key, e.Value, e.Rev)
 	}
-	for _, k := range dels {
-		delete(kv.m, k)
-		delete(kv.rev, k)
+	for _, e := range dels {
+		kv.delLocked(e.Key, e.Rev)
 	}
 	if seq > kv.seq {
 		kv.seq = seq
 	}
+}
+
+// CompactTombstones implements TombstoneGC: a completed reconciliation is
+// a synchronisation point — every member converged, so only deletes from
+// a *future* divergence can ever conflict again, and those create fresh
+// tombstones after the split. The whole set is dropped.
+func (kv *KV) CompactTombstones() {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	if kv.nbuckets > 0 {
+		for k, r := range kv.tomb {
+			kv.buckets[kvBucket(k, kv.nbuckets)] ^= tombHash(k, r)
+		}
+	}
+	kv.tomb = make(map[string]uint64)
 }
 
 func kvUvarint(buf []byte) (uint64, []byte, error) {

@@ -49,11 +49,15 @@ import (
 const DefaultBuckets = 64
 
 // Entry is one key's state in a reconciliation exchange. Rev is the apply
-// index of the key's last write in the exporting side's lineage.
+// index of the key's last write in the exporting side's lineage. Tomb
+// marks a delete tombstone: the side removed the key at Rev (Value is
+// empty), so the delete competes in the merge by revision instead of
+// silently losing to any surviving write.
 type Entry struct {
 	Key   string
 	Value string
 	Rev   uint64
+	Tomb  bool
 }
 
 // Differ is implemented by state machines that support digest-diff
@@ -63,25 +67,39 @@ type Differ interface {
 	// DiffDigest returns one order-independent digest per bucket; two
 	// machines disagree in a bucket iff the bucket's content differs.
 	DiffDigest(nbuckets int) []uint64
-	// ExportDiff returns the entries of every marked bucket, sorted by
-	// key, plus the machine's write cursor (apply index).
+	// ExportDiff returns the entries (live values and delete tombstones)
+	// of every marked bucket, sorted by key, plus the machine's write
+	// cursor (apply index).
 	ExportDiff(marked []bool) ([]Entry, uint64)
 	// ApplyMerge installs a merge outcome: overwrite puts (value and
-	// revision), delete dels, and advance the write cursor to at least
+	// revision), delete dels (each carrying the delete's revision, to be
+	// recorded as a tombstone), and advance the write cursor to at least
 	// seq.
-	ApplyMerge(seq uint64, puts []Entry, dels []string)
+	ApplyMerge(seq uint64, puts, dels []Entry)
+}
+
+// TombstoneGC is optionally implemented by Differs that keep delete
+// tombstones. The core invokes it when a reconciliation completes: the
+// members converged, so tombstones from before this synchronisation point
+// can never decide a future merge — only post-divergence deletes can, and
+// those create fresh tombstones.
+type TombstoneGC interface {
+	CompactTombstones()
 }
 
 // MergeCandidate is one digest-class's opinion about a key during a merge.
 type MergeCandidate struct {
 	// Side is the class's partition tag (from its proponent's summary).
 	Side uint64
-	// Rev is the apply index of the key's last write in that class's
-	// lineage; 0 when unknown.
+	// Rev is the apply index of the key's last write — or, for a
+	// tombstone, of its deletion — in that class's lineage; 0 when the
+	// class never saw the key.
 	Rev uint64
 	// Value is the class's value for the key (meaningless when !Present).
 	Value string
-	// Present reports whether the class holds the key at all.
+	// Present reports whether the class holds the key live. A candidate
+	// with !Present and Rev > 0 is a delete tombstone: the class removed
+	// the key at Rev and that deletion competes by revision.
 	Present bool
 }
 
@@ -96,22 +114,24 @@ type MergePolicy interface {
 	Merge(key string, cands []MergeCandidate) (value string, present bool)
 }
 
-// lastWriterWins picks the present candidate with the highest revision
-// (ties broken by side tag, then value, for determinism).
+// lastWriterWins picks the candidate — live write or delete tombstone —
+// with the highest revision (ties broken by side tag, then value, for
+// determinism).
 type lastWriterWins struct{}
 
-// LastWriterWins returns the default merge policy: the write with the
+// LastWriterWins returns the default merge policy: the operation with the
 // highest apply index wins. Apply indices from diverged lineages share the
 // common prefix, so the comparison is the natural "most writes since the
-// split" heuristic; note that deletions carry no tombstone, so a deleted
-// key loses to any surviving write.
+// split" heuristic. Deletions compete through their tombstones: a
+// partition-era delete with a higher revision than the surviving write
+// deletes the key everywhere, instead of being resurrected.
 func LastWriterWins() MergePolicy { return lastWriterWins{} }
 
 func (lastWriterWins) Merge(_ string, cands []MergeCandidate) (string, bool) {
 	best := -1
 	for i, c := range cands {
-		if !c.Present {
-			continue
+		if !c.Present && c.Rev == 0 {
+			continue // the class never saw the key: no write, no tombstone
 		}
 		if best < 0 {
 			best = i
@@ -122,8 +142,8 @@ func (lastWriterWins) Merge(_ string, cands []MergeCandidate) (string, bool) {
 			best = i
 		}
 	}
-	if best < 0 {
-		return "", false
+	if best < 0 || !cands[best].Present {
+		return "", false // nobody holds it, or the winning operation is a delete
 	}
 	return cands[best].Value, true
 }
@@ -317,12 +337,12 @@ func (c *Core) maybeProposeEntries(out *Outcome) {
 	entries, seq := c.differ().ExportDiff(r.diff)
 	wes := make([]wire.ReconEntry, len(entries))
 	for i, e := range entries {
-		wes[i] = wire.ReconEntry{Key: []byte(e.Key), Value: []byte(e.Value), Rev: e.Rev}
+		wes[i] = wire.ReconEntry{Key: []byte(e.Key), Value: []byte(e.Value), Rev: e.Rev, Tomb: e.Tomb}
 	}
 	r.sentOwn = true
-	out.Submits = append(out.Submits, wire.MarshalEnvelope(nil, &wire.Envelope{
+	c.submitFrame(out, &wire.Envelope{
 		Kind: wire.EnvReconEntries, Digest: cl.digest, Applied: seq, Entries: wes,
-	}))
+	})
 }
 
 // onReconEntries handles a class proponent's merge proposal. The first
@@ -340,7 +360,7 @@ func (c *Core) onReconEntries(_ types.ProcessID, env *wire.Envelope, out *Outcom
 	// Copy out of the delivery buffer: the merge happens later.
 	entries := make([]Entry, len(env.Entries))
 	for i, e := range env.Entries {
-		entries[i] = Entry{Key: string(e.Key), Value: string(e.Value), Rev: e.Rev}
+		entries[i] = Entry{Key: string(e.Key), Value: string(e.Value), Rev: e.Rev, Tomb: e.Tomb}
 	}
 	if !r.done {
 		r.early = append(r.early, earlyEntries{digest: env.Digest, seq: env.Applied, entries: entries})
@@ -408,14 +428,16 @@ func (c *Core) performMerge(out *Outcome) {
 	}
 	sort.Strings(union)
 
-	var puts []Entry
-	var dels []string
+	var puts, dels []Entry
 	cands := make([]MergeCandidate, len(classes))
 	for _, k := range union {
 		var maxRev uint64
 		for i, cl := range classes {
 			e, ok := byKey[i][k]
-			cands[i] = MergeCandidate{Side: cl.side, Rev: e.Rev, Value: e.Value, Present: ok}
+			// A tombstone entry surfaces as !Present with its delete
+			// revision; a class that never exported the key is !Present
+			// with Rev 0.
+			cands[i] = MergeCandidate{Side: cl.side, Rev: e.Rev, Value: e.Value, Present: ok && !e.Tomb}
 			if e.Rev > maxRev {
 				maxRev = e.Rev
 			}
@@ -433,7 +455,9 @@ func (c *Core) performMerge(out *Outcome) {
 			}
 			puts = append(puts, Entry{Key: k, Value: v, Rev: rev})
 		} else {
-			dels = append(dels, k)
+			// The delete's tombstone revision at every member: the max
+			// exchanged revision keeps it ahead of every write it beat.
+			dels = append(dels, Entry{Key: k, Rev: maxRev, Tomb: true})
 		}
 	}
 	c.differ().ApplyMerge(maxSeq, puts, dels)
@@ -443,12 +467,17 @@ func (c *Core) performMerge(out *Outcome) {
 
 // finishRecon completes reconciliation: the machine is authoritative
 // again, and the commands buffered since the summary replay on top of the
-// merged state in the agreed order.
+// merged state in the agreed order. Completion is the tombstone GC point —
+// the members converged, so pre-merge delete tombstones can never decide a
+// future conflict.
 func (c *Core) finishRecon(out *Outcome) {
 	c.recon = nil
 	c.caughtUp = true
 	c.stats.Reconciles++
 	out.Reconciled = true
+	if tg, ok := c.sm.(TombstoneGC); ok {
+		tg.CompactTombstones()
+	}
 	for _, b := range c.buf {
 		c.apply(b.origin, b.cmd, out)
 		c.stats.Replayed++
@@ -464,6 +493,7 @@ func (c *Core) finishRecon(out *Outcome) {
 // delivered entries is dropped. Runtimes call this from their stall
 // timers; the outcome's Submits must be multicast like any Step outcome.
 func (c *Core) PruneLive(live []types.ProcessID) Outcome {
+	c.resetArena()
 	var out Outcome
 	r := c.recon
 	if r == nil {

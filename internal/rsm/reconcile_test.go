@@ -52,8 +52,8 @@ func divergedKVs() map[types.ProcessID]*KV {
 // TestCoreReconcileLastWriterWins is the heart of the merge protocol: two
 // diverged classes exchange summaries and diff entries, and every member
 // converges to the LWW merge — side B's later shared write wins, side A's
-// deletion (no tombstone) is resurrected, both sides' unique keys
-// survive.
+// deletion beats B's older surviving write through its tombstone, both
+// sides' unique keys survive.
 func TestCoreReconcileLastWriterWins(t *testing.T) {
 	all := []types.ProcessID{1, 2, 3, 4}
 	kvs := divergedKVs()
@@ -83,12 +83,26 @@ func TestCoreReconcileLastWriterWins(t *testing.T) {
 		"base:1": "c1", "shared": "B",
 		"a:1": "va1", "a:2": "va2",
 		"b:1": "vb1", "b:2": "vb2", "b:3": "vb3",
-		// Side A deleted victim but B's copy survives under LWW (no
-		// tombstones) — the documented resurrection semantics.
-		"victim": "gone-soon",
 	} {
 		if v, ok := kv.Get(k); !ok || v != want {
 			t.Errorf("%s = %q %v, want %q", k, v, ok, want)
+		}
+	}
+	// Side A's "del victim" (revision 5 in its lineage) outranks side B's
+	// pre-split write (revision 3): the tombstone wins at every member —
+	// no resurrection.
+	for _, p := range all {
+		if v, ok := kvs[p].Get("victim"); ok {
+			t.Errorf("P%v resurrected victim = %q despite the newer delete", p, v)
+		}
+	}
+	if got := b.cores[1].Stats().MergedDels; got != 1 {
+		t.Errorf("MergedDels = %d, want the victim tombstone merge", got)
+	}
+	// Reconciliation completion is the tombstone GC point.
+	for _, p := range all {
+		if n := kvs[p].Tombstones(); n != 0 {
+			t.Errorf("P%v kept %d tombstones past EventReconciled", p, n)
 		}
 	}
 }
@@ -285,13 +299,14 @@ func TestCorePruneProponentTakeover(t *testing.T) {
 	if len(out.Submits) != 1 {
 		t.Fatalf("takeover produced %d submits, want the entries frame", len(out.Submits))
 	}
-	env, err := wire.UnmarshalEnvelope(out.Submits[0])
+	takeover := ownFrames(out.Submits)[0]
+	env, err := wire.UnmarshalEnvelope(takeover)
 	if err != nil || env.Kind != wire.EnvReconEntries {
 		t.Fatalf("takeover frame: %v %v", env.Kind, err)
 	}
 	// Deliver our own entries, then P3's class's (crafted directly from
 	// its machine, as its own core would): the merge completes.
-	c.Step(2, out.Submits[0])
+	c.Step(2, takeover)
 	entries, seq := theirKV.ExportDiff(allBuckets(8))
 	wes := make([]wire.ReconEntry, len(entries))
 	for i, e := range entries {
@@ -398,7 +413,7 @@ func TestCoreStreamWindow(t *testing.T) {
 	if len(out.Submits) != 1 {
 		t.Fatalf("offer submits = %d", len(out.Submits))
 	}
-	out = c.Step(1, out.Submits[0]) // own offer delivered: we are elected
+	out = c.Step(1, ownFrames(out.Submits)[0]) // own offer delivered: we are elected
 	if out.ServedTo != 9 {
 		t.Fatalf("ServedTo = %v", out.ServedTo)
 	}
@@ -406,7 +421,7 @@ func TestCoreStreamWindow(t *testing.T) {
 		t.Fatalf("initial burst = %d chunks, want the window (2)", len(out.Submits))
 	}
 	total := int(c.Stats().ChunksOut)
-	pending := out.Submits
+	pending := ownFrames(out.Submits) // frames borrow the arena: copy to retain
 	// Echo chunks back one at a time: exactly one new chunk per echo.
 	for steps := 0; len(pending) > 0 && steps < 100; steps++ {
 		head := pending[0]
@@ -415,7 +430,7 @@ func TestCoreStreamWindow(t *testing.T) {
 		if len(out.Submits) > 1 {
 			t.Fatalf("echo released %d chunks, want ≤1", len(out.Submits))
 		}
-		pending = append(pending, out.Submits...)
+		pending = append(pending, ownFrames(out.Submits)...)
 		total += len(out.Submits)
 	}
 	// The full snapshot must eventually stream, in ≥ total/window echoes.
@@ -439,11 +454,11 @@ func TestCoreStreamWindowAbandonOnResync(t *testing.T) {
 	c := NewCore(CoreConfig{Self: 1, Group: 1, ChunkSize: 32, StreamWindow: 1}, kv)
 	env := func(e wire.Envelope) []byte { return wire.MarshalEnvelope(nil, &e) }
 	out := c.Step(9, env(wire.Envelope{Kind: wire.EnvSync, SyncID: 1}))
-	out = c.Step(1, out.Submits[0])
+	out = c.Step(1, ownFrames(out.Submits)[0])
 	if len(out.Submits) != 1 {
 		t.Fatalf("burst = %d", len(out.Submits))
 	}
-	first := out.Submits[0]
+	first := ownFrames(out.Submits)[0]
 	// The target resyncs (round 2) before the stream completes: the old
 	// serve is dropped; a late echo of round 1 releases nothing.
 	out = c.Step(9, env(wire.Envelope{Kind: wire.EnvSync, SyncID: 2}))

@@ -13,12 +13,14 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
 
 	"newtop/internal/core"
 	"newtop/internal/types"
+	"newtop/internal/wire"
 )
 
 // Epoch is the virtual time origin of every simulation.
@@ -36,6 +38,18 @@ func WithLatency(min, max time.Duration) Option {
 // the first process added.
 func WithTickEvery(d time.Duration) Option {
 	return func(c *Cluster) { c.tickEvery = d }
+}
+
+// WithWireCodec makes every simulated arrival round-trip the wire codec
+// through a pooled borrowed buffer, sealed and released exactly the way
+// the real node runtime does it (Message.Own, then Release). With
+// poison-on-release enabled, any borrowed slice the seal misses — or any
+// retention of released buffer memory — corrupts deterministically and is
+// caught by the ordering/digest assertions, instead of surfacing only
+// under real network timing. Off by default: the engine benchmarks
+// measure the engine, not the codec.
+func WithWireCodec() Option {
+	return func(c *Cluster) { c.codecPool = wire.NewBufPool(4 << 10) }
 }
 
 // EventKind classifies a recorded history event.
@@ -126,6 +140,10 @@ type Cluster struct {
 	// this is how the replicated-state-machine layer's pure cores are
 	// driven deterministically; see internal/harness.
 	deliverHook func(p types.ProcessID, d Delivery)
+
+	// codecPool, when non-nil (WithWireCodec), carries every arrival
+	// through a borrowed wire round trip.
+	codecPool *wire.BufPool
 }
 
 // New creates an empty cluster with the given deterministic seed.
@@ -215,11 +233,18 @@ func (c *Cluster) Bootstrap(g types.GroupID, mode core.OrderMode, members []type
 	return nil
 }
 
-// Submit multicasts payload from p in group g at the current instant.
+// Submit multicasts payload from p in group g at the current instant. The
+// caller keeps its slice: the engine retains submitted payloads (log,
+// in-flight messages), so the hand-off copies — the same contract as
+// node.Submit, which is what lets callers feed it borrowed frames (e.g. an
+// rsm core's arena-backed Submits).
 func (c *Cluster) Submit(p types.ProcessID, g types.GroupID, payload []byte) error {
 	e, ok := c.engines[p]
 	if !ok || c.crashed[p] {
 		return fmt.Errorf("sim: no live process %v", p)
+	}
+	if len(payload) > 0 {
+		payload = append([]byte(nil), payload...)
 	}
 	effs, err := e.Submit(c.now, g, payload)
 	if err != nil {
@@ -404,7 +429,23 @@ func (c *Cluster) dispatch(ev event) {
 			return
 		}
 		e := c.engines[ev.to]
-		c.route(ev.to, e.HandleMessage(c.now, ev.from, ev.msg))
+		m := ev.msg
+		if c.codecPool != nil {
+			// The borrowed round trip, sealed like internal/node does:
+			// decode aliasing the pooled buffer, Own before the engine
+			// retains it, Release (poisoning, in poison mode) after.
+			dec, buf, err := wire.RoundTripBorrowed(c.codecPool, m)
+			if err != nil {
+				if errors.Is(err, wire.ErrTooLarge) {
+					return // an over-limit payload is message loss, as on a real link
+				}
+				panic(fmt.Sprintf("sim: wire round trip of %v failed: %v", m, err))
+			}
+			dec.Own()
+			buf.Release()
+			m = dec
+		}
+		c.route(ev.to, e.HandleMessage(c.now, ev.from, m))
 	}
 }
 

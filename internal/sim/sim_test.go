@@ -195,3 +195,45 @@ func TestProcessesSorted(t *testing.T) {
 		t.Errorf("Processes() = %v", ps)
 	}
 }
+
+// TestWireCodecTransparent pins the WithWireCodec contract: routing every
+// arrival through a borrowed wire round trip — sealed and released with
+// poison-on-release enabled, exactly as the node runtime handles borrowed
+// stimuli — must be observably identical to handing messages over by
+// reference. Any divergence means either a codec gap or a borrowed slice
+// the seal missed.
+func TestWireCodecTransparent(t *testing.T) {
+	prev := wire.SetPoisonOnRelease(true)
+	defer wire.SetPoisonOnRelease(prev)
+
+	run := func(opts ...Option) []Delivery {
+		c := New(7, append([]Option{WithLatency(time.Millisecond, 2*time.Millisecond)}, opts...)...)
+		for i := 1; i <= 3; i++ {
+			c.AddProcess(core.Config{Self: types.ProcessID(i), Omega: 20 * time.Millisecond})
+		}
+		if err := c.Bootstrap(1, core.Symmetric, []types.ProcessID{1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 30; i++ {
+			p := types.ProcessID(i%3 + 1)
+			if err := c.Submit(p, 1, []byte{'m', byte(p), byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+			c.Run(5 * time.Millisecond)
+		}
+		c.Run(500 * time.Millisecond)
+		return c.History(2).Deliveries
+	}
+
+	plain := run()
+	codec := run(WithWireCodec())
+	if len(plain) != len(codec) {
+		t.Fatalf("delivery counts diverge: %d by reference, %d through the codec", len(plain), len(codec))
+	}
+	for i := range plain {
+		if plain[i].Origin != codec[i].Origin || plain[i].Seq != codec[i].Seq ||
+			string(plain[i].Payload) != string(codec[i].Payload) {
+			t.Fatalf("delivery %d diverges: %+v vs %+v", i, plain[i], codec[i])
+		}
+	}
+}

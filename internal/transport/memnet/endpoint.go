@@ -5,6 +5,7 @@ import (
 
 	"newtop/internal/transport"
 	"newtop/internal/types"
+	"newtop/internal/wire"
 )
 
 // endpoint is a process's attachment to the memnet network. Inbound
@@ -62,14 +63,18 @@ func (ep *endpoint) Close() error {
 	return nil
 }
 
-// push appends an inbound message (called by links at delivery time).
-func (ep *endpoint) push(from types.ProcessID, m *types.Message) {
+// push appends an inbound message (called by links at delivery time). The
+// buffer reference (buf may be nil) travels with the message and is owned
+// by whoever consumes the Inbound.
+func (ep *endpoint) push(from types.ProcessID, m *types.Message, buf *wire.Buf) {
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
+	in := transport.Inbound{From: from, Msg: m, Buf: buf}
 	if ep.closed {
+		in.Release()
 		return
 	}
-	ep.queue = append(ep.queue, transport.Inbound{From: from, Msg: m})
+	ep.queue = append(ep.queue, in)
 	ep.cond.Signal()
 }
 
@@ -80,6 +85,9 @@ func (ep *endpoint) shutdown() {
 		return
 	}
 	ep.closed = true
+	for i := range ep.queue {
+		ep.queue[i].Release() // stranded messages hand their buffers back
+	}
 	ep.queue = nil
 	ep.cond.Signal()
 	ep.mu.Unlock()
@@ -113,6 +121,7 @@ func (ep *endpoint) pump() {
 		select {
 		case ep.recv <- in:
 		case <-ep.done:
+			in.Release()
 			return
 		}
 	}

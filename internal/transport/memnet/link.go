@@ -1,11 +1,20 @@
 package memnet
 
 import (
+	"errors"
+	"fmt"
 	"sync"
 	"time"
 
 	"newtop/internal/types"
+	"newtop/internal/wire"
 )
+
+// linkPool holds the delivery encode buffers. Each delivery marshals the
+// message into a pooled buffer and hands the receiver a borrowed decode of
+// it — the same wire round trip and ownership contract as tcpnet, so codec
+// and ownership bugs reproduce on the in-memory network too.
+var linkPool = wire.NewBufPool(4 << 10)
 
 // link carries messages for one ordered process pair. A single goroutine
 // drains the queue, waits out each message's latency, and hands the message
@@ -65,7 +74,29 @@ func (l *link) run() {
 		// Cut/crash state is evaluated at delivery time: a message in
 		// flight when the link is cut (or an end crashes) is lost.
 		if ep := l.n.deliverable(l.key); ep != nil {
-			ep.push(l.key.from, m)
+			l.deliver(ep, m)
 		}
 	}
+}
+
+// deliver runs the message through the wire codec into a pooled buffer and
+// pushes a borrowed decode of it, transferring the buffer reference to the
+// receiver. memnet messages never leave the process, but round-tripping
+// the codec here means the receiver sees exactly what it would see over
+// TCP — borrowed payloads it must Release (and Own before retaining) —
+// so a violated ownership contract corrupts deterministically under tests
+// instead of only under real network timing.
+func (l *link) deliver(ep *endpoint, m *types.Message) {
+	dec, buf, err := wire.RoundTripBorrowed(linkPool, m)
+	if err != nil {
+		// A message the codec's limits reject (e.g. payload past
+		// MaxPayload) would not survive a real link either: that is
+		// message loss, which the protocol's failure handling absorbs.
+		// Anything else failing to round-trip is a codec bug — fail loud.
+		if errors.Is(err, wire.ErrTooLarge) {
+			return
+		}
+		panic(fmt.Sprintf("memnet: wire round trip of %v failed: %v", m, err))
+	}
+	ep.push(l.key.from, dec, buf)
 }

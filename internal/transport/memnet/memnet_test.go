@@ -17,6 +17,8 @@ func testMsg(sender types.ProcessID, seq uint64) *types.Message {
 	}
 }
 
+// recvOne receives one message as a well-behaved consumer: seal (Own),
+// hand the buffer back (Release), then inspect at leisure.
 func recvOne(t *testing.T, ep transport.Endpoint) transport.Inbound {
 	t.Helper()
 	select {
@@ -24,6 +26,8 @@ func recvOne(t *testing.T, ep transport.Endpoint) transport.Inbound {
 		if !ok {
 			t.Fatal("recv channel closed")
 		}
+		in.Msg.Own()
+		in.Release()
 		return in
 	case <-time.After(5 * time.Second):
 		t.Fatal("timed out waiting for message")

@@ -136,8 +136,9 @@ func (ep *Endpoint) Recv() <-chan transport.Inbound { return ep.recv }
 // message is handed to the peer's sender goroutine.
 func (ep *Endpoint) Send(dest types.ProcessID, m *types.Message) error {
 	if dest == ep.cfg.Self {
-		// Self-delivery short-circuits the network.
-		ep.push(ep.cfg.Self, m.Clone())
+		// Self-delivery short-circuits the network; the clone owns its
+		// memory, so no buffer reference travels with it.
+		ep.push(ep.cfg.Self, m.Clone(), nil)
 		return nil
 	}
 	ep.mu.Lock()
@@ -192,6 +193,14 @@ func (ep *Endpoint) Close() error {
 	ep.recvCond.Signal()
 	ep.recvMu.Unlock()
 	ep.wg.Wait()
+	// Messages stranded in the queue keep their buffer references; hand
+	// them back so pooled buffers are not lost to the GC.
+	ep.recvMu.Lock()
+	for i := range ep.queue {
+		ep.queue[i].Release()
+	}
+	ep.queue = nil
+	ep.recvMu.Unlock()
 	return nil
 }
 
@@ -204,13 +213,17 @@ func (ep *Endpoint) isClosed() bool {
 	}
 }
 
-func (ep *Endpoint) push(from types.ProcessID, m *types.Message) {
+// push enqueues an inbound message; buf (may be nil) is the borrowed
+// transport buffer whose reference travels with it.
+func (ep *Endpoint) push(from types.ProcessID, m *types.Message, buf *wire.Buf) {
 	ep.recvMu.Lock()
 	defer ep.recvMu.Unlock()
+	in := transport.Inbound{From: from, Msg: m, Buf: buf}
 	if ep.isClosed() {
+		in.Release()
 		return
 	}
-	ep.queue = append(ep.queue, transport.Inbound{From: from, Msg: m})
+	ep.queue = append(ep.queue, in)
 	ep.recvCond.Signal()
 }
 
@@ -236,6 +249,7 @@ func (ep *Endpoint) pump() {
 		select {
 		case ep.recv <- in:
 		case <-ep.done:
+			in.Release()
 			return
 		}
 	}
@@ -261,6 +275,23 @@ func (ep *Endpoint) acceptLoop() {
 	}
 }
 
+// recvBufSize is the per-connection read buffer capacity. A buffer holds
+// many frames (a whole sender batch, typically); messages decoded out of
+// it borrow its storage and pin it via refcount until every consumer has
+// released.
+const recvBufSize = 64 << 10
+
+// recvPool is the shared pool of connection read buffers. Shared across
+// endpoints: buffers are identical and sync.Pool does the sizing.
+var recvPool = wire.NewBufPool(recvBufSize)
+
+// readLoop is the zero-copy receive path: it fills a pooled buffer from
+// the connection, parses every complete length-prefixed frame in place,
+// and pushes messages that borrow the buffer (one refcount reference per
+// message, released by the consumer). The buffer is rewound in place when
+// the reader holds the only reference — the steady state when consumers
+// keep up — and swapped for a fresh pooled one otherwise, so a lagging
+// consumer costs a pool cycle, never a copy.
 func (ep *Endpoint) readLoop(conn net.Conn) {
 	defer ep.wg.Done()
 	defer func() {
@@ -275,33 +306,76 @@ func (ep *Endpoint) readLoop(conn net.Conn) {
 		return
 	}
 	from := types.ProcessID(binary.BigEndian.Uint32(hello[:]))
+
+	cur := recvPool.Get(recvBufSize)
+	defer func() { cur.Release() }()
+	start, end := 0, 0 // unparsed bytes live in cur.Bytes()[start:end]
 	for {
-		m, err := readFrame(conn)
+		if start == end && cur.Refs() == 1 {
+			// Fully parsed and no outstanding borrowers: rewind in place.
+			start, end = 0, 0
+		}
+		if end == len(cur.Bytes()) {
+			// Out of room (a partial frame against the end, or borrowers
+			// still pin earlier regions): move the unparsed tail into a
+			// fresh buffer sized for the pending frame and drop the
+			// reader's reference to the old one.
+			need := recvBufSize
+			if fs := frameSize(cur.Bytes()[start:end]); fs > need {
+				need = fs
+			}
+			nb := recvPool.Get(need)
+			n := copy(nb.Bytes(), cur.Bytes()[start:end])
+			cur.Release()
+			cur = nb
+			start, end = 0, n
+		}
+		n, err := conn.Read(cur.Bytes()[end:])
+		if n > 0 {
+			end += n
+			var perr error
+			if start, perr = ep.parseFrames(from, cur, start, end); perr != nil {
+				return // framing or decode error: drop the connection
+			}
+		}
 		if err != nil {
 			return
 		}
-		ep.push(from, m)
 	}
 }
 
-func readFrame(r io.Reader) (*types.Message, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
+// frameSize returns the total framed size (header + body) of the frame at
+// the head of buf, or 0 while the header is still incomplete.
+func frameSize(buf []byte) int {
+	if len(buf) < 4 {
+		return 0
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrame {
-		return nil, fmt.Errorf("tcpnet: frame of %d bytes exceeds limit", n)
+	return 4 + int(binary.BigEndian.Uint32(buf))
+}
+
+// parseFrames decodes every complete frame in cur.Bytes()[start:end] with
+// a borrowed-buffer decode and hands each message (plus one buffer
+// reference) to the receive queue. It returns the new parse position.
+func (ep *Endpoint) parseFrames(from types.ProcessID, cur *wire.Buf, start, end int) (int, error) {
+	data := cur.Bytes()
+	for end-start >= 4 {
+		n := binary.BigEndian.Uint32(data[start:])
+		if n > MaxFrame {
+			return start, fmt.Errorf("tcpnet: frame of %d bytes exceeds limit", n)
+		}
+		total := 4 + int(n)
+		if end-start < total {
+			break
+		}
+		m, err := wire.UnmarshalBorrowed(data[start+4 : start+total])
+		if err != nil {
+			return start, fmt.Errorf("tcpnet decode: %w", err)
+		}
+		cur.Retain()
+		ep.push(from, m, cur)
+		start += total
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, err
-	}
-	m, err := wire.Unmarshal(buf)
-	if err != nil {
-		return nil, fmt.Errorf("tcpnet decode: %w", err)
-	}
-	return m, nil
+	return start, nil
 }
 
 // errPeerGone marks a dial failure; the message batch is dropped.

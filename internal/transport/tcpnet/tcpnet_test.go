@@ -7,6 +7,7 @@ import (
 
 	"newtop/internal/transport"
 	"newtop/internal/types"
+	"newtop/internal/wire"
 )
 
 // newPair starts two endpoints on loopback that know each other's address.
@@ -37,6 +38,9 @@ func msg(sender types.ProcessID, seq uint64, payload string) *types.Message {
 	}
 }
 
+// recvOne receives one message as a well-behaved consumer: it seals the
+// message (Own) and hands the transport its buffer back (Release) before
+// returning, so the returned message is safe to inspect at leisure.
 func recvOne(t *testing.T, ep transport.Endpoint) transport.Inbound {
 	t.Helper()
 	select {
@@ -44,6 +48,8 @@ func recvOne(t *testing.T, ep transport.Endpoint) transport.Inbound {
 		if !ok {
 			t.Fatal("recv channel closed")
 		}
+		in.Msg.Own()
+		in.Release()
 		return in
 	case <-time.After(10 * time.Second):
 		t.Fatal("timed out waiting for message")
@@ -175,7 +181,9 @@ func TestPeerRestartReconnects(t *testing.T) {
 		}
 		select {
 		case in := <-b2.Recv():
-			if string(in.Msg.Payload) == "after restart" {
+			ok := string(in.Msg.Payload) == "after restart"
+			in.Release()
+			if ok {
 				return
 			}
 		case <-time.After(200 * time.Millisecond):
@@ -221,37 +229,32 @@ func TestNegativeFlushWindowDisablesWait(t *testing.T) {
 	}
 }
 
-func TestAppendFrameMatchesReadFrame(t *testing.T) {
-	// A multi-frame batch buffer must parse back into the same messages.
+func TestAppendFrameMatchesBorrowedParse(t *testing.T) {
+	// A multi-frame batch buffer must parse back into the same messages
+	// through the zero-copy path: frameSize to walk the framing,
+	// UnmarshalBorrowed to decode each body in place.
 	msgs := []*types.Message{msg(1, 1, "first"), msg(1, 2, ""), msg(1, 3, "third, longer payload")}
 	var buf []byte
 	for _, m := range msgs {
 		buf = appendFrame(buf, m)
 	}
-	r := &sliceReader{b: buf}
 	for _, want := range msgs {
-		got, err := readFrame(r)
+		total := frameSize(buf)
+		if total == 0 {
+			t.Fatal("incomplete frame header in a complete batch")
+		}
+		got, err := wire.UnmarshalBorrowed(buf[4:total])
 		if err != nil {
 			t.Fatal(err)
 		}
 		if got.Seq != want.Seq || string(got.Payload) != string(want.Payload) {
 			t.Fatalf("frame mismatch: %v vs %v", got, want)
 		}
+		buf = buf[total:]
 	}
-	if len(r.b) != 0 {
-		t.Fatalf("%d bytes left after parsing the batch", len(r.b))
+	if len(buf) != 0 {
+		t.Fatalf("%d bytes left after parsing the batch", len(buf))
 	}
-}
-
-type sliceReader struct{ b []byte }
-
-func (r *sliceReader) Read(p []byte) (int, error) {
-	if len(r.b) == 0 {
-		return 0, errors.New("EOF")
-	}
-	n := copy(p, r.b)
-	r.b = r.b[n:]
-	return n, nil
 }
 
 func TestManyMessagesBothWays(t *testing.T) {

@@ -15,6 +15,7 @@ import (
 	"errors"
 
 	"newtop/internal/types"
+	"newtop/internal/wire"
 )
 
 // Errors common to transport implementations.
@@ -30,9 +31,25 @@ var (
 // Inbound is a received message together with the transport-level sender.
 // The sender is carried out-of-band from Message.Sender so that a faulty
 // peer cannot spoof its identity past the transport.
+//
+// Ownership: when Buf is non-nil, Msg was decoded zero-copy and its byte
+// fields alias that transport buffer. The consumer owns one reference and
+// must call Release exactly once when it is done with Msg; anything it
+// retains past that point must be sealed first with Msg.Own(). A nil Buf
+// means Msg owns its memory outright (self-delivery, or a transport that
+// copies).
 type Inbound struct {
 	From types.ProcessID
 	Msg  *types.Message
+	Buf  *wire.Buf
+}
+
+// Release hands the transport its buffer reference back (a no-op for
+// owned messages). Msg's borrowed slices are invalid afterwards.
+func (in *Inbound) Release() {
+	if in.Buf != nil {
+		in.Buf.Release()
+	}
 }
 
 // Endpoint is one process's attachment to a network. Implementations

@@ -143,6 +143,22 @@ func (m *Message) IsDataPlane() bool {
 // formation services.
 func (m *Message) IsControlPlane() bool { return !m.IsDataPlane() && m.Kind != KindSeqRequest }
 
+// Own makes the message own all of its byte storage: Payload — and the
+// payloads of piggybacked recovered messages — are copied out of whatever
+// buffer a borrowed decode (wire.UnmarshalBorrowed) left them aliasing.
+// Consumers that retain a borrowed message beyond its transport buffer's
+// release (the node runtime handing stimuli to the engine, which logs data
+// messages until stability) must call Own first; everything else in the
+// struct is owned by construction.
+func (m *Message) Own() {
+	if len(m.Payload) > 0 {
+		m.Payload = append([]byte(nil), m.Payload...)
+	}
+	for i := range m.Recovered {
+		m.Recovered[i].Own()
+	}
+}
+
 // Clone returns a deep copy of the message.
 func (m *Message) Clone() *Message {
 	c := *m

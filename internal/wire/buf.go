@@ -1,0 +1,161 @@
+// Borrowed-buffer plumbing for the zero-copy receive path.
+//
+// The ownership contract, end to end:
+//
+//   - A transport reader owns a Buf while it fills it from the network and
+//     parses frames out of it. UnmarshalBorrowed decodes messages whose
+//     byte-slice fields alias the buffer — no per-message copy.
+//   - Handing a decoded message to a consumer transfers one reference:
+//     the reader calls Retain before the hand-off, the consumer calls
+//     Release when it is done with the message (transport.Inbound carries
+//     the reference as Inbound.Buf).
+//   - A consumer that retains a message beyond its Release — the node
+//     runtime handing stimuli to the engine, which keeps data messages in
+//     its log until stability — must first seal it with
+//     types.Message.Own(), which copies the borrowed slices out.
+//   - When the last reference drops, the buffer returns to its pool. In
+//     poison mode (SetPoisonOnRelease, or the newtop_poison build tag) the
+//     buffer is scribbled with PoisonByte first, so a use-after-release
+//     surfaces as loud garbage in tests and fuzz runs instead of silent
+//     corruption.
+package wire
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"newtop/internal/types"
+)
+
+// PoisonByte is the fill value scribbled over released buffers in poison
+// mode. It is deliberately a valid-looking non-zero byte: a use-after-
+// release should produce recognisably wrong payloads, not quiet zeroes.
+const PoisonByte = 0xDB
+
+// poisonOnRelease gates the debug scribble. Off by default; tests and the
+// -race CI jobs turn it on (the newtop_poison build tag turns it on for a
+// whole binary).
+var poisonOnRelease atomic.Bool
+
+// SetPoisonOnRelease toggles poison mode and returns the previous setting.
+func SetPoisonOnRelease(on bool) bool { return poisonOnRelease.Swap(on) }
+
+// PoisonOnRelease reports whether released buffers are scribbled.
+func PoisonOnRelease() bool { return poisonOnRelease.Load() }
+
+// PoisonFill scribbles b with PoisonByte. Exposed so other layers that
+// reuse encode arenas (e.g. the rsm core's submit-frame arena) can apply
+// the same debug scribble under the same switch.
+func PoisonFill(b []byte) {
+	for i := range b {
+		b[i] = PoisonByte
+	}
+}
+
+// Buf is a reference-counted byte buffer with explicit ownership. It is
+// created by a BufPool with one reference held by the caller; Retain adds
+// a reference per hand-off, Release drops one. The buffer returns to its
+// pool (poisoned first, in poison mode) when the last reference drops.
+//
+// Misuse is loud: releasing more times than retained, or retaining a
+// buffer already fully released, panics.
+type Buf struct {
+	pool *BufPool // nil for oversize one-off buffers
+	data []byte
+	refs atomic.Int32
+}
+
+// Bytes returns the buffer's full storage. Its length is the buffer's
+// capacity; callers track how much of it holds live data.
+func (b *Buf) Bytes() []byte { return b.data }
+
+// Retain adds a reference: the caller is handing the buffer (or slices
+// aliasing it) to one more owner, each of which must Release.
+func (b *Buf) Retain() {
+	if b.refs.Add(1) <= 1 {
+		panic("wire: Retain of a released Buf")
+	}
+}
+
+// Release drops one reference. The caller must not touch the buffer — or
+// any slice aliasing it — afterwards.
+func (b *Buf) Release() {
+	n := b.refs.Add(-1)
+	if n > 0 {
+		return
+	}
+	if n < 0 {
+		panic("wire: Buf released more times than retained")
+	}
+	if poisonOnRelease.Load() {
+		PoisonFill(b.data)
+	}
+	if b.pool != nil {
+		b.pool.pool.Put(b)
+	}
+}
+
+// Refs returns the current reference count. A reader that holds the only
+// reference (Refs() == 1) may rewind and reuse the buffer in place: no
+// consumer can still be aliasing it, and only the holder creates new
+// references.
+func (b *Buf) Refs() int { return int(b.refs.Load()) }
+
+// BufPool is a sync.Pool of fixed-capacity Bufs. Requests larger than the
+// pool's buffer size get a dedicated unpooled Buf with the same ownership
+// semantics, so oversize frames need no special casing by callers.
+type BufPool struct {
+	size int
+	pool sync.Pool
+}
+
+// DefaultBufSize is the buffer capacity of NewBufPool(0).
+const DefaultBufSize = 64 << 10
+
+// NewBufPool creates a pool of buffers with the given capacity
+// (DefaultBufSize if size <= 0).
+func NewBufPool(size int) *BufPool {
+	if size <= 0 {
+		size = DefaultBufSize
+	}
+	p := &BufPool{size: size}
+	p.pool.New = func() any {
+		return &Buf{pool: p, data: make([]byte, size)}
+	}
+	return p
+}
+
+// Size returns the capacity of the pool's buffers.
+func (p *BufPool) Size() int { return p.size }
+
+// Get returns a buffer with capacity at least n and one reference held by
+// the caller.
+func (p *BufPool) Get(n int) *Buf {
+	if n > p.size {
+		b := &Buf{data: make([]byte, n)}
+		b.refs.Store(1)
+		return b
+	}
+	b := p.pool.Get().(*Buf)
+	b.refs.Store(1)
+	return b
+}
+
+// RoundTripBorrowed marshals m into a pooled buffer and decodes it back
+// zero-copy: the returned message's byte fields alias the returned buffer,
+// whose single reference the caller owns. It is how the in-process
+// substrates (memnet links, sim's WithWireCodec) give receivers the exact
+// ownership contract of a real transport. An encoding the codec itself
+// cannot round-trip returns an error with the buffer already released —
+// the caller decides whether that is message loss (e.g. a payload past
+// MaxPayload, which a real link would also fail to carry) or a bug.
+func RoundTripBorrowed(p *BufPool, m *types.Message) (*types.Message, *Buf, error) {
+	buf := p.Get(Size(m))
+	enc := Marshal(buf.Bytes()[:0], m)
+	dec, err := UnmarshalBorrowed(enc)
+	if err != nil {
+		buf.Release()
+		return nil, nil, err
+	}
+	return dec, buf, nil
+}

@@ -1,0 +1,114 @@
+package wire_test
+
+import (
+	"bytes"
+	"testing"
+
+	"newtop/internal/types"
+	"newtop/internal/wire"
+)
+
+// withPoison enables poison-on-release for one test, restoring the prior
+// setting afterwards.
+func withPoison(t *testing.T) {
+	t.Helper()
+	prev := wire.SetPoisonOnRelease(true)
+	t.Cleanup(func() { wire.SetPoisonOnRelease(prev) })
+}
+
+func TestBufPoolRecycles(t *testing.T) {
+	p := wire.NewBufPool(128)
+	b := p.Get(64)
+	if len(b.Bytes()) != 128 {
+		t.Fatalf("pooled buffer capacity = %d, want the pool size 128", len(b.Bytes()))
+	}
+	if b.Refs() != 1 {
+		t.Fatalf("fresh buffer refs = %d, want 1", b.Refs())
+	}
+	b.Retain()
+	if b.Refs() != 2 {
+		t.Fatalf("after retain refs = %d, want 2", b.Refs())
+	}
+	b.Release()
+	b.Release()
+	// Oversize requests get a dedicated buffer with the same semantics.
+	big := p.Get(4096)
+	if len(big.Bytes()) < 4096 {
+		t.Fatalf("oversize buffer capacity = %d", len(big.Bytes()))
+	}
+	big.Release()
+}
+
+func TestBufOverReleasePanics(t *testing.T) {
+	p := wire.NewBufPool(0)
+	b := p.Get(1)
+	b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Release did not panic")
+		}
+	}()
+	b.Release()
+}
+
+func TestBufRetainAfterReleasePanics(t *testing.T) {
+	p := wire.NewBufPool(0)
+	b := p.Get(1)
+	b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Retain of a released Buf did not panic")
+		}
+	}()
+	b.Retain()
+}
+
+// TestPoisonCatchesUseAfterRelease proves the debug mode's point: a
+// borrowed message read after its buffer's release observes the scribble,
+// not the original bytes — a contract violation is caught as loud garbage
+// instead of silently stale (and racily correct-looking) data.
+func TestPoisonCatchesUseAfterRelease(t *testing.T) {
+	withPoison(t)
+	p := wire.NewBufPool(256)
+	buf := p.Get(256)
+	enc := wire.Marshal(buf.Bytes()[:0], &types.Message{
+		Kind: types.KindData, Group: 1, Sender: 2, Origin: 2,
+		Num: 3, Seq: 4, LDN: 2, Payload: []byte("precious payload"),
+	})
+	m, err := wire.UnmarshalBorrowed(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(m.Payload) != "precious payload" {
+		t.Fatalf("borrowed decode wrong: %q", m.Payload)
+	}
+	buf.Release() // BUG under test: m still aliases buf
+
+	want := bytes.Repeat([]byte{wire.PoisonByte}, len(m.Payload))
+	if !bytes.Equal(m.Payload, want) {
+		t.Fatalf("use-after-release not caught: payload = %q, want %d poison bytes", m.Payload, len(want))
+	}
+}
+
+// TestOwnSurvivesPoisonedRelease is the companion: a consumer that seals
+// the message before releasing keeps the correct bytes.
+func TestOwnSurvivesPoisonedRelease(t *testing.T) {
+	withPoison(t)
+	p := wire.NewBufPool(256)
+	buf := p.Get(256)
+	inner := types.Message{Kind: types.KindData, Group: 1, Sender: 2, Origin: 2, Num: 2, Seq: 1, Payload: []byte("recovered bytes")}
+	enc := wire.Marshal(buf.Bytes()[:0], &types.Message{
+		Kind: types.KindRefute, Group: 1, Sender: 2, Origin: 2,
+		Suspicion: types.Suspicion{Proc: 2, LN: 1},
+		Recovered: []types.Message{inner},
+	})
+	m, err := wire.UnmarshalBorrowed(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Own()
+	buf.Release()
+	if len(m.Recovered) != 1 || string(m.Recovered[0].Payload) != "recovered bytes" {
+		t.Fatalf("Own missed a borrowed slice: %+v", m.Recovered)
+	}
+}

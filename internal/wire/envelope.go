@@ -131,10 +131,14 @@ type Envelope struct {
 
 // ReconEntry is one key's state in a reconciliation merge proposal. Rev is
 // the apply index of the key's last write in the proposing side's lineage.
+// Tomb marks a delete tombstone: the side removed the key at Rev (Value is
+// empty and not transmitted), which lets a partition-era delete outrank an
+// older surviving write instead of silently losing to it.
 type ReconEntry struct {
 	Key   []byte
 	Value []byte
 	Rev   uint64
+	Tomb  bool
 }
 
 // ErrNotEnvelope is returned by UnmarshalEnvelope for payloads without the
@@ -191,8 +195,14 @@ func MarshalEnvelope(dst []byte, e *Envelope) []byte {
 			en := &e.Entries[i]
 			dst = binary.AppendUvarint(dst, uint64(len(en.Key)))
 			dst = append(dst, en.Key...)
-			dst = binary.AppendUvarint(dst, uint64(len(en.Value)))
-			dst = append(dst, en.Value...)
+			if en.Tomb {
+				// Tombstone: flag byte 1, no value bytes.
+				dst = append(dst, 1)
+			} else {
+				dst = append(dst, 0)
+				dst = binary.AppendUvarint(dst, uint64(len(en.Value)))
+				dst = append(dst, en.Value...)
+			}
 			dst = binary.AppendUvarint(dst, en.Rev)
 		}
 	}
@@ -293,8 +303,15 @@ func UnmarshalEnvelope(payload []byte) (Envelope, error) {
 			if en.Key, buf, err = envBytes(buf); err != nil {
 				return e, err
 			}
-			if en.Value, buf, err = envBytes(buf); err != nil {
-				return e, err
+			if len(buf) < 1 {
+				return e, ErrBadEnvelope
+			}
+			en.Tomb = buf[0] == 1
+			buf = buf[1:]
+			if !en.Tomb {
+				if en.Value, buf, err = envBytes(buf); err != nil {
+					return e, err
+				}
 			}
 			if en.Rev, buf, err = envUvarint(buf); err != nil {
 				return e, err

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"reflect"
 	"testing"
+	"unsafe"
 
 	"newtop/internal/types"
 	"newtop/internal/wire"
@@ -63,6 +64,62 @@ func FuzzUnmarshal(f *testing.F) {
 			t.Fatalf("round trip diverges:\n  %+v\n  %+v", m, m2)
 		}
 	})
+}
+
+// FuzzUnmarshalBorrowed drives the zero-copy decoder against arbitrary
+// bytes (corpus seeded from FuzzUnmarshal's): whatever decodes must agree
+// exactly with the copying decoder, a sealed message (Own) must survive a
+// poisoned release of the source buffer, and an unsealed borrowed payload
+// must genuinely alias it — the three legs of the ownership contract.
+func FuzzUnmarshalBorrowed(f *testing.F) {
+	for _, m := range fuzzSeedMessages() {
+		f.Add(wire.Marshal(nil, m))
+	}
+	inv := wire.Marshal(nil, fuzzSeedMessages()[6])
+	f.Add(inv[:len(inv)-2])
+	f.Add([]byte{byte(types.KindData), 0x01, 0x01, 0x01, 0x01, 0x01, 0x01, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
+	f.Add([]byte{})
+	pool := wire.NewBufPool(0)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prev := wire.SetPoisonOnRelease(true)
+		defer wire.SetPoisonOnRelease(prev)
+
+		buf := pool.Get(len(data))
+		n := copy(buf.Bytes(), data)
+		borrowed, berr := wire.UnmarshalBorrowed(buf.Bytes()[:n])
+		owned, oerr := wire.Unmarshal(data)
+		if (berr == nil) != (oerr == nil) {
+			t.Fatalf("decoders disagree: borrowed err %v, owned err %v", berr, oerr)
+		}
+		if berr != nil {
+			buf.Release()
+			return
+		}
+		if !reflect.DeepEqual(borrowed, owned) {
+			t.Fatalf("borrowed decode diverges from owned:\n  %+v\n  %+v", borrowed, owned)
+		}
+		if len(borrowed.Payload) > 0 {
+			// The whole point: the payload lives inside the source buffer.
+			s, e := sliceRange(buf.Bytes()), sliceRange(borrowed.Payload)
+			if e[0] < s[0] || e[1] > s[1] {
+				t.Fatal("borrowed payload does not alias the source buffer")
+			}
+		}
+		borrowed.Own()
+		buf.Release() // poisons the buffer
+		if !reflect.DeepEqual(borrowed, owned) {
+			t.Fatalf("sealed message corrupted by poisoned release:\n  %+v\n  %+v", borrowed, owned)
+		}
+	})
+}
+
+// sliceRange returns a slice's backing-array address range.
+func sliceRange(b []byte) [2]uintptr {
+	if len(b) == 0 {
+		return [2]uintptr{}
+	}
+	p := uintptr(unsafe.Pointer(&b[0]))
+	return [2]uintptr{p, p + uintptr(len(b))}
 }
 
 // FuzzEnvelopeDecode does the same for the RSM envelope codec, which now

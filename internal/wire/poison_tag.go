@@ -1,0 +1,9 @@
+//go:build newtop_poison
+
+package wire
+
+// Building with -tags newtop_poison turns poison-on-release on for the
+// whole binary: every released borrowed buffer is scribbled with
+// PoisonByte, so any use-after-release anywhere in the process shows up
+// as loud corruption under the race/fuzz CI jobs.
+func init() { poisonOnRelease.Store(true) }

@@ -101,9 +101,26 @@ func appendModeByte(dst, payload []byte) []byte {
 }
 
 // Unmarshal decodes exactly one message from buf, which must contain the
-// complete encoding and nothing else.
+// complete encoding and nothing else. The returned message owns all of its
+// memory (payloads are copied out of buf) — the safe fallback when the
+// caller cannot honour the borrowed-buffer contract.
 func Unmarshal(buf []byte) (*types.Message, error) {
-	m, rest, err := decode(buf, 0)
+	return unmarshal(buf, false)
+}
+
+// UnmarshalBorrowed decodes exactly one message from buf without copying:
+// the returned message's Payload — including the payloads of piggybacked
+// recovered messages and the one-byte formation mode — aliases buf. The
+// message is only valid while the caller keeps buf alive (for pooled
+// buffers: until Release). A consumer that retains the message beyond
+// that must seal it first with Message.Own. Fixed-size fields and decoded
+// lists (Invite, Detection) are always owned.
+func UnmarshalBorrowed(buf []byte) (*types.Message, error) {
+	return unmarshal(buf, true)
+}
+
+func unmarshal(buf []byte, borrow bool) (*types.Message, error) {
+	m, rest, err := decode(buf, 0, borrow)
 	if err != nil {
 		return nil, err
 	}
@@ -176,7 +193,7 @@ func Overhead(m *types.Message) int { return Size(m) - len(m.Payload) }
 
 const maxDepth = 2 // refutes embed data messages; those embed nothing
 
-func decode(buf []byte, depth int) (*types.Message, []byte, error) {
+func decode(buf []byte, depth int, borrow bool) (*types.Message, []byte, error) {
 	if depth > maxDepth {
 		return nil, nil, fmt.Errorf("%w: nesting too deep", ErrTooLarge)
 	}
@@ -224,7 +241,11 @@ func decode(buf []byte, depth int) (*types.Message, []byte, error) {
 			return nil, nil, ErrTruncated
 		}
 		if n > 0 {
-			m.Payload = append([]byte(nil), buf[:n]...)
+			if borrow {
+				m.Payload = buf[:n:n]
+			} else {
+				m.Payload = append([]byte(nil), buf[:n]...)
+			}
 		}
 		buf = buf[n:]
 	case types.KindNull:
@@ -251,7 +272,7 @@ func decode(buf []byte, depth int) (*types.Message, []byte, error) {
 			if uint64(len(buf)) < sz {
 				return nil, nil, ErrTruncated
 			}
-			inner, rest, err := decode(buf[:sz], depth+1)
+			inner, rest, err := decode(buf[:sz], depth+1, borrow)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -277,7 +298,7 @@ func decode(buf []byte, depth int) (*types.Message, []byte, error) {
 			m.Detection = append(m.Detection, s)
 		}
 	case types.KindFormInvite:
-		if m.Payload, buf, err = decodeModeByte(buf); err != nil {
+		if m.Payload, buf, err = decodeModeByte(buf, borrow); err != nil {
 			return nil, nil, err
 		}
 		if m.Invite, buf, err = decodeProcs(buf); err != nil {
@@ -289,7 +310,7 @@ func decode(buf []byte, depth int) (*types.Message, []byte, error) {
 		}
 		m.Vote = buf[0] == 1
 		buf = buf[1:]
-		if m.Payload, buf, err = decodeModeByte(buf); err != nil {
+		if m.Payload, buf, err = decodeModeByte(buf, borrow); err != nil {
 			return nil, nil, err
 		}
 		if m.Invite, buf, err = decodeProcs(buf); err != nil {
@@ -335,12 +356,15 @@ func appendProcs(dst []byte, ps []types.ProcessID) []byte {
 
 // decodeModeByte is the inverse of appendModeByte: a zero byte decodes to
 // an absent payload.
-func decodeModeByte(buf []byte) ([]byte, []byte, error) {
+func decodeModeByte(buf []byte, borrow bool) ([]byte, []byte, error) {
 	if len(buf) < 1 {
 		return nil, nil, ErrTruncated
 	}
 	if buf[0] == 0 {
 		return nil, buf[1:], nil
+	}
+	if borrow {
+		return buf[0:1:1], buf[1:], nil
 	}
 	return []byte{buf[0]}, buf[1:], nil
 }

@@ -341,8 +341,10 @@ type MergeCandidate = rsm.MergeCandidate
 type Differ = rsm.Differ
 
 // LastWriterWins is the default merge policy: for each conflicting key
-// the write with the highest apply index wins. Deletions carry no
-// tombstone, so a deleted key loses to any surviving write.
+// the operation — write or delete — with the highest apply index wins.
+// Deletions compete through bounded tombstones the KV keeps between
+// reconciliations, so a partition-era delete beats an older surviving
+// write instead of being resurrected.
 func LastWriterWins() MergePolicy { return rsm.LastWriterWins() }
 
 // PreferSide resolves every conflict in favour of the partition tagged
