@@ -1,0 +1,13 @@
+package client_test
+
+import (
+	"testing"
+
+	"newtop/internal/perf"
+)
+
+// BenchmarkClientRoundTrip measures one acked client write end to end:
+// loopback TCP framing, replica propose, apply through the total order,
+// acked response. The body lives in internal/perf so cmd/newtop-bench
+// records the same measurement into BENCH_core.json.
+func BenchmarkClientRoundTrip(b *testing.B) { perf.ClientRoundTrip(b) }

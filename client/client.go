@@ -1,0 +1,579 @@
+// Package client is the application-side access path to a newtopd
+// cluster: a session that routes requests across daemons, follows
+// redirects, retries transient rejections, and fails over on connection
+// loss — so a caller sees one key-value service that survives crashes,
+// partitions and group cut-overs underneath it.
+//
+// # Sessions and consistency
+//
+// A Client is a session pinned to one daemon: every request goes to the
+// pinned daemon until it dies or redirects, which is what makes plain Get
+// read-your-writes — the daemon serves reads only after the session's own
+// acknowledged writes have been applied there. When the pin moves (the
+// daemon crashed, or redirected the session elsewhere), the next read is
+// silently upgraded to a barrier read, so the new daemon first proves it
+// has applied everything ordered before — including every write the old
+// daemon acknowledged. BarrierGet requests that linearizable fence
+// explicitly on any read.
+//
+// Writes are acknowledged only after the daemon has applied them through
+// the group's total order; an acknowledged write is therefore replicated
+// across the serving group's CURRENT VIEW, and survives the daemon's
+// crash as long as that view has other members. Newtop is partitionable
+// by design (no primary partition), so during a partition the serving
+// view — and with it the ack's replication factor — can shrink, down to
+// the pinned daemon alone; and when diverged sides later reconcile, a
+// key written on both sides keeps only the merge policy's winner.
+// Status().Members exposes the current replication factor for callers
+// that want to detect degraded acks. A write whose connection died
+// between request and response returns ErrUnacked: the outcome is
+// unknown, and the client will NOT retry it (a retried write is not
+// idempotent in general — the caller decides, knowing its own command
+// semantics).
+//
+// Reads and Status are idempotent and are retried across endpoints
+// automatically.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"newtop/internal/clientproto"
+)
+
+// ErrUnacked is returned (wrapped) by Put and Del when the connection died
+// after the request was sent but before a response arrived: the write may
+// or may not have been applied. Retrying is the caller's decision.
+var ErrUnacked = errors.New("client: write unacknowledged (outcome unknown)")
+
+// ErrUnavailable is returned (wrapped) when no endpoint could serve the
+// request within the failover budget.
+var ErrUnavailable = errors.New("client: no endpoint available")
+
+// ErrClosed is returned by operations on a closed client.
+var ErrClosed = errors.New("client: closed")
+
+// Config tunes a client session. The zero value is usable.
+type Config struct {
+	// DialTimeout bounds one connection attempt (default 2s).
+	DialTimeout time.Duration
+	// OpTimeout bounds one request/response exchange on an established
+	// connection (default 10s — barrier reads cross the whole total
+	// order, so this must comfortably exceed the group's ω).
+	OpTimeout time.Duration
+	// FailoverTimeout bounds one logical operation across every retry,
+	// redirect and failover (default 30s).
+	FailoverTimeout time.Duration
+	// RetryWait is the pause before retrying after a StRetry response
+	// that carries no hint of its own (default 50ms).
+	RetryWait time.Duration
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.OpTimeout <= 0 {
+		cfg.OpTimeout = 10 * time.Second
+	}
+	if cfg.FailoverTimeout <= 0 {
+		cfg.FailoverTimeout = 30 * time.Second
+	}
+	if cfg.RetryWait <= 0 {
+		cfg.RetryWait = 50 * time.Millisecond
+	}
+	return cfg
+}
+
+// Stats counts a session's routing activity.
+type Stats struct {
+	Ops       uint64 // requests that completed (any final status)
+	Failovers uint64 // pin moved because a connection died
+	Redirects uint64 // pin moved because a daemon answered NOT_SERVING
+	Retries   uint64 // RETRY responses honoured
+	Unacked   uint64 // writes that returned ErrUnacked
+}
+
+// Client is one routed session. Safe for concurrent use; operations are
+// serialized over the single pinned connection.
+type Client struct {
+	cfg Config
+
+	// opMu serializes logical operations (one request/response cycle on
+	// the pinned connection at a time). mu guards the fields below and
+	// is only ever held briefly — never across network I/O or sleeps —
+	// so Close and the read-only accessors are never stuck behind a
+	// slow daemon.
+	opMu sync.Mutex
+	buf  []byte // reusable frame buffer (owned by the opMu holder)
+
+	mu     sync.Mutex
+	addrs  []endpoint // known endpoints: Dial arguments plus learned redirect hints
+	next   int        // round-robin cursor over addrs
+	conn   net.Conn   // pinned connection (nil between pins)
+	br     *bufio.Reader
+	pinned string // address of the pinned daemon ("" when unpinned)
+	fence  bool   // pin moved: upgrade the next read to a barrier read
+	stats  Stats
+	closed bool
+}
+
+// endpoint is one known daemon address. Learned (redirect-hint) addresses
+// are forgotten after a few consecutive failed dials — daemons restarted
+// on fresh ephemeral ports would otherwise pollute the sweep forever;
+// bootstrap addresses (the Dial arguments) are kept no matter what.
+type endpoint struct {
+	addr      string
+	bootstrap bool
+	fails     int // consecutive failed dials
+}
+
+// learnedEvictAfter is how many consecutive failed dials evict a learned
+// endpoint from the sweep.
+const learnedEvictAfter = 3
+
+// Dial opens a session against the cluster, pinning it to the first
+// reachable endpoint. The endpoint list is a bootstrap set, not a limit:
+// redirects teach the session new addresses as the cluster evolves.
+func Dial(addrs ...string) (*Client, error) {
+	return Config{}.Dial(addrs...)
+}
+
+// Dial opens a session with explicit tuning; see the package-level Dial.
+func (cfg Config) Dial(addrs ...string) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("client: Dial needs at least one address")
+	}
+	c := &Client{cfg: cfg.withDefaults()}
+	for _, a := range addrs {
+		c.addrs = append(c.addrs, endpoint{addr: a, bootstrap: true})
+	}
+	c.opMu.Lock()
+	defer c.opMu.Unlock()
+	if _, _, err := c.ensure(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Pinned returns the address of the daemon this session is currently
+// pinned to ("" when disconnected).
+func (c *Client) Pinned() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pinned
+}
+
+// Endpoints returns every address the session knows (bootstrap set plus
+// learned redirect hints).
+func (c *Client) Endpoints() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.addrs))
+	for i, e := range c.addrs {
+		out[i] = e.addr
+	}
+	return out
+}
+
+// Stats snapshots the session's routing counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Close ends the session. It does not wait for an in-flight operation:
+// closing the pinned connection interrupts it, and the operation returns
+// ErrClosed (reads) or ErrUnacked (a write that was already on the wire).
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	c.dropLocked()
+	return nil
+}
+
+// Get reads a key with read-your-writes consistency (relative to this
+// session's acknowledged writes). After a failover or redirect the read is
+// upgraded to a barrier read once, restoring the guarantee on the new
+// daemon.
+func (c *Client) Get(key string) (string, bool, error) {
+	if err := clientproto.ValidKey(key); err != nil {
+		return "", false, fmt.Errorf("client: %w", err)
+	}
+	resp, err := c.do(&clientproto.Request{Op: clientproto.OpGet, Key: key}, true)
+	if err != nil {
+		return "", false, err
+	}
+	return resp.Value, resp.Found, nil
+}
+
+// BarrierGet reads a key linearizably: the serving daemon runs a
+// total-order barrier first, so the read observes every write — by any
+// session — ordered before it.
+func (c *Client) BarrierGet(key string) (string, bool, error) {
+	if err := clientproto.ValidKey(key); err != nil {
+		return "", false, fmt.Errorf("client: %w", err)
+	}
+	resp, err := c.do(&clientproto.Request{Op: clientproto.OpBarrierGet, Key: key}, true)
+	if err != nil {
+		return "", false, err
+	}
+	return resp.Value, resp.Found, nil
+}
+
+// Put writes key=value. A nil return means the write was applied through
+// the total order (replicated); ErrUnacked means the outcome is unknown.
+func (c *Client) Put(key, value string) error {
+	if err := clientproto.ValidKey(key); err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	if err := clientproto.ValidValue(value); err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	_, err := c.do(&clientproto.Request{Op: clientproto.OpPut, Key: key, Value: value}, false)
+	return err
+}
+
+// Del deletes a key, with Put's acknowledgement semantics.
+func (c *Client) Del(key string) error {
+	if err := clientproto.ValidKey(key); err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	_, err := c.do(&clientproto.Request{Op: clientproto.OpDel, Key: key}, false)
+	return err
+}
+
+// Status reports the pinned daemon's view of the service: its process ID,
+// serving group, applied sequence, key count, state digest, readiness,
+// and the serving view's size — the replication factor acked writes
+// currently get (see the package comment on durability during
+// partitions).
+type Status struct {
+	Self    uint32
+	Group   uint64
+	Applied uint64
+	Digest  uint64
+	Keys    uint32
+	Ready   bool
+	Members uint32
+}
+
+// Status queries the pinned daemon. Unlike the data operations it is
+// served even by a daemon that is still catching up or reconciling
+// (Ready false) — it is how progress is watched from outside.
+func (c *Client) Status() (Status, error) {
+	resp, err := c.do(&clientproto.Request{Op: clientproto.OpStatus}, true)
+	if err != nil {
+		return Status{}, err
+	}
+	return Status{
+		Self: resp.Self, Group: resp.Group, Applied: resp.Applied,
+		Digest: resp.Digest, Keys: resp.Keys, Ready: resp.Ready,
+		Members: resp.Members,
+	}, nil
+}
+
+// do runs one logical operation: route, retry, redirect, fail over, until
+// a final response or the failover budget runs out. idempotent marks
+// operations safe to resend after a torn exchange. The operation lock is
+// held throughout; the state lock only in slivers, so Close interrupts a
+// stuck exchange rather than waiting for it.
+func (c *Client) do(req *clientproto.Request, idempotent bool) (clientproto.Response, error) {
+	c.opMu.Lock()
+	defer c.opMu.Unlock()
+	deadline := time.Now().Add(c.cfg.FailoverTimeout)
+	var lastErr error
+	for {
+		if c.isClosed() {
+			return clientproto.Response{}, ErrClosed
+		}
+		if time.Now().After(deadline) {
+			if lastErr == nil {
+				lastErr = errors.New("failover budget exhausted")
+			}
+			return clientproto.Response{}, fmt.Errorf("%w: %v", ErrUnavailable, lastErr)
+		}
+		conn, br, err := c.ensure()
+		if err != nil {
+			if errors.Is(err, ErrClosed) {
+				return clientproto.Response{}, err
+			}
+			lastErr = err
+			// Every known endpoint refused a connection; pause before
+			// sweeping them again (a crashed daemon may be restarting).
+			time.Sleep(c.cfg.RetryWait)
+			continue
+		}
+		// A moved pin downgrades read-your-writes until one barrier read
+		// proves the new daemon has caught up past our acked writes.
+		c.mu.Lock()
+		fence := c.fence
+		c.mu.Unlock()
+		op := req.Op
+		if fence && op == clientproto.OpGet {
+			op = clientproto.OpBarrierGet
+		}
+		wire := *req
+		wire.Op = op
+		resp, err := c.exchange(conn, br, &wire)
+		if err != nil {
+			c.mu.Lock()
+			closed := c.closed
+			c.dropLocked()
+			c.stats.Failovers++
+			c.fence = true
+			if !idempotent {
+				// The request may have reached the daemon before the
+				// connection died; the write's outcome is unknown.
+				c.stats.Unacked++
+			}
+			c.mu.Unlock()
+			if !idempotent {
+				return clientproto.Response{}, fmt.Errorf("%w: %v", ErrUnacked, err)
+			}
+			if closed {
+				return clientproto.Response{}, ErrClosed
+			}
+			lastErr = err
+			continue
+		}
+		c.mu.Lock()
+		switch resp.Status {
+		case clientproto.StOK, clientproto.StStatus:
+			c.stats.Ops++
+			if req.Op == clientproto.OpGet || req.Op == clientproto.OpBarrierGet {
+				c.fence = false
+			}
+			c.mu.Unlock()
+			return resp, nil
+		case clientproto.StErr:
+			c.stats.Ops++
+			c.mu.Unlock()
+			return resp, fmt.Errorf("client: server rejected request: %s", resp.Err)
+		case clientproto.StUnknown:
+			// The server proposed the write but could not confirm its
+			// application — the same ambiguity as a torn connection, so
+			// the same answer: the caller decides whether to resend.
+			// (Reads are side-effect free; just retry them.)
+			if !idempotent {
+				c.stats.Ops++
+				c.stats.Unacked++
+				c.fence = true
+				c.mu.Unlock()
+				return clientproto.Response{}, fmt.Errorf("%w: %s", ErrUnacked, resp.Err)
+			}
+			c.stats.Retries++
+			c.mu.Unlock()
+			time.Sleep(c.cfg.RetryWait)
+			continue
+		case clientproto.StNotServing:
+			c.stats.Redirects++
+			from := c.pinned
+			learnedNew := c.learnLocked(resp.Addr)
+			c.dropLocked()
+			c.fence = true
+			c.mu.Unlock()
+			lastErr = fmt.Errorf("redirected away from %s (serving group %d)", from, resp.Group)
+			if !learnedNew {
+				// The hint taught nothing (empty, or an address we
+				// already knew): without a pause, two daemons pointing
+				// at each other would spin the session through a hot
+				// dial/redirect loop for the whole failover budget.
+				time.Sleep(c.cfg.RetryWait)
+			}
+			continue
+		case clientproto.StRetry:
+			c.stats.Retries++
+			c.mu.Unlock()
+			wait := resp.RetryAfter
+			if wait <= 0 {
+				wait = c.cfg.RetryWait
+			}
+			lastErr = fmt.Errorf("daemon busy: %s", resp.Reason)
+			time.Sleep(wait)
+			continue
+		default:
+			c.dropLocked()
+			c.mu.Unlock()
+			lastErr = fmt.Errorf("unknown response status %d", resp.Status)
+			continue
+		}
+	}
+}
+
+func (c *Client) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// exchange performs one request/response on the given connection, without
+// holding the state lock — a concurrent Close interrupts it by closing
+// the connection. Any error means the request may have reached the daemon
+// (even a torn write can have); callers must treat non-idempotent
+// requests as unacked.
+func (c *Client) exchange(conn net.Conn, br *bufio.Reader, req *clientproto.Request) (clientproto.Response, error) {
+	c.buf = clientproto.AppendRequest(c.buf[:0], req)
+	_ = conn.SetDeadline(time.Now().Add(c.cfg.OpTimeout))
+	if _, err := conn.Write(c.buf); err != nil {
+		return clientproto.Response{}, err
+	}
+	body, err := clientproto.ReadFrame(br, c.buf[:0])
+	if err != nil {
+		return clientproto.Response{}, err
+	}
+	c.buf = body // keep a grown response buffer for reuse
+	return clientproto.ParseResponse(body)
+}
+
+// ensure pins a connection (returning it together with its reader),
+// sweeping the endpoint list round-robin once when unpinned. Dials run
+// without the state lock; the operation lock (held by the caller)
+// serializes the sweep itself. A learned endpoint that keeps refusing
+// dials is evicted from the sweep.
+func (c *Client) ensure() (net.Conn, *bufio.Reader, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, nil, ErrClosed
+	}
+	if c.conn != nil {
+		conn, br := c.conn, c.br
+		c.mu.Unlock()
+		return conn, br, nil
+	}
+	n := len(c.addrs)
+	c.mu.Unlock()
+
+	var lastErr error
+	for i := 0; i < n; i++ {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return nil, nil, ErrClosed
+		}
+		if len(c.addrs) == 0 { // cannot happen (bootstrap addrs stay), be safe
+			c.mu.Unlock()
+			break
+		}
+		idx := c.next % len(c.addrs)
+		addr := c.addrs[idx].addr
+		c.mu.Unlock()
+
+		conn, err := net.DialTimeout("tcp", addr, c.cfg.DialTimeout)
+
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			if conn != nil {
+				_ = conn.Close()
+			}
+			return nil, nil, ErrClosed
+		}
+		if err != nil {
+			lastErr = err
+			c.advanceCursorLocked(addr)
+			c.noteDialFailedLocked(addr)
+			c.mu.Unlock()
+			continue
+		}
+		c.noteDialOKLocked(addr)
+		c.advanceCursorLocked(addr)
+		c.conn = conn
+		c.br = bufio.NewReader(conn)
+		c.pinned = addr
+		br := c.br
+		c.mu.Unlock()
+		return conn, br, nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no endpoints")
+	}
+	return nil, nil, fmt.Errorf("%w: %v", ErrUnavailable, lastErr)
+}
+
+// advanceCursorLocked moves the round-robin cursor past addr (looked up
+// afresh — the slice may have been edited since the caller read it).
+func (c *Client) advanceCursorLocked(addr string) {
+	for i := range c.addrs {
+		if c.addrs[i].addr == addr {
+			c.next = (i + 1) % len(c.addrs)
+			return
+		}
+	}
+	if len(c.addrs) > 0 {
+		c.next %= len(c.addrs)
+	} else {
+		c.next = 0
+	}
+}
+
+// noteDialFailedLocked bumps an endpoint's consecutive-failure count and
+// evicts learned endpoints that keep failing. The slice may have been
+// reshuffled while the lock was released, so look the address up again.
+func (c *Client) noteDialFailedLocked(addr string) {
+	for i := range c.addrs {
+		if c.addrs[i].addr != addr {
+			continue
+		}
+		c.addrs[i].fails++
+		if !c.addrs[i].bootstrap && c.addrs[i].fails >= learnedEvictAfter {
+			c.addrs = append(c.addrs[:i], c.addrs[i+1:]...)
+			if c.next > i {
+				c.next--
+			}
+			if len(c.addrs) > 0 {
+				c.next %= len(c.addrs)
+			} else {
+				c.next = 0
+			}
+		}
+		return
+	}
+}
+
+// noteDialOKLocked clears an endpoint's failure streak.
+func (c *Client) noteDialOKLocked(addr string) {
+	for i := range c.addrs {
+		if c.addrs[i].addr == addr {
+			c.addrs[i].fails = 0
+			return
+		}
+	}
+}
+
+// learnLocked adds a redirect hint to the endpoint set and aims the
+// round-robin cursor at it, so the next pin attempt tries it first. It
+// reports whether the hint taught a NEW address.
+func (c *Client) learnLocked(addr string) bool {
+	if addr == "" {
+		return false
+	}
+	for i := range c.addrs {
+		if c.addrs[i].addr == addr {
+			c.next = i
+			c.addrs[i].fails = 0 // the hint vouches for it afresh
+			return false
+		}
+	}
+	c.addrs = append(c.addrs, endpoint{addr: addr})
+	c.next = len(c.addrs) - 1
+	return true
+}
+
+// dropLocked abandons the pinned connection.
+func (c *Client) dropLocked() {
+	if c.conn != nil {
+		_ = c.conn.Close()
+		c.conn = nil
+		c.br = nil
+	}
+	c.pinned = ""
+}

@@ -48,6 +48,7 @@ func experiments() []experiment {
 		{"R1", "rsm replica catch-up into a loaded group", harness.R1ReplicaCatchUp},
 		{"R2", "rsm divergence detection across a healed partition", harness.R2PartitionDivergence},
 		{"R3", "rsm partition reconciliation: digest diff → merged successor group", harness.R3PartitionReconciliation},
+		{"R4", "client routing & failover under daemon kill + partition/heal (wall clock)", harness.R4ClientFailover},
 		{"X1", "§5 ex.1 joint failure, orphan erased", harness.X1JointFailure},
 		{"X2", "§5 ex.2 MD5' partition exclusion", harness.X2CausalChain},
 		{"X3", "§5 ex.3 concurrent subgroup views", harness.X3ConcurrentViews},

@@ -1,19 +1,30 @@
-// Command newtopd runs one Newtop process over real TCP and demonstrates
-// replicated state machines on totally ordered group communication across
-// machines (or terminals).
+// Command newtopd runs one Newtop service process over real TCP: a
+// replicated key-value store on totally ordered group communication, plus
+// a client-facing request listener. The daemon logic itself lives in
+// internal/daemon (so tests and the harness can run whole clusters
+// in-process); this command is the flag surface around it.
 //
 // Start three processes in three terminals:
 //
-//	newtopd -id 1 -listen 127.0.0.1:7001 -peers 2=127.0.0.1:7002,3=127.0.0.1:7003
-//	newtopd -id 2 -listen 127.0.0.1:7002 -peers 1=127.0.0.1:7001,3=127.0.0.1:7003
-//	newtopd -id 3 -listen 127.0.0.1:7003 -peers 1=127.0.0.1:7001,2=127.0.0.1:7002
+//	newtopd -id 1 -listen 127.0.0.1:7001 -client 127.0.0.1:8001 \
+//	        -peers 2=127.0.0.1:7002,3=127.0.0.1:7003 \
+//	        -client-peers 2=127.0.0.1:8002,3=127.0.0.1:8003
+//	newtopd -id 2 -listen 127.0.0.1:7002 -client 127.0.0.1:8002 \
+//	        -peers 1=127.0.0.1:7001,3=127.0.0.1:7003 \
+//	        -client-peers 1=127.0.0.1:8001,3=127.0.0.1:8003
+//	newtopd -id 3 -listen 127.0.0.1:7003 -client 127.0.0.1:8003 \
+//	        -peers 1=127.0.0.1:7001,2=127.0.0.1:7002 \
+//	        -client-peers 1=127.0.0.1:8001,2=127.0.0.1:8002
 //
-// Each process replicates a key-value store in group 1 (symmetric total
-// order by default), proposes one write per -interval, and prints its
+// Each process replicates the store in group 1 (symmetric total order by
+// default) and serves GET/PUT/DEL/BARRIER-READ/STATUS on its -client
+// address (see the newtop/client package — clients route, follow
+// redirects and fail over on their own). With -interval > 0 the daemon
+// additionally proposes one write of its own per interval and prints its
 // applied sequence, key count and state digest — identical digests at
 // identical sequence numbers are the replication guarantee, across
 // machines. Kill one process and watch the others agree on its exclusion
-// and keep serving.
+// and keep serving, clients failing over to them.
 //
 // A process never rejoins a group it left (§3); a new or returning
 // machine joins by forming a successor group and catching up:
@@ -22,26 +33,26 @@
 //	        -peers 1=127.0.0.1:7001,2=127.0.0.1:7002,3=127.0.0.1:7003
 //
 // forms group 2 = {P1..P4}; the incumbents carry their stores over, P4
-// receives a chunked snapshot plus replay tail through the total order
-// (EventStateTransferred), and everyone's writes continue in group 2.
-//
-// The peer address book is static, so every incumbent must know the
-// joiner's address up front — start the originals with
-// 4=127.0.0.1:7004 already in -peers (an address that is not yet
-// listening is harmless: sends to it are dropped until it comes up).
-// Group 1 membership is self plus the peers listed in -initial (default:
-// every peer), so the future P4 is not part of g1.
+// receives a chunked snapshot plus replay tail through the total order,
+// and everyone's service cuts over to group 2. A drain window later
+// (-drain) every daemon closes its group-1 replica and leaves group 1, so
+// the superseded group goes quiet instead of multicasting ω-nulls
+// forever. The peer address book is static, so every incumbent must know
+// the joiner's address up front — start the originals with
+// 4=127.0.0.1:7004 already in -peers. Group 1 membership is self plus the
+// peers listed in -initial (default: every peer), so the future P4 is not
+// part of g1.
 //
 // Partitions heal themselves: when the daemons on both sides of a healed
-// partition detect each other again (EventHealDetected, raised by the
-// node's low-rate probes to excluded members), each side pauses its
-// writes, the lowest-ID survivor forms a merged successor group over
-// everyone it can see, and the members reconcile their diverged stores by
-// digest diff under the -merge policy (lww: highest apply index wins;
-// prefer-low: the subgroup with the lowest leader dictates). Watch the
-// logs for "reconciled": the digests printed afterwards agree across all
-// daemons. -settle tunes how long a daemon waits after the first heal
-// signal before initiating, so in-flight old-group writes drain first.
+// partition detect each other again, each side pauses, the lowest-ID
+// survivor forms a merged successor group over everyone it can see, and
+// the members reconcile their diverged stores by digest diff under the
+// -merge policy (lww: highest apply index wins; prefer-low: the subgroup
+// with the lowest leader dictates). -settle tunes how long a daemon waits
+// after the last heal signal before initiating; if the initiator crashes
+// before forming the merged group, the next-lowest survivor takes over
+// after -initiate-timeout. Clients see RETRY while the merge is in flight
+// and resume on the merged group without caller intervention.
 package main
 
 import (
@@ -50,14 +61,13 @@ import (
 	"log"
 	"os"
 	"os/signal"
-	"sort"
 	"strconv"
 	"strings"
-	"sync"
 	"syscall"
 	"time"
 
 	"newtop"
+	"newtop/internal/daemon"
 )
 
 func main() {
@@ -68,16 +78,20 @@ func main() {
 
 func run() error {
 	var (
-		id       = flag.Uint("id", 0, "process ID (non-zero, unique)")
-		listen   = flag.String("listen", "", "TCP listen address, e.g. 127.0.0.1:7001")
-		peers    = flag.String("peers", "", "comma-separated id=addr peer list")
-		mode     = flag.String("mode", "symmetric", "ordering: symmetric|asymmetric|atomic")
-		omega    = flag.Duration("omega", 100*time.Millisecond, "time-silence interval ω")
-		interval = flag.Duration("interval", time.Second, "write-proposal interval (0 = silent)")
-		join     = flag.Uint("join", 0, "join the running cluster by forming this new group ID and catching up (skips group 1)")
-		initial  = flag.String("initial", "", "comma-separated process IDs of the bootstrap group 1 (default: self + every peer)")
-		merge    = flag.String("merge", "lww", "post-partition merge policy: lww|prefer-low")
-		settle   = flag.Duration("settle", 2*time.Second, "delay between detecting a heal and initiating reconciliation")
+		id          = flag.Uint("id", 0, "process ID (non-zero, unique)")
+		listen      = flag.String("listen", "", "inter-daemon TCP listen address, e.g. 127.0.0.1:7001")
+		peers       = flag.String("peers", "", "comma-separated id=addr peer list (inter-daemon addresses)")
+		clientAddr  = flag.String("client", "", "client-protocol TCP listen address (empty disables client serving)")
+		clientPeers = flag.String("client-peers", "", "comma-separated id=addr list of the peers' CLIENT addresses (redirect hints)")
+		mode        = flag.String("mode", "symmetric", "ordering: symmetric|asymmetric|atomic")
+		omega       = flag.Duration("omega", 100*time.Millisecond, "time-silence interval ω")
+		interval    = flag.Duration("interval", time.Second, "self-write proposal interval (0 = serve clients only)")
+		join        = flag.Uint("join", 0, "join the running cluster by forming this new group ID and catching up (skips group 1)")
+		initial     = flag.String("initial", "", "comma-separated process IDs of the bootstrap group 1 (default: self + every peer)")
+		merge       = flag.String("merge", "lww", "post-partition merge policy: lww|prefer-low")
+		settle      = flag.Duration("settle", 2*time.Second, "delay between detecting a heal and initiating reconciliation")
+		drain       = flag.Duration("drain", 2*time.Second, "how long a superseded group lingers after cut-over before the daemon leaves it")
+		initTimeout = flag.Duration("initiate-timeout", 0, "how long to wait for a heal initiator before taking over (default 5×settle)")
 	)
 	flag.Parse()
 	if *id == 0 || *listen == "" {
@@ -85,6 +99,10 @@ func run() error {
 		return fmt.Errorf("-id and -listen are required")
 	}
 	peerMap, err := parsePeers(*peers)
+	if err != nil {
+		return err
+	}
+	clientPeerMap, err := parsePeers(*clientPeers)
 	if err != nil {
 		return err
 	}
@@ -99,305 +117,42 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown -mode %q", *mode)
 	}
-
-	self := newtop.ProcessID(*id)
-	// Formation invites for groups we have not replicated yet are
-	// signalled to the main loop, which attaches a replica while the vote
-	// is still in flight — before the group can deliver anything. The
-	// member list rides along so the handler can tell a reconciliation
-	// (members we once excluded are back) from a plain join.
-	type invitation struct {
-		g       newtop.GroupID
-		members []newtop.ProcessID
-	}
-	invites := make(chan invitation, 16)
-	proc, err := newtop.Start(newtop.Config{
-		Self:       self,
-		ListenAddr: *listen,
-		Peers:      peerMap,
-		Omega:      *omega,
-		AcceptInvite: func(g newtop.GroupID, members []newtop.ProcessID) bool {
-			select {
-			case invites <- invitation{g, append([]newtop.ProcessID(nil), members...)}:
-				return true
-			default:
-				// Joining a group we would never replicate is worse than
-				// vetoing the formation: the initiator can retry.
-				return false
-			}
-		},
-	})
-	if err != nil {
-		return err
-	}
-	defer func() { _ = proc.Close() }()
-
-	members := []newtop.ProcessID{self}
-	for p := range peerMap {
-		members = append(members, p)
-	}
-	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
-	// The bootstrap group may be a subset of the address book (e.g. the
-	// book already lists a machine that will join later via -join).
-	bootMembers := members
+	var boot []newtop.ProcessID
 	if *initial != "" {
-		bootMembers = nil
 		for _, part := range strings.Split(*initial, ",") {
 			v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 32)
 			if err != nil || v == 0 {
 				return fmt.Errorf("bad -initial entry %q", part)
 			}
-			bootMembers = append(bootMembers, newtop.ProcessID(v))
-		}
-		sort.Slice(bootMembers, func(i, j int) bool { return bootMembers[i] < bootMembers[j] })
-	}
-
-	// One store per process, carried across every group it replicates.
-	kv := newtop.NewKV()
-	var mu sync.Mutex // guards reps/serving/removed/healed/reconciling
-	reps := map[newtop.GroupID]*newtop.Replica{}
-	var serving newtop.GroupID
-	// removed accumulates, per group, the peers excluded from its views;
-	// healed the ones that came back. Together they drive reconciliation.
-	removed := map[newtop.GroupID]map[newtop.ProcessID]bool{}
-	healed := map[newtop.GroupID]map[newtop.ProcessID]bool{}
-	reconciling := map[newtop.GroupID]bool{}      // heal already being handled
-	healTimer := map[newtop.GroupID]*time.Timer{} // debounce: initiate -settle after the LAST heal signal
-	register := func(g newtop.GroupID, rep *newtop.Replica) {
-		reps[g] = rep
-		if g > serving {
-			serving = g // always serve in the newest group
-		}
-	}
-	replicate := func(g newtop.GroupID, opts ...newtop.ReplicaOption) error {
-		mu.Lock()
-		defer mu.Unlock()
-		if _, ok := reps[g]; ok {
-			return nil
-		}
-		rep, err := newtop.Replicate(proc, g, kv, opts...)
-		if err != nil {
-			return err
-		}
-		register(g, rep)
-		return nil
-	}
-	switch *merge {
-	case "lww", "prefer-low":
-	default:
-		return fmt.Errorf("unknown -merge %q", *merge)
-	}
-	mkPolicy := func(lowSide uint64) newtop.MergePolicy {
-		if *merge == "prefer-low" {
-			return newtop.PreferSide(lowSide)
-		}
-		return newtop.LastWriterWins()
-	}
-	// reconcile attaches a reconciling replica for the merged group g.
-	reconcile := func(g newtop.GroupID, members []newtop.ProcessID, side uint64, lowSide uint64) error {
-		mu.Lock()
-		defer mu.Unlock()
-		if _, ok := reps[g]; ok {
-			return nil
-		}
-		rep, err := newtop.Reconcile(proc, g, kv, mkPolicy(lowSide), members,
-			newtop.WithPartitionSide(side))
-		if err != nil {
-			return err
-		}
-		register(g, rep)
-		return nil
-	}
-	current := func() (*newtop.Replica, newtop.GroupID) {
-		mu.Lock()
-		defer mu.Unlock()
-		return reps[serving], serving
-	}
-	// mySide returns this daemon's partition tag for group g: the lowest
-	// member of its current (pre-merge) view.
-	mySide := func(g newtop.GroupID) uint64 {
-		if v, err := proc.View(g); err == nil && len(v.Members) > 0 {
-			return uint64(v.Members[0])
-		}
-		return uint64(self)
-	}
-	// initiateReconcile fires -settle after the first heal signal for g:
-	// if this daemon is the lowest ID among everyone now reachable, it
-	// forms the merged successor group; otherwise it waits for the
-	// initiator's invitation (handled below).
-	initiateReconcile := func(g newtop.GroupID) {
-		v, err := proc.View(g)
-		if err != nil {
-			return
-		}
-		mu.Lock()
-		reconciling[g] = true
-		delete(healTimer, g)
-		members := append([]newtop.ProcessID(nil), v.Members...)
-		for p := range healed[g] {
-			members = append(members, p)
-		}
-		mu.Unlock()
-		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
-		if members[0] != self {
-			log.Printf("heal of g%d: waiting for P%d to initiate the merged group", g, members[0])
-			return
-		}
-		next := g + 1
-		log.Printf("heal of g%d: initiating merged successor group g%d = %v (%s merge)", g, next, members, *merge)
-		if err := reconcile(next, members, mySide(g), uint64(members[0])); err != nil {
-			log.Printf("reconcile g%d: %v", next, err)
-			return
-		}
-		if err := proc.CreateGroup(next, om, members); err != nil {
-			log.Printf("form g%d: %v", next, err)
+			boot = append(boot, newtop.ProcessID(v))
 		}
 	}
 
-	if *join == 0 {
-		// Founding member: replicate then bootstrap the static group 1.
-		if err := replicate(1); err != nil {
-			return err
-		}
-		if err := proc.BootstrapGroup(1, om, bootMembers); err != nil {
-			return err
-		}
-		log.Printf("P%d up at %s; group g1 (%s) members %v", *id, proc.Addr(), *mode, bootMembers)
-	} else {
-		// Joining: form the successor group and catch up from the
-		// incumbents — state transfer rides the total order.
-		g := newtop.GroupID(*join)
-		if err := replicate(g, newtop.CatchUp()); err != nil {
-			return err
-		}
-		if err := proc.CreateGroup(g, om, members); err != nil {
-			return err
-		}
-		log.Printf("P%d up at %s; joining via new group g%d (%s) members %v", *id, proc.Addr(), g, *mode, members)
+	d, err := daemon.Start(daemon.Config{
+		Self:            newtop.ProcessID(*id),
+		ListenAddr:      *listen,
+		Peers:           peerMap,
+		ClientAddr:      *clientAddr,
+		PeerClientAddrs: clientPeerMap,
+		Mode:            om,
+		Omega:           *omega,
+		Join:            newtop.GroupID(*join),
+		Initial:         boot,
+		Merge:           *merge,
+		Settle:          *settle,
+		DrainWindow:     *drain,
+		InitiateTimeout: *initTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = d.Close() }()
+	if *clientAddr != "" {
+		log.Printf("serving clients at %s", d.ClientAddr())
 	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-
-	// Invites get their own goroutine so a replica attaches within
-	// microseconds of the vote, long before the formation's start-group
-	// exchange completes and deliveries can begin. (Correctness does not
-	// hinge on winning that race for *old-group* traffic: an incumbent's
-	// last old-group write is submitted before its formation vote, so it
-	// is Lamport-ordered — and by the cross-group delivery gate,
-	// delivered — before the successor group's start-number agreement,
-	// hence before any snapshot cut in the new group.)
-	go func() {
-		for inv := range invites {
-			// A successor group whose member list includes peers we had
-			// excluded is a post-heal merge: attach in reconcile mode so
-			// our diverged store takes part in the digest-diff exchange.
-			mu.Lock()
-			rejoining := false
-			var low newtop.ProcessID = self
-			for _, m := range inv.members {
-				if m < low {
-					low = m
-				}
-				for _, rm := range removed {
-					if rm[m] {
-						rejoining = true
-					}
-				}
-			}
-			mu.Unlock()
-			if rejoining {
-				_, g := current()
-				if err := reconcile(inv.g, inv.members, mySide(g), uint64(low)); err != nil {
-					log.Printf("reconcile g%d: %v", inv.g, err)
-				} else {
-					log.Printf("reconciling into merged group g%d = %v", inv.g, inv.members)
-				}
-				continue
-			}
-			if err := replicate(inv.g); err != nil {
-				log.Printf("replicate g%d: %v", inv.g, err)
-			} else {
-				log.Printf("replicating successor group g%d (service cut over)", inv.g)
-			}
-		}
-	}()
-	// Drain the shared delivery channel: groups without a replica (e.g. a
-	// raw Submit from a peer) must not accumulate unread.
-	go func() {
-		for d := range proc.Deliveries() {
-			log.Printf("unreplicated delivery %v/%v: %q", d.Group, d.Sender, d.Payload)
-		}
-	}()
-
-	go func() {
-		for ev := range proc.Events() {
-			switch ev.Kind {
-			case newtop.EventViewChanged:
-				log.Printf("view change %v: %v (removed %v)", ev.Group, ev.View, ev.Removed)
-				mu.Lock()
-				rm := removed[ev.Group]
-				if rm == nil {
-					rm = map[newtop.ProcessID]bool{}
-					removed[ev.Group] = rm
-				}
-				for _, p := range ev.Removed {
-					rm[p] = true
-				}
-				mu.Unlock()
-			case newtop.EventSuspected:
-				log.Printf("suspecting P%d in %v", ev.Suspect, ev.Group)
-			case newtop.EventGroupReady:
-				log.Printf("group %v ready", ev.Group)
-			case newtop.EventFormationFailed:
-				log.Printf("formation of %v failed: %s", ev.Group, ev.Reason)
-				// A failed merged-group formation (successor of a group
-				// we were reconciling) must not strand the heal: retry
-				// after another settle window.
-				mu.Lock()
-				if base := ev.Group - 1; reconciling[base] {
-					delete(reconciling, base)
-					if healTimer[base] == nil {
-						healTimer[base] = time.AfterFunc(*settle, func() { initiateReconcile(base) })
-					}
-				}
-				mu.Unlock()
-			case newtop.EventStateTransferred:
-				log.Printf("state transferred into %v (snapshot from P%d)", ev.Group, ev.Peer)
-			case newtop.EventHealDetected:
-				log.Printf("partition healed: P%d reachable again (was excluded from %v)", ev.Peer, ev.Group)
-				mu.Lock()
-				h := healed[ev.Group]
-				if h == nil {
-					h = map[newtop.ProcessID]bool{}
-					healed[ev.Group] = h
-				}
-				h[ev.Peer] = true
-				// Debounced initiation: (re)arm the timer on every heal
-				// signal, so the merged group forms -settle after the
-				// LAST peer is rediscovered — slow probes from the far
-				// side still make it into the member list — and the
-				// cut-over quiesce gets its drain window.
-				g := ev.Group
-				if g == serving && !reconciling[g] {
-					if tmr := healTimer[g]; tmr != nil {
-						tmr.Reset(*settle)
-					} else {
-						healTimer[g] = time.AfterFunc(*settle, func() { initiateReconcile(g) })
-					}
-				}
-				mu.Unlock()
-			case newtop.EventReconciled:
-				rep, g := current()
-				if rep != nil && g == ev.Group {
-					log.Printf("reconciled into g%d: applied=%d keys=%d digest=%016x",
-						g, rep.AppliedSeq(), kv.Len(), rep.Digest())
-				} else {
-					log.Printf("reconciled into g%d", ev.Group)
-				}
-			}
-		}
-	}()
 
 	var ticker <-chan time.Time
 	if *interval > 0 {
@@ -409,14 +164,14 @@ func run() error {
 	for {
 		select {
 		case <-stop:
-			rep, g := current()
+			rep, g := d.Replica()
 			if rep != nil {
 				log.Printf("shutting down: g%d applied=%d keys=%d digest=%016x",
-					g, rep.AppliedSeq(), kv.Len(), rep.Digest())
+					g, rep.AppliedSeq(), d.KV().Len(), rep.Digest())
 			}
 			return nil
 		case <-ticker:
-			rep, g := current()
+			rep, g := d.Replica()
 			if rep == nil || !rep.CaughtUp() {
 				continue
 			}
@@ -428,7 +183,7 @@ func run() error {
 			}
 			if err := rep.Read(func(newtop.StateMachine) {}); err == nil {
 				log.Printf("g%d applied=%d keys=%d digest=%016x",
-					g, rep.AppliedSeq(), kv.Len(), rep.Digest())
+					g, rep.AppliedSeq(), d.KV().Len(), rep.Digest())
 			}
 		}
 	}

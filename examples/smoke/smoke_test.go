@@ -23,6 +23,7 @@ var examples = []struct {
 	{"kvstore", 120 * time.Second},
 	{"migration", 120 * time.Second},
 	{"partition", 120 * time.Second},
+	{"client", 120 * time.Second},
 }
 
 func TestExamplesRun(t *testing.T) {

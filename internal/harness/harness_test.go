@@ -203,3 +203,14 @@ func TestReplicationScenarios(t *testing.T) {
 		t.Errorf("R3: %v", err)
 	}
 }
+
+// TestClientFailoverScenario runs the externally-driven workload (R4):
+// real daemons over memnet, a real client over loopback TCP, sustained
+// load across a daemon kill and a partition→heal→reconcile cycle. The
+// scenario asserts its own acceptance bar internally (zero acked-write
+// loss, read-your-writes across failover, old groups quiet).
+func TestClientFailoverScenario(t *testing.T) {
+	if _, err := R4ClientFailover(); err != nil {
+		t.Errorf("R4: %v", err)
+	}
+}

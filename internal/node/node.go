@@ -112,11 +112,18 @@ type Node struct {
 	// Deliveries channel. Only the event loop touches the map.
 	sinks map[types.GroupID]*outbox[Delivery]
 
+	// sent counts point-to-point transmissions per group (protocol and
+	// probe traffic alike) — the observability hook for verifying that a
+	// superseded or departed group has actually gone quiet. Only the
+	// event loop writes it.
+	sent map[types.GroupID]uint64
+
 	// Heal detection (only the event loop touches these): removed
 	// tracks, per group, the processes excluded from the view; healed
 	// marks (group, peer) pairs whose heal has already been reported so
-	// the event fires once. Probes to not-yet-healed removed members go
-	// out every probeEvery.
+	// the event fires once. Probes to removed members go out every
+	// probeEvery until the group is left (see maybeProbe for why they
+	// must not stop at first detection).
 	removed    map[types.GroupID]map[types.ProcessID]bool
 	healed     map[groupPeer]bool
 	probeEvery time.Duration
@@ -161,6 +168,7 @@ func New(cfg core.Config, ep transport.Endpoint, opts Options) *Node {
 		deliveries: newOutbox[Delivery](),
 		events:     newOutbox[Event](),
 		sinks:      make(map[types.GroupID]*outbox[Delivery]),
+		sent:       make(map[types.GroupID]uint64),
 		removed:    make(map[types.GroupID]map[types.ProcessID]bool),
 		healed:     make(map[groupPeer]bool),
 		probeEvery: probeEvery,
@@ -226,20 +234,31 @@ func (n *Node) SubscribeGroup(g types.GroupID) (<-chan Delivery, error) {
 
 // UnsubscribeGroup removes g's delivery subscription; subsequent
 // deliveries go to the shared channel again. The subscriber's channel is
-// closed.
+// closed, and deliveries still queued in it — ordered, never consumed —
+// are rerouted to the shared channel, ahead of any delivery routed there
+// afterwards: unsubscribing loses nothing.
 func (n *Node) UnsubscribeGroup(g types.GroupID) error {
-	var ob *outbox[Delivery]
-	cerr := n.call(func() {
-		ob = n.sinks[g]
+	return n.call(func() {
+		ob, ok := n.sinks[g]
+		if !ok {
+			return
+		}
 		delete(n.sinks, g)
+		// drain's wait is on the sink's own pump goroutine, which exits
+		// as soon as the sink closes — safe from inside the event loop.
+		for _, d := range ob.drain() {
+			n.deliveries.push(d)
+		}
 	})
-	if cerr != nil {
-		return cerr
-	}
-	if ob != nil {
-		ob.close()
-	}
-	return nil
+}
+
+// GroupSends reports how many point-to-point transmissions this node has
+// issued in group g over its lifetime. Monotone; a group that has been
+// drained and left stops counting — which is exactly what callers assert.
+func (n *Node) GroupSends(g types.GroupID) uint64 {
+	var v uint64
+	_ = n.call(func() { v = n.sent[g] })
+	return v
 }
 
 // PostEvent publishes an application-layer event (e.g. the replication
@@ -405,12 +424,20 @@ func (n *Node) noteInbound(from types.ProcessID, g types.GroupID) {
 	}
 }
 
-// maybeProbe sends a low-rate null to every removed member whose heal has
-// not been observed yet. A probe that gets through is discarded by the
-// receiving engine (its sender is removed there too) but trips the
-// receiver's noteInbound — each side learns of the heal from the other's
-// probes. A genuinely crashed member simply never answers; the cost is
-// one tiny message per probeEvery per removed member.
+// maybeProbe sends a low-rate null to every removed member. A probe that
+// gets through is discarded by the receiving engine (its sender is
+// removed there too) but trips the receiver's noteInbound — each side
+// learns of the heal from the other's probes.
+//
+// Probing continues even after this side has observed the heal: stopping
+// then would starve the FAR side of its own detection signal whenever our
+// pre-heal probes were all lost to the cut and its probes reached us
+// first — a one-sided heal that strands the far side forever (it keeps
+// probing, we never answer, and only the application's merged-group
+// invitation could save it). The steady-state cost is one tiny message
+// per probeEvery per removed member, and it ends when the application
+// drains and leaves the group (LeaveGroup clears the removed set). A
+// genuinely crashed member simply never answers.
 func (n *Node) maybeProbe(now time.Time) {
 	if n.probeEvery < 0 || now.Sub(n.lastProbe) < n.probeEvery {
 		return
@@ -419,9 +446,7 @@ func (n *Node) maybeProbe(now time.Time) {
 	self := n.eng.Self()
 	for g, peers := range n.removed {
 		for p := range peers {
-			if n.healed[groupPeer{g, p}] {
-				continue
-			}
+			n.sent[g]++
 			_ = n.ep.Send(p, &types.Message{Kind: types.KindNull, Group: g, Sender: self, Origin: self})
 		}
 	}
@@ -436,6 +461,7 @@ func (n *Node) route(effs []core.Effect) {
 			// Transport loss surfaces through the protocol's own
 			// failure handling; nothing useful to do with the error
 			// here beyond not wedging the loop.
+			n.sent[eff.Msg.Group]++
 			_ = n.ep.Send(eff.To, eff.Msg)
 		case core.DeliverEffect:
 			d := Delivery{
@@ -518,6 +544,18 @@ func (o *outbox[T]) close() {
 	o.wg.Wait()
 }
 
+// drain closes the outbox and returns every queued item the consumer never
+// received, in order — including the one the pump had in flight (the head
+// stays queued until the consumer takes it, so nothing slips the residue).
+func (o *outbox[T]) drain() []T {
+	o.close()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	q := o.queue
+	o.queue = nil
+	return q
+}
+
 func (o *outbox[T]) pump() {
 	defer o.wg.Done()
 	defer close(o.ch)
@@ -530,17 +568,21 @@ func (o *outbox[T]) pump() {
 			o.mu.Unlock()
 			return
 		}
+		// Peek, don't pop: the head is dequeued only after the consumer
+		// takes it, so an abandoned pump leaves it for drain.
 		v := o.queue[0]
-		var zero T
-		o.queue[0] = zero
-		o.queue = o.queue[1:]
-		if len(o.queue) == 0 {
-			o.queue = nil
-		}
 		o.mu.Unlock()
 		// A consumer that stops reading must not wedge shutdown.
 		select {
 		case o.ch <- v:
+			o.mu.Lock()
+			var zero T
+			o.queue[0] = zero
+			o.queue = o.queue[1:]
+			if len(o.queue) == 0 {
+				o.queue = nil
+			}
+			o.mu.Unlock()
 		case <-o.done:
 			return
 		}

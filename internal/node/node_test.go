@@ -432,3 +432,86 @@ func TestNodeDeliveriesSurviveBufferReuse(t *testing.T) {
 		next[d.Sender]++
 	}
 }
+
+// TestNodeUnsubscribeReroutesResidue pins the unsubscribe contract: a
+// subscriber that stops reading leaves ordered deliveries queued in its
+// sink; UnsubscribeGroup must hand every one of them — including the one
+// the sink's pump had in flight — to the shared channel, in order, ahead
+// of later deliveries.
+func TestNodeUnsubscribeReroutesResidue(t *testing.T) {
+	_, nodes := newTrio(t)
+	sub, err := nodes[0].SubscribeGroup(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes {
+		if err := n.BootstrapGroup(7, core.Symmetric, members(3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const total = 5
+	for i := 0; i < total; i++ {
+		if err := nodes[1].Submit(7, []byte{'r', byte('0' + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait for every delivery to reach the (unread) sink.
+	deadline := time.Now().Add(10 * time.Second)
+	for nodes[0].Stats().Delivered < total {
+		if time.Now().After(deadline) {
+			t.Fatalf("deliveries stalled: %+v", nodes[0].Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Never read sub; unsubscribe must reroute the whole residue.
+	if err := nodes[0].UnsubscribeGroup(7); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-sub; ok {
+		t.Fatal("sink channel not closed")
+	}
+	// A post-unsubscribe delivery must arrive after the residue.
+	if err := nodes[1].Submit(7, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < total; i++ {
+		d := recvDelivery(t, nodes[0])
+		if want := string([]byte{'r', byte('0' + i)}); string(d.Payload) != want {
+			t.Fatalf("residue[%d] = %q, want %q", i, d.Payload, want)
+		}
+	}
+	if d := recvDelivery(t, nodes[0]); string(d.Payload) != "after" {
+		t.Fatalf("post-unsubscribe delivery = %q, want \"after\"", d.Payload)
+	}
+	// Unsubscribing an unknown group is a no-op, not an error.
+	if err := nodes[0].UnsubscribeGroup(99); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNodeGroupSendsStopAfterLeave pins GroupSends as the quiescence
+// probe: a group's transmission count grows while the node participates
+// (ω-nulls at minimum) and freezes once the node leaves it.
+func TestNodeGroupSendsStopAfterLeave(t *testing.T) {
+	_, nodes := newTrio(t)
+	for _, n := range nodes {
+		if err := n.BootstrapGroup(7, core.Symmetric, members(3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for nodes[0].GroupSends(7) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no traffic ever counted in g7")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := nodes[0].LeaveGroup(7); err != nil {
+		t.Fatal(err)
+	}
+	base := nodes[0].GroupSends(7)
+	time.Sleep(100 * time.Millisecond) // 10ω of would-be null traffic
+	if got := nodes[0].GroupSends(7); got != base {
+		t.Errorf("left group still sending: %d -> %d", base, got)
+	}
+}

@@ -16,7 +16,10 @@ import (
 	"testing"
 	"time"
 
+	"newtop"
+	"newtop/client"
 	"newtop/internal/core"
+	"newtop/internal/daemon"
 	"newtop/internal/rsm"
 	"newtop/internal/sim"
 	"newtop/internal/transport/tcpnet"
@@ -240,6 +243,45 @@ func TCPSendRecv(b *testing.B) {
 	b.StopTimer()
 	if writes, frames := sendEp.BatchStats(); writes > 0 {
 		b.ReportMetric(float64(frames)/float64(writes), "frames/write")
+	}
+}
+
+// ClientRoundTrip measures the externally-driven write path end to end:
+// one client session over loopback TCP against one daemon, each Put
+// carrying request framing, a replica propose, the apply through the
+// group's total order (single-member group, so no peer latency — the
+// measured cost is the client/daemon stack itself), and the acked
+// response. This is the per-request floor of the client protocol.
+func ClientRoundTrip(b *testing.B) {
+	net := newtop.NewNetwork()
+	defer net.Close()
+	d, err := daemon.Start(daemon.Config{
+		Self:       1,
+		Network:    net,
+		ClientAddr: "127.0.0.1:0",
+		Omega:      5 * time.Millisecond,
+		Initial:    []newtop.ProcessID{1},
+		Logf:       func(string, ...any) {},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = d.Close() }()
+	sess, err := client.Dial(d.ClientAddr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = sess.Close() }()
+	vals := make([]string, 64)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("value-%02d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sess.Put("bench:key", vals[i%len(vals)]); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -60,6 +60,7 @@ var benchmarks = []struct {
 	{"GroupFormation", GroupFormation},
 	{"RSMCatchUp", RSMCatchUp},
 	{"TCPSendRecv", TCPSendRecv},
+	{"ClientRoundTrip", ClientRoundTrip},
 }
 
 // measure runs one benchmark body via testing.Benchmark and wraps the

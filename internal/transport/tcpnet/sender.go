@@ -35,6 +35,14 @@ type peerSender struct {
 
 	conn net.Conn // owned by run(); nil when disconnected
 	buf  []byte   // reusable frame batch buffer, owned by run()
+
+	// Dial backoff, owned by run(): after a failed dial, batches are
+	// dropped without touching the network until retryAt passes. backoff
+	// doubles per consecutive failure (capped) and resets on success, so
+	// a dead peer costs one blocking dial per backoff window instead of
+	// one per drained burst.
+	retryAt time.Time
+	backoff time.Duration
 }
 
 func newPeerSender(ep *Endpoint, dest types.ProcessID, addr string) *peerSender {
@@ -105,10 +113,22 @@ func (ps *peerSender) run() {
 		}
 
 		if conn == nil {
+			if !ps.retryAt.IsZero() && time.Now().Before(ps.retryAt) {
+				continue // batch lost: peer in dial backoff (cut link)
+			}
 			c, err := ps.dial()
 			if err != nil {
+				// Exponential backoff between dial attempts.
+				if ps.backoff == 0 {
+					ps.backoff = ps.ep.cfg.DialBackoff
+				} else if ps.backoff < 8*ps.ep.cfg.DialBackoff {
+					ps.backoff *= 2
+				}
+				ps.retryAt = time.Now().Add(ps.backoff)
 				continue // batch lost: peer unreachable (cut link)
 			}
+			ps.backoff = 0
+			ps.retryAt = time.Time{}
 			ps.mu.Lock()
 			if ps.stopped {
 				ps.mu.Unlock()
@@ -151,14 +171,19 @@ func appendFrame(dst []byte, m *types.Message) []byte {
 }
 
 func (ps *peerSender) dial() (net.Conn, error) {
+	atomic.AddUint64(&ps.ep.dialAttempts, 1)
 	conn, err := net.DialTimeout("tcp", ps.addr, ps.ep.cfg.DialTimeout)
 	if err != nil {
+		atomic.AddUint64(&ps.ep.dialFailures, 1)
 		return nil, errPeerGone
 	}
 	var hello [4]byte
 	binary.BigEndian.PutUint32(hello[:], uint32(ps.ep.cfg.Self))
 	_ = conn.SetWriteDeadline(time.Now().Add(ps.ep.cfg.WriteTimeout))
 	if _, err := conn.Write(hello[:]); err != nil {
+		// A peer that accepts but can't take the hello is just as
+		// unreachable as one that refuses the dial.
+		atomic.AddUint64(&ps.ep.dialFailures, 1)
 		_ = conn.Close()
 		return nil, errPeerGone
 	}

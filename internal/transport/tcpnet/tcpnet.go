@@ -41,6 +41,13 @@ type Config struct {
 	Peers map[types.ProcessID]string
 	// DialTimeout bounds connection establishment (default 2s).
 	DialTimeout time.Duration
+	// DialBackoff is how long a peer's sender waits after a failed dial
+	// before attempting another (default 1s), doubling per consecutive
+	// failure up to 8×DialBackoff and resetting on success. While the
+	// sender is backing off, batches drained for that peer are dropped
+	// immediately — the lossy-link model — instead of each paying a
+	// fresh blocking dial of up to DialTimeout on the sender goroutine.
+	DialBackoff time.Duration
 	// WriteTimeout bounds a single batch write (default 5s); a timed-out
 	// write drops the connection, modelling a cut link.
 	WriteTimeout time.Duration
@@ -73,6 +80,9 @@ type Endpoint struct {
 	// Batching counters (atomic): framed writes issued and frames carried.
 	batchWrites uint64
 	framesSent  uint64
+	// Dial counters (atomic): attempts made and failures among them.
+	dialAttempts uint64
+	dialFailures uint64
 }
 
 var _ transport.Endpoint = (*Endpoint)(nil)
@@ -82,6 +92,9 @@ var _ transport.Endpoint = (*Endpoint)(nil)
 func New(cfg Config) (*Endpoint, error) {
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.DialBackoff <= 0 {
+		cfg.DialBackoff = time.Second
 	}
 	if cfg.WriteTimeout <= 0 {
 		cfg.WriteTimeout = 5 * time.Second
@@ -124,6 +137,13 @@ func (ep *Endpoint) flushWindow() time.Duration {
 // factor.
 func (ep *Endpoint) BatchStats() (writes, frames uint64) {
 	return atomic.LoadUint64(&ep.batchWrites), atomic.LoadUint64(&ep.framesSent)
+}
+
+// DialStats reports outbound dial attempts and how many of them failed —
+// under backoff, a dead peer costs one attempt per backoff window, not
+// one per drained burst.
+func (ep *Endpoint) DialStats() (attempts, failures uint64) {
+	return atomic.LoadUint64(&ep.dialAttempts), atomic.LoadUint64(&ep.dialFailures)
 }
 
 // Self implements transport.Endpoint.

@@ -2,6 +2,7 @@ package tcpnet
 
 import (
 	"errors"
+	"net"
 	"testing"
 	"time"
 
@@ -282,4 +283,80 @@ func TestManyMessagesBothWays(t *testing.T) {
 			t.Fatalf("a: out of order %d vs %d", in.Msg.Seq, i)
 		}
 	}
+}
+
+// TestDialBackoffBoundsAttempts pins the dead-peer cost: while a peer is
+// unreachable, the sender makes one dial attempt per backoff window and
+// drops batches drained meanwhile without touching the network — instead
+// of paying a fresh blocking dial per drained burst.
+func TestDialBackoffBoundsAttempts(t *testing.T) {
+	// Reserve a port with nothing behind it (fast connection-refused).
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	_ = ln.Close()
+
+	const backoff = 400 * time.Millisecond
+	a, err := New(Config{
+		Self:        1,
+		ListenAddr:  "127.0.0.1:0",
+		Peers:       map[types.ProcessID]string{2: deadAddr},
+		DialTimeout: 200 * time.Millisecond,
+		DialBackoff: backoff,
+		FlushWindow: -1, // drain immediately: maximise drain count
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+
+	// Many separate bursts over ~250ms — nominally within the first
+	// backoff window. Loaded runners stretch the sleeps, so the
+	// assertion bounds attempts by the time that actually elapsed: one
+	// initial dial plus one per backoff window is legitimate; one per
+	// burst (the pre-fix behaviour, ~50) is the bug.
+	start := time.Now()
+	bursts := 0
+	for time.Since(start) < 250*time.Millisecond && bursts < 50 {
+		bursts++
+		if err := a.Send(2, msg(1, uint64(bursts), "down")); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	elapsed := time.Since(start)
+	attempts, failures := a.DialStats()
+	if allowed := uint64(2 + elapsed/backoff); attempts > allowed {
+		t.Fatalf("dead peer cost %d dial attempts across %d bursts in %v, want <= %d",
+			attempts, bursts, elapsed, allowed)
+	}
+	if failures != attempts {
+		t.Fatalf("attempts=%d failures=%d, want all failed", attempts, failures)
+	}
+
+	// Recovery: bring the peer up; after the backoff window passes, a
+	// fresh burst dials again and gets through.
+	b, err := New(Config{Self: 2, ListenAddr: deadAddr, Peers: map[types.ProcessID]string{1: a.Addr()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = b.Close() }()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := a.Send(2, msg(1, 99, "back up")); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case in := <-b.Recv():
+			ok := string(in.Msg.Payload) == "back up"
+			in.Release()
+			if ok {
+				return
+			}
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+	t.Fatal("no message delivered after the peer came back")
 }

@@ -132,6 +132,26 @@ type Config struct {
 	// Peers maps peer process IDs to their TCP addresses.
 	Peers map[ProcessID]string
 
+	// TCP transport tuning (ignored when Network is set).
+	//
+	// DialTimeout bounds establishing a connection to a peer (default 2s).
+	DialTimeout time.Duration
+	// DialBackoff is how long a peer's sender waits after a failed dial
+	// before attempting another (default 1s, doubling per consecutive
+	// failure up to 8×, reset on success). While backing off, messages
+	// to that peer are dropped — the protocol's lossy-link model —
+	// instead of each burst paying a blocking dial of up to DialTimeout.
+	DialBackoff time.Duration
+	// WriteTimeout bounds one framed batch write (default 5s); a
+	// timed-out write drops the connection, modelling a cut link.
+	WriteTimeout time.Duration
+	// FlushWindow is how long a peer's sender waits after the first
+	// queued message for the rest of the burst, so the burst ships as
+	// one framed write (default 50µs; negative disables the wait —
+	// queue backlog still coalesces). It trades that much first-message
+	// latency for one syscall per burst.
+	FlushWindow time.Duration
+
 	// Omega is the time-silence interval ω (§4.1): how long a process
 	// stays quiet in a group before multicasting a null message. It is
 	// the main latency/overhead dial. Zero selects 50ms.
@@ -190,9 +210,13 @@ func Start(cfg Config) (*Process, error) {
 		}
 	} else {
 		tcp, err = tcpnet.New(tcpnet.Config{
-			Self:       cfg.Self,
-			ListenAddr: cfg.ListenAddr,
-			Peers:      cfg.Peers,
+			Self:         cfg.Self,
+			ListenAddr:   cfg.ListenAddr,
+			Peers:        cfg.Peers,
+			DialTimeout:  cfg.DialTimeout,
+			DialBackoff:  cfg.DialBackoff,
+			WriteTimeout: cfg.WriteTimeout,
+			FlushWindow:  cfg.FlushWindow,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("newtop: %w", err)
@@ -261,6 +285,12 @@ func (p *Process) GroupReady(g GroupID) bool { return p.n.GroupReady(g) }
 
 // Stats snapshots protocol counters.
 func (p *Process) Stats() Stats { return p.n.Stats() }
+
+// GroupSends reports how many point-to-point transmissions this process
+// has issued in group g over its lifetime — an observability hook for
+// verifying that a superseded or departed group has gone quiet (the count
+// freezes once the process leaves g).
+func (p *Process) GroupSends(g GroupID) uint64 { return p.n.GroupSends(g) }
 
 // Close stops the process and releases its transport.
 func (p *Process) Close() error { return p.n.Close() }
