@@ -92,6 +92,7 @@ func run() error {
 		settle      = flag.Duration("settle", 2*time.Second, "delay between detecting a heal and initiating reconciliation")
 		drain       = flag.Duration("drain", 2*time.Second, "how long a superseded group lingers after cut-over before the daemon leaves it")
 		initTimeout = flag.Duration("initiate-timeout", 0, "how long to wait for a heal initiator before taking over (default 5×settle)")
+		ringThresh  = flag.Int("ring-threshold", 0, "payload size at or above which multicasts ride the view ring instead of fanning out (0 disables)")
 	)
 	flag.Parse()
 	if *id == 0 || *listen == "" {
@@ -142,6 +143,7 @@ func run() error {
 		Settle:          *settle,
 		DrainWindow:     *drain,
 		InitiateTimeout: *initTimeout,
+		RingThreshold:   *ringThresh,
 	})
 	if err != nil {
 		return err

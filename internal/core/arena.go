@@ -1,0 +1,99 @@
+package core
+
+import "newtop/internal/types"
+
+// Arena reference flags: which engine-internal structure still holds the
+// message. A slot is recyclable only when every flag has been cleared.
+const (
+	arenaLogged uint8 = 1 << iota // retained in the group's stability log
+	arenaQueued                   // waiting in the delivery queue
+)
+
+// msgArena recycles the *types.Message structs the engine itself creates
+// on the data-plane hot path — application multicasts and time-silence
+// nulls. Each such message is retained by at most two structures (the
+// stability log until min(SV) passes it, and the delivery queue until the
+// clock gate D releases it); once both have let go, the struct is a dead
+// heap object the collector would have to trace and sweep, once per
+// message sent. The arena instead parks it on a free list and hands it
+// back to the next transmit, driving the per-message allocation count of
+// the steady-state send path to zero.
+//
+// Recycling is only sound because of two contracts:
+//
+//   - Runtimes consume an effect batch synchronously and never retain a
+//     *types.Message across engine calls (the transports marshal at
+//     enqueue, inside the Send call; sim's codec mode encodes at transmit
+//     time). A released slot can therefore only be observed through a
+//     contract violation.
+//   - Slots released during a stimulus go to a grace list, not the free
+//     list: the effects of the releasing batch (a DeliverEffect holding
+//     the message, a refute piggybacking it) are consumed before the next
+//     stimulus begins, and promotion to the free list happens at begin().
+//
+// Payload byte slices are deliberately NOT recycled: deliveries hand the
+// payload to the application, which may keep it forever. Only the struct
+// is reused; an old payload array stays alive for exactly as long as
+// someone references it.
+type msgArena struct {
+	free  []*types.Message
+	grace []*types.Message // released this stimulus; reusable next begin()
+	flags map[*types.Message]uint8
+}
+
+func newMsgArena() *msgArena {
+	return &msgArena{flags: make(map[*types.Message]uint8)}
+}
+
+// alloc returns a zeroed message struct, recycled when one is free.
+func (a *msgArena) alloc() *types.Message {
+	n := len(a.free)
+	if n == 0 {
+		return &types.Message{}
+	}
+	m := a.free[n-1]
+	a.free[n-1] = nil
+	a.free = a.free[:n-1]
+	*m = types.Message{}
+	return m
+}
+
+// track registers m with the structures that currently hold it.
+func (a *msgArena) track(m *types.Message, flags uint8) { a.flags[m] = flags }
+
+// clear drops one holder flag of m; untracked messages (anything the
+// engine received rather than created) are ignored. The slot moves to the
+// grace list when its last holder lets go.
+func (a *msgArena) clear(m *types.Message, flag uint8) {
+	f, ok := a.flags[m]
+	if !ok {
+		return
+	}
+	f &^= flag
+	if f != 0 {
+		a.flags[m] = f
+		return
+	}
+	delete(a.flags, m)
+	a.grace = append(a.grace, m)
+}
+
+// clearLogged is the stability log's drop hook (msgLog.onDrop).
+func (a *msgArena) clearLogged(m *types.Message) { a.clear(m, arenaLogged) }
+
+// promote moves graced slots to the free list. Called from begin(): by
+// then the effect batch that released them has been fully consumed.
+func (a *msgArena) promote() {
+	if len(a.grace) == 0 {
+		return
+	}
+	a.free = append(a.free, a.grace...)
+	for i := range a.grace {
+		a.grace[i] = nil
+	}
+	a.grace = a.grace[:0]
+}
+
+// live returns how many messages the arena currently tracks as held
+// (diagnostics and tests).
+func (a *msgArena) live() int { return len(a.flags) }

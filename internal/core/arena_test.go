@@ -1,0 +1,153 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"newtop/internal/types"
+)
+
+// Drive one arena-enabled engine through a full message lifecycle —
+// transmit, deliver (queue release), stabilise (log release) — and check
+// the struct is recycled into the next transmit instead of reallocated.
+func TestArenaRecyclesOwnMessages(t *testing.T) {
+	const g = types.GroupID(7)
+	now := time.Unix(0, 0)
+	e := NewEngine(Config{Self: 1, MessageArena: true})
+	if _, err := e.BootstrapGroup(now, g, Symmetric, []types.ProcessID{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	firstPtr := func(effs []Effect) *types.Message {
+		for _, eff := range effs {
+			if s, ok := eff.(SendEffect); ok {
+				return s.Msg
+			}
+		}
+		return nil
+	}
+	null := func(p types.ProcessID, num types.MsgNum, seq uint64, ldn types.MsgNum) *types.Message {
+		return &types.Message{
+			Kind: types.KindNull, Group: g, Sender: p, Origin: p,
+			Num: num, Seq: seq, LDN: ldn,
+		}
+	}
+
+	effs, err := e.Submit(now, g, []byte("payload-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := firstPtr(effs)
+	if m1 == nil {
+		t.Fatal("submit produced no SendEffect")
+	}
+	payload1 := m1.Payload
+
+	// Nulls from the two peers advance RV past m1.Num: the delivery gate D
+	// releases m1 from the queue.
+	delivered := false
+	for _, eff := range e.HandleMessage(now, 2, null(2, m1.Num+4, 1, 0)) {
+		if _, ok := eff.(DeliverEffect); ok {
+			delivered = true
+		}
+	}
+	for _, eff := range e.HandleMessage(now, 3, null(3, m1.Num+4, 1, 0)) {
+		if _, ok := eff.(DeliverEffect); ok {
+			delivered = true
+		}
+	}
+	if !delivered {
+		t.Fatal("m1 was not delivered after RV advanced")
+	}
+
+	// A second round of nulls carries LDN = m1.Num: the peers' stability
+	// entries pass m1.
+	e.HandleMessage(now, 2, null(2, m1.Num+5, 2, m1.Num))
+	e.HandleMessage(now, 3, null(3, m1.Num+5, 2, m1.Num))
+
+	// The next own multicast carries LDN = D ≥ m1.Num, completing min(SV)
+	// ≥ m1.Num: the log gc releases m1's last reference during this batch.
+	effs, err = e.Submit(now, g, []byte("payload-2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := firstPtr(effs)
+	if m2 == m1 {
+		t.Fatal("m1 recycled while its releasing batch was still in flight")
+	}
+	gs := e.groups[g]
+	if gs.arena == nil {
+		t.Fatal("arena not created despite MessageArena")
+	}
+	if got := len(gs.arena.grace); got != 1 {
+		t.Fatalf("grace list has %d slots after m1 released, want 1", got)
+	}
+
+	// The following stimulus promotes the graced slot; the next transmit
+	// must reuse m1's struct.
+	effs, err = e.Submit(now, g, []byte("payload-3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3 := firstPtr(effs)
+	if m3 != m1 {
+		t.Fatalf("third multicast allocated %p, want recycled slot %p", m3, m1)
+	}
+	if string(m3.Payload) != "payload-3" {
+		t.Fatalf("recycled slot payload = %q", m3.Payload)
+	}
+	// The delivered payload handed to the application must be untouched by
+	// the recycling — payload arrays are never reused.
+	if string(payload1) != "payload-1" {
+		t.Fatalf("delivered payload corrupted by recycling: %q", payload1)
+	}
+	if live := gs.arena.live(); live != 2 {
+		t.Fatalf("arena tracks %d live messages, want 2 (m2, m3)", live)
+	}
+}
+
+// Nulls are released by the log alone (never queued); removing an origin
+// via dropOrigin must release through the same hook.
+func TestArenaReleasesNulls(t *testing.T) {
+	const g = types.GroupID(3)
+	now := time.Unix(0, 0)
+	e := NewEngine(Config{Self: 1, MessageArena: true, Omega: 10 * time.Millisecond})
+	if _, err := e.BootstrapGroup(now, g, Symmetric, []types.ProcessID{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	gs := e.groups[g]
+
+	// Force a time-silence null from self.
+	effs := e.Tick(now.Add(20 * time.Millisecond))
+	var n1 *types.Message
+	for _, eff := range effs {
+		if s, ok := eff.(SendEffect); ok && s.Msg.Kind == types.KindNull {
+			n1 = s.Msg
+		}
+	}
+	if n1 == nil {
+		t.Fatal("tick past omega sent no null")
+	}
+	if gs.arena == nil || gs.arena.live() != 1 {
+		t.Fatalf("null not tracked by arena")
+	}
+
+	// Stabilise it: peers report LDN ≥ ... nulls are never delivered, so
+	// stability needs SV past n1.Num; feed nulls with high LDN from peers
+	// and one more own null to move self's SV.
+	null := func(p types.ProcessID, num types.MsgNum, seq uint64, ldn types.MsgNum) *types.Message {
+		return &types.Message{
+			Kind: types.KindNull, Group: g, Sender: p, Origin: p,
+			Num: num, Seq: seq, LDN: ldn,
+		}
+	}
+	e.HandleMessage(now, 2, null(2, n1.Num+1, 1, n1.Num))
+	e.HandleMessage(now, 3, null(3, n1.Num+1, 1, n1.Num))
+	e.Tick(now.Add(40 * time.Millisecond)) // next own null carries LDN = D ≥ n1.Num
+	// n1 should now be graced or already promoted; one more stimulus
+	// promotes for sure.
+	e.Tick(now.Add(41 * time.Millisecond))
+	if len(gs.arena.free)+len(gs.arena.grace) == 0 {
+		t.Fatalf("null slot never released: %d live", gs.arena.live())
+	}
+}

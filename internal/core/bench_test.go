@@ -24,6 +24,14 @@ func BenchmarkEngineAtomicN9(b *testing.B)     { perf.EngineThroughput(b, 9, cor
 // processing a pre-built stream of data messages from a peer.
 func BenchmarkEngineHandleMessage(b *testing.B) { perf.EngineHandleMessage(b) }
 
+// BenchmarkEngineArenaCycle measures the steady-state heap cost of a full
+// own-message lifecycle with the message arena on.
+func BenchmarkEngineArenaCycle(b *testing.B) { perf.EngineArenaCycle(b) }
+
+// BenchmarkRingDisseminateN9 measures 16 KiB ring dissemination into a
+// 9-member group.
+func BenchmarkRingDisseminateN9(b *testing.B) { perf.RingDisseminateN9(b) }
+
 // BenchmarkMembershipAgreement measures a full crash-to-view-change cycle.
 func BenchmarkMembershipAgreement(b *testing.B) { perf.MembershipAgreement(b) }
 

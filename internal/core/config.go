@@ -91,6 +91,21 @@ type Config struct {
 	// AcceptInvite decides whether to vote yes on a group-formation
 	// invitation (§5.3 step 2). Nil accepts every invitation.
 	AcceptInvite func(g types.GroupID, members []types.ProcessID) bool
+
+	// MessageArena recycles the structs of the engine's own outbound
+	// data-plane messages (application multicasts, time-silence nulls)
+	// through a per-group free list once both the stability log and the
+	// delivery queue have released them, removing the last per-message
+	// heap allocation from the steady-state send path.
+	//
+	// Only enable it when the surrounding runtime consumes effect batches
+	// synchronously and never retains a *types.Message across engine
+	// calls: internal/node qualifies (its transports marshal frames at
+	// enqueue, inside Send), as does internal/sim in wire-codec mode
+	// (frames are encoded at transmit time). The default simulator mode
+	// does NOT qualify — it passes message pointers between engines — and
+	// must keep this off.
+	MessageArena bool
 }
 
 // withDefaults returns cfg with zero fields replaced by defaults.

@@ -299,7 +299,33 @@ func (e *Engine) Tick(now time.Time) []Effect {
 // runtime (sim, node) consumes effects synchronously before re-entering
 // the engine, so the reuse is invisible there; external callers must copy
 // if they retain effects across calls.
-func (e *Engine) begin() { e.effs = e.effs[:0] }
+//
+// The same contract is what makes arena promotion safe here: slots graced
+// during the previous stimulus can no longer be referenced by anything
+// outside the engine once the next stimulus begins.
+func (e *Engine) begin() {
+	e.effs = e.effs[:0]
+	if e.cfg.MessageArena {
+		for _, gs := range e.groups {
+			if gs.arena != nil {
+				gs.arena.promote()
+			}
+		}
+	}
+}
+
+// arenaFor returns gs's message arena, creating it (and installing the
+// log's release hook) on first use; nil when Config.MessageArena is off.
+func (e *Engine) arenaFor(gs *groupState) *msgArena {
+	if !e.cfg.MessageArena {
+		return nil
+	}
+	if gs.arena == nil {
+		gs.arena = newMsgArena()
+		gs.log.onDrop = gs.arena.clearLogged
+	}
+	return gs.arena
+}
 
 func (e *Engine) finish(now time.Time) []Effect {
 	e.pump(now)

@@ -118,6 +118,11 @@ type groupState struct {
 
 	log *msgLog
 
+	// arena recycles the structs of this group's own outbound data-plane
+	// messages (Config.MessageArena); nil when disabled. Lazily created
+	// on first transmit — see Engine.arenaFor.
+	arena *msgArena
+
 	// dFloor is a lower bound on Dx: the start-number-max agreed at
 	// group formation (§5.3 step 5). Nulls numbered below it may still
 	// arrive but are never delivered, so the floor is safe.

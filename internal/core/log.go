@@ -20,6 +20,10 @@ type msgLog struct {
 	// min(SV) is monotone, so callers can skip gc entirely until the
 	// threshold advances past lastGC (see onDataPlane).
 	lastGC types.MsgNum
+
+	// onDrop, when set, observes every message the log discards (gc and
+	// dropOrigin) — the message-arena release hook.
+	onDrop func(*types.Message)
 }
 
 func newMsgLog() *msgLog {
@@ -89,12 +93,15 @@ func (l *msgLog) gc(stable types.MsgNum) {
 			continue
 		}
 		l.size -= i
+		for j := 0; j < i; j++ {
+			if l.onDrop != nil {
+				l.onDrop(s[j])
+			}
+			s[j] = nil
+		}
 		if i == len(s) {
 			delete(l.byOrigin, origin)
 			continue
-		}
-		for j := 0; j < i; j++ {
-			s[j] = nil
 		}
 		l.byOrigin[origin] = s[i:]
 	}
@@ -103,7 +110,13 @@ func (l *msgLog) gc(stable types.MsgNum) {
 // dropOrigin discards every entry from origin (used when a failed process
 // is removed from the view).
 func (l *msgLog) dropOrigin(origin types.ProcessID) {
-	l.size -= len(l.byOrigin[origin])
+	s := l.byOrigin[origin]
+	if l.onDrop != nil {
+		for _, m := range s {
+			l.onDrop(m)
+		}
+	}
+	l.size -= len(s)
 	delete(l.byOrigin, origin)
 }
 

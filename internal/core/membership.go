@@ -295,7 +295,11 @@ func (e *Engine) applyDetection(now time.Time, gs *groupState, detection []types
 	// with Num > lnmn, even though they were sent before the failure.
 	// Relays of a failed origin's messages fall under the same cutoff.
 	e.stats.Discarded += uint64(e.queue.Discard(func(m *types.Message) bool {
-		return m.Group == gs.id && (failed[m.Sender] || failed[m.Origin]) && m.Num > lnmn
+		drop := m.Group == gs.id && (failed[m.Sender] || failed[m.Origin]) && m.Num > lnmn
+		if drop && gs.arena != nil {
+			gs.arena.clear(m, arenaQueued)
+		}
+		return drop
 	}))
 	// RV[k] := ∞, SV[k] := ∞ — lets D and stability advance past the
 	// departed processes (the failed set is always a subset of the

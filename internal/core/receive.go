@@ -249,6 +249,9 @@ func (e *Engine) pump(now time.Time) {
 			return
 		}
 		e.queue.Pop()
+		if gs.arena != nil {
+			gs.arena.clear(m, arenaQueued)
+		}
 		// MD1 validity: deliver only messages whose sender is in the
 		// current view.
 		if !gs.view.Contains(m.Origin) || !gs.view.Contains(m.Sender) {

@@ -56,16 +56,15 @@ func (e *Engine) transmit(now time.Time, gs *groupState, payload []byte) {
 	// Symmetric (§4.1) and atomic modes multicast directly.
 	num := e.lc.TickSend() // CA1
 	gs.mySeq++
-	m := &types.Message{
-		Kind:    types.KindData,
-		Group:   gs.id,
-		Sender:  e.cfg.Self,
-		Origin:  e.cfg.Self,
-		Num:     num,
-		Seq:     gs.mySeq,
-		LDN:     gs.dx(),
-		Payload: payload,
-	}
+	m := e.allocOwn(gs, gs.ordered())
+	m.Kind = types.KindData
+	m.Group = gs.id
+	m.Sender = e.cfg.Self
+	m.Origin = e.cfg.Self
+	m.Num = num
+	m.Seq = gs.mySeq
+	m.LDN = gs.dx()
+	m.Payload = payload
 	e.mcast(gs, m)
 	gs.lastSent = now
 	// Deliver own messages by executing the protocol (§3): loop the
@@ -157,21 +156,39 @@ func (e *Engine) sequenceRequest(now time.Time, gs *groupState, req *types.Messa
 	e.onDataPlane(now, gs, gs.memberIndex(e.cfg.Self), m)
 }
 
+// allocOwn returns a zeroed message struct for a self-originated
+// data-plane multicast in gs, drawn from the group's arena when enabled.
+// The self loopback through onDataPlane always retains it in the
+// stability log; queued says whether it will also sit in the delivery
+// queue (ordered data — not nulls, not atomic-mode deliveries).
+func (e *Engine) allocOwn(gs *groupState, queued bool) *types.Message {
+	a := e.arenaFor(gs)
+	if a == nil {
+		return &types.Message{}
+	}
+	m := a.alloc()
+	flags := arenaLogged
+	if queued {
+		flags |= arenaQueued
+	}
+	a.track(m, flags)
+	return m
+}
+
 // sendNull multicasts a time-silence null message in gs (§4.1). Nulls
 // carry only protocol information; they advance clocks and receive vectors
 // but are never delivered.
 func (e *Engine) sendNull(now time.Time, gs *groupState) {
 	num := e.lc.TickSend()
 	gs.mySeq++
-	m := &types.Message{
-		Kind:   types.KindNull,
-		Group:  gs.id,
-		Sender: e.cfg.Self,
-		Origin: e.cfg.Self,
-		Num:    num,
-		Seq:    gs.mySeq,
-		LDN:    gs.dx(),
-	}
+	m := e.allocOwn(gs, false) // nulls are logged but never queued
+	m.Kind = types.KindNull
+	m.Group = gs.id
+	m.Sender = e.cfg.Self
+	m.Origin = e.cfg.Self
+	m.Num = num
+	m.Seq = gs.mySeq
+	m.LDN = gs.dx()
 	e.stats.NullsSent++
 	e.mcast(gs, m)
 	gs.lastSent = now

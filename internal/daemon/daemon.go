@@ -102,6 +102,13 @@ type Config struct {
 	WriteTimeout time.Duration
 	FlushWindow  time.Duration
 
+	// RingThreshold and RingPullAfter configure ring payload
+	// dissemination, passed through to newtop.Config: payloads at or
+	// above the threshold travel the view ring instead of fanning out
+	// point-to-point (0 disables).
+	RingThreshold int
+	RingPullAfter time.Duration
+
 	// Logf receives the daemon's log lines (default log.Printf; supply
 	// a no-op to silence).
 	Logf func(format string, args ...any)
@@ -216,6 +223,8 @@ func Start(cfg Config) (*Daemon, error) {
 		DialBackoff:       cfg.DialBackoff,
 		WriteTimeout:      cfg.WriteTimeout,
 		FlushWindow:       cfg.FlushWindow,
+		RingThreshold:     cfg.RingThreshold,
+		RingPullAfter:     cfg.RingPullAfter,
 		AcceptInvite: func(g newtop.GroupID, members []newtop.ProcessID) bool {
 			// Counted BEFORE the vote takes effect (this callback runs on
 			// the node loop, synchronously with the vote): from here until

@@ -27,13 +27,18 @@ import (
 //   - the client reconnects, redirects and retries on its own — the
 //     workload loop never handles an endpoint choice;
 //   - superseded groups go quiet: once service cut over to the merged
-//     group, the old group is left and its transmission count freezes.
+//     group, the old group is left and its transmission count freezes;
+//   - large values survive the same lifecycle: the daemons run with a
+//     ring dissemination threshold, so 16 KiB writes replicate over the
+//     view ring while it has ≥3 members, fall back to direct sends in
+//     the singleton partition views, and cross the heal/reconcile merge
+//     bit-intact.
 func R4ClientFailover() (*Table, error) {
 	t := &Table{
 		Title:   "R4 — client routing & failover under a daemon kill and a partition/heal cycle",
 		Columns: []string{"metric", "value"},
 		Notes: []string{
-			"3 daemons over memnet, client over loopback TCP; kill the pinned daemon, then partition/heal the survivors",
+			"3 daemons over memnet (ring threshold 4 KiB), client over loopback TCP; kill the pinned daemon, then partition/heal the survivors",
 		},
 	}
 	net := newtop.NewNetwork(newtop.WithSeed(11))
@@ -49,6 +54,7 @@ func R4ClientFailover() (*Table, error) {
 			Omega:             15 * time.Millisecond,
 			HealProbeInterval: 40 * time.Millisecond,
 			Initial:           ids,
+			RingThreshold:     4096,
 			Settle:            250 * time.Millisecond,
 			DrainWindow:       300 * time.Millisecond,
 			InitiateTimeout:   time.Second,
@@ -125,6 +131,44 @@ func R4ClientFailover() (*Table, error) {
 		}
 		return nil
 	}
+	// Large writes: 16 KiB values, above the daemons' ring threshold, so
+	// the replicated command frames ride the view ring whenever it has
+	// enough members. Self-describing content (key repeated to length)
+	// makes any truncation or relay corruption show up in verification.
+	largeSeq := 0
+	largeVal := func(key string) string {
+		b := make([]byte, 0, 16<<10)
+		for len(b) < 16<<10 {
+			b = append(b, key...)
+			b = append(b, '|')
+		}
+		return string(b)
+	}
+	writeLarge := func() error {
+		largeSeq++
+		key := fmt.Sprintf("big:%04d", largeSeq)
+		val := largeVal(key)
+		for {
+			err := sess.Put(key, val)
+			if err == nil {
+				acked[key] = val
+				return nil
+			}
+			if errors.Is(err, client.ErrUnacked) {
+				unackedRetries++
+				continue
+			}
+			return fmt.Errorf("large write %s: %w", key, err)
+		}
+	}
+	burstLarge := func(n int) error {
+		for i := 0; i < n; i++ {
+			if err := writeLarge(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	waitUntil := func(d time.Duration, what string, cond func() bool) error {
 		deadline := time.Now().Add(d)
 		for !cond() {
@@ -136,8 +180,12 @@ func R4ClientFailover() (*Table, error) {
 		return nil
 	}
 
-	// Phase 1 — steady state.
+	// Phase 1 — steady state: small writes plus ring-borne large ones
+	// (3-member view, ring active).
 	if err := burst(40); err != nil {
+		return nil, err
+	}
+	if err := burstLarge(6); err != nil {
 		return nil, err
 	}
 
@@ -151,6 +199,11 @@ func R4ClientFailover() (*Table, error) {
 	delete(daemons, victim)
 	killedAt := time.Now()
 	if err := burst(40); err != nil {
+		return nil, fmt.Errorf("after killing P%d: %w", victim, err)
+	}
+	// Two-member view: below the ring's minimum, so large writes take the
+	// direct fallback path.
+	if err := burstLarge(4); err != nil {
 		return nil, fmt.Errorf("after killing P%d: %w", victim, err)
 	}
 	killAbsorbed := time.Since(killedAt)
@@ -192,6 +245,9 @@ func R4ClientFailover() (*Table, error) {
 	if err := burst(30); err != nil { // singleton-view writes on the pinned side
 		return nil, err
 	}
+	if err := burstLarge(4); err != nil { // large values written INTO the partition
+		return nil, err
+	}
 	preMergeGroup := daemons[a].ServingGroup()
 	net.Heal()
 	healedAt := time.Now()
@@ -212,6 +268,9 @@ func R4ClientFailover() (*Table, error) {
 	// Writes continue against the merged group (the client rode out any
 	// RETRY responses during the merge on its own).
 	if err := burst(20); err != nil {
+		return nil, fmt.Errorf("after merge: %w", err)
+	}
+	if err := burstLarge(6); err != nil {
 		return nil, fmt.Errorf("after merge: %w", err)
 	}
 
@@ -259,6 +318,7 @@ func R4ClientFailover() (*Table, error) {
 
 	st := sess.Stats()
 	t.AddRow("acked writes", fmt.Sprintf("%d (all verified twice, zero lost)", len(acked)))
+	t.AddRow("16 KiB writes across ring/fallback/partition/merge", fmt.Sprintf("%d (bit-intact)", largeSeq))
 	t.AddRow("acked writes verified right after the crash", fmt.Sprintf("%d", survivedCrash))
 	t.AddRow("unacked writes retried by caller", fmt.Sprintf("%d", unackedRetries))
 	t.AddRow("session failovers / redirects / retries", fmt.Sprintf("%d / %d / %d", st.Failovers, st.Redirects, st.Retries))

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"newtop/internal/core"
+	"newtop/internal/ring"
 	"newtop/internal/simtime"
 	"newtop/internal/transport"
 	"newtop/internal/types"
@@ -90,6 +91,15 @@ type Options struct {
 	// removed member — a probe or otherwise — raises EventHealDetected).
 	// Zero selects DefaultHealProbeEvery; negative disables probing.
 	HealProbeEvery time.Duration
+	// RingThreshold is the payload size in bytes at or above which a data
+	// multicast is disseminated along the view-defined ring instead of
+	// unicast to every member (see internal/ring). Zero disables ring
+	// dissemination.
+	RingThreshold int
+	// RingPullAfter overrides how long a ring reassembly waits for its
+	// payload before re-requesting it from the disseminator (default
+	// 250ms). Only meaningful with RingThreshold > 0.
+	RingPullAfter time.Duration
 }
 
 // Node runs one Newtop process: engine + transport + timers.
@@ -117,6 +127,16 @@ type Node struct {
 	// superseded or departed group has actually gone quiet. Only the
 	// event loop writes it.
 	sent map[types.GroupID]uint64
+
+	// rng is the ring-dissemination layer (nil when RingThreshold is 0):
+	// outbound SendEffects and inbound messages thread through it, the
+	// engine sees only reassembled ordinary traffic. ringQ buffers
+	// messages the ring released while the loop was mid-way through an
+	// effects batch (a view change flushing a reassembly queue); apply
+	// feeds them to the engine once the batch is done, because the
+	// engine's effects buffer is reused across calls.
+	rng   *ring.Ring
+	ringQ []ring.Delivered
 
 	// Heal detection (only the event loop touches these): removed
 	// tracks, per group, the processes excluded from the view; healed
@@ -173,6 +193,13 @@ func New(cfg core.Config, ep transport.Endpoint, opts Options) *Node {
 		healed:     make(map[groupPeer]bool),
 		probeEvery: probeEvery,
 		lastProbe:  clk.Now(),
+	}
+	if opts.RingThreshold > 0 {
+		n.rng = ring.New(ring.Config{
+			Self:      cfg.Self,
+			Threshold: opts.RingThreshold,
+			PullAfter: opts.RingPullAfter,
+		})
 	}
 	n.wg.Add(1)
 	go n.loop()
@@ -292,7 +319,7 @@ func (n *Node) Submit(g types.GroupID, payload []byte) error {
 	cerr := n.call(func() {
 		var effs []core.Effect
 		effs, err = n.eng.Submit(n.clk.Now(), g, p)
-		n.route(effs)
+		n.apply(effs)
 	})
 	if cerr != nil {
 		return cerr
@@ -307,7 +334,7 @@ func (n *Node) BootstrapGroup(g types.GroupID, mode core.OrderMode, members []ty
 	cerr := n.call(func() {
 		var effs []core.Effect
 		effs, err = n.eng.BootstrapGroup(n.clk.Now(), g, mode, ms)
-		n.route(effs)
+		n.apply(effs)
 	})
 	if cerr != nil {
 		return cerr
@@ -322,7 +349,7 @@ func (n *Node) CreateGroup(g types.GroupID, mode core.OrderMode, members []types
 	cerr := n.call(func() {
 		var effs []core.Effect
 		effs, err = n.eng.CreateGroup(n.clk.Now(), g, mode, ms)
-		n.route(effs)
+		n.apply(effs)
 	})
 	if cerr != nil {
 		return cerr
@@ -337,12 +364,15 @@ func (n *Node) LeaveGroup(g types.GroupID) error {
 	cerr := n.call(func() {
 		var effs []core.Effect
 		effs, err = n.eng.LeaveGroup(n.clk.Now(), g)
-		n.route(effs)
+		n.apply(effs)
 		if err == nil {
 			for p := range n.removed[g] {
 				delete(n.healed, groupPeer{g, p})
 			}
 			delete(n.removed, g)
+			if n.rng != nil {
+				n.rng.DropGroup(g)
+			}
 		}
 	})
 	if cerr != nil {
@@ -392,6 +422,22 @@ func (n *Node) loop() {
 				return
 			}
 			n.noteInbound(in.From, in.Msg.Group)
+			if n.rng != nil {
+				// Ring path: relay outbounds may alias the borrowed
+				// transport buffer, and the endpoint marshals frames
+				// during Send — so relays go out before the buffer is
+				// released, zero copies. Whatever the ring releases to
+				// the engine owns its memory already.
+				outs, delivers := n.rng.OnReceive(n.clk.Now(), in.From, in.Msg)
+				for _, o := range outs {
+					n.sent[o.Msg.Group]++
+					_ = n.ep.Send(o.To, o.Msg)
+				}
+				in.Release()
+				n.ringQ = append(n.ringQ, delivers...)
+				n.apply(nil)
+				continue
+			}
 			// The engine retains stimuli (data messages sit in its log
 			// until stability), so a borrowed message is sealed — its
 			// payload copied out of the transport buffer — before the
@@ -401,13 +447,37 @@ func (n *Node) loop() {
 				in.Msg.Own()
 				in.Release()
 			}
-			n.route(n.eng.HandleMessage(n.clk.Now(), in.From, in.Msg))
+			n.apply(n.eng.HandleMessage(n.clk.Now(), in.From, in.Msg))
 		case <-timer:
 			now := n.clk.Now()
-			n.route(n.eng.Tick(now))
+			n.apply(n.eng.Tick(now))
+			if n.rng != nil {
+				for _, o := range n.rng.Tick(now) {
+					n.sent[o.Msg.Group]++
+					_ = n.ep.Send(o.To, o.Msg)
+				}
+			}
 			n.maybeProbe(now)
 			timer = n.clk.After(n.tick)
 		}
+	}
+}
+
+// apply routes one engine effects batch, then feeds the engine whatever
+// the ring layer released while the batch was being routed (each feed may
+// queue more). Deferring those stimuli matters: the effects slice aliases
+// the engine's reusable buffer, so the engine must not re-enter while a
+// batch is mid-iteration.
+func (n *Node) apply(effs []core.Effect) {
+	n.route(effs)
+	for len(n.ringQ) > 0 {
+		d := n.ringQ[0]
+		n.ringQ[0] = ring.Delivered{}
+		n.ringQ = n.ringQ[1:]
+		if len(n.ringQ) == 0 {
+			n.ringQ = nil
+		}
+		n.route(n.eng.HandleMessage(n.clk.Now(), d.From, d.Msg))
 	}
 }
 
@@ -461,6 +531,13 @@ func (n *Node) route(effs []core.Effect) {
 			// Transport loss surfaces through the protocol's own
 			// failure handling; nothing useful to do with the error
 			// here beyond not wedging the loop.
+			if n.rng != nil {
+				for _, o := range n.rng.OnSend(eff.To, eff.Msg) {
+					n.sent[o.Msg.Group]++
+					_ = n.ep.Send(o.To, o.Msg)
+				}
+				continue
+			}
 			n.sent[eff.Msg.Group]++
 			_ = n.ep.Send(eff.To, eff.Msg)
 		case core.DeliverEffect:
@@ -485,6 +562,14 @@ func (n *Node) route(effs []core.Effect) {
 			for _, p := range eff.Removed {
 				rm[p] = true
 			}
+			if n.rng != nil {
+				outs, delivers := n.rng.OnViewChange(g, eff.View.Members, eff.Removed)
+				for _, o := range outs {
+					n.sent[o.Msg.Group]++
+					_ = n.ep.Send(o.To, o.Msg)
+				}
+				n.ringQ = append(n.ringQ, delivers...)
+			}
 			n.events.push(Event{
 				Kind:    EventViewChanged,
 				Group:   g,
@@ -492,6 +577,19 @@ func (n *Node) route(effs []core.Effect) {
 				Removed: eff.Removed,
 			})
 		case core.GroupReadyEffect:
+			if n.rng != nil {
+				// A formed group's first view may arrive without a
+				// ViewEffect; seed the ring order from the engine (a pure
+				// read, safe mid-batch).
+				if v, err := n.eng.View(eff.Group); err == nil {
+					outs, delivers := n.rng.OnViewChange(eff.Group, v.Members, nil)
+					for _, o := range outs {
+						n.sent[o.Msg.Group]++
+						_ = n.ep.Send(o.To, o.Msg)
+					}
+					n.ringQ = append(n.ringQ, delivers...)
+				}
+			}
 			n.events.push(Event{Kind: EventGroupReady, Group: eff.Group})
 		case core.FormationFailedEffect:
 			n.events.push(Event{Kind: EventFormationFailed, Group: eff.Group, Reason: eff.Reason})

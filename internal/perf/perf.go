@@ -115,6 +115,97 @@ func EngineHandleMessage(b *testing.B) {
 	}
 }
 
+// RingDisseminateN9 measures the ring payload path end to end: 16 KiB
+// multicasts from one originator into a 9-member group with the ring
+// threshold engaged, so each payload leaves the originator once and
+// relays successor to successor while the ordering metadata fans out
+// point-to-point. The engines run with the message arena on — this is
+// the configuration newtop.Start ships.
+func RingDisseminateN9(b *testing.B) {
+	const payloadLen = 16 << 10
+	c := sim.New(1,
+		sim.WithLatency(100*time.Microsecond, 300*time.Microsecond),
+		sim.WithRing(1024))
+	ps := make([]types.ProcessID, 0, 9)
+	for i := 1; i <= 9; i++ {
+		c.AddProcess(core.Config{Self: types.ProcessID(i), Omega: 5 * time.Millisecond, MessageArena: true})
+		ps = append(ps, types.ProcessID(i))
+	}
+	if err := c.Bootstrap(1, core.Symmetric, ps); err != nil {
+		b.Fatal(err)
+	}
+	c.Run(20 * time.Millisecond)
+	large := make([][]byte, 8)
+	for i := range large {
+		large[i] = make([]byte, payloadLen)
+		for j := range large[i] {
+			large[i][j] = byte(i + j*7)
+		}
+	}
+	b.SetBytes(payloadLen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Submit(1, 1, large[i%len(large)]); err != nil {
+			b.Fatal(err)
+		}
+		if i%16 == 15 {
+			c.Run(5 * time.Millisecond)
+		}
+	}
+	c.Run(500 * time.Millisecond)
+	b.StopTimer()
+	if got := len(c.History(9).Deliveries); got < b.N {
+		b.Fatalf("P9 delivered %d of %d ring payloads", got, b.N)
+	}
+}
+
+// EngineArenaCycle drives one arena-enabled engine through the complete
+// own-message lifecycle per iteration — multicast, peer nulls advancing
+// delivery and stability, log GC releasing the slot — so every own
+// message struct is recycled through the group arena. allocs/op here is
+// the steady-state heap cost of the whole cycle; the arena's job is
+// keeping the per-message struct allocation out of it.
+func EngineArenaCycle(b *testing.B) {
+	e := core.NewEngine(core.Config{Self: 1, Omega: time.Hour, MessageArena: true})
+	now := sim.Epoch
+	if _, err := e.BootstrapGroup(now, 1, core.Symmetric, []types.ProcessID{1, 2, 3}); err != nil {
+		b.Fatal(err)
+	}
+	payload := payloads[0]
+	// Peer nulls are engine-retained until stable, which lags a couple of
+	// iterations behind; rotating through a pool far wider than that lag
+	// reuses the structs without allocating in the timed loop.
+	const slots = 256
+	pool := make([]types.Message, 2*slots)
+	ownNum := func(effs []core.Effect) types.MsgNum {
+		for _, eff := range effs {
+			if s, ok := eff.(core.SendEffect); ok {
+				return s.Msg.Num
+			}
+		}
+		b.Fatal("submit produced no send")
+		return 0
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var seq uint64
+	for i := 0; i < b.N; i++ {
+		effs, err := e.Submit(now, 1, payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		num := ownNum(effs)
+		seq++
+		n2 := &pool[(i%slots)*2]
+		n3 := &pool[(i%slots)*2+1]
+		*n2 = types.Message{Kind: types.KindNull, Group: 1, Sender: 2, Origin: 2, Num: num + 1, Seq: seq, LDN: num}
+		*n3 = types.Message{Kind: types.KindNull, Group: 1, Sender: 3, Origin: 3, Num: num + 1, Seq: seq, LDN: num}
+		e.HandleMessage(now, 2, n2)
+		e.HandleMessage(now, 3, n3)
+	}
+}
+
 // MembershipAgreement measures a full crash-to-view-change cycle.
 func MembershipAgreement(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -56,6 +56,8 @@ var benchmarks = []struct {
 	{"EngineAsymmetricN9", func(b *testing.B) { EngineThroughput(b, 9, core.Asymmetric) }},
 	{"EngineAtomicN9", func(b *testing.B) { EngineThroughput(b, 9, core.Atomic) }},
 	{"EngineHandleMessage", EngineHandleMessage},
+	{"EngineArenaCycle", EngineArenaCycle},
+	{"RingDisseminateN9", RingDisseminateN9},
 	{"MembershipAgreement", MembershipAgreement},
 	{"GroupFormation", GroupFormation},
 	{"RSMCatchUp", RSMCatchUp},
@@ -119,6 +121,14 @@ type GateCheck struct {
 // regression without tripping on noise.
 var DefaultGateChecks = []GateCheck{
 	{Name: "EngineHandleMessage", Metric: "ns/op", Factor: 3},
+	// The receive hot path allocates nothing per message; the factor-1
+	// gate means a single new steady-state allocation fails CI.
+	{Name: "EngineHandleMessage", Metric: "allocs/op", Factor: 1},
+	// The arena work pins the n=9 hot loop's allocation count; 1.1 allows
+	// a ±1 wobble on a ~23-alloc baseline, nothing more.
+	{Name: "EngineSymmetricN9", Metric: "allocs/op", Factor: 1.1},
+	{Name: "EngineArenaCycle", Metric: "allocs/op", Factor: 1.5},
+	{Name: "RingDisseminateN9", Metric: "allocs/op", Factor: 2},
 	{Name: "TCPSendRecv", Metric: "allocs/op", Factor: 2},
 	{Name: "RSMCatchUp", Metric: "allocs/op", Factor: 2},
 	{Name: "RSMCatchUp", Metric: "ns/op", Factor: 3},

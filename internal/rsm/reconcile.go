@@ -197,18 +197,49 @@ type reconClass struct {
 	haveEntries bool
 }
 
-// earlyEntries is an entries frame delivered before this member's summary
+// earlyEntries is an entries chunk delivered before this member's summary
 // phase completed. That cannot happen through the delivery path alone
 // (the proponent only proposes after seeing every summary, and the total
 // order shows those summaries to everyone first), but the summary phase
 // can also complete via PruneLive — a *local* timer: the proponent's
-// timer may fire before ours, so its entries frame may outrun our own
-// prune. Stashed frames replay, in delivery order, when the phase
+// timer may fire before ours, so its entries chunks may outrun our own
+// prune. Stashed chunks replay, in delivery order, when the phase
 // completes here.
 type earlyEntries struct {
+	origin  types.ProcessID
 	digest  uint64
 	seq     uint64
+	index   uint64
+	last    bool
 	entries []Entry
+}
+
+// entriesKey identifies one proponent's in-flight proposal stream: large
+// proposals arrive as Index/Last chunks, and a takeover can race the
+// original proponent, so assemblies are per (class, proponent) — never
+// mixed across proposers of the same class.
+type entriesKey struct {
+	digest uint64
+	origin types.ProcessID
+}
+
+// entriesAsm accumulates the chunks of one proposal stream.
+type entriesAsm struct {
+	entries []Entry
+	seq     uint64
+	next    uint64 // next expected chunk index
+}
+
+// proposeState is this member's own outgoing proposal stream, paced by the
+// stream window exactly like a snapshot serve: at most StreamWindow chunks
+// in flight, each own chunk seen back through the total order releasing
+// the next.
+type proposeState struct {
+	digest uint64
+	seq    uint64
+	wes    []wire.ReconEntry
+	off    int    // next entry offset
+	idx    uint64 // next chunk index
 }
 
 // reconState is a Core's in-flight reconciliation.
@@ -220,7 +251,9 @@ type reconState struct {
 	diff       []bool                   // marked buckets, valid once summaries complete
 	done       bool                     // summaries complete
 	sentOwn    bool                     // this member already proposed its class's entries
-	early      []earlyEntries           // entries frames delivered before done
+	early      []earlyEntries           // entries chunks delivered before done
+	asm        map[entriesKey]*entriesAsm
+	propose    *proposeState // own outgoing stream (nil when idle or drained)
 }
 
 // Reconciling reports whether a reconciliation is still in flight.
@@ -312,10 +345,10 @@ func (c *Core) summariesComplete(out *Outcome) {
 		}
 	}
 	c.maybeProposeEntries(out)
-	// Replay proposals that outran this member's (prune-driven) summary
-	// completion, in their delivery order.
+	// Replay proposal chunks that outran this member's (prune-driven)
+	// summary completion, in their delivery order.
 	for _, e := range r.early {
-		c.acceptEntries(e.digest, e.seq, e.entries)
+		c.ingestEntries(e.origin, e.digest, e.seq, e.index, e.last, e.entries, out)
 	}
 	r.early = nil
 	c.tryMerge(out)
@@ -340,18 +373,52 @@ func (c *Core) maybeProposeEntries(out *Outcome) {
 		wes[i] = wire.ReconEntry{Key: []byte(e.Key), Value: []byte(e.Value), Rev: e.Rev, Tomb: e.Tomb}
 	}
 	r.sentOwn = true
-	c.submitFrame(out, &wire.Envelope{
-		Kind: wire.EnvReconEntries, Digest: cl.digest, Applied: seq, Entries: wes,
-	})
+	r.propose = &proposeState{digest: cl.digest, seq: seq, wes: wes}
+	// Prime the window; afterwards the stream paces itself — each own
+	// chunk seen back through the total order releases the next, so a
+	// huge diverged state never floods the group's delivery queues.
+	for i := 0; i < c.cfg.StreamWindow && r.propose != nil; i++ {
+		c.emitEntriesChunk(out)
+	}
 }
 
-// onReconEntries handles a class proponent's merge proposal. The first
-// frame per class in the total order wins; duplicates (a takeover racing
-// the original proponent) are dropped identically everywhere. A frame
-// that outruns this member's own (prune-driven) summary completion is
-// stashed and replayed at completion rather than lost — dropping it
-// would deadlock the merge, since proposals are one-shot.
-func (c *Core) onReconEntries(_ types.ProcessID, env *wire.Envelope, out *Outcome) {
+// emitEntriesChunk submits the next chunk of the own proposal stream:
+// entries are packed until the chunk reaches cfg.ChunkSize (always at
+// least one per chunk), and the final chunk carries Last and clears the
+// stream. An empty proposal (a class with nothing in the differing
+// buckets) is a single empty Last chunk — the class must still be heard
+// from for the merge to fire.
+func (c *Core) emitEntriesChunk(out *Outcome) {
+	r := c.recon
+	p := r.propose
+	end, size := p.off, 0
+	for end < len(p.wes) {
+		size += len(p.wes[end].Key) + len(p.wes[end].Value) + 16
+		end++
+		if size >= c.cfg.ChunkSize {
+			break
+		}
+	}
+	last := end == len(p.wes)
+	c.submitFrame(out, &wire.Envelope{
+		Kind: wire.EnvReconEntries, Digest: p.digest, Applied: p.seq,
+		Index: p.idx, Last: last, Entries: p.wes[p.off:end],
+	})
+	p.idx++
+	p.off = end
+	if last {
+		r.propose = nil
+	}
+}
+
+// onReconEntries handles one chunk of a class proponent's merge proposal.
+// The first proposal per class to COMPLETE in the total order wins;
+// duplicates (a takeover racing the original proponent) are dropped
+// identically everywhere. A chunk that outruns this member's own
+// (prune-driven) summary completion is stashed and replayed at completion
+// rather than lost — dropping it would deadlock the merge, since
+// proposals are one-shot.
+func (c *Core) onReconEntries(origin types.ProcessID, env *wire.Envelope, out *Outcome) {
 	r := c.recon
 	if r == nil {
 		c.stats.StaleFrames++
@@ -363,14 +430,63 @@ func (c *Core) onReconEntries(_ types.ProcessID, env *wire.Envelope, out *Outcom
 		entries[i] = Entry{Key: string(e.Key), Value: string(e.Value), Rev: e.Rev, Tomb: e.Tomb}
 	}
 	if !r.done {
-		r.early = append(r.early, earlyEntries{digest: env.Digest, seq: env.Applied, entries: entries})
+		r.early = append(r.early, earlyEntries{
+			origin: origin, digest: env.Digest, seq: env.Applied,
+			index: env.Index, last: env.Last, entries: entries,
+		})
 		return
 	}
-	c.acceptEntries(env.Digest, env.Applied, entries)
+	c.ingestEntries(origin, env.Digest, env.Applied, env.Index, env.Last, entries, out)
 	c.tryMerge(out)
 }
 
-// acceptEntries records one class's proposal (first per class wins).
+// ingestEntries folds one chunk into the per-(class, proponent) assembly.
+// A proposal wins its class only when it completes — its Last chunk
+// delivered with the full Index sequence before it — so a proponent that
+// dies mid-stream never decides a merge, and the winner is still picked
+// identically everywhere: completion is a position in the total order
+// like any other.
+func (c *Core) ingestEntries(origin types.ProcessID, digest, seq, index uint64, last bool, entries []Entry, out *Outcome) {
+	r := c.recon
+	// One of our own chunks back through the total order is the
+	// flow-control ack that releases the next chunk of the stream —
+	// exactly the snapshot serve's pacing.
+	if origin == c.cfg.Self && r.propose != nil && digest == r.propose.digest {
+		c.emitEntriesChunk(out)
+	}
+	key := entriesKey{digest: digest, origin: origin}
+	cl := r.class(digest)
+	if cl == nil || cl.haveEntries {
+		// Foreign digest, or the class was already decided by an earlier
+		// complete proposal: the rest of a losing stream is dropped.
+		c.stats.StaleFrames++
+		delete(r.asm, key)
+		return
+	}
+	a := r.asm[key]
+	switch {
+	case index == 0:
+		a = &entriesAsm{seq: seq} // fresh stream (or a proponent restart)
+	case a == nil || index != a.next:
+		c.stats.StaleFrames++ // a gap: tail of an abandoned stream
+		delete(r.asm, key)
+		return
+	}
+	a.next = index + 1
+	a.entries = append(a.entries, entries...)
+	if !last {
+		if r.asm == nil {
+			r.asm = make(map[entriesKey]*entriesAsm)
+		}
+		r.asm[key] = a
+		return
+	}
+	delete(r.asm, key)
+	c.acceptEntries(digest, a.seq, a.entries)
+}
+
+// acceptEntries records one class's assembled proposal (first complete
+// proposal per class wins).
 func (c *Core) acceptEntries(digest, seq uint64, entries []Entry) {
 	cl := c.recon.class(digest)
 	if cl == nil || cl.haveEntries {
@@ -513,6 +629,13 @@ func (c *Core) PruneLive(live []types.ProcessID) Outcome {
 			c.summariesComplete(&out)
 		}
 		return out
+	}
+	// A dead proponent's partial stream can never complete (MD1): drop
+	// its assembly so a takeover restarting at Index 0 starts clean.
+	for k := range r.asm {
+		if !alive[k.origin] {
+			delete(r.asm, k)
+		}
 	}
 	// Drop classes that can never produce entries; promote takeovers.
 	kept := r.classes[:0]

@@ -314,7 +314,7 @@ func TestCorePruneProponentTakeover(t *testing.T) {
 	}
 	cls := probeDigest(theirKV)
 	out = c.Step(3, wire.MarshalEnvelope(nil, &wire.Envelope{
-		Kind: wire.EnvReconEntries, Digest: cls, Applied: seq, Entries: wes,
+		Kind: wire.EnvReconEntries, Digest: cls, Applied: seq, Last: true, Entries: wes,
 	}))
 	if !out.Reconciled || !c.CaughtUp() {
 		t.Fatalf("merge never completed: %v", c)
@@ -377,6 +377,221 @@ func TestCoreReconcileEntriesOutrunPrune(t *testing.T) {
 		if v, _ := b.kvs[p].Get("y"); v != "B" {
 			t.Fatalf("P%v missing merged key: y = %q", p, v)
 		}
+	}
+}
+
+// TestCoreReconcileChunkedEntries forces a proposal far larger than the
+// chunk size: the proponents must split it into Index/Last chunks paced by
+// the stream window, and every member must still assemble the complete
+// proposal and converge. Pins satellite behaviour: oversized
+// EnvReconEntries ride the same chunking machinery as snapshots.
+func TestCoreReconcileChunkedEntries(t *testing.T) {
+	const chunkSize = 512
+	// Two sides, each with ~40 diverged keys carrying ~100-byte values:
+	// each proposal is ~4 KiB of entries, i.e. ≥8 chunks at 512 bytes.
+	big := func(tag string, n int) []string {
+		var cmds []string
+		for i := 0; i < n; i++ {
+			v := fmt.Sprintf("%s-%03d-", tag, i)
+			for len(v) < 100 {
+				v += tag
+			}
+			cmds = append(cmds, fmt.Sprintf("put %s:%03d %s", tag, i, v))
+		}
+		return cmds
+	}
+	kvA := applyAll(NewKV(), big("alpha", 40)...)
+	kvA2 := applyAll(NewKV(), big("alpha", 40)...)
+	kvB := applyAll(NewKV(), big("beta", 40)...)
+
+	all := []types.ProcessID{1, 2, 3}
+	b := newBus(t, all...)
+	add := func(p types.ProcessID, kv *KV, side uint64) *Core {
+		c := NewCore(CoreConfig{
+			Self: p, Group: 1, ChunkSize: chunkSize, StreamWindow: 2,
+			Reconcile: &ReconcileConfig{Policy: LastWriterWins(), Expect: all, Side: side, Buckets: 16},
+		}, kv)
+		b.cores[p] = c
+		b.kvs[p] = kv
+		for _, pl := range c.Start() {
+			b.submit(p, pl)
+		}
+		return c
+	}
+	add(1, kvA, 1)
+	add(2, kvA2, 1)
+	add(3, kvB, 3)
+
+	frames := 0
+	maxEntryBytes := 0
+	b.drop = func(f frame) bool {
+		if wire.IsEnvelope(f.payload) {
+			if env, err := wire.UnmarshalEnvelope(f.payload); err == nil && env.Kind == wire.EnvReconEntries {
+				frames++
+				sz := 0
+				for _, e := range env.Entries {
+					sz += len(e.Key) + len(e.Value)
+				}
+				if sz > maxEntryBytes {
+					maxEntryBytes = sz
+				}
+			}
+		}
+		return false
+	}
+	b.run()
+
+	for _, p := range all {
+		if !b.cores[p].CaughtUp() {
+			t.Fatalf("P%v never reconciled: %v", p, b.cores[p])
+		}
+		if st := b.cores[p].Stats(); st.EntriesIn != 2 {
+			t.Fatalf("P%v accepted %d proposals, want 2 (one per class)", p, st.EntriesIn)
+		}
+	}
+	sameDigests(t, b, 1, 2, 3)
+	// Both sides' keys survive (disjoint key sets: nothing conflicts).
+	for _, probe := range []string{"alpha:000", "alpha:039", "beta:000", "beta:039"} {
+		if _, ok := kvA.Get(probe); !ok {
+			t.Fatalf("merged state lost %s", probe)
+		}
+	}
+	// The streams really were chunked, and no chunk blew past the bound.
+	if frames < 6 {
+		t.Fatalf("exchange used %d frames, want ≥6 (chunked streams)", frames)
+	}
+	if maxEntryBytes > chunkSize+256 {
+		t.Fatalf("a chunk carried %d entry bytes, far above ChunkSize=%d", maxEntryBytes, chunkSize)
+	}
+}
+
+// TestCoreReconcileChunkedWindow pins the pacing contract for proposal
+// streams: the proponent submits at most StreamWindow chunks up front and
+// releases one more per own chunk observed back through the total order.
+func TestCoreReconcileChunkedWindow(t *testing.T) {
+	mine := NewKV()
+	for i := 0; i < 30; i++ {
+		mine.Apply([]byte(fmt.Sprintf("put k%02d value-%02d-padding-padding", i, i)))
+	}
+	all := []types.ProcessID{1, 3}
+	c := NewCore(CoreConfig{Self: 1, Group: 1, ChunkSize: 128, StreamWindow: 2,
+		Reconcile: &ReconcileConfig{Policy: LastWriterWins(), Expect: all, Side: 1, Buckets: 4},
+	}, mine)
+	start := c.Start()
+	theirs := applyAll(NewKV(), "put other B")
+	mkSum := func(self types.ProcessID, side uint64, kv *KV) []byte {
+		probe := NewCore(CoreConfig{Self: self, Group: 1,
+			Reconcile: &ReconcileConfig{Policy: LastWriterWins(), Expect: []types.ProcessID{self}, Side: side, Buckets: 4},
+		}, kv)
+		return probe.Start()[0]
+	}
+	c.Step(1, start[0])
+	out := c.Step(3, mkSum(3, 3, theirs))
+	// Summaries complete: P1 is its class's proponent and must burst
+	// exactly the window.
+	if len(out.Submits) != 2 {
+		t.Fatalf("initial burst = %d chunks, want StreamWindow (2)", len(out.Submits))
+	}
+	pending := ownFrames(out.Submits)
+	total := len(pending)
+	sawLast := false
+	for steps := 0; len(pending) > 0 && steps < 200; steps++ {
+		head := pending[0]
+		pending = pending[1:]
+		env, err := wire.UnmarshalEnvelope(head)
+		if err != nil || env.Kind != wire.EnvReconEntries {
+			t.Fatalf("unexpected frame: %v %v", env.Kind, err)
+		}
+		if env.Last {
+			sawLast = true
+		}
+		out = c.Step(1, head)
+		if len(out.Submits) > 1 {
+			t.Fatalf("echo released %d chunks, want ≤1", len(out.Submits))
+		}
+		pending = append(pending, ownFrames(out.Submits)...)
+		total += len(out.Submits)
+	}
+	if !sawLast {
+		t.Fatal("stream never emitted its Last chunk")
+	}
+	if total < 3 {
+		t.Fatalf("stream used %d chunks, want ≥3 (window pacing exercised)", total)
+	}
+	// Our own class has its entries; the merge still waits on class B.
+	if c.CaughtUp() {
+		t.Fatal("reconciled before the other class proposed")
+	}
+}
+
+// TestCoreReconcileChunkedTakeover: the elected proponent dies mid-stream.
+// Its partial chunks must be discarded — a proposal only wins its class by
+// completing — and the next live author restarts from Index 0.
+func TestCoreReconcileChunkedTakeover(t *testing.T) {
+	// Self P2 shares a class with P9 (elected proponent, dies); P3 is its
+	// own class.
+	mine := applyAll(NewKV(), "put x A", "put y A")
+	c := NewCore(CoreConfig{Self: 2, Group: 1, ChunkSize: 64,
+		Reconcile: &ReconcileConfig{Policy: LastWriterWins(), Expect: []types.ProcessID{2, 3, 9}, Side: 1, Buckets: 8},
+	}, mine)
+	c.Start()
+	mkSum := func(self types.ProcessID, side uint64, kv *KV) []byte {
+		probe := NewCore(CoreConfig{Self: self, Group: 1,
+			Reconcile: &ReconcileConfig{Policy: LastWriterWins(), Expect: []types.ProcessID{self}, Side: side, Buckets: 8},
+		}, kv)
+		return probe.Start()[0]
+	}
+	theirKV := applyAll(NewKV(), "put x B", "put y B", "put z B")
+	c.Step(9, mkSum(9, 1, applyAll(NewKV(), "put x A", "put y A"))) // dead proponent's summary, first: elected
+	c.Step(2, mkSum(2, 1, mine))
+	c.Step(3, mkSum(3, 3, theirKV))
+
+	// P9's first chunk (of a stream it never finishes) is delivered.
+	myClass := probeDigest(mine)
+	c.Step(9, wire.MarshalEnvelope(nil, &wire.Envelope{
+		Kind: wire.EnvReconEntries, Digest: myClass, Applied: 2,
+		Index: 0, Last: false,
+		Entries: []wire.ReconEntry{{Key: []byte("x"), Value: []byte("A"), Rev: 1}},
+	}))
+	if c.recon.asm == nil || len(c.recon.asm) != 1 {
+		t.Fatalf("partial stream not assembling: %v", c.recon.asm)
+	}
+
+	// P9 excluded: its partial assembly is dropped and P2 takes over,
+	// proposing the full stream from Index 0.
+	out := c.PruneLive([]types.ProcessID{2, 3})
+	if len(c.recon.asm) != 0 {
+		t.Fatal("dead proponent's partial assembly survived the prune")
+	}
+	if len(out.Submits) == 0 {
+		t.Fatal("takeover proposed nothing")
+	}
+	first, err := wire.UnmarshalEnvelope(out.Submits[0])
+	if err != nil || first.Index != 0 {
+		t.Fatalf("takeover stream starts at index %d (err %v), want 0", first.Index, err)
+	}
+	// Deliver our own takeover chunks (echoes release the tail).
+	pending := ownFrames(out.Submits)
+	for steps := 0; len(pending) > 0 && steps < 100; steps++ {
+		head := pending[0]
+		pending = pending[1:]
+		out = c.Step(2, head)
+		pending = append(pending, ownFrames(out.Submits)...)
+	}
+	// Class B's single-frame proposal completes the merge.
+	entries, seq := theirKV.ExportDiff(allBuckets(8))
+	wes := make([]wire.ReconEntry, len(entries))
+	for i, e := range entries {
+		wes[i] = wire.ReconEntry{Key: []byte(e.Key), Value: []byte(e.Value), Rev: e.Rev}
+	}
+	out = c.Step(3, wire.MarshalEnvelope(nil, &wire.Envelope{
+		Kind: wire.EnvReconEntries, Digest: probeDigest(theirKV), Applied: seq, Last: true, Entries: wes,
+	}))
+	if !out.Reconciled || !c.CaughtUp() {
+		t.Fatalf("merge never completed: %v", c)
+	}
+	if v, _ := mine.Get("z"); v != "B" {
+		t.Fatalf("merged key missing: z = %q", v)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"newtop/internal/core"
+	"newtop/internal/ring"
 	"newtop/internal/types"
 	"newtop/internal/wire"
 )
@@ -40,8 +41,10 @@ func WithTickEvery(d time.Duration) Option {
 	return func(c *Cluster) { c.tickEvery = d }
 }
 
-// WithWireCodec makes every simulated arrival round-trip the wire codec
-// through a pooled borrowed buffer, sealed and released exactly the way
+// WithWireCodec makes every simulated message round-trip the wire codec:
+// encoded into a pooled buffer at transmit time (as the real transports
+// marshal at enqueue — the calendar holds bytes, never a live *Message),
+// then decoded borrowed at arrival, sealed and released exactly the way
 // the real node runtime does it (Message.Own, then Release). With
 // poison-on-release enabled, any borrowed slice the seal misses — or any
 // retention of released buffer memory — corrupts deterministically and is
@@ -50,6 +53,22 @@ func WithTickEvery(d time.Duration) Option {
 // measure the engine, not the codec.
 func WithWireCodec() Option {
 	return func(c *Cluster) { c.codecPool = wire.NewBufPool(4 << 10) }
+}
+
+// WithRing enables ring dissemination (internal/ring) at every process:
+// data payloads of at least threshold bytes travel the view-defined ring
+// while ordering metadata stays point-to-point, exactly as the node
+// runtime wires it. Implies WithWireCodec — messages are encoded at
+// transmit time and decoded borrowed at arrival, so in-flight frames are
+// bytes (as on a real link) and relay/arena aliasing is exercised under
+// the same ownership rules as production.
+func WithRing(threshold int) Option {
+	return func(c *Cluster) {
+		c.ringThreshold = threshold
+		if c.codecPool == nil {
+			c.codecPool = wire.NewBufPool(4 << 10)
+		}
+	}
 }
 
 // EventKind classifies a recorded history event.
@@ -134,6 +153,17 @@ type Cluster struct {
 	msgCount uint64
 	byteFn   func(*types.Message) int // optional size accounting
 	bytes    uint64
+	bytesBy  map[types.ProcessID]uint64
+
+	// Ring dissemination (WithRing): one ring layer per process, sitting
+	// between the engine and the link exactly where internal/node puts it.
+	// ringQ holds reassembled deliveries that surfaced while an engine
+	// effect batch was being routed — the batch aliases the engine's
+	// reusable effects buffer, so the engine cannot be reentered until the
+	// batch has been fully iterated.
+	ringThreshold int
+	rings         map[types.ProcessID]*ring.Ring
+	ringQ         map[types.ProcessID][]ring.Delivered
 
 	// deliverHook, when set, observes every application delivery (after it
 	// is recorded). Hooks may reenter the cluster (Submit and friends) —
@@ -159,6 +189,9 @@ func New(seed int64, opts ...Option) *Cluster {
 		crashed: make(map[types.ProcessID]bool),
 		lastArr: make(map[[2]types.ProcessID]time.Time),
 		armKill: make(map[types.ProcessID]int),
+		bytesBy: make(map[types.ProcessID]uint64),
+		rings:   make(map[types.ProcessID]*ring.Ring),
+		ringQ:   make(map[types.ProcessID][]ring.Delivered),
 	}
 	for _, o := range opts {
 		o(c)
@@ -180,6 +213,21 @@ func (c *Cluster) AddProcess(cfg core.Config) *core.Engine {
 	c.hist[cfg.Self] = &History{Views: make(map[types.GroupID][]ViewChange)}
 	if c.tickEvery == 0 {
 		c.tickEvery = e.Omega() / 2
+	}
+	if c.ringThreshold > 0 {
+		// Pull retries ride the tick cadence: a reassembly stuck for a few
+		// ticks (header arrived, payload lost on the ring) re-requests the
+		// payload from its disseminator well before the engine's
+		// time-silence machinery would suspect anyone.
+		pull := 4 * c.tickEvery
+		if min := 2 * c.latMax; pull < min {
+			pull = min
+		}
+		c.rings[cfg.Self] = ring.New(ring.Config{
+			Self:      cfg.Self,
+			Threshold: c.ringThreshold,
+			PullAfter: pull,
+		})
 	}
 	c.scheduleTick(cfg.Self, c.now.Add(c.tickEvery))
 	return e
@@ -212,6 +260,11 @@ func (c *Cluster) OnDeliver(fn func(p types.ProcessID, d Delivery)) { c.deliverH
 
 // TotalBytes returns the accumulated transmitted bytes (CountBytes mode).
 func (c *Cluster) TotalBytes() uint64 { return c.bytes }
+
+// BytesSentBy returns the accumulated bytes transmitted by p (CountBytes
+// mode) — the per-node NIC load the ring dissemination path exists to
+// flatten.
+func (c *Cluster) BytesSentBy(p types.ProcessID) uint64 { return c.bytesBy[p] }
 
 // TotalMessages returns the number of point-to-point transmissions routed.
 func (c *Cluster) TotalMessages() uint64 { return c.msgCount }
@@ -280,6 +333,9 @@ func (c *Cluster) Leave(p types.ProcessID, g types.GroupID) error {
 		return err
 	}
 	c.route(p, effs)
+	if r := c.rings[p]; r != nil {
+		r.DropGroup(g)
+	}
 	return nil
 }
 
@@ -296,6 +352,14 @@ func (c *Cluster) CrashAfterSends(p types.ProcessID, n int) { c.armKill[p] = n }
 func (c *Cluster) Disconnect(a, b types.ProcessID) {
 	c.cut[[2]types.ProcessID{a, b}] = true
 	c.cut[[2]types.ProcessID{b, a}] = true
+}
+
+// CutOneWay cuts only the a→b direction: messages from a to b are lost
+// while b→a traffic still flows — the asymmetric loss a ring relay is
+// most sensitive to (payload forwarded, acknowledgements returning).
+// Reconnect(a, b) heals both directions.
+func (c *Cluster) CutOneWay(a, b types.ProcessID) {
+	c.cut[[2]types.ProcessID{a, b}] = true
 }
 
 // Reconnect heals the link a↔b.
@@ -390,9 +454,15 @@ type event struct {
 	seq  uint64 // FIFO tie-break for equal times
 	from types.ProcessID
 	to   types.ProcessID
-	msg  *types.Message
-	tick bool
-	fn   func()
+	msg  *types.Message // in-flight message (codec off)
+	// In codec mode the calendar holds encoded bytes, not live messages:
+	// frames are marshalled at transmit time into a pooled buffer (as the
+	// real transports do at enqueue) and decoded borrowed at arrival. The
+	// event owns the buffer's reference until delivery or loss.
+	encBuf *wire.Buf
+	encLen int
+	tick   bool
+	fn     func()
 }
 
 func (c *Cluster) push(ev event) {
@@ -415,6 +485,11 @@ func (c *Cluster) dispatch(ev event) {
 		}
 		e := c.engines[ev.to]
 		c.route(ev.to, e.Tick(c.now))
+		if r := c.rings[ev.to]; r != nil && !c.crashed[ev.to] {
+			for _, o := range r.Tick(c.now) {
+				c.transmit(ev.to, o.To, o.Msg)
+			}
+		}
 		c.scheduleTick(ev.to, c.now.Add(c.tickEvery))
 	default:
 		// Message arrival: link cuts and receiver crashes apply at
@@ -422,27 +497,46 @@ func (c *Cluster) dispatch(ev event) {
 		// by a process that crashed afterwards still arrives — crash-stop
 		// interrupts future sends, not messages in flight (the paper's
 		// partial multicast is modelled by CrashAfterSends).
-		if c.crashed[ev.to] {
-			return
-		}
-		if c.cut[[2]types.ProcessID{ev.from, ev.to}] {
+		if c.crashed[ev.to] || c.cut[[2]types.ProcessID{ev.from, ev.to}] {
+			if ev.encBuf != nil {
+				ev.encBuf.Release()
+			}
 			return
 		}
 		e := c.engines[ev.to]
 		m := ev.msg
-		if c.codecPool != nil {
-			// The borrowed round trip, sealed like internal/node does:
-			// decode aliasing the pooled buffer, Own before the engine
-			// retains it, Release (poisoning, in poison mode) after.
-			dec, buf, err := wire.RoundTripBorrowed(c.codecPool, m)
+		if ev.encBuf != nil {
+			// The borrowed decode, sealed like internal/node does it:
+			// decode aliasing the pooled transmit buffer, Own before the
+			// engine retains it, Release (poisoning, in poison mode) after.
+			dec, err := wire.UnmarshalBorrowed(ev.encBuf.Bytes()[:ev.encLen])
 			if err != nil {
+				ev.encBuf.Release()
 				if errors.Is(err, wire.ErrTooLarge) {
 					return // an over-limit payload is message loss, as on a real link
 				}
-				panic(fmt.Sprintf("sim: wire round trip of %v failed: %v", m, err))
+				panic(fmt.Sprintf("sim: wire decode failed: %v", err))
+			}
+			if r := c.rings[ev.to]; r != nil {
+				// Ring relay: forwarded frames alias the inbound borrowed
+				// buffer; transmit re-encodes them before the Release, which
+				// is the synchronous-marshal contract the real transports
+				// provide at enqueue time.
+				outs, delivers := r.OnReceive(c.now, ev.from, dec)
+				for _, o := range outs {
+					c.transmit(ev.to, o.To, o.Msg)
+				}
+				ev.encBuf.Release()
+				for _, d := range delivers {
+					if c.crashed[ev.to] {
+						return
+					}
+					c.route(ev.to, e.HandleMessage(c.now, d.From, d.Msg))
+				}
+				return
 			}
 			dec.Own()
-			buf.Release()
+			ev.encBuf.Release()
 			m = dec
 		}
 		c.route(ev.to, e.HandleMessage(c.now, ev.from, m))
@@ -470,7 +564,13 @@ func (c *Cluster) route(p types.ProcessID, effs []core.Effect) {
 				}
 				c.armKill[p] = n - 1
 			}
-			c.transmit(p, eff.To, eff.Msg)
+			if r := c.rings[p]; r != nil {
+				for _, o := range r.OnSend(eff.To, eff.Msg) {
+					c.transmit(p, o.To, o.Msg)
+				}
+			} else {
+				c.transmit(p, eff.To, eff.Msg)
+			}
 		case core.DeliverEffect:
 			d := Delivery{
 				At:      c.now,
@@ -494,9 +594,28 @@ func (c *Cluster) route(p types.ProcessID, effs []core.Effect) {
 			g := eff.View.Group
 			h.Views[g] = append(h.Views[g], ViewChange{At: c.now, View: eff.View, Removed: eff.Removed})
 			h.record(Event{At: c.now, Kind: EvView, Group: g, View: eff.View, Removed: eff.Removed})
+			if r := c.rings[p]; r != nil {
+				outs, delivers := r.OnViewChange(g, eff.View.Members, eff.Removed)
+				for _, o := range outs {
+					c.transmit(p, o.To, o.Msg)
+				}
+				c.ringQ[p] = append(c.ringQ[p], delivers...)
+			}
 		case core.GroupReadyEffect:
 			h.Ready = append(h.Ready, eff.Group)
 			h.record(Event{At: c.now, Kind: EvReady, Group: eff.Group})
+			if r := c.rings[p]; r != nil {
+				// A formed group's first view may arrive without a
+				// ViewEffect; seed the ring order from the engine (a pure
+				// read, safe mid-batch).
+				if v, err := c.engines[p].View(eff.Group); err == nil {
+					outs, delivers := r.OnViewChange(eff.Group, v.Members, nil)
+					for _, o := range outs {
+						c.transmit(p, o.To, o.Msg)
+					}
+					c.ringQ[p] = append(c.ringQ[p], delivers...)
+				}
+			}
 		case core.FormationFailedEffect:
 			h.Failed = append(h.Failed, eff.Group)
 			h.record(Event{At: c.now, Kind: EvFormFailed, Group: eff.Group})
@@ -505,6 +624,7 @@ func (c *Cluster) route(p types.ProcessID, effs []core.Effect) {
 			h.record(Event{At: c.now, Kind: EvSuspect, Group: eff.Group, Susp: eff.Susp})
 		}
 	}
+	c.drainRingQ(p)
 	for _, d := range hooked {
 		if c.crashed[p] {
 			return
@@ -513,12 +633,35 @@ func (c *Cluster) route(p types.ProcessID, effs []core.Effect) {
 	}
 }
 
+// drainRingQ feeds ring deliveries that were parked during effect routing
+// into p's engine, now that the batch that produced them has been fully
+// iterated. Handling one delivery may route effects that park more — the
+// loop rechecks, and nested route calls drain the same shared queue.
+func (c *Cluster) drainRingQ(p types.ProcessID) {
+	for len(c.ringQ[p]) > 0 {
+		if c.crashed[p] {
+			delete(c.ringQ, p)
+			return
+		}
+		q := c.ringQ[p]
+		d := q[0]
+		q[0] = ring.Delivered{}
+		c.ringQ[p] = q[1:]
+		if len(c.ringQ[p]) == 0 {
+			delete(c.ringQ, p)
+		}
+		c.route(p, c.engines[p].HandleMessage(c.now, d.From, d.Msg))
+	}
+}
+
 // transmit schedules the arrival of m at dest, preserving per-pair FIFO
 // under randomised latency.
 func (c *Cluster) transmit(from, to types.ProcessID, m *types.Message) {
 	c.msgCount++
 	if c.byteFn != nil {
-		c.bytes += uint64(c.byteFn(m))
+		n := uint64(c.byteFn(m))
+		c.bytes += n
+		c.bytesBy[from] += n
 	}
 	lat := c.latMin
 	if c.latMax > c.latMin {
@@ -530,7 +673,18 @@ func (c *Cluster) transmit(from, to types.ProcessID, m *types.Message) {
 		arr = last
 	}
 	c.lastArr[key] = arr
-	c.push(event{at: arr, from: from, to: to, msg: m})
+	ev := event{at: arr, from: from, to: to}
+	if c.codecPool != nil {
+		// Encode now, inside the sender's call — the caller (a ring relay,
+		// or later an arena-backed engine) may recycle or release the
+		// message's payload memory the moment transmit returns.
+		buf := c.codecPool.Get(wire.Size(m))
+		enc := wire.Marshal(buf.Bytes()[:0], m)
+		ev.encBuf, ev.encLen = buf, len(enc)
+	} else {
+		ev.msg = m
+	}
+	c.push(ev)
 }
 
 // calendar is a time-ordered event min-heap (FIFO on equal instants,

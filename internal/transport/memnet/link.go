@@ -10,23 +10,37 @@ import (
 	"newtop/internal/wire"
 )
 
-// linkPool holds the delivery encode buffers. Each delivery marshals the
-// message into a pooled buffer and hands the receiver a borrowed decode of
-// it — the same wire round trip and ownership contract as tcpnet, so codec
-// and ownership bugs reproduce on the in-memory network too.
+// linkPool holds the in-flight encode buffers. Each send marshals the
+// message into a pooled buffer at enqueue time and delivery hands the
+// receiver a borrowed decode of it — the same wire round trip and
+// ownership contract as tcpnet, so codec and ownership bugs reproduce on
+// the in-memory network too.
 var linkPool = wire.NewBufPool(4 << 10)
+
+// encFrame is one in-flight encoded message: a pooled buffer holding n
+// encoded bytes. The link owns the buffer's single reference until the
+// frame is delivered or dropped.
+type encFrame struct {
+	buf *wire.Buf
+	n   int
+}
 
 // link carries messages for one ordered process pair. A single goroutine
 // drains the queue, waits out each message's latency, and hands the message
 // to the destination endpoint — which is what guarantees per-pair FIFO even
 // with randomised latency.
+//
+// Frames are marshalled inside enqueue, during the caller's Send: the link
+// never retains a *types.Message, so callers may pass messages whose
+// payload aliases a borrowed receive buffer (ring relay) or an engine
+// arena slot that will be recycled.
 type link struct {
 	n   *Network
 	key linkKey
 
 	mu      sync.Mutex
 	cond    *sync.Cond
-	queue   []*types.Message
+	queue   []encFrame
 	stopped bool
 }
 
@@ -37,12 +51,15 @@ func newLink(n *Network, key linkKey) *link {
 }
 
 func (l *link) enqueue(m *types.Message) {
+	buf := linkPool.Get(wire.Size(m))
+	enc := wire.Marshal(buf.Bytes()[:0], m)
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.stopped {
+		buf.Release()
 		return
 	}
-	l.queue = append(l.queue, m)
+	l.queue = append(l.queue, encFrame{buf: buf, n: len(enc)})
 	l.cond.Signal()
 }
 
@@ -50,6 +67,10 @@ func (l *link) stop() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.stopped = true
+	for _, f := range l.queue {
+		f.buf.Release()
+	}
+	l.queue = nil
 	l.cond.Signal()
 }
 
@@ -64,9 +85,9 @@ func (l *link) run() {
 			l.mu.Unlock()
 			return
 		}
-		m := l.queue[0]
+		f := l.queue[0]
 		copy(l.queue, l.queue[1:])
-		l.queue[len(l.queue)-1] = nil
+		l.queue[len(l.queue)-1] = encFrame{}
 		l.queue = l.queue[:len(l.queue)-1]
 		l.mu.Unlock()
 
@@ -74,29 +95,31 @@ func (l *link) run() {
 		// Cut/crash state is evaluated at delivery time: a message in
 		// flight when the link is cut (or an end crashes) is lost.
 		if ep := l.n.deliverable(l.key); ep != nil {
-			l.deliver(ep, m)
+			l.deliver(ep, f)
+		} else {
+			f.buf.Release()
 		}
 	}
 }
 
-// deliver runs the message through the wire codec into a pooled buffer and
-// pushes a borrowed decode of it, transferring the buffer reference to the
-// receiver. memnet messages never leave the process, but round-tripping
-// the codec here means the receiver sees exactly what it would see over
-// TCP — borrowed payloads it must Release (and Own before retaining) —
-// so a violated ownership contract corrupts deterministically under tests
-// instead of only under real network timing.
-func (l *link) deliver(ep *endpoint, m *types.Message) {
-	dec, buf, err := wire.RoundTripBorrowed(linkPool, m)
+// deliver pushes a borrowed decode of the in-flight frame, transferring
+// the buffer reference to the receiver. memnet messages never leave the
+// process, but round-tripping the codec means the receiver sees exactly
+// what it would see over TCP — borrowed payloads it must Release (and Own
+// before retaining) — so a violated ownership contract corrupts
+// deterministically under tests instead of only under real network timing.
+func (l *link) deliver(ep *endpoint, f encFrame) {
+	dec, err := wire.UnmarshalBorrowed(f.buf.Bytes()[:f.n])
 	if err != nil {
-		// A message the codec's limits reject (e.g. payload past
+		f.buf.Release()
+		// A frame the codec's limits reject (e.g. payload past
 		// MaxPayload) would not survive a real link either: that is
 		// message loss, which the protocol's failure handling absorbs.
 		// Anything else failing to round-trip is a codec bug — fail loud.
 		if errors.Is(err, wire.ErrTooLarge) {
 			return
 		}
-		panic(fmt.Sprintf("memnet: wire round trip of %v failed: %v", m, err))
+		panic(fmt.Sprintf("memnet: wire round trip failed: %v", err))
 	}
-	ep.push(l.key.from, dec, buf)
+	ep.push(l.key.from, dec, f.buf)
 }

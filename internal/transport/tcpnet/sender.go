@@ -23,6 +23,12 @@ import (
 // multicast fan-out per stimulus, chunked snapshot streams, refute
 // piggybacks — so coalescing turns a syscall per message into a syscall
 // per burst (see the TCPSendRecv* rows of BENCH_core.json).
+//
+// Frames are marshalled at enqueue time, inside the caller's Send: the
+// sender never retains a *types.Message, so a caller may hand it messages
+// whose payload aliases a borrowed receive buffer (a ring relay writing
+// inbound bytes straight back out) or an engine-arena slot that will be
+// recycled — both are only read during the Send call itself.
 type peerSender struct {
 	ep   *Endpoint
 	dest types.ProcessID
@@ -30,11 +36,12 @@ type peerSender struct {
 
 	mu      sync.Mutex
 	cond    *sync.Cond
-	queue   []*types.Message
+	pending []byte // encoded frames awaiting flush
+	nframes int
 	stopped bool
 
 	conn net.Conn // owned by run(); nil when disconnected
-	buf  []byte   // reusable frame batch buffer, owned by run()
+	spare []byte  // double buffer: swapped with pending at each drain
 
 	// Dial backoff, owned by run(): after a failed dial, batches are
 	// dropped without touching the network until retryAt passes. backoff
@@ -57,7 +64,8 @@ func (ps *peerSender) enqueue(m *types.Message) {
 	if ps.stopped {
 		return
 	}
-	ps.queue = append(ps.queue, m)
+	ps.pending = appendFrame(ps.pending, m)
+	ps.nframes++
 	ps.cond.Signal()
 }
 
@@ -84,7 +92,7 @@ func (ps *peerSender) run() {
 	}()
 	for {
 		ps.mu.Lock()
-		for len(ps.queue) == 0 && !ps.stopped {
+		for len(ps.pending) == 0 && !ps.stopped {
 			ps.cond.Wait()
 		}
 		if ps.stopped {
@@ -104,16 +112,28 @@ func (ps *peerSender) run() {
 			ps.mu.Unlock()
 			return
 		}
-		batch := ps.queue
-		ps.queue = nil
+		batch := ps.pending
+		nframes := ps.nframes
+		ps.pending = ps.spare[:0]
+		ps.spare = nil
+		ps.nframes = 0
 		conn := ps.conn
 		ps.mu.Unlock()
+		reclaim := func() {
+			ps.mu.Lock()
+			if ps.spare == nil {
+				ps.spare = batch
+			}
+			ps.mu.Unlock()
+		}
 		if len(batch) == 0 {
+			reclaim()
 			continue
 		}
 
 		if conn == nil {
 			if !ps.retryAt.IsZero() && time.Now().Before(ps.retryAt) {
+				reclaim()
 				continue // batch lost: peer in dial backoff (cut link)
 			}
 			c, err := ps.dial()
@@ -125,6 +145,7 @@ func (ps *peerSender) run() {
 					ps.backoff *= 2
 				}
 				ps.retryAt = time.Now().Add(ps.backoff)
+				reclaim()
 				continue // batch lost: peer unreachable (cut link)
 			}
 			ps.backoff = 0
@@ -144,12 +165,10 @@ func (ps *peerSender) run() {
 		// drops the connection: the receiver's framing resyncs on the
 		// fresh connection, and the tail of the batch is lost — exactly
 		// the lossy-suffix link model the protocol assumes.
-		ps.buf = ps.buf[:0]
-		for _, m := range batch {
-			ps.buf = appendFrame(ps.buf, m)
-		}
 		_ = conn.SetWriteDeadline(time.Now().Add(ps.ep.cfg.WriteTimeout))
-		if _, err := conn.Write(ps.buf); err != nil {
+		_, err := conn.Write(batch)
+		reclaim()
+		if err != nil {
 			_ = conn.Close()
 			ps.mu.Lock()
 			ps.conn = nil
@@ -157,7 +176,7 @@ func (ps *peerSender) run() {
 			continue
 		}
 		atomic.AddUint64(&ps.ep.batchWrites, 1)
-		atomic.AddUint64(&ps.ep.framesSent, uint64(len(batch)))
+		atomic.AddUint64(&ps.ep.framesSent, uint64(nframes))
 	}
 }
 

@@ -153,7 +153,10 @@ func (ep *Endpoint) Self() types.ProcessID { return ep.cfg.Self }
 func (ep *Endpoint) Recv() <-chan transport.Inbound { return ep.recv }
 
 // Send implements transport.Endpoint. It never blocks on the network: the
-// message is handed to the peer's sender goroutine.
+// frame is marshalled into the peer sender's pending batch during the call
+// and the message is not retained afterwards — callers may pass messages
+// whose payload aliases a borrowed receive buffer (ring relay) or a
+// recyclable arena slot.
 func (ep *Endpoint) Send(dest types.ProcessID, m *types.Message) error {
 	if dest == ep.cfg.Self {
 		// Self-delivery short-circuits the network; the clone owns its

@@ -35,7 +35,27 @@ const (
 	// KindStartGroup is the first message in a freshly formed group,
 	// carrying the proposed start-number (§5.3 steps 4–5).
 	KindStartGroup
+	// KindRingData carries a large payload along the view-defined ring:
+	// each member forwards the frame once to its ring successor, so the
+	// originator's bandwidth is O(payload) instead of O(n·payload). The
+	// frame is self-contained (full ordering header plus payload); Hops
+	// counts forwards so a relay can stop when the ring is covered.
+	KindRingData
+	// KindRingHdr is the point-to-point ordering metadata of a ring
+	// dissemination: the full header of a KindData message with the
+	// payload elided. Its arrival position on the sender's FIFO channel
+	// fixes where the reassembled message slots into the per-origin
+	// sequence; the payload arrives separately via the ring.
+	KindRingHdr
+	// KindRingPull asks a disseminator to re-send a ring payload the
+	// requester is still missing (identified by Origin/Group/Seq). The
+	// reply is a KindRingData with RingNoRelay hops, sent point-to-point.
+	KindRingPull
 )
+
+// RingNoRelay in Message.Hops marks a ring frame that must not be
+// forwarded (pull replies and direct fallback sends).
+const RingNoRelay uint8 = 0xFF
 
 // String implements fmt.Stringer.
 func (k Kind) String() string {
@@ -58,6 +78,12 @@ func (k Kind) String() string {
 		return "form-vote"
 	case KindStartGroup:
 		return "start-group"
+	case KindRingData:
+		return "ring-data"
+	case KindRingHdr:
+		return "ring-hdr"
+	case KindRingPull:
+		return "ring-pull"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -96,6 +122,10 @@ type Message struct {
 	// LDN is the stability piggyback (§5.1): the sender's D_x for this
 	// group at send time ("largest deliverable number").
 	LDN MsgNum
+
+	// Hops is the forward count of a KindRingData frame (RingNoRelay for
+	// frames that must not be forwarded). Zero for every other kind.
+	Hops uint8
 
 	// Payload is the opaque application payload (KindData/KindSeqRequest).
 	Payload []byte

@@ -102,15 +102,25 @@ func (b *Buf) Release() {
 func (b *Buf) Refs() int { return int(b.refs.Load()) }
 
 // BufPool is a sync.Pool of fixed-capacity Bufs. Requests larger than the
-// pool's buffer size get a dedicated unpooled Buf with the same ownership
-// semantics, so oversize frames need no special casing by callers.
+// pool's buffer size are served from a ladder of power-of-two oversize
+// sub-pools (size<<1 … size<<oversizeTiers), so a burst of large frames —
+// snapshot chunks, ring payloads — recycles its buffers instead of leaving
+// each one for the garbage collector. Requests beyond the largest tier get
+// a dedicated unpooled Buf with the same ownership semantics, so callers
+// never special-case frame size.
 type BufPool struct {
 	size int
 	pool sync.Pool
+	big  [oversizeTiers]*BufPool
 }
 
 // DefaultBufSize is the buffer capacity of NewBufPool(0).
 const DefaultBufSize = 64 << 10
+
+// oversizeTiers is the number of doubling sub-pools above the base size.
+// Eight tiers take a 64 KiB base pool to 16 MiB — past MaxPayload-sized
+// frames; anything larger falls back to a one-off allocation.
+const oversizeTiers = 8
 
 // NewBufPool creates a pool of buffers with the given capacity
 // (DefaultBufSize if size <= 0).
@@ -118,6 +128,15 @@ func NewBufPool(size int) *BufPool {
 	if size <= 0 {
 		size = DefaultBufSize
 	}
+	p := newBufPoolLeaf(size)
+	for t := 0; t < oversizeTiers; t++ {
+		p.big[t] = newBufPoolLeaf(size << (t + 1))
+	}
+	return p
+}
+
+// newBufPoolLeaf creates a pool with no oversize ladder of its own.
+func newBufPoolLeaf(size int) *BufPool {
 	p := &BufPool{size: size}
 	p.pool.New = func() any {
 		return &Buf{pool: p, data: make([]byte, size)}
@@ -132,6 +151,11 @@ func (p *BufPool) Size() int { return p.size }
 // the caller.
 func (p *BufPool) Get(n int) *Buf {
 	if n > p.size {
+		for _, sub := range p.big {
+			if sub != nil && n <= sub.size {
+				return sub.Get(n)
+			}
+		}
 		b := &Buf{data: make([]byte, n)}
 		b.refs.Store(1)
 		return b

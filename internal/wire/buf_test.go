@@ -39,6 +39,48 @@ func TestBufPoolRecycles(t *testing.T) {
 	big.Release()
 }
 
+// TestBufPoolOversizeTiersRecycle pins the large-frame allocation story:
+// requests past the base pool size land in the power-of-two tier ladder
+// and are recycled there — a steady flow of 64 KiB+ frames (snapshot
+// chunks, ring payloads) costs ~zero allocations per frame, instead of
+// handing every jumbo buffer to the garbage collector.
+func TestBufPoolOversizeTiersRecycle(t *testing.T) {
+	p := wire.NewBufPool(0) // 64 KiB base
+	// Tier capacities double above the base: a 100 KiB request must get
+	// the 128 KiB tier, a 1 MiB+1 request the 2 MiB tier.
+	for _, tc := range []struct{ n, wantCap int }{
+		{100 << 10, 128 << 10},
+		{(1 << 20) + 1, 2 << 20},
+		{16 << 20, 16 << 20},
+	} {
+		b := p.Get(tc.n)
+		if len(b.Bytes()) != tc.wantCap {
+			t.Fatalf("Get(%d) capacity = %d, want tier %d", tc.n, len(b.Bytes()), tc.wantCap)
+		}
+		b.Release()
+	}
+	// Steady state: repeated Get/Release at an oversize size must reuse
+	// the tier's buffers. A tolerance of 1 covers a sync.Pool shard miss;
+	// anything higher means the tier is not recycling.
+	for _, n := range []int{80 << 10, 512 << 10} {
+		n := n
+		if avg := testing.AllocsPerRun(200, func() {
+			b := p.Get(n)
+			b.Bytes()[0] = 1
+			b.Bytes()[n-1] = 1
+			b.Release()
+		}); avg > 1 {
+			t.Errorf("Get(%d)/Release allocates %.1f per op in steady state, want ~0", n, avg)
+		}
+	}
+	// Beyond the largest tier: a dedicated unpooled buffer, same semantics.
+	huge := p.Get((16 << 20) + 1)
+	if huge.Refs() != 1 || len(huge.Bytes()) != (16<<20)+1 {
+		t.Fatalf("past-ladder buffer: refs=%d cap=%d", huge.Refs(), len(huge.Bytes()))
+	}
+	huge.Release()
+}
+
 func TestBufOverReleasePanics(t *testing.T) {
 	p := wire.NewBufPool(0)
 	b := p.Get(1)

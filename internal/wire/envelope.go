@@ -54,8 +54,10 @@ const (
 	EnvReconSummary
 	// EnvReconEntries is a class proponent's merge proposal: the entries
 	// (key, value, revision) of every differing bucket, plus the
-	// proponent's write cursor. One accepted frame per class — the first
-	// in the total order — feeds the deterministic merge at every member.
+	// proponent's write cursor. Large proposals are split into Index/Last
+	// chunks paced through the stream window; the first proposal to
+	// COMPLETE in the total order wins the class and feeds the
+	// deterministic merge at every member.
 	EnvReconEntries
 )
 
@@ -95,11 +97,13 @@ type Envelope struct {
 	// round so stale offers and chunks are recognised and dropped.
 	SyncID uint64
 
-	// Index is the chunk index within a snapshot stream (EnvSnapChunk)
-	// or the origin-local barrier identifier (EnvBarrier).
+	// Index is the chunk index within a snapshot or entries stream
+	// (EnvSnapChunk, EnvReconEntries) or the origin-local barrier
+	// identifier (EnvBarrier).
 	Index uint64
 
-	// Last marks the final chunk of a snapshot stream (EnvSnapChunk).
+	// Last marks the final chunk of a snapshot or entries stream
+	// (EnvSnapChunk, EnvReconEntries).
 	Last bool
 
 	// Applied is the streamer's cumulative applied-command count at the
@@ -190,6 +194,12 @@ func MarshalEnvelope(dst []byte, e *Envelope) []byte {
 	case EnvReconEntries:
 		dst = binary.AppendUvarint(dst, e.Digest)
 		dst = binary.AppendUvarint(dst, e.Applied)
+		dst = binary.AppendUvarint(dst, e.Index)
+		if e.Last {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
 		dst = binary.AppendUvarint(dst, uint64(len(e.Entries)))
 		for i := range e.Entries {
 			en := &e.Entries[i]
@@ -291,6 +301,14 @@ func UnmarshalEnvelope(payload []byte) (Envelope, error) {
 		if e.Applied, buf, err = envUvarint(buf); err != nil {
 			return e, err
 		}
+		if e.Index, buf, err = envUvarint(buf); err != nil {
+			return e, err
+		}
+		if len(buf) < 1 {
+			return e, ErrBadEnvelope
+		}
+		e.Last = buf[0] == 1
+		buf = buf[1:]
 		var n uint64
 		if n, buf, err = envUvarint(buf); err != nil {
 			return e, err

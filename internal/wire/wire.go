@@ -87,6 +87,12 @@ func Marshal(dst []byte, m *types.Message) []byte {
 		dst = appendProcs(dst, m.Invite)
 	case types.KindStartGroup:
 		dst = binary.AppendUvarint(dst, uint64(m.StartNum))
+	case types.KindRingData:
+		dst = append(dst, m.Hops)
+		dst = binary.AppendUvarint(dst, uint64(len(m.Payload)))
+		dst = append(dst, m.Payload...)
+	case types.KindRingHdr, types.KindRingPull:
+		// header only
 	}
 	return dst
 }
@@ -182,6 +188,10 @@ func Size(m *types.Message) int {
 		n += 2 + procsSize(m.Invite)
 	case types.KindStartGroup:
 		n += uvarintSize(uint64(m.StartNum))
+	case types.KindRingData:
+		n += 1 + uvarintSize(uint64(len(m.Payload))) + len(m.Payload)
+	case types.KindRingHdr, types.KindRingPull:
+		// header only
 	}
 	return n
 }
@@ -321,6 +331,32 @@ func decode(buf []byte, depth int, borrow bool) (*types.Message, []byte, error) 
 			return nil, nil, err
 		}
 		m.StartNum = types.MsgNum(v)
+	case types.KindRingData:
+		if len(buf) < 1 {
+			return nil, nil, ErrTruncated
+		}
+		m.Hops = buf[0]
+		buf = buf[1:]
+		var n uint64
+		if n, buf, err = uvarint(buf); err != nil {
+			return nil, nil, err
+		}
+		if n > MaxPayload {
+			return nil, nil, fmt.Errorf("%w: payload %d", ErrTooLarge, n)
+		}
+		if uint64(len(buf)) < n {
+			return nil, nil, ErrTruncated
+		}
+		if n > 0 {
+			if borrow {
+				m.Payload = buf[:n:n]
+			} else {
+				m.Payload = append([]byte(nil), buf[:n]...)
+			}
+		}
+		buf = buf[n:]
+	case types.KindRingHdr, types.KindRingPull:
+		// header only
 	default:
 		return nil, nil, fmt.Errorf("%w: %d", ErrBadKind, m.Kind)
 	}

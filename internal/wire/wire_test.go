@@ -29,6 +29,10 @@ func sampleMessages() []*types.Message {
 		{Kind: types.KindFormVote, Group: 9, Sender: 3, Origin: 3, Vote: false, Invite: []types.ProcessID{1, 2, 3}},
 		{Kind: types.KindStartGroup, Group: 9, Sender: 1, Origin: 1, Num: 44, Seq: 1, LDN: 0, StartNum: 44},
 		{Kind: types.KindData, Group: 1, Sender: 7, Origin: 7, Num: types.InfNum - 1, Seq: 1 << 60, LDN: types.InfNum},
+		{Kind: types.KindRingData, Group: 2, Sender: 3, Origin: 3, Num: 21, Seq: 4, LDN: 19, Hops: 2, Payload: []byte("ring payload")},
+		{Kind: types.KindRingData, Group: 2, Sender: 3, Origin: 3, Num: 21, Seq: 5, LDN: 19, Hops: types.RingNoRelay},
+		{Kind: types.KindRingHdr, Group: 2, Sender: 3, Origin: 3, Num: 21, Seq: 4, LDN: 19},
+		{Kind: types.KindRingPull, Group: 2, Sender: 6, Origin: 3, Seq: 4},
 	}
 }
 

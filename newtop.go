@@ -177,6 +177,22 @@ type Config struct {
 	// disables flow control.
 	FlowControlWindow int
 
+	// RingThreshold enables ring dissemination for large payloads: an
+	// application multicast of at least this many payload bytes travels
+	// the view-defined ring — the originator sends the payload once, to
+	// its successor, and each member forwards it once — while the small
+	// ordering metadata still goes point-to-point. This flattens the
+	// originator's NIC load from (n−1)× payload to 1× payload plus n−1
+	// headers, at the cost of up to one extra ring circumference of
+	// delivery latency for those messages. Zero disables the ring
+	// (every multicast ships the payload to every member directly).
+	// Groups of fewer than three members always send directly.
+	RingThreshold int
+	// RingPullAfter is how long a member waits on a payload whose
+	// ordering header has arrived before re-requesting it from the
+	// originator (lost ring frame). Zero selects 250ms.
+	RingPullAfter time.Duration
+
 	// AcceptInvite, when set, decides group-formation invitations
 	// (§5.3 step 2). Nil accepts everything.
 	AcceptInvite func(GroupID, []ProcessID) bool
@@ -231,7 +247,15 @@ func Start(cfg Config) (*Process, error) {
 		SignatureViews:    cfg.SignatureViews,
 		FlowControlWindow: cfg.FlowControlWindow,
 		AcceptInvite:      cfg.AcceptInvite,
-	}, ep, node.Options{HealProbeEvery: cfg.HealProbeInterval})
+		// The node runtime's transports marshal frames inside Send and
+		// its effect loop never retains engine messages, so the engine
+		// can recycle its outbound message structs.
+		MessageArena: true,
+	}, ep, node.Options{
+		HealProbeEvery: cfg.HealProbeInterval,
+		RingThreshold:  cfg.RingThreshold,
+		RingPullAfter:  cfg.RingPullAfter,
+	})
 	return &Process{n: n, tcp: tcp, self: cfg.Self}, nil
 }
 

@@ -1,6 +1,7 @@
 package newtop_test
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"testing"
@@ -65,6 +66,116 @@ func TestPublicAPITotalOrder(t *testing.T) {
 			if got[k] != ref[k] {
 				t.Fatalf("order diverges: %v vs %v", got, ref)
 			}
+		}
+	}
+}
+
+// TestPublicAPIRingDissemination drives the ring payload path through the
+// full node runtime: five processes with a ring threshold, payloads above
+// it riding the view ring (relay hop by hop) and below it going direct.
+// Every member must deliver every payload bit-intact in the same total
+// order, including payloads submitted after a member leaves and the ring
+// re-forms over the shrunken view.
+func TestPublicAPIRingDissemination(t *testing.T) {
+	net := newtop.NewNetwork(newtop.WithSeed(11))
+	members := []newtop.ProcessID{1, 2, 3, 4, 5}
+	var procs []*newtop.Process
+	for _, id := range members {
+		p, err := newtop.Start(newtop.Config{
+			Self: id, Network: net, Omega: 10 * time.Millisecond,
+			RingThreshold: 2048,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs = append(procs, p)
+	}
+	t.Cleanup(func() {
+		for _, p := range procs {
+			_ = p.Close()
+		}
+		net.Close()
+	})
+	for _, p := range procs {
+		if err := p.BootstrapGroup(1, newtop.Symmetric, members); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Large payloads ride the ring, the small one goes direct; both must
+	// interleave into one agreed order.
+	mk := func(tag byte, size int) []byte {
+		b := make([]byte, size)
+		for i := range b {
+			b[i] = byte(int(tag) + i*13)
+		}
+		return b
+	}
+	payloads := [][]byte{mk('a', 16<<10), mk('b', 100), mk('c', 48<<10), mk('d', 4<<10)}
+	for i, pl := range payloads {
+		if err := procs[i%2].Submit(1, pl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	collect := func(p *newtop.Process, n int) [][]byte {
+		var got [][]byte
+		for len(got) < n {
+			select {
+			case d := <-p.Deliveries():
+				got = append(got, d.Payload)
+			case <-time.After(15 * time.Second):
+				t.Fatalf("%v: delivered %d/%d before timeout", p.Self(), len(got), n)
+			}
+		}
+		return got
+	}
+	ref := collect(procs[0], len(payloads))
+	for _, p := range procs[1:] {
+		got := collect(p, len(payloads))
+		for k := range got {
+			if !bytes.Equal(got[k], ref[k]) {
+				t.Fatalf("%v: delivery %d diverges (%d vs %d bytes)", p.Self(), k, len(got[k]), len(ref[k]))
+			}
+		}
+	}
+	for _, pl := range payloads {
+		found := false
+		for _, d := range ref {
+			if bytes.Equal(d, pl) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("a %d-byte payload was lost or corrupted", len(pl))
+		}
+	}
+
+	// P5 leaves: the ring re-forms over {1..4}; a fresh large payload must
+	// still disseminate to every survivor.
+	if err := procs[4].Close(); err != nil {
+		t.Fatal(err)
+	}
+	procs = procs[:4]
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("view never shrank after P5 left")
+		}
+		v, err := procs[0].View(1)
+		if err == nil && len(v.Members) == 4 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	late := mk('e', 32<<10)
+	if err := procs[0].Submit(1, late); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range procs {
+		got := collect(p, 1)
+		if !bytes.Equal(got[0], late) {
+			t.Fatalf("%v: post-shrink ring payload corrupted (%d bytes)", p.Self(), len(got[0]))
 		}
 	}
 }
