@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"newtop/internal/clientproto"
+	"newtop/internal/obs"
 )
 
 // ErrUnacked is returned (wrapped) by Put and Del when the connection died
@@ -72,6 +73,10 @@ type Config struct {
 	// RetryWait is the pause before retrying after a StRetry response
 	// that carries no hint of its own (default 50ms).
 	RetryWait time.Duration
+	// Metrics, when set, receives the session's observability series
+	// (per-op latency histograms, routing counters). When nil the client
+	// keeps a private registry so Stats still counts.
+	Metrics *obs.Registry
 }
 
 func (cfg Config) withDefaults() Config {
@@ -99,6 +104,57 @@ type Stats struct {
 	Unacked   uint64 // writes that returned ErrUnacked
 }
 
+// clientMetrics holds the session's pre-resolved observability handles.
+type clientMetrics struct {
+	ops             *obs.Counter
+	failovers       *obs.Counter
+	redirects       *obs.Counter
+	retries         *obs.Counter
+	unacked         *obs.Counter
+	barrierUpgrades *obs.Counter // plain Gets upgraded to barrier reads after a moved pin
+
+	// Per-op end-to-end latency (including retries and failovers).
+	opGet    *obs.Histogram
+	opBGet   *obs.Histogram
+	opPut    *obs.Histogram
+	opDel    *obs.Histogram
+	opStatus *obs.Histogram
+}
+
+func newClientMetrics(reg *obs.Registry) clientMetrics {
+	return clientMetrics{
+		ops:             reg.Counter("newtop_client_ops_total"),
+		failovers:       reg.Counter("newtop_client_failovers_total"),
+		redirects:       reg.Counter("newtop_client_redirects_total"),
+		retries:         reg.Counter("newtop_client_retries_total"),
+		unacked:         reg.Counter("newtop_client_unacked_total"),
+		barrierUpgrades: reg.Counter("newtop_client_barrier_upgrades_total"),
+		opGet:           reg.Histogram(`newtop_client_op_ns{op="get"}`),
+		opBGet:          reg.Histogram(`newtop_client_op_ns{op="barrier_get"}`),
+		opPut:           reg.Histogram(`newtop_client_op_ns{op="put"}`),
+		opDel:           reg.Histogram(`newtop_client_op_ns{op="del"}`),
+		opStatus:        reg.Histogram(`newtop_client_op_ns{op="status"}`),
+	}
+}
+
+// opHist maps a request op to its latency histogram.
+func (m *clientMetrics) opHist(op byte) *obs.Histogram {
+	switch op {
+	case clientproto.OpGet:
+		return m.opGet
+	case clientproto.OpBarrierGet:
+		return m.opBGet
+	case clientproto.OpPut:
+		return m.opPut
+	case clientproto.OpDel:
+		return m.opDel
+	case clientproto.OpStatus:
+		return m.opStatus
+	default:
+		return nil
+	}
+}
+
 // Client is one routed session. Safe for concurrent use; operations are
 // serialized over the single pinned connection.
 type Client struct {
@@ -119,8 +175,10 @@ type Client struct {
 	br     *bufio.Reader
 	pinned string // address of the pinned daemon ("" when unpinned)
 	fence  bool   // pin moved: upgrade the next read to a barrier read
-	stats  Stats
 	closed bool
+
+	reg *obs.Registry
+	cm  clientMetrics
 }
 
 // endpoint is one known daemon address. Learned (redirect-hint) addresses
@@ -150,6 +208,11 @@ func (cfg Config) Dial(addrs ...string) (*Client, error) {
 		return nil, errors.New("client: Dial needs at least one address")
 	}
 	c := &Client{cfg: cfg.withDefaults()}
+	c.reg = c.cfg.Metrics
+	if c.reg == nil {
+		c.reg = obs.NewRegistry()
+	}
+	c.cm = newClientMetrics(c.reg)
 	for _, a := range addrs {
 		c.addrs = append(c.addrs, endpoint{addr: a, bootstrap: true})
 	}
@@ -181,12 +244,20 @@ func (c *Client) Endpoints() []string {
 	return out
 }
 
-// Stats snapshots the session's routing counters.
+// Stats snapshots the session's routing counters. It is a view over the
+// session's metrics registry.
 func (c *Client) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	return Stats{
+		Ops:       c.cm.ops.Value(),
+		Failovers: c.cm.failovers.Value(),
+		Redirects: c.cm.redirects.Value(),
+		Retries:   c.cm.retries.Value(),
+		Unacked:   c.cm.unacked.Value(),
+	}
 }
+
+// Metrics returns the session's observability registry (never nil).
+func (c *Client) Metrics() *obs.Registry { return c.reg }
 
 // Close ends the session. It does not wait for an in-flight operation:
 // closing the pinned connection interrupts it, and the operation returns
@@ -263,6 +334,13 @@ type Status struct {
 	Keys    uint32
 	Ready   bool
 	Members uint32
+	// Delivered, Drops and QueueDepth are the daemon's key health gauges
+	// (total-order deliveries emitted, messages silently dropped across
+	// all layers, received-but-undelivered backlog). Zero when the daemon
+	// predates the STATUS observability extension.
+	Delivered  uint64
+	Drops      uint64
+	QueueDepth uint64
 }
 
 // Status queries the pinned daemon. Unlike the data operations it is
@@ -276,7 +354,8 @@ func (c *Client) Status() (Status, error) {
 	return Status{
 		Self: resp.Self, Group: resp.Group, Applied: resp.Applied,
 		Digest: resp.Digest, Keys: resp.Keys, Ready: resp.Ready,
-		Members: resp.Members,
+		Members: resp.Members, Delivered: resp.Delivered,
+		Drops: resp.Drops, QueueDepth: resp.QueueDepth,
 	}, nil
 }
 
@@ -288,6 +367,12 @@ func (c *Client) Status() (Status, error) {
 func (c *Client) do(req *clientproto.Request, idempotent bool) (clientproto.Response, error) {
 	c.opMu.Lock()
 	defer c.opMu.Unlock()
+	start := time.Now()
+	defer func() {
+		// End-to-end latency, retries and failovers included: the number a
+		// caller actually experiences.
+		c.cm.opHist(req.Op).ObserveDuration(time.Since(start))
+	}()
 	deadline := time.Now().Add(c.cfg.FailoverTimeout)
 	var lastErr error
 	for {
@@ -319,6 +404,7 @@ func (c *Client) do(req *clientproto.Request, idempotent bool) (clientproto.Resp
 		op := req.Op
 		if fence && op == clientproto.OpGet {
 			op = clientproto.OpBarrierGet
+			c.cm.barrierUpgrades.Inc()
 		}
 		wire := *req
 		wire.Op = op
@@ -327,12 +413,12 @@ func (c *Client) do(req *clientproto.Request, idempotent bool) (clientproto.Resp
 			c.mu.Lock()
 			closed := c.closed
 			c.dropLocked()
-			c.stats.Failovers++
+			c.cm.failovers.Inc()
 			c.fence = true
 			if !idempotent {
 				// The request may have reached the daemon before the
 				// connection died; the write's outcome is unknown.
-				c.stats.Unacked++
+				c.cm.unacked.Inc()
 			}
 			c.mu.Unlock()
 			if !idempotent {
@@ -347,14 +433,14 @@ func (c *Client) do(req *clientproto.Request, idempotent bool) (clientproto.Resp
 		c.mu.Lock()
 		switch resp.Status {
 		case clientproto.StOK, clientproto.StStatus:
-			c.stats.Ops++
+			c.cm.ops.Inc()
 			if req.Op == clientproto.OpGet || req.Op == clientproto.OpBarrierGet {
 				c.fence = false
 			}
 			c.mu.Unlock()
 			return resp, nil
 		case clientproto.StErr:
-			c.stats.Ops++
+			c.cm.ops.Inc()
 			c.mu.Unlock()
 			return resp, fmt.Errorf("client: server rejected request: %s", resp.Err)
 		case clientproto.StUnknown:
@@ -363,18 +449,18 @@ func (c *Client) do(req *clientproto.Request, idempotent bool) (clientproto.Resp
 			// the same answer: the caller decides whether to resend.
 			// (Reads are side-effect free; just retry them.)
 			if !idempotent {
-				c.stats.Ops++
-				c.stats.Unacked++
+				c.cm.ops.Inc()
+				c.cm.unacked.Inc()
 				c.fence = true
 				c.mu.Unlock()
 				return clientproto.Response{}, fmt.Errorf("%w: %s", ErrUnacked, resp.Err)
 			}
-			c.stats.Retries++
+			c.cm.retries.Inc()
 			c.mu.Unlock()
 			time.Sleep(c.cfg.RetryWait)
 			continue
 		case clientproto.StNotServing:
-			c.stats.Redirects++
+			c.cm.redirects.Inc()
 			from := c.pinned
 			learnedNew := c.learnLocked(resp.Addr)
 			c.dropLocked()
@@ -390,7 +476,7 @@ func (c *Client) do(req *clientproto.Request, idempotent bool) (clientproto.Resp
 			}
 			continue
 		case clientproto.StRetry:
-			c.stats.Retries++
+			c.cm.retries.Inc()
 			c.mu.Unlock()
 			wait := resp.RetryAfter
 			if wait <= 0 {

@@ -93,6 +93,8 @@ func run() error {
 		drain       = flag.Duration("drain", 2*time.Second, "how long a superseded group lingers after cut-over before the daemon leaves it")
 		initTimeout = flag.Duration("initiate-timeout", 0, "how long to wait for a heal initiator before taking over (default 5×settle)")
 		ringThresh  = flag.Int("ring-threshold", 0, "payload size at or above which multicasts ride the view ring instead of fanning out (0 disables)")
+		metricsAddr = flag.String("metrics-addr", "", "introspection HTTP listen address serving /metrics and /debug/pprof/ (empty disables)")
+		traceEvery  = flag.Uint64("trace-every", 0, "sample one in every N data messages through the delivery-stage tracer (0 disables)")
 	)
 	flag.Parse()
 	if *id == 0 || *listen == "" {
@@ -130,20 +132,22 @@ func run() error {
 	}
 
 	d, err := daemon.Start(daemon.Config{
-		Self:            newtop.ProcessID(*id),
-		ListenAddr:      *listen,
-		Peers:           peerMap,
-		ClientAddr:      *clientAddr,
-		PeerClientAddrs: clientPeerMap,
-		Mode:            om,
-		Omega:           *omega,
-		Join:            newtop.GroupID(*join),
-		Initial:         boot,
-		Merge:           *merge,
-		Settle:          *settle,
-		DrainWindow:     *drain,
-		InitiateTimeout: *initTimeout,
-		RingThreshold:   *ringThresh,
+		Self:             newtop.ProcessID(*id),
+		ListenAddr:       *listen,
+		Peers:            peerMap,
+		ClientAddr:       *clientAddr,
+		PeerClientAddrs:  clientPeerMap,
+		Mode:             om,
+		Omega:            *omega,
+		Join:             newtop.GroupID(*join),
+		Initial:          boot,
+		Merge:            *merge,
+		Settle:           *settle,
+		DrainWindow:      *drain,
+		InitiateTimeout:  *initTimeout,
+		RingThreshold:    *ringThresh,
+		MetricsAddr:      *metricsAddr,
+		TraceSampleEvery: *traceEvery,
 	})
 	if err != nil {
 		return err
@@ -151,6 +155,9 @@ func run() error {
 	defer func() { _ = d.Close() }()
 	if *clientAddr != "" {
 		log.Printf("serving clients at %s", d.ClientAddr())
+	}
+	if *metricsAddr != "" {
+		log.Printf("serving metrics at http://%s/metrics", d.MetricsAddr())
 	}
 
 	stop := make(chan os.Signal, 1)

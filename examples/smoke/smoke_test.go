@@ -24,6 +24,7 @@ var examples = []struct {
 	{"migration", 120 * time.Second},
 	{"partition", 120 * time.Second},
 	{"client", 120 * time.Second},
+	{"metrics", 120 * time.Second},
 }
 
 func TestExamplesRun(t *testing.T) {

@@ -29,6 +29,10 @@
 //	             daemon is mid-catch-up/reconcile/cut-over; retry HERE
 //	StStatus     u32 self | u64 group | u64 applied | u64 digest |
 //	             u32 keys | u8 ready | u32 members
+//	             [| u64 delivered | u64 drops | u64 queueDepth]
+//	             — the bracketed tail is the v2 observability extension:
+//	             encoders always append it, decoders read it only when the
+//	             bytes are present, so either side may lag the other
 //	StErr        u16 msgLen | msg                    — the request itself
 //	             was malformed; retrying is pointless
 //	StUnknown    u16 msgLen | msg                    — a write was proposed
@@ -118,6 +122,14 @@ type Response struct {
 	// partition it can drop to 1.
 	Members uint32
 
+	// StStatus v2 observability tail (zero when talking to a pre-v2
+	// daemon): total-order deliveries this process has emitted, messages
+	// silently dropped across all layers, and the engine's
+	// received-but-undelivered queue depth.
+	Delivered  uint64
+	Drops      uint64
+	QueueDepth uint64
+
 	// StErr
 	Err string
 }
@@ -182,6 +194,9 @@ func AppendResponse(dst []byte, resp *Response) []byte {
 		dst = binary.BigEndian.AppendUint32(dst, resp.Keys)
 		dst = append(dst, b2u8(resp.Ready))
 		dst = binary.BigEndian.AppendUint32(dst, resp.Members)
+		dst = binary.BigEndian.AppendUint64(dst, resp.Delivered)
+		dst = binary.BigEndian.AppendUint64(dst, resp.Drops)
+		dst = binary.BigEndian.AppendUint64(dst, resp.QueueDepth)
 	case StErr, StUnknown:
 		dst = appendString16(dst, resp.Err)
 	}
@@ -253,6 +268,12 @@ func ParseResponse(body []byte) (Response, error) {
 		resp.Keys = d.u32()
 		resp.Ready = d.u8() != 0
 		resp.Members = d.u32()
+		// v2 observability tail: optional — absent from pre-v2 daemons.
+		if d.err == nil && len(d.buf) >= 24 {
+			resp.Delivered = d.u64()
+			resp.Drops = d.u64()
+			resp.QueueDepth = d.u64()
+		}
 	case StErr, StUnknown:
 		resp.Err = d.string16()
 	default:

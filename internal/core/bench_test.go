@@ -32,6 +32,10 @@ func BenchmarkEngineArenaCycle(b *testing.B) { perf.EngineArenaCycle(b) }
 // 9-member group.
 func BenchmarkRingDisseminateN9(b *testing.B) { perf.RingDisseminateN9(b) }
 
+// BenchmarkMetricsHotPath measures one counter+gauge+histogram update
+// against pre-resolved handles; the CI gate pins it at 0 allocs/op.
+func BenchmarkMetricsHotPath(b *testing.B) { perf.MetricsHotPath(b) }
+
 // BenchmarkMembershipAgreement measures a full crash-to-view-change cycle.
 func BenchmarkMembershipAgreement(b *testing.B) { perf.MembershipAgreement(b) }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"newtop/internal/obs"
 	"newtop/internal/types"
 )
 
@@ -106,6 +107,20 @@ type Config struct {
 	// does NOT qualify — it passes message pointers between engines — and
 	// must keep this off.
 	MessageArena bool
+
+	// Metrics, when set, receives the engine's observability series:
+	// labeled drop counters, gate-stall reasons, log-gc pause and
+	// queue/arena/log depth gauges. Handle resolution happens once in
+	// NewEngine; per-stimulus updates are lock-free atomics, and a nil
+	// registry reduces every update to one branch.
+	Metrics *obs.Registry
+
+	// Tracer, when set, stamps the lifecycle stages of sampled data-plane
+	// messages (submit → send → receive → ordered → stable → delivered)
+	// with the same `now` the engine is driven with — virtual time under
+	// sim, wall clock under node — so simulated traces are
+	// seed-deterministic.
+	Tracer *obs.Tracer
 }
 
 // withDefaults returns cfg with zero fields replaced by defaults.

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"newtop/internal/lclock"
+	"newtop/internal/obs"
 	"newtop/internal/types"
 )
 
@@ -75,6 +76,11 @@ type Engine struct {
 	// later message would be numbered first and delivered first,
 	// violating MD4'/MD5'.
 	queued []queuedSubmit
+
+	// om holds the resolved observability handles (all nil without
+	// Config.Metrics); tracer is the sampled lifecycle tracer (may be nil).
+	om     engMetrics
+	tracer *obs.Tracer
 }
 
 // queuedSubmit is one delayed application multicast.
@@ -91,6 +97,8 @@ func NewEngine(cfg Config) *Engine {
 		left:   make(map[types.GroupID]bool),
 		pre:    make(map[types.GroupID][]heldMsg),
 		queue:  newDeliveryQueue(),
+		om:     newEngMetrics(cfg.Metrics),
+		tracer: cfg.Tracer,
 	}
 }
 
@@ -235,7 +243,9 @@ func (e *Engine) LeaveGroup(now time.Time, g types.GroupID) ([]Effect, error) {
 	// Drop this group's undelivered messages: departure ends the
 	// membership, and MD2 only promises delivery while the process
 	// "continues to function as a member".
+	before := e.queue.Len()
 	e.queue.Discard(func(m *types.Message) bool { return m.Group == g })
+	e.om.dropLeftGroup.Add(uint64(before - e.queue.Len()))
 	delete(e.groups, g)
 	e.groupsChanged()
 	e.left[g] = true
@@ -330,6 +340,20 @@ func (e *Engine) arenaFor(gs *groupState) *msgArena {
 func (e *Engine) finish(now time.Time) []Effect {
 	e.pump(now)
 	e.drainQueued(now)
+	if e.om.enabled() {
+		e.om.queueDepth.Set(int64(e.queue.Len()))
+		var live, grace, logged int
+		for _, gs := range e.groups {
+			if gs.arena != nil {
+				live += gs.arena.live()
+				grace += len(gs.arena.grace)
+			}
+			logged += gs.log.len()
+		}
+		e.om.arenaLive.Set(int64(live))
+		e.om.arenaGrace.Set(int64(grace))
+		e.om.logSize.Set(int64(logged))
+	}
 	return e.effs
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"newtop/internal/obs"
 	"newtop/internal/types"
 )
 
@@ -19,6 +20,8 @@ func (e *Engine) handleMessage(now time.Time, from types.ProcessID, m *types.Mes
 		if _, ok := e.groups[m.Group]; !ok && !e.left[m.Group] {
 			if len(e.pre[m.Group]) < preBuffered {
 				e.pre[m.Group] = append(e.pre[m.Group], heldMsg{from: from, m: m})
+			} else {
+				e.om.dropPreOverflow.Inc()
 			}
 			return
 		}
@@ -29,12 +32,15 @@ func (e *Engine) handleMessage(now time.Time, from types.ProcessID, m *types.Mes
 	gs, ok := e.groups[m.Group]
 	if !ok {
 		if e.left[m.Group] {
+			e.om.dropLeftGroup.Inc()
 			return // departed: maintain no state for this group (§3)
 		}
 		// The group may be forming here while a faster member already
 		// activated: buffer until activation.
 		if len(e.pre[m.Group]) < preBuffered {
 			e.pre[m.Group] = append(e.pre[m.Group], heldMsg{from: from, m: m})
+		} else {
+			e.om.dropPreOverflow.Inc()
 		}
 		return
 	}
@@ -43,6 +49,8 @@ func (e *Engine) handleMessage(now time.Time, from types.ProcessID, m *types.Mes
 		// still-forming group waits for activation.
 		if len(e.pre[m.Group]) < preBuffered {
 			e.pre[m.Group] = append(e.pre[m.Group], heldMsg{from: from, m: m})
+		} else {
+			e.om.dropPreOverflow.Inc()
 		}
 		return
 	}
@@ -52,10 +60,12 @@ func (e *Engine) handleMessage(now time.Time, from types.ProcessID, m *types.Mes
 	// excluded is equally dead: its content is a removed member's
 	// message.
 	if gs.isRemoved(m.Sender) || gs.isRemoved(m.Origin) {
+		e.om.dropRemoved.Inc()
 		return
 	}
 	si := gs.memberIndex(m.Sender)
 	if si < 0 {
+		e.om.dropNotMember.Inc()
 		return
 	}
 	// Messages from currently suspected processes are kept pending until
@@ -105,6 +115,7 @@ func (e *Engine) onDataPlane(now time.Time, gs *groupState, si int, m *types.Mes
 		}
 		if m.Seq != slot.seqDirect+1 {
 			e.stats.Gaps++
+			e.om.dropSeqGap.Inc()
 			e.raiseSuspicion(now, gs, m.Sender)
 			return
 		}
@@ -116,6 +127,7 @@ func (e *Engine) onDataPlane(now time.Time, gs *groupState, si int, m *types.Mes
 		}
 		if m.Seq != slot.seqRelayed+1 {
 			e.stats.Gaps++
+			e.om.dropSeqGap.Inc()
 			e.raiseSuspicion(now, gs, m.Sender)
 			return
 		}
@@ -129,6 +141,7 @@ func (e *Engine) onDataPlane(now time.Time, gs *groupState, si int, m *types.Mes
 		}
 		if m.Seq != st.seqRelayed+1 {
 			e.stats.Gaps++
+			e.om.dropSeqGap.Inc()
 			e.raiseSuspicion(now, gs, m.Sender)
 			return
 		}
@@ -161,12 +174,21 @@ func (e *Engine) onDataPlane(now time.Time, gs *groupState, si int, m *types.Mes
 				e.ackOwnRequest(gs, m.Seq)
 			}
 		}
+		if e.tracer.Sampled(m.Num) {
+			key := obs.TraceKey{Group: m.Group, Origin: m.Origin, Num: m.Num}
+			e.tracer.StampIf(key, obs.StageReceive, now)
+			if gs.ordered() {
+				e.tracer.StampIf(key, obs.StageOrdered, now)
+			}
+		}
 		if gs.ordered() {
 			e.queue.Push(m)
 		} else {
 			// Atomic mode bypasses the logical-clock gate (fig. 3):
 			// deliver on receipt, in per-sender FIFO order.
 			e.stats.Delivered++
+			e.om.delivered.Inc()
+			e.tracer.StampIf(obs.TraceKey{Group: m.Group, Origin: m.Origin, Num: m.Num}, obs.StageDelivered, now)
 			e.emit(DeliverEffect{Msg: m, View: gs.view.Index})
 		}
 	case types.KindNull:
@@ -180,7 +202,16 @@ func (e *Engine) onDataPlane(now time.Time, gs *groupState, si int, m *types.Mes
 	// — or when the message just logged is already below it (the map-era
 	// per-message gc would have dropped it immediately).
 	if sv := gs.minSV(); sv > gs.log.lastGC || m.Num <= sv {
-		gs.log.gc(sv)
+		if e.om.gcPause != nil {
+			// Wall-time pause measurement: only metered engines pay the
+			// two clock reads. Virtual-time determinism is unaffected —
+			// the pause feeds a histogram, never protocol state.
+			start := time.Now()
+			gs.log.gc(sv)
+			e.om.gcPause.ObserveDuration(time.Since(start))
+		} else {
+			gs.log.gc(sv)
+		}
 	}
 }
 
@@ -236,6 +267,7 @@ func (e *Engine) pump(now time.Time) {
 		}
 		gs, ok := e.groups[m.Group]
 		if !ok {
+			e.om.dropGroupGone.Inc()
 			e.queue.Pop()
 			continue
 		}
@@ -243,9 +275,11 @@ func (e *Engine) pump(now time.Time) {
 		// before m may be delivered; if its preconditions are not yet
 		// met, delivery waits.
 		if len(gs.installs) > 0 && gs.installs[0].lnmn < m.Num {
+			e.om.stallInstall.Inc()
 			return
 		}
 		if m.Num > e.globalD() {
+			e.om.stallSafe1.Inc()
 			return
 		}
 		e.queue.Pop()
@@ -256,9 +290,16 @@ func (e *Engine) pump(now time.Time) {
 		// current view.
 		if !gs.view.Contains(m.Origin) || !gs.view.Contains(m.Sender) {
 			e.stats.Discarded++
+			e.om.dropStaleView.Inc()
 			continue
 		}
 		e.stats.Delivered++
+		e.om.delivered.Inc()
+		if e.tracer.Sampled(m.Num) {
+			key := obs.TraceKey{Group: m.Group, Origin: m.Origin, Num: m.Num}
+			e.tracer.StampIf(key, obs.StageStable, now)
+			e.tracer.StampIf(key, obs.StageDelivered, now)
+		}
 		e.emit(DeliverEffect{Msg: m, View: gs.view.Index})
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"newtop/internal/obs"
 	"newtop/internal/types"
 )
 
@@ -65,6 +66,11 @@ func (e *Engine) transmit(now time.Time, gs *groupState, payload []byte) {
 	m.Seq = gs.mySeq
 	m.LDN = gs.dx()
 	m.Payload = payload
+	if e.tracer.Sampled(num) {
+		key := obs.TraceKey{Group: gs.id, Origin: e.cfg.Self, Num: num}
+		e.tracer.StampIf(key, obs.StageSubmit, now)
+		e.tracer.StampIf(key, obs.StageSend, now)
+	}
 	e.mcast(gs, m)
 	gs.lastSent = now
 	// Deliver own messages by executing the protocol (§3): loop the
@@ -151,6 +157,13 @@ func (e *Engine) sequenceRequest(now time.Time, gs *groupState, req *types.Messa
 		m.Seq = req.Seq
 	}
 	e.stats.SeqMulticasts++
+	if e.tracer.Sampled(num) {
+		// The sequencer's multicast is where the ordered identity (group,
+		// origin, num) is born; stamp its dissemination here.
+		key := obs.TraceKey{Group: gs.id, Origin: m.Origin, Num: num}
+		e.tracer.StampIf(key, obs.StageSubmit, now)
+		e.tracer.StampIf(key, obs.StageSend, now)
+	}
 	e.mcast(gs, m)
 	gs.lastSent = now
 	e.onDataPlane(now, gs, gs.memberIndex(e.cfg.Self), m)
@@ -206,6 +219,7 @@ func (e *Engine) drainQueued(now time.Time) {
 		if !ok {
 			// The group was departed or its formation failed; the queued
 			// send is dropped with it.
+			e.om.dropQueuedSubmit.Inc()
 			e.queued = e.queued[1:]
 			continue
 		}

@@ -66,6 +66,17 @@ type Config struct {
 	// known after every daemon has bound its ephemeral port).
 	PeerClientAddrs map[newtop.ProcessID]string
 
+	// MetricsAddr is the introspection HTTP listen address ("" disables;
+	// use ":0" for an ephemeral port). The endpoint serves /metrics in
+	// the Prometheus text format and the pprof suite under /debug/pprof/.
+	MetricsAddr string
+
+	// TraceSampleEvery enables delivery-stream tracing, passed through to
+	// newtop.Config: one in every N data messages is stamped through its
+	// lifecycle stages, feeding the newtop_trace_stage_ns histograms
+	// (0 disables).
+	TraceSampleEvery uint64
+
 	// Mode is the serving groups' ordering discipline (default Symmetric).
 	Mode newtop.OrderMode
 	// Omega is the time-silence interval ω (see newtop.Config).
@@ -152,7 +163,8 @@ type Daemon struct {
 	cfg  Config
 	proc *newtop.Process
 	kv   *newtop.KV
-	srv  *clientServer // nil when ClientAddr == ""
+	srv  *clientServer  // nil when ClientAddr == ""
+	ms   *metricsServer // nil when MetricsAddr == ""
 
 	mu          sync.Mutex
 	reps        map[newtop.GroupID]*newtop.Replica
@@ -225,6 +237,7 @@ func Start(cfg Config) (*Daemon, error) {
 		FlushWindow:       cfg.FlushWindow,
 		RingThreshold:     cfg.RingThreshold,
 		RingPullAfter:     cfg.RingPullAfter,
+		TraceSampleEvery:  cfg.TraceSampleEvery,
 		AcceptInvite: func(g newtop.GroupID, members []newtop.ProcessID) bool {
 			// Counted BEFORE the vote takes effect (this callback runs on
 			// the node loop, synchronously with the vote): from here until
@@ -262,6 +275,17 @@ func Start(cfg Config) (*Daemon, error) {
 			return nil, err
 		}
 		d.srv = srv
+	}
+	if cfg.MetricsAddr != "" {
+		ms, err := newMetricsServer(d, cfg.MetricsAddr)
+		if err != nil {
+			if d.srv != nil {
+				d.srv.close()
+			}
+			_ = proc.Close()
+			return nil, err
+		}
+		d.ms = ms
 	}
 
 	d.wg.Add(3)
@@ -330,6 +354,15 @@ func (d *Daemon) ClientAddr() string {
 	return d.srv.addr()
 }
 
+// MetricsAddr returns the bound introspection-listener address ("" when
+// the listener is disabled).
+func (d *Daemon) MetricsAddr() string {
+	if d.ms == nil {
+		return ""
+	}
+	return d.ms.addr()
+}
+
 // SetPeerClientAddrs installs the peer client-address book used for
 // NOT_SERVING redirect hints.
 func (d *Daemon) SetPeerClientAddrs(addrs map[newtop.ProcessID]string) {
@@ -391,6 +424,9 @@ func (d *Daemon) Close() error {
 	}
 	if d.srv != nil {
 		d.srv.close()
+	}
+	if d.ms != nil {
+		d.ms.close()
 	}
 	err := d.proc.Close()
 	d.wg.Wait()

@@ -2,6 +2,11 @@ package daemon
 
 import (
 	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -412,4 +417,75 @@ func TestFailedSuccessorFormationRollsBack(t *testing.T) {
 			t.Fatalf("read %s after rollback = %q %v %v", kv[0], v, ok, err)
 		}
 	}
+}
+
+// TestMetricsEndpointAndStatusTail drives real traffic through a daemon
+// and checks both introspection surfaces: the /metrics HTTP endpoint must
+// expose nonzero key series in the Prometheus text format, and the STATUS
+// response's observability tail must carry the delivery counter.
+func TestMetricsEndpointAndStatusTail(t *testing.T) {
+	_, ds := startCluster(t, 3, func(id newtop.ProcessID, cfg *Config) {
+		if id == 1 {
+			cfg.MetricsAddr = "127.0.0.1:0"
+		}
+	})
+	if ds[1].MetricsAddr() == "" {
+		t.Fatal("metrics listener did not bind")
+	}
+	c, err := clientConfig().Dial(ds[1].ClientAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	for i := 0; i < 5; i++ {
+		if err := c.Put(fmt.Sprintf("m:%d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Delivered == 0 {
+		t.Errorf("STATUS tail Delivered = 0 after %d acked writes", 5)
+	}
+
+	resp, err := http.Get("http://" + ds[1].MetricsAddr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The daemon runs on the in-memory network here, so the key series
+	// are the engine's and the node's; each must be present and nonzero.
+	for _, want := range []string{
+		"newtop_engine_delivered_total ",
+		`newtop_node_group_sends_total{group="1"} `,
+	} {
+		val, found := scrapeValue(string(body), want)
+		if !found {
+			t.Errorf("series %q missing from /metrics", want)
+		} else if val == 0 {
+			t.Errorf("series %q = 0 after traffic", want)
+		}
+	}
+}
+
+// scrapeValue finds the exposition line starting with prefix and parses
+// its value.
+func scrapeValue(body, prefix string) (uint64, bool) {
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			v, err := strconv.ParseUint(strings.TrimSpace(line[len(prefix):]), 10, 64)
+			return v, err == nil
+		}
+	}
+	return 0, false
 }

@@ -1,0 +1,65 @@
+package daemon
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+)
+
+// metricsServer is the daemon's introspection HTTP listener: /metrics in
+// the Prometheus text exposition format, plus the standard pprof
+// endpoints under /debug/pprof/. It is mounted on a private mux — never
+// http.DefaultServeMux — so several in-process daemons (the harness, the
+// in-memory tests) can each run their own without handler collisions.
+type metricsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+func newMetricsServer(d *Daemon, addr string) (*metricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		d.proc.MetricsRegistry().WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &metricsServer{
+		ln:  ln,
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+func (s *metricsServer) addr() string { return s.ln.Addr().String() }
+
+func (s *metricsServer) close() { _ = s.srv.Close() }
+
+// obsStatus condenses the registry into the STATUS response's v2 tail:
+// total deliveries, total silent drops across every layer, and the
+// engine's backlog of received-but-undelivered messages. These three
+// answer the first triage questions — is the order advancing, is anything
+// being lost, is delivery keeping up — without needing an HTTP scrape.
+func (d *Daemon) obsStatus() (delivered, drops, queueDepth uint64) {
+	snap := d.proc.Metrics()
+	delivered = snap.Counters["newtop_engine_delivered_total"]
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, "newtop_drops_total{") {
+			drops += v
+		}
+	}
+	if q := snap.Gauges["newtop_engine_queue_depth"]; q > 0 {
+		queueDepth = uint64(q)
+	}
+	return delivered, drops, queueDepth
+}

@@ -143,15 +143,19 @@ func (d *Daemon) serveRequest(req *clientproto.Request) clientproto.Response {
 		if v, err := d.proc.View(g); err == nil {
 			members = v.Size()
 		}
+		delivered, drops, queueDepth := d.obsStatus()
 		return clientproto.Response{
-			Status:  clientproto.StStatus,
-			Self:    uint32(d.cfg.Self),
-			Group:   uint64(g),
-			Applied: rep.AppliedSeq(),
-			Digest:  rep.Digest(),
-			Keys:    uint32(d.kv.Len()),
-			Ready:   rep.CaughtUp(),
-			Members: uint32(members),
+			Status:     clientproto.StStatus,
+			Self:       uint32(d.cfg.Self),
+			Group:      uint64(g),
+			Applied:    rep.AppliedSeq(),
+			Digest:     rep.Digest(),
+			Keys:       uint32(d.kv.Len()),
+			Ready:      rep.CaughtUp(),
+			Members:    uint32(members),
+			Delivered:  delivered,
+			Drops:      drops,
+			QueueDepth: queueDepth,
 		}
 	}
 	if !rep.CaughtUp() {

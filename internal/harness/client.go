@@ -3,6 +3,7 @@ package harness
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"newtop"
@@ -58,6 +59,7 @@ func R4ClientFailover() (*Table, error) {
 			Settle:            250 * time.Millisecond,
 			DrainWindow:       300 * time.Millisecond,
 			InitiateTimeout:   time.Second,
+			TraceSampleEvery:  1, // stamp every data message: the dump below reports real latency distributions
 			Logf:              func(string, ...any) {},
 		})
 		if err != nil {
@@ -316,6 +318,47 @@ func R4ClientFailover() (*Table, error) {
 		}
 	}
 
+	// Observability dump: the unified registry must explain the run.
+	// Delivery-stage latencies come from the tracer (sampling every data
+	// message); every drop must carry a reason this lifecycle explains —
+	// crash, partition, drain — and the genuine-error reasons (decode
+	// failures, overflow) must be zero, or the run fails.
+	snap := daemons[a].Proc().Metrics()
+	stageHist := func(stage string) string {
+		h, ok := snap.Histograms[`newtop_trace_stage_ns{stage="`+stage+`"}`]
+		if !ok || h.Count == 0 {
+			return "no samples"
+		}
+		return fmt.Sprintf("p50=%s p99=%s (n=%d)",
+			time.Duration(h.P50).Round(time.Microsecond),
+			time.Duration(h.P99).Round(time.Microsecond), h.Count)
+	}
+	explained := map[string]bool{
+		`layer="core",reason="left_group"`:               true,
+		`layer="core",reason="removed_member"`:           true,
+		`layer="core",reason="not_member"`:               true,
+		`layer="core",reason="seq_gap"`:                  true,
+		`layer="core",reason="stale_view"`:               true,
+		`layer="core",reason="group_gone"`:               true,
+		`layer="core",reason="queued_submit_group_gone"`: true,
+		`layer="ring",reason="orphan_evicted"`:           true,
+		`layer="ring",reason="reassembly_abandoned"`:     true,
+	}
+	var explainedDrops uint64
+	for _, id := range survivors {
+		for name, v := range daemons[id].Proc().Metrics().Counters {
+			labels, ok := strings.CutPrefix(name, "newtop_drops_total{")
+			if !ok || v == 0 {
+				continue
+			}
+			labels = strings.TrimSuffix(labels, "}")
+			if !explained[labels] {
+				return nil, fmt.Errorf("harness: R4 unexplained drops at P%d: %s = %d", id, labels, v)
+			}
+			explainedDrops += v
+		}
+	}
+
 	st := sess.Stats()
 	t.AddRow("acked writes", fmt.Sprintf("%d (all verified twice, zero lost)", len(acked)))
 	t.AddRow("16 KiB writes across ring/fallback/partition/merge", fmt.Sprintf("%d (bit-intact)", largeSeq))
@@ -326,5 +369,9 @@ func R4ClientFailover() (*Table, error) {
 	t.AddRow("kill + 40 writes absorbed in (ms)", ms(killAbsorbed))
 	t.AddRow("heal → merged serving group", fmt.Sprintf("g%d in %s ms", mergedGroup, ms(mergedAt.Sub(healedAt))))
 	t.AddRow("old groups quiet", "left + send counters frozen")
+	t.AddRow("delivery latency send→receive", stageHist("receive"))
+	t.AddRow("delivery latency →delivered", stageHist("delivered"))
+	t.AddRow("delivery latency →applied", stageHist("applied"))
+	t.AddRow("drops (all explained by crash/partition/drain)", fmt.Sprintf("%d", explainedDrops))
 	return t, nil
 }

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"newtop/internal/core"
+	"newtop/internal/obs"
 	"newtop/internal/ring"
 	"newtop/internal/simtime"
 	"newtop/internal/transport"
@@ -35,6 +36,7 @@ var ErrClosed = errors.New("node: closed")
 type Delivery struct {
 	Group   types.GroupID
 	Sender  types.ProcessID // the multicast's author
+	Num     types.MsgNum    // the multicast's Lamport number (trace identity)
 	Payload []byte
 	ViewIdx int
 }
@@ -100,6 +102,11 @@ type Options struct {
 	// payload before re-requesting it from the disseminator (default
 	// 250ms). Only meaningful with RingThreshold > 0.
 	RingPullAfter time.Duration
+	// Metrics, when set, receives the node's observability series
+	// (per-group send counters, heal-probe activity, sink reroutes) and is
+	// shared with the ring layer. When nil the node keeps a private
+	// registry so GroupSends still counts.
+	Metrics *obs.Registry
 }
 
 // Node runs one Newtop process: engine + transport + timers.
@@ -124,9 +131,13 @@ type Node struct {
 
 	// sent counts point-to-point transmissions per group (protocol and
 	// probe traffic alike) — the observability hook for verifying that a
-	// superseded or departed group has actually gone quiet. Only the
-	// event loop writes it.
-	sent map[types.GroupID]uint64
+	// superseded or departed group has actually gone quiet. The values are
+	// registry counters (`newtop_node_group_sends_total{group=...}`); only
+	// the event loop touches the map, the counters themselves are atomic.
+	reg  *obs.Registry
+	sent map[types.GroupID]*obs.Counter
+	om   nodeMetrics
+	trc  *obs.Tracer // engine's tracer (from core.Config); rsm stamps StageApplied
 
 	// rng is the ring-dissemination layer (nil when RingThreshold is 0):
 	// outbound SendEffects and inbound messages thread through it, the
@@ -158,6 +169,32 @@ type groupPeer struct {
 	p types.ProcessID
 }
 
+// nodeMetrics holds the node's pre-resolved observability handles.
+type nodeMetrics struct {
+	healProbes    *obs.Counter // probe nulls sent to removed members
+	healsDetected *obs.Counter // partition heals observed (debounced)
+	sinkRerouted  *obs.Counter // queued sink deliveries rerouted on unsubscribe
+}
+
+func newNodeMetrics(reg *obs.Registry) nodeMetrics {
+	return nodeMetrics{
+		healProbes:    reg.Counter("newtop_node_heal_probes_total"),
+		healsDetected: reg.Counter("newtop_node_heals_detected_total"),
+		sinkRerouted:  reg.Counter("newtop_node_sink_rerouted_total"),
+	}
+}
+
+// sendInc bumps group g's transmission counter, resolving the handle on
+// first use. Only the event loop calls it.
+func (n *Node) sendInc(g types.GroupID) {
+	c, ok := n.sent[g]
+	if !ok {
+		c = n.reg.Counter(fmt.Sprintf(`newtop_node_group_sends_total{group="%d"}`, uint64(g)))
+		n.sent[g] = c
+	}
+	c.Inc()
+}
+
 // New creates and starts a node over the given endpoint. The endpoint's
 // identity must match cfg.Self.
 func New(cfg core.Config, ep transport.Endpoint, opts Options) *Node {
@@ -177,6 +214,10 @@ func New(cfg core.Config, ep transport.Endpoint, opts Options) *Node {
 	if probeEvery == 0 {
 		probeEvery = DefaultHealProbeEvery
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	n := &Node{
 		eng:        eng,
 		ep:         ep,
@@ -188,7 +229,10 @@ func New(cfg core.Config, ep transport.Endpoint, opts Options) *Node {
 		deliveries: newOutbox[Delivery](),
 		events:     newOutbox[Event](),
 		sinks:      make(map[types.GroupID]*outbox[Delivery]),
-		sent:       make(map[types.GroupID]uint64),
+		reg:        reg,
+		sent:       make(map[types.GroupID]*obs.Counter),
+		om:         newNodeMetrics(reg),
+		trc:        cfg.Tracer,
 		removed:    make(map[types.GroupID]map[types.ProcessID]bool),
 		healed:     make(map[groupPeer]bool),
 		probeEvery: probeEvery,
@@ -199,6 +243,7 @@ func New(cfg core.Config, ep transport.Endpoint, opts Options) *Node {
 			Self:      cfg.Self,
 			Threshold: opts.RingThreshold,
 			PullAfter: opts.RingPullAfter,
+			Metrics:   reg,
 		})
 	}
 	n.wg.Add(1)
@@ -274,6 +319,7 @@ func (n *Node) UnsubscribeGroup(g types.GroupID) error {
 		// drain's wait is on the sink's own pump goroutine, which exits
 		// as soon as the sink closes — safe from inside the event loop.
 		for _, d := range ob.drain() {
+			n.om.sinkRerouted.Inc()
 			n.deliveries.push(d)
 		}
 	})
@@ -282,11 +328,19 @@ func (n *Node) UnsubscribeGroup(g types.GroupID) error {
 // GroupSends reports how many point-to-point transmissions this node has
 // issued in group g over its lifetime. Monotone; a group that has been
 // drained and left stops counting — which is exactly what callers assert.
+// It is a view over the node's metrics registry.
 func (n *Node) GroupSends(g types.GroupID) uint64 {
 	var v uint64
-	_ = n.call(func() { v = n.sent[g] })
+	_ = n.call(func() { v = n.sent[g].Value() })
 	return v
 }
+
+// Metrics returns the node's observability registry (never nil).
+func (n *Node) Metrics() *obs.Registry { return n.reg }
+
+// Tracer returns the engine's delivery-stream tracer (nil when tracing is
+// off); downstream layers use it to stamp the applied stage.
+func (n *Node) Tracer() *obs.Tracer { return n.trc }
 
 // PostEvent publishes an application-layer event (e.g. the replication
 // layer's EventStateTransferred) on the node's Events channel.
@@ -430,7 +484,7 @@ func (n *Node) loop() {
 				// the engine owns its memory already.
 				outs, delivers := n.rng.OnReceive(n.clk.Now(), in.From, in.Msg)
 				for _, o := range outs {
-					n.sent[o.Msg.Group]++
+					n.sendInc(o.Msg.Group)
 					_ = n.ep.Send(o.To, o.Msg)
 				}
 				in.Release()
@@ -453,7 +507,7 @@ func (n *Node) loop() {
 			n.apply(n.eng.Tick(now))
 			if n.rng != nil {
 				for _, o := range n.rng.Tick(now) {
-					n.sent[o.Msg.Group]++
+					n.sendInc(o.Msg.Group)
 					_ = n.ep.Send(o.To, o.Msg)
 				}
 			}
@@ -489,6 +543,7 @@ func (n *Node) noteInbound(from types.ProcessID, g types.GroupID) {
 		key := groupPeer{g, from}
 		if !n.healed[key] {
 			n.healed[key] = true
+			n.om.healsDetected.Inc()
 			n.events.push(Event{Kind: EventHealDetected, Group: g, Peer: from})
 		}
 	}
@@ -516,7 +571,8 @@ func (n *Node) maybeProbe(now time.Time) {
 	self := n.eng.Self()
 	for g, peers := range n.removed {
 		for p := range peers {
-			n.sent[g]++
+			n.sendInc(g)
+			n.om.healProbes.Inc()
 			_ = n.ep.Send(p, &types.Message{Kind: types.KindNull, Group: g, Sender: self, Origin: self})
 		}
 	}
@@ -533,17 +589,18 @@ func (n *Node) route(effs []core.Effect) {
 			// here beyond not wedging the loop.
 			if n.rng != nil {
 				for _, o := range n.rng.OnSend(eff.To, eff.Msg) {
-					n.sent[o.Msg.Group]++
+					n.sendInc(o.Msg.Group)
 					_ = n.ep.Send(o.To, o.Msg)
 				}
 				continue
 			}
-			n.sent[eff.Msg.Group]++
+			n.sendInc(eff.Msg.Group)
 			_ = n.ep.Send(eff.To, eff.Msg)
 		case core.DeliverEffect:
 			d := Delivery{
 				Group:   eff.Msg.Group,
 				Sender:  eff.Msg.Origin,
+				Num:     eff.Msg.Num,
 				Payload: eff.Msg.Payload,
 				ViewIdx: eff.View,
 			}
@@ -565,7 +622,7 @@ func (n *Node) route(effs []core.Effect) {
 			if n.rng != nil {
 				outs, delivers := n.rng.OnViewChange(g, eff.View.Members, eff.Removed)
 				for _, o := range outs {
-					n.sent[o.Msg.Group]++
+					n.sendInc(o.Msg.Group)
 					_ = n.ep.Send(o.To, o.Msg)
 				}
 				n.ringQ = append(n.ringQ, delivers...)
@@ -584,7 +641,7 @@ func (n *Node) route(effs []core.Effect) {
 				if v, err := n.eng.View(eff.Group); err == nil {
 					outs, delivers := n.rng.OnViewChange(eff.Group, v.Members, nil)
 					for _, o := range outs {
-						n.sent[o.Msg.Group]++
+						n.sendInc(o.Msg.Group)
 						_ = n.ep.Send(o.To, o.Msg)
 					}
 					n.ringQ = append(n.ringQ, delivers...)

@@ -1,0 +1,238 @@
+// Package obs is the repository's unified observability layer: a
+// dependency-free metrics registry (atomic counters, gauges, and
+// log-bucketed histograms with quantile snapshots) plus a sampled
+// delivery-stream tracer (tracer.go) stamping a message's lifecycle
+// through the stack.
+//
+// The design rule is that instrumentation must be free enough to leave on
+// everywhere, including the engine receive hot path:
+//
+//   - Handle resolution (Registry.Counter/Gauge/Histogram) may allocate
+//     and take a lock — it happens once, at construction time.
+//   - Updates (Counter.Add, Gauge.Set, Histogram.Observe) are a single
+//     atomic operation on a pre-resolved handle: lock-free, 0 allocs/op.
+//     The MetricsHotPath perf gate holds this at exactly zero.
+//   - Every update method is nil-receiver safe and a no-op on nil, so a
+//     layer built without a registry (cfg.Metrics == nil) resolves nil
+//     handles and its instrumentation costs one predictable branch.
+//
+// Metric names carry their labels inline, Prometheus-style:
+// `newtop_drops_total{layer="ring",reason="orphan_evicted"}` is one
+// registry entry. Registration bakes the label set into the name once;
+// the hot path never formats a string. WritePrometheus (prom.go) emits
+// the text exposition format directly from these names.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// usable; a nil *Counter is a no-op.
+type Counter struct {
+	v    atomic.Uint64
+	name string
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Name returns the registered metric name.
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// Gauge is an atomic instantaneous value. The zero value is usable; a nil
+// *Gauge is a no-op.
+type Gauge struct {
+	v    atomic.Int64
+	name string
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Name returns the registered metric name.
+func (g *Gauge) Name() string {
+	if g == nil {
+		return ""
+	}
+	return g.name
+}
+
+// Registry holds a process's metrics. Handle resolution is get-or-create
+// by full metric name (labels included) and is safe for concurrent use;
+// resolved handles are stable for the registry's lifetime. A nil *Registry
+// resolves nil handles, making every downstream update a no-op.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed. Returns nil on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+// Returns nil on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{name: name}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it if
+// needed. Returns nil on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{name: name}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// HistSnapshot is a self-consistent read of one histogram.
+type HistSnapshot struct {
+	Count uint64
+	Sum   uint64
+	Max   uint64
+	P50   uint64
+	P99   uint64
+	P999  uint64
+}
+
+// Snapshot is a point-in-time copy of every registered metric, keyed by
+// full metric name. It is what Process.Metrics() hands to callers and what
+// the harness dumps per scenario.
+type Snapshot struct {
+	Counters   map[string]uint64
+	Gauges     map[string]int64
+	Histograms map[string]HistSnapshot
+}
+
+// Snapshot copies the current value of every metric. Returns an empty
+// snapshot on a nil registry.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistSnapshot),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hists = append(hists, h)
+	}
+	r.mu.Unlock()
+	for _, c := range counters {
+		s.Counters[c.name] = c.Value()
+	}
+	for _, g := range gauges {
+		s.Gauges[g.name] = g.Value()
+	}
+	for _, h := range hists {
+		s.Histograms[h.name] = h.Snapshot()
+	}
+	return s
+}
+
+// sortedNames returns map keys in stable order (shared by Snapshot
+// consumers and the Prometheus writer).
+func sortedNames[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"newtop/internal/types"
+)
+
+// TestRegistryConcurrent hammers one registry from many goroutines —
+// handle resolution races against updates races against snapshots — and
+// asserts the final totals are exact. Run under -race this is the
+// registry's thread-safety proof.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const (
+		workers = 8
+		perW    = 5000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent snapshot reader: every snapshot must be self-consistent —
+	// monotone counter reads, histogram count equal to its bucket total
+	// (Snapshot computes count from the buckets, so this checks quantile
+	// inputs can never exceed the data actually read).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var lastOps uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := r.Snapshot()
+			ops := s.Counters["ops_total"]
+			if ops < lastOps {
+				t.Errorf("counter went backwards: %d -> %d", lastOps, ops)
+				return
+			}
+			lastOps = ops
+			if h, ok := s.Histograms["lat_ns"]; ok {
+				if h.Count > 0 && (h.P50 > h.Max || h.P99 > h.Max) {
+					t.Errorf("quantiles exceed max: %+v", h)
+					return
+				}
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Resolve handles mid-flight on purpose: get-or-create must be
+			// race-safe and always return the same handle.
+			c := r.Counter("ops_total")
+			g := r.Gauge("depth")
+			h := r.Histogram("lat_ns")
+			for i := 0; i < perW; i++ {
+				c.Inc()
+				g.Set(int64(i))
+				h.Observe(int64(i % 1000))
+				if i%512 == 0 {
+					// Re-resolution returns the identical handle.
+					if r.Counter("ops_total") != c {
+						t.Error("counter handle not stable")
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wg2 := r.Gauge("other")
+			wg2.Add(1)
+			wg2.Add(-1)
+		}()
+	}
+	// Writers finish quickly; poll for final totals, then release the
+	// snapshotter.
+	deadline := time.Now().Add(10 * time.Second)
+	for r.Counter("ops_total").Value() < workers*perW {
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if got := r.Counter("ops_total").Value(); got != workers*perW {
+		t.Fatalf("ops_total = %d, want %d", got, workers*perW)
+	}
+	h := r.Histogram("lat_ns").Snapshot()
+	if h.Count != workers*perW {
+		t.Fatalf("histogram count = %d, want %d", h.Count, workers*perW)
+	}
+	if h.Max != 999 {
+		t.Fatalf("histogram max = %d, want 999", h.Max)
+	}
+}
+
+// TestNilSafety proves the disabled path: nil registry, nil handles, nil
+// tracer — every operation is a no-op, never a panic.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z")
+	c.Add(1)
+	c.Inc()
+	g.Set(5)
+	g.Add(-1)
+	h.Observe(123)
+	h.ObserveDuration(time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil handles must read zero")
+	}
+	if s := r.Snapshot(); len(s.Counters) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+	r.WritePrometheus(&strings.Builder{})
+
+	var tr *Tracer
+	if tr.Sampled(0) {
+		t.Fatal("nil tracer samples nothing")
+	}
+	tr.StampIf(TraceKey{}, StageSubmit, time.Now())
+	if tr.Traces() != nil {
+		t.Fatal("nil tracer has no traces")
+	}
+}
+
+func TestPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`newtop_drops_total{layer="ring",reason="orphan"}`).Add(3)
+	r.Counter(`newtop_drops_total{layer="core",reason="stale_view"}`).Add(1)
+	r.Gauge("newtop_arena_live").Set(42)
+	r.Histogram("newtop_apply_ns").Observe(1000)
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE newtop_drops_total counter",
+		`newtop_drops_total{layer="ring",reason="orphan"} 3`,
+		`newtop_drops_total{layer="core",reason="stale_view"} 1`,
+		"# TYPE newtop_arena_live gauge",
+		"newtop_arena_live 42",
+		"# TYPE newtop_apply_ns summary",
+		`newtop_apply_ns{quantile="0.99"}`,
+		"newtop_apply_ns_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// One TYPE line per base name even with two label variants.
+	if strings.Count(out, "# TYPE newtop_drops_total") != 1 {
+		t.Fatalf("duplicate TYPE lines:\n%s", out)
+	}
+}
+
+func TestTracerStampsAndStageLatency(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(2, 8, r)
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	key := TraceKey{Group: 1, Origin: 2, Num: 4} // sampled (4 % 2 == 0)
+	tr.StampIf(key, StageSubmit, base)
+	tr.StampIf(key, StageSend, base.Add(1*time.Millisecond))
+	tr.StampIf(key, StageReceive, base.Add(3*time.Millisecond))
+	tr.StampIf(key, StageOrdered, base.Add(3*time.Millisecond))
+	tr.StampIf(key, StageDelivered, base.Add(9*time.Millisecond))
+	// Re-stamping must not move an existing stamp.
+	tr.StampIf(key, StageReceive, base.Add(50*time.Millisecond))
+	// Unsampled key is ignored entirely.
+	tr.StampIf(TraceKey{Group: 1, Origin: 2, Num: 5}, StageSubmit, base)
+
+	traces := tr.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	got := traces[0]
+	if got.Key != key {
+		t.Fatalf("key = %+v", got.Key)
+	}
+	if !got.Stamp(StageReceive).Equal(base.Add(3 * time.Millisecond)) {
+		t.Fatalf("receive stamp moved: %v", got.Stamp(StageReceive))
+	}
+	if !got.Stamp(StageStable).IsZero() {
+		t.Fatal("stable was never stamped")
+	}
+	// Delivered stage histogram fed with delivered-ordered gap (6ms),
+	// skipping the unstamped Stable stage.
+	h := r.Histogram(`newtop_trace_stage_ns{stage="delivered"}`).Snapshot()
+	if h.Count != 1 {
+		t.Fatalf("delivered stage count = %d, want 1", h.Count)
+	}
+	want := uint64(6 * time.Millisecond)
+	if h.Max < want*7/8 || h.Max > want*9/8 {
+		t.Fatalf("delivered stage gap = %dns, want ~%dns", h.Max, want)
+	}
+}
+
+func TestTracerEviction(t *testing.T) {
+	tr := NewTracer(1, 4, nil)
+	at := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	for n := 1; n <= 6; n++ {
+		tr.StampIf(TraceKey{Group: 1, Origin: 1, Num: types.MsgNum(n)}, StageReceive, at)
+	}
+	traces := tr.Traces()
+	if len(traces) != 4 {
+		t.Fatalf("got %d traces, want cap 4", len(traces))
+	}
+	if traces[0].Key.Num != 3 || traces[3].Key.Num != 6 {
+		t.Fatalf("eviction order wrong: first=%d last=%d", traces[0].Key.Num, traces[3].Key.Num)
+	}
+	// Late stamp for a retained key still lands on the right trace.
+	tr.StampIf(TraceKey{Group: 1, Origin: 1, Num: 5}, StageDelivered, at.Add(time.Millisecond))
+	for _, g := range tr.Traces() {
+		if g.Key.Num == 5 && g.Stamp(StageDelivered).IsZero() {
+			t.Fatal("stamp after eviction reshuffle lost")
+		}
+	}
+}

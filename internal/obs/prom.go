@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// splitName separates a registered metric name into its base name and the
+// inline label list (without braces): `a_total{x="1"}` → ("a_total",
+// `x="1"`).
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// series formats one exposition line: base+suffix, the merged label list,
+// and the value.
+func series(w io.Writer, base, suffix, labels, extra string, value any) {
+	all := labels
+	if extra != "" {
+		if all != "" {
+			all += ","
+		}
+		all += extra
+	}
+	if all != "" {
+		all = "{" + all + "}"
+	}
+	fmt.Fprintf(w, "%s%s%s %v\n", base, suffix, all, value)
+}
+
+// WritePrometheus writes every registered metric in the Prometheus text
+// exposition format (version 0.0.4). Counters and gauges are one series
+// each; histograms are emitted summary-style with p50/p99/p999 quantile
+// series plus _sum, _count and _max. Output order is deterministic
+// (sorted by metric name) so scrapes diff cleanly.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	snap := r.Snapshot()
+	typed := make(map[string]bool)
+	typeLine := func(base, kind string) {
+		if !typed[base] {
+			typed[base] = true
+			fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+		}
+	}
+	for _, name := range sortedNames(snap.Counters) {
+		base, labels := splitName(name)
+		typeLine(base, "counter")
+		series(w, base, "", labels, "", snap.Counters[name])
+	}
+	for _, name := range sortedNames(snap.Gauges) {
+		base, labels := splitName(name)
+		typeLine(base, "gauge")
+		series(w, base, "", labels, "", snap.Gauges[name])
+	}
+	for _, name := range sortedNames(snap.Histograms) {
+		base, labels := splitName(name)
+		h := snap.Histograms[name]
+		typeLine(base, "summary")
+		series(w, base, "", labels, `quantile="0.5"`, h.P50)
+		series(w, base, "", labels, `quantile="0.99"`, h.P99)
+		series(w, base, "", labels, `quantile="0.999"`, h.P999)
+		series(w, base, "_sum", labels, "", h.Sum)
+		series(w, base, "_count", labels, "", h.Count)
+		series(w, base, "_max", labels, "", h.Max)
+	}
+}

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"newtop/internal/types"
+)
+
+// Stage is one point in a message's delivery lifecycle. Stages are
+// stamped in increasing order at any single process; not every stage
+// occurs everywhere (only the origin stamps Submit/Send, only replicated
+// groups stamp Applied).
+type Stage uint8
+
+// Lifecycle stages, in pipeline order.
+const (
+	StageSubmit    Stage = iota // application multicast accepted, Num assigned
+	StageSend                   // first transmission (direct fan-out or ring dissemination)
+	StageReceive                // data-plane message entered the local engine
+	StageOrdered                // message took its place in the delivery queue
+	StageStable                 // passed the safe1'/stability delivery gates
+	StageDelivered              // handed to the application
+	StageApplied                // applied by the replicated state machine
+	numStages
+)
+
+// String names a stage for trace dumps and stage-latency metric labels.
+func (s Stage) String() string {
+	switch s {
+	case StageSubmit:
+		return "submit"
+	case StageSend:
+		return "send"
+	case StageReceive:
+		return "receive"
+	case StageOrdered:
+		return "ordered"
+	case StageStable:
+		return "stable"
+	case StageDelivered:
+		return "delivered"
+	case StageApplied:
+		return "applied"
+	}
+	return "unknown"
+}
+
+// TraceKey identifies one multicast message protocol-wide: the origin's
+// logical-clock number is unique per (group, origin).
+type TraceKey struct {
+	Group  types.GroupID
+	Origin types.ProcessID
+	Num    types.MsgNum
+}
+
+// Trace is the stamped lifecycle of one sampled message at one process.
+// A zero Stamps[i] means stage i did not occur here (remote origin, no
+// state machine, or the run ended first).
+type Trace struct {
+	Key    TraceKey
+	Stamps [numStages]time.Time
+}
+
+// Stamp returns the time stage s occurred (zero if it did not).
+func (t *Trace) Stamp(s Stage) time.Time { return t.Stamps[s] }
+
+// DefaultTraceCap bounds how many sampled traces a tracer retains; the
+// oldest (by first-stamp order) is evicted first, deterministically.
+const DefaultTraceCap = 1024
+
+// Tracer samples the delivery stream of one process and stamps lifecycle
+// stages. Sampling is deterministic — a message is sampled iff
+// Num % SampleEvery == 0 — so every process samples the *same* messages
+// and, in simulation, the same seed yields bit-identical traces.
+//
+// Stamps carry whatever clock the caller passes: the engine hands the
+// tracer the same `now` it was driven with, which is virtual time in sim
+// and the wall clock under the node runtime. The tracer never reads a
+// clock itself.
+//
+// On every stamp after the first, the gap from the preceding stamped
+// stage feeds a per-stage latency histogram in the registry
+// (newtop_trace_stage_ns{stage="..."}), so sampled traffic continuously
+// populates the stage-latency distribution without retaining every trace.
+type Tracer struct {
+	every uint64
+	reg   *Registry
+
+	mu     sync.Mutex
+	cap    int
+	active map[TraceKey]int // index into order
+	order  []*Trace         // insertion-ordered, evicted FIFO
+	stage  [numStages]*Histogram
+}
+
+// NewTracer creates a tracer sampling every sampleEvery-th message number
+// and retaining up to keep traces (DefaultTraceCap if keep <= 0). The
+// registry may be nil; stage-latency histograms are then skipped.
+func NewTracer(sampleEvery uint64, keep int, reg *Registry) *Tracer {
+	if sampleEvery == 0 {
+		sampleEvery = 1
+	}
+	if keep <= 0 {
+		keep = DefaultTraceCap
+	}
+	t := &Tracer{
+		every:  sampleEvery,
+		reg:    reg,
+		cap:    keep,
+		active: make(map[TraceKey]int),
+	}
+	for s := Stage(0); s < numStages; s++ {
+		t.stage[s] = reg.Histogram(`newtop_trace_stage_ns{stage="` + s.String() + `"}`)
+	}
+	return t
+}
+
+// Sampled reports whether messages numbered num are traced. Nil-safe; the
+// caller guards its stamping work with this so unsampled traffic pays one
+// branch and a modulo.
+func (t *Tracer) Sampled(num types.MsgNum) bool {
+	return t != nil && uint64(num)%t.every == 0
+}
+
+// StampIf stamps stage s of the message identified by key at now, if the
+// tracer is non-nil and the message is sampled. First write per stage
+// wins (a re-disseminated frame must not move the receive stamp).
+func (t *Tracer) StampIf(key TraceKey, s Stage, now time.Time) {
+	if !t.Sampled(key.Num) {
+		return
+	}
+	t.mu.Lock()
+	idx, ok := t.active[key]
+	if !ok {
+		if len(t.order) >= t.cap {
+			// Evict the oldest trace. Indices shift by one; rebuilding the
+			// map is O(cap) but only runs once the window is full and a
+			// *new* sampled message arrives — off the per-stamp path.
+			evicted := t.order[0]
+			copy(t.order, t.order[1:])
+			t.order = t.order[:len(t.order)-1]
+			delete(t.active, evicted.Key)
+			for k, i := range t.active {
+				t.active[k] = i - 1
+			}
+		}
+		idx = len(t.order)
+		t.order = append(t.order, &Trace{Key: key})
+		t.active[key] = idx
+	}
+	tr := t.order[idx]
+	if !tr.Stamps[s].IsZero() {
+		t.mu.Unlock()
+		return
+	}
+	tr.Stamps[s] = now
+	// Feed the stage-latency histogram with the gap from the nearest
+	// earlier stamped stage.
+	var hist *Histogram
+	var gap time.Duration
+	for prev := int(s) - 1; prev >= 0; prev-- {
+		if p := tr.Stamps[prev]; !p.IsZero() {
+			hist = t.stage[s]
+			gap = now.Sub(p)
+			break
+		}
+	}
+	t.mu.Unlock()
+	hist.ObserveDuration(gap)
+}
+
+// Traces returns the retained traces in first-stamp order. The returned
+// copies are stable; the tracer keeps accumulating.
+func (t *Tracer) Traces() []Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Trace, len(t.order))
+	for i, tr := range t.order {
+		out[i] = *tr
+	}
+	return out
+}

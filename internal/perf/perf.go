@@ -20,6 +20,7 @@ import (
 	"newtop/client"
 	"newtop/internal/core"
 	"newtop/internal/daemon"
+	"newtop/internal/obs"
 	"newtop/internal/rsm"
 	"newtop/internal/sim"
 	"newtop/internal/transport/tcpnet"
@@ -112,6 +113,25 @@ func EngineHandleMessage(b *testing.B) {
 			b.StartTimer()
 		}
 		e.HandleMessage(now, 2, msgs[i%chunk])
+	}
+}
+
+// MetricsHotPath measures one instrumented-hot-path's worth of metric
+// updates — a counter increment, a gauge set and a histogram observation
+// against pre-resolved handles, which is exactly how every layer uses the
+// registry. The CI gate pins it at 0 allocs/op: instrumentation must
+// never put allocation pressure on the paths it watches.
+func MetricsHotPath(b *testing.B) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("newtop_bench_events_total")
+	g := reg.Gauge("newtop_bench_depth")
+	h := reg.Histogram("newtop_bench_latency_ns")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		g.Set(int64(i & 1023))
+		h.Observe(int64(i))
 	}
 }
 

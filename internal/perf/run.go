@@ -57,6 +57,7 @@ var benchmarks = []struct {
 	{"EngineAtomicN9", func(b *testing.B) { EngineThroughput(b, 9, core.Atomic) }},
 	{"EngineHandleMessage", EngineHandleMessage},
 	{"EngineArenaCycle", EngineArenaCycle},
+	{"MetricsHotPath", MetricsHotPath},
 	{"RingDisseminateN9", RingDisseminateN9},
 	{"MembershipAgreement", MembershipAgreement},
 	{"GroupFormation", GroupFormation},
@@ -129,6 +130,10 @@ var DefaultGateChecks = []GateCheck{
 	{Name: "EngineSymmetricN9", Metric: "allocs/op", Factor: 1.1},
 	{Name: "EngineArenaCycle", Metric: "allocs/op", Factor: 1.5},
 	{Name: "RingDisseminateN9", Metric: "allocs/op", Factor: 2},
+	// The metrics hot path is allocation-free by construction; with a
+	// 0-alloc baseline, factor 1 means ANY steady-state allocation in a
+	// counter/gauge/histogram update fails CI.
+	{Name: "MetricsHotPath", Metric: "allocs/op", Factor: 1},
 	{Name: "TCPSendRecv", Metric: "allocs/op", Factor: 2},
 	{Name: "RSMCatchUp", Metric: "allocs/op", Factor: 2},
 	{Name: "RSMCatchUp", Metric: "ns/op", Factor: 3},

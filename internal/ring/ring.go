@@ -34,6 +34,7 @@ import (
 	"sort"
 	"time"
 
+	"newtop/internal/obs"
 	"newtop/internal/types"
 )
 
@@ -68,6 +69,42 @@ type Config struct {
 	// MineCap bounds the cache of recent own disseminations kept for pull
 	// replies and view-change re-dissemination. Zero defaults to 32.
 	MineCap int
+
+	// Metrics, when set, receives ring observability: dissemination /
+	// relay / pull counters, hop-count and reassembly-wait histograms,
+	// and labeled drop counters for orphan eviction and abandoned
+	// reassemblies. Nil disables at one branch per event.
+	Metrics *obs.Registry
+}
+
+// ringMetrics is the resolved handle set (all nil without Config.Metrics).
+type ringMetrics struct {
+	disseminations *obs.Counter   // own multicasts split onto the ring
+	relays         *obs.Counter   // payload frames forwarded to the successor
+	pulls          *obs.Counter   // re-send requests issued by Tick
+	pullsServed    *obs.Counter   // pull replies served from the own-send cache
+	redisseminated *obs.Counter   // payloads re-sent on a view change
+	hops           *obs.Histogram // hop count of payload frames at arrival
+	reassemblyWait *obs.Histogram // header-to-payload completion wait (ns)
+	dropOrphan     *obs.Counter   // parked payload evicted at orphanCap
+	dropAbandoned  *obs.Counter   // incomplete reassembly owed by a removed member
+}
+
+func newRingMetrics(reg *obs.Registry) ringMetrics {
+	if reg == nil {
+		return ringMetrics{}
+	}
+	return ringMetrics{
+		disseminations: reg.Counter("newtop_ring_disseminations_total"),
+		relays:         reg.Counter("newtop_ring_relays_total"),
+		pulls:          reg.Counter("newtop_ring_pulls_total"),
+		pullsServed:    reg.Counter("newtop_ring_pulls_served_total"),
+		redisseminated: reg.Counter("newtop_ring_redisseminations_total"),
+		hops:           reg.Histogram("newtop_ring_hops"),
+		reassemblyWait: reg.Histogram("newtop_ring_reassembly_wait_ns"),
+		dropOrphan:     reg.Counter(`newtop_drops_total{layer="ring",reason="orphan_evicted"}`),
+		dropAbandoned:  reg.Counter(`newtop_drops_total{layer="ring",reason="reassembly_abandoned"}`),
+	}
 }
 
 const (
@@ -93,6 +130,8 @@ type Ring struct {
 	curID  types.MessageID
 	curSet bool
 	curHdr *types.Message
+
+	om ringMetrics
 }
 
 // New creates a Ring for self with the given config.
@@ -103,7 +142,7 @@ func New(cfg Config) *Ring {
 	if cfg.MineCap <= 0 {
 		cfg.MineCap = defaultMineCap
 	}
-	return &Ring{cfg: cfg, groups: make(map[types.GroupID]*groupRing)}
+	return &Ring{cfg: cfg, groups: make(map[types.GroupID]*groupRing), om: newRingMetrics(cfg.Metrics)}
 }
 
 // groupRing is the per-group dissemination state.
@@ -206,6 +245,7 @@ func (r *Ring) OnSend(to types.ProcessID, m *types.Message) []Outbound {
 		r.curSet = true
 		r.curHdr = hdrFrame(m)
 		gr.remember(m, r.cfg.MineCap)
+		r.om.disseminations.Inc()
 		outs := []Outbound{{To: succ, Msg: ringDataFrame(m, 0)}}
 		if to != succ {
 			outs = append(outs, Outbound{To: to, Msg: r.curHdr})
@@ -274,16 +314,21 @@ func (gr *groupRing) markSeen(id types.MessageID) {
 	}
 }
 
-func (gr *groupRing) park(id types.MessageID, m *types.Message) {
+// park holds a payload that arrived before its header; it reports whether
+// the oldest orphan was evicted to make room (a silent drop the engine
+// heals through gap/suspicion recovery — the drop counter makes it loud).
+func (gr *groupRing) park(id types.MessageID, m *types.Message) (evicted bool) {
 	if _, ok := gr.orphans[id]; ok {
-		return
+		return false
 	}
 	gr.orphans[id] = m
 	gr.orphanOrder = append(gr.orphanOrder, id)
 	if len(gr.orphanOrder) > orphanCap {
 		delete(gr.orphans, gr.orphanOrder[0])
 		gr.orphanOrder = gr.orphanOrder[1:]
+		return true
 	}
+	return false
 }
 
 // OnReceive threads one inbound message through the ring layer. The
@@ -323,12 +368,16 @@ func (r *Ring) onRingData(now time.Time, from types.ProcessID, m *types.Message)
 		// successor got its copy when we first relayed.
 		return nil, nil
 	}
+	if m.Hops != types.RingNoRelay {
+		r.om.hops.Observe(int64(m.Hops))
+	}
 	if m.Hops != types.RingNoRelay && len(gr.members) >= 3 {
 		succ := successor(gr.members, r.cfg.Self)
 		if succ != types.NilProcess && succ != m.Sender && int(m.Hops)+1 < len(gr.members) {
 			rm := *m
 			rm.Hops++
 			outs = append(outs, Outbound{To: succ, Msg: &rm})
+			r.om.relays.Inc()
 		}
 	}
 	// Hops==0 straight from the disseminator means the frame arrived on
@@ -339,6 +388,9 @@ func (r *Ring) onRingData(now time.Time, from types.ProcessID, m *types.Message)
 	q := gr.pend[m.Sender]
 	if q != nil {
 		if i := q.find(id); i >= 0 {
+			if it := &q.items[i]; !it.complete && !it.since.IsZero() {
+				r.om.reassemblyWait.ObserveDuration(now.Sub(it.since))
+			}
 			q.items[i].msg = reconstruct(m)
 			q.items[i].complete = true
 			gr.markSeen(id)
@@ -347,7 +399,9 @@ func (r *Ring) onRingData(now time.Time, from types.ProcessID, m *types.Message)
 		}
 	}
 	if !ordered {
-		gr.park(id, reconstruct(m))
+		if gr.park(id, reconstruct(m)) {
+			r.om.dropOrphan.Inc()
+		}
 		return outs, delivers
 	}
 	gr.markSeen(id)
@@ -399,6 +453,7 @@ func (r *Ring) onRingPull(from types.ProcessID, m *types.Message) []Outbound {
 	want := types.MessageID{Sender: m.Origin, Group: m.Group, Seq: m.Seq}
 	for _, mm := range gr.mine {
 		if mm.ID() == want {
+			r.om.pullsServed.Inc()
 			return []Outbound{{To: from, Msg: ringDataFrame(mm, types.RingNoRelay)}}
 		}
 	}
@@ -436,6 +491,7 @@ func (r *Ring) Tick(now time.Time) (outs []Outbound) {
 					continue
 				}
 				it.lastPull = now
+				r.om.pulls.Inc()
 				outs = append(outs, Outbound{To: dissem, Msg: &types.Message{
 					Kind: types.KindRingPull, Group: g,
 					Sender: r.cfg.Self, Origin: it.msg.Origin, Seq: it.msg.Seq,
@@ -477,6 +533,8 @@ func (r *Ring) OnViewChange(g types.GroupID, members, removed []types.ProcessID)
 		for i := range q.items {
 			if q.items[i].complete {
 				delivers = append(delivers, Delivered{From: p, Msg: q.items[i].msg})
+			} else {
+				r.om.dropAbandoned.Inc()
 			}
 		}
 		delete(gr.pend, p)
@@ -485,6 +543,7 @@ func (r *Ring) OnViewChange(g types.GroupID, members, removed []types.ProcessID)
 		if succ := successor(gr.members, r.cfg.Self); succ != types.NilProcess {
 			for _, mm := range gr.mine {
 				outs = append(outs, Outbound{To: succ, Msg: ringDataFrame(mm, 0)})
+				r.om.redisseminated.Inc()
 			}
 		}
 	}

@@ -2,10 +2,12 @@ package rsm
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
 	"newtop/internal/node"
+	"newtop/internal/obs"
 	"newtop/internal/types"
 )
 
@@ -111,6 +113,46 @@ type Replica struct {
 	wg        sync.WaitGroup
 
 	resyncEvery time.Duration
+
+	// Observability (registry and tracer come from the node). The core
+	// stays pure, so the replica mirrors its Stats deltas into registry
+	// counters after every mutation; proposeTimes is the FIFO of Propose
+	// wall-clock stamps consumed as own commands come back applied.
+	om           rsmMetrics
+	trc          *obs.Tracer
+	lastStats    Stats
+	proposeTimes []time.Time
+}
+
+// rsmMetrics holds the replica's pre-resolved observability handles,
+// labeled by group (one replica per group per node).
+type rsmMetrics struct {
+	applyLatency *obs.Histogram // propose → local apply, wall clock
+	resyncs      *obs.Counter
+	chunksIn     *obs.Counter
+	snapshotsIn  *obs.Counter
+}
+
+func newRsmMetrics(reg *obs.Registry, g types.GroupID) rsmMetrics {
+	lbl := func(name string) string {
+		return fmt.Sprintf(`%s{group="%d"}`, name, uint64(g))
+	}
+	return rsmMetrics{
+		applyLatency: reg.Histogram(lbl("newtop_rsm_propose_apply_ns")),
+		resyncs:      reg.Counter(lbl("newtop_rsm_resyncs_total")),
+		chunksIn:     reg.Counter(lbl("newtop_rsm_chunks_in_total")),
+		snapshotsIn:  reg.Counter(lbl("newtop_rsm_snapshots_in_total")),
+	}
+}
+
+// syncStats mirrors the pure core's counters into the registry. Called
+// with mu held after any core mutation.
+func (r *Replica) syncStats() {
+	s := r.core.Stats()
+	r.om.resyncs.Add(s.Resyncs - r.lastStats.Resyncs)
+	r.om.chunksIn.Add(s.ChunksIn - r.lastStats.ChunksIn)
+	r.om.snapshotsIn.Add(s.SnapshotsIn - r.lastStats.SnapshotsIn)
+	r.lastStats = s
 }
 
 // Replicate attaches a replicated state machine to group g on node n and
@@ -155,6 +197,8 @@ func Replicate(n *node.Node, g types.GroupID, sm StateMachine, opts ...Option) (
 		ready:       make(chan struct{}),
 		done:        make(chan struct{}),
 		resyncEvery: o.resyncEvery,
+		om:          newRsmMetrics(n.Metrics(), g),
+		trc:         n.Tracer(),
 	}
 	r.cond = sync.NewCond(&r.mu)
 	if !o.catchUp && o.reconcile == nil {
@@ -215,6 +259,7 @@ func (r *Replica) Propose(cmd []byte) error {
 		return err
 	}
 	r.proposed++
+	r.proposeTimes = append(r.proposeTimes, time.Now())
 	return nil
 }
 
@@ -355,6 +400,7 @@ func (r *Replica) run(sub <-chan node.Delivery, initial [][]byte) {
 			if chunks == lastChunks {
 				// No transfer progress for a whole interval: new round.
 				pending = r.core.Resync()
+				r.syncStats()
 			}
 			lastChunks = chunks
 			r.mu.Unlock()
@@ -381,6 +427,10 @@ func (r *Replica) step(d node.Delivery) {
 	r.mu.Lock()
 	out := r.core.Step(d.Sender, d.Payload)
 	r.apply(out)
+	if out.Applied > 0 && r.trc.Sampled(d.Num) {
+		key := obs.TraceKey{Group: d.Group, Origin: d.Sender, Num: d.Num}
+		r.trc.StampIf(key, obs.StageApplied, time.Now())
+	}
 }
 
 // apply finishes an outcome produced under mu (by Step or PruneLive): it
@@ -389,6 +439,16 @@ func (r *Replica) step(d node.Delivery) {
 // events. Must be called with mu held; returns with it released.
 func (r *Replica) apply(out Outcome) {
 	r.appliedOwn += uint64(out.OwnApplied + out.OwnCovered)
+	for i := 0; i < out.OwnApplied && len(r.proposeTimes) > 0; i++ {
+		r.om.applyLatency.ObserveDuration(time.Since(r.proposeTimes[0]))
+		r.proposeTimes = r.proposeTimes[1:]
+	}
+	// Commands covered by a snapshot were never applied locally; their
+	// stamps just expire.
+	for i := 0; i < out.OwnCovered && len(r.proposeTimes) > 0; i++ {
+		r.proposeTimes = r.proposeTimes[1:]
+	}
+	r.syncStats()
 	var barrier chan struct{}
 	if out.Barrier != 0 {
 		barrier = r.barriers[out.Barrier]

@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"newtop/internal/types"
@@ -40,8 +39,8 @@ type peerSender struct {
 	nframes int
 	stopped bool
 
-	conn net.Conn // owned by run(); nil when disconnected
-	spare []byte  // double buffer: swapped with pending at each drain
+	conn  net.Conn // owned by run(); nil when disconnected
+	spare []byte   // double buffer: swapped with pending at each drain
 
 	// Dial backoff, owned by run(): after a failed dial, batches are
 	// dropped without touching the network until retryAt passes. backoff
@@ -133,6 +132,7 @@ func (ps *peerSender) run() {
 
 		if conn == nil {
 			if !ps.retryAt.IsZero() && time.Now().Before(ps.retryAt) {
+				ps.ep.om.dropBackoff.Add(uint64(nframes))
 				reclaim()
 				continue // batch lost: peer in dial backoff (cut link)
 			}
@@ -141,12 +141,17 @@ func (ps *peerSender) run() {
 				// Exponential backoff between dial attempts.
 				if ps.backoff == 0 {
 					ps.backoff = ps.ep.cfg.DialBackoff
+					ps.ep.om.backoffPeers.Add(1)
 				} else if ps.backoff < 8*ps.ep.cfg.DialBackoff {
 					ps.backoff *= 2
 				}
 				ps.retryAt = time.Now().Add(ps.backoff)
+				ps.ep.om.dropDialFailed.Add(uint64(nframes))
 				reclaim()
 				continue // batch lost: peer unreachable (cut link)
+			}
+			if ps.backoff != 0 {
+				ps.ep.om.backoffPeers.Add(-1)
 			}
 			ps.backoff = 0
 			ps.retryAt = time.Time{}
@@ -169,14 +174,16 @@ func (ps *peerSender) run() {
 		_, err := conn.Write(batch)
 		reclaim()
 		if err != nil {
+			ps.ep.om.writeErrors.Inc()
 			_ = conn.Close()
 			ps.mu.Lock()
 			ps.conn = nil
 			ps.mu.Unlock()
 			continue
 		}
-		atomic.AddUint64(&ps.ep.batchWrites, 1)
-		atomic.AddUint64(&ps.ep.framesSent, uint64(nframes))
+		ps.ep.om.batchWrites.Inc()
+		ps.ep.om.framesSent.Add(uint64(nframes))
+		ps.ep.om.framesPerWrite.Observe(int64(nframes))
 	}
 }
 
@@ -190,10 +197,10 @@ func appendFrame(dst []byte, m *types.Message) []byte {
 }
 
 func (ps *peerSender) dial() (net.Conn, error) {
-	atomic.AddUint64(&ps.ep.dialAttempts, 1)
+	ps.ep.om.dialAttempts.Inc()
 	conn, err := net.DialTimeout("tcp", ps.addr, ps.ep.cfg.DialTimeout)
 	if err != nil {
-		atomic.AddUint64(&ps.ep.dialFailures, 1)
+		ps.ep.om.dialFailures.Inc()
 		return nil, errPeerGone
 	}
 	var hello [4]byte
@@ -202,7 +209,7 @@ func (ps *peerSender) dial() (net.Conn, error) {
 	if _, err := conn.Write(hello[:]); err != nil {
 		// A peer that accepts but can't take the hello is just as
 		// unreachable as one that refuses the dial.
-		atomic.AddUint64(&ps.ep.dialFailures, 1)
+		ps.ep.om.dialFailures.Inc()
 		_ = conn.Close()
 		return nil, errPeerGone
 	}

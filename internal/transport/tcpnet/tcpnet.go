@@ -19,9 +19,9 @@ import (
 	"io"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"newtop/internal/obs"
 	"newtop/internal/transport"
 	"newtop/internal/types"
 	"newtop/internal/wire"
@@ -57,6 +57,11 @@ type Config struct {
 	// backlog still coalesces). It trades that much first-message latency
 	// for one syscall per burst instead of one per message.
 	FlushWindow time.Duration
+	// Metrics, when set, receives the endpoint's observability series
+	// (batch/dial counters, frames-per-write histogram, labeled drop
+	// counters, buffer-pool tier hits). When nil the endpoint keeps a
+	// private registry so BatchStats/DialStats still count.
+	Metrics *obs.Registry
 }
 
 // Endpoint is a TCP-backed transport endpoint.
@@ -77,12 +82,7 @@ type Endpoint struct {
 	done chan struct{}
 	wg   sync.WaitGroup
 
-	// Batching counters (atomic): framed writes issued and frames carried.
-	batchWrites uint64
-	framesSent  uint64
-	// Dial counters (atomic): attempts made and failures among them.
-	dialAttempts uint64
-	dialFailures uint64
+	om epMetrics
 }
 
 var _ transport.Endpoint = (*Endpoint)(nil)
@@ -106,6 +106,10 @@ func New(cfg Config) (*Endpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tcpnet listen: %w", err)
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	ep := &Endpoint{
 		cfg:     cfg,
 		ln:      ln,
@@ -113,6 +117,7 @@ func New(cfg Config) (*Endpoint, error) {
 		inConns: make(map[net.Conn]bool),
 		recv:    make(chan transport.Inbound),
 		done:    make(chan struct{}),
+		om:      newEpMetrics(reg),
 	}
 	ep.recvCond = sync.NewCond(&ep.recvMu)
 	ep.wg.Add(2)
@@ -134,16 +139,17 @@ func (ep *Endpoint) flushWindow() time.Duration {
 
 // BatchStats reports how many framed writes this endpoint has issued and
 // how many frames they carried — frames/writes is the realised batching
-// factor.
+// factor. It is a view over the endpoint's metrics registry.
 func (ep *Endpoint) BatchStats() (writes, frames uint64) {
-	return atomic.LoadUint64(&ep.batchWrites), atomic.LoadUint64(&ep.framesSent)
+	return ep.om.batchWrites.Value(), ep.om.framesSent.Value()
 }
 
 // DialStats reports outbound dial attempts and how many of them failed —
 // under backoff, a dead peer costs one attempt per backoff window, not
-// one per drained burst.
+// one per drained burst. It is a view over the endpoint's metrics
+// registry.
 func (ep *Endpoint) DialStats() (attempts, failures uint64) {
-	return atomic.LoadUint64(&ep.dialAttempts), atomic.LoadUint64(&ep.dialFailures)
+	return ep.om.dialAttempts.Value(), ep.om.dialFailures.Value()
 }
 
 // Self implements transport.Endpoint.
@@ -331,6 +337,7 @@ func (ep *Endpoint) readLoop(conn net.Conn) {
 	from := types.ProcessID(binary.BigEndian.Uint32(hello[:]))
 
 	cur := recvPool.Get(recvBufSize)
+	ep.om.bufBase.Inc()
 	defer func() { cur.Release() }()
 	start, end := 0, 0 // unparsed bytes live in cur.Bytes()[start:end]
 	for {
@@ -346,6 +353,11 @@ func (ep *Endpoint) readLoop(conn net.Conn) {
 			need := recvBufSize
 			if fs := frameSize(cur.Bytes()[start:end]); fs > need {
 				need = fs
+			}
+			if need > recvBufSize {
+				ep.om.bufOversize.Inc()
+			} else {
+				ep.om.bufBase.Inc()
 			}
 			nb := recvPool.Get(need)
 			n := copy(nb.Bytes(), cur.Bytes()[start:end])
@@ -384,6 +396,7 @@ func (ep *Endpoint) parseFrames(from types.ProcessID, cur *wire.Buf, start, end 
 	for end-start >= 4 {
 		n := binary.BigEndian.Uint32(data[start:])
 		if n > MaxFrame {
+			ep.om.dropFrameTooBig.Inc()
 			return start, fmt.Errorf("tcpnet: frame of %d bytes exceeds limit", n)
 		}
 		total := 4 + int(n)
@@ -392,6 +405,7 @@ func (ep *Endpoint) parseFrames(from types.ProcessID, cur *wire.Buf, start, end 
 		}
 		m, err := wire.UnmarshalBorrowed(data[start+4 : start+total])
 		if err != nil {
+			ep.om.dropDecode.Inc()
 			return start, fmt.Errorf("tcpnet decode: %w", err)
 		}
 		cur.Retain()

@@ -62,6 +62,7 @@ import (
 
 	"newtop/internal/core"
 	"newtop/internal/node"
+	"newtop/internal/obs"
 	"newtop/internal/rsm"
 	"newtop/internal/transport"
 	"newtop/internal/transport/tcpnet"
@@ -196,7 +197,30 @@ type Config struct {
 	// AcceptInvite, when set, decides group-formation invitations
 	// (§5.3 step 2). Nil accepts everything.
 	AcceptInvite func(GroupID, []ProcessID) bool
+
+	// TraceSampleEvery enables delivery-stream tracing: one in every N
+	// data messages (by Lamport number) is stamped through its lifecycle
+	// stages — submit, send, receive, ordered, stable, delivered, applied.
+	// Zero disables tracing. Sampling by message number means every
+	// process samples the same messages, so traces line up across the
+	// group.
+	TraceSampleEvery uint64
+	// TraceKeep bounds how many completed traces are retained (FIFO
+	// eviction; default 1024). Only meaningful with TraceSampleEvery > 0.
+	TraceKeep int
 }
+
+// MetricsSnapshot is a point-in-time copy of a process's metric series:
+// counters, gauges, and histogram summaries keyed by metric name (labels
+// baked into the name, Prometheus-style).
+type MetricsSnapshot = obs.Snapshot
+
+// HistogramSnapshot summarises one latency/size distribution.
+type HistogramSnapshot = obs.HistSnapshot
+
+// Trace is one sampled message's stamped lifecycle (see
+// Config.TraceSampleEvery).
+type Trace = obs.Trace
 
 // Process is a running Newtop process: the protocol engine, its timers and
 // its transport, driven by a background event loop.
@@ -204,6 +228,8 @@ type Process struct {
 	n    *node.Node
 	tcp  *tcpnet.Endpoint
 	self ProcessID
+	reg  *obs.Registry
+	trc  *obs.Tracer
 }
 
 // Start launches a process with the given configuration.
@@ -213,6 +239,13 @@ func Start(cfg Config) (*Process, error) {
 	}
 	if (cfg.Network == nil) == (cfg.ListenAddr == "") {
 		return nil, errors.New("newtop: set exactly one of Config.Network or Config.ListenAddr")
+	}
+	// One registry per process: every layer — engine, ring, transport,
+	// node — resolves its handles against it, and Metrics() snapshots it.
+	reg := obs.NewRegistry()
+	var trc *obs.Tracer
+	if cfg.TraceSampleEvery > 0 {
+		trc = obs.NewTracer(cfg.TraceSampleEvery, cfg.TraceKeep, reg)
 	}
 	var (
 		ep  transport.Endpoint
@@ -233,6 +266,7 @@ func Start(cfg Config) (*Process, error) {
 			DialBackoff:  cfg.DialBackoff,
 			WriteTimeout: cfg.WriteTimeout,
 			FlushWindow:  cfg.FlushWindow,
+			Metrics:      reg,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("newtop: %w", err)
@@ -247,6 +281,8 @@ func Start(cfg Config) (*Process, error) {
 		SignatureViews:    cfg.SignatureViews,
 		FlowControlWindow: cfg.FlowControlWindow,
 		AcceptInvite:      cfg.AcceptInvite,
+		Metrics:           reg,
+		Tracer:            trc,
 		// The node runtime's transports marshal frames inside Send and
 		// its effect loop never retains engine messages, so the engine
 		// can recycle its outbound message structs.
@@ -255,8 +291,9 @@ func Start(cfg Config) (*Process, error) {
 		HealProbeEvery: cfg.HealProbeInterval,
 		RingThreshold:  cfg.RingThreshold,
 		RingPullAfter:  cfg.RingPullAfter,
+		Metrics:        reg,
 	})
-	return &Process{n: n, tcp: tcp, self: cfg.Self}, nil
+	return &Process{n: n, tcp: tcp, self: cfg.Self, reg: reg, trc: trc}, nil
 }
 
 // Self returns the process identifier.
@@ -315,6 +352,26 @@ func (p *Process) Stats() Stats { return p.n.Stats() }
 // verifying that a superseded or departed group has gone quiet (the count
 // freezes once the process leaves g).
 func (p *Process) GroupSends(g GroupID) uint64 { return p.n.GroupSends(g) }
+
+// Metrics snapshots every metric series the process's layers have
+// registered: engine drop/stall counters and depth gauges, ring and
+// transport activity, node probe traffic, replica latencies. Keys are
+// Prometheus-style metric names with labels baked in.
+func (p *Process) Metrics() MetricsSnapshot { return p.reg.Snapshot() }
+
+// MetricsRegistry exposes the process's live metric registry, e.g. for an
+// HTTP scrape endpoint (see Registry.WritePrometheus) or for sharing one
+// registry between a process and its clients.
+func (p *Process) MetricsRegistry() *obs.Registry { return p.reg }
+
+// Traces returns the retained sampled delivery traces (empty unless
+// Config.TraceSampleEvery was set).
+func (p *Process) Traces() []Trace {
+	if p.trc == nil {
+		return nil
+	}
+	return p.trc.Traces()
+}
 
 // Close stops the process and releases its transport.
 func (p *Process) Close() error { return p.n.Close() }
