@@ -73,6 +73,11 @@ type Config struct {
 	// RetryWait is the pause before retrying after a StRetry response
 	// that carries no hint of its own (default 50ms).
 	RetryWait time.Duration
+	// MaxRetryWait caps a server-supplied RetryAfter hint (default 3s).
+	// The hint is advisory: a buggy or hostile daemon must not be able to
+	// park a session for minutes on one response. Clamps are counted in
+	// the metrics registry (newtop_client_retry_clamped_total).
+	MaxRetryWait time.Duration
 	// Metrics, when set, receives the session's observability series
 	// (per-op latency histograms, routing counters). When nil the client
 	// keeps a private registry so Stats still counts.
@@ -92,16 +97,20 @@ func (cfg Config) withDefaults() Config {
 	if cfg.RetryWait <= 0 {
 		cfg.RetryWait = 50 * time.Millisecond
 	}
+	if cfg.MaxRetryWait <= 0 {
+		cfg.MaxRetryWait = 3 * time.Second
+	}
 	return cfg
 }
 
 // Stats counts a session's routing activity.
 type Stats struct {
-	Ops       uint64 // requests that completed (any final status)
-	Failovers uint64 // pin moved because a connection died
-	Redirects uint64 // pin moved because a daemon answered NOT_SERVING
-	Retries   uint64 // RETRY responses honoured
-	Unacked   uint64 // writes that returned ErrUnacked
+	Ops         uint64 // requests that completed (any final status)
+	Failovers   uint64 // pin moved because a connection died
+	Redirects   uint64 // pin moved because a daemon answered NOT_SERVING
+	Retries     uint64 // RETRY responses honoured
+	Unacked     uint64 // writes that returned ErrUnacked
+	RetryClamps uint64 // server RetryAfter hints clamped to MaxRetryWait
 }
 
 // clientMetrics holds the session's pre-resolved observability handles.
@@ -111,6 +120,7 @@ type clientMetrics struct {
 	redirects       *obs.Counter
 	retries         *obs.Counter
 	unacked         *obs.Counter
+	retryClamps     *obs.Counter // server RetryAfter hints clamped to MaxRetryWait
 	barrierUpgrades *obs.Counter // plain Gets upgraded to barrier reads after a moved pin
 
 	// Per-op end-to-end latency (including retries and failovers).
@@ -128,6 +138,7 @@ func newClientMetrics(reg *obs.Registry) clientMetrics {
 		redirects:       reg.Counter("newtop_client_redirects_total"),
 		retries:         reg.Counter("newtop_client_retries_total"),
 		unacked:         reg.Counter("newtop_client_unacked_total"),
+		retryClamps:     reg.Counter("newtop_client_retry_clamped_total"),
 		barrierUpgrades: reg.Counter("newtop_client_barrier_upgrades_total"),
 		opGet:           reg.Histogram(`newtop_client_op_ns{op="get"}`),
 		opBGet:          reg.Histogram(`newtop_client_op_ns{op="barrier_get"}`),
@@ -176,6 +187,9 @@ type Client struct {
 	pinned string // address of the pinned daemon ("" when unpinned)
 	fence  bool   // pin moved: upgrade the next read to a barrier read
 	closed bool
+	// closedCh is closed by Close so retry backoffs (which sleep without
+	// holding mu) unblock immediately instead of serving out their wait.
+	closedCh chan struct{}
 
 	reg *obs.Registry
 	cm  clientMetrics
@@ -207,7 +221,7 @@ func (cfg Config) Dial(addrs ...string) (*Client, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("client: Dial needs at least one address")
 	}
-	c := &Client{cfg: cfg.withDefaults()}
+	c := &Client{cfg: cfg.withDefaults(), closedCh: make(chan struct{})}
 	c.reg = c.cfg.Metrics
 	if c.reg == nil {
 		c.reg = obs.NewRegistry()
@@ -248,11 +262,12 @@ func (c *Client) Endpoints() []string {
 // session's metrics registry.
 func (c *Client) Stats() Stats {
 	return Stats{
-		Ops:       c.cm.ops.Value(),
-		Failovers: c.cm.failovers.Value(),
-		Redirects: c.cm.redirects.Value(),
-		Retries:   c.cm.retries.Value(),
-		Unacked:   c.cm.unacked.Value(),
+		Ops:         c.cm.ops.Value(),
+		Failovers:   c.cm.failovers.Value(),
+		Redirects:   c.cm.redirects.Value(),
+		Retries:     c.cm.retries.Value(),
+		Unacked:     c.cm.unacked.Value(),
+		RetryClamps: c.cm.retryClamps.Value(),
 	}
 }
 
@@ -265,9 +280,28 @@ func (c *Client) Metrics() *obs.Registry { return c.reg }
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.closed = true
+	if !c.closed {
+		c.closed = true
+		close(c.closedCh)
+	}
 	c.dropLocked()
 	return nil
+}
+
+// sleep pauses for d, returning false immediately if the session is
+// closed meanwhile — a retry backoff must never outlive its session.
+func (c *Client) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return !c.isClosed()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-c.closedCh:
+		return false
+	case <-t.C:
+		return true
+	}
 }
 
 // Get reads a key with read-your-writes consistency (relative to this
@@ -275,10 +309,19 @@ func (c *Client) Close() error {
 // upgraded to a barrier read once, restoring the guarantee on the new
 // daemon.
 func (c *Client) Get(key string) (string, bool, error) {
+	return c.GetAt(time.Time{}, key)
+}
+
+// GetAt is Get with an explicit intended-start time for latency
+// accounting: the op's histogram sample is measured from intended (the
+// moment the operation was scheduled to fire) instead of from the call,
+// so open-loop drivers record coordinated-omission-free latency. A zero
+// intended behaves exactly like Get.
+func (c *Client) GetAt(intended time.Time, key string) (string, bool, error) {
 	if err := clientproto.ValidKey(key); err != nil {
 		return "", false, fmt.Errorf("client: %w", err)
 	}
-	resp, err := c.do(&clientproto.Request{Op: clientproto.OpGet, Key: key}, true)
+	resp, err := c.do(&clientproto.Request{Op: clientproto.OpGet, Key: key}, true, intended)
 	if err != nil {
 		return "", false, err
 	}
@@ -289,10 +332,16 @@ func (c *Client) Get(key string) (string, bool, error) {
 // total-order barrier first, so the read observes every write — by any
 // session — ordered before it.
 func (c *Client) BarrierGet(key string) (string, bool, error) {
+	return c.BarrierGetAt(time.Time{}, key)
+}
+
+// BarrierGetAt is BarrierGet with an explicit intended-start time (see
+// GetAt).
+func (c *Client) BarrierGetAt(intended time.Time, key string) (string, bool, error) {
 	if err := clientproto.ValidKey(key); err != nil {
 		return "", false, fmt.Errorf("client: %w", err)
 	}
-	resp, err := c.do(&clientproto.Request{Op: clientproto.OpBarrierGet, Key: key}, true)
+	resp, err := c.do(&clientproto.Request{Op: clientproto.OpBarrierGet, Key: key}, true, intended)
 	if err != nil {
 		return "", false, err
 	}
@@ -302,22 +351,32 @@ func (c *Client) BarrierGet(key string) (string, bool, error) {
 // Put writes key=value. A nil return means the write was applied through
 // the total order (replicated); ErrUnacked means the outcome is unknown.
 func (c *Client) Put(key, value string) error {
+	return c.PutAt(time.Time{}, key, value)
+}
+
+// PutAt is Put with an explicit intended-start time (see GetAt).
+func (c *Client) PutAt(intended time.Time, key, value string) error {
 	if err := clientproto.ValidKey(key); err != nil {
 		return fmt.Errorf("client: %w", err)
 	}
 	if err := clientproto.ValidValue(value); err != nil {
 		return fmt.Errorf("client: %w", err)
 	}
-	_, err := c.do(&clientproto.Request{Op: clientproto.OpPut, Key: key, Value: value}, false)
+	_, err := c.do(&clientproto.Request{Op: clientproto.OpPut, Key: key, Value: value}, false, intended)
 	return err
 }
 
 // Del deletes a key, with Put's acknowledgement semantics.
 func (c *Client) Del(key string) error {
+	return c.DelAt(time.Time{}, key)
+}
+
+// DelAt is Del with an explicit intended-start time (see GetAt).
+func (c *Client) DelAt(intended time.Time, key string) error {
 	if err := clientproto.ValidKey(key); err != nil {
 		return fmt.Errorf("client: %w", err)
 	}
-	_, err := c.do(&clientproto.Request{Op: clientproto.OpDel, Key: key}, false)
+	_, err := c.do(&clientproto.Request{Op: clientproto.OpDel, Key: key}, false, intended)
 	return err
 }
 
@@ -347,7 +406,7 @@ type Status struct {
 // served even by a daemon that is still catching up or reconciling
 // (Ready false) — it is how progress is watched from outside.
 func (c *Client) Status() (Status, error) {
-	resp, err := c.do(&clientproto.Request{Op: clientproto.OpStatus}, true)
+	resp, err := c.do(&clientproto.Request{Op: clientproto.OpStatus}, true, time.Time{})
 	if err != nil {
 		return Status{}, err
 	}
@@ -361,13 +420,21 @@ func (c *Client) Status() (Status, error) {
 
 // do runs one logical operation: route, retry, redirect, fail over, until
 // a final response or the failover budget runs out. idempotent marks
-// operations safe to resend after a torn exchange. The operation lock is
-// held throughout; the state lock only in slivers, so Close interrupts a
-// stuck exchange rather than waiting for it.
-func (c *Client) do(req *clientproto.Request, idempotent bool) (clientproto.Response, error) {
+// operations safe to resend after a torn exchange. intended, when
+// non-zero, is the operation's scheduled arrival time: latency is then
+// measured from it — not from when the op got the lock — so an open-loop
+// driver's histograms are coordinated-omission-free (queueing delay ahead
+// of the session counts against the service, as a real user experiences
+// it). The operation lock is held throughout; the state lock only in
+// slivers, so Close interrupts a stuck exchange rather than waiting for
+// it.
+func (c *Client) do(req *clientproto.Request, idempotent bool, intended time.Time) (clientproto.Response, error) {
 	c.opMu.Lock()
 	defer c.opMu.Unlock()
 	start := time.Now()
+	if !intended.IsZero() {
+		start = intended
+	}
 	defer func() {
 		// End-to-end latency, retries and failovers included: the number a
 		// caller actually experiences.
@@ -393,7 +460,9 @@ func (c *Client) do(req *clientproto.Request, idempotent bool) (clientproto.Resp
 			lastErr = err
 			// Every known endpoint refused a connection; pause before
 			// sweeping them again (a crashed daemon may be restarting).
-			time.Sleep(c.cfg.RetryWait)
+			if !c.sleep(c.cfg.RetryWait) {
+				return clientproto.Response{}, ErrClosed
+			}
 			continue
 		}
 		// A moved pin downgrades read-your-writes until one barrier read
@@ -457,7 +526,9 @@ func (c *Client) do(req *clientproto.Request, idempotent bool) (clientproto.Resp
 			}
 			c.cm.retries.Inc()
 			c.mu.Unlock()
-			time.Sleep(c.cfg.RetryWait)
+			if !c.sleep(c.cfg.RetryWait) {
+				return clientproto.Response{}, ErrClosed
+			}
 			continue
 		case clientproto.StNotServing:
 			c.cm.redirects.Inc()
@@ -472,7 +543,9 @@ func (c *Client) do(req *clientproto.Request, idempotent bool) (clientproto.Resp
 				// already knew): without a pause, two daemons pointing
 				// at each other would spin the session through a hot
 				// dial/redirect loop for the whole failover budget.
-				time.Sleep(c.cfg.RetryWait)
+				if !c.sleep(c.cfg.RetryWait) {
+					return clientproto.Response{}, ErrClosed
+				}
 			}
 			continue
 		case clientproto.StRetry:
@@ -481,9 +554,16 @@ func (c *Client) do(req *clientproto.Request, idempotent bool) (clientproto.Resp
 			wait := resp.RetryAfter
 			if wait <= 0 {
 				wait = c.cfg.RetryWait
+			} else if wait > c.cfg.MaxRetryWait {
+				// The hint is advisory — a daemon must not be able to
+				// park this session for minutes on one response.
+				wait = c.cfg.MaxRetryWait
+				c.cm.retryClamps.Inc()
 			}
 			lastErr = fmt.Errorf("daemon busy: %s", resp.Reason)
-			time.Sleep(wait)
+			if !c.sleep(wait) {
+				return clientproto.Response{}, ErrClosed
+			}
 			continue
 		default:
 			c.dropLocked()

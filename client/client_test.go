@@ -452,6 +452,166 @@ func TestServerUnknownOutcomeSurfacesAsUnacked(t *testing.T) {
 	}
 }
 
+func TestCloseDuringRetryBackoffReturnsPromptly(t *testing.T) {
+	// A daemon stuck mid-reconcile answers RETRY with a long hint; the
+	// session honours it by sleeping. Close during that backoff must
+	// return the in-flight op immediately — the old time.Sleep held the
+	// op (and anyone waiting on the op lock) for the full hint.
+	d := newFakeDaemon(t, func(clientproto.Request, net.Conn) *clientproto.Response {
+		return &clientproto.Response{Status: clientproto.StRetry, RetryAfter: 2 * time.Second, Reason: "reconciling"}
+	})
+	cfg := testConfig()
+	cfg.FailoverTimeout = 30 * time.Second
+	cfg.MaxRetryWait = 10 * time.Second // out of the way: the test is about the sleep, not the clamp
+	c, err := cfg.Dial(d.addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		err := c.Put("k", "v")
+		got <- err
+	}()
+	// Let the Put receive its first RETRY and enter the backoff sleep.
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Stats().Retries == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("Put never reached its first RETRY")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	start := time.Now()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-got:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("Put interrupted mid-backoff = %v, want ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Put still blocked 1s after Close: backoff not interruptible")
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("backoff released %v after Close, want prompt", elapsed)
+	}
+}
+
+func TestCloseDuringDialSweepBackoffReturnsPromptly(t *testing.T) {
+	// All endpoints down: the session pauses RetryWait between endpoint
+	// sweeps. Close during that pause must interrupt it too.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	h, _ := kvHandler()
+	d := newFakeDaemon(t, h)
+	cfg := testConfig()
+	cfg.RetryWait = 5 * time.Second
+	cfg.FailoverTimeout = 60 * time.Second
+	cfg.DialTimeout = 100 * time.Millisecond
+	c, err := cfg.Dial(d.addr(), deadAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.kill()
+	_ = ln.Close()
+	got := make(chan error, 1)
+	go func() {
+		_, _, err := c.Get("k")
+		got <- err
+	}()
+	time.Sleep(300 * time.Millisecond) // let the Get exhaust the sweep and enter the pause
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-got:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("Get interrupted mid-sweep-pause = %v, want ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Get still blocked 1s after Close: sweep pause not interruptible")
+	}
+}
+
+func TestRetryAfterHintClampedAgainstAdversarialDaemon(t *testing.T) {
+	// An adversarial daemon answers every write with RETRY and a
+	// minutes-long hint. Unclamped, three such responses would park the
+	// session for 15 minutes; with MaxRetryWait the op completes fast and
+	// every clamp is counted.
+	var mu sync.Mutex
+	rejects := 3
+	h, _ := kvHandler()
+	d := newFakeDaemon(t, func(req clientproto.Request, conn net.Conn) *clientproto.Response {
+		mu.Lock()
+		defer mu.Unlock()
+		if rejects > 0 {
+			rejects--
+			return &clientproto.Response{Status: clientproto.StRetry, RetryAfter: 5 * time.Minute, Reason: "hostile"}
+		}
+		return h(req, conn)
+	})
+	cfg := testConfig()
+	cfg.MaxRetryWait = 20 * time.Millisecond
+	c, err := cfg.Dial(d.addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	start := time.Now()
+	if err := c.Put("k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Put took %v: RetryAfter hint not clamped", elapsed)
+	}
+	st := c.Stats()
+	if st.RetryClamps != 3 {
+		t.Errorf("RetryClamps = %d, want 3", st.RetryClamps)
+	}
+	if st.Retries != 3 {
+		t.Errorf("Retries = %d, want 3", st.Retries)
+	}
+	if got := c.Metrics().Snapshot().Counters["newtop_client_retry_clamped_total"]; got != 3 {
+		t.Errorf("newtop_client_retry_clamped_total = %d, want 3", got)
+	}
+}
+
+func TestIntendedStartLatencyIsCoordinatedOmissionFree(t *testing.T) {
+	// An op that was SCHEDULED 100ms before it could run (the open-loop
+	// queueing case) must report >=100ms latency even though the exchange
+	// itself is instant; the plain call keeps measuring from call start.
+	h, _ := kvHandler()
+	d := newFakeDaemon(t, h)
+	c, err := testConfig().Dial(d.addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	if err := c.PutAt(time.Now().Add(-100*time.Millisecond), "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	snap := c.Metrics().Snapshot()
+	hist, ok := snap.Histograms[`newtop_client_op_ns{op="put"}`]
+	if !ok || hist.Count != 1 {
+		t.Fatalf("put histogram = %+v", hist)
+	}
+	if hist.Max < uint64(100*time.Millisecond) {
+		t.Fatalf("max put latency %v, want >= 100ms (intended-start accounting)", time.Duration(hist.Max))
+	}
+	// A plain Get on the same healthy session measures the exchange only.
+	if _, _, err := c.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	snap = c.Metrics().Snapshot()
+	ghist := snap.Histograms[`newtop_client_op_ns{op="get"}`]
+	if ghist.Count != 1 || ghist.Max >= uint64(100*time.Millisecond) {
+		t.Fatalf("plain get latency = %+v, want sub-100ms exchange time", ghist)
+	}
+}
+
 func TestCloseInterruptsStuckExchange(t *testing.T) {
 	h, _ := kvHandler()
 	stall := make(chan struct{})

@@ -20,6 +20,13 @@
 // versus the checked-in report):
 //
 //	newtop-bench -perf-gate BENCH_core.json
+//
+// Open-loop capacity harness (offered-load latency and SLO saturation
+// against a real 3-daemon TCP fleet):
+//
+//	newtop-bench -capacity                          # smoke + rate ladder + saturation search, write BENCH_capacity.json
+//	newtop-bench -capacity -capacity-smoke          # just the pinned smoke point (CI-sized)
+//	newtop-bench -capacity-gate BENCH_capacity.json # re-measure smoke, fail on >2x p99 regression
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 	"strings"
 	"time"
 
+	"newtop/internal/capacity"
 	"newtop/internal/harness"
 	"newtop/internal/perf"
 )
@@ -93,6 +101,11 @@ func run(args []string) error {
 	gate := fs.String("perf-gate", "", "re-measure the gated benchmarks against this baseline report and fail on regression (CI)")
 	gateBench := fs.String("perf-gate-bench", "", "gate only this benchmark (ns/op) instead of the default check set")
 	gateFactor := fs.Float64("perf-gate-factor", 2.0, "maximum allowed ratio versus the baseline (overrides every default check's factor when set)")
+	capRun := fs.Bool("capacity", false, "run the open-loop capacity harness against the 3-daemon TCP fleet")
+	capSmoke := fs.Bool("capacity-smoke", false, "with -capacity: measure only the pinned smoke point (CI-sized, seconds)")
+	capOut := fs.String("capacity-out", "BENCH_capacity.json", "output path for -capacity results")
+	capSeed := fs.Int64("capacity-seed", 1, "seed for the capacity fleet, op mix and arrival schedules")
+	capGate := fs.String("capacity-gate", "", "re-measure the capacity smoke point against this baseline report and fail on >2x p99 regression (CI)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -133,6 +146,12 @@ func run(args []string) error {
 	}
 	if *perfRun {
 		return runPerf(*perfOut, *perfBase, *perfNote)
+	}
+	if *capGate != "" {
+		return runCapacityGate(*capGate, *capSeed)
+	}
+	if *capRun {
+		return runCapacity(*capOut, *capSeed, *capSmoke)
 	}
 	exps := experiments()
 	if *list {
@@ -199,5 +218,48 @@ func runPerf(out, baselinePath, note string) error {
 		return err
 	}
 	fmt.Printf("wrote %s (%d benchmarks)\n", out, len(results))
+	return nil
+}
+
+// runCapacity boots the 3-daemon TCP fleet and measures it open-loop:
+// always the pinned smoke point, plus (unless smokeOnly) the offered-rate
+// ladder and the SLO saturation search. Results land in BENCH_capacity.json.
+func runCapacity(out string, seed int64, smokeOnly bool) error {
+	mode := "smoke + ladder + saturation search"
+	if smokeOnly {
+		mode = "smoke only"
+	}
+	fmt.Printf("Newtop open-loop capacity harness (3-daemon TCP fleet, %s)\n", mode)
+	cfgRes, err := capacity.RunSuite(capacity.SuiteConfig{
+		SmokeOnly: smokeOnly,
+		Progress:  os.Stdout,
+		Seed:      seed,
+	})
+	if err != nil {
+		return err
+	}
+	report := capacity.NewReport([]capacity.ConfigResult{*cfgRes})
+	if err := capacity.WriteReport(out, report); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+// runCapacityGate re-measures the pinned smoke point on a fresh fleet and
+// fails on a p99 regression beyond 2x the baseline (plus a small absolute
+// slack — see capacity.Gate), on any smoke-rate errors or stranded ops,
+// or on unexplained drops.
+func runCapacityGate(baselinePath string, seed int64) error {
+	baseline, err := capacity.LoadReport(baselinePath)
+	if err != nil {
+		return fmt.Errorf("load capacity baseline: %w", err)
+	}
+	fresh, err := capacity.RunGate(baseline, capacity.SuiteConfig{Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("capacity gate ok: smoke @ %.0f ops/s p99=%v (completed %d/%d) within budget of baseline\n",
+		capacity.SmokeRate, fresh.P99, fresh.Completed, fresh.Scheduled)
 	return nil
 }

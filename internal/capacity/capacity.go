@@ -1,0 +1,350 @@
+// Package capacity is the open-loop load harness: it answers the
+// production questions the closed-loop microbenchmarks in BENCH_core.json
+// cannot — "what p99 at what offered load, and where does the cluster
+// saturate?"
+//
+// # Open loop vs closed loop
+//
+// A closed loop (issue an op, wait, issue the next) self-throttles: when
+// the cluster slows down, the loop offers less load, so measured latency
+// stays flat right through saturation. An open loop fires arrivals on the
+// schedule an ArrivalProcess generated — whether or not earlier ops have
+// completed — which is how independent real clients behave, and is what
+// exposes queueing collapse: past the saturation point the backlog grows
+// without bound and tail latency rises with run length instead of
+// plateauing.
+//
+// # Coordinated omission
+//
+// Per-op latency is measured from the op's INTENDED arrival time (the
+// generated schedule slot), not from when a session got around to sending
+// it. An op that sat queued behind a slow cluster for a second and then
+// completed in a millisecond records one second, not one millisecond —
+// the delay a real caller would have experienced. The measurement
+// plumbing is internal/obs: the driver shares one metrics registry across
+// its client fleet, the client records `newtop_client_op_ns{op=…}` from
+// the intended start (client.PutAt and friends), and the driver folds
+// every completed op into `newtop_capacity_op_ns`, the histogram the
+// quantile results come from.
+//
+// The saturation analyzer (saturation.go) binary-searches the offered
+// rate for the highest one that still meets an SLO predicate; report.go
+// emits BENCH_capacity.json next to the micro file, and suite.go defines
+// the measured cluster configurations (first: the R4-style 3-daemon fleet
+// over TCP client sessions).
+package capacity
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"newtop/client"
+	"newtop/internal/obs"
+	"newtop/internal/workload"
+)
+
+// OverallHist is the registry name of the driver's overall per-op latency
+// histogram (all op kinds folded together, measured from intended start
+// in open-loop runs).
+const OverallHist = "newtop_capacity_op_ns"
+
+// DriverConfig tunes one measurement run of the client-fleet driver.
+type DriverConfig struct {
+	// Addrs are the cluster's client-protocol endpoints. Sessions spread
+	// their bootstrap order across them round-robin.
+	Addrs []string
+	// Sessions is the client-fleet size (default 8). Each session is one
+	// routed connection executing ops serially; the shared arrival queue
+	// ahead of the fleet is where open-loop backlog accumulates.
+	Sessions int
+	// Arrivals generates the offered-load schedule (open loop only).
+	Arrivals workload.ArrivalProcess
+	// Duration is the measurement window (default 2s).
+	Duration time.Duration
+	// DrainTimeout bounds how long the driver waits after the last
+	// scheduled arrival for queued ops to finish before closing the fleet
+	// and counting the remainder as unfinished (default 5s).
+	DrainTimeout time.Duration
+	// GetFraction is the share of ops that are reads (default 0.1).
+	GetFraction float64
+	// KeySpace is the number of distinct keys (default 1024).
+	KeySpace int
+	// ValueLen is the written value size in bytes (default 128).
+	ValueLen int
+	// ClosedLoop switches to the self-throttling comparison mode: each
+	// session fires its next op when the previous completes, and latency
+	// is measured from call start. Arrivals is ignored.
+	ClosedLoop bool
+	// Seed drives op-mix and key choice (and closed-loop generators).
+	Seed int64
+	// Client tunes the sessions; Metrics is overridden with the driver's
+	// registry.
+	Client client.Config
+}
+
+func (cfg DriverConfig) withDefaults() DriverConfig {
+	if cfg.Sessions <= 0 {
+		cfg.Sessions = 8
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 5 * time.Second
+	}
+	if cfg.GetFraction < 0 || cfg.GetFraction > 1 {
+		cfg.GetFraction = 0.1
+	}
+	if cfg.KeySpace <= 0 {
+		cfg.KeySpace = 1024
+	}
+	if cfg.ValueLen <= 0 {
+		cfg.ValueLen = 128
+	}
+	return cfg
+}
+
+// DriverResult is the outcome of one run.
+type DriverResult struct {
+	Arrivals  string        // arrival process name ("closed-loop" in closed mode)
+	Offered   float64       // scheduled arrival rate, ops/s
+	Scheduled uint64        // arrivals the schedule fired (none are ever skipped)
+	Completed uint64        // ops that finished with a final answer
+	Errors    uint64        // ops that finished in error (incl. unacked writes)
+	Unfinished uint64       // ops still queued/in flight when the drain window closed
+	Elapsed   time.Duration // wall time from first arrival to fleet shutdown
+	Achieved  float64       // completed ops per second of Elapsed
+	P50, P99, P999, Max time.Duration // per-op latency (intended start → completion)
+	MaxSchedLag time.Duration // worst scheduler dispatch lag (sanity: the driver kept up)
+	Snapshot  obs.Snapshot  // the full registry the numbers came from
+}
+
+// op is one scheduled operation.
+type op struct {
+	intended time.Time
+	read     bool
+	key      string
+}
+
+// opSet pre-generates the run's keys, value and op mix so nothing is
+// formatted inside the measurement window.
+type opSet struct {
+	keys  []string
+	value string
+	reads []bool // per-arrival read/write decision (open loop)
+	keyIx []int  // per-arrival key index (open loop)
+}
+
+func newOpSet(cfg DriverConfig, n int) *opSet {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := &opSet{keys: make([]string, cfg.KeySpace)}
+	for i := range s.keys {
+		s.keys[i] = fmt.Sprintf("cap:%06d", i)
+	}
+	v := make([]byte, cfg.ValueLen)
+	for i := range v {
+		v[i] = byte('a' + rng.Intn(26))
+	}
+	s.value = string(v)
+	s.reads = make([]bool, n)
+	s.keyIx = make([]int, n)
+	for i := 0; i < n; i++ {
+		s.reads[i] = rng.Float64() < cfg.GetFraction
+		s.keyIx[i] = rng.Intn(cfg.KeySpace)
+	}
+	return s
+}
+
+// Run executes one measurement run and reports the result. Open-loop runs
+// dispatch every scheduled arrival at its intended time into a queue deep
+// enough to never block the scheduler — a stalled cluster delays
+// completions, never arrivals.
+func Run(cfg DriverConfig) (DriverResult, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Addrs) == 0 {
+		return DriverResult{}, errors.New("capacity: no cluster addresses")
+	}
+	reg := obs.NewRegistry()
+	cfg.Client.Metrics = reg
+	sessions := make([]*client.Client, 0, cfg.Sessions)
+	defer func() {
+		for _, s := range sessions {
+			_ = s.Close()
+		}
+	}()
+	for i := 0; i < cfg.Sessions; i++ {
+		// Rotate the bootstrap order so the fleet spreads its pins across
+		// the cluster instead of piling onto Addrs[0].
+		rot := make([]string, 0, len(cfg.Addrs))
+		for j := 0; j < len(cfg.Addrs); j++ {
+			rot = append(rot, cfg.Addrs[(i+j)%len(cfg.Addrs)])
+		}
+		s, err := cfg.Client.Dial(rot...)
+		if err != nil {
+			return DriverResult{}, fmt.Errorf("capacity: dial session %d: %w", i, err)
+		}
+		sessions = append(sessions, s)
+	}
+	if cfg.ClosedLoop {
+		return runClosed(cfg, reg, sessions)
+	}
+	return runOpen(cfg, reg, sessions)
+}
+
+// exec runs one op on a session; zero intended means closed-loop (measure
+// from call start inside the client).
+func exec(s *client.Client, o op, value string) error {
+	if o.read {
+		_, _, err := s.GetAt(o.intended, o.key)
+		return err
+	}
+	return s.PutAt(o.intended, o.key, value)
+}
+
+func runOpen(cfg DriverConfig, reg *obs.Registry, sessions []*client.Client) (DriverResult, error) {
+	schedule := cfg.Arrivals.Schedule(cfg.Duration)
+	if len(schedule) == 0 {
+		return DriverResult{}, fmt.Errorf("capacity: arrival process %q produced an empty schedule", cfg.Arrivals.Name())
+	}
+	set := newOpSet(cfg, len(schedule))
+	hist := reg.Histogram(OverallHist)
+	scheduledC := reg.Counter("newtop_capacity_ops_scheduled_total")
+	completedC := reg.Counter("newtop_capacity_ops_completed_total")
+	errorsC := reg.Counter("newtop_capacity_ops_errors_total")
+	unfinishedC := reg.Counter("newtop_capacity_ops_unfinished_total")
+	queueDepth := reg.Gauge("newtop_capacity_queue_depth")
+
+	// Deep enough for the whole schedule: enqueueing NEVER blocks, so a
+	// stalled cluster cannot make the scheduler skip or delay an arrival.
+	queue := make(chan op, len(schedule))
+	var stopped atomic.Bool
+	var wg sync.WaitGroup
+	for _, s := range sessions {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for o := range queue {
+				queueDepth.Add(-1)
+				if stopped.Load() {
+					unfinishedC.Inc()
+					continue
+				}
+				err := exec(s, o, set.value)
+				switch {
+				case err == nil:
+					completedC.Inc()
+					hist.ObserveDuration(time.Since(o.intended))
+				case errors.Is(err, client.ErrClosed):
+					// The drain window closed this session under us; the
+					// op never got a final answer.
+					unfinishedC.Inc()
+				default:
+					errorsC.Inc()
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	var maxLag time.Duration
+	for i, off := range schedule {
+		intended := start.Add(off)
+		if d := time.Until(intended); d > 0 {
+			time.Sleep(d)
+		} else if lag := -d; lag > maxLag {
+			maxLag = lag
+		}
+		queueDepth.Add(1)
+		scheduledC.Inc()
+		queue <- op{intended: intended, read: set.reads[i], key: set.keys[set.keyIx[i]]}
+	}
+	close(queue)
+
+	// Let the backlog drain, then cut the run: close the fleet (which
+	// interrupts in-flight ops and retry backoffs) and count what never
+	// finished. Without the cutoff a saturated run would drain for as
+	// long as the backlog is deep.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(cfg.DrainTimeout):
+		stopped.Store(true)
+		for _, s := range sessions {
+			_ = s.Close()
+		}
+		<-done
+	}
+	elapsed := time.Since(start)
+
+	res := collect(reg, elapsed)
+	res.Arrivals = cfg.Arrivals.Name()
+	res.Offered = float64(len(schedule)) / cfg.Duration.Seconds()
+	res.MaxSchedLag = maxLag
+	return res, nil
+}
+
+func runClosed(cfg DriverConfig, reg *obs.Registry, sessions []*client.Client) (DriverResult, error) {
+	set := newOpSet(cfg, 0)
+	hist := reg.Histogram(OverallHist)
+	scheduledC := reg.Counter("newtop_capacity_ops_scheduled_total")
+	completedC := reg.Counter("newtop_capacity_ops_completed_total")
+	errorsC := reg.Counter("newtop_capacity_ops_errors_total")
+
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for i, s := range sessions {
+		i, s := i, s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+			for time.Now().Before(deadline) {
+				o := op{read: rng.Float64() < cfg.GetFraction, key: set.keys[rng.Intn(len(set.keys))]}
+				scheduledC.Inc()
+				callStart := time.Now()
+				if err := exec(s, o, set.value); err != nil {
+					errorsC.Inc()
+					continue
+				}
+				completedC.Inc()
+				hist.ObserveDuration(time.Since(callStart))
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := collect(reg, elapsed)
+	res.Arrivals = "closed-loop"
+	res.Offered = res.Achieved // a closed loop offers exactly what completes
+	return res, nil
+}
+
+// collect folds the registry into a DriverResult.
+func collect(reg *obs.Registry, elapsed time.Duration) DriverResult {
+	snap := reg.Snapshot()
+	h := snap.Histograms[OverallHist]
+	res := DriverResult{
+		Scheduled:  snap.Counters["newtop_capacity_ops_scheduled_total"],
+		Completed:  snap.Counters["newtop_capacity_ops_completed_total"],
+		Errors:     snap.Counters["newtop_capacity_ops_errors_total"],
+		Unfinished: snap.Counters["newtop_capacity_ops_unfinished_total"],
+		Elapsed:    elapsed,
+		P50:        time.Duration(h.P50),
+		P99:        time.Duration(h.P99),
+		P999:       time.Duration(h.P999),
+		Max:        time.Duration(h.Max),
+		Snapshot:   snap,
+	}
+	if elapsed > 0 {
+		res.Achieved = float64(res.Completed) / elapsed.Seconds()
+	}
+	return res
+}

@@ -1,0 +1,317 @@
+package capacity
+
+import (
+	"bufio"
+	"net"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"newtop/internal/clientproto"
+	"newtop/internal/workload"
+)
+
+// fakeCluster is a clientproto-speaking KV with a configurable per-op
+// service time — a cluster whose theoretical capacity is exactly
+// sessions/serviceTime, which is what the collapse and saturation tests
+// need to pin the driver's behavior against known ground truth. Each
+// connection is served serially, like a real session's pinned daemon.
+type fakeCluster struct {
+	t       *testing.T
+	lns     []net.Listener
+	service time.Duration
+	stall   chan struct{} // non-nil: block every op until closed
+
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func newFakeCluster(t *testing.T, daemons int, service time.Duration, stalled bool) *fakeCluster {
+	t.Helper()
+	f := &fakeCluster{t: t, service: service}
+	if stalled {
+		f.stall = make(chan struct{})
+	}
+	for i := 0; i < daemons; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.lns = append(f.lns, ln)
+		go f.serve(ln)
+	}
+	t.Cleanup(f.close)
+	return f
+}
+
+func (f *fakeCluster) addrs() []string {
+	out := make([]string, len(f.lns))
+	for i, ln := range f.lns {
+		out[i] = ln.Addr().String()
+	}
+	return out
+}
+
+func (f *fakeCluster) close() {
+	if f.stall != nil {
+		select {
+		case <-f.stall:
+		default:
+			close(f.stall)
+		}
+	}
+	for _, ln := range f.lns {
+		_ = ln.Close()
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, c := range f.conns {
+		_ = c.Close()
+	}
+}
+
+func (f *fakeCluster) serve(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		f.mu.Lock()
+		f.conns = append(f.conns, conn)
+		f.mu.Unlock()
+		go func() {
+			defer func() { _ = conn.Close() }()
+			br := bufio.NewReader(conn)
+			var store sync.Map
+			for {
+				body, err := clientproto.ReadFrame(br, nil)
+				if err != nil {
+					return
+				}
+				req, err := clientproto.ParseRequest(body)
+				if err != nil {
+					return
+				}
+				if f.stall != nil {
+					<-f.stall
+					return
+				}
+				if f.service > 0 {
+					time.Sleep(f.service)
+				}
+				resp := &clientproto.Response{Status: clientproto.StOK, Found: true}
+				switch req.Op {
+				case clientproto.OpPut:
+					store.Store(req.Key, req.Value)
+				case clientproto.OpGet, clientproto.OpBarrierGet:
+					if v, ok := store.Load(req.Key); ok {
+						resp.Value = v.(string)
+					} else {
+						resp.Found = false
+					}
+				}
+				if _, err := conn.Write(clientproto.AppendResponse(nil, resp)); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+// TestOpenLoopNeverSkipsArrivals pins the driver's core contract: a
+// cluster that stops answering entirely cannot make the scheduler skip or
+// delay a single arrival — every scheduled op fires on time and is
+// accounted for as unfinished when the drain cutoff hits.
+func TestOpenLoopNeverSkipsArrivals(t *testing.T) {
+	f := newFakeCluster(t, 1, 0, true)
+	res, err := Run(DriverConfig{
+		Addrs:        f.addrs(),
+		Sessions:     4,
+		Arrivals:     workload.FixedRate{OpsPerSec: 500},
+		Duration:     400 * time.Millisecond,
+		DrainTimeout: 300 * time.Millisecond,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(200); res.Scheduled != want {
+		t.Fatalf("scheduled %d arrivals against the stalled cluster, want all %d", res.Scheduled, want)
+	}
+	if res.MaxSchedLag > 100*time.Millisecond {
+		t.Fatalf("scheduler fell %v behind its own schedule", res.MaxSchedLag)
+	}
+	if res.Completed != 0 {
+		t.Fatalf("stalled cluster completed %d ops", res.Completed)
+	}
+	if got := res.Errors + res.Unfinished; got != res.Scheduled {
+		t.Fatalf("accounting leak: errors+unfinished = %d, scheduled = %d", got, res.Scheduled)
+	}
+	if res.Unfinished < res.Scheduled*9/10 {
+		t.Fatalf("expected the backlog counted unfinished, got unfinished=%d errors=%d", res.Unfinished, res.Errors)
+	}
+	// The drain cutoff plus interruptible client backoffs must bound the
+	// run: schedule window + drain timeout + shutdown slack.
+	if res.Elapsed > 3*time.Second {
+		t.Fatalf("run against stalled cluster took %v", res.Elapsed)
+	}
+}
+
+// TestOpenLoopExposesCollapseClosedLoopHides is the acceptance pin for the
+// whole harness: offered load at 2x a known capacity makes open-loop p99
+// grow with run length (the backlog, measured from intended start, turns
+// into latency), while a closed loop against the same cluster
+// self-throttles and reports service-time latency forever.
+func TestOpenLoopExposesCollapseClosedLoopHides(t *testing.T) {
+	const service = 5 * time.Millisecond
+	const sessions = 2 // capacity = sessions/service = 400 ops/s
+	f := newFakeCluster(t, 1, service, false)
+	base := DriverConfig{
+		Addrs:        f.addrs(),
+		Sessions:     sessions,
+		DrainTimeout: 10 * time.Second, // let the backlog fully drain: its delay IS the measurement
+		Seed:         7,
+	}
+
+	openAt := func(d time.Duration) DriverResult {
+		cfg := base
+		cfg.Duration = d
+		cfg.Arrivals = workload.FixedRate{OpsPerSec: 800} // 2x capacity
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Errors > 0 || res.Unfinished > 0 {
+			t.Fatalf("open-loop run at %v: errors=%d unfinished=%d", d, res.Errors, res.Unfinished)
+		}
+		return res
+	}
+	short := openAt(300 * time.Millisecond)
+	long := openAt(900 * time.Millisecond)
+
+	closedCfg := base
+	closedCfg.Duration = 900 * time.Millisecond
+	closedCfg.ClosedLoop = true
+	closed, err := Run(closedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Closed loop: latency is service time plus overhead, no matter that
+	// the cluster is at its capacity ceiling.
+	if closed.P99 > 20*service {
+		t.Fatalf("closed-loop p99 = %v, expected near the %v service time", closed.P99, service)
+	}
+	// Open loop above saturation: the backlog dominates. The last arrival
+	// in a T-long window waits about T at 2x capacity.
+	if long.P99 < 5*closed.P99 {
+		t.Fatalf("open-loop p99 %v does not dwarf closed-loop p99 %v at the same offered cluster", long.P99, closed.P99)
+	}
+	if long.P99 < 300*time.Millisecond {
+		t.Fatalf("open-loop p99 = %v above saturation, expected backlog-dominated latency", long.P99)
+	}
+	// ... and it RISES with run length instead of plateauing.
+	if long.P99 < 2*short.P99 {
+		t.Fatalf("open-loop p99 did not rise with run length: %v (900ms window) vs %v (300ms window)", long.P99, short.P99)
+	}
+}
+
+// TestFindSaturationLandsNearCapacity points the binary search at a
+// cluster with known ground truth (4 sessions x 2ms service = 2000 ops/s)
+// and checks it converges into the right neighborhood.
+func TestFindSaturationLandsNearCapacity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second search")
+	}
+	const service = 2 * time.Millisecond
+	const capacity = 2000.0 // 4 sessions / 2ms
+	f := newFakeCluster(t, 1, service, false)
+	res, err := FindSaturation(SearchConfig{
+		Driver: DriverConfig{
+			Addrs:        f.addrs(),
+			Sessions:     4,
+			Duration:     500 * time.Millisecond,
+			DrainTimeout: time.Second,
+			Seed:         11,
+		},
+		SLO:       SLO{P99: 50 * time.Millisecond},
+		LoRate:    500,
+		HiRate:    4000,
+		Tolerance: 0.3,
+		MaxTrials: 7,
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trials) < 3 {
+		t.Fatalf("search gave up after %d trials", len(res.Trials))
+	}
+	if !res.Trials[0].OK {
+		t.Fatalf("floor rate failed the SLO: %s", res.Trials[0].Reason)
+	}
+	if res.Sustainable < 0.4*capacity || res.Sustainable > 1.35*capacity {
+		t.Fatalf("sustainable %.0f ops/s not near the %.0f ops/s ground truth", res.Sustainable, capacity)
+	}
+	if res.Ceiling <= res.Sustainable {
+		t.Fatalf("ceiling %.0f not above sustainable %.0f", res.Ceiling, res.Sustainable)
+	}
+}
+
+func TestSLOCheck(t *testing.T) {
+	slo := SLO{P99: 50 * time.Millisecond}
+	ok := DriverResult{Scheduled: 1000, Completed: 1000, P99: 10 * time.Millisecond}
+	if reason := slo.Check(ok, 0, ""); reason != "" {
+		t.Fatalf("healthy result failed: %s", reason)
+	}
+	cases := []struct {
+		name  string
+		res   DriverResult
+		drops uint64
+	}{
+		{"unexplained drops", ok, 3},
+		{"p99 blown", DriverResult{Scheduled: 1000, Completed: 1000, P99: 51 * time.Millisecond}, 0},
+		{"errors", DriverResult{Scheduled: 1000, Completed: 990, Errors: 10, P99: time.Millisecond}, 0},
+		{"unfinished", DriverResult{Scheduled: 1000, Completed: 900, Unfinished: 100, P99: time.Millisecond}, 0},
+		{"empty run", DriverResult{}, 0},
+	}
+	for _, tc := range cases {
+		if reason := slo.Check(tc.res, tc.drops, `layer="x",reason="y"`); reason == "" {
+			t.Errorf("%s: SLO passed, want failure", tc.name)
+		}
+	}
+}
+
+func TestReportGateRoundTrip(t *testing.T) {
+	smoke := RatePoint{Arrivals: "fixed@150", OfferedRate: 150, P99NS: (10 * time.Millisecond).Nanoseconds()}
+	rep := NewReport([]ConfigResult{{Name: "fleet-3tcp", Daemons: 3, Sessions: 8, Smoke: &smoke}})
+	path := filepath.Join(t.TempDir(), "BENCH_capacity.json")
+	if err := WriteReport(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.Config("fleet-3tcp"); got == nil || got.Smoke == nil || got.Smoke.P99NS != smoke.P99NS {
+		t.Fatalf("round trip lost the smoke point: %+v", got)
+	}
+
+	pass := DriverResult{Scheduled: 300, Completed: 300, P99: 12 * time.Millisecond}
+	if err := Gate(loaded, "fleet-3tcp", pass, 2); err != nil {
+		t.Fatalf("within-budget result failed the gate: %v", err)
+	}
+	// 2x baseline + 5ms slack = 25ms budget.
+	slow := DriverResult{Scheduled: 300, Completed: 300, P99: 40 * time.Millisecond}
+	if err := Gate(loaded, "fleet-3tcp", slow, 2); err == nil {
+		t.Fatal("3x p99 regression passed the gate")
+	}
+	errored := DriverResult{Scheduled: 300, Completed: 299, Errors: 1, P99: time.Millisecond}
+	if err := Gate(loaded, "fleet-3tcp", errored, 2); err == nil {
+		t.Fatal("errored smoke run passed the gate")
+	}
+	if err := Gate(loaded, "fleet-9tcp", pass, 2); err == nil {
+		t.Fatal("unknown config passed the gate")
+	}
+}

@@ -1,0 +1,154 @@
+package capacity
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"newtop"
+	"newtop/internal/daemon"
+)
+
+// FleetConfig describes a measured cluster: n daemons over an in-memory
+// inter-daemon network, each with a loopback-TCP client listener — the
+// R4-style production code path (client wire protocol through the daemon
+// to replica ack) without cross-machine variance.
+type FleetConfig struct {
+	Daemons int           // default 3
+	Omega   time.Duration // time-silence interval (default 5ms)
+	Seed    int64
+	RingThreshold int // ring dissemination cutoff (0 disables)
+}
+
+func (cfg FleetConfig) withDefaults() FleetConfig {
+	if cfg.Daemons <= 0 {
+		cfg.Daemons = 3
+	}
+	if cfg.Omega <= 0 {
+		cfg.Omega = 5 * time.Millisecond
+	}
+	return cfg
+}
+
+// Name identifies the fleet shape in reports: gate runs must measure the
+// same configuration the baseline recorded.
+func (cfg FleetConfig) Name() string {
+	cfg = cfg.withDefaults()
+	return fmt.Sprintf("fleet-%dtcp", cfg.Daemons)
+}
+
+// Fleet is a running measured cluster.
+type Fleet struct {
+	cfg     FleetConfig
+	net     *newtop.Network
+	daemons map[newtop.ProcessID]*daemon.Daemon
+	addrs   []string
+}
+
+// StartFleet boots the cluster and waits until every daemon serves (its
+// replica caught up) so measurements never include formation transients.
+func StartFleet(cfg FleetConfig) (*Fleet, error) {
+	cfg = cfg.withDefaults()
+	net := newtop.NewNetwork(newtop.WithSeed(cfg.Seed))
+	f := &Fleet{cfg: cfg, net: net, daemons: make(map[newtop.ProcessID]*daemon.Daemon, cfg.Daemons)}
+	ids := make([]newtop.ProcessID, 0, cfg.Daemons)
+	for i := 1; i <= cfg.Daemons; i++ {
+		ids = append(ids, newtop.ProcessID(i))
+	}
+	for _, id := range ids {
+		d, err := daemon.Start(daemon.Config{
+			Self:          id,
+			Network:       net,
+			ClientAddr:    "127.0.0.1:0",
+			Omega:         cfg.Omega,
+			Initial:       ids,
+			RingThreshold: cfg.RingThreshold,
+			Logf:          func(string, ...any) {},
+		})
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("capacity: start daemon %d: %w", id, err)
+		}
+		f.daemons[id] = d
+	}
+	addrs := make(map[newtop.ProcessID]string, len(ids))
+	for _, id := range ids {
+		a := f.daemons[id].ClientAddr()
+		addrs[id] = a
+		f.addrs = append(f.addrs, a)
+	}
+	for _, d := range f.daemons {
+		d.SetPeerClientAddrs(addrs)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for _, id := range ids {
+		for {
+			rep, _ := f.daemons[id].Replica()
+			if rep != nil && rep.CaughtUp() {
+				break
+			}
+			if time.Now().After(deadline) {
+				f.Close()
+				return nil, fmt.Errorf("capacity: daemon %d never became ready", id)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	return f, nil
+}
+
+// Addrs returns the fleet's client-protocol endpoints.
+func (f *Fleet) Addrs() []string { return append([]string(nil), f.addrs...) }
+
+// Name returns the fleet's configuration name (see FleetConfig.Name).
+func (f *Fleet) Name() string { return f.cfg.Name() }
+
+// explainedDrops are drop reasons a healthy (no kill, no partition) run
+// may legitimately produce during formation and steady state. Anything
+// else — decode failures, overflow, unexplained loss — fails the SLO.
+// The set mirrors the R4 harness's allowlist.
+var explainedDrops = map[string]bool{
+	`layer="core",reason="left_group"`:               true,
+	`layer="core",reason="removed_member"`:           true,
+	`layer="core",reason="not_member"`:               true,
+	`layer="core",reason="seq_gap"`:                  true,
+	`layer="core",reason="stale_view"`:               true,
+	`layer="core",reason="group_gone"`:               true,
+	`layer="core",reason="queued_submit_group_gone"`: true,
+	`layer="ring",reason="orphan_evicted"`:           true,
+	`layer="ring",reason="reassembly_abandoned"`:     true,
+}
+
+// UnexplainedDrops scans every daemon's registry for newtop_drops_total
+// entries outside the explained allowlist, returning the total and the
+// first offending label set. The counters are cumulative; callers diff
+// successive reads to bound a window.
+func (f *Fleet) UnexplainedDrops() (uint64, string) {
+	var total uint64
+	var first string
+	for _, d := range f.daemons {
+		for name, v := range d.Proc().Metrics().Counters {
+			labels, ok := strings.CutPrefix(name, "newtop_drops_total{")
+			if !ok || v == 0 {
+				continue
+			}
+			labels = strings.TrimSuffix(labels, "}")
+			if explainedDrops[labels] {
+				continue
+			}
+			total += v
+			if first == "" {
+				first = labels
+			}
+		}
+	}
+	return total, first
+}
+
+// Close shuts the fleet down.
+func (f *Fleet) Close() {
+	for _, d := range f.daemons {
+		_ = d.Close()
+	}
+	f.net.Close()
+}

@@ -1,0 +1,47 @@
+package capacity
+
+import (
+	"testing"
+	"time"
+
+	"newtop/internal/workload"
+)
+
+// TestFleetSmoke drives a low open-loop rate through the real 3-daemon
+// TCP fleet — the production client wire path end to end — and requires
+// clean completion: no errors, no stranded ops, no unexplained drops, and
+// a p99 that at least cleared the histogram.
+func TestFleetSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a real daemon fleet")
+	}
+	f, err := StartFleet(FleetConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if got := len(f.Addrs()); got != 3 {
+		t.Fatalf("fleet exposes %d client endpoints, want 3", got)
+	}
+	res, err := Run(DriverConfig{
+		Addrs:        f.Addrs(),
+		Sessions:     4,
+		Arrivals:     workload.Poisson{OpsPerSec: 100, Seed: 42},
+		Duration:     1500 * time.Millisecond,
+		DrainTimeout: 10 * time.Second,
+		Seed:         42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 || res.Completed != res.Scheduled {
+		t.Fatalf("completed %d of %d scheduled ops (errors=%d unfinished=%d)",
+			res.Completed, res.Scheduled, res.Errors, res.Unfinished)
+	}
+	if res.P99 <= 0 {
+		t.Fatalf("no latency recorded: %+v", res)
+	}
+	if n, label := f.UnexplainedDrops(); n > 0 {
+		t.Fatalf("%d unexplained drops (%s)", n, label)
+	}
+}

@@ -1,0 +1,162 @@
+package capacity
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// RatePoint is one measured offered-load point, the JSON projection of a
+// DriverResult.
+type RatePoint struct {
+	Arrivals     string  `json:"arrivals"`
+	OfferedRate  float64 `json:"offered_rate"`
+	AchievedRate float64 `json:"achieved_rate"`
+	Scheduled    uint64  `json:"scheduled"`
+	Completed    uint64  `json:"completed"`
+	Errors       uint64  `json:"errors"`
+	Unfinished   uint64  `json:"unfinished"`
+	P50NS        int64   `json:"p50_ns"`
+	P99NS        int64   `json:"p99_ns"`
+	P999NS       int64   `json:"p999_ns"`
+	MaxNS        int64   `json:"max_ns"`
+}
+
+// NewRatePoint projects a DriverResult into the report schema.
+func NewRatePoint(res DriverResult) RatePoint {
+	return RatePoint{
+		Arrivals:     res.Arrivals,
+		OfferedRate:  res.Offered,
+		AchievedRate: res.Achieved,
+		Scheduled:    res.Scheduled,
+		Completed:    res.Completed,
+		Errors:       res.Errors,
+		Unfinished:   res.Unfinished,
+		P50NS:        res.P50.Nanoseconds(),
+		P99NS:        res.P99.Nanoseconds(),
+		P999NS:       res.P999.Nanoseconds(),
+		MaxNS:        res.Max.Nanoseconds(),
+	}
+}
+
+// TrialPoint is one saturation-search probe.
+type TrialPoint struct {
+	Rate   float64 `json:"rate"`
+	OK     bool    `json:"ok"`
+	Reason string  `json:"reason,omitempty"`
+	P99NS  int64   `json:"p99_ns"`
+}
+
+// SaturationSummary records the binary-search outcome.
+type SaturationSummary struct {
+	SustainableRate float64      `json:"sustainable_rate"`
+	CeilingRate     float64      `json:"ceiling_rate"`
+	SLOP99NS        int64        `json:"slo_p99_ns"`
+	Trials          []TrialPoint `json:"trials"`
+}
+
+// ConfigResult is everything measured for one cluster configuration.
+type ConfigResult struct {
+	Name     string `json:"name"`
+	Daemons  int    `json:"daemons"`
+	Sessions int    `json:"sessions"`
+	// Smoke is the pinned low-rate point the CI gate compares against.
+	Smoke *RatePoint `json:"smoke,omitempty"`
+	// Ladder are the fixed offered-rate points of the full run.
+	Ladder []RatePoint `json:"ladder,omitempty"`
+	// Saturation is the SLO search outcome of the full run.
+	Saturation *SaturationSummary `json:"saturation,omitempty"`
+}
+
+// Report is the schema of BENCH_capacity.json.
+type Report struct {
+	Schema      int            `json:"schema"`
+	GeneratedAt string         `json:"generated_at"`
+	GoVersion   string         `json:"go_version"`
+	GOOS        string         `json:"goos"`
+	GOARCH      string         `json:"goarch"`
+	Configs     []ConfigResult `json:"configs"`
+}
+
+// NewReport wraps config results in the BENCH_capacity.json envelope.
+func NewReport(configs []ConfigResult) *Report {
+	return &Report{
+		Schema:      1,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Configs:     configs,
+	}
+}
+
+// LoadReport reads a previously written BENCH_capacity.json.
+func LoadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("capacity: parse %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// WriteReport writes the report as indented JSON.
+func WriteReport(path string, r *Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Config returns the named config result, or nil.
+func (r *Report) Config(name string) *ConfigResult {
+	for i := range r.Configs {
+		if r.Configs[i].Name == name {
+			return &r.Configs[i]
+		}
+	}
+	return nil
+}
+
+// GateSlack is the absolute p99 headroom the gate grants on top of the
+// relative factor: at smoke rates the baseline p99 is a few milliseconds,
+// where scheduler noise alone can double a measurement. The gate exists
+// to catch real latency regressions, not jitter.
+const GateSlack = 5 * time.Millisecond
+
+// Gate compares a fresh smoke measurement against the baseline report's
+// smoke point for the same config and fails if p99 regressed by more than
+// factor (plus GateSlack absolute), if error/unfinished counts appeared,
+// or if the baseline lacks the config. factor <= 0 defaults to 2.
+func Gate(baseline *Report, configName string, fresh DriverResult, factor float64) error {
+	if factor <= 0 {
+		factor = 2
+	}
+	cfg := baseline.Config(configName)
+	if cfg == nil || cfg.Smoke == nil {
+		return fmt.Errorf("capacity: baseline has no smoke point for config %q", configName)
+	}
+	var failures []string
+	if fresh.Errors > 0 {
+		failures = append(failures, fmt.Sprintf("%d ops errored at smoke rate", fresh.Errors))
+	}
+	if fresh.Unfinished > 0 {
+		failures = append(failures, fmt.Sprintf("%d ops unfinished at smoke rate", fresh.Unfinished))
+	}
+	limit := time.Duration(float64(cfg.Smoke.P99NS)*factor) + GateSlack
+	if fresh.P99 > limit {
+		failures = append(failures, fmt.Sprintf("p99 regressed: %v > %.1fx baseline %v (+%v slack)",
+			fresh.P99, factor, time.Duration(cfg.Smoke.P99NS), GateSlack))
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("capacity: %s", strings.Join(failures, "; "))
+	}
+	return nil
+}

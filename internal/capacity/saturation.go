@@ -1,0 +1,201 @@
+package capacity
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"newtop/internal/workload"
+)
+
+// SLO is the predicate a trial's offered rate must meet to count as
+// sustainable.
+type SLO struct {
+	// P99 is the tail-latency bound (required).
+	P99 time.Duration
+	// MaxErrorFrac is the tolerated errored share of scheduled ops
+	// (default 0: any error fails the trial).
+	MaxErrorFrac float64
+	// MaxUnfinishedFrac is the tolerated share of scheduled ops still
+	// queued when the drain window closed (default 0.01). A saturated run
+	// strands most of its backlog — this is the load-shedding signal.
+	MaxUnfinishedFrac float64
+}
+
+func (s SLO) withDefaults() SLO {
+	if s.MaxUnfinishedFrac <= 0 {
+		s.MaxUnfinishedFrac = 0.01
+	}
+	return s
+}
+
+// Check evaluates the predicate against one trial result plus the
+// unexplained-drop delta observed across it. The empty reason means pass.
+func (s SLO) Check(res DriverResult, dropsDelta uint64, dropLabel string) string {
+	s = s.withDefaults()
+	if dropsDelta > 0 {
+		return fmt.Sprintf("%d unexplained drops (%s)", dropsDelta, dropLabel)
+	}
+	if res.Scheduled == 0 {
+		return "no ops scheduled"
+	}
+	if frac := float64(res.Errors) / float64(res.Scheduled); frac > s.MaxErrorFrac {
+		return fmt.Sprintf("error fraction %.4f > %.4f", frac, s.MaxErrorFrac)
+	}
+	if frac := float64(res.Unfinished) / float64(res.Scheduled); frac > s.MaxUnfinishedFrac {
+		return fmt.Sprintf("unfinished fraction %.4f > %.4f", frac, s.MaxUnfinishedFrac)
+	}
+	if res.P99 > s.P99 {
+		return fmt.Sprintf("p99 %v > SLO %v", res.P99, s.P99)
+	}
+	return ""
+}
+
+// SearchConfig tunes the saturation binary search.
+type SearchConfig struct {
+	// Driver is the per-trial configuration; Arrivals is replaced each
+	// trial by TrialArrivals(rate).
+	Driver DriverConfig
+	// SLO is the sustainability predicate.
+	SLO SLO
+	// LoRate and HiRate bracket the search in ops/s. LoRate must meet the
+	// SLO (otherwise the result is zero with the failing trial attached);
+	// if HiRate still meets it the search reports HiRate and a zero
+	// ceiling — widen the bracket.
+	LoRate, HiRate float64
+	// Tolerance stops the bisection once (hi-lo)/lo falls under it
+	// (default 0.15).
+	Tolerance float64
+	// MaxTrials bounds the total trial count (default 12).
+	MaxTrials int
+	// TrialArrivals builds the arrival process for one trial (default:
+	// Poisson seeded by Driver.Seed + trial index).
+	TrialArrivals func(rate float64, trial int) workload.ArrivalProcess
+	// Drops, when set, reads the cluster's cumulative unexplained-drop
+	// count (e.g. Fleet.UnexplainedDrops); the search diffs it across
+	// each trial.
+	Drops func() (uint64, string)
+	// Logf, when set, narrates the trials.
+	Logf func(format string, args ...any)
+}
+
+// Trial is one probed rate.
+type Trial struct {
+	Rate   float64
+	Result DriverResult
+	OK     bool
+	Reason string // why the SLO failed ("" when OK)
+}
+
+// SearchResult is the saturation analysis outcome.
+type SearchResult struct {
+	// Sustainable is the highest probed rate that met the SLO.
+	Sustainable float64
+	// Ceiling is the lowest probed rate that failed it (0 when nothing
+	// failed, i.e. HiRate is sustainable).
+	Ceiling float64
+	// Trials lists every probe in execution order.
+	Trials []Trial
+}
+
+// FindSaturation binary-searches the maximum sustainable offered rate:
+// the highest rate whose open-loop trial still meets the SLO. Rates above
+// the true capacity fail loudly under an open loop — the backlog the
+// cluster cannot drain turns into tail latency and unfinished ops —
+// which is exactly the collapse a closed loop would have hidden.
+func FindSaturation(cfg SearchConfig) (SearchResult, error) {
+	if cfg.SLO.P99 <= 0 {
+		return SearchResult{}, errors.New("capacity: SLO.P99 is required")
+	}
+	if cfg.LoRate <= 0 || cfg.HiRate <= cfg.LoRate {
+		return SearchResult{}, fmt.Errorf("capacity: bad search bracket [%v, %v]", cfg.LoRate, cfg.HiRate)
+	}
+	if cfg.Tolerance <= 0 {
+		cfg.Tolerance = 0.15
+	}
+	if cfg.MaxTrials <= 0 {
+		cfg.MaxTrials = 12
+	}
+	if cfg.TrialArrivals == nil {
+		cfg.TrialArrivals = func(rate float64, trial int) workload.ArrivalProcess {
+			return workload.Poisson{OpsPerSec: rate, Seed: cfg.Driver.Seed + int64(trial)}
+		}
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	var out SearchResult
+	lastDrops := uint64(0)
+	if cfg.Drops != nil {
+		lastDrops, _ = cfg.Drops()
+	}
+	probe := func(rate float64) (Trial, error) {
+		dc := cfg.Driver
+		dc.Arrivals = cfg.TrialArrivals(rate, len(out.Trials))
+		dc.ClosedLoop = false
+		res, err := Run(dc)
+		if err != nil {
+			return Trial{}, err
+		}
+		var delta uint64
+		var label string
+		if cfg.Drops != nil {
+			cur, l := cfg.Drops()
+			delta, label = cur-lastDrops, l
+			lastDrops = cur
+		}
+		reason := cfg.SLO.Check(res, delta, label)
+		tr := Trial{Rate: rate, Result: res, OK: reason == "", Reason: reason}
+		out.Trials = append(out.Trials, tr)
+		logf("capacity: trial %d @ %.0f ops/s: p99=%v completed=%d errors=%d unfinished=%d -> %s",
+			len(out.Trials), rate, res.P99, res.Completed, res.Errors, res.Unfinished, trialVerdict(tr))
+		return tr, nil
+	}
+
+	lo, err := probe(cfg.LoRate)
+	if err != nil {
+		return out, err
+	}
+	if !lo.OK {
+		// Even the floor rate violates the SLO: saturation is below the
+		// bracket. Report zero sustainable so callers see it immediately.
+		out.Ceiling = cfg.LoRate
+		return out, nil
+	}
+	out.Sustainable = cfg.LoRate
+	hi, err := probe(cfg.HiRate)
+	if err != nil {
+		return out, err
+	}
+	if hi.OK {
+		out.Sustainable = cfg.HiRate
+		return out, nil
+	}
+	out.Ceiling = cfg.HiRate
+
+	loRate, hiRate := cfg.LoRate, cfg.HiRate
+	for len(out.Trials) < cfg.MaxTrials && (hiRate-loRate) > cfg.Tolerance*loRate {
+		mid := (loRate + hiRate) / 2
+		tr, err := probe(mid)
+		if err != nil {
+			return out, err
+		}
+		if tr.OK {
+			loRate = mid
+			out.Sustainable = mid
+		} else {
+			hiRate = mid
+			out.Ceiling = mid
+		}
+	}
+	return out, nil
+}
+
+func trialVerdict(tr Trial) string {
+	if tr.OK {
+		return "ok"
+	}
+	return "FAIL: " + tr.Reason
+}

@@ -1,0 +1,147 @@
+package capacity
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"newtop/internal/workload"
+)
+
+// SuiteConfig selects what the standard suite measures against the
+// 3-daemon TCP fleet.
+type SuiteConfig struct {
+	// SmokeOnly runs just the pinned smoke point (seconds, CI-sized)
+	// instead of the full ladder + saturation search (minutes).
+	SmokeOnly bool
+	// Progress (optional) receives one line per measured point.
+	Progress io.Writer
+	// Seed drives the fleet network, op mix and arrival processes.
+	Seed int64
+}
+
+// Suite constants: the smoke point is pinned because the CI gate compares
+// its p99 across commits — moving it invalidates every baseline.
+const (
+	suiteSessions  = 8
+	SmokeRate      = 150.0 // ops/s
+	smokeDuration  = 2 * time.Second
+	ladderDuration = 2 * time.Second
+	suiteSLOP99    = 50 * time.Millisecond
+)
+
+// ladderRates are the fixed offered-load points of the full run.
+var ladderRates = []float64{250, 500, 1000, 2000}
+
+func suiteDriver(addrs []string, seed int64) DriverConfig {
+	return DriverConfig{
+		Addrs:    addrs,
+		Sessions: suiteSessions,
+		Duration: ladderDuration,
+		Seed:     seed,
+	}
+}
+
+// SmokePoint runs the pinned low-rate open-loop point against an already
+// running fleet — the measurement both `-capacity` (recording a baseline)
+// and `-capacity-gate` (comparing against it) share.
+func SmokePoint(f *Fleet, seed int64) (DriverResult, error) {
+	cfg := suiteDriver(f.Addrs(), seed)
+	cfg.Duration = smokeDuration
+	cfg.Arrivals = workload.FixedRate{OpsPerSec: SmokeRate}
+	before, _ := f.UnexplainedDrops()
+	res, err := Run(cfg)
+	if err != nil {
+		return res, err
+	}
+	after, label := f.UnexplainedDrops()
+	if after > before {
+		return res, fmt.Errorf("capacity: %d unexplained drops during smoke (%s)", after-before, label)
+	}
+	return res, nil
+}
+
+// RunSuite measures the standard configuration and returns the report
+// payload. Smoke always runs; the ladder and saturation search are
+// skipped in SmokeOnly mode.
+func RunSuite(cfg SuiteConfig) (*ConfigResult, error) {
+	logf := func(format string, args ...any) {
+		if cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, format+"\n", args...)
+		}
+	}
+	fleet, err := StartFleet(FleetConfig{Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	defer fleet.Close()
+	out := &ConfigResult{
+		Name:     fleet.Name(),
+		Daemons:  3,
+		Sessions: suiteSessions,
+	}
+
+	smoke, err := SmokePoint(fleet, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	p := NewRatePoint(smoke)
+	out.Smoke = &p
+	logf("capacity: smoke @ %.0f ops/s: p50=%v p99=%v completed=%d errors=%d unfinished=%d",
+		SmokeRate, smoke.P50, smoke.P99, smoke.Completed, smoke.Errors, smoke.Unfinished)
+	if cfg.SmokeOnly {
+		return out, nil
+	}
+
+	for _, rate := range ladderRates {
+		dc := suiteDriver(fleet.Addrs(), cfg.Seed)
+		dc.Arrivals = workload.Poisson{OpsPerSec: rate, Seed: cfg.Seed + int64(rate)}
+		res, err := Run(dc)
+		if err != nil {
+			return nil, fmt.Errorf("capacity: ladder point %.0f ops/s: %w", rate, err)
+		}
+		out.Ladder = append(out.Ladder, NewRatePoint(res))
+		logf("capacity: ladder @ %.0f ops/s: p50=%v p99=%v completed=%d errors=%d unfinished=%d",
+			rate, res.P50, res.P99, res.Completed, res.Errors, res.Unfinished)
+	}
+
+	search, err := FindSaturation(SearchConfig{
+		Driver: suiteDriver(fleet.Addrs(), cfg.Seed),
+		SLO:    SLO{P99: suiteSLOP99},
+		LoRate: SmokeRate,
+		HiRate: 6400,
+		Drops:  fleet.UnexplainedDrops,
+		Logf:   logf,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("capacity: saturation search: %w", err)
+	}
+	sum := &SaturationSummary{
+		SustainableRate: search.Sustainable,
+		CeilingRate:     search.Ceiling,
+		SLOP99NS:        suiteSLOP99.Nanoseconds(),
+	}
+	for _, tr := range search.Trials {
+		sum.Trials = append(sum.Trials, TrialPoint{
+			Rate: tr.Rate, OK: tr.OK, Reason: tr.Reason, P99NS: tr.Result.P99.Nanoseconds(),
+		})
+	}
+	out.Saturation = sum
+	logf("capacity: sustainable %.0f ops/s (ceiling %.0f) under p99<=%v", search.Sustainable, search.Ceiling, suiteSLOP99)
+	return out, nil
+}
+
+// RunGate starts a fresh fleet, re-measures the smoke point and compares
+// it against the baseline report (see Gate).
+func RunGate(baseline *Report, cfg SuiteConfig) (DriverResult, error) {
+	fleet, err := StartFleet(FleetConfig{Seed: cfg.Seed})
+	if err != nil {
+		return DriverResult{}, err
+	}
+	defer fleet.Close()
+	fresh, err := SmokePoint(fleet, cfg.Seed)
+	if err != nil {
+		return fresh, err
+	}
+	return fresh, Gate(baseline, fleet.Name(), fresh, 2)
+}

@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// ArrivalProcess generates the arrival schedule of an open-loop workload:
+// the offsets (from run start) at which operations fire, whether or not
+// earlier operations have completed. The schedule is fully materialised up
+// front so drivers can dispatch without allocation or blocking on the
+// generator, and so a seeded process is reproducible bit for bit.
+type ArrivalProcess interface {
+	// Name identifies the process (and its tuning) in reports.
+	Name() string
+	// Rate is the mean offered rate in operations per second.
+	Rate() float64
+	// Schedule returns the sorted arrival offsets in [0, window).
+	Schedule(window time.Duration) []time.Duration
+}
+
+// FixedRate fires arrivals on a strict metronome: exactly OpsPerSec per
+// second, evenly spaced. The least bursty process — its schedule is the
+// lower bound on queueing for a given rate.
+type FixedRate struct {
+	OpsPerSec float64
+}
+
+// Name implements ArrivalProcess.
+func (f FixedRate) Name() string { return fmt.Sprintf("fixed@%.0f/s", f.OpsPerSec) }
+
+// Rate implements ArrivalProcess.
+func (f FixedRate) Rate() float64 { return f.OpsPerSec }
+
+// Schedule implements ArrivalProcess.
+func (f FixedRate) Schedule(window time.Duration) []time.Duration {
+	if f.OpsPerSec <= 0 || window <= 0 {
+		return nil
+	}
+	gap := time.Duration(float64(time.Second) / f.OpsPerSec)
+	if gap <= 0 {
+		gap = time.Nanosecond
+	}
+	out := make([]time.Duration, 0, int(window/gap)+1)
+	for t := time.Duration(0); t < window; t += gap {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Poisson fires arrivals as a homogeneous Poisson process: exponential
+// inter-arrival gaps with mean 1/OpsPerSec, which is the memoryless
+// arrival pattern of many independent clients. Deterministic per Seed.
+type Poisson struct {
+	OpsPerSec float64
+	Seed      int64
+}
+
+// Name implements ArrivalProcess.
+func (p Poisson) Name() string { return fmt.Sprintf("poisson@%.0f/s", p.OpsPerSec) }
+
+// Rate implements ArrivalProcess.
+func (p Poisson) Rate() float64 { return p.OpsPerSec }
+
+// Schedule implements ArrivalProcess.
+func (p Poisson) Schedule(window time.Duration) []time.Duration {
+	if p.OpsPerSec <= 0 || window <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	mean := float64(time.Second) / p.OpsPerSec
+	out := make([]time.Duration, 0, int(float64(window)/mean)+16)
+	t := time.Duration(0)
+	for {
+		t += time.Duration(rng.ExpFloat64() * mean)
+		if t >= window {
+			return out
+		}
+		out = append(out, t)
+	}
+}
+
+// Phase is one segment of a Bursty schedule: a sustained rate held for a
+// duration.
+type Phase struct {
+	OpsPerSec float64
+	Dur       time.Duration
+}
+
+// Bursty cycles through rate phases over the window — the multi-period /
+// diurnal arrival shape (e.g. quiet→peak→quiet) that exposes how a
+// cluster absorbs a burst and whether it drains the backlog afterwards.
+// Within each phase arrivals are Poisson at the phase rate; the whole
+// schedule is deterministic per Seed.
+type Bursty struct {
+	Phases []Phase
+	Seed   int64
+}
+
+// Name implements ArrivalProcess.
+func (b Bursty) Name() string {
+	return fmt.Sprintf("bursty@%.0f/s(x%d)", b.Rate(), len(b.Phases))
+}
+
+// Rate implements ArrivalProcess — the duration-weighted mean rate over
+// one full cycle.
+func (b Bursty) Rate() float64 {
+	var ops, secs float64
+	for _, ph := range b.Phases {
+		secs += ph.Dur.Seconds()
+		ops += ph.OpsPerSec * ph.Dur.Seconds()
+	}
+	if secs <= 0 {
+		return 0
+	}
+	return ops / secs
+}
+
+// Schedule implements ArrivalProcess.
+func (b Bursty) Schedule(window time.Duration) []time.Duration {
+	if len(b.Phases) == 0 || window <= 0 {
+		return nil
+	}
+	cycle := time.Duration(0)
+	for _, ph := range b.Phases {
+		if ph.Dur > 0 {
+			cycle += ph.Dur
+		}
+	}
+	if cycle <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(b.Seed))
+	var out []time.Duration
+	start := time.Duration(0) // current phase's start offset
+	for i := 0; start < window; i++ {
+		ph := b.Phases[i%len(b.Phases)]
+		end := start + ph.Dur
+		if end > window {
+			end = window
+		}
+		if ph.OpsPerSec > 0 && ph.Dur > 0 {
+			mean := float64(time.Second) / ph.OpsPerSec
+			t := start
+			for {
+				t += time.Duration(rng.ExpFloat64() * mean)
+				if t >= end {
+					break
+				}
+				out = append(out, t)
+			}
+		}
+		if ph.Dur <= 0 { // zero-length phase: skip without advancing time forever
+			continue
+		}
+		start += ph.Dur
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func sortedSchedule(t *testing.T, sched []time.Duration, window time.Duration) {
+	t.Helper()
+	last := time.Duration(-1)
+	for i, at := range sched {
+		if at < last {
+			t.Fatalf("arrival %d at %v before predecessor %v: schedule not sorted", i, at, last)
+		}
+		if at < 0 || at >= window {
+			t.Fatalf("arrival %d at %v outside [0, %v)", i, at, window)
+		}
+		last = at
+	}
+}
+
+func TestFixedRateSchedule(t *testing.T) {
+	f := FixedRate{OpsPerSec: 100}
+	sched := f.Schedule(time.Second)
+	if len(sched) != 100 {
+		t.Fatalf("fixed 100/s over 1s = %d arrivals, want 100", len(sched))
+	}
+	sortedSchedule(t, sched, time.Second)
+	gap := time.Duration(float64(time.Second) / 100)
+	for i, at := range sched {
+		if at != time.Duration(i)*gap {
+			t.Fatalf("arrival %d at %v, want %v (strict metronome)", i, at, time.Duration(i)*gap)
+		}
+	}
+	if got := (FixedRate{}).Schedule(time.Second); got != nil {
+		t.Errorf("zero rate produced %d arrivals", len(got))
+	}
+}
+
+func TestPoissonSeededDeterminism(t *testing.T) {
+	a := Poisson{OpsPerSec: 500, Seed: 42}.Schedule(2 * time.Second)
+	b := Poisson{OpsPerSec: 500, Seed: 42}.Schedule(2 * time.Second)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at arrival %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := Poisson{OpsPerSec: 500, Seed: 43}.Schedule(2 * time.Second)
+	if len(a) == len(c) {
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced an identical schedule")
+		}
+	}
+}
+
+func TestPoissonEmpiricalMean(t *testing.T) {
+	// Count over a long window: N ~ Poisson(rate·window), sd = sqrt(N).
+	// At rate 2000/s over 5s the expectation is 10 000 with sd = 100, so a
+	// ±5% tolerance sits at 5 sigma — a seeded run far inside it.
+	const rate, window = 2000.0, 5 * time.Second
+	sched := Poisson{OpsPerSec: rate, Seed: 7}.Schedule(window)
+	sortedSchedule(t, sched, window)
+	want := rate * window.Seconds()
+	if got := float64(len(sched)); math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("poisson %v/s over %v produced %v arrivals, want %v ±5%%", rate, window, got, want)
+	}
+	// Mean inter-arrival gap within the same tolerance of 1/rate.
+	var sum time.Duration
+	for i := 1; i < len(sched); i++ {
+		sum += sched[i] - sched[i-1]
+	}
+	meanGap := float64(sum) / float64(len(sched)-1)
+	wantGap := float64(time.Second) / rate
+	if math.Abs(meanGap-wantGap)/wantGap > 0.05 {
+		t.Fatalf("mean gap %.0fns, want %.0fns ±5%%", meanGap, wantGap)
+	}
+}
+
+func TestBurstySeededReproducibleAndShaped(t *testing.T) {
+	b := Bursty{
+		Phases: []Phase{
+			{OpsPerSec: 100, Dur: 500 * time.Millisecond},
+			{OpsPerSec: 2000, Dur: 500 * time.Millisecond},
+		},
+		Seed: 11,
+	}
+	const window = 4 * time.Second // two full cycles
+	a1 := b.Schedule(window)
+	a2 := b.Schedule(window)
+	if len(a1) != len(a2) {
+		t.Fatalf("same seed, different lengths: %d vs %d", len(a1), len(a2))
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("same seed diverged at arrival %d", i)
+		}
+	}
+	sortedSchedule(t, a1, window)
+
+	// The burst phases must carry far more arrivals than the quiet phases,
+	// and the phase boundaries must cycle across the whole window.
+	inPhase := func(at time.Duration) int {
+		ms := at.Milliseconds() % 1000
+		if ms < 500 {
+			return 0 // quiet
+		}
+		return 1 // burst
+	}
+	var counts [2]int
+	for _, at := range a1 {
+		counts[inPhase(at)]++
+	}
+	if counts[1] < 10*counts[0] {
+		t.Fatalf("burst phase %d arrivals vs quiet %d: burst not >=10x quiet (rates 2000 vs 100)", counts[1], counts[0])
+	}
+	// Both halves of the window see both phases (the cycle repeats).
+	lateQuiet := 0
+	for _, at := range a1 {
+		if at >= 2*time.Second && inPhase(at) == 0 {
+			lateQuiet++
+		}
+	}
+	if lateQuiet == 0 {
+		t.Fatal("no quiet-phase arrivals in the second half: phases did not cycle")
+	}
+	// Duration-weighted mean rate.
+	if got, want := b.Rate(), 1050.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Rate() = %v, want %v", got, want)
+	}
+}
+
+func TestBurstyDegenerate(t *testing.T) {
+	if got := (Bursty{Seed: 1}).Schedule(time.Second); got != nil {
+		t.Errorf("no phases produced %d arrivals", len(got))
+	}
+	if got := (Bursty{Phases: []Phase{{OpsPerSec: 100, Dur: 0}}}).Schedule(time.Second); got != nil {
+		t.Errorf("zero-duration phases produced %d arrivals", len(got))
+	}
+}
