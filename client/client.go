@@ -33,6 +33,18 @@
 //
 // Reads and Status are idempotent and are retried across endpoints
 // automatically.
+//
+// # Sharded clusters
+//
+// Against a sharded fleet the session learns the shard map lazily: a
+// NOT_SERVING answer from a sharded daemon carries the owning group, the
+// hash arc it owns, the shard-map epoch, and a member's client address.
+// The session caches these arcs and routes subsequent operations on keys
+// in a known arc straight to the owner over a per-address connection
+// pool, skipping the redirect hop. A hint with a newer epoch flushes the
+// cache (the map changed — a split or move landed); a routed connection
+// opened after any route change starts with a barrier-upgraded first
+// read, so read-your-writes survives the hop to the range's new owner.
 package client
 
 import (
@@ -45,6 +57,7 @@ import (
 
 	"newtop/internal/clientproto"
 	"newtop/internal/obs"
+	"newtop/internal/types"
 )
 
 // ErrUnacked is returned (wrapped) by Put and Del when the connection died
@@ -105,12 +118,14 @@ func (cfg Config) withDefaults() Config {
 
 // Stats counts a session's routing activity.
 type Stats struct {
-	Ops         uint64 // requests that completed (any final status)
-	Failovers   uint64 // pin moved because a connection died
-	Redirects   uint64 // pin moved because a daemon answered NOT_SERVING
-	Retries     uint64 // RETRY responses honoured
-	Unacked     uint64 // writes that returned ErrUnacked
-	RetryClamps uint64 // server RetryAfter hints clamped to MaxRetryWait
+	Ops          uint64 // requests that completed (any final status)
+	Failovers    uint64 // pin moved because a connection died
+	Redirects    uint64 // pin moved because a daemon answered NOT_SERVING
+	Retries      uint64 // RETRY responses honoured
+	Unacked      uint64 // writes that returned ErrUnacked
+	RetryClamps  uint64 // server RetryAfter hints clamped to MaxRetryWait
+	ShardRouted  uint64 // ops routed directly via the learned shard map
+	ShardRefresh uint64 // shard route cache flushes on an epoch bump
 }
 
 // clientMetrics holds the session's pre-resolved observability handles.
@@ -122,6 +137,8 @@ type clientMetrics struct {
 	unacked         *obs.Counter
 	retryClamps     *obs.Counter // server RetryAfter hints clamped to MaxRetryWait
 	barrierUpgrades *obs.Counter // plain Gets upgraded to barrier reads after a moved pin
+	shardRouted     *obs.Counter // ops routed directly via the learned shard map
+	shardRefresh    *obs.Counter // shard route cache flushes on an epoch bump
 
 	// Per-op end-to-end latency (including retries and failovers).
 	opGet    *obs.Histogram
@@ -140,6 +157,8 @@ func newClientMetrics(reg *obs.Registry) clientMetrics {
 		unacked:         reg.Counter("newtop_client_unacked_total"),
 		retryClamps:     reg.Counter("newtop_client_retry_clamped_total"),
 		barrierUpgrades: reg.Counter("newtop_client_barrier_upgrades_total"),
+		shardRouted:     reg.Counter("newtop_client_shard_routed_total"),
+		shardRefresh:    reg.Counter("newtop_client_shard_refresh_total"),
 		opGet:           reg.Histogram(`newtop_client_op_ns{op="get"}`),
 		opBGet:          reg.Histogram(`newtop_client_op_ns{op="barrier_get"}`),
 		opPut:           reg.Histogram(`newtop_client_op_ns{op="put"}`),
@@ -191,16 +210,48 @@ type Client struct {
 	// holding mu) unblock immediately instead of serving out their wait.
 	closedCh chan struct{}
 
+	// Shard routing, learned lazily from NOT_SERVING shard hints.
+	// shardArcs caches the hash arcs the session has been taught (all at
+	// shardEpoch); pool holds one routed connection per owner address.
+	shardEpoch uint64
+	shardArcs  []routeArc
+	pool       map[string]*pconn
+
 	reg *obs.Registry
 	cm  clientMetrics
+}
+
+// routeArc is one cached shard-map arc: keys hashing into [lo, hi) are
+// served by group at addr. hi == 0 means the ring top.
+type routeArc struct {
+	lo, hi uint64
+	group  uint64
+	addr   string
+}
+
+// pconn is one pooled routed connection. fence marks that the next read
+// over it must be barrier-upgraded (the connection is new, or the
+// session's writes may have moved groups since it last proved catch-up).
+// fence is only touched by the opMu holder; conn/br are published under
+// mu so Close can interrupt an in-flight exchange.
+type pconn struct {
+	addr  string
+	conn  net.Conn
+	br    *bufio.Reader
+	fence bool
 }
 
 // endpoint is one known daemon address. Learned (redirect-hint) addresses
 // are forgotten after a few consecutive failed dials — daemons restarted
 // on fresh ephemeral ports would otherwise pollute the sweep forever;
 // bootstrap addresses (the Dial arguments) are kept no matter what.
+// Learned endpoints are keyed per (group, endpoint): what group 9's
+// redirects taught — and what its dial failures unteach — is group 9's
+// knowledge alone, so one shard's dead hint cannot evict an address
+// another shard still vouches for.
 type endpoint struct {
 	addr      string
+	group     uint64 // the group whose redirect taught this address (0: bootstrap/unknown)
 	bootstrap bool
 	fails     int // consecutive failed dials
 }
@@ -221,7 +272,11 @@ func (cfg Config) Dial(addrs ...string) (*Client, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("client: Dial needs at least one address")
 	}
-	c := &Client{cfg: cfg.withDefaults(), closedCh: make(chan struct{})}
+	c := &Client{
+		cfg:      cfg.withDefaults(),
+		closedCh: make(chan struct{}),
+		pool:     make(map[string]*pconn),
+	}
 	c.reg = c.cfg.Metrics
 	if c.reg == nil {
 		c.reg = obs.NewRegistry()
@@ -262,12 +317,14 @@ func (c *Client) Endpoints() []string {
 // session's metrics registry.
 func (c *Client) Stats() Stats {
 	return Stats{
-		Ops:         c.cm.ops.Value(),
-		Failovers:   c.cm.failovers.Value(),
-		Redirects:   c.cm.redirects.Value(),
-		Retries:     c.cm.retries.Value(),
-		Unacked:     c.cm.unacked.Value(),
-		RetryClamps: c.cm.retryClamps.Value(),
+		Ops:          c.cm.ops.Value(),
+		Failovers:    c.cm.failovers.Value(),
+		Redirects:    c.cm.redirects.Value(),
+		Retries:      c.cm.retries.Value(),
+		Unacked:      c.cm.unacked.Value(),
+		RetryClamps:  c.cm.retryClamps.Value(),
+		ShardRouted:  c.cm.shardRouted.Value(),
+		ShardRefresh: c.cm.shardRefresh.Value(),
 	}
 }
 
@@ -285,7 +342,19 @@ func (c *Client) Close() error {
 		close(c.closedCh)
 	}
 	c.dropLocked()
+	for addr, pc := range c.pool {
+		_ = pc.conn.Close()
+		delete(c.pool, addr)
+	}
 	return nil
+}
+
+// RouteEpoch returns the shard-map epoch of the session's route cache
+// (0 until a shard hint has been learned).
+func (c *Client) RouteEpoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shardEpoch
 }
 
 // sleep pauses for d, returning false immediately if the session is
@@ -452,24 +521,61 @@ func (c *Client) do(req *clientproto.Request, idempotent bool, intended time.Tim
 			}
 			return clientproto.Response{}, fmt.Errorf("%w: %v", ErrUnavailable, lastErr)
 		}
-		conn, br, err := c.ensure()
-		if err != nil {
-			if errors.Is(err, ErrClosed) {
-				return clientproto.Response{}, err
+		var (
+			conn net.Conn
+			br   *bufio.Reader
+			pc   *pconn // non-nil when shard-routed
+		)
+		if addr, grp, ok := c.routeFor(req); ok {
+			var err error
+			pc, err = c.ensurePooled(addr)
+			if err != nil {
+				if errors.Is(err, ErrClosed) {
+					return clientproto.Response{}, err
+				}
+				// The routed owner is unreachable: forget the route (and
+				// this group's learned endpoint) and fall back to the
+				// redirect path through the sweep — pausing first, so a
+				// dead owner plus a peer re-teaching its address cannot
+				// hot-loop the session through dial failures.
+				c.mu.Lock()
+				c.evictRouteLocked(addr)
+				c.noteDialFailedLocked(addr, grp)
+				c.mu.Unlock()
+				lastErr = err
+				if !c.sleep(c.cfg.RetryWait) {
+					return clientproto.Response{}, ErrClosed
+				}
+				continue
 			}
-			lastErr = err
-			// Every known endpoint refused a connection; pause before
-			// sweeping them again (a crashed daemon may be restarting).
-			if !c.sleep(c.cfg.RetryWait) {
-				return clientproto.Response{}, ErrClosed
+			conn, br = pc.conn, pc.br
+		} else {
+			var err error
+			conn, br, err = c.ensure()
+			if err != nil {
+				if errors.Is(err, ErrClosed) {
+					return clientproto.Response{}, err
+				}
+				lastErr = err
+				// Every known endpoint refused a connection; pause before
+				// sweeping them again (a crashed daemon may be restarting).
+				if !c.sleep(c.cfg.RetryWait) {
+					return clientproto.Response{}, ErrClosed
+				}
+				continue
 			}
-			continue
 		}
-		// A moved pin downgrades read-your-writes until one barrier read
-		// proves the new daemon has caught up past our acked writes.
-		c.mu.Lock()
-		fence := c.fence
-		c.mu.Unlock()
+		// A moved pin (or a fresh routed connection) downgrades
+		// read-your-writes until one barrier read proves the daemon has
+		// caught up past our acked writes.
+		var fence bool
+		if pc != nil {
+			fence = pc.fence
+		} else {
+			c.mu.Lock()
+			fence = c.fence
+			c.mu.Unlock()
+		}
 		op := req.Op
 		if fence && op == clientproto.OpGet {
 			op = clientproto.OpBarrierGet
@@ -481,9 +587,13 @@ func (c *Client) do(req *clientproto.Request, idempotent bool, intended time.Tim
 		if err != nil {
 			c.mu.Lock()
 			closed := c.closed
-			c.dropLocked()
 			c.cm.failovers.Inc()
-			c.fence = true
+			if pc != nil {
+				c.closePooledLocked(pc)
+			} else {
+				c.dropLocked()
+				c.fence = true
+			}
 			if !idempotent {
 				// The request may have reached the daemon before the
 				// connection died; the write's outcome is unknown.
@@ -504,7 +614,11 @@ func (c *Client) do(req *clientproto.Request, idempotent bool, intended time.Tim
 		case clientproto.StOK, clientproto.StStatus:
 			c.cm.ops.Inc()
 			if req.Op == clientproto.OpGet || req.Op == clientproto.OpBarrierGet {
-				c.fence = false
+				if pc != nil {
+					pc.fence = false
+				} else {
+					c.fence = false
+				}
 			}
 			c.mu.Unlock()
 			return resp, nil
@@ -520,7 +634,11 @@ func (c *Client) do(req *clientproto.Request, idempotent bool, intended time.Tim
 			if !idempotent {
 				c.cm.ops.Inc()
 				c.cm.unacked.Inc()
-				c.fence = true
+				if pc != nil {
+					pc.fence = true
+				} else {
+					c.fence = true
+				}
 				c.mu.Unlock()
 				return clientproto.Response{}, fmt.Errorf("%w: %s", ErrUnacked, resp.Err)
 			}
@@ -532,17 +650,43 @@ func (c *Client) do(req *clientproto.Request, idempotent bool, intended time.Tim
 			continue
 		case clientproto.StNotServing:
 			c.cm.redirects.Inc()
-			from := c.pinned
-			learnedNew := c.learnLocked(resp.Addr)
-			c.dropLocked()
-			c.fence = true
+			// A hint is productive when it teaches something: a shard
+			// route (new or re-owned arc) or a new (group, endpoint)
+			// pair. Productive hints proceed immediately; unproductive
+			// repeats pace. The pair is the pacing key — under the old
+			// flat-address namespace, group 9 hinting an address that
+			// group 7 already taught was "nothing new" and stalled a
+			// whole RetryWait, even though it was this session's first
+			// word about group 9's whereabouts.
+			productive := false
+			if resp.Epoch > 0 {
+				productive = c.learnShardLocked(&resp)
+			}
+			if c.learnLocked(resp.Addr, resp.Group) {
+				productive = true
+			}
+			switch {
+			case pc != nil:
+				// The routed connection answered fine — only the route
+				// was stale. Keep the connection for arcs it still owns;
+				// the refreshed cache redirects this key next iteration.
+				lastErr = fmt.Errorf("stale shard route (group %d moved)", resp.Group)
+			case resp.Epoch > 0 && productive:
+				// A shard hint from a healthy pinned daemon: it simply
+				// does not own this key's arc. The route cache now does;
+				// keep the pin for the arcs (and Status) it still serves.
+				lastErr = fmt.Errorf("key owned by shard group %d", resp.Group)
+			default:
+				from := c.pinned
+				c.dropLocked()
+				c.fence = true
+				lastErr = fmt.Errorf("redirected away from %s (serving group %d)", from, resp.Group)
+			}
 			c.mu.Unlock()
-			lastErr = fmt.Errorf("redirected away from %s (serving group %d)", from, resp.Group)
-			if !learnedNew {
-				// The hint taught nothing (empty, or an address we
-				// already knew): without a pause, two daemons pointing
-				// at each other would spin the session through a hot
-				// dial/redirect loop for the whole failover budget.
+			if !productive {
+				// The hint taught nothing: without a pause, two daemons
+				// pointing at each other would spin the session through
+				// a hot dial/redirect loop for the whole failover budget.
 				if !c.sleep(c.cfg.RetryWait) {
 					return clientproto.Response{}, ErrClosed
 				}
@@ -566,7 +710,11 @@ func (c *Client) do(req *clientproto.Request, idempotent bool, intended time.Tim
 			}
 			continue
 		default:
-			c.dropLocked()
+			if pc != nil {
+				c.closePooledLocked(pc)
+			} else {
+				c.dropLocked()
+			}
 			c.mu.Unlock()
 			lastErr = fmt.Errorf("unknown response status %d", resp.Status)
 			continue
@@ -630,7 +778,7 @@ func (c *Client) ensure() (net.Conn, *bufio.Reader, error) {
 			break
 		}
 		idx := c.next % len(c.addrs)
-		addr := c.addrs[idx].addr
+		addr, grp := c.addrs[idx].addr, c.addrs[idx].group
 		c.mu.Unlock()
 
 		conn, err := net.DialTimeout("tcp", addr, c.cfg.DialTimeout)
@@ -646,7 +794,7 @@ func (c *Client) ensure() (net.Conn, *bufio.Reader, error) {
 		if err != nil {
 			lastErr = err
 			c.advanceCursorLocked(addr)
-			c.noteDialFailedLocked(addr)
+			c.noteDialFailedLocked(addr, grp)
 			c.mu.Unlock()
 			continue
 		}
@@ -683,10 +831,13 @@ func (c *Client) advanceCursorLocked(addr string) {
 
 // noteDialFailedLocked bumps an endpoint's consecutive-failure count and
 // evicts learned endpoints that keep failing. The slice may have been
-// reshuffled while the lock was released, so look the address up again.
-func (c *Client) noteDialFailedLocked(addr string) {
+// reshuffled while the lock was released, so look the (group, address)
+// key up again — eviction is per (group, endpoint): a dead hint from one
+// group must not erase an address another group's redirects still vouch
+// for.
+func (c *Client) noteDialFailedLocked(addr string, group uint64) {
 	for i := range c.addrs {
-		if c.addrs[i].addr != addr {
+		if c.addrs[i].addr != addr || c.addrs[i].group != group {
 			continue
 		}
 		c.addrs[i].fails++
@@ -715,23 +866,140 @@ func (c *Client) noteDialOKLocked(addr string) {
 	}
 }
 
-// learnLocked adds a redirect hint to the endpoint set and aims the
-// round-robin cursor at it, so the next pin attempt tries it first. It
-// reports whether the hint taught a NEW address.
-func (c *Client) learnLocked(addr string) bool {
+// learnLocked adds a redirect hint to the endpoint set, keyed per
+// (group, endpoint), and aims the round-robin cursor at it so the next
+// pin attempt tries it first. It reports whether the hint taught a NEW
+// (group, endpoint) pair.
+func (c *Client) learnLocked(addr string, group uint64) bool {
 	if addr == "" {
 		return false
 	}
 	for i := range c.addrs {
-		if c.addrs[i].addr == addr {
+		if c.addrs[i].addr == addr && (c.addrs[i].group == group || c.addrs[i].bootstrap) {
 			c.next = i
 			c.addrs[i].fails = 0 // the hint vouches for it afresh
 			return false
 		}
 	}
-	c.addrs = append(c.addrs, endpoint{addr: addr})
+	c.addrs = append(c.addrs, endpoint{addr: addr, group: group})
 	c.next = len(c.addrs) - 1
 	return true
+}
+
+// routeFor consults the shard route cache: for a keyed operation whose
+// hash falls in a cached arc it returns the owner's address and group.
+func (c *Client) routeFor(req *clientproto.Request) (string, uint64, bool) {
+	switch req.Op {
+	case clientproto.OpGet, clientproto.OpBarrierGet, clientproto.OpPut, clientproto.OpDel:
+	default:
+		return "", 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.shardArcs) == 0 {
+		return "", 0, false
+	}
+	h := types.KeyHash(req.Key)
+	for _, a := range c.shardArcs {
+		if h >= a.lo && (a.hi == 0 || h < a.hi) {
+			c.cm.shardRouted.Inc()
+			return a.addr, a.group, true
+		}
+	}
+	return "", 0, false
+}
+
+// learnShardLocked folds a shard hint into the route cache. A hint with
+// a NEWER epoch flushes every cached arc first — the map changed, and
+// arcs learned under the old epoch may route to groups that no longer
+// own them; a hint with an older epoch is stale and ignored. It reports
+// whether the cache changed (the hint was productive).
+func (c *Client) learnShardLocked(resp *clientproto.Response) bool {
+	if resp.Epoch < c.shardEpoch {
+		return false
+	}
+	changed := false
+	if resp.Epoch > c.shardEpoch {
+		if c.shardEpoch != 0 {
+			c.cm.shardRefresh.Inc()
+		}
+		c.shardEpoch = resp.Epoch
+		c.shardArcs = c.shardArcs[:0]
+		// Routed connections opened under the old map may now front
+		// ranges whose owner changed; their next read must re-prove
+		// read-your-writes.
+		for _, pc := range c.pool {
+			pc.fence = true
+		}
+		changed = true
+	}
+	if resp.Addr == "" {
+		return changed
+	}
+	arc := routeArc{resp.RangeLo, resp.RangeHi, resp.Group, resp.Addr}
+	for i := range c.shardArcs {
+		if c.shardArcs[i].lo == resp.RangeLo && c.shardArcs[i].hi == resp.RangeHi {
+			if c.shardArcs[i] == arc {
+				return changed
+			}
+			c.shardArcs[i] = arc
+			return true
+		}
+	}
+	c.shardArcs = append(c.shardArcs, arc)
+	return true
+}
+
+// evictRouteLocked forgets every cached arc routed at addr (its owner is
+// unreachable); the next op on those keys falls back to the redirect
+// path.
+func (c *Client) evictRouteLocked(addr string) {
+	kept := c.shardArcs[:0]
+	for _, a := range c.shardArcs {
+		if a.addr != addr {
+			kept = append(kept, a)
+		}
+	}
+	c.shardArcs = kept
+}
+
+// ensurePooled returns the routed connection for addr, dialing one if
+// needed. Fresh connections start fenced: their first read is barrier-
+// upgraded so read-your-writes holds across the route hop.
+func (c *Client) ensurePooled(addr string) (*pconn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if pc := c.pool[addr]; pc != nil {
+		c.mu.Unlock()
+		return pc, nil
+	}
+	c.mu.Unlock()
+	conn, err := net.DialTimeout("tcp", addr, c.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		_ = conn.Close()
+		return nil, ErrClosed
+	}
+	pc := &pconn{addr: addr, conn: conn, br: bufio.NewReader(conn), fence: true}
+	c.pool[addr] = pc
+	c.mu.Unlock()
+	return pc, nil
+}
+
+// closePooledLocked closes a routed connection and removes it from the
+// pool.
+func (c *Client) closePooledLocked(pc *pconn) {
+	_ = pc.conn.Close()
+	if c.pool[pc.addr] == pc {
+		delete(c.pool, pc.addr)
+	}
 }
 
 // dropLocked abandons the pinned connection.

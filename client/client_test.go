@@ -3,12 +3,15 @@ package client
 import (
 	"bufio"
 	"errors"
+	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"newtop/internal/clientproto"
+	"newtop/internal/types"
 )
 
 // fakeDaemon speaks the client protocol with a scripted handler, recording
@@ -327,7 +330,7 @@ func TestLearnedEndpointEvictedBootstrapKept(t *testing.T) {
 	// Teach a learned dead address via a redirect... simpler: inject it
 	// directly through the same path the redirect uses.
 	c.mu.Lock()
-	c.learnLocked("127.0.0.1:1") // learned, nothing listens there
+	c.learnLocked("127.0.0.1:1", 0) // learned, nothing listens there
 	c.mu.Unlock()
 
 	// Each failover sweep dials the dead learned endpoint first (the
@@ -649,5 +652,181 @@ func TestCloseInterruptsStuckExchange(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("Get never returned after Close")
+	}
+}
+
+// shardedHandler serves keys hashing into [lo, hi) from its own store and
+// answers every other keyed op with the supplied shard hint.
+func shardedHandler(lo, hi uint64, hint func() *clientproto.Response) (func(clientproto.Request, net.Conn) *clientproto.Response, *sync.Map) {
+	h, m := kvHandler()
+	return func(req clientproto.Request, conn net.Conn) *clientproto.Response {
+		switch req.Op {
+		case clientproto.OpGet, clientproto.OpBarrierGet, clientproto.OpPut, clientproto.OpDel:
+			if hh := types.KeyHash(req.Key); hh < lo || (hi != 0 && hh >= hi) {
+				return hint()
+			}
+		}
+		return h(req, conn)
+	}, m
+}
+
+// hashKeyIn finds a fresh key whose hash lands in [lo, hi).
+func hashKeyIn(prefix string, lo, hi uint64) string {
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("%s%d", prefix, i)
+		if h := types.KeyHash(k); h >= lo && (hi == 0 || h < hi) {
+			return k
+		}
+	}
+}
+
+func TestShardHintsRouteDirectly(t *testing.T) {
+	mid := uint64(1) << 63
+	bh, bStore := kvHandler()
+	b := newFakeDaemon(t, bh)
+	ah, _ := shardedHandler(0, mid, func() *clientproto.Response {
+		return &clientproto.Response{Status: clientproto.StNotServing,
+			Group: 11, Addr: b.addr(), Epoch: 1, RangeLo: mid, RangeHi: 0}
+	})
+	a := newFakeDaemon(t, ah)
+	c, err := testConfig().Dial(a.addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	// The first op on the high arc takes one redirect and teaches the arc.
+	kb := hashKeyIn("kb", mid, 0)
+	if err := c.Put(kb, "v1"); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Redirects != 1 {
+		t.Fatalf("first high-arc op took %d redirects, want 1", st.Redirects)
+	}
+	if c.RouteEpoch() != 1 {
+		t.Fatalf("RouteEpoch = %d, want 1", c.RouteEpoch())
+	}
+
+	// Subsequent high-arc ops route straight to the owner: no new redirects.
+	kb2 := hashKeyIn("kc", mid, 0)
+	if err := c.Put(kb2, "v2"); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := c.Get(kb); err != nil || !ok || v != "v1" {
+		t.Fatalf("routed Get = %q %v %v", v, ok, err)
+	}
+	st = c.Stats()
+	if st.Redirects != 1 {
+		t.Fatalf("routed ops still redirected (%d total)", st.Redirects)
+	}
+	if st.ShardRouted == 0 {
+		t.Fatal("no ops counted as shard-routed")
+	}
+	if _, ok := bStore.Load(kb2); !ok {
+		t.Fatal("routed write never reached the owner")
+	}
+
+	// Low-arc keys have no cached arc and ride the pinned connection.
+	ka := hashKeyIn("ka", 0, mid)
+	if err := c.Put(ka, "va"); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := c.Get(ka); err != nil || !ok || v != "va" {
+		t.Fatalf("pinned Get = %q %v %v", v, ok, err)
+	}
+	if got := c.Pinned(); got != a.addr() {
+		t.Fatalf("pin moved to %q; shard routing should not move the pin", got)
+	}
+}
+
+func TestShardEpochBumpRefreshesRoutes(t *testing.T) {
+	mid := uint64(1) << 63
+	ch, cStore := kvHandler()
+	cd := newFakeDaemon(t, ch)
+	var moved atomic.Bool
+	bh, _ := kvHandler()
+	b := newFakeDaemon(t, func(req clientproto.Request, conn net.Conn) *clientproto.Response {
+		switch req.Op {
+		case clientproto.OpGet, clientproto.OpBarrierGet, clientproto.OpPut, clientproto.OpDel:
+			if moved.Load() {
+				// The range moved: answer with a NEWER epoch pointing at
+				// its new owner.
+				return &clientproto.Response{Status: clientproto.StNotServing,
+					Group: 12, Addr: cd.addr(), Epoch: 2, RangeLo: mid, RangeHi: 0}
+			}
+		}
+		return bh(req, conn)
+	})
+	ah, _ := shardedHandler(0, mid, func() *clientproto.Response {
+		return &clientproto.Response{Status: clientproto.StNotServing,
+			Group: 11, Addr: b.addr(), Epoch: 1, RangeLo: mid, RangeHi: 0}
+	})
+	a := newFakeDaemon(t, ah)
+	c, err := testConfig().Dial(a.addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	k1 := hashKeyIn("e", mid, 0)
+	if err := c.Put(k1, "old"); err != nil { // learns epoch-1 route to b
+		t.Fatal(err)
+	}
+	moved.Store(true)
+	k2 := hashKeyIn("f", mid, 0)
+	if err := c.Put(k2, "new"); err != nil { // stale route -> epoch bump -> rerouted
+		t.Fatal(err)
+	}
+	if got := c.RouteEpoch(); got != 2 {
+		t.Fatalf("RouteEpoch = %d after the bump, want 2", got)
+	}
+	if c.Stats().ShardRefresh != 1 {
+		t.Fatalf("ShardRefresh = %d, want 1", c.Stats().ShardRefresh)
+	}
+	if _, ok := cStore.Load(k2); !ok {
+		t.Fatal("post-move write never reached the new owner")
+	}
+	// The refreshed arc keeps routing: reads of moved keys hit the new
+	// owner (and the fresh routed connection barrier-upgrades them).
+	if v, ok, err := c.Get(k2); err != nil || !ok || v != "new" {
+		t.Fatalf("Get after refresh = %q %v %v", v, ok, err)
+	}
+}
+
+func TestDeadRoutedOwnerEvictedAndFallsBack(t *testing.T) {
+	h, _ := kvHandler()
+	d := newFakeDaemon(t, h)
+	c, err := testConfig().Dial(d.addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	// Teach a route whose owner is unreachable (a listener that is gone).
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	_ = dead.Close()
+	c.mu.Lock()
+	c.learnShardLocked(&clientproto.Response{Status: clientproto.StNotServing,
+		Group: 13, Addr: deadAddr, Epoch: 1, RangeLo: 0, RangeHi: 0})
+	c.mu.Unlock()
+
+	// The op tries the dead owner once, evicts the route, and falls back
+	// to the pinned daemon.
+	if err := c.Put("k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	arcs := len(c.shardArcs)
+	c.mu.Unlock()
+	if arcs != 0 {
+		t.Fatalf("%d arcs still cached after the owner refused dials", arcs)
+	}
+	if v, ok, err := c.Get("k"); err != nil || !ok || v != "v" {
+		t.Fatalf("fallback Get = %q %v %v", v, ok, err)
 	}
 }

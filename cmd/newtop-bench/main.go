@@ -57,6 +57,7 @@ func experiments() []experiment {
 		{"R2", "rsm divergence detection across a healed partition", harness.R2PartitionDivergence},
 		{"R3", "rsm partition reconciliation: digest diff → merged successor group", harness.R3PartitionReconciliation},
 		{"R4", "client routing & failover under daemon kill + partition/heal (wall clock)", harness.R4ClientFailover},
+		{"R5", "live shard-range move under open-loop load: zero acked-write loss, epoch re-route (wall clock)", harness.R5ShardMove},
 		{"X1", "§5 ex.1 joint failure, orphan erased", harness.X1JointFailure},
 		{"X2", "§5 ex.2 MD5' partition exclusion", harness.X2CausalChain},
 		{"X3", "§5 ex.3 concurrent subgroup views", harness.X3ConcurrentViews},
@@ -221,16 +222,17 @@ func runPerf(out, baselinePath, note string) error {
 	return nil
 }
 
-// runCapacity boots the 3-daemon TCP fleet and measures it open-loop:
-// always the pinned smoke point, plus (unless smokeOnly) the offered-rate
-// ladder and the SLO saturation search. Results land in BENCH_capacity.json.
+// runCapacity boots each suite fleet (single-group baseline, ring
+// dissemination, sharded) and measures it open-loop: always the pinned
+// smoke point, plus (unless smokeOnly) the offered-rate ladder and the
+// SLO saturation search. Results land in BENCH_capacity.json.
 func runCapacity(out string, seed int64, smokeOnly bool) error {
 	mode := "smoke + ladder + saturation search"
 	if smokeOnly {
 		mode = "smoke only"
 	}
-	fmt.Printf("Newtop open-loop capacity harness (3-daemon TCP fleet, %s)\n", mode)
-	cfgRes, err := capacity.RunSuite(capacity.SuiteConfig{
+	fmt.Printf("Newtop open-loop capacity harness (TCP fleets, %s)\n", mode)
+	results, err := capacity.RunSuite(capacity.SuiteConfig{
 		SmokeOnly: smokeOnly,
 		Progress:  os.Stdout,
 		Seed:      seed,
@@ -238,28 +240,31 @@ func runCapacity(out string, seed int64, smokeOnly bool) error {
 	if err != nil {
 		return err
 	}
-	report := capacity.NewReport([]capacity.ConfigResult{*cfgRes})
+	report := capacity.NewReport(results)
 	if err := capacity.WriteReport(out, report); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s\n", out)
+	fmt.Printf("wrote %s (%d configs)\n", out, len(results))
 	return nil
 }
 
-// runCapacityGate re-measures the pinned smoke point on a fresh fleet and
-// fails on a p99 regression beyond 2x the baseline (plus a small absolute
-// slack — see capacity.Gate), on any smoke-rate errors or stranded ops,
-// or on unexplained drops.
+// runCapacityGate re-measures the pinned smoke point of every baseline
+// config on a fresh fleet and fails on a p99 regression beyond 2x the
+// baseline (plus a small absolute slack — see capacity.Gate), on any
+// smoke-rate errors or stranded ops, or on unexplained drops.
 func runCapacityGate(baselinePath string, seed int64) error {
 	baseline, err := capacity.LoadReport(baselinePath)
 	if err != nil {
 		return fmt.Errorf("load capacity baseline: %w", err)
 	}
-	fresh, err := capacity.RunGate(baseline, capacity.SuiteConfig{Seed: seed})
+	results, err := capacity.RunGate(baseline, capacity.SuiteConfig{Seed: seed})
+	for _, r := range results {
+		fmt.Printf("capacity gate: %s smoke @ %.0f ops/s p99=%v (completed %d/%d)\n",
+			r.Name, capacity.SmokeRate, r.Fresh.P99, r.Fresh.Completed, r.Fresh.Scheduled)
+	}
 	if err != nil {
 		return err
 	}
-	fmt.Printf("capacity gate ok: smoke @ %.0f ops/s p99=%v (completed %d/%d) within budget of baseline\n",
-		capacity.SmokeRate, fresh.P99, fresh.Completed, fresh.Scheduled)
+	fmt.Printf("capacity gate ok: %d configs within budget of baseline\n", len(results))
 	return nil
 }

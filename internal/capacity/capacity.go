@@ -38,6 +38,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -49,8 +50,15 @@ import (
 
 // OverallHist is the registry name of the driver's overall per-op latency
 // histogram (all op kinds folded together, measured from intended start
-// in open-loop runs).
-const OverallHist = "newtop_capacity_op_ns"
+// in open-loop runs). ReadHist and WriteHist split the same measurements
+// by op kind, so reads and writes can carry separate SLO targets —
+// sharded and ring configurations shift the two tails differently (a
+// routed read may barrier-upgrade; a large write rides the ring).
+const (
+	OverallHist = "newtop_capacity_op_ns"
+	ReadHist    = `newtop_capacity_op_ns{kind="read"}`
+	WriteHist   = `newtop_capacity_op_ns{kind="write"}`
+)
 
 // DriverConfig tunes one measurement run of the client-fleet driver.
 type DriverConfig struct {
@@ -79,6 +87,12 @@ type DriverConfig struct {
 	// session fires its next op when the previous completes, and latency
 	// is measured from call start. Arrivals is ignored.
 	ClosedLoop bool
+	// Warmup is the number of unmeasured ops each session performs before
+	// the schedule starts (default 0). Fresh sessions against a sharded
+	// fleet pay redirect round-trips while they learn the shard map; a
+	// short warmup moves that cold start out of the measured window so
+	// the numbers reflect steady-state routing.
+	Warmup int
 	// Seed drives op-mix and key choice (and closed-loop generators).
 	Seed int64
 	// Client tunes the sessions; Metrics is overridden with the driver's
@@ -96,7 +110,7 @@ func (cfg DriverConfig) withDefaults() DriverConfig {
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 5 * time.Second
 	}
-	if cfg.GetFraction < 0 || cfg.GetFraction > 1 {
+	if cfg.GetFraction <= 0 || cfg.GetFraction > 1 {
 		cfg.GetFraction = 0.1
 	}
 	if cfg.KeySpace <= 0 {
@@ -110,17 +124,19 @@ func (cfg DriverConfig) withDefaults() DriverConfig {
 
 // DriverResult is the outcome of one run.
 type DriverResult struct {
-	Arrivals  string        // arrival process name ("closed-loop" in closed mode)
-	Offered   float64       // scheduled arrival rate, ops/s
-	Scheduled uint64        // arrivals the schedule fired (none are ever skipped)
-	Completed uint64        // ops that finished with a final answer
-	Errors    uint64        // ops that finished in error (incl. unacked writes)
-	Unfinished uint64       // ops still queued/in flight when the drain window closed
-	Elapsed   time.Duration // wall time from first arrival to fleet shutdown
-	Achieved  float64       // completed ops per second of Elapsed
+	Arrivals            string        // arrival process name ("closed-loop" in closed mode)
+	Offered             float64       // scheduled arrival rate, ops/s
+	Scheduled           uint64        // arrivals the schedule fired (none are ever skipped)
+	Completed           uint64        // ops that finished with a final answer
+	Errors              uint64        // ops that finished in error (incl. unacked writes)
+	Unfinished          uint64        // ops still queued/in flight when the drain window closed
+	Elapsed             time.Duration // wall time from first arrival to fleet shutdown
+	Achieved            float64       // completed ops per second of Elapsed
 	P50, P99, P999, Max time.Duration // per-op latency (intended start → completion)
-	MaxSchedLag time.Duration // worst scheduler dispatch lag (sanity: the driver kept up)
-	Snapshot  obs.Snapshot  // the full registry the numbers came from
+	ReadP50, ReadP99    time.Duration // read-only latency quantiles
+	WriteP50, WriteP99  time.Duration // write-only latency quantiles
+	MaxSchedLag         time.Duration // worst scheduler dispatch lag (sanity: the driver kept up)
+	Snapshot            obs.Snapshot  // the full registry the numbers came from
 }
 
 // op is one scheduled operation.
@@ -189,10 +205,42 @@ func Run(cfg DriverConfig) (DriverResult, error) {
 		}
 		sessions = append(sessions, s)
 	}
+	if cfg.Warmup > 0 {
+		if err := warm(cfg, sessions); err != nil {
+			return DriverResult{}, err
+		}
+	}
 	if cfg.ClosedLoop {
 		return runClosed(cfg, reg, sessions)
 	}
 	return runOpen(cfg, reg, sessions)
+}
+
+// warm runs cfg.Warmup unmeasured ops on every session concurrently,
+// spreading each session's keys across the keyspace so routed sessions
+// learn every shard arc before measurement begins.
+func warm(cfg DriverConfig, sessions []*client.Client) error {
+	value := strings.Repeat("w", cfg.ValueLen)
+	errs := make(chan error, len(sessions))
+	for i, s := range sessions {
+		go func(i int, s *client.Client) {
+			stride := cfg.KeySpace/cfg.Warmup + 1
+			for j := 0; j < cfg.Warmup; j++ {
+				key := fmt.Sprintf("cap:%06d", (i+j*stride)%cfg.KeySpace)
+				if err := s.Put(key, value); err != nil {
+					errs <- fmt.Errorf("capacity: warmup session %d: %w", i, err)
+					return
+				}
+			}
+			errs <- nil
+		}(i, s)
+	}
+	for range sessions {
+		if err := <-errs; err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // exec runs one op on a session; zero intended means closed-loop (measure
@@ -212,6 +260,8 @@ func runOpen(cfg DriverConfig, reg *obs.Registry, sessions []*client.Client) (Dr
 	}
 	set := newOpSet(cfg, len(schedule))
 	hist := reg.Histogram(OverallHist)
+	readHist := reg.Histogram(ReadHist)
+	writeHist := reg.Histogram(WriteHist)
 	scheduledC := reg.Counter("newtop_capacity_ops_scheduled_total")
 	completedC := reg.Counter("newtop_capacity_ops_completed_total")
 	errorsC := reg.Counter("newtop_capacity_ops_errors_total")
@@ -238,7 +288,13 @@ func runOpen(cfg DriverConfig, reg *obs.Registry, sessions []*client.Client) (Dr
 				switch {
 				case err == nil:
 					completedC.Inc()
-					hist.ObserveDuration(time.Since(o.intended))
+					lat := time.Since(o.intended)
+					hist.ObserveDuration(lat)
+					if o.read {
+						readHist.ObserveDuration(lat)
+					} else {
+						writeHist.ObserveDuration(lat)
+					}
 				case errors.Is(err, client.ErrClosed):
 					// The drain window closed this session under us; the
 					// op never got a final answer.
@@ -292,6 +348,8 @@ func runOpen(cfg DriverConfig, reg *obs.Registry, sessions []*client.Client) (Dr
 func runClosed(cfg DriverConfig, reg *obs.Registry, sessions []*client.Client) (DriverResult, error) {
 	set := newOpSet(cfg, 0)
 	hist := reg.Histogram(OverallHist)
+	readHist := reg.Histogram(ReadHist)
+	writeHist := reg.Histogram(WriteHist)
 	scheduledC := reg.Counter("newtop_capacity_ops_scheduled_total")
 	completedC := reg.Counter("newtop_capacity_ops_completed_total")
 	errorsC := reg.Counter("newtop_capacity_ops_errors_total")
@@ -314,7 +372,13 @@ func runClosed(cfg DriverConfig, reg *obs.Registry, sessions []*client.Client) (
 					continue
 				}
 				completedC.Inc()
-				hist.ObserveDuration(time.Since(callStart))
+				lat := time.Since(callStart)
+				hist.ObserveDuration(lat)
+				if o.read {
+					readHist.ObserveDuration(lat)
+				} else {
+					writeHist.ObserveDuration(lat)
+				}
 			}
 		}()
 	}
@@ -331,6 +395,8 @@ func runClosed(cfg DriverConfig, reg *obs.Registry, sessions []*client.Client) (
 func collect(reg *obs.Registry, elapsed time.Duration) DriverResult {
 	snap := reg.Snapshot()
 	h := snap.Histograms[OverallHist]
+	rh := snap.Histograms[ReadHist]
+	wh := snap.Histograms[WriteHist]
 	res := DriverResult{
 		Scheduled:  snap.Counters["newtop_capacity_ops_scheduled_total"],
 		Completed:  snap.Counters["newtop_capacity_ops_completed_total"],
@@ -341,6 +407,10 @@ func collect(reg *obs.Registry, elapsed time.Duration) DriverResult {
 		P99:        time.Duration(h.P99),
 		P999:       time.Duration(h.P999),
 		Max:        time.Duration(h.Max),
+		ReadP50:    time.Duration(rh.P50),
+		ReadP99:    time.Duration(rh.P99),
+		WriteP50:   time.Duration(wh.P50),
+		WriteP99:   time.Duration(wh.P99),
 		Snapshot:   snap,
 	}
 	if elapsed > 0 {

@@ -7,17 +7,25 @@ import (
 
 	"newtop"
 	"newtop/internal/daemon"
+	"newtop/internal/shard"
 )
 
 // FleetConfig describes a measured cluster: n daemons over an in-memory
 // inter-daemon network, each with a loopback-TCP client listener — the
 // R4-style production code path (client wire protocol through the daemon
 // to replica ack) without cross-machine variance.
+//
+// Shards > 0 switches the fleet to sharded mode: the key ring is cut into
+// that many equal arcs, each owned by its own newtop group of Replication
+// members assigned round-robin across the daemons, with the shard map
+// replicated in a meta-group spanning every daemon.
 type FleetConfig struct {
-	Daemons int           // default 3
-	Omega   time.Duration // time-silence interval (default 5ms)
-	Seed    int64
+	Daemons       int           // default 3
+	Omega         time.Duration // time-silence interval (default 5ms)
+	Seed          int64
 	RingThreshold int // ring dissemination cutoff (0 disables)
+	Shards        int // shard-group count (0: one unsharded group)
+	Replication   int // members per shard group (default min(2, Daemons))
 }
 
 func (cfg FleetConfig) withDefaults() FleetConfig {
@@ -27,6 +35,12 @@ func (cfg FleetConfig) withDefaults() FleetConfig {
 	if cfg.Omega <= 0 {
 		cfg.Omega = 5 * time.Millisecond
 	}
+	if cfg.Replication <= 0 || cfg.Replication > cfg.Daemons {
+		cfg.Replication = 2
+		if cfg.Daemons < 2 {
+			cfg.Replication = cfg.Daemons
+		}
+	}
 	return cfg
 }
 
@@ -34,7 +48,33 @@ func (cfg FleetConfig) withDefaults() FleetConfig {
 // same configuration the baseline recorded.
 func (cfg FleetConfig) Name() string {
 	cfg = cfg.withDefaults()
-	return fmt.Sprintf("fleet-%dtcp", cfg.Daemons)
+	name := fmt.Sprintf("fleet-%dtcp", cfg.Daemons)
+	if cfg.RingThreshold > 0 {
+		name += "-ring"
+	}
+	if cfg.Shards > 0 {
+		name += fmt.Sprintf("-%dshard", cfg.Shards)
+	}
+	return name
+}
+
+// shardAssigns cuts the hash ring into equal arcs and spreads the shard
+// groups' memberships round-robin across the daemons.
+func (cfg FleetConfig) shardAssigns(ids []newtop.ProcessID) []shard.Assign {
+	step := ^uint64(0)/uint64(cfg.Shards) + 1
+	assigns := make([]shard.Assign, 0, cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		members := make([]newtop.ProcessID, 0, cfg.Replication)
+		for j := 0; j < cfg.Replication; j++ {
+			members = append(members, ids[(i+j)%len(ids)])
+		}
+		assigns = append(assigns, shard.Assign{
+			Start:   uint64(i) * step,
+			Group:   shard.FirstDataGroup + newtop.GroupID(i),
+			Members: members,
+		})
+	}
+	return assigns
 }
 
 // Fleet is a running measured cluster.
@@ -55,8 +95,12 @@ func StartFleet(cfg FleetConfig) (*Fleet, error) {
 	for i := 1; i <= cfg.Daemons; i++ {
 		ids = append(ids, newtop.ProcessID(i))
 	}
+	var assigns []shard.Assign
+	if cfg.Shards > 0 {
+		assigns = cfg.shardAssigns(ids)
+	}
 	for _, id := range ids {
-		d, err := daemon.Start(daemon.Config{
+		dc := daemon.Config{
 			Self:          id,
 			Network:       net,
 			ClientAddr:    "127.0.0.1:0",
@@ -64,7 +108,14 @@ func StartFleet(cfg FleetConfig) (*Fleet, error) {
 			Initial:       ids,
 			RingThreshold: cfg.RingThreshold,
 			Logf:          func(string, ...any) {},
-		})
+		}
+		if assigns != nil {
+			// Meta membership must be IDENTICAL on every daemon — it is
+			// the bootstrap membership of the meta group. Spell it out
+			// rather than relying on per-daemon derivation.
+			dc.Shard = &daemon.ShardConfig{Meta: ids, Initial: assigns}
+		}
+		d, err := daemon.Start(dc)
 		if err != nil {
 			f.Close()
 			return nil, fmt.Errorf("capacity: start daemon %d: %w", id, err)
@@ -83,8 +134,14 @@ func StartFleet(cfg FleetConfig) (*Fleet, error) {
 	deadline := time.Now().Add(15 * time.Second)
 	for _, id := range ids {
 		for {
-			rep, _ := f.daemons[id].Replica()
-			if rep != nil && rep.CaughtUp() {
+			ready := false
+			if cfg.Shards > 0 {
+				ready = f.daemons[id].ShardsReady()
+			} else {
+				rep, _ := f.daemons[id].Replica()
+				ready = rep != nil && rep.CaughtUp()
+			}
+			if ready {
 				break
 			}
 			if time.Now().After(deadline) {
@@ -92,6 +149,30 @@ func StartFleet(cfg FleetConfig) (*Fleet, error) {
 				return nil, fmt.Errorf("capacity: daemon %d never became ready", id)
 			}
 			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if cfg.Shards > 0 {
+		// Sharded readiness additionally needs every daemon's client
+		// address published through the meta group, so redirects carry
+		// owner hints from the first request.
+		for _, d := range f.daemons {
+			for {
+				ok := true
+				for _, id := range ids {
+					if _, have := d.ShardMap().Addr(id); !have {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					break
+				}
+				if time.Now().After(deadline) {
+					f.Close()
+					return nil, fmt.Errorf("capacity: shard map never published every address")
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
 		}
 	}
 	return f, nil
@@ -102,6 +183,10 @@ func (f *Fleet) Addrs() []string { return append([]string(nil), f.addrs...) }
 
 // Name returns the fleet's configuration name (see FleetConfig.Name).
 func (f *Fleet) Name() string { return f.cfg.Name() }
+
+// Daemon returns one of the fleet's daemons (nil when unknown) — harness
+// scenarios drive shard moves and fault injection through it.
+func (f *Fleet) Daemon(id newtop.ProcessID) *daemon.Daemon { return f.daemons[id] }
 
 // explainedDrops are drop reasons a healthy (no kill, no partition) run
 // may legitimately produce during formation and steady state. Anything

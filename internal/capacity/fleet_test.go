@@ -45,3 +45,41 @@ func TestFleetSmoke(t *testing.T) {
 		t.Fatalf("%d unexplained drops (%s)", n, label)
 	}
 }
+
+// TestShardedFleetSmoke boots the sharded fleet shape (daemons serving
+// several shard groups behind the meta-group map) and drives the same
+// clean open-loop smoke through the routing client fleet.
+func TestShardedFleetSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a real daemon fleet")
+	}
+	f, err := StartFleet(FleetConfig{Seed: 42, Daemons: 3, Shards: 2, Replication: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if got, want := f.Name(), "fleet-3tcp-2shard"; got != want {
+		t.Fatalf("fleet name %q, want %q", got, want)
+	}
+	res, err := Run(DriverConfig{
+		Addrs:        f.Addrs(),
+		Sessions:     4,
+		Arrivals:     workload.Poisson{OpsPerSec: 100, Seed: 42},
+		Duration:     1500 * time.Millisecond,
+		DrainTimeout: 10 * time.Second,
+		Seed:         42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 || res.Completed != res.Scheduled {
+		t.Fatalf("completed %d of %d scheduled ops (errors=%d unfinished=%d)",
+			res.Completed, res.Scheduled, res.Errors, res.Unfinished)
+	}
+	if res.ReadP99 <= 0 || res.WriteP99 <= 0 {
+		t.Fatalf("per-kind latency not recorded: r99=%v w99=%v", res.ReadP99, res.WriteP99)
+	}
+	if n, label := f.UnexplainedDrops(); n > 0 {
+		t.Fatalf("%d unexplained drops (%s)", n, label)
+	}
+}

@@ -23,6 +23,8 @@ type RatePoint struct {
 	P99NS        int64   `json:"p99_ns"`
 	P999NS       int64   `json:"p999_ns"`
 	MaxNS        int64   `json:"max_ns"`
+	ReadP99NS    int64   `json:"read_p99_ns,omitempty"`
+	WriteP99NS   int64   `json:"write_p99_ns,omitempty"`
 }
 
 // NewRatePoint projects a DriverResult into the report schema.
@@ -39,15 +41,19 @@ func NewRatePoint(res DriverResult) RatePoint {
 		P99NS:        res.P99.Nanoseconds(),
 		P999NS:       res.P999.Nanoseconds(),
 		MaxNS:        res.Max.Nanoseconds(),
+		ReadP99NS:    res.ReadP99.Nanoseconds(),
+		WriteP99NS:   res.WriteP99.Nanoseconds(),
 	}
 }
 
 // TrialPoint is one saturation-search probe.
 type TrialPoint struct {
-	Rate   float64 `json:"rate"`
-	OK     bool    `json:"ok"`
-	Reason string  `json:"reason,omitempty"`
-	P99NS  int64   `json:"p99_ns"`
+	Rate       float64 `json:"rate"`
+	OK         bool    `json:"ok"`
+	Reason     string  `json:"reason,omitempty"`
+	P99NS      int64   `json:"p99_ns"`
+	ReadP99NS  int64   `json:"read_p99_ns,omitempty"`
+	WriteP99NS int64   `json:"write_p99_ns,omitempty"`
 }
 
 // SaturationSummary records the binary-search outcome.
@@ -55,6 +61,8 @@ type SaturationSummary struct {
 	SustainableRate float64      `json:"sustainable_rate"`
 	CeilingRate     float64      `json:"ceiling_rate"`
 	SLOP99NS        int64        `json:"slo_p99_ns"`
+	SLOReadP99NS    int64        `json:"slo_read_p99_ns,omitempty"`
+	SLOWriteP99NS   int64        `json:"slo_write_p99_ns,omitempty"`
 	Trials          []TrialPoint `json:"trials"`
 }
 
@@ -63,6 +71,12 @@ type ConfigResult struct {
 	Name     string `json:"name"`
 	Daemons  int    `json:"daemons"`
 	Sessions int    `json:"sessions"`
+	// Fleet-shape parameters beyond the daemon count (zero when not
+	// applicable to the configuration).
+	Shards        int `json:"shards,omitempty"`
+	Replication   int `json:"replication,omitempty"`
+	RingThreshold int `json:"ring_threshold,omitempty"`
+	ValueLen      int `json:"value_len,omitempty"`
 	// Smoke is the pinned low-rate point the CI gate compares against.
 	Smoke *RatePoint `json:"smoke,omitempty"`
 	// Ladder are the fixed offered-rate points of the full run.

@@ -11,8 +11,15 @@ import (
 // SLO is the predicate a trial's offered rate must meet to count as
 // sustainable.
 type SLO struct {
-	// P99 is the tail-latency bound (required).
+	// P99 is the overall tail-latency bound (required).
 	P99 time.Duration
+	// ReadP99 and WriteP99 bound the per-op-kind tails separately when
+	// set (0 disables the check). Reads and writes degrade differently —
+	// a routed read barrier-upgrades after a shard move, a large write
+	// pays ring dissemination — and a blended p99 dominated by the
+	// plentiful kind can hide the other kind collapsing.
+	ReadP99  time.Duration
+	WriteP99 time.Duration
 	// MaxErrorFrac is the tolerated errored share of scheduled ops
 	// (default 0: any error fails the trial).
 	MaxErrorFrac float64
@@ -48,6 +55,12 @@ func (s SLO) Check(res DriverResult, dropsDelta uint64, dropLabel string) string
 	if res.P99 > s.P99 {
 		return fmt.Sprintf("p99 %v > SLO %v", res.P99, s.P99)
 	}
+	if s.ReadP99 > 0 && res.ReadP99 > s.ReadP99 {
+		return fmt.Sprintf("read p99 %v > SLO %v", res.ReadP99, s.ReadP99)
+	}
+	if s.WriteP99 > 0 && res.WriteP99 > s.WriteP99 {
+		return fmt.Sprintf("write p99 %v > SLO %v", res.WriteP99, s.WriteP99)
+	}
 	return ""
 }
 
@@ -75,6 +88,13 @@ type SearchConfig struct {
 	// count (e.g. Fleet.UnexplainedDrops); the search diffs it across
 	// each trial.
 	Drops func() (uint64, string)
+	// Setup, when set, provisions a fresh cluster for every trial and
+	// returns its endpoints, an unexplained-drop reader and a teardown.
+	// An overloaded trial leaves a backlog the cluster can take tens of
+	// seconds to chew through; probing the next rate against the same
+	// cluster would measure that hangover, not the rate. Driver.Addrs
+	// and Drops are ignored when Setup is set.
+	Setup func() (addrs []string, drops func() (uint64, string), teardown func(), err error)
 	// Logf, when set, narrates the trials.
 	Logf func(format string, args ...any)
 }
@@ -128,11 +148,26 @@ func FindSaturation(cfg SearchConfig) (SearchResult, error) {
 
 	var out SearchResult
 	lastDrops := uint64(0)
-	if cfg.Drops != nil {
+	if cfg.Setup == nil && cfg.Drops != nil {
 		lastDrops, _ = cfg.Drops()
 	}
 	probe := func(rate float64) (Trial, error) {
 		dc := cfg.Driver
+		drops := cfg.Drops
+		if cfg.Setup != nil {
+			addrs, d, teardown, err := cfg.Setup()
+			if err != nil {
+				return Trial{}, fmt.Errorf("capacity: trial setup: %w", err)
+			}
+			if teardown != nil {
+				defer teardown()
+			}
+			dc.Addrs, drops = addrs, d
+			lastDrops = 0
+			if drops != nil {
+				lastDrops, _ = drops()
+			}
+		}
 		dc.Arrivals = cfg.TrialArrivals(rate, len(out.Trials))
 		dc.ClosedLoop = false
 		res, err := Run(dc)
@@ -141,8 +176,8 @@ func FindSaturation(cfg SearchConfig) (SearchResult, error) {
 		}
 		var delta uint64
 		var label string
-		if cfg.Drops != nil {
-			cur, l := cfg.Drops()
+		if drops != nil {
+			cur, l := drops()
 			delta, label = cur-lastDrops, l
 			lastDrops = cur
 		}

@@ -8,22 +8,22 @@ import (
 	"newtop/internal/workload"
 )
 
-// SuiteConfig selects what the standard suite measures against the
-// 3-daemon TCP fleet.
+// SuiteConfig selects what the standard suite measures.
 type SuiteConfig struct {
-	// SmokeOnly runs just the pinned smoke point (seconds, CI-sized)
+	// SmokeOnly runs just the pinned smoke points (seconds, CI-sized)
 	// instead of the full ladder + saturation search (minutes).
 	SmokeOnly bool
 	// Progress (optional) receives one line per measured point.
 	Progress io.Writer
 	// Seed drives the fleet network, op mix and arrival processes.
 	Seed int64
+	// Only, when non-empty, restricts the run to the named configs.
+	Only []string
 }
 
 // Suite constants: the smoke point is pinned because the CI gate compares
 // its p99 across commits — moving it invalidates every baseline.
 const (
-	suiteSessions  = 8
 	SmokeRate      = 150.0 // ops/s
 	smokeDuration  = 2 * time.Second
 	ladderDuration = 2 * time.Second
@@ -33,20 +33,84 @@ const (
 // ladderRates are the fixed offered-load points of the full run.
 var ladderRates = []float64{250, 500, 1000, 2000}
 
-func suiteDriver(addrs []string, seed int64) DriverConfig {
-	return DriverConfig{
-		Addrs:    addrs,
-		Sessions: suiteSessions,
-		Duration: ladderDuration,
-		Seed:     seed,
+// suiteSpec is one measured cluster configuration: the fleet shape plus
+// the driver knobs and SLO it is probed with.
+type suiteSpec struct {
+	fleet       FleetConfig
+	sessions    int
+	warmup      int     // unmeasured per-session ops before each point
+	valueLen    int     // 0: driver default (128 B)
+	getFraction float64 // 0: driver default (0.1)
+	hiRate      float64 // saturation-search bracket top
+	ladder      []float64
+	slo         SLO
+}
+
+func (s suiteSpec) name() string { return s.fleet.Name() }
+
+// suiteSpecs defines the measured configurations:
+//
+//   - fleet-3tcp: the original 3-daemon single-group fleet, the CI gate's
+//     pinned baseline.
+//   - fleet-3tcp-ring: the same fleet with ring dissemination engaged by a
+//     large-value op mix — payloads ride the successor ring instead of
+//     being flooded n-ways by the sender.
+//   - fleet-4tcp-4shard: four daemons serving four shard groups
+//     (replication 2) behind the meta-group shard map — the scale-out
+//     configuration; its sessions ride the client's learned shard routes.
+func suiteSpecs(seed int64) []suiteSpec {
+	slo := SLO{P99: suiteSLOP99, ReadP99: suiteSLOP99, WriteP99: suiteSLOP99}
+	return []suiteSpec{
+		{
+			fleet:    FleetConfig{Seed: seed},
+			sessions: 8,
+			warmup:   4,
+			hiRate:   6400,
+			ladder:   ladderRates,
+			slo:      slo,
+		},
+		{
+			fleet:    FleetConfig{Seed: seed, RingThreshold: 256},
+			sessions: 8,
+			warmup:   4,
+			valueLen: 2048,
+			hiRate:   6400,
+			ladder:   ladderRates,
+			slo:      slo,
+		},
+		{
+			// The scale-out configuration is provisioned for a large
+			// client population — aggregate capacity across four
+			// independent total orders is the point, and a small session
+			// fleet would cap the measurement at sessions/latency long
+			// before the cluster saturates.
+			fleet:    FleetConfig{Seed: seed, Daemons: 4, Shards: 4, Replication: 2},
+			sessions: 256,
+			warmup:   8,
+			hiRate:   25600,
+			ladder:   []float64{2000, 4000, 8000, 16000},
+			slo:      slo,
+		},
 	}
 }
 
-// SmokePoint runs the pinned low-rate open-loop point against an already
+func (s suiteSpec) driver(addrs []string, seed int64) DriverConfig {
+	return DriverConfig{
+		Addrs:       addrs,
+		Sessions:    s.sessions,
+		Warmup:      s.warmup,
+		Duration:    ladderDuration,
+		ValueLen:    s.valueLen,
+		GetFraction: s.getFraction,
+		Seed:        seed,
+	}
+}
+
+// smokePoint runs the pinned low-rate open-loop point against an already
 // running fleet — the measurement both `-capacity` (recording a baseline)
 // and `-capacity-gate` (comparing against it) share.
-func SmokePoint(f *Fleet, seed int64) (DriverResult, error) {
-	cfg := suiteDriver(f.Addrs(), seed)
+func smokePoint(f *Fleet, spec suiteSpec, seed int64) (DriverResult, error) {
+	cfg := spec.driver(f.Addrs(), seed)
 	cfg.Duration = smokeDuration
 	cfg.Arrivals = workload.FixedRate{OpsPerSec: SmokeRate}
 	before, _ := f.UnexplainedDrops()
@@ -61,87 +125,172 @@ func SmokePoint(f *Fleet, seed int64) (DriverResult, error) {
 	return res, nil
 }
 
-// RunSuite measures the standard configuration and returns the report
+func (cfg SuiteConfig) wants(name string) bool {
+	if len(cfg.Only) == 0 {
+		return true
+	}
+	for _, n := range cfg.Only {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// RunSuite measures every suite configuration and returns the report
 // payload. Smoke always runs; the ladder and saturation search are
 // skipped in SmokeOnly mode.
-func RunSuite(cfg SuiteConfig) (*ConfigResult, error) {
+func RunSuite(cfg SuiteConfig) ([]ConfigResult, error) {
 	logf := func(format string, args ...any) {
 		if cfg.Progress != nil {
 			fmt.Fprintf(cfg.Progress, format+"\n", args...)
 		}
 	}
-	fleet, err := StartFleet(FleetConfig{Seed: cfg.Seed})
+	var out []ConfigResult
+	for _, spec := range suiteSpecs(cfg.Seed) {
+		if !cfg.wants(spec.name()) {
+			continue
+		}
+		res, err := runConfig(spec, cfg, logf)
+		if err != nil {
+			return out, fmt.Errorf("capacity: config %s: %w", spec.name(), err)
+		}
+		out = append(out, *res)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("capacity: no configs selected (have %v)", suiteNames(cfg.Seed))
+	}
+	return out, nil
+}
+
+func suiteNames(seed int64) []string {
+	var names []string
+	for _, s := range suiteSpecs(seed) {
+		names = append(names, s.name())
+	}
+	return names
+}
+
+func runConfig(spec suiteSpec, cfg SuiteConfig, logf func(string, ...any)) (*ConfigResult, error) {
+	fc := spec.fleet.withDefaults()
+	out := &ConfigResult{
+		Name:          spec.name(),
+		Daemons:       fc.Daemons,
+		Sessions:      spec.sessions,
+		Shards:        fc.Shards,
+		RingThreshold: fc.RingThreshold,
+		ValueLen:      spec.valueLen,
+	}
+	if fc.Shards > 0 {
+		out.Replication = fc.Replication
+	}
+
+	// Every measured point boots its own fleet: a point offered more
+	// than the cluster can absorb leaves a backlog that can take tens of
+	// seconds to drain, and any measurement sharing that cluster would
+	// record the hangover, not its own rate.
+	fleet, err := StartFleet(spec.fleet)
 	if err != nil {
 		return nil, err
 	}
-	defer fleet.Close()
-	out := &ConfigResult{
-		Name:     fleet.Name(),
-		Daemons:  3,
-		Sessions: suiteSessions,
-	}
-
-	smoke, err := SmokePoint(fleet, cfg.Seed)
+	smoke, err := smokePoint(fleet, spec, cfg.Seed)
+	fleet.Close()
 	if err != nil {
 		return nil, err
 	}
 	p := NewRatePoint(smoke)
 	out.Smoke = &p
-	logf("capacity: smoke @ %.0f ops/s: p50=%v p99=%v completed=%d errors=%d unfinished=%d",
-		SmokeRate, smoke.P50, smoke.P99, smoke.Completed, smoke.Errors, smoke.Unfinished)
+	logf("capacity: %s smoke @ %.0f ops/s: p50=%v p99=%v (r99=%v w99=%v) completed=%d errors=%d unfinished=%d",
+		out.Name, SmokeRate, smoke.P50, smoke.P99, smoke.ReadP99, smoke.WriteP99, smoke.Completed, smoke.Errors, smoke.Unfinished)
 	if cfg.SmokeOnly {
 		return out, nil
 	}
 
-	for _, rate := range ladderRates {
-		dc := suiteDriver(fleet.Addrs(), cfg.Seed)
+	for _, rate := range spec.ladder {
+		f, err := StartFleet(spec.fleet)
+		if err != nil {
+			return nil, fmt.Errorf("ladder point %.0f ops/s: %w", rate, err)
+		}
+		dc := spec.driver(f.Addrs(), cfg.Seed)
 		dc.Arrivals = workload.Poisson{OpsPerSec: rate, Seed: cfg.Seed + int64(rate)}
 		res, err := Run(dc)
+		f.Close()
 		if err != nil {
-			return nil, fmt.Errorf("capacity: ladder point %.0f ops/s: %w", rate, err)
+			return nil, fmt.Errorf("ladder point %.0f ops/s: %w", rate, err)
 		}
 		out.Ladder = append(out.Ladder, NewRatePoint(res))
-		logf("capacity: ladder @ %.0f ops/s: p50=%v p99=%v completed=%d errors=%d unfinished=%d",
-			rate, res.P50, res.P99, res.Completed, res.Errors, res.Unfinished)
+		logf("capacity: %s ladder @ %.0f ops/s: p50=%v p99=%v (r99=%v w99=%v) completed=%d errors=%d unfinished=%d",
+			out.Name, rate, res.P50, res.P99, res.ReadP99, res.WriteP99, res.Completed, res.Errors, res.Unfinished)
 	}
 
 	search, err := FindSaturation(SearchConfig{
-		Driver: suiteDriver(fleet.Addrs(), cfg.Seed),
-		SLO:    SLO{P99: suiteSLOP99},
+		Driver: spec.driver(nil, cfg.Seed),
+		SLO:    spec.slo,
 		LoRate: SmokeRate,
-		HiRate: 6400,
-		Drops:  fleet.UnexplainedDrops,
-		Logf:   logf,
+		HiRate: spec.hiRate,
+		Setup: func() ([]string, func() (uint64, string), func(), error) {
+			f, err := StartFleet(spec.fleet)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			return f.Addrs(), f.UnexplainedDrops, f.Close, nil
+		},
+		Logf: logf,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("capacity: saturation search: %w", err)
+		return nil, fmt.Errorf("saturation search: %w", err)
 	}
 	sum := &SaturationSummary{
 		SustainableRate: search.Sustainable,
 		CeilingRate:     search.Ceiling,
-		SLOP99NS:        suiteSLOP99.Nanoseconds(),
+		SLOP99NS:        spec.slo.P99.Nanoseconds(),
+		SLOReadP99NS:    spec.slo.ReadP99.Nanoseconds(),
+		SLOWriteP99NS:   spec.slo.WriteP99.Nanoseconds(),
 	}
 	for _, tr := range search.Trials {
 		sum.Trials = append(sum.Trials, TrialPoint{
 			Rate: tr.Rate, OK: tr.OK, Reason: tr.Reason, P99NS: tr.Result.P99.Nanoseconds(),
+			ReadP99NS: tr.Result.ReadP99.Nanoseconds(), WriteP99NS: tr.Result.WriteP99.Nanoseconds(),
 		})
 	}
 	out.Saturation = sum
-	logf("capacity: sustainable %.0f ops/s (ceiling %.0f) under p99<=%v", search.Sustainable, search.Ceiling, suiteSLOP99)
+	logf("capacity: %s sustainable %.0f ops/s (ceiling %.0f) under p99<=%v", out.Name, search.Sustainable, search.Ceiling, spec.slo.P99)
 	return out, nil
 }
 
-// RunGate starts a fresh fleet, re-measures the smoke point and compares
-// it against the baseline report (see Gate).
-func RunGate(baseline *Report, cfg SuiteConfig) (DriverResult, error) {
-	fleet, err := StartFleet(FleetConfig{Seed: cfg.Seed})
-	if err != nil {
-		return DriverResult{}, err
+// GateResult is one config's fresh smoke measurement from a gate run.
+type GateResult struct {
+	Name  string
+	Fresh DriverResult
+}
+
+// RunGate re-measures the smoke point of every suite configuration the
+// baseline report recorded and compares each against its baseline (see
+// Gate). Configs absent from the baseline are skipped — a freshly added
+// configuration gates only once its baseline has been recorded.
+func RunGate(baseline *Report, cfg SuiteConfig) ([]GateResult, error) {
+	var out []GateResult
+	for _, spec := range suiteSpecs(cfg.Seed) {
+		base := baseline.Config(spec.name())
+		if base == nil || base.Smoke == nil || !cfg.wants(spec.name()) {
+			continue
+		}
+		fleet, err := StartFleet(spec.fleet)
+		if err != nil {
+			return out, fmt.Errorf("capacity: config %s: %w", spec.name(), err)
+		}
+		fresh, err := smokePoint(fleet, spec, cfg.Seed)
+		fleet.Close()
+		if err != nil {
+			return out, fmt.Errorf("capacity: config %s: %w", spec.name(), err)
+		}
+		out = append(out, GateResult{Name: spec.name(), Fresh: fresh})
+		if err := Gate(baseline, spec.name(), fresh, 2); err != nil {
+			return out, err
+		}
 	}
-	defer fleet.Close()
-	fresh, err := SmokePoint(fleet, cfg.Seed)
-	if err != nil {
-		return fresh, err
+	if len(out) == 0 {
+		return nil, fmt.Errorf("capacity: baseline has no smoke point for any suite config (%v)", suiteNames(cfg.Seed))
 	}
-	return fresh, Gate(baseline, fleet.Name(), fresh, 2)
+	return out, nil
 }

@@ -22,9 +22,18 @@
 // The first body byte is the status; the rest depends on it:
 //
 //	StOK         u8 found | u32 valLen | val
-//	StNotServing u64 group | u16 addrLen | addr      — redirect: this daemon
-//	             cannot serve; group names the serving group it knows of,
-//	             addr (may be empty) is another daemon's client address
+//	StNotServing u64 group | u16 addrLen | addr
+//	             [| u64 epoch | u64 rangeLo | u64 rangeHi]
+//	             — redirect: this daemon cannot serve; group names the
+//	             serving group it knows of, addr (may be empty) is another
+//	             daemon's client address. The bracketed tail is the v2
+//	             "wrong shard" hint: when epoch > 0 the redirect carries
+//	             the shard-map version and the hash arc [rangeLo, rangeHi)
+//	             (rangeHi 0 = ring top) the named group owns, so the
+//	             client can cache the route for every key in the arc and
+//	             drop stale routes on an epoch bump. Encoders always
+//	             append the tail; decoders read it only when the bytes
+//	             are present, so either side may lag the other.
 //	StRetry      u32 afterMillis | u16 reasonLen | reason — transient: the
 //	             daemon is mid-catch-up/reconcile/cut-over; retry HERE
 //	StStatus     u32 self | u64 group | u64 applied | u64 digest |
@@ -105,6 +114,13 @@ type Response struct {
 	Group uint64
 	// StNotServing: another daemon's client address ("" when unknown)
 	Addr string
+	// StNotServing v2 "wrong shard" tail (zero when talking to a
+	// pre-sharding daemon, or when the redirect is a lineage redirect
+	// rather than a shard-routing one): the shard-map epoch the hint is
+	// valid at and the hash arc the named group owns.
+	Epoch   uint64
+	RangeLo uint64
+	RangeHi uint64 // exclusive; 0 means the top of the hash ring
 
 	// StRetry
 	RetryAfter time.Duration
@@ -183,6 +199,9 @@ func AppendResponse(dst []byte, resp *Response) []byte {
 	case StNotServing:
 		dst = binary.BigEndian.AppendUint64(dst, resp.Group)
 		dst = appendString16(dst, resp.Addr)
+		dst = binary.BigEndian.AppendUint64(dst, resp.Epoch)
+		dst = binary.BigEndian.AppendUint64(dst, resp.RangeLo)
+		dst = binary.BigEndian.AppendUint64(dst, resp.RangeHi)
 	case StRetry:
 		dst = binary.BigEndian.AppendUint32(dst, uint32(resp.RetryAfter/time.Millisecond))
 		dst = appendString16(dst, resp.Reason)
@@ -257,6 +276,12 @@ func ParseResponse(body []byte) (Response, error) {
 	case StNotServing:
 		resp.Group = d.u64()
 		resp.Addr = d.string16()
+		// v2 shard-hint tail: optional — absent from pre-sharding daemons.
+		if d.err == nil && len(d.buf) >= 24 {
+			resp.Epoch = d.u64()
+			resp.RangeLo = d.u64()
+			resp.RangeHi = d.u64()
+		}
 	case StRetry:
 		resp.RetryAfter = time.Duration(d.u32()) * time.Millisecond
 		resp.Reason = d.string16()

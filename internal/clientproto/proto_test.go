@@ -57,6 +57,10 @@ func TestResponseRoundTrip(t *testing.T) {
 		{Status: StOK, Found: false},
 		{Status: StNotServing, Group: 7, Addr: "127.0.0.1:9999"},
 		{Status: StNotServing, Group: 1},
+		{Status: StNotServing, Group: 1<<31 + 3, Addr: "10.0.0.2:4100",
+			Epoch: 12, RangeLo: 1 << 62, RangeHi: 1 << 63},
+		{Status: StNotServing, Group: 1<<31 + 1, Addr: "10.0.0.3:4100",
+			Epoch: 5, RangeLo: 3 << 62, RangeHi: 0},
 		{Status: StRetry, RetryAfter: 250 * time.Millisecond, Reason: "reconciling"},
 		{Status: StStatus, Self: 3, Group: 2, Applied: 99, Digest: 0xdeadbeef, Keys: 41, Ready: true, Members: 5},
 		{Status: StErr, Err: "bad key"},
@@ -157,5 +161,25 @@ func TestValidKeyAndValueBounds(t *testing.T) {
 	})
 	if len(frame)-4 > MaxFrame {
 		t.Errorf("maximal valid request is %d bytes, exceeds MaxFrame", len(frame)-4)
+	}
+}
+
+// TestNotServingShardTailCompat pins the v2 wire extension contract: a
+// pre-sharding NOT_SERVING frame (no tail bytes) still parses with a
+// zero epoch, and a v2 frame parsed field-by-field lands the tail where
+// the encoder put it.
+func TestNotServingShardTailCompat(t *testing.T) {
+	// Hand-build the v1 frame body: status | group | addrLen | addr.
+	body := []byte{StNotServing}
+	body = append(body, 0, 0, 0, 0, 0, 0, 0, 9) // group 9
+	addr := "host:1234"
+	body = append(body, 0, byte(len(addr)))
+	body = append(body, addr...)
+	got, err := ParseResponse(body)
+	if err != nil {
+		t.Fatalf("v1 frame rejected: %v", err)
+	}
+	if got.Group != 9 || got.Addr != addr || got.Epoch != 0 || got.RangeLo != 0 || got.RangeHi != 0 {
+		t.Fatalf("v1 frame misparsed: %+v", got)
 	}
 }

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"newtop"
+	"newtop/internal/shard"
 )
 
 // Config configures a daemon.
@@ -120,6 +121,14 @@ type Config struct {
 	RingThreshold int
 	RingPullAfter time.Duration
 
+	// Shard, when non-nil, runs the daemon in sharded mode: the keyspace
+	// is partitioned by hash across many data groups per the replicated
+	// shard map, instead of one store in one lineage of groups. See
+	// shard.go. Join, Merge and the heal machinery do not apply in this
+	// mode (shard groups are fixed-membership; rebalancing forms new
+	// groups, it never rejoins old ones).
+	Shard *ShardConfig
+
 	// Logf receives the daemon's log lines (default log.Printf; supply
 	// a no-op to silence).
 	Logf func(format string, args ...any)
@@ -166,6 +175,15 @@ type Daemon struct {
 	srv  *clientServer  // nil when ClientAddr == ""
 	ms   *metricsServer // nil when MetricsAddr == ""
 
+	// Sharded mode (Config.Shard != nil). smap is set once before any
+	// concurrency starts, so reading the pointer is race-free; the Map
+	// itself is internally locked. Shard replicas live in reps alongside
+	// the meta replica; shardKVs maps each hosted data group to its own
+	// store (the lineage kv field is unused in this mode).
+	smap     *shard.Map
+	shardKVs map[newtop.GroupID]*newtop.KV
+	moveMu   sync.Mutex // serializes MoveRange drivers on this daemon
+
 	mu          sync.Mutex
 	reps        map[newtop.GroupID]*newtop.Replica
 	recon       map[newtop.GroupID]bool // groups attached in reconcile mode
@@ -207,6 +225,7 @@ func Start(cfg Config) (*Daemon, error) {
 	d := &Daemon{
 		cfg:         cfg,
 		kv:          newtop.NewKV(),
+		shardKVs:    make(map[newtop.GroupID]*newtop.KV),
 		reps:        make(map[newtop.GroupID]*newtop.Replica),
 		recon:       make(map[newtop.GroupID]bool),
 		removed:     make(map[newtop.GroupID]map[newtop.ProcessID]bool),
@@ -292,11 +311,23 @@ func Start(cfg Config) (*Daemon, error) {
 	go d.handleInvites()
 	go d.drainDeliveries()
 	go d.handleEvents()
+	if d.smap != nil {
+		// The client listener is bound: publish our client address (the
+		// redirect hints other daemons hand out) and the initial shard
+		// layout into the meta order.
+		d.wg.Add(1)
+		go d.publishShardIdentity()
+	}
 	return d, nil
 }
 
-// startGroups bootstraps group 1 or forms the join group.
+// startGroups bootstraps group 1 or forms the join group; in sharded
+// mode it bootstraps the meta group and this daemon's shard groups
+// instead.
 func (d *Daemon) startGroups() error {
+	if d.cfg.Shard != nil {
+		return d.startShardGroups()
+	}
 	members := []newtop.ProcessID{d.cfg.Self}
 	for p := range d.cfg.Peers {
 		members = append(members, p)
@@ -695,6 +726,10 @@ func (d *Daemon) handleInvites() {
 }
 
 func (d *Daemon) handleInvite(inv invitation) {
+	if d.smap != nil && shard.IsShardGroup(inv.g) {
+		d.attachShardInvite(inv.g)
+		return
+	}
 	d.mu.Lock()
 	rejoining := false
 	var low = d.cfg.Self
@@ -778,6 +813,7 @@ func (d *Daemon) handleEvent(ev newtop.Event) {
 			failedRep = rep
 			delete(d.reps, ev.Group)
 			delete(d.recon, ev.Group)
+			delete(d.shardKVs, ev.Group)
 			if d.serving == ev.Group {
 				d.serving = 0
 				for og := range d.reps {

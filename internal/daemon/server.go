@@ -116,6 +116,9 @@ func (s *clientServer) handle(conn net.Conn) {
 // catching up into its first group) and RETRY (stay — the daemon is
 // mid-reconcile or mid-cut-over; everyone else is too, or will be).
 func (d *Daemon) serveRequest(req *clientproto.Request) clientproto.Response {
+	if d.smap != nil {
+		return d.serveSharded(req)
+	}
 	d.mu.Lock()
 	rep, g := d.reps[d.serving], d.serving
 	recon := d.recon[g]
@@ -175,9 +178,9 @@ func (d *Daemon) serveRequest(req *clientproto.Request) clientproto.Response {
 
 	switch req.Op {
 	case clientproto.OpGet:
-		return d.serveRead(rep, req.Key, false)
+		return d.serveRead(rep, d.kv, req.Key, false)
 	case clientproto.OpBarrierGet:
-		return d.serveRead(rep, req.Key, true)
+		return d.serveRead(rep, d.kv, req.Key, true)
 	case clientproto.OpPut:
 		if err := clientproto.ValidKey(req.Key); err != nil {
 			return clientproto.Response{Status: clientproto.StErr, Err: err.Error()}
@@ -200,7 +203,7 @@ func (d *Daemon) serveRequest(req *clientproto.Request) clientproto.Response {
 // serveRead runs a read with read-your-writes consistency (every write
 // this daemon acknowledged is visible), optionally behind a total-order
 // barrier (linearizable).
-func (d *Daemon) serveRead(rep *newtop.Replica, key string, barrier bool) clientproto.Response {
+func (d *Daemon) serveRead(rep *newtop.Replica, kv *newtop.KV, key string, barrier bool) clientproto.Response {
 	if barrier {
 		if err := rep.Barrier(); err != nil {
 			return retryOn(err)
@@ -210,7 +213,7 @@ func (d *Daemon) serveRead(rep *newtop.Replica, key string, barrier bool) client
 		val   string
 		found bool
 	)
-	if err := rep.Read(func(newtop.StateMachine) { val, found = d.kv.Get(key) }); err != nil {
+	if err := rep.Read(func(newtop.StateMachine) { val, found = kv.Get(key) }); err != nil {
 		return retryOn(err)
 	}
 	return clientproto.Response{Status: clientproto.StOK, Found: found, Value: val}

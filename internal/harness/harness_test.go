@@ -214,3 +214,14 @@ func TestClientFailoverScenario(t *testing.T) {
 		t.Errorf("R4: %v", err)
 	}
 }
+
+// TestShardMoveScenario runs the live shard-range move workload (R5): a
+// sharded TCP fleet under open-loop background load while one arc of the
+// keyspace migrates to a freshly formed group. The scenario asserts its
+// own acceptance bar internally (zero acked-write loss, read-your-writes
+// across the epoch bump, the session re-routes itself, drops explained).
+func TestShardMoveScenario(t *testing.T) {
+	if _, err := R5ShardMove(); err != nil {
+		t.Errorf("R5: %v", err)
+	}
+}

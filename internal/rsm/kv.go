@@ -5,8 +5,11 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+
+	"newtop/internal/types"
 )
 
 // MaxTombstones bounds the delete-tombstone set a KV keeps between
@@ -25,11 +28,26 @@ const MaxTombstones = 4096
 //
 //	put <key> <value>   set key (value may contain spaces)
 //	del <key>           delete key
+//	fence <lo> <hi>     reject put/del of keys hashing into [lo, hi)
+//	purge <lo> <hi>     drop keys hashing into [lo, hi) and its fence
 //
 // Unknown or malformed commands are ignored deterministically (every
 // replica ignores the same bytes the same way). All methods are
 // goroutine-safe so applications may read a replica's KV directly, though
 // Replica.Read remains the way to get read-your-writes ordering.
+//
+// fence/purge are the shard-migration cut-over primitives (see
+// internal/shard): a fence travels through the group's total order, so
+// every member stops mutating the moving hash range at the same apply
+// position — the position the migration snapshot is cut at. Writes
+// ordered after the fence are rejected at apply time on every member
+// identically; the daemon converts them into retry/unknown answers.
+// Fences are transient migration state: they are excluded from Snapshot
+// (a transferred snapshot never carries a fence) and cleared by Restore,
+// and they do not participate in the reconciliation diff digests. purge
+// removes the moved range from the source once the map epoch has
+// committed, without recording delete tombstones — the keys did not die,
+// they changed groups.
 //
 // Beyond the plain map, KV keeps per-key lineage metadata for
 // reconciliation: the apply index of each key's last write (rev) and of
@@ -58,6 +76,17 @@ type KV struct {
 	// different width rebuilds once and re-fixes it.
 	nbuckets int
 	buckets  []uint64
+
+	// fences are the hash ranges currently write-gated by an in-flight
+	// shard migration (normally zero or one).
+	fences []hashRange
+}
+
+// hashRange is [Lo, Hi) on the key-hash ring; Hi == 0 means the top.
+type hashRange struct{ Lo, Hi uint64 }
+
+func (r hashRange) contains(h uint64) bool {
+	return h >= r.Lo && (r.Hi == 0 || h < r.Hi)
 }
 
 // NewKV creates an empty store.
@@ -78,13 +107,116 @@ func (kv *KV) Apply(cmd []byte) {
 	kv.seq++
 	switch verb {
 	case "put":
-		if key, val, ok := strings.Cut(rest, " "); ok && key != "" {
+		if key, val, ok := strings.Cut(rest, " "); ok && key != "" && !kv.fencedLocked(key) {
 			kv.setLocked(key, val, kv.seq)
 		}
 	case "del":
-		if rest != "" {
+		if rest != "" && !kv.fencedLocked(rest) {
 			kv.delLocked(rest, kv.seq)
 		}
+	case "fence":
+		if r, ok := parseHashRange(rest); ok {
+			kv.fences = append(kv.fences, r)
+		}
+	case "purge":
+		if r, ok := parseHashRange(rest); ok {
+			kv.purgeLocked(r)
+		}
+	case "unfence":
+		if r, ok := parseHashRange(rest); ok {
+			kv.unfenceLocked(r)
+		}
+	}
+}
+
+// parseHashRange parses "<lo> <hi>"; malformed input is ignored (ok
+// false) so every replica skips the same bytes the same way.
+func parseHashRange(s string) (hashRange, bool) {
+	loStr, hiStr, ok := strings.Cut(s, " ")
+	if !ok {
+		return hashRange{}, false
+	}
+	lo, err1 := strconv.ParseUint(loStr, 10, 64)
+	hi, err2 := strconv.ParseUint(hiStr, 10, 64)
+	if err1 != nil || err2 != nil || (hi != 0 && hi <= lo) {
+		return hashRange{}, false
+	}
+	return hashRange{Lo: lo, Hi: hi}, true
+}
+
+// CmdFence encodes the write-gate command for [lo, hi).
+func CmdFence(lo, hi uint64) []byte {
+	return []byte(fmt.Sprintf("fence %d %d", lo, hi))
+}
+
+// CmdPurge encodes the moved-range removal command for [lo, hi).
+func CmdPurge(lo, hi uint64) []byte {
+	return []byte(fmt.Sprintf("purge %d %d", lo, hi))
+}
+
+// CmdUnfence encodes fence removal for [lo, hi) — the abort path of a
+// move: the gate comes down, the keys stay.
+func CmdUnfence(lo, hi uint64) []byte {
+	return []byte(fmt.Sprintf("unfence %d %d", lo, hi))
+}
+
+// unfenceLocked drops the fence matching r exactly, if any.
+func (kv *KV) unfenceLocked(r hashRange) {
+	for i, f := range kv.fences {
+		if f == r {
+			kv.fences = append(kv.fences[:i], kv.fences[i+1:]...)
+			return
+		}
+	}
+}
+
+func (kv *KV) fencedLocked(key string) bool {
+	if len(kv.fences) == 0 {
+		return false
+	}
+	h := types.KeyHash(key)
+	for _, r := range kv.fences {
+		if r.contains(h) {
+			return true
+		}
+	}
+	return false
+}
+
+// FencedKey reports whether key currently falls in a write-gated range.
+// The daemon checks it before proposing (answer retry: the write was
+// never submitted) and after ack-reading (answer unknown: the write
+// raced the fence into the order and may have been rejected at apply).
+func (kv *KV) FencedKey(key string) bool {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	return kv.fencedLocked(key)
+}
+
+// Fenced reports whether any write gate is up.
+func (kv *KV) Fenced() bool {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	return len(kv.fences) > 0
+}
+
+// purgeLocked removes every key hashing into r. Removal is not a logical
+// delete: no tombstones are recorded (the keys moved to another group,
+// they did not die), but the diff digests are maintained. The fence
+// deliberately STAYS up: after a committed move it is the permanent
+// write-gate on the old owner, turning a stale-routed write into a retry
+// instead of an acked write the range's new owner will never see. Only an
+// explicit unfence (the move-abort path) takes a fence down.
+func (kv *KV) purgeLocked(r hashRange) {
+	for k, v := range kv.m {
+		if !r.contains(types.KeyHash(k)) {
+			continue
+		}
+		if kv.nbuckets > 0 {
+			kv.buckets[kvBucket(k, kv.nbuckets)] ^= pairHash(k, v)
+		}
+		delete(kv.m, k)
+		delete(kv.rev, k)
 	}
 }
 
@@ -183,6 +315,37 @@ func (kv *KV) Snapshot() []byte {
 	return out
 }
 
+// SnapshotRange encodes, in Snapshot's exact format, only the keys whose
+// types.KeyHash falls in [lo, hi) (hi == 0 meaning the ring top). It is
+// the migration cut: a split/move driver fences the range, cuts this
+// snapshot at its own apply position, and seeds the target group's
+// incumbent KV with it — Restore on the target accepts the bytes because
+// the format is Snapshot's.
+func (kv *KV) SnapshotRange(lo, hi uint64) []byte {
+	r := hashRange{Lo: lo, Hi: hi}
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	keys := make([]string, 0)
+	size := binary.MaxVarintLen64
+	for k := range kv.m {
+		if !r.contains(types.KeyHash(k)) {
+			continue
+		}
+		keys = append(keys, k)
+		size += 2*binary.MaxVarintLen64 + len(k) + len(kv.m[k])
+	}
+	sort.Strings(keys)
+	out := binary.AppendUvarint(make([]byte, 0, size), uint64(len(keys)))
+	for _, k := range keys {
+		out = binary.AppendUvarint(out, uint64(len(k)))
+		out = append(out, k...)
+		v := kv.m[k]
+		out = binary.AppendUvarint(out, uint64(len(v)))
+		out = append(out, v...)
+	}
+	return out
+}
+
 // Restore implements StateMachine.
 func (kv *KV) Restore(snapshot []byte) error {
 	n, buf, err := kvUvarint(snapshot)
@@ -213,6 +376,7 @@ func (kv *KV) Restore(snapshot []byte) error {
 	kv.rev = make(map[string]uint64)
 	kv.tomb = make(map[string]uint64)
 	kv.seq = 0
+	kv.fences = nil // fences are local migration state, never transferred
 	if kv.nbuckets > 0 {
 		kv.rebuildDigestLocked(kv.nbuckets)
 	}

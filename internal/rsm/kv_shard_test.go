@@ -1,0 +1,182 @@
+package rsm
+
+import (
+	"fmt"
+	"testing"
+
+	"newtop/internal/types"
+)
+
+func fillKV(n int) *KV {
+	kv := NewKV()
+	for i := 0; i < n; i++ {
+		kv.Apply([]byte(fmt.Sprintf("put k%04d v%d", i, i)))
+	}
+	return kv
+}
+
+func TestSnapshotRangePartitions(t *testing.T) {
+	kv := fillKV(256)
+	mid := uint64(1) << 63
+	lowSnap := kv.SnapshotRange(0, mid)
+	highSnap := kv.SnapshotRange(mid, 0)
+	low, high := NewKV(), NewKV()
+	if err := low.Restore(lowSnap); err != nil {
+		t.Fatal(err)
+	}
+	if err := high.Restore(highSnap); err != nil {
+		t.Fatal(err)
+	}
+	if low.Len()+high.Len() != kv.Len() {
+		t.Fatalf("partition loses keys: %d + %d != %d", low.Len(), high.Len(), kv.Len())
+	}
+	if low.Len() == 0 || high.Len() == 0 {
+		t.Fatalf("degenerate split: %d / %d", low.Len(), high.Len())
+	}
+	for i := 0; i < 256; i++ {
+		key := fmt.Sprintf("k%04d", i)
+		want := fmt.Sprintf("v%d", i)
+		side := low
+		if types.KeyHash(key) >= mid {
+			side = high
+		}
+		if got, ok := side.Get(key); !ok || got != want {
+			t.Fatalf("key %s landed wrong: %q %v", key, got, ok)
+		}
+	}
+	// The full range reproduces Snapshot byte-for-byte.
+	full := kv.SnapshotRange(0, 0)
+	if string(full) != string(kv.Snapshot()) {
+		t.Fatal("SnapshotRange(0,0) != Snapshot()")
+	}
+}
+
+func TestFenceGatesApplies(t *testing.T) {
+	kv := fillKV(64)
+	mid := uint64(1) << 63
+	kv.Apply(CmdFence(mid, 0))
+	if !kv.Fenced() {
+		t.Fatal("fence not installed")
+	}
+	var fencedKey, openKey string
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("probe%d", i)
+		if types.KeyHash(k) >= mid {
+			fencedKey = k
+		} else {
+			openKey = k
+		}
+		if fencedKey != "" && openKey != "" {
+			break
+		}
+	}
+	if !kv.FencedKey(fencedKey) || kv.FencedKey(openKey) {
+		t.Fatal("FencedKey misclassifies")
+	}
+	kv.Apply([]byte("put " + fencedKey + " x"))
+	if _, ok := kv.Get(fencedKey); ok {
+		t.Fatal("write into fenced range applied")
+	}
+	kv.Apply([]byte("put " + openKey + " y"))
+	if v, ok := kv.Get(openKey); !ok || v != "y" {
+		t.Fatal("write outside fenced range rejected")
+	}
+	// Deletes are gated too.
+	var victim string
+	for i := 0; i < 64; i++ {
+		k := fmt.Sprintf("k%04d", i)
+		if types.KeyHash(k) >= mid {
+			victim = k
+			break
+		}
+	}
+	kv.Apply([]byte("del " + victim))
+	if _, ok := kv.Get(victim); !ok {
+		t.Fatal("delete inside fenced range applied")
+	}
+	// Malformed fences are ignored deterministically.
+	kv.Apply([]byte("fence 12"))
+	kv.Apply([]byte("fence a b"))
+	kv.Apply([]byte("fence 9 5"))
+}
+
+func TestPurgeRemovesRangeKeepsFence(t *testing.T) {
+	kv := fillKV(256)
+	kv.DiffDigest(16) // fix the digest width so purge maintains it incrementally
+	mid := uint64(1) << 63
+	kv.Apply(CmdFence(mid, 0))
+	kv.Apply(CmdPurge(mid, 0))
+	// The fence survives the purge: it is the old owner's permanent
+	// write-gate for the moved range, so a stale-routed write can never
+	// be acked into a group whose keys left.
+	if !kv.Fenced() {
+		t.Fatal("purge took the fence down")
+	}
+	kv.Apply([]byte("put kxlate v"))
+	if types.KeyHash("kxlate") >= mid {
+		if _, ok := kv.Get("kxlate"); ok {
+			t.Fatal("post-purge write into moved range applied")
+		}
+	}
+	for i := 0; i < 256; i++ {
+		key := fmt.Sprintf("k%04d", i)
+		_, ok := kv.Get(key)
+		if inHigh := types.KeyHash(key) >= mid; ok == inHigh {
+			t.Fatalf("key %s: present=%v inPurgedRange=%v", key, ok, inHigh)
+		}
+	}
+	// Incremental digest maintenance through purge matches a rebuild: a
+	// fresh KV holding exactly the surviving pairs digests identically.
+	ref := NewKV()
+	for i := 0; i < 256; i++ {
+		key := fmt.Sprintf("k%04d", i)
+		if v, ok := kv.Get(key); ok {
+			ref.Apply([]byte(fmt.Sprintf("put %s %s", key, v)))
+		}
+	}
+	got, want := kv.DiffDigest(16), ref.DiffDigest(16)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d digest diverges after purge", i)
+		}
+	}
+	// No tombstones: the keys moved, they did not die.
+	if kv.Tombstones() != 0 {
+		t.Fatalf("purge recorded %d tombstones", kv.Tombstones())
+	}
+}
+
+func TestUnfenceReopensRange(t *testing.T) {
+	kv := fillKV(8)
+	mid := uint64(1) << 63
+	kv.Apply(CmdFence(mid, 0))
+	kv.Apply(CmdUnfence(mid, 0))
+	if kv.Fenced() {
+		t.Fatal("unfence left the fence up")
+	}
+	var k string
+	for i := 0; ; i++ {
+		k = fmt.Sprintf("re%d", i)
+		if types.KeyHash(k) >= mid {
+			break
+		}
+	}
+	kv.Apply([]byte("put " + k + " back"))
+	if v, ok := kv.Get(k); !ok || v != "back" {
+		t.Fatal("write after unfence rejected")
+	}
+	// Unfencing a range that was never fenced is a deterministic no-op.
+	kv.Apply(CmdUnfence(1, 2))
+}
+
+func TestFenceExcludedFromSnapshot(t *testing.T) {
+	kv := fillKV(8)
+	kv.Apply(CmdFence(0, 1024))
+	other := NewKV()
+	if err := other.Restore(kv.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if other.Fenced() {
+		t.Fatal("fence travelled through a snapshot")
+	}
+}

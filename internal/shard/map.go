@@ -1,0 +1,591 @@
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"newtop/internal/types"
+)
+
+// Map is the replicated shard table: a StateMachine applied through the
+// meta-group's total order, so every daemon holds an identical copy and
+// transitions it at the same point of the same command stream.
+//
+// Commands (text, like KV's grammar; unknown or invalid commands are
+// ignored deterministically):
+//
+//	init <start>:<group>:<m1.m2…>;…    install the initial table (first
+//	                                   writer wins; every daemon proposes
+//	                                   the identical table, later copies
+//	                                   are no-ops)
+//	addr <pid> <clientaddr>            publish a daemon's client endpoint
+//	pending <lo> <hi> <group> <m1.m2…> open a split/move of [lo,hi)
+//	commit <lo> <hi> <group>           carve the arc, flip ownership
+//	abort <lo> <hi> <group>            cancel the pending move
+//
+// Every state change bumps the epoch. The epoch is the client-visible
+// map version: it rides on NOT_SERVING redirects, and a client seeing a
+// newer epoch than its cache drops stale routes.
+type Map struct {
+	mu      sync.RWMutex
+	starts  []uint64        // sorted arc starts; starts[0]==0 once initialized
+	owners  []types.GroupID // owners[i] owns [starts[i], starts[i+1])
+	groups  map[types.GroupID][]types.ProcessID
+	addrs   map[types.ProcessID]string
+	pending *Pending
+	epoch   uint64
+
+	onChange func() // invoked (without mu) after every state change
+}
+
+// NewMap creates an empty, uninitialized map.
+func NewMap() *Map {
+	return &Map{
+		groups: make(map[types.GroupID][]types.ProcessID),
+		addrs:  make(map[types.ProcessID]string),
+	}
+}
+
+// SetOnChange registers a hook invoked after every applied state change
+// (and after Restore). Register before the replica starts applying.
+func (m *Map) SetOnChange(fn func()) { m.onChange = fn }
+
+// Apply implements StateMachine.
+func (m *Map) Apply(cmd []byte) {
+	verb, rest, _ := strings.Cut(string(cmd), " ")
+	m.mu.Lock()
+	changed := false
+	switch verb {
+	case "init":
+		changed = m.applyInitLocked(rest)
+	case "addr":
+		changed = m.applyAddrLocked(rest)
+	case "pending":
+		changed = m.applyPendingLocked(rest)
+	case "commit":
+		changed = m.applyCommitLocked(rest)
+	case "abort":
+		changed = m.applyAbortLocked(rest)
+	}
+	if changed {
+		m.epoch++
+	}
+	m.mu.Unlock()
+	if changed && m.onChange != nil {
+		m.onChange()
+	}
+}
+
+func (m *Map) applyInitLocked(rest string) bool {
+	if len(m.starts) > 0 {
+		return false // first init in the total order wins
+	}
+	assigns, err := parseAssigns(rest)
+	if err != nil || len(assigns) == 0 || assigns[0].Start != 0 {
+		return false
+	}
+	seen := make(map[types.GroupID]bool, len(assigns))
+	for i, a := range assigns {
+		if i > 0 && a.Start <= assigns[i-1].Start {
+			return false
+		}
+		if !IsDataGroup(a.Group) || len(a.Members) == 0 || seen[a.Group] {
+			return false
+		}
+		seen[a.Group] = true
+	}
+	for _, a := range assigns {
+		m.starts = append(m.starts, a.Start)
+		m.owners = append(m.owners, a.Group)
+		m.groups[a.Group] = append([]types.ProcessID(nil), a.Members...)
+	}
+	return true
+}
+
+func (m *Map) applyAddrLocked(rest string) bool {
+	pidStr, addr, ok := strings.Cut(rest, " ")
+	pid64, err := strconv.ParseUint(pidStr, 10, 32)
+	if !ok || err != nil || pid64 == 0 || addr == "" {
+		return false
+	}
+	pid := types.ProcessID(pid64)
+	if m.addrs[pid] == addr {
+		return false // re-published endpoint: no epoch churn
+	}
+	m.addrs[pid] = addr
+	return true
+}
+
+func (m *Map) applyPendingLocked(rest string) bool {
+	p, err := parsePending(rest)
+	if err != nil || m.pending != nil {
+		return false
+	}
+	if !IsDataGroup(p.Group) || len(p.Members) == 0 {
+		return false
+	}
+	if _, exists := m.groups[p.Group]; exists {
+		return false
+	}
+	// [lo, hi) must sit inside exactly one existing arc.
+	i, ok := m.arcIndexLocked(p.Lo)
+	if !ok {
+		return false
+	}
+	end := m.arcEndLocked(i)
+	if p.Hi != 0 && p.Hi <= p.Lo {
+		return false
+	}
+	if end != 0 && (p.Hi == 0 || p.Hi > end) {
+		return false
+	}
+	m.pending = &p
+	return true
+}
+
+func (m *Map) applyCommitLocked(rest string) bool {
+	lo, hi, g, err := parseRangeGroup(rest)
+	if err != nil || m.pending == nil ||
+		m.pending.Lo != lo || m.pending.Hi != hi || m.pending.Group != g {
+		return false
+	}
+	p := m.pending
+	m.pending = nil
+	i, ok := m.arcIndexLocked(p.Lo)
+	if !ok {
+		return true // arc vanished (cannot happen: pending blocks other moves); epoch still bumps
+	}
+	old := m.owners[i]
+	end := m.arcEndLocked(i)
+	m.groups[p.Group] = append([]types.ProcessID(nil), p.Members...)
+	if p.Lo == m.starts[i] {
+		m.owners[i] = p.Group
+	} else {
+		m.insertArcLocked(i+1, p.Lo, p.Group)
+		i++
+	}
+	if p.Hi != end {
+		m.insertArcLocked(i+1, p.Hi, old)
+	}
+	return true
+}
+
+func (m *Map) applyAbortLocked(rest string) bool {
+	lo, hi, g, err := parseRangeGroup(rest)
+	if err != nil || m.pending == nil ||
+		m.pending.Lo != lo || m.pending.Hi != hi || m.pending.Group != g {
+		return false
+	}
+	m.pending = nil
+	return true
+}
+
+func (m *Map) insertArcLocked(at int, start uint64, g types.GroupID) {
+	m.starts = append(m.starts, 0)
+	m.owners = append(m.owners, 0)
+	copy(m.starts[at+1:], m.starts[at:])
+	copy(m.owners[at+1:], m.owners[at:])
+	m.starts[at] = start
+	m.owners[at] = g
+}
+
+// arcIndexLocked returns the index of the arc containing hash h.
+func (m *Map) arcIndexLocked(h uint64) (int, bool) {
+	if len(m.starts) == 0 {
+		return 0, false
+	}
+	// Last start <= h; starts[0] == 0 so there always is one.
+	i := sort.Search(len(m.starts), func(i int) bool { return m.starts[i] > h })
+	return i - 1, true
+}
+
+// arcEndLocked returns arc i's exclusive end (0 = ring top).
+func (m *Map) arcEndLocked(i int) uint64 {
+	if i+1 < len(m.starts) {
+		return m.starts[i+1]
+	}
+	return 0
+}
+
+// Initialized reports whether an init command has been applied.
+func (m *Map) Initialized() bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.starts) > 0
+}
+
+// Epoch returns the current map version.
+func (m *Map) Epoch() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.epoch
+}
+
+// Arcs returns the arc count.
+func (m *Map) Arcs() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.starts)
+}
+
+// Lookup routes hash h: the owning arc, group and members, plus the
+// epoch the answer is valid at. ok is false until the map is initialized.
+func (m *Map) Lookup(h uint64) (r Route, epoch uint64, ok bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	i, ok := m.arcIndexLocked(h)
+	if !ok {
+		return Route{}, m.epoch, false
+	}
+	g := m.owners[i]
+	return Route{
+		Lo:      m.starts[i],
+		Hi:      m.arcEndLocked(i),
+		Group:   g,
+		Members: append([]types.ProcessID(nil), m.groups[g]...),
+	}, m.epoch, true
+}
+
+// Members returns group g's replica set (nil if unknown).
+func (m *Map) Members(g types.GroupID) []types.ProcessID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return append([]types.ProcessID(nil), m.groups[g]...)
+}
+
+// Addr returns pid's published client endpoint.
+func (m *Map) Addr(pid types.ProcessID) (string, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	a, ok := m.addrs[pid]
+	return a, ok
+}
+
+// AddrHint picks a member endpoint of group g for a redirect, spread by
+// the key hash so a hot arc's redirects don't all land on one member.
+// Members equal to self (the redirecting daemon) are skipped.
+func (m *Map) AddrHint(g types.GroupID, h uint64, self types.ProcessID) string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	members := m.groups[g]
+	if len(members) == 0 {
+		return ""
+	}
+	start := int(h % uint64(len(members)))
+	for k := 0; k < len(members); k++ {
+		pid := members[(start+k)%len(members)]
+		if pid == self {
+			continue
+		}
+		if a, ok := m.addrs[pid]; ok {
+			return a
+		}
+	}
+	return ""
+}
+
+// Pending returns the in-flight move, if any.
+func (m *Map) PendingMove() (Pending, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.pending == nil {
+		return Pending{}, false
+	}
+	p := *m.pending
+	p.Members = append([]types.ProcessID(nil), p.Members...)
+	return p, true
+}
+
+// InPendingRange reports whether hash h falls in an in-flight move's
+// range — the window where writes are gated.
+func (m *Map) InPendingRange(h uint64) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.pending != nil && InArc(h, m.pending.Lo, m.pending.Hi)
+}
+
+// NextDataGroup returns the lowest unused data-group ID — the ID a
+// split/move driver should propose for its target group. Allocation is
+// confirmed by the pending command itself: Apply rejects a group that
+// exists by the time the command is ordered.
+func (m *Map) NextDataGroup() types.GroupID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	next := FirstDataGroup
+	for g := range m.groups {
+		if g >= next {
+			next = g + 1
+		}
+	}
+	if m.pending != nil && m.pending.Group >= next {
+		next = m.pending.Group + 1
+	}
+	return next
+}
+
+// GroupsOf returns every group pid is a member of (data groups only).
+func (m *Map) GroupsOf(pid types.ProcessID) []types.GroupID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []types.GroupID
+	for g, members := range m.groups {
+		for _, p := range members {
+			if p == pid {
+				out = append(out, g)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Snapshot implements StateMachine: a canonical text rendering — equal
+// states encode to equal bytes (arcs in ring order, groups and addrs
+// sorted), so it doubles as the digest preimage.
+func (m *Map) Snapshot() []byte {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "epoch %d\n", m.epoch)
+	for i, s := range m.starts {
+		fmt.Fprintf(&b, "arc %d %d\n", s, uint32(m.owners[i]))
+	}
+	groups := make([]types.GroupID, 0, len(m.groups))
+	for g := range m.groups {
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i] < groups[j] })
+	for _, g := range groups {
+		fmt.Fprintf(&b, "group %d %s\n", uint32(g), joinPids(m.groups[g]))
+	}
+	pids := make([]types.ProcessID, 0, len(m.addrs))
+	for p := range m.addrs {
+		pids = append(pids, p)
+	}
+	types.SortProcesses(pids)
+	for _, p := range pids {
+		fmt.Fprintf(&b, "addr %d %s\n", uint32(p), m.addrs[p])
+	}
+	if m.pending != nil {
+		fmt.Fprintf(&b, "pending %d %d %d %s\n",
+			m.pending.Lo, m.pending.Hi, uint32(m.pending.Group), joinPids(m.pending.Members))
+	}
+	return []byte(b.String())
+}
+
+// Restore implements StateMachine.
+func (m *Map) Restore(snapshot []byte) error {
+	n := NewMap()
+	for _, line := range strings.Split(string(snapshot), "\n") {
+		if line == "" {
+			continue
+		}
+		verb, rest, _ := strings.Cut(line, " ")
+		var err error
+		switch verb {
+		case "epoch":
+			n.epoch, err = strconv.ParseUint(rest, 10, 64)
+		case "arc":
+			var s, g uint64
+			if s, g, err = parseTwoUints(rest); err == nil {
+				n.starts = append(n.starts, s)
+				n.owners = append(n.owners, types.GroupID(g))
+			}
+		case "group":
+			gStr, mStr, _ := strings.Cut(rest, " ")
+			var g uint64
+			if g, err = strconv.ParseUint(gStr, 10, 32); err == nil {
+				var members []types.ProcessID
+				if members, err = parsePids(mStr); err == nil {
+					n.groups[types.GroupID(g)] = members
+				}
+			}
+		case "addr":
+			pStr, addr, ok := strings.Cut(rest, " ")
+			var p uint64
+			if p, err = strconv.ParseUint(pStr, 10, 32); err == nil {
+				if !ok || addr == "" {
+					err = fmt.Errorf("empty addr")
+				} else {
+					n.addrs[types.ProcessID(p)] = addr
+				}
+			}
+		case "pending":
+			var p Pending
+			if p, err = parsePendingSnapshot(rest); err == nil {
+				n.pending = &p
+			}
+		default:
+			err = fmt.Errorf("unknown line %q", verb)
+		}
+		if err != nil {
+			return fmt.Errorf("shard: restore: %w", err)
+		}
+	}
+	m.mu.Lock()
+	m.starts, m.owners = n.starts, n.owners
+	m.groups, m.addrs = n.groups, n.addrs
+	m.pending, m.epoch = n.pending, n.epoch
+	m.mu.Unlock()
+	if m.onChange != nil {
+		m.onChange()
+	}
+	return nil
+}
+
+// Digest is a 64-bit hash of the canonical snapshot — identical across
+// members that applied the same command stream.
+func (m *Map) Digest() uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(m.Snapshot())
+	return h.Sum64()
+}
+
+// --- command encoding -------------------------------------------------
+
+// CmdInit encodes the initial-table command.
+func CmdInit(assigns []Assign) []byte {
+	parts := make([]string, len(assigns))
+	for i, a := range assigns {
+		parts[i] = fmt.Sprintf("%d:%d:%s", a.Start, uint32(a.Group), joinPidsDot(a.Members))
+	}
+	return []byte("init " + strings.Join(parts, ";"))
+}
+
+// CmdAddr encodes a daemon's endpoint publication.
+func CmdAddr(pid types.ProcessID, addr string) []byte {
+	return []byte(fmt.Sprintf("addr %d %s", uint32(pid), addr))
+}
+
+// CmdPending opens a split/move.
+func CmdPending(p Pending) []byte {
+	return []byte(fmt.Sprintf("pending %d %d %d %s", p.Lo, p.Hi, uint32(p.Group), joinPidsDot(p.Members)))
+}
+
+// CmdCommit commits a split/move.
+func CmdCommit(lo, hi uint64, g types.GroupID) []byte {
+	return []byte(fmt.Sprintf("commit %d %d %d", lo, hi, uint32(g)))
+}
+
+// CmdAbort cancels a split/move.
+func CmdAbort(lo, hi uint64, g types.GroupID) []byte {
+	return []byte(fmt.Sprintf("abort %d %d %d", lo, hi, uint32(g)))
+}
+
+// --- parsing ----------------------------------------------------------
+
+func parseAssigns(s string) ([]Assign, error) {
+	var out []Assign
+	for _, part := range strings.Split(s, ";") {
+		fields := strings.Split(part, ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("shard: bad assign %q", part)
+		}
+		start, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		g, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, err
+		}
+		members, err := parsePidsDot(fields[2])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Assign{Start: start, Group: types.GroupID(g), Members: members})
+	}
+	return out, nil
+}
+
+func parsePending(s string) (Pending, error) {
+	fields := strings.Fields(s)
+	if len(fields) != 4 {
+		return Pending{}, fmt.Errorf("shard: bad pending %q", s)
+	}
+	lo, err1 := strconv.ParseUint(fields[0], 10, 64)
+	hi, err2 := strconv.ParseUint(fields[1], 10, 64)
+	g, err3 := strconv.ParseUint(fields[2], 10, 32)
+	members, err4 := parsePidsDot(fields[3])
+	for _, err := range []error{err1, err2, err3, err4} {
+		if err != nil {
+			return Pending{}, err
+		}
+	}
+	return Pending{Lo: lo, Hi: hi, Group: types.GroupID(g), Members: members}, nil
+}
+
+// parsePendingSnapshot parses the snapshot's pending line, whose member
+// list uses the snapshot separator.
+func parsePendingSnapshot(s string) (Pending, error) {
+	return parsePending(s)
+}
+
+func parseRangeGroup(s string) (lo, hi uint64, g types.GroupID, err error) {
+	fields := strings.Fields(s)
+	if len(fields) != 3 {
+		return 0, 0, 0, fmt.Errorf("shard: bad range %q", s)
+	}
+	if lo, err = strconv.ParseUint(fields[0], 10, 64); err != nil {
+		return
+	}
+	if hi, err = strconv.ParseUint(fields[1], 10, 64); err != nil {
+		return
+	}
+	var g64 uint64
+	if g64, err = strconv.ParseUint(fields[2], 10, 32); err != nil {
+		return
+	}
+	return lo, hi, types.GroupID(g64), nil
+}
+
+// joinPidsDot renders a member list as "1.2.3" (command grammar).
+func joinPidsDot(pids []types.ProcessID) string {
+	parts := make([]string, len(pids))
+	for i, p := range pids {
+		parts[i] = strconv.FormatUint(uint64(uint32(p)), 10)
+	}
+	return strings.Join(parts, ".")
+}
+
+// joinPids is the snapshot rendering — same dot form.
+func joinPids(pids []types.ProcessID) string { return joinPidsDot(pids) }
+
+func parsePidsDot(s string) ([]types.ProcessID, error) {
+	if s == "" {
+		return nil, fmt.Errorf("shard: empty member list")
+	}
+	parts := strings.Split(s, ".")
+	out := make([]types.ProcessID, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseUint(p, 10, 32)
+		if err != nil || v == 0 {
+			return nil, fmt.Errorf("shard: bad member %q", p)
+		}
+		out[i] = types.ProcessID(v)
+	}
+	return out, nil
+}
+
+func parsePids(s string) ([]types.ProcessID, error) { return parsePidsDot(s) }
+
+func parseTwoUints(s string) (uint64, uint64, error) {
+	a, b, ok := strings.Cut(s, " ")
+	if !ok {
+		return 0, 0, fmt.Errorf("shard: bad pair %q", s)
+	}
+	x, err := strconv.ParseUint(a, 10, 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	y, err := strconv.ParseUint(b, 10, 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	return x, y, nil
+}

@@ -1,0 +1,91 @@
+package shard_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"newtop"
+	"newtop/internal/shard"
+	"newtop/internal/types"
+)
+
+// TestMetaGroupDeterminism is the shard-map RSM determinism test: three
+// members replicate one Map through a real meta-group's total order,
+// propose interleaved (and partly invalid) commands from different
+// members concurrently, and must converge on the identical digest and
+// epoch — the property every daemon's routing depends on.
+func TestMetaGroupDeterminism(t *testing.T) {
+	net := newtop.NewNetwork(newtop.WithSeed(23))
+	defer net.Close()
+	members := []newtop.ProcessID{1, 2, 3}
+	maps := make(map[newtop.ProcessID]*shard.Map)
+	reps := make(map[newtop.ProcessID]*newtop.Replica)
+	for _, id := range members {
+		p, err := newtop.Start(newtop.Config{Self: id, Network: net, Omega: 2 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		m := shard.NewMap()
+		rep, err := newtop.Replicate(p, shard.MetaGroup, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.BootstrapGroup(shard.MetaGroup, newtop.Symmetric, members); err != nil {
+			t.Fatal(err)
+		}
+		maps[id], reps[id] = m, rep
+	}
+
+	assigns := shard.UniformAssigns(2, func(int) []types.ProcessID {
+		return []types.ProcessID{1, 2, 3}
+	})
+	// Every member proposes the init (the real bootstrap pattern: first in
+	// the total order wins, the rest are deterministic no-ops), its own
+	// addr, and one member drives a split. Proposals race each other.
+	for _, id := range members {
+		if err := reps[id].Propose(shard.CmdInit(assigns)); err != nil {
+			t.Fatal(err)
+		}
+		if err := reps[id].Propose(shard.CmdAddr(id, fmt.Sprintf("127.0.0.1:90%02d", id))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tgt := shard.FirstDataGroup + 2
+	for _, cmd := range [][]byte{
+		shard.CmdPending(shard.Pending{Lo: 1 << 62, Hi: 1 << 63, Group: tgt, Members: []types.ProcessID{2, 3}}),
+		[]byte("bogus"),
+		shard.CmdCommit(1<<62, 1<<63, tgt),
+	} {
+		if err := reps[2].Propose(cmd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range members {
+		if err := reps[id].Barrier(); err != nil {
+			t.Fatalf("member %v barrier: %v", id, err)
+		}
+	}
+	// Barrier orders each member's own proposals; one more round trip
+	// lets the slowest proposer's commands reach everyone, then compare.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		d1 := maps[1].Digest()
+		if d1 == maps[2].Digest() && d1 == maps[3].Digest() &&
+			maps[1].Epoch() >= 6 { // init + 3 addrs + pending + commit
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("maps never converged:\n%s\n---\n%s\n---\n%s",
+				maps[1].Snapshot(), maps[2].Snapshot(), maps[3].Snapshot())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, id := range members {
+		r, _, ok := maps[id].Lookup(3 << 61)
+		if !ok || r.Group != tgt {
+			t.Fatalf("member %v routes split range to %v", id, r.Group)
+		}
+	}
+}

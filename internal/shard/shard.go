@@ -1,0 +1,96 @@
+// Package shard partitions the keyspace across many newtop groups so
+// aggregate throughput scales past the ceiling of a single total order.
+//
+// The unit of scale-out is the hash arc: [0, 2^64) — the range of
+// types.KeyHash — is split into contiguous arcs, each owned by one
+// newtop group replicating its own KV. The assignment lives in a Map, a
+// replicated state machine driven through the total order of a small
+// meta-group (every daemon is a member), so all daemons converge on the
+// same key→group table without any coordination channel beyond the one
+// the paper already provides. Each mutation bumps a version — the epoch —
+// which rides on NOT_SERVING redirects so clients detect stale routing
+// lazily instead of polling the map.
+//
+// Rebalancing reuses the §5.3 group-formation/state-transfer machinery:
+// a shard split or move forms a brand-new group (groups are never
+// rejoined), seeds it from a range snapshot cut at the hash boundary, and
+// only then commits the epoch bump in the meta-group. The move protocol
+// (fence → cut → transfer → commit → purge) lives in internal/daemon;
+// this package is the map itself plus the vocabulary shared by daemon,
+// client and capacity harness.
+package shard
+
+import (
+	"newtop/internal/types"
+)
+
+// MetaGroup is the group ID of the shard-map meta-group. Shard-space
+// group IDs occupy the top half of the uint32 space so they can never
+// collide with the daemon's lineage groups (g1, g2, … allocated by
+// formation), and a daemon can classify an incoming invite by ID alone.
+const MetaGroup types.GroupID = 1 << 31
+
+// FirstDataGroup is the lowest shard data-group ID.
+const FirstDataGroup types.GroupID = MetaGroup + 1
+
+// IsShardGroup reports whether g belongs to the shard ID space (the
+// meta-group or any data group).
+func IsShardGroup(g types.GroupID) bool { return g >= MetaGroup }
+
+// IsDataGroup reports whether g is a shard data group (owns an arc).
+func IsDataGroup(g types.GroupID) bool { return g > MetaGroup }
+
+// HashKey maps a key onto the ring. Alias of types.KeyHash — the one
+// hash daemon, client, KV.SnapshotRange and the map all agree on.
+func HashKey(key string) uint64 { return types.KeyHash(key) }
+
+// InArc reports whether hash h falls in [lo, hi). hi == 0 means the top
+// of the ring (2^64): arcs are contiguous and the last one always ends
+// there, so a zero hi is "everything from lo up".
+func InArc(h, lo, hi uint64) bool {
+	if h < lo {
+		return false
+	}
+	return hi == 0 || h < hi
+}
+
+// Assign is one entry of an initial shard table: the arc starting at
+// Start (ending at the next entry's Start, or the ring top for the last)
+// is owned by Group, replicated by Members.
+type Assign struct {
+	Start   uint64
+	Group   types.GroupID
+	Members []types.ProcessID
+}
+
+// UniformAssigns builds the canonical initial table: n equal arcs over
+// groups FirstDataGroup…FirstDataGroup+n-1, members chosen by the
+// caller per arc.
+func UniformAssigns(n int, members func(i int) []types.ProcessID) []Assign {
+	out := make([]Assign, n)
+	width := ^uint64(0)/uint64(n) + 1
+	for i := 0; i < n; i++ {
+		out[i] = Assign{
+			Start:   uint64(i) * width,
+			Group:   FirstDataGroup + types.GroupID(i),
+			Members: members(i),
+		}
+	}
+	return out
+}
+
+// Route is a lookup result: the arc owning a hash, its group and the
+// group's replica set.
+type Route struct {
+	Lo, Hi  uint64 // [Lo, Hi), Hi == 0 meaning ring top
+	Group   types.GroupID
+	Members []types.ProcessID
+}
+
+// Pending is an in-flight split/move: once committed, [Lo, Hi) moves
+// from its current owner to Group (replicated by Members).
+type Pending struct {
+	Lo, Hi  uint64
+	Group   types.GroupID
+	Members []types.ProcessID
+}

@@ -1,0 +1,306 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"newtop/internal/types"
+)
+
+func pids(ids ...int) []types.ProcessID {
+	out := make([]types.ProcessID, len(ids))
+	for i, id := range ids {
+		out[i] = types.ProcessID(id)
+	}
+	return out
+}
+
+func initialized(t *testing.T, n int) *Map {
+	t.Helper()
+	m := NewMap()
+	m.Apply(CmdInit(UniformAssigns(n, func(int) []types.ProcessID { return pids(1, 2, 3) })))
+	if !m.Initialized() {
+		t.Fatal("init command rejected")
+	}
+	return m
+}
+
+func TestMapInit(t *testing.T) {
+	m := initialized(t, 4)
+	if got := m.Arcs(); got != 4 {
+		t.Fatalf("arcs = %d, want 4", got)
+	}
+	if e := m.Epoch(); e != 1 {
+		t.Fatalf("epoch = %d, want 1", e)
+	}
+	// Second init is a no-op: first writer in the total order wins.
+	m.Apply(CmdInit(UniformAssigns(2, func(int) []types.ProcessID { return pids(9) })))
+	if got := m.Arcs(); got != 4 {
+		t.Fatalf("arcs after dup init = %d, want 4", got)
+	}
+	if e := m.Epoch(); e != 1 {
+		t.Fatalf("epoch after dup init = %d, want 1", e)
+	}
+}
+
+func TestMapInitRejectsMalformed(t *testing.T) {
+	bad := [][]byte{
+		[]byte("init "),
+		[]byte("init 5:2147483649:1"),                // first arc must start at 0
+		[]byte("init 0:7:1"),                         // group outside the data space
+		[]byte("init 0:2147483649:1;0:2147483650:1"), // non-increasing starts
+		[]byte("init 0:2147483649:1;5:2147483649:2"), // duplicate group
+		[]byte("init 0:2147483649:"),                 // empty members
+	}
+	for _, cmd := range bad {
+		m := NewMap()
+		m.Apply(cmd)
+		if m.Initialized() || m.Epoch() != 0 {
+			t.Errorf("command %q was accepted", cmd)
+		}
+		// A rejected init must leave no residue that blocks a valid one.
+		m.Apply(CmdInit(UniformAssigns(2, func(int) []types.ProcessID { return pids(1) })))
+		if !m.Initialized() {
+			t.Errorf("valid init rejected after %q", cmd)
+		}
+	}
+}
+
+func TestMapLookupCoversRing(t *testing.T) {
+	m := initialized(t, 4)
+	for _, h := range []uint64{0, 1, 1 << 62, 1 << 63, 3 << 62, ^uint64(0)} {
+		r, _, ok := m.Lookup(h)
+		if !ok {
+			t.Fatalf("lookup(%d) not ok", h)
+		}
+		if !InArc(h, r.Lo, r.Hi) {
+			t.Fatalf("lookup(%d) returned arc [%d,%d) not containing it", h, r.Lo, r.Hi)
+		}
+		want := FirstDataGroup + types.GroupID(h>>62)
+		if r.Group != want {
+			t.Fatalf("lookup(%d) group = %v, want %v", h, r.Group, want)
+		}
+	}
+}
+
+func TestMapAddrBook(t *testing.T) {
+	m := initialized(t, 2)
+	m.Apply(CmdAddr(1, "127.0.0.1:1001"))
+	m.Apply(CmdAddr(2, "127.0.0.1:1002"))
+	e := m.Epoch()
+	m.Apply(CmdAddr(2, "127.0.0.1:1002")) // republish: no epoch churn
+	if m.Epoch() != e {
+		t.Fatalf("republishing an addr bumped the epoch")
+	}
+	if a, _ := m.Addr(2); a != "127.0.0.1:1002" {
+		t.Fatalf("Addr(2) = %q", a)
+	}
+	// AddrHint skips the redirecting daemon itself.
+	if a := m.AddrHint(FirstDataGroup, 0, 3); a == "" {
+		t.Fatal("AddrHint found no member")
+	}
+	if a := m.AddrHint(FirstDataGroup, 42, 1); a == "127.0.0.1:1001" {
+		t.Fatal("AddrHint returned the excluded member")
+	}
+}
+
+func TestMapSplitCommit(t *testing.T) {
+	m := initialized(t, 2) // arcs [0, 1<<63) and [1<<63, top)
+	tgt := m.NextDataGroup()
+	lo, hi := uint64(3)<<62, uint64(0) // split the top half of arc 2
+	p := Pending{Lo: lo, Hi: hi, Group: tgt, Members: pids(2, 3)}
+	m.Apply(CmdPending(p))
+	if _, ok := m.PendingMove(); !ok {
+		t.Fatal("pending rejected")
+	}
+	if !m.InPendingRange(lo+1) || m.InPendingRange(lo-1) {
+		t.Fatal("InPendingRange wrong")
+	}
+	// Second concurrent move is rejected while one is pending.
+	m.Apply(CmdPending(Pending{Lo: 0, Hi: 4, Group: tgt + 1, Members: pids(1)}))
+	if pm, _ := m.PendingMove(); pm.Group != tgt {
+		t.Fatal("concurrent pending accepted")
+	}
+	e := m.Epoch()
+	m.Apply(CmdCommit(lo, hi, tgt))
+	if m.Epoch() != e+1 {
+		t.Fatalf("commit did not bump epoch")
+	}
+	if _, ok := m.PendingMove(); ok {
+		t.Fatal("pending survived commit")
+	}
+	if got := m.Arcs(); got != 3 {
+		t.Fatalf("arcs = %d, want 3", got)
+	}
+	r, _, _ := m.Lookup(lo + 5)
+	if r.Group != tgt || r.Lo != lo || r.Hi != 0 {
+		t.Fatalf("split range not owned by target: %+v", r)
+	}
+	r, _, _ = m.Lookup(lo - 5)
+	if r.Group != FirstDataGroup+1 || r.Hi != lo {
+		t.Fatalf("remainder arc wrong: %+v", r)
+	}
+	if got := m.Members(tgt); len(got) != 2 {
+		t.Fatalf("target members = %v", got)
+	}
+}
+
+func TestMapMoveWholeArcAndAbort(t *testing.T) {
+	m := initialized(t, 2)
+	tgt := m.NextDataGroup()
+	// Abort path first.
+	m.Apply(CmdPending(Pending{Lo: 0, Hi: 1 << 63, Group: tgt, Members: pids(2, 3)}))
+	m.Apply(CmdAbort(0, 1<<63, tgt))
+	if _, ok := m.PendingMove(); ok {
+		t.Fatal("abort did not clear pending")
+	}
+	if _, _, ok := m.Lookup(5); !ok {
+		t.Fatal("map broken after abort")
+	}
+	// Whole-arc move: arc count stays, owner flips.
+	m.Apply(CmdPending(Pending{Lo: 0, Hi: 1 << 63, Group: tgt, Members: pids(2, 3)}))
+	m.Apply(CmdCommit(0, 1<<63, tgt))
+	if got := m.Arcs(); got != 2 {
+		t.Fatalf("arcs = %d, want 2", got)
+	}
+	r, _, _ := m.Lookup(5)
+	if r.Group != tgt {
+		t.Fatalf("owner = %v, want %v", r.Group, tgt)
+	}
+}
+
+func TestMapPendingValidation(t *testing.T) {
+	m := initialized(t, 2)
+	tgt := m.NextDataGroup()
+	bad := []Pending{
+		{Lo: 1 << 62, Hi: 3 << 62, Group: tgt, Members: pids(1)},   // spans two arcs
+		{Lo: 8, Hi: 4, Group: tgt, Members: pids(1)},               // hi <= lo
+		{Lo: 8, Hi: 0, Group: tgt, Members: pids(1)},               // hi=top but arc ends earlier
+		{Lo: 8, Hi: 16, Group: FirstDataGroup, Members: pids(1)},   // group already exists
+		{Lo: 8, Hi: 16, Group: types.GroupID(7), Members: pids(1)}, // lineage-space group
+	}
+	for _, p := range bad {
+		m.Apply(CmdPending(p))
+		if _, ok := m.PendingMove(); ok {
+			t.Errorf("pending %+v accepted", p)
+		}
+	}
+}
+
+// TestDistributionSkew is the consistent-hash property test: 10k random
+// keys over equal arcs must land roughly evenly — the max/min shard load
+// ratio stays bounded. FNV-1a is uniform enough that 4 arcs over 10k
+// keys stay well under 1.3x.
+func TestDistributionSkew(t *testing.T) {
+	const keys, shards = 10000, 4
+	m := initialized(t, shards)
+	rng := rand.New(rand.NewSource(7))
+	counts := make(map[types.GroupID]int)
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("user:%08x:%d", rng.Uint64(), i)
+		r, _, ok := m.Lookup(HashKey(key))
+		if !ok {
+			t.Fatal("lookup failed")
+		}
+		counts[r.Group]++
+	}
+	if len(counts) != shards {
+		t.Fatalf("only %d shards hit: %v", len(counts), counts)
+	}
+	min, max := keys, 0
+	for _, c := range counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if skew := float64(max) / float64(min); skew > 1.3 {
+		t.Fatalf("shard skew %.3f > 1.3 (counts %v)", skew, counts)
+	}
+}
+
+// TestMapDeterminism applies one command stream — including rejected
+// commands — to two maps and a third restored from a snapshot midway;
+// all three must agree on digest and epoch.
+func TestMapDeterminism(t *testing.T) {
+	stream := [][]byte{
+		CmdInit(UniformAssigns(2, func(int) []types.ProcessID { return pids(1, 2, 3) })),
+		CmdAddr(1, "h1:1"),
+		CmdAddr(2, "h2:2"),
+		[]byte("garbage command"),
+		CmdPending(Pending{Lo: 1 << 62, Hi: 1 << 63, Group: FirstDataGroup + 2, Members: pids(2, 3)}),
+		CmdCommit(1<<62, 1<<63, FirstDataGroup+2),
+		CmdAddr(3, "h3:3"),
+		CmdPending(Pending{Lo: 0, Hi: 1 << 60, Group: FirstDataGroup + 3, Members: pids(1)}),
+		CmdAbort(0, 1<<60, FirstDataGroup+3),
+	}
+	a, b := NewMap(), NewMap()
+	c := NewMap()
+	for i, cmd := range stream {
+		a.Apply(cmd)
+		b.Apply(cmd)
+		if i == 4 {
+			// Catch-up path: restore c from a's snapshot mid-stream.
+			if err := c.Restore(a.Snapshot()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i >= 4 {
+			c.Apply(cmd)
+		}
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatalf("replayed maps diverge:\n%s\nvs\n%s", a.Snapshot(), b.Snapshot())
+	}
+	if a.Digest() != c.Digest() {
+		t.Fatalf("restored map diverges:\n%s\nvs\n%s", a.Snapshot(), c.Snapshot())
+	}
+	if a.Epoch() != c.Epoch() {
+		t.Fatalf("epochs diverge: %d vs %d", a.Epoch(), c.Epoch())
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	m := initialized(t, 3)
+	m.Apply(CmdAddr(1, "127.0.0.1:9001"))
+	m.Apply(CmdPending(Pending{Lo: 16, Hi: 32, Group: m.NextDataGroup(), Members: pids(1, 2)}))
+	n := NewMap()
+	if err := n.Restore(m.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if n.Digest() != m.Digest() {
+		t.Fatalf("round trip diverges:\n%s\nvs\n%s", m.Snapshot(), n.Snapshot())
+	}
+	if _, ok := n.PendingMove(); !ok {
+		t.Fatal("pending lost in round trip")
+	}
+	if err := n.Restore([]byte("epoch x\n")); err == nil {
+		t.Fatal("corrupt snapshot accepted")
+	}
+}
+
+func TestNextDataGroupSkipsPending(t *testing.T) {
+	m := initialized(t, 2)
+	first := m.NextDataGroup()
+	m.Apply(CmdPending(Pending{Lo: 0, Hi: 8, Group: first, Members: pids(1)}))
+	if got := m.NextDataGroup(); got != first+1 {
+		t.Fatalf("NextDataGroup = %v, want %v", got, first+1)
+	}
+}
+
+func TestGroupsOf(t *testing.T) {
+	m := NewMap()
+	m.Apply(CmdInit([]Assign{
+		{Start: 0, Group: FirstDataGroup, Members: pids(1, 2)},
+		{Start: 1 << 63, Group: FirstDataGroup + 1, Members: pids(2, 3)},
+	}))
+	if got := m.GroupsOf(2); len(got) != 2 {
+		t.Fatalf("GroupsOf(2) = %v", got)
+	}
+	if got := m.GroupsOf(4); len(got) != 0 {
+		t.Fatalf("GroupsOf(4) = %v", got)
+	}
+}

@@ -1,0 +1,20 @@
+package types
+
+// KeyHash maps an application key onto the 64-bit shard hash ring. It is
+// the single hash every layer must agree on: the shard map partitions
+// [0, 2^64) into arcs of this hash, KV.SnapshotRange cuts snapshots at
+// its boundaries, daemons route requests by it and clients use it to
+// pick an endpoint from learned arc hints. FNV-1a, inlined so the hot
+// request path pays no hash.Hash64 allocation.
+func KeyHash(key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
