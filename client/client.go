@@ -469,6 +469,17 @@ type Status struct {
 	Delivered  uint64
 	Drops      uint64
 	QueueDepth uint64
+	// Durable reports whether the daemon runs with a data directory
+	// (WAL + snapshots). WALGroup/WALIndex are the serving group's last
+	// WAL-appended log position and SnapGroup/SnapIndex its latest
+	// snapshot cut — both (group incarnation, delivery index) pairs,
+	// all-zero until the first write lands. False/zero when the daemon
+	// predates the STATUS durability extension or runs diskless.
+	Durable   bool
+	WALGroup  uint64
+	WALIndex  uint64
+	SnapGroup uint64
+	SnapIndex uint64
 }
 
 // Status queries the pinned daemon. Unlike the data operations it is
@@ -484,6 +495,8 @@ func (c *Client) Status() (Status, error) {
 		Digest: resp.Digest, Keys: resp.Keys, Ready: resp.Ready,
 		Members: resp.Members, Delivered: resp.Delivered,
 		Drops: resp.Drops, QueueDepth: resp.QueueDepth,
+		Durable: resp.Durable, WALGroup: resp.WALGroup, WALIndex: resp.WALIndex,
+		SnapGroup: resp.SnapGroup, SnapIndex: resp.SnapIndex,
 	}, nil
 }
 

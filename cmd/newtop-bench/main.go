@@ -58,6 +58,7 @@ func experiments() []experiment {
 		{"R3", "rsm partition reconciliation: digest diff → merged successor group", harness.R3PartitionReconciliation},
 		{"R4", "client routing & failover under daemon kill + partition/heal (wall clock)", harness.R4ClientFailover},
 		{"R5", "live shard-range move under open-loop load: zero acked-write loss, epoch re-route (wall clock)", harness.R5ShardMove},
+		{"R6", "kill -9 + WAL recovery under open-loop load: zero acked-write loss, reconcile fast-path rejoin (wall clock)", harness.R6CrashRecovery},
 		{"X1", "§5 ex.1 joint failure, orphan erased", harness.X1JointFailure},
 		{"X2", "§5 ex.2 MD5' partition exclusion", harness.X2CausalChain},
 		{"X3", "§5 ex.3 concurrent subgroup views", harness.X3ConcurrentViews},

@@ -53,6 +53,15 @@
 // before forming the merged group, the next-lowest survivor takes over
 // after -initiate-timeout. Clients see RETRY while the merge is in flight
 // and resume on the merged group without caller intervention.
+//
+// With -data-dir the daemon is durable: every applied command lands in a
+// per-group write-ahead log under that directory (flushed per -fsync;
+// "always" makes acked writes power-loss safe), snapshots are cut every
+// -snapshot-every entries, and restarting the same process with the same
+// -data-dir replays its store locally and rejoins the survivors via the
+// reconcile fast path — no snapshot retransfer when nothing diverged:
+//
+//	newtopd -id 3 ... -data-dir /var/lib/newtop/p3 -fsync always
 package main
 
 import (
@@ -95,6 +104,10 @@ func run() error {
 		ringThresh  = flag.Int("ring-threshold", 0, "payload size at or above which multicasts ride the view ring instead of fanning out (0 disables)")
 		metricsAddr = flag.String("metrics-addr", "", "introspection HTTP listen address serving /metrics and /debug/pprof/ (empty disables)")
 		traceEvery  = flag.Uint64("trace-every", 0, "sample one in every N data messages through the delivery-stage tracer (0 disables)")
+		dataDir     = flag.String("data-dir", "", "durability directory: WAL + snapshots live here and a restart recovers from it (empty = in-memory only)")
+		fsync       = flag.String("fsync", "always", "WAL flush policy with -data-dir: always|interval|never")
+		fsyncIvl    = flag.Duration("fsync-interval", 50*time.Millisecond, "flush cadence under -fsync interval")
+		snapEvery   = flag.Int("snapshot-every", 4096, "cut an on-disk snapshot every N applied entries")
 	)
 	flag.Parse()
 	if *id == 0 || *listen == "" {
@@ -148,6 +161,10 @@ func run() error {
 		RingThreshold:    *ringThresh,
 		MetricsAddr:      *metricsAddr,
 		TraceSampleEvery: *traceEvery,
+		DataDir:          *dataDir,
+		Fsync:            *fsync,
+		FsyncInterval:    *fsyncIvl,
+		SnapshotEvery:    *snapEvery,
 	})
 	if err != nil {
 		return err

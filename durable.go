@@ -1,0 +1,93 @@
+package newtop
+
+import (
+	"newtop/internal/rsm"
+	"newtop/internal/storage"
+	"newtop/internal/types"
+)
+
+// This file is the durability facade: the on-disk layer (internal/storage)
+// and the log-position plumbing that lets a restarted process recover its
+// replicated state locally and rejoin its former partners through the
+// reconcile fast path instead of a full snapshot transfer.
+
+// LogPos addresses one position in a group's delivery stream: the group
+// incarnation plus the zero-based index of the delivery within it. The
+// total order makes it identical at every member, so it is meaningful
+// across processes, across restarts, and on disk.
+type LogPos = types.LogPos
+
+// DurableStore manages a process's data directory: a meta sidecar (last
+// group + membership) plus one DurableLog per group incarnation. Groups
+// are never rejoined (§3), so each incarnation's stream lives in its own
+// subdirectory and recovery picks the newest one holding state.
+type DurableStore = storage.Store
+
+// DurableLog is one group incarnation's durable delivery-stream suffix: a
+// segmented, CRC-framed write-ahead log of applied commands plus the
+// latest state snapshot, both cut at a LogPos.
+type DurableLog = storage.Log
+
+// DurableEntry is one WAL record: the command bytes applied at Pos.
+type DurableEntry = storage.Entry
+
+// RecoveredState is what a DurableLog found on disk: the latest valid
+// snapshot, the replay tail above it, and how many torn or corrupt
+// records were truncated.
+type RecoveredState = storage.Recovered
+
+// StoreOptions configures OpenStore.
+type StoreOptions = storage.Options
+
+// StoreMeta is the data directory's sidecar: the last group this process
+// served in and its membership — the peers a recovered process announces
+// itself to.
+type StoreMeta = storage.Meta
+
+// FsyncPolicy selects when WAL appends are forced to stable media.
+type FsyncPolicy = storage.FsyncPolicy
+
+// Fsync policies: Always means an acknowledged write is on stable media
+// before the ack; Interval amortises the fsync over a time window; Never
+// leaves flushing to the OS.
+const (
+	FsyncAlways   = storage.FsyncAlways
+	FsyncInterval = storage.FsyncInterval
+	FsyncNever    = storage.FsyncNever
+)
+
+// ParseFsync parses "always" (the default for ""), "interval" or "never".
+func ParseFsync(s string) (FsyncPolicy, error) { return storage.ParseFsync(s) }
+
+// OpenStore creates (or reopens) a data directory.
+func OpenStore(opts StoreOptions) (*DurableStore, error) { return storage.Open(opts) }
+
+// WithDurableLog attaches a write-ahead log to the replica: every applied
+// command is appended — and committed per the log's fsync policy — before
+// any waiter observes the apply, so under FsyncAlways an acknowledged
+// write is durable. The replica cuts a storage snapshot whenever a state
+// transfer or reconciliation completes and every WithSnapshotEvery
+// applies. The caller owns the log's lifecycle.
+func WithDurableLog(l *DurableLog) ReplicaOption { return rsm.WithLog(l) }
+
+// WithSnapshotEvery cuts an on-disk snapshot every n applied entries
+// (0: only at transfer/reconcile completion), bounding recovery replay
+// and letting old WAL segments be collected.
+func WithSnapshotEvery(n int) ReplicaOption { return rsm.WithSnapshotEvery(n) }
+
+// WithAppliedBase offsets the apply counts recorded in storage snapshots
+// by n — the count the state machine already carried when the replica
+// attached (a recovered process passes what it restored and replayed),
+// keeping revision counters comparable across members after recovery.
+func WithAppliedBase(n uint64) ReplicaOption { return rsm.WithAppliedBase(n) }
+
+// Probe announces this process to peers with a null message tagged with
+// group g. A restarted process is invisible to the heal machinery until
+// it speaks — it removed nobody, so no survivor is probing it in return —
+// and Probe is how it makes its former partners' exclusion detectors fire
+// (EventHealDetected), which pulls it into the merged successor group the
+// survivors then form. Call it with the recovered group and membership
+// from the StoreMeta sidecar, periodically, until invited.
+func (p *Process) Probe(g GroupID, peers []ProcessID) error {
+	return p.n.Probe(g, peers)
+}

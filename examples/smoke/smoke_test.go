@@ -25,6 +25,7 @@ var examples = []struct {
 	{"partition", 120 * time.Second},
 	{"client", 120 * time.Second},
 	{"metrics", 120 * time.Second},
+	{"durability", 120 * time.Second},
 }
 
 func TestExamplesRun(t *testing.T) {

@@ -39,9 +39,12 @@
 //	StStatus     u32 self | u64 group | u64 applied | u64 digest |
 //	             u32 keys | u8 ready | u32 members
 //	             [| u64 delivered | u64 drops | u64 queueDepth]
-//	             — the bracketed tail is the v2 observability extension:
-//	             encoders always append it, decoders read it only when the
-//	             bytes are present, so either side may lag the other
+//	             [| u8 durable | u64 walGroup | u64 walIndex |
+//	                u64 snapGroup | u64 snapIndex]
+//	             — the bracketed tails are the v2 observability and v3
+//	             durability extensions: encoders always append them,
+//	             decoders read each only when its bytes are present, so
+//	             either side may lag the other by any number of versions
 //	StErr        u16 msgLen | msg                    — the request itself
 //	             was malformed; retrying is pointless
 //	StUnknown    u16 msgLen | msg                    — a write was proposed
@@ -146,6 +149,18 @@ type Response struct {
 	Drops      uint64
 	QueueDepth uint64
 
+	// StStatus v3 durability tail (zero when talking to a pre-v3
+	// daemon): whether the daemon runs with a data directory, the
+	// serving group's last WAL-appended log position and its latest
+	// snapshot cut. Positions are (group incarnation, delivery index);
+	// all-zero means no position yet (or durability off — check
+	// Durable).
+	Durable   bool
+	WALGroup  uint64
+	WALIndex  uint64
+	SnapGroup uint64
+	SnapIndex uint64
+
 	// StErr
 	Err string
 }
@@ -216,6 +231,11 @@ func AppendResponse(dst []byte, resp *Response) []byte {
 		dst = binary.BigEndian.AppendUint64(dst, resp.Delivered)
 		dst = binary.BigEndian.AppendUint64(dst, resp.Drops)
 		dst = binary.BigEndian.AppendUint64(dst, resp.QueueDepth)
+		dst = append(dst, b2u8(resp.Durable))
+		dst = binary.BigEndian.AppendUint64(dst, resp.WALGroup)
+		dst = binary.BigEndian.AppendUint64(dst, resp.WALIndex)
+		dst = binary.BigEndian.AppendUint64(dst, resp.SnapGroup)
+		dst = binary.BigEndian.AppendUint64(dst, resp.SnapIndex)
 	case StErr, StUnknown:
 		dst = appendString16(dst, resp.Err)
 	}
@@ -298,6 +318,14 @@ func ParseResponse(body []byte) (Response, error) {
 			resp.Delivered = d.u64()
 			resp.Drops = d.u64()
 			resp.QueueDepth = d.u64()
+		}
+		// v3 durability tail: optional — absent from pre-v3 daemons.
+		if d.err == nil && len(d.buf) >= 33 {
+			resp.Durable = d.u8() != 0
+			resp.WALGroup = d.u64()
+			resp.WALIndex = d.u64()
+			resp.SnapGroup = d.u64()
+			resp.SnapIndex = d.u64()
 		}
 	case StErr, StUnknown:
 		resp.Err = d.string16()

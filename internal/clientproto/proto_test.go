@@ -63,6 +63,10 @@ func TestResponseRoundTrip(t *testing.T) {
 			Epoch: 5, RangeLo: 3 << 62, RangeHi: 0},
 		{Status: StRetry, RetryAfter: 250 * time.Millisecond, Reason: "reconciling"},
 		{Status: StStatus, Self: 3, Group: 2, Applied: 99, Digest: 0xdeadbeef, Keys: 41, Ready: true, Members: 5},
+		{Status: StStatus, Self: 1, Group: 4, Applied: 12, Ready: true, Members: 3,
+			Delivered: 100, Drops: 2, QueueDepth: 7,
+			Durable: true, WALGroup: 4, WALIndex: 12, SnapGroup: 2, SnapIndex: 8},
+		{Status: StStatus, Self: 2, Durable: false, WALGroup: 0, WALIndex: 0},
 		{Status: StErr, Err: "bad key"},
 		{Status: StUnknown, Err: "write proposed but not confirmed"},
 	} {
@@ -180,6 +184,45 @@ func TestNotServingShardTailCompat(t *testing.T) {
 		t.Fatalf("v1 frame rejected: %v", err)
 	}
 	if got.Group != 9 || got.Addr != addr || got.Epoch != 0 || got.RangeLo != 0 || got.RangeHi != 0 {
+		t.Fatalf("v1 frame misparsed: %+v", got)
+	}
+}
+
+// TestStatusDurabilityTailCompat pins the v3 wire extension contract: a
+// v2 STATUS frame (observability tail but no durability tail) parses
+// with zero durability fields, and the durability tail sits at the very
+// end of the frame where a v2 decoder simply never looks.
+func TestStatusDurabilityTailCompat(t *testing.T) {
+	full := Response{Status: StStatus, Self: 3, Group: 9, Applied: 50,
+		Digest: 0xfeed, Keys: 10, Ready: true, Members: 3,
+		Delivered: 77, Drops: 1, QueueDepth: 4,
+		Durable: true, WALGroup: 9, WALIndex: 50, SnapGroup: 9, SnapIndex: 32}
+	frame := AppendResponse(nil, &full)
+	body := frame[4:] // strip the length header
+
+	// Chop the 33-byte durability tail: what a v2 daemon would send.
+	v2 := body[:len(body)-33]
+	got, err := ParseResponse(v2)
+	if err != nil {
+		t.Fatalf("v2 frame rejected: %v", err)
+	}
+	if got.Delivered != 77 || got.QueueDepth != 4 {
+		t.Fatalf("v2 observability tail misparsed: %+v", got)
+	}
+	if got.Durable || got.WALGroup != 0 || got.WALIndex != 0 || got.SnapGroup != 0 || got.SnapIndex != 0 {
+		t.Fatalf("v2 frame grew durability fields: %+v", got)
+	}
+
+	// Also chop the v2 tail: a v1 daemon's frame still parses clean.
+	v1 := body[:len(v2)-24]
+	got, err = ParseResponse(v1)
+	if err != nil {
+		t.Fatalf("v1 frame rejected: %v", err)
+	}
+	if got.Delivered != 0 || got.Durable {
+		t.Fatalf("v1 frame grew tail fields: %+v", got)
+	}
+	if got.Applied != 50 || got.Digest != 0xfeed {
 		t.Fatalf("v1 frame misparsed: %+v", got)
 	}
 }

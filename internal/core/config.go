@@ -90,8 +90,12 @@ type Config struct {
 	DisableFailureDetection bool
 
 	// AcceptInvite decides whether to vote yes on a group-formation
-	// invitation (§5.3 step 2). Nil accepts every invitation.
-	AcceptInvite func(g types.GroupID, members []types.ProcessID) bool
+	// invitation (§5.3 step 2). Nil accepts every invitation. coord is
+	// the formation coordinator — the process that initiated CreateGroup.
+	// It lets an invitee classify the formation: a joiner coordinates its
+	// own join, so a member list with a stranger in it coordinated by an
+	// incumbent is a post-heal merge, not a join.
+	AcceptInvite func(g types.GroupID, coord types.ProcessID, members []types.ProcessID) bool
 
 	// MessageArena recycles the structs of the engine's own outbound
 	// data-plane messages (application multicasts, time-silence nulls)

@@ -28,16 +28,22 @@ func (e SendEffect) String() string { return fmt.Sprintf("send→%v %v", e.To, e
 
 // DeliverEffect hands an application message to the local application in
 // the agreed delivery order. View is the view index the delivery occurred
-// in (the r of deliveryᵢ(m,r)).
+// in (the r of deliveryᵢ(m,r)). Index is the zero-based position of this
+// delivery in the group's total order — identical at every member, so
+// (Msg.Group, Index) forms the types.LogPos the replication and
+// durability layers address entries by.
 type DeliverEffect struct {
-	Msg  *types.Message
-	View int
+	Msg   *types.Message
+	View  int
+	Index uint64
 }
 
 func (DeliverEffect) isEffect() {}
 
 // String implements fmt.Stringer.
-func (e DeliverEffect) String() string { return fmt.Sprintf("deliver %v in view %d", e.Msg, e.View) }
+func (e DeliverEffect) String() string {
+	return fmt.Sprintf("deliver %v in view %d at index %d", e.Msg, e.View, e.Index)
+}
 
 // ViewEffect reports the installation of a new membership view for a
 // group. Removed lists the processes excluded relative to the previous

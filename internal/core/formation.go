@@ -27,7 +27,7 @@ func (e *Engine) onFormInvite(now time.Time, from types.ProcessID, m *types.Mess
 	members := types.NewView(g, 0, m.Invite).Members
 	accept := mode >= Atomic && mode <= Asymmetric && containsProc(members, e.cfg.Self) && !e.left[g]
 	if accept && e.cfg.AcceptInvite != nil {
-		accept = e.cfg.AcceptInvite(g, members)
+		accept = e.cfg.AcceptInvite(g, m.Origin, members)
 	}
 
 	vote := &types.Message{

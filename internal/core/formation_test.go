@@ -98,7 +98,7 @@ func TestGroupFormationVeto(t *testing.T) {
 	// Any 'no' vote vetoes formation (§5.3 step 3).
 	c, ps := newCluster(t, 207, 3, func(cfg *core.Config) {
 		self := cfg.Self
-		cfg.AcceptInvite = func(g types.GroupID, members []types.ProcessID) bool {
+		cfg.AcceptInvite = func(g types.GroupID, coord types.ProcessID, members []types.ProcessID) bool {
 			return self != 3 // P3 declines every invitation
 		}
 	})

@@ -141,6 +141,14 @@ type groupState struct {
 
 	formation *formationState
 
+	// delivered counts application deliveries emitted for this group —
+	// the next DeliverEffect carries this value as its stream index.
+	// Every member delivers the same messages in the same order, so the
+	// counter advances identically fleet-wide and (group, delivered) is a
+	// stable cross-process address: the types.LogPos the replication and
+	// durability layers key on.
+	delivered uint64
+
 	// Asymmetric mode (§4.2).
 	pendingReqs []*types.Message // my unsequenced requests, in unicast order
 }

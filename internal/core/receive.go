@@ -189,7 +189,8 @@ func (e *Engine) onDataPlane(now time.Time, gs *groupState, si int, m *types.Mes
 			e.stats.Delivered++
 			e.om.delivered.Inc()
 			e.tracer.StampIf(obs.TraceKey{Group: m.Group, Origin: m.Origin, Num: m.Num}, obs.StageDelivered, now)
-			e.emit(DeliverEffect{Msg: m, View: gs.view.Index})
+			e.emit(DeliverEffect{Msg: m, View: gs.view.Index, Index: gs.delivered})
+			gs.delivered++
 		}
 	case types.KindNull:
 		e.stats.NullsDropped++
@@ -300,7 +301,8 @@ func (e *Engine) pump(now time.Time) {
 			e.tracer.StampIf(key, obs.StageStable, now)
 			e.tracer.StampIf(key, obs.StageDelivered, now)
 		}
-		e.emit(DeliverEffect{Msg: m, View: gs.view.Index})
+		e.emit(DeliverEffect{Msg: m, View: gs.view.Index, Index: gs.delivered})
+		gs.delivered++
 	}
 }
 

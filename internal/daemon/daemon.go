@@ -85,6 +85,23 @@ type Config struct {
 	// HealProbeInterval is the heal-probe cadence (see newtop.Config).
 	HealProbeInterval time.Duration
 
+	// DataDir, when non-empty, makes the daemon durable: every applied
+	// command is written to a per-group WAL under this directory, state
+	// snapshots are cut periodically, and a restarted daemon recovers its
+	// store locally and rejoins its former partners via the reconcile
+	// fast path instead of a full snapshot transfer.
+	DataDir string
+	// Fsync selects the WAL flush policy: "always" (default — an acked
+	// write is on stable media), "interval" or "never".
+	Fsync string
+	// FsyncInterval is the flush cadence under Fsync="interval"
+	// (default 50ms).
+	FsyncInterval time.Duration
+	// SnapshotEvery cuts an on-disk snapshot every N applied entries
+	// (default 4096; snapshots are also always cut when a state transfer
+	// or reconciliation completes).
+	SnapshotEvery int
+
 	// Join, when non-zero, joins a running cluster by forming this new
 	// group ID and catching up, instead of bootstrapping group 1.
 	Join newtop.GroupID
@@ -153,6 +170,9 @@ func (cfg Config) withDefaults() Config {
 	if cfg.InitiateTimeout <= 0 {
 		cfg.InitiateTimeout = 5 * cfg.Settle
 	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 4096
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
@@ -164,6 +184,7 @@ func (cfg Config) withDefaults() Config {
 // still in flight.
 type invitation struct {
 	g       newtop.GroupID
+	coord   newtop.ProcessID // formation coordinator
 	members []newtop.ProcessID
 }
 
@@ -174,6 +195,20 @@ type Daemon struct {
 	kv   *newtop.KV
 	srv  *clientServer  // nil when ClientAddr == ""
 	ms   *metricsServer // nil when MetricsAddr == ""
+
+	// Durability (Config.DataDir != ""). recoveredG is non-zero from a
+	// successful local recovery until the daemon has rejoined — it marks
+	// the group incarnation the on-disk state came from, and while set the
+	// announce loop probes the old membership so a survivor's exclusion
+	// detector fires and pulls us into the merged successor group.
+	// recoveredApplied is the lineage apply count the restored state
+	// carries (the WithAppliedBase for the rejoin replica).
+	store            *newtop.DurableStore
+	rm               recoveryMetrics
+	dlogs            map[newtop.GroupID]*newtop.DurableLog
+	recoveredG       newtop.GroupID
+	recoveredMembers []newtop.ProcessID
+	recoveredApplied uint64
 
 	// Sharded mode (Config.Shard != nil). smap is set once before any
 	// concurrency starts, so reading the pointer is race-free; the Map
@@ -225,6 +260,7 @@ func Start(cfg Config) (*Daemon, error) {
 	d := &Daemon{
 		cfg:         cfg,
 		kv:          newtop.NewKV(),
+		dlogs:       make(map[newtop.GroupID]*newtop.DurableLog),
 		shardKVs:    make(map[newtop.GroupID]*newtop.KV),
 		reps:        make(map[newtop.GroupID]*newtop.Replica),
 		recon:       make(map[newtop.GroupID]bool),
@@ -257,7 +293,7 @@ func Start(cfg Config) (*Daemon, error) {
 		RingThreshold:     cfg.RingThreshold,
 		RingPullAfter:     cfg.RingPullAfter,
 		TraceSampleEvery:  cfg.TraceSampleEvery,
-		AcceptInvite: func(g newtop.GroupID, members []newtop.ProcessID) bool {
+		AcceptInvite: func(g newtop.GroupID, coord newtop.ProcessID, members []newtop.ProcessID) bool {
 			// Counted BEFORE the vote takes effect (this callback runs on
 			// the node loop, synchronously with the vote): from here until
 			// the successor replica attaches, writes must not be acked
@@ -266,7 +302,7 @@ func Start(cfg Config) (*Daemon, error) {
 			d.pendingInvites++
 			d.mu.Unlock()
 			select {
-			case d.invites <- invitation{g, append([]newtop.ProcessID(nil), members...)}:
+			case d.invites <- invitation{g, coord, append([]newtop.ProcessID(nil), members...)}:
 				return true
 			default:
 				// Joining a group we would never replicate is worse than
@@ -282,6 +318,13 @@ func Start(cfg Config) (*Daemon, error) {
 		return nil, err
 	}
 	d.proc = proc
+	d.rm = newRecoveryMetrics(proc.MetricsRegistry())
+	if cfg.DataDir != "" {
+		if err := d.openStorage(); err != nil {
+			_ = proc.Close()
+			return nil, err
+		}
+	}
 
 	if err := d.startGroups(); err != nil {
 		_ = proc.Close()
@@ -327,6 +370,9 @@ func Start(cfg Config) (*Daemon, error) {
 func (d *Daemon) startGroups() error {
 	if d.cfg.Shard != nil {
 		return d.startShardGroups()
+	}
+	if d.recoveredG != 0 {
+		return d.startRecovered()
 	}
 	members := []newtop.ProcessID{d.cfg.Self}
 	for p := range d.cfg.Peers {
@@ -461,6 +507,13 @@ func (d *Daemon) Close() error {
 	}
 	err := d.proc.Close()
 	d.wg.Wait()
+	if d.store != nil {
+		// Last: the replicas' apply loops have drained, so closing flushes
+		// the final appends (a crashed store's logs no-op here).
+		if serr := d.store.Close(); err == nil {
+			err = serr
+		}
+	}
 	return err
 }
 
@@ -565,6 +618,9 @@ func (d *Daemon) leaveSuperseded(old newtop.GroupID) {
 	if err := d.proc.LeaveGroup(old); err == nil {
 		d.logf("left superseded group g%d (drain window passed)", old)
 	}
+	// The old incarnation's on-disk stream is garbage once the serving
+	// one is anchored by a baseline snapshot.
+	d.prune()
 }
 
 // replicate attaches an authoritative (or catch-up) replica for g.
@@ -579,7 +635,11 @@ func (d *Daemon) replicate(g newtop.GroupID, opts ...newtop.ReplicaOption) error
 	if _, ok := d.reps[g]; ok {
 		return nil
 	}
-	rep, err := newtop.Replicate(d.proc, g, d.kv, opts...)
+	dopts, err := d.durableOptsLocked(g)
+	if err != nil {
+		return err
+	}
+	rep, err := newtop.Replicate(d.proc, g, d.kv, append(opts, dopts...)...)
 	if err != nil {
 		return err
 	}
@@ -604,8 +664,12 @@ func (d *Daemon) reconcile(g newtop.GroupID, members []newtop.ProcessID, side, l
 	if _, ok := d.reps[g]; ok {
 		return nil
 	}
+	dopts, err := d.durableOptsLocked(g)
+	if err != nil {
+		return err
+	}
 	rep, err := newtop.Reconcile(d.proc, g, d.kv, d.mkPolicy(lowSide), members,
-		newtop.WithPartitionSide(side))
+		append(dopts, newtop.WithPartitionSide(side))...)
 	if err != nil {
 		return err
 	}
@@ -732,6 +796,7 @@ func (d *Daemon) handleInvite(inv invitation) {
 	}
 	d.mu.Lock()
 	rejoining := false
+	recovered := d.recoveredG
 	var low = d.cfg.Self
 	for _, m := range inv.members {
 		if m < low {
@@ -745,6 +810,42 @@ func (d *Daemon) handleInvite(inv invitation) {
 	}
 	serving := d.serving
 	d.mu.Unlock()
+	if !rejoining && inv.coord != d.cfg.Self {
+		// The removed-peer record is not the whole story: a member we
+		// never excluded ourselves (it was excluded before we joined, or
+		// its exclusion record died with a group we have since left) can
+		// still be merging back in. The coordinator tells a merge from a
+		// join — a joiner coordinates its own join, so strangers in a
+		// formation coordinated by an incumbent are a far side to
+		// reconcile with, and every member must reconcile for the
+		// summary exchange to complete.
+		if v, err := d.proc.View(serving); err == nil && v.Contains(inv.coord) {
+			for _, m := range inv.members {
+				if !v.Contains(m) && m != d.cfg.Self {
+					rejoining = true
+					break
+				}
+			}
+		}
+	}
+	if recovered != 0 {
+		if inv.g <= recovered {
+			d.discardRecovered(inv)
+			return
+		}
+		// The survivors are pulling us into the merged successor group:
+		// reconcile our restored state against theirs. Identical states
+		// short-circuit after the digest summaries — the fast path — and
+		// divergence (writes we lost under fsync=interval/never, or
+		// survivors' progress) costs only the differing buckets, never a
+		// full snapshot stream.
+		if err := d.reconcile(inv.g, inv.members, uint64(d.cfg.Self), uint64(low)); err != nil {
+			d.logf("reconcile g%d: %v", inv.g, err)
+		} else {
+			d.logf("rejoining via merged group g%d = %v (recovered from g%d)", inv.g, inv.members, recovered)
+		}
+		return
+	}
 	if rejoining {
 		if err := d.reconcile(inv.g, inv.members, d.mySide(serving), uint64(low)); err != nil {
 			d.logf("reconcile g%d: %v", inv.g, err)
@@ -795,10 +896,12 @@ func (d *Daemon) handleEvent(ev newtop.Event) {
 			rm[p] = true
 		}
 		d.mu.Unlock()
+		d.saveMeta(ev.Group)
 	case newtop.EventSuspected:
 		d.logf("suspecting P%d in %v", ev.Suspect, ev.Group)
 	case newtop.EventGroupReady:
 		d.logf("group %v ready", ev.Group)
+		d.saveMeta(ev.Group)
 	case newtop.EventFormationFailed:
 		d.logf("formation of %v failed: %s", ev.Group, ev.Reason)
 		// Roll the cut-over back: if we had already registered a replica
@@ -852,10 +955,18 @@ func (d *Daemon) handleEvent(ev newtop.Event) {
 	case newtop.EventHealDetected:
 		d.logf("partition healed: P%d reachable again (was excluded from %v)", ev.Peer, ev.Group)
 		d.mu.Lock()
-		h := d.healed[ev.Group]
+		g := ev.Group
+		if _, ok := d.reps[g]; !ok && g != d.serving {
+			// The exclusion this signal revives can be from an incarnation
+			// we have since drained and left — a recovered process
+			// announces itself tagged with its OLD group. The merge
+			// nevertheless happens in the serving lineage.
+			g = d.serving
+		}
+		h := d.healed[g]
 		if h == nil {
 			h = map[newtop.ProcessID]bool{}
-			d.healed[ev.Group] = h
+			d.healed[g] = h
 		}
 		h[ev.Peer] = true
 		// Debounced initiation: (re)arm the timer on every heal signal,
@@ -863,7 +974,6 @@ func (d *Daemon) handleEvent(ev newtop.Event) {
 		// rediscovered — slow probes from the far side still make it
 		// into the member list — and the cut-over quiesce gets its
 		// drain window.
-		g := ev.Group
 		if g == d.serving && !d.reconciling[g] && !d.closed {
 			if t := d.healTimer[g]; t != nil {
 				t.Reset(d.cfg.Settle)
@@ -875,7 +985,16 @@ func (d *Daemon) handleEvent(ev newtop.Event) {
 	case newtop.EventReconciled:
 		d.mu.Lock()
 		rep, g := d.reps[d.serving], d.serving
+		recovering := d.recoveredG != 0 && d.recon[ev.Group]
+		if recovering {
+			d.recoveredG = 0 // rejoined; the announce loop stands down
+		}
 		d.mu.Unlock()
+		if recovering {
+			d.rm.fastpath.Inc()
+			d.logf("recovery complete: rejoined via reconcile into g%d", ev.Group)
+		}
+		d.saveMeta(ev.Group)
 		if rep != nil && g == ev.Group {
 			d.logf("reconciled into g%d: applied=%d keys=%d digest=%016x",
 				g, rep.AppliedSeq(), d.kv.Len(), rep.Digest())

@@ -1,0 +1,333 @@
+package daemon
+
+// Durability and restart recovery. With Config.DataDir set, the daemon
+// writes every applied command to a per-group WAL and cuts periodic state
+// snapshots (internal/storage, via the newtop facade). On restart it
+// restores the newest on-disk incarnation locally — snapshot plus replay
+// tail, truncating any torn record — and rejoins its former partners
+// through the reconcile fast path: it announces itself to the old
+// membership until a survivor's exclusion detector fires, the survivors
+// form the merged successor group, and reconciliation (usually the
+// identical-digest short circuit) brings it current. A full snapshot
+// transfer happens only on the discard path, when the on-disk lineage
+// turns out to be superseded by the cluster's.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"newtop"
+	"newtop/internal/obs"
+)
+
+// recoveryMetrics counts the durability layer's restart lifecycle.
+type recoveryMetrics struct {
+	replays       *obs.Counter // successful local recoveries
+	entries       *obs.Counter // WAL entries replayed during recovery
+	truncated     *obs.Counter // torn/corrupt records truncated during recovery
+	fastpath      *obs.Counter // recoveries completed via reconcile
+	fullTransfers *obs.Counter // recoveries that fell back to a snapshot transfer
+	discards      *obs.Counter // data dirs discarded as superseded
+}
+
+func newRecoveryMetrics(reg *obs.Registry) recoveryMetrics {
+	return recoveryMetrics{
+		replays:       reg.Counter("newtop_recovery_replays_total"),
+		entries:       reg.Counter("newtop_recovery_replayed_entries_total"),
+		truncated:     reg.Counter("newtop_recovery_truncated_records_total"),
+		fastpath:      reg.Counter("newtop_recovery_fastpath_total"),
+		fullTransfers: reg.Counter("newtop_recovery_full_transfers_total"),
+		discards:      reg.Counter("newtop_recovery_discards_total"),
+	}
+}
+
+// openStorage opens the data directory and, when it holds a previous
+// incarnation's state, restores it into the daemon's KV: latest snapshot,
+// apply-clock seed, WAL replay tail. Called from Start before any group
+// exists; sets recoveredG when there is a lineage to rejoin.
+func (d *Daemon) openStorage() error {
+	policy, err := newtop.ParseFsync(d.cfg.Fsync)
+	if err != nil {
+		return err
+	}
+	st, err := newtop.OpenStore(newtop.StoreOptions{
+		Dir:      d.cfg.DataDir,
+		Policy:   policy,
+		Interval: d.cfg.FsyncInterval,
+		Metrics:  d.proc.MetricsRegistry(),
+	})
+	if err != nil {
+		return err
+	}
+	d.store = st
+	groups := st.Groups()
+	if len(groups) == 0 {
+		return nil
+	}
+	if d.cfg.Join != 0 {
+		// An explicit Join is an instruction to enter the cluster's
+		// lineage, which supersedes whatever this directory holds.
+		d.logf("data dir %s holds g%d..g%d but Join=g%d was requested; discarding",
+			d.cfg.DataDir, groups[0], groups[len(groups)-1], d.cfg.Join)
+		d.rm.discards.Inc()
+		return st.Reset()
+	}
+	// Recover the newest incarnation actually holding state. Higher empty
+	// directories (a crash between creating a successor's dir and its
+	// baseline snapshot) fall through to the previous one.
+	for i := len(groups) - 1; i >= 0; i-- {
+		g := groups[i]
+		l, err := st.OpenGroup(g)
+		if err != nil {
+			return err
+		}
+		rec, err := l.Recover()
+		if err != nil {
+			return err
+		}
+		d.dlogs[g] = l
+		if rec.IsEmpty() {
+			continue
+		}
+		if rec.Snapshot != nil {
+			if err := d.kv.Restore(rec.Snapshot); err != nil {
+				return fmt.Errorf("daemon: restoring g%d snapshot: %w", g, err)
+			}
+		}
+		// Resume the apply clock at the snapshot's count, then replay the
+		// tail — revisions continue exactly where the lineage left off.
+		d.kv.ApplyMerge(rec.SnapApplied, nil, nil)
+		for _, e := range rec.Entries {
+			d.kv.Apply(e.Cmd)
+		}
+		d.recoveredG = g
+		d.recoveredApplied = rec.Applied()
+		if m, ok := st.LoadMeta(); ok && m.Group == g {
+			d.recoveredMembers = append([]newtop.ProcessID(nil), m.Members...)
+		}
+		d.rm.replays.Inc()
+		d.rm.entries.Add(uint64(len(rec.Entries)))
+		d.rm.truncated.Add(uint64(rec.Truncated))
+		d.logf("recovered g%d from %s: %d keys, %d replayed entries, %d truncated records (pos %v)",
+			g, d.cfg.DataDir, d.kv.Len(), len(rec.Entries), rec.Truncated, rec.Pos())
+		return nil
+	}
+	return nil
+}
+
+// startRecovered is startGroups for a daemon that restored on-disk state:
+// it never bootstraps or joins — groups are never rejoined (§3), so the
+// way back in is a merged successor group only the survivors can form.
+func (d *Daemon) startRecovered() error {
+	seen := map[newtop.ProcessID]bool{d.cfg.Self: true}
+	var peers []newtop.ProcessID
+	add := func(p newtop.ProcessID) {
+		if !seen[p] {
+			seen[p] = true
+			peers = append(peers, p)
+		}
+	}
+	for _, p := range d.recoveredMembers {
+		add(p)
+	}
+	if len(peers) == 0 {
+		// No membership sidecar survived: fall back to the configured
+		// address book.
+		for p := range d.cfg.Peers {
+			add(p)
+		}
+		for _, p := range d.cfg.Initial {
+			add(p)
+		}
+	}
+	if len(peers) == 0 {
+		// Sole member of its lineage: nobody to rejoin. Re-bootstrap the
+		// next incarnation with the restored state as its base.
+		next := d.recoveredG + 1
+		d.mu.Lock()
+		d.recoveredG = 0
+		d.mu.Unlock()
+		if err := d.replicate(next); err != nil {
+			return err
+		}
+		if err := d.proc.BootstrapGroup(next, d.cfg.Mode, []newtop.ProcessID{d.cfg.Self}); err != nil {
+			return err
+		}
+		d.rm.fastpath.Inc()
+		d.logf("sole-member recovery: re-bootstrapped as g%d with restored state", next)
+		return nil
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	d.wg.Add(1)
+	go d.announceRecovered(peers)
+	d.logf("recovered P%d@g%d: announcing to %v until readmitted", d.cfg.Self, d.recoveredG, peers)
+	return nil
+}
+
+// announceRecovered probes the old membership with the recovered group
+// tag until reconciliation completes (or the daemon closes). A restarted
+// process is invisible to the heal machinery until it speaks — it removed
+// nobody, so no survivor probes it — and these probes are what make the
+// survivors' exclusion detectors fire. The node side debounces, so
+// repeated probes cost messages, not duplicate heal events.
+func (d *Daemon) announceRecovered(peers []newtop.ProcessID) {
+	defer d.wg.Done()
+	every := d.cfg.HealProbeInterval
+	if every <= 0 {
+		every = 250 * time.Millisecond
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		d.mu.Lock()
+		g := d.recoveredG
+		closed := d.closed
+		d.mu.Unlock()
+		if g == 0 || closed {
+			return
+		}
+		_ = d.proc.Probe(g, peers)
+		select {
+		case <-t.C:
+		case <-d.done:
+			return
+		}
+	}
+}
+
+// durableOptsLocked returns the replica options wiring group g to its WAL
+// (none when the daemon runs without a data dir). Caller holds mu.
+func (d *Daemon) durableOptsLocked(g newtop.GroupID) ([]newtop.ReplicaOption, error) {
+	if d.store == nil {
+		return nil, nil
+	}
+	l, ok := d.dlogs[g]
+	if !ok {
+		var err error
+		l, err = d.store.OpenGroup(g)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := l.Recover(); err != nil {
+			return nil, err
+		}
+		d.dlogs[g] = l
+	}
+	return []newtop.ReplicaOption{
+		newtop.WithDurableLog(l),
+		newtop.WithSnapshotEvery(d.cfg.SnapshotEvery),
+	}, nil
+}
+
+// saveMeta records the serving group and its membership in the store's
+// sidecar — the announce targets of a future recovery. Called on view
+// changes and group readiness, outside mu (View goes through the node).
+func (d *Daemon) saveMeta(g newtop.GroupID) {
+	if d.store == nil {
+		return
+	}
+	d.mu.Lock()
+	serving := d.serving
+	d.mu.Unlock()
+	if g != serving {
+		return
+	}
+	v, err := d.proc.View(g)
+	if err != nil {
+		return
+	}
+	_ = d.store.SaveMeta(newtop.StoreMeta{Group: g, Members: v.Members})
+}
+
+// prune discards on-disk incarnations older than the serving group's —
+// but only once the serving log is anchored by a baseline snapshot, so a
+// crash right now still finds a complete older lineage to fall back to.
+func (d *Daemon) prune() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.store == nil {
+		return
+	}
+	l, ok := d.dlogs[d.serving]
+	if !ok {
+		return
+	}
+	if sp, _ := l.SnapPos(); sp.IsNil() {
+		return
+	}
+	d.store.Prune(d.serving)
+	for g := range d.dlogs {
+		if g != d.serving {
+			delete(d.dlogs, g)
+		}
+	}
+}
+
+// discardRecovered runs when an invitation proves the on-disk lineage
+// superseded (the cluster is forming groups at or below the recovered
+// incarnation, so our state is from a world the cluster has moved past):
+// wipe the store AND the restored KV, then reconcile into the merged
+// group empty. The empty side loses every differing bucket, so the
+// reconcile entry exchange streams the survivors' full state across —
+// a full transfer in effect, through the same machinery as the fast
+// path. (A CatchUp attach would deadlock here: the survivors hold
+// reconciling replicas that wait on our summary and cannot answer a
+// sync request until reconciliation completes.)
+func (d *Daemon) discardRecovered(inv invitation) {
+	d.mu.Lock()
+	old := d.recoveredG
+	d.recoveredG = 0
+	d.dlogs = make(map[newtop.GroupID]*newtop.DurableLog)
+	var low = d.cfg.Self
+	for _, m := range inv.members {
+		if m < low {
+			low = m
+		}
+	}
+	d.mu.Unlock()
+	if err := d.store.Reset(); err != nil {
+		d.logf("discarding superseded data dir: %v", err)
+	}
+	// No replica is attached in recovered mode, so the KV is ours to wipe.
+	_ = d.kv.Restore(newtop.NewKV().Snapshot())
+	d.rm.discards.Inc()
+	d.rm.fullTransfers.Inc()
+	d.logf("data dir lineage g%d superseded by invitation into g%d; discarding and rejoining empty",
+		old, inv.g)
+	if err := d.reconcile(inv.g, inv.members, uint64(d.cfg.Self), uint64(low)); err != nil {
+		d.logf("reconcile g%d: %v", inv.g, err)
+	}
+}
+
+// Kill tears the daemon down the way kill -9 would, for crash-recovery
+// tests: the transport endpoint dies mid-flight (in-memory networks
+// only), the WAL loses its unsynced tail per the power-loss model, and
+// nothing is flushed on the way out. The data directory is left exactly
+// as a real crash would leave it; a subsequent Start with the same
+// DataDir exercises recovery.
+func (d *Daemon) Kill() {
+	if d.cfg.Network != nil {
+		d.cfg.Network.Crash(d.cfg.Self)
+	}
+	if d.store != nil {
+		d.store.Crash()
+	}
+	_ = d.Close()
+}
+
+// DurabilityStatus reports the durability layer's positions for STATUS:
+// whether a data dir is configured, the serving group's last appended WAL
+// position, and its latest snapshot cut.
+func (d *Daemon) DurabilityStatus() (enabled bool, wal, snap newtop.LogPos) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.store == nil {
+		return false, newtop.LogPos{}, newtop.LogPos{}
+	}
+	if l, ok := d.dlogs[d.serving]; ok {
+		wal = l.Pos()
+		snap, _ = l.SnapPos()
+	}
+	return true, wal, snap
+}

@@ -1,0 +1,380 @@
+package daemon
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"newtop"
+)
+
+// durable returns a startCluster mutate hook giving every daemon a data
+// directory under base plus the given fsync configuration.
+func durable(base, fsync string, interval time.Duration, snapEvery int) func(newtop.ProcessID, *Config) {
+	return func(id newtop.ProcessID, cfg *Config) {
+		cfg.DataDir = filepath.Join(base, fmt.Sprintf("p%d", id))
+		cfg.Fsync = fsync
+		cfg.FsyncInterval = interval
+		cfg.SnapshotEvery = snapEvery
+		if os.Getenv("NEWTOP_TEST_LOG") != "" {
+			cfg.Logf = func(f string, a ...any) { fmt.Printf("[P%d] "+f+"\n", append([]any{id}, a...)...) }
+		}
+	}
+}
+
+func recoveryCounter(d *Daemon, name string) uint64 {
+	return d.Proc().Metrics().Counters[name]
+}
+
+// excluded reports whether d's serving view no longer contains p.
+func excluded(d *Daemon, p newtop.ProcessID) bool {
+	v, err := d.Proc().View(d.ServingGroup())
+	return err == nil && !v.Contains(p)
+}
+
+// waitRejoined waits until the restarted daemon and a survivor agree on a
+// serving group newer than old.
+func waitRejoined(t *testing.T, restarted, survivor *Daemon, old newtop.GroupID) {
+	t.Helper()
+	waitFor(t, 20*time.Second, "restarted daemon to rejoin", func() bool {
+		g := restarted.ServingGroup()
+		return g > old && survivor.ServingGroup() == g
+	})
+}
+
+// TestRestartCleanRejoinsFastPath: stop a daemon cleanly, restart it from
+// its data dir. The restored state must be present locally before any
+// network traffic, and the rejoin must ride the reconcile fast path — no
+// full snapshot transfer.
+func TestRestartCleanRejoinsFastPath(t *testing.T) {
+	base := t.TempDir()
+	_, ds := startCluster(t, 3, durable(base, "always", 0, 4))
+	c, err := clientConfig().Dial(ds[1].ClientAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	for i := 0; i < 10; i++ {
+		if err := c.Put(fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every daemon persists on its own apply; let P3's WAL drain the tail
+	// before stopping it (a barrier read at P3 forces its applies).
+	c3, err := clientConfig().Dial(ds[3].ClientAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c3.BarrierGet("k9"); err != nil {
+		t.Fatal(err)
+	}
+	_ = c3.Close()
+
+	// P3 (non-lowest: the recovered daemon cannot initiate the merge) goes
+	// away cleanly; the survivors exclude it and move on.
+	old := ds[3].ServingGroup()
+	cfg3 := ds[3].cfg
+	if err := ds[3].Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "survivors to exclude P3", func() bool {
+		return excluded(ds[1], 3)
+	})
+	if err := c.Put("during-outage", "written"); err != nil {
+		t.Fatal(err)
+	}
+
+	d3, err := Start(cfg3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds[3] = d3 // cluster cleanup closes the new incarnation
+
+	// Local recovery happened inside Start: all ten acked writes are back
+	// before the first reconcile message.
+	for i := 0; i < 10; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if v, ok := d3.KV().Get(k); !ok || v != fmt.Sprintf("v%d", i) {
+			t.Fatalf("after restart, %s = %q %v; want recovered locally", k, v, ok)
+		}
+	}
+	if n := recoveryCounter(d3, "newtop_recovery_replays_total"); n != 1 {
+		t.Fatalf("replays = %d, want 1", n)
+	}
+
+	waitRejoined(t, d3, ds[1], old)
+	c3, err = clientConfig().Dial(d3.ClientAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c3.Close() }()
+	if v, ok, err := c3.BarrierGet("during-outage"); err != nil || !ok || v != "written" {
+		t.Fatalf("outage-era write at restarted P3 = %q %v %v", v, ok, err)
+	}
+	if v, ok, err := c3.BarrierGet("k0"); err != nil || !ok || v != "v0" {
+		t.Fatalf("pre-restart write at restarted P3 = %q %v %v", v, ok, err)
+	}
+	if n := recoveryCounter(d3, "newtop_recovery_full_transfers_total"); n != 0 {
+		t.Fatalf("full transfers = %d, want 0 (fast path)", n)
+	}
+	if n := recoveryCounter(d3, "newtop_recovery_fastpath_total"); n != 1 {
+		t.Fatalf("fastpath = %d, want 1", n)
+	}
+}
+
+// TestRestartKillNineFsyncAlways is the acked⇒durable contract: writes
+// acked by a daemon running fsync=always must ALL be on its disk when it
+// is killed -9, before any peer repair.
+func TestRestartKillNineFsyncAlways(t *testing.T) {
+	base := t.TempDir()
+	_, ds := startCluster(t, 3, durable(base, "always", 0, 8))
+	// Ack every write through P3 itself: its persist-before-ack is the
+	// guarantee under test.
+	c3, err := clientConfig().Dial(ds[3].ClientAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 25
+	for i := 0; i < n; i++ {
+		if err := c3.Put(fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = c3.Close()
+
+	old := ds[3].ServingGroup()
+	cfg3 := ds[3].cfg
+	ds[3].Kill()
+
+	d3, err := Start(cfg3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds[3] = d3
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if v, ok := d3.KV().Get(k); !ok || v != fmt.Sprintf("v%d", i) {
+			t.Fatalf("acked write %s lost across kill -9: got %q %v", k, v, ok)
+		}
+	}
+
+	waitRejoined(t, d3, ds[1], old)
+	if n := recoveryCounter(d3, "newtop_recovery_full_transfers_total"); n != 0 {
+		t.Fatalf("full transfers = %d, want 0", n)
+	}
+}
+
+// TestRestartKillNineMidFsyncInterval: under fsync=interval a kill -9
+// may tear the unsynced WAL tail. Recovery must truncate cleanly —
+// whatever it restores is a correct prefix, never garbage — and the
+// reconcile rejoin repairs the lost suffix from the survivors.
+func TestRestartKillNineMidFsyncInterval(t *testing.T) {
+	base := t.TempDir()
+	// An hour-long window: nothing after the baseline snapshot is synced,
+	// so the kill tears mid-stream.
+	_, ds := startCluster(t, 3, durable(base, "interval", time.Hour, 1<<20))
+	c3, err := clientConfig().Dial(ds[3].ClientAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	want := map[string]string{}
+	for i := 0; i < n; i++ {
+		k, v := fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i)
+		if err := c3.Put(k, v); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = v
+	}
+	_ = c3.Close()
+
+	old := ds[3].ServingGroup()
+	cfg3 := ds[3].cfg
+	ds[3].Kill()
+
+	d3, err := Start(cfg3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds[3] = d3
+	// Bounded loss: the restored state may be missing a suffix, but every
+	// key it does hold must carry the acked value (no corruption).
+	for k, v := range want {
+		if got, ok := d3.KV().Get(k); ok && got != v {
+			t.Fatalf("recovered %s = %q, want %q (corrupt recovery)", k, got, v)
+		}
+	}
+	if n := recoveryCounter(d3, "newtop_recovery_replays_total"); n != 1 {
+		t.Fatalf("replays = %d, want 1", n)
+	}
+
+	// The divergence is repaired by the reconcile rejoin — still never a
+	// full snapshot transfer.
+	waitRejoined(t, d3, ds[1], old)
+	c3, err = clientConfig().Dial(d3.ClientAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c3.Close() }()
+	for k, v := range want {
+		if got, ok, err := c3.BarrierGet(k); err != nil || !ok || got != v {
+			t.Fatalf("after rejoin, %s = %q %v %v; want %q", k, got, ok, err, v)
+		}
+	}
+	if n := recoveryCounter(d3, "newtop_recovery_full_transfers_total"); n != 0 {
+		t.Fatalf("full transfers = %d, want 0", n)
+	}
+}
+
+// TestRestartIntoChangedView: while the victim is down, the cluster moves
+// to a successor group it has never heard of (a join). The restart must
+// still find its way in — announce with the stale tag, get pulled into
+// the next merge — via reconcile, not a snapshot stream.
+func TestRestartIntoChangedView(t *testing.T) {
+	base := t.TempDir()
+	net, ds := startCluster(t, 3, durable(base, "always", 0, 4))
+	c, err := clientConfig().Dial(ds[1].ClientAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	if err := c.Put("before", "1"); err != nil {
+		t.Fatal(err)
+	}
+	c3, err := clientConfig().Dial(ds[3].ClientAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c3.BarrierGet("before"); err != nil {
+		t.Fatal(err)
+	}
+	_ = c3.Close()
+
+	cfg3 := ds[3].cfg
+	ds[3].Kill()
+	waitFor(t, 10*time.Second, "survivors to exclude P3", func() bool {
+		return excluded(ds[1], 3)
+	})
+	excl := ds[1].ServingGroup()
+
+	// P4 joins while P3 is down: the cluster's lineage moves past anything
+	// P3's disk knows about.
+	d4, err := Start(Config{
+		Self:              4,
+		Network:           net,
+		ClientAddr:        "127.0.0.1:0",
+		Omega:             15 * time.Millisecond,
+		HealProbeInterval: 40 * time.Millisecond,
+		Join:              excl + 1,
+		Initial:           []newtop.ProcessID{1, 2, 4},
+		Settle:            200 * time.Millisecond,
+		DrainWindow:       250 * time.Millisecond,
+		InitiateTimeout:   800 * time.Millisecond,
+		Logf:              quiet,
+		DataDir:           filepath.Join(base, "p4"),
+		Fsync:             "always",
+		SnapshotEvery:     4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds[4] = d4
+	waitFor(t, 10*time.Second, "join to cut service over", func() bool {
+		return ds[1].ServingGroup() > excl && d4.ServingGroup() == ds[1].ServingGroup()
+	})
+	joined := ds[1].ServingGroup()
+	if err := c.Put("during", "2"); err != nil {
+		t.Fatal(err)
+	}
+
+	// P3 restarts with a WAL from a group two incarnations stale.
+	d3, err := Start(cfg3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds[3] = d3
+	waitRejoined(t, d3, ds[1], joined)
+	c3, err = clientConfig().Dial(d3.ClientAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c3.Close() }()
+	for _, kv := range [][2]string{{"before", "1"}, {"during", "2"}} {
+		if v, ok, err := c3.BarrierGet(kv[0]); err != nil || !ok || v != kv[1] {
+			t.Fatalf("%s at restarted P3 = %q %v %v; want %q", kv[0], v, ok, err, kv[1])
+		}
+	}
+	if n := recoveryCounter(d3, "newtop_recovery_full_transfers_total"); n != 0 {
+		t.Fatalf("full transfers = %d, want 0", n)
+	}
+}
+
+// TestRestartSupersededDataDirDiscarded: a data dir claiming a FUTURE
+// incarnation (relative to the cluster) is a lineage the cluster never
+// ratified — a disk restored from the wrong machine, a split-brain
+// artifact. The invitation into a lower group proves it stale: the
+// daemon must discard it, wipe the restored state and rejoin empty.
+func TestRestartSupersededDataDirDiscarded(t *testing.T) {
+	base := t.TempDir()
+	// Plant a fabricated g50 lineage in P3's directory before the cluster
+	// has ever run.
+	dir3 := filepath.Join(base, "p3")
+	st, err := newtop.OpenStore(newtop.StoreOptions{Dir: dir3, Policy: newtop.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := st.OpenGroup(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	ghost := newtop.NewKV()
+	ghost.Apply([]byte("put ghost lives"))
+	if err := l.CutSnapshot(newtop.LogPos{Group: 50, Index: 0}, 1, ghost.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveMeta(newtop.StoreMeta{Group: 50, Members: []newtop.ProcessID{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	_, ds := startCluster(t, 3, durable(base, "always", 0, 4))
+	// P3 came up in recovered mode believing in g50; P1 and P2 bootstrap
+	// g1, find P3 silent in it, exclude it, then hear its announcements.
+	d3 := ds[3]
+	if v, ok := d3.KV().Get("ghost"); !ok || v != "lives" {
+		t.Fatalf("planted state not restored: %q %v", v, ok)
+	}
+	c, err := clientConfig().Dial(ds[1].ClientAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	if err := c.Put("real", "data"); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, 20*time.Second, "P3 to discard and rejoin", func() bool {
+		g := d3.ServingGroup()
+		return g != 0 && g == ds[1].ServingGroup() &&
+			recoveryCounter(d3, "newtop_recovery_discards_total") >= 1
+	})
+	c3, err := clientConfig().Dial(d3.ClientAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c3.Close() }()
+	if v, ok, err := c3.BarrierGet("real"); err != nil || !ok || v != "data" {
+		t.Fatalf("cluster data at P3 = %q %v %v", v, ok, err)
+	}
+	if v, ok, _ := c3.BarrierGet("ghost"); ok {
+		t.Fatalf("fabricated key survived the discard: %q", v)
+	}
+	if n := recoveryCounter(d3, "newtop_recovery_full_transfers_total"); n < 1 {
+		t.Fatalf("full transfers = %d, want ≥1 (discard path)", n)
+	}
+}

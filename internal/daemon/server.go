@@ -147,6 +147,7 @@ func (d *Daemon) serveRequest(req *clientproto.Request) clientproto.Response {
 			members = v.Size()
 		}
 		delivered, drops, queueDepth := d.obsStatus()
+		durable, wal, snap := d.DurabilityStatus()
 		return clientproto.Response{
 			Status:     clientproto.StStatus,
 			Self:       uint32(d.cfg.Self),
@@ -159,6 +160,11 @@ func (d *Daemon) serveRequest(req *clientproto.Request) clientproto.Response {
 			Delivered:  delivered,
 			Drops:      drops,
 			QueueDepth: queueDepth,
+			Durable:    durable,
+			WALGroup:   uint64(wal.Group),
+			WALIndex:   wal.Index,
+			SnapGroup:  uint64(snap.Group),
+			SnapIndex:  snap.Index,
 		}
 	}
 	if !rep.CaughtUp() {

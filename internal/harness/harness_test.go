@@ -225,3 +225,14 @@ func TestShardMoveScenario(t *testing.T) {
 		t.Errorf("R5: %v", err)
 	}
 }
+
+// TestCrashRecoveryScenario runs the durability workload (R6): daemons
+// with WALs under open-loop load, one killed -9 and restarted from its
+// data dir. The scenario asserts its own acceptance bar internally (zero
+// acked-write loss verified at the restarted daemon, local replay, fast-
+// path rejoin with no snapshot transfer, drops explained).
+func TestCrashRecoveryScenario(t *testing.T) {
+	if _, err := R6CrashRecovery(); err != nil {
+		t.Errorf("R6: %v", err)
+	}
+}

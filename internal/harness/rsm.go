@@ -39,7 +39,7 @@ func newRSMFleet(c *sim.Cluster) *rsmFleet {
 		if !ok {
 			return
 		}
-		out := cr.Step(d.Origin, d.Payload)
+		out := cr.Step(types.LogPos{Group: d.Group, Index: d.Index}, d.Origin, d.Payload)
 		for _, pl := range out.Submits {
 			_ = c.Submit(p, d.Group, pl)
 		}

@@ -39,6 +39,10 @@ type Delivery struct {
 	Num     types.MsgNum    // the multicast's Lamport number (trace identity)
 	Payload []byte
 	ViewIdx int
+	// Pos is the entry's address in the group's delivery stream —
+	// identical at every member (total order), so the replication and
+	// durability layers key snapshots, WAL records and replay on it.
+	Pos types.LogPos
 }
 
 // EventKind tags membership events surfaced to the application.
@@ -160,6 +164,16 @@ type Node struct {
 	probeEvery time.Duration
 	lastProbe  time.Time
 
+	// excluded remembers, per peer, the last group this node excluded it
+	// from — and unlike removed it SURVIVES leaving that group. A process
+	// that recovers from disk announces itself by probing in its
+	// recovered group incarnation, which may no longer match the group
+	// the survivors excluded it from (they may have superseded it while
+	// the peer was down); excluded lets noteInbound recognise the peer
+	// anyway. Entries clear when a later view or formed group readmits
+	// the peer.
+	excluded map[types.ProcessID]types.GroupID
+
 	closeOnce sync.Once
 }
 
@@ -235,6 +249,7 @@ func New(cfg core.Config, ep transport.Endpoint, opts Options) *Node {
 		trc:        cfg.Tracer,
 		removed:    make(map[types.GroupID]map[types.ProcessID]bool),
 		healed:     make(map[groupPeer]bool),
+		excluded:   make(map[types.ProcessID]types.GroupID),
 		probeEvery: probeEvery,
 		lastProbe:  clk.Now(),
 	}
@@ -538,6 +553,12 @@ func (n *Node) apply(effs []core.Effect) {
 // noteInbound watches for the heal signal: any message arriving from a
 // process this node excluded from the message's group. The engine will
 // discard the message itself (§5.2) — the arrival is the information.
+//
+// The fallback path recognises an excluded peer even when the message's
+// group does not match the group the exclusion happened in: a peer
+// recovering from disk announces in its recovered (possibly stale) group
+// incarnation, and survivors may have superseded and left the group they
+// excluded it from. The event then carries the exclusion's group.
 func (n *Node) noteInbound(from types.ProcessID, g types.GroupID) {
 	if rm := n.removed[g]; rm != nil && rm[from] {
 		key := groupPeer{g, from}
@@ -545,6 +566,49 @@ func (n *Node) noteInbound(from types.ProcessID, g types.GroupID) {
 			n.healed[key] = true
 			n.om.healsDetected.Inc()
 			n.events.push(Event{Kind: EventHealDetected, Group: g, Peer: from})
+		}
+		return
+	}
+	if exg, ok := n.excluded[from]; ok {
+		key := groupPeer{exg, from}
+		if !n.healed[key] {
+			n.healed[key] = true
+			n.om.healsDetected.Inc()
+			n.events.push(Event{Kind: EventHealDetected, Group: exg, Peer: from})
+		}
+	}
+}
+
+// Probe sends one probe null per peer in group g, bypassing the removed-
+// member bookkeeping — the announcement a process recovered from local
+// storage uses to make its former partners' heal detection notice it
+// (their own probes stop reaching a restarted process's old incarnation,
+// and a recovered process has removed nobody, so without announcing it
+// would wait forever). The receiving engines discard the null; the
+// arrival is the signal.
+func (n *Node) Probe(g types.GroupID, peers []types.ProcessID) error {
+	ps := append([]types.ProcessID(nil), peers...)
+	return n.call(func() {
+		self := n.eng.Self()
+		for _, p := range ps {
+			if p == self {
+				continue
+			}
+			n.sendInc(g)
+			n.om.healProbes.Inc()
+			_ = n.ep.Send(p, &types.Message{Kind: types.KindNull, Group: g, Sender: self, Origin: self})
+		}
+	})
+}
+
+// readmit clears the cross-group exclusion record (and its heal-event
+// debounce) of every peer in members: a view or formed group that
+// includes a peer supersedes any earlier exclusion of it.
+func (n *Node) readmit(members []types.ProcessID) {
+	for _, p := range members {
+		if exg, ok := n.excluded[p]; ok {
+			delete(n.excluded, p)
+			delete(n.healed, groupPeer{exg, p})
 		}
 	}
 }
@@ -603,6 +667,7 @@ func (n *Node) route(effs []core.Effect) {
 				Num:     eff.Msg.Num,
 				Payload: eff.Msg.Payload,
 				ViewIdx: eff.View,
+				Pos:     types.LogPos{Group: eff.Msg.Group, Index: eff.Index},
 			}
 			if sink, ok := n.sinks[d.Group]; ok {
 				sink.push(d)
@@ -618,7 +683,9 @@ func (n *Node) route(effs []core.Effect) {
 			}
 			for _, p := range eff.Removed {
 				rm[p] = true
+				n.excluded[p] = g
 			}
+			n.readmit(eff.View.Members)
 			if n.rng != nil {
 				outs, delivers := n.rng.OnViewChange(g, eff.View.Members, eff.Removed)
 				for _, o := range outs {
@@ -634,11 +701,12 @@ func (n *Node) route(effs []core.Effect) {
 				Removed: eff.Removed,
 			})
 		case core.GroupReadyEffect:
-			if n.rng != nil {
-				// A formed group's first view may arrive without a
-				// ViewEffect; seed the ring order from the engine (a pure
-				// read, safe mid-batch).
-				if v, err := n.eng.View(eff.Group); err == nil {
+			// A formed group's first view may arrive without a ViewEffect;
+			// read it from the engine (a pure read, safe mid-batch) to seed
+			// the ring order and clear exclusions the formation readmitted.
+			if v, err := n.eng.View(eff.Group); err == nil {
+				n.readmit(v.Members)
+				if n.rng != nil {
 					outs, delivers := n.rng.OnViewChange(eff.Group, v.Members, nil)
 					for _, o := range outs {
 						n.sendInc(o.Msg.Group)

@@ -13,6 +13,7 @@ package perf
 
 import (
 	"fmt"
+	"os"
 	"testing"
 	"time"
 
@@ -23,6 +24,7 @@ import (
 	"newtop/internal/obs"
 	"newtop/internal/rsm"
 	"newtop/internal/sim"
+	"newtop/internal/storage"
 	"newtop/internal/transport/tcpnet"
 	"newtop/internal/types"
 )
@@ -284,7 +286,7 @@ func RSMCatchUp(b *testing.B) {
 			if !ok || d.Group != 1 {
 				return
 			}
-			for _, pl := range cr.Step(d.Origin, d.Payload).Submits {
+			for _, pl := range cr.Step(types.LogPos{Group: d.Group, Index: d.Index}, d.Origin, d.Payload).Submits {
 				_ = c.Submit(p, 1, pl)
 			}
 		})
@@ -391,6 +393,128 @@ func ClientRoundTrip(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := sess.Put("bench:key", vals[i%len(vals)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// WALAppend measures the per-entry cost of the durable apply path's
+// storage leg: framing one command into the active WAL segment plus the
+// per-step Commit, under fsync=never so the measurement is the encode
+// and write path rather than the disk's sync latency (which the fsync
+// histogram tracks in production). The allocation gate pins the frame
+// construction: the append path must not grow hidden per-entry garbage,
+// because it runs once per acked write.
+func WALAppend(b *testing.B) {
+	dir, err := os.MkdirTemp("", "newtop-bench-wal-")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+	st, err := storage.Open(storage.Options{Dir: dir, Policy: storage.FsyncNever})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = st.Close() }()
+	l, err := st.OpenGroup(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := l.Recover(); err != nil {
+		b.Fatal(err)
+	}
+	cmds := make([][]byte, 64)
+	for i := range cmds {
+		cmds[i] = []byte(fmt.Sprintf("put user:%04d value-%08d", i, i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := storage.Entry{
+			Pos:    types.LogPos{Group: 1, Index: uint64(i + 1)},
+			Origin: 1,
+			Cmd:    cmds[i%len(cmds)],
+		}
+		if err := l.Append(e); err != nil {
+			b.Fatal(err)
+		}
+		if err := l.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// RecoverReplay measures a whole restart's storage leg: open the data
+// directory, scan and validate the snapshot + 4096-entry WAL (CRC per
+// record), and replay every recovered command into a fresh state
+// machine — the exact work a restarted daemon does before it can
+// announce itself. One op = one full recovery.
+func RecoverReplay(b *testing.B) {
+	const entries = 4096
+	dir, err := os.MkdirTemp("", "newtop-bench-recover-")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+	// Build the on-disk state once: baseline snapshot, then a WAL tail.
+	st, err := storage.Open(storage.Options{Dir: dir, Policy: storage.FsyncNever})
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := st.OpenGroup(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := l.Recover(); err != nil {
+		b.Fatal(err)
+	}
+	if err := l.CutSnapshot(types.LogPos{Group: 1}, 0, rsm.NewKV().Snapshot()); err != nil {
+		b.Fatal(err)
+	}
+	for i := 1; i <= entries; i++ {
+		e := storage.Entry{
+			Pos:    types.LogPos{Group: 1, Index: uint64(i)},
+			Origin: 1,
+			Cmd:    []byte(fmt.Sprintf("put user:%04d value-%08d", i%512, i)),
+		}
+		if err := l.Append(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := storage.Open(storage.Options{Dir: dir, Policy: storage.FsyncNever})
+		if err != nil {
+			b.Fatal(err)
+		}
+		l, err := st.OpenGroup(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec, err := l.Recover()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rec.Entries) != entries || rec.Truncated != 0 {
+			b.Fatalf("recovered %d entries (%d truncated), want %d clean", len(rec.Entries), rec.Truncated, entries)
+		}
+		kv := rsm.NewKV()
+		if rec.Snapshot != nil {
+			if err := kv.Restore(rec.Snapshot); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, e := range rec.Entries {
+			kv.Apply(e.Cmd)
+		}
+		if kv.Len() != 512 {
+			b.Fatalf("replayed store has %d keys, want 512", kv.Len())
+		}
+		if err := st.Close(); err != nil {
 			b.Fatal(err)
 		}
 	}

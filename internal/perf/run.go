@@ -62,6 +62,8 @@ var benchmarks = []struct {
 	{"MembershipAgreement", MembershipAgreement},
 	{"GroupFormation", GroupFormation},
 	{"RSMCatchUp", RSMCatchUp},
+	{"WALAppend", WALAppend},
+	{"RecoverReplay", RecoverReplay},
 	{"TCPSendRecv", TCPSendRecv},
 	{"ClientRoundTrip", ClientRoundTrip},
 }
@@ -137,6 +139,12 @@ var DefaultGateChecks = []GateCheck{
 	{Name: "TCPSendRecv", Metric: "allocs/op", Factor: 2},
 	{Name: "RSMCatchUp", Metric: "allocs/op", Factor: 2},
 	{Name: "RSMCatchUp", Metric: "ns/op", Factor: 3},
+	// The WAL append runs once per acked write; its handful of per-entry
+	// frame allocations must not grow. Recovery's allocation count scales
+	// with the recovered entry count (fixed at 4096 here), so a ratio
+	// regression means a per-entry cost was added to the replay scan.
+	{Name: "WALAppend", Metric: "allocs/op", Factor: 1.5},
+	{Name: "RecoverReplay", Metric: "allocs/op", Factor: 1.5},
 }
 
 // GateAll re-measures every benchmark named by checks (each once, even if

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/fnv"
 
+	"newtop/internal/storage"
 	"newtop/internal/types"
 	"newtop/internal/wire"
 )
@@ -85,11 +86,20 @@ type Outcome struct {
 	Reconciled bool            // a reconciliation completed this step
 	Streamer   types.ProcessID // valid with CaughtUp: who served the snapshot
 	ServedTo   types.ProcessID // non-zero: this core started streaming a snapshot to that process
+
+	// Durable lists every command this step applied, addressed by its
+	// explicit stream position — what a durability layer appends to the
+	// WAL before acking. Like Submits, the slice (and each entry's Cmd)
+	// is borrowed until the next call into the core.
+	Durable []storage.Entry
 }
 
 // bufferedCmd is a command delivered while this core was still syncing.
+// seq is the core-local step count it arrived at (the replay-cut gate);
+// pos is the entry's explicit stream position (its durable address).
 type bufferedCmd struct {
-	pos    uint64 // local stream position (1-based)
+	seq    uint64 // local stream position (1-based)
+	pos    types.LogPos
 	origin types.ProcessID
 	cmd    []byte
 }
@@ -104,12 +114,13 @@ type Core struct {
 	sm  StateMachine
 
 	caughtUp bool
-	pos      uint64 // deliveries seen in this group (local stream position)
+	seq      uint64       // deliveries seen by this core (local step count)
+	pos      types.LogPos // last stepped position in the group's stream
 
 	// Catch-up state (only while !caughtUp).
 	syncID   uint64 // current transfer round
 	streamer types.ProcessID
-	cutPos   uint64 // stream position of the winning offer
+	cutSeq   uint64 // local step count of the winning offer (replay cut)
 	assembly []byte // incoming snapshot
 	nextIdx  uint64 // next expected chunk index
 	buf      []bufferedCmd
@@ -131,6 +142,10 @@ type Core struct {
 	// outgoing envelopes into it instead of a fresh buffer per frame, and
 	// Outcome.Submits borrow from it until the next call into the core.
 	enc []byte
+
+	// durBuf is the Outcome.Durable arena, reused across steps (borrowed
+	// by the caller until the next call into the core, like enc).
+	durBuf []storage.Entry
 
 	stats Stats
 }
@@ -208,6 +223,17 @@ func (c *Core) CaughtUp() bool { return c.caughtUp }
 // across the replicas of a group: equal AppliedSeq ⇒ same command prefix.
 func (c *Core) AppliedSeq() uint64 { return c.stats.Applied }
 
+// Pos returns the last stream position stepped through this core — the
+// address a durability snapshot of the current machine state is cut at.
+func (c *Core) Pos() types.LogPos { return c.pos }
+
+// NextPos returns the position immediately after the last one stepped —
+// a convenience for drivers (tests, simulators) that do not thread
+// engine-stamped delivery positions.
+func (c *Core) NextPos() types.LogPos {
+	return types.LogPos{Group: c.cfg.Group, Index: c.seq}
+}
+
 // Stats returns a snapshot of the counters.
 func (c *Core) Stats() Stats { return c.stats }
 
@@ -234,6 +260,7 @@ func (c *Core) resetArena() {
 		wire.PoisonFill(c.enc[:cap(c.enc)])
 	}
 	c.enc = c.enc[:0]
+	c.durBuf = c.durBuf[:0]
 }
 
 // submitFrame marshals env into the arena and appends the encoded frame
@@ -244,16 +271,18 @@ func (c *Core) submitFrame(out *Outcome, env *wire.Envelope) {
 	out.Submits = append(out.Submits, c.enc[off:len(c.enc):len(c.enc)])
 }
 
-// Step processes one delivery of the group's totally ordered stream:
-// origin is the multicast's author, payload its bytes. It returns what
-// happened and what to multicast next.
+// Step processes one delivery of the group's totally ordered stream: pos
+// is the entry's explicit position in that stream (engine-stamped —
+// identical at every member), origin is the multicast's author, payload
+// its bytes. It returns what happened and what to multicast next.
 //
 // payload is borrowed for the duration of the call (the core copies what
 // it retains); it must not alias the core's own arena — feeding a prior
 // outcome's Submits back in without a copy is an ownership violation.
-func (c *Core) Step(origin types.ProcessID, payload []byte) Outcome {
+func (c *Core) Step(pos types.LogPos, origin types.ProcessID, payload []byte) Outcome {
 	c.resetArena()
-	c.pos++
+	c.seq++
+	c.pos = pos
 	var out Outcome
 	env, err := wire.UnmarshalEnvelope(payload)
 	switch {
@@ -294,20 +323,22 @@ func (c *Core) onCommand(origin types.ProcessID, cmd []byte, out *Outcome) {
 		// Buffered, not applied: the winning offer decides which of these
 		// the snapshot already covers. Copy — the payload buffer may be
 		// reused by the transport.
-		c.buf = append(c.buf, bufferedCmd{pos: c.pos, origin: origin, cmd: append([]byte(nil), cmd...)})
+		c.buf = append(c.buf, bufferedCmd{seq: c.seq, pos: c.pos, origin: origin, cmd: append([]byte(nil), cmd...)})
 		c.stats.Buffered++
 		return
 	}
-	c.apply(origin, cmd, out)
+	c.apply(c.pos, origin, cmd, out)
 }
 
-func (c *Core) apply(origin types.ProcessID, cmd []byte, out *Outcome) {
+func (c *Core) apply(pos types.LogPos, origin types.ProcessID, cmd []byte, out *Outcome) {
 	c.sm.Apply(cmd)
 	c.stats.Applied++
 	out.Applied++
 	if origin == c.cfg.Self {
 		out.OwnApplied++
 	}
+	c.durBuf = append(c.durBuf, storage.Entry{Pos: pos, Origin: origin, Cmd: cmd})
+	out.Durable = c.durBuf
 }
 
 func (c *Core) onSync(origin types.ProcessID, env *wire.Envelope, out *Outcome) {
@@ -352,7 +383,7 @@ func (c *Core) onOffer(origin types.ProcessID, env *wire.Envelope, out *Outcome)
 			}
 		}
 		c.streamer = origin
-		c.cutPos = c.pos
+		c.cutSeq = c.seq
 		c.buf = c.buf[:0]
 		c.assembly = nil
 		c.nextIdx = 0
@@ -449,8 +480,8 @@ func (c *Core) onChunk(origin types.ProcessID, env *wire.Envelope, out *Outcome)
 	// Replay the tail: commands ordered after the winning offer were not
 	// in the snapshot and were buffered in delivery order.
 	for _, b := range c.buf {
-		if b.pos > c.cutPos {
-			c.apply(b.origin, b.cmd, out)
+		if b.seq > c.cutSeq {
+			c.apply(b.pos, b.origin, b.cmd, out)
 			c.stats.Replayed++
 		}
 	}

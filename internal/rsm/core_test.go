@@ -70,7 +70,7 @@ func (b *bus) run() {
 			if !ok {
 				continue
 			}
-			out := c.Step(f.origin, f.payload)
+			out := c.Step(c.NextPos(), f.origin, f.payload)
 			for _, pl := range out.Submits {
 				b.submit(p, pl)
 			}
@@ -248,12 +248,12 @@ func TestCoreStaleChunkRejected(t *testing.T) {
 	nc := NewCore(CoreConfig{Self: 9, Group: 1, CatchUp: true}, NewKV())
 	nc.Start()
 	// Deliver our own sync echo, then a winning offer from P1.
-	nc.Step(9, wire.MarshalEnvelope(nil, &wire.Envelope{Kind: wire.EnvSync, SyncID: 1}))
-	nc.Step(1, wire.MarshalEnvelope(nil, &wire.Envelope{Kind: wire.EnvOffer, Target: 9, SyncID: 1}))
+	nc.Step(nc.NextPos(), 9, wire.MarshalEnvelope(nil, &wire.Envelope{Kind: wire.EnvSync, SyncID: 1}))
+	nc.Step(nc.NextPos(), 1, wire.MarshalEnvelope(nil, &wire.Envelope{Kind: wire.EnvOffer, Target: 9, SyncID: 1}))
 	// A chunk from P2 (not the elected streamer) must be dropped.
 	donor := NewKV()
 	donor.Apply([]byte("put poisoned state"))
-	out := nc.Step(2, wire.MarshalEnvelope(nil, &wire.Envelope{
+	out := nc.Step(nc.NextPos(), 2, wire.MarshalEnvelope(nil, &wire.Envelope{
 		Kind: wire.EnvSnapChunk, Target: 9, SyncID: 1, Index: 0, Last: true, Data: donor.Snapshot(),
 	}))
 	if out.CaughtUp || nc.CaughtUp() {
@@ -265,7 +265,7 @@ func TestCoreStaleChunkRejected(t *testing.T) {
 	// The real streamer's stream still works.
 	good := NewKV()
 	good.Apply([]byte("put good state"))
-	out = nc.Step(1, wire.MarshalEnvelope(nil, &wire.Envelope{
+	out = nc.Step(nc.NextPos(), 1, wire.MarshalEnvelope(nil, &wire.Envelope{
 		Kind: wire.EnvSnapChunk, Target: 9, SyncID: 1, Index: 0, Last: true, Data: good.Snapshot(),
 	}))
 	if !out.CaughtUp {
@@ -283,13 +283,13 @@ func TestCoreReplayTail(t *testing.T) {
 	nc.Start()
 	env := func(e wire.Envelope) []byte { return wire.MarshalEnvelope(nil, &e) }
 
-	nc.Step(9, env(wire.Envelope{Kind: wire.EnvSync, SyncID: 1}))
+	nc.Step(nc.NextPos(), 9, env(wire.Envelope{Kind: wire.EnvSync, SyncID: 1}))
 	// Ordered before the offer: covered by the snapshot.
-	nc.Step(1, EncodeCommand([]byte("put n 1")))
-	nc.Step(1, env(wire.Envelope{Kind: wire.EnvOffer, Target: 9, SyncID: 1}))
+	nc.Step(nc.NextPos(), 1, EncodeCommand([]byte("put n 1")))
+	nc.Step(nc.NextPos(), 1, env(wire.Envelope{Kind: wire.EnvOffer, Target: 9, SyncID: 1}))
 	// Ordered after the offer, before the last chunk: the replay tail.
-	nc.Step(2, EncodeCommand([]byte("put n 2")))
-	nc.Step(2, EncodeCommand([]byte("put tail yes")))
+	nc.Step(nc.NextPos(), 2, EncodeCommand([]byte("put n 2")))
+	nc.Step(nc.NextPos(), 2, EncodeCommand([]byte("put tail yes")))
 
 	// The streamer's snapshot, taken at its delivery of the offer,
 	// already reflects "put n 1".
@@ -297,8 +297,8 @@ func TestCoreReplayTail(t *testing.T) {
 	donor.Apply([]byte("put n 1"))
 	snap := donor.Snapshot()
 	half := len(snap) / 2
-	nc.Step(1, env(wire.Envelope{Kind: wire.EnvSnapChunk, Target: 9, SyncID: 1, Index: 0, Applied: 1, Data: snap[:half]}))
-	out := nc.Step(1, env(wire.Envelope{Kind: wire.EnvSnapChunk, Target: 9, SyncID: 1, Index: 1, Last: true, Applied: 1, Data: snap[half:]}))
+	nc.Step(nc.NextPos(), 1, env(wire.Envelope{Kind: wire.EnvSnapChunk, Target: 9, SyncID: 1, Index: 0, Applied: 1, Data: snap[:half]}))
+	out := nc.Step(nc.NextPos(), 1, env(wire.Envelope{Kind: wire.EnvSnapChunk, Target: 9, SyncID: 1, Index: 1, Last: true, Applied: 1, Data: snap[half:]}))
 
 	if !out.CaughtUp || out.Streamer != 1 {
 		t.Fatalf("transfer outcome wrong: %+v", out)
@@ -326,10 +326,10 @@ func TestCoreOwnCommandCoveredBySnapshot(t *testing.T) {
 	nc := NewCore(CoreConfig{Self: 9, Group: 1, CatchUp: true}, NewKV())
 	nc.Start()
 	env := func(e wire.Envelope) []byte { return wire.MarshalEnvelope(nil, &e) }
-	nc.Step(9, env(wire.Envelope{Kind: wire.EnvSync, SyncID: 1}))
-	nc.Step(9, EncodeCommand([]byte("put mine 1"))) // own, pre-cut
-	nc.Step(1, EncodeCommand([]byte("put theirs 2")))
-	out := nc.Step(1, env(wire.Envelope{Kind: wire.EnvOffer, Target: 9, SyncID: 1}))
+	nc.Step(nc.NextPos(), 9, env(wire.Envelope{Kind: wire.EnvSync, SyncID: 1}))
+	nc.Step(nc.NextPos(), 9, EncodeCommand([]byte("put mine 1"))) // own, pre-cut
+	nc.Step(nc.NextPos(), 1, EncodeCommand([]byte("put theirs 2")))
+	out := nc.Step(nc.NextPos(), 1, env(wire.Envelope{Kind: wire.EnvOffer, Target: 9, SyncID: 1}))
 	if out.OwnCovered != 1 {
 		t.Fatalf("OwnCovered = %d, want 1 (own pre-cut command)", out.OwnCovered)
 	}
@@ -340,13 +340,13 @@ func TestCoreOwnCommandCoveredBySnapshot(t *testing.T) {
 
 func TestCoreBarrierAndBadPayload(t *testing.T) {
 	c := NewCore(CoreConfig{Self: 1, Group: 1}, NewKV())
-	if out := c.Step(1, EncodeBarrier(7)); out.Barrier != 7 {
+	if out := c.Step(c.NextPos(), 1, EncodeBarrier(7)); out.Barrier != 7 {
 		t.Fatalf("own barrier id = %d, want 7", out.Barrier)
 	}
-	if out := c.Step(2, EncodeBarrier(9)); out.Barrier != 0 {
+	if out := c.Step(c.NextPos(), 2, EncodeBarrier(9)); out.Barrier != 0 {
 		t.Fatalf("foreign barrier surfaced: %d", out.Barrier)
 	}
-	if out := c.Step(2, []byte{wire.EnvMagic, 0xFF, 0x01}); out.Applied != 0 {
+	if out := c.Step(c.NextPos(), 2, []byte{wire.EnvMagic, 0xFF, 0x01}); out.Applied != 0 {
 		t.Fatal("malformed envelope applied")
 	}
 	if c.Stats().BadPayloads != 1 {

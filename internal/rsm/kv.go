@@ -422,6 +422,16 @@ func (kv *KV) Len() int {
 	return len(kv.m)
 }
 
+// Seq returns the apply clock — the revision counter every Apply and
+// ApplyMerge advances (it outruns any one core's apply count after a
+// reconciliation merge). Durable snapshots record it so a recovered store
+// resumes the same clock instead of regressing its revisions.
+func (kv *KV) Seq() uint64 {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	return kv.seq
+}
+
 // kvBucket maps a key to one of n diff buckets. DiffDigest and ExportDiff
 // must agree on this mapping, and so must every replica (the bucket count
 // travels implicitly as the summary's digest-vector length).

@@ -595,7 +595,7 @@ func (c *Core) finishRecon(out *Outcome) {
 		tg.CompactTombstones()
 	}
 	for _, b := range c.buf {
-		c.apply(b.origin, b.cmd, out)
+		c.apply(b.pos, b.origin, b.cmd, out)
 		c.stats.Replayed++
 	}
 	c.buf = nil

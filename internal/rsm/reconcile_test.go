@@ -254,8 +254,8 @@ func TestCorePruneLive(t *testing.T) {
 		}, kv)
 		return probe.Start()[0]
 	}
-	c.Step(1, start[0])
-	c.Step(2, sum(1, applyAll(NewKV(), "put x A")))
+	c.Step(c.NextPos(), 1, start[0])
+	c.Step(c.NextPos(), 2, sum(1, applyAll(NewKV(), "put x A")))
 	if c.CaughtUp() {
 		t.Fatal("completed while a summary is still pending")
 	}
@@ -288,9 +288,9 @@ func TestCorePruneProponentTakeover(t *testing.T) {
 		return probe.Start()[0]
 	}
 	theirKV := applyAll(NewKV(), "put x B", "put y B")
-	c.Step(9, mkSum(9, 1, applyAll(NewKV(), "put x A"))) // dead proponent's summary
-	c.Step(2, mkSum(2, 1, mine))
-	out := c.Step(3, mkSum(3, 3, theirKV))
+	c.Step(c.NextPos(), 9, mkSum(9, 1, applyAll(NewKV(), "put x A"))) // dead proponent's summary
+	c.Step(c.NextPos(), 2, mkSum(2, 1, mine))
+	out := c.Step(c.NextPos(), 3, mkSum(3, 3, theirKV))
 	if len(out.Submits) != 0 {
 		t.Fatal("P2 proposed entries while P9 is still the proponent")
 	}
@@ -306,14 +306,14 @@ func TestCorePruneProponentTakeover(t *testing.T) {
 	}
 	// Deliver our own entries, then P3's class's (crafted directly from
 	// its machine, as its own core would): the merge completes.
-	c.Step(2, takeover)
+	c.Step(c.NextPos(), 2, takeover)
 	entries, seq := theirKV.ExportDiff(allBuckets(8))
 	wes := make([]wire.ReconEntry, len(entries))
 	for i, e := range entries {
 		wes[i] = wire.ReconEntry{Key: []byte(e.Key), Value: []byte(e.Value), Rev: e.Rev}
 	}
 	cls := probeDigest(theirKV)
-	out = c.Step(3, wire.MarshalEnvelope(nil, &wire.Envelope{
+	out = c.Step(c.NextPos(), 3, wire.MarshalEnvelope(nil, &wire.Envelope{
 		Kind: wire.EnvReconEntries, Digest: cls, Applied: seq, Last: true, Entries: wes,
 	}))
 	if !out.Reconciled || !c.CaughtUp() {
@@ -485,8 +485,8 @@ func TestCoreReconcileChunkedWindow(t *testing.T) {
 		}, kv)
 		return probe.Start()[0]
 	}
-	c.Step(1, start[0])
-	out := c.Step(3, mkSum(3, 3, theirs))
+	c.Step(c.NextPos(), 1, start[0])
+	out := c.Step(c.NextPos(), 3, mkSum(3, 3, theirs))
 	// Summaries complete: P1 is its class's proponent and must burst
 	// exactly the window.
 	if len(out.Submits) != 2 {
@@ -505,7 +505,7 @@ func TestCoreReconcileChunkedWindow(t *testing.T) {
 		if env.Last {
 			sawLast = true
 		}
-		out = c.Step(1, head)
+		out = c.Step(c.NextPos(), 1, head)
 		if len(out.Submits) > 1 {
 			t.Fatalf("echo released %d chunks, want ≤1", len(out.Submits))
 		}
@@ -542,13 +542,13 @@ func TestCoreReconcileChunkedTakeover(t *testing.T) {
 		return probe.Start()[0]
 	}
 	theirKV := applyAll(NewKV(), "put x B", "put y B", "put z B")
-	c.Step(9, mkSum(9, 1, applyAll(NewKV(), "put x A", "put y A"))) // dead proponent's summary, first: elected
-	c.Step(2, mkSum(2, 1, mine))
-	c.Step(3, mkSum(3, 3, theirKV))
+	c.Step(c.NextPos(), 9, mkSum(9, 1, applyAll(NewKV(), "put x A", "put y A"))) // dead proponent's summary, first: elected
+	c.Step(c.NextPos(), 2, mkSum(2, 1, mine))
+	c.Step(c.NextPos(), 3, mkSum(3, 3, theirKV))
 
 	// P9's first chunk (of a stream it never finishes) is delivered.
 	myClass := probeDigest(mine)
-	c.Step(9, wire.MarshalEnvelope(nil, &wire.Envelope{
+	c.Step(c.NextPos(), 9, wire.MarshalEnvelope(nil, &wire.Envelope{
 		Kind: wire.EnvReconEntries, Digest: myClass, Applied: 2,
 		Index: 0, Last: false,
 		Entries: []wire.ReconEntry{{Key: []byte("x"), Value: []byte("A"), Rev: 1}},
@@ -575,7 +575,7 @@ func TestCoreReconcileChunkedTakeover(t *testing.T) {
 	for steps := 0; len(pending) > 0 && steps < 100; steps++ {
 		head := pending[0]
 		pending = pending[1:]
-		out = c.Step(2, head)
+		out = c.Step(c.NextPos(), 2, head)
 		pending = append(pending, ownFrames(out.Submits)...)
 	}
 	// Class B's single-frame proposal completes the merge.
@@ -584,7 +584,7 @@ func TestCoreReconcileChunkedTakeover(t *testing.T) {
 	for i, e := range entries {
 		wes[i] = wire.ReconEntry{Key: []byte(e.Key), Value: []byte(e.Value), Rev: e.Rev}
 	}
-	out = c.Step(3, wire.MarshalEnvelope(nil, &wire.Envelope{
+	out = c.Step(c.NextPos(), 3, wire.MarshalEnvelope(nil, &wire.Envelope{
 		Kind: wire.EnvReconEntries, Digest: probeDigest(theirKV), Applied: seq, Last: true, Entries: wes,
 	}))
 	if !out.Reconciled || !c.CaughtUp() {
@@ -624,11 +624,11 @@ func TestCoreStreamWindow(t *testing.T) {
 	env := func(e wire.Envelope) []byte { return wire.MarshalEnvelope(nil, &e) }
 
 	// P9 asks for state; our offer wins the election.
-	out := c.Step(9, env(wire.Envelope{Kind: wire.EnvSync, SyncID: 1}))
+	out := c.Step(c.NextPos(), 9, env(wire.Envelope{Kind: wire.EnvSync, SyncID: 1}))
 	if len(out.Submits) != 1 {
 		t.Fatalf("offer submits = %d", len(out.Submits))
 	}
-	out = c.Step(1, ownFrames(out.Submits)[0]) // own offer delivered: we are elected
+	out = c.Step(c.NextPos(), 1, ownFrames(out.Submits)[0]) // own offer delivered: we are elected
 	if out.ServedTo != 9 {
 		t.Fatalf("ServedTo = %v", out.ServedTo)
 	}
@@ -641,7 +641,7 @@ func TestCoreStreamWindow(t *testing.T) {
 	for steps := 0; len(pending) > 0 && steps < 100; steps++ {
 		head := pending[0]
 		pending = pending[1:]
-		out = c.Step(1, head)
+		out = c.Step(c.NextPos(), 1, head)
 		if len(out.Submits) > 1 {
 			t.Fatalf("echo released %d chunks, want ≤1", len(out.Submits))
 		}
@@ -668,16 +668,16 @@ func TestCoreStreamWindowAbandonOnResync(t *testing.T) {
 	}
 	c := NewCore(CoreConfig{Self: 1, Group: 1, ChunkSize: 32, StreamWindow: 1}, kv)
 	env := func(e wire.Envelope) []byte { return wire.MarshalEnvelope(nil, &e) }
-	out := c.Step(9, env(wire.Envelope{Kind: wire.EnvSync, SyncID: 1}))
-	out = c.Step(1, ownFrames(out.Submits)[0])
+	out := c.Step(c.NextPos(), 9, env(wire.Envelope{Kind: wire.EnvSync, SyncID: 1}))
+	out = c.Step(c.NextPos(), 1, ownFrames(out.Submits)[0])
 	if len(out.Submits) != 1 {
 		t.Fatalf("burst = %d", len(out.Submits))
 	}
 	first := ownFrames(out.Submits)[0]
 	// The target resyncs (round 2) before the stream completes: the old
 	// serve is dropped; a late echo of round 1 releases nothing.
-	out = c.Step(9, env(wire.Envelope{Kind: wire.EnvSync, SyncID: 2}))
-	if out = c.Step(1, first); len(out.Submits) != 0 {
+	out = c.Step(c.NextPos(), 9, env(wire.Envelope{Kind: wire.EnvSync, SyncID: 2}))
+	if out = c.Step(c.NextPos(), 1, first); len(out.Submits) != 0 {
 		t.Fatal("echo of an abandoned stream released a chunk")
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"newtop/internal/node"
 	"newtop/internal/obs"
+	"newtop/internal/storage"
 	"newtop/internal/types"
 )
 
@@ -31,6 +32,9 @@ type options struct {
 	reconcile    *ReconcileConfig
 	side         uint64
 	buckets      int
+	log          *storage.Log
+	snapEvery    int
+	appliedBase  uint64
 }
 
 // CatchUp starts the replica empty: it requests a state transfer from the
@@ -87,6 +91,33 @@ func WithBuckets(n int) Option {
 	return func(o *options) { o.buckets = n }
 }
 
+// WithLog attaches a durability log: every applied command is appended
+// (and committed, per the log's fsync policy) BEFORE any waiter — a
+// pending Read ack, a barrier — observes the apply, so under fsync=always
+// an acknowledged write is on stable media. The replica also cuts a
+// storage snapshot whenever a state transfer or reconciliation completes
+// (the moments the machine's state stops being derivable from the WAL
+// alone) and every WithSnapshotEvery applied entries. The caller owns the
+// log's lifecycle; the replica never closes it.
+func WithLog(l *storage.Log) Option {
+	return func(o *options) { o.log = l }
+}
+
+// WithSnapshotEvery cuts a storage snapshot every n applied entries
+// (0: only at transfer/reconcile completion), bounding replay length and
+// letting WAL segments below the cut be collected.
+func WithSnapshotEvery(n int) Option {
+	return func(o *options) { o.snapEvery = n }
+}
+
+// WithAppliedBase offsets the apply counts recorded in storage snapshots
+// by n — the lineage apply count the machine already carried when the
+// replica attached (a recovered daemon passes what it replayed), keeping
+// revision counters comparable across members after repeated recoveries.
+func WithAppliedBase(n uint64) Option {
+	return func(o *options) { o.appliedBase = n }
+}
+
 // Replica is one process's handle on a replicated state machine: the
 // per-group apply loop plus the application-facing operations. Create it
 // with Replicate BEFORE the group's first delivery can arrive (i.e. before
@@ -113,6 +144,17 @@ type Replica struct {
 	wg        sync.WaitGroup
 
 	resyncEvery time.Duration
+
+	// Durability (nil log means purely in-memory, the pre-storage
+	// behavior). sinceSnap counts applies since the last storage snapshot
+	// cut; logDead latches after the first append/commit failure so a
+	// broken disk degrades to in-memory operation instead of wedging the
+	// apply loop.
+	log         *storage.Log
+	snapEvery   int
+	appliedBase uint64
+	sinceSnap   int
+	logDead     bool
 
 	// Observability (registry and tracer come from the node). The core
 	// stays pure, so the replica mirrors its Stats deltas into registry
@@ -197,6 +239,9 @@ func Replicate(n *node.Node, g types.GroupID, sm StateMachine, opts ...Option) (
 		ready:       make(chan struct{}),
 		done:        make(chan struct{}),
 		resyncEvery: o.resyncEvery,
+		log:         o.log,
+		snapEvery:   o.snapEvery,
+		appliedBase: o.appliedBase,
 		om:          newRsmMetrics(n.Metrics(), g),
 		trc:         n.Tracer(),
 	}
@@ -425,11 +470,75 @@ func (r *Replica) trySubmit(frames [][]byte) [][]byte {
 // step feeds one delivery to the core and acts on the outcome.
 func (r *Replica) step(d node.Delivery) {
 	r.mu.Lock()
-	out := r.core.Step(d.Sender, d.Payload)
+	out := r.core.Step(d.Pos, d.Sender, d.Payload)
+	r.persist(out)
 	r.apply(out)
 	if out.Applied > 0 && r.trc.Sampled(d.Num) {
 		key := obs.TraceKey{Group: d.Group, Origin: d.Sender, Num: d.Num}
 		r.trc.StampIf(key, obs.StageApplied, time.Now())
+	}
+}
+
+// persist records the step's applied commands in the durability log and
+// cuts storage snapshots. Called with mu held, before apply() wakes any
+// waiter: a Read or barrier that observes the apply therefore observes it
+// at least as durable as the fsync policy promises (under FsyncAlways,
+// already on stable media).
+func (r *Replica) persist(out Outcome) {
+	if r.log == nil || r.logDead || !r.core.CaughtUp() {
+		// While syncing (catch-up or reconcile mode) nothing applies and
+		// the machine's state is not yet a prefix of the group's history —
+		// logging it would let recovery restore a fiction. The completing
+		// step flips CaughtUp before we run, so it falls through and cuts
+		// the mandatory snapshot below.
+		return
+	}
+	pos := r.core.Pos()
+	if pos.IsNil() {
+		return
+	}
+	cut := func() bool {
+		// A machine exposing its own apply clock (KV does) gives the exact
+		// lineage-cumulative count — merges advance it past anything this
+		// core witnessed; appliedBase+AppliedSeq is the generic fallback.
+		applied := r.appliedBase + r.core.AppliedSeq()
+		if sq, ok := r.sm.(interface{ Seq() uint64 }); ok {
+			applied = sq.Seq()
+		}
+		if err := r.log.CutSnapshot(pos, applied, r.sm.Snapshot()); err != nil {
+			r.logDead = true
+			return false
+		}
+		r.sinceSnap = 0
+		return true
+	}
+	lp, _ := r.log.SnapPos()
+	if virgin := r.log.Pos().IsNil() && lp.IsNil(); virgin || out.CaughtUp || out.Reconciled {
+		// Mandatory cut: a virgin log under a machine that may carry state
+		// from earlier groups (a successor-group attach), or a completed
+		// transfer/reconcile that installed state the WAL alone cannot
+		// reproduce. The cut covers this step's commands too, so nothing
+		// is appended — a crash before the cut leaves the log empty and
+		// recovery falls back to the previous group's data.
+		cut()
+		return
+	}
+	for _, e := range out.Durable {
+		if err := r.log.Append(e); err != nil {
+			r.logDead = true
+			return
+		}
+	}
+	r.sinceSnap += len(out.Durable)
+	if r.snapEvery > 0 && r.sinceSnap >= r.snapEvery {
+		if !cut() {
+			return
+		}
+	}
+	if len(out.Durable) > 0 {
+		if err := r.log.Commit(); err != nil {
+			r.logDead = true
+		}
 	}
 }
 

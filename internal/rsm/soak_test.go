@@ -110,7 +110,7 @@ func soakOnce(t *testing.T, seed int64) {
 		if cr == nil {
 			return
 		}
-		out := cr.Step(d.Origin, d.Payload)
+		out := cr.Step(types.LogPos{Group: d.Group, Index: d.Index}, d.Origin, d.Payload)
 		for _, pl := range out.Submits {
 			_ = c.Submit(p, d.Group, pl)
 		}

@@ -110,6 +110,7 @@ type Delivery struct {
 	Num     types.MsgNum
 	Seq     uint64
 	View    int
+	Index   uint64 // position in the group's delivery stream (types.LogPos index)
 	Payload []byte
 }
 
@@ -579,6 +580,7 @@ func (c *Cluster) route(p types.ProcessID, effs []core.Effect) {
 				Num:     eff.Msg.Num,
 				Seq:     eff.Msg.Seq,
 				View:    eff.View,
+				Index:   eff.Index,
 				Payload: eff.Msg.Payload,
 			}
 			h.Deliveries = append(h.Deliveries, d)

@@ -1,0 +1,17 @@
+package storage_test
+
+import (
+	"testing"
+
+	"newtop/internal/perf"
+)
+
+// BenchmarkWALAppend measures the per-entry storage leg of the durable
+// apply path (frame + write + Commit, fsync=never). The body lives in
+// internal/perf so cmd/newtop-bench can run the identical measurement
+// into BENCH_core.json.
+func BenchmarkWALAppend(b *testing.B) { perf.WALAppend(b) }
+
+// BenchmarkRecoverReplay measures one full restart recovery: scan and
+// validate snapshot + 4096 WAL records, replay into a fresh store.
+func BenchmarkRecoverReplay(b *testing.B) { perf.RecoverReplay(b) }

@@ -1,0 +1,442 @@
+// Package storage is the durability layer under the replication stream:
+// a per-group segmented write-ahead log of applied entries plus periodic
+// on-disk snapshots, both addressed by types.LogPos — the explicit
+// (group, delivery-index) position every layer of the apply pipeline
+// threads through.
+//
+// The group's total order is already the perfect replication log (§5.3's
+// state transfer and the reconciliation machinery both cut at a point in
+// it); this package merely makes a suffix of it survive a restart. A
+// recovering daemon restores the latest snapshot, replays the WAL tail
+// above the snapshot's position, and rejoins its former partners via the
+// reconcile fast path — never a full snapshot stream.
+//
+// Layout under a daemon's data dir:
+//
+//	meta                  last known group + membership (announce targets)
+//	g<id>/wal-<idx>.seg   WAL segments, named by first record's index
+//	g<id>/snap-<idx>.snap state snapshot covering entries with Index ≤ idx
+//
+// Groups are never rejoined (§3): each incarnation logs into its own
+// subdirectory, and recovery picks the highest one. Records reuse the
+// wire style of encoding (uvarint fields) framed by a CRC32 and a length,
+// so a torn or corrupt tail is detected and truncated, never replayed.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"newtop/internal/obs"
+	"newtop/internal/types"
+)
+
+// ErrCrashed is returned by mutations on a Log after Crash().
+var ErrCrashed = errors.New("storage: log crashed")
+
+// FsyncPolicy selects when appended records are forced to stable media.
+type FsyncPolicy uint8
+
+// Fsync policies. Always is the "acked ⇒ durable" setting: the replica
+// commits (and fsyncs) before any waiter is woken, so an acknowledged
+// write survives power loss. Interval amortises the fsync over a time
+// window — a crash loses at most the window. Never leaves flushing to
+// the OS entirely (throughput/testing mode; a crash can lose the whole
+// active segment).
+const (
+	FsyncAlways FsyncPolicy = iota
+	FsyncInterval
+	FsyncNever
+)
+
+// ParseFsync parses "always", "interval" or "never".
+func ParseFsync(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always", "":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("storage: unknown fsync policy %q (want always|interval|never)", s)
+}
+
+// String implements fmt.Stringer.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("fsync(%d)", uint8(p))
+}
+
+// Entry is one durably logged apply: the command bytes applied at Pos,
+// authored by Origin. Only state-machine commands are logged — protocol
+// frames (offers, chunks, reconcile traffic) are reproducible or
+// re-negotiated and never replayed from disk.
+type Entry struct {
+	Pos    types.LogPos
+	Origin types.ProcessID
+	Cmd    []byte
+}
+
+// DefaultSegmentBytes is the segment-rotation threshold.
+const DefaultSegmentBytes = 4 << 20
+
+// Options configures a Store.
+type Options struct {
+	Dir          string
+	Policy       FsyncPolicy
+	Interval     time.Duration // FsyncInterval flush cadence (default 50ms)
+	SegmentBytes int64         // rotation threshold (default DefaultSegmentBytes)
+	Metrics      *obs.Registry // nil: private registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = 50 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	if o.Metrics == nil {
+		o.Metrics = obs.NewRegistry()
+	}
+	return o
+}
+
+// Meta is the store-level sidecar: the last group this daemon served and
+// its membership — the targets a recovered daemon announces itself to.
+type Meta struct {
+	Group   types.GroupID
+	Members []types.ProcessID
+}
+
+// storeMetrics holds the pre-resolved observability handles shared by
+// every Log of a store.
+type storeMetrics struct {
+	appends   *obs.Counter   // records appended
+	bytes     *obs.Counter   // record bytes appended
+	fsyncs    *obs.Counter   // fsync calls issued
+	fsyncLat  *obs.Histogram // fsync latency
+	rotations *obs.Counter   // segment rotations
+	snapshots *obs.Counter   // snapshots cut
+	gcSegs    *obs.Counter   // segments deleted below the snapshot position
+}
+
+func newStoreMetrics(reg *obs.Registry) storeMetrics {
+	return storeMetrics{
+		appends:   reg.Counter("newtop_wal_appends_total"),
+		bytes:     reg.Counter("newtop_wal_bytes_total"),
+		fsyncs:    reg.Counter("newtop_wal_fsyncs_total"),
+		fsyncLat:  reg.Histogram("newtop_wal_fsync_seconds"),
+		rotations: reg.Counter("newtop_wal_segment_rotations_total"),
+		snapshots: reg.Counter("newtop_wal_snapshots_cut_total"),
+		gcSegs:    reg.Counter("newtop_wal_gc_segments_total"),
+	}
+}
+
+// Store manages one daemon's data directory: the meta sidecar plus one
+// Log per group incarnation.
+type Store struct {
+	opts Options
+	om   storeMetrics
+
+	mu   sync.Mutex
+	logs map[types.GroupID]*Log
+}
+
+// Open creates (or reopens) the data directory.
+func Open(opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, errors.New("storage: empty data dir")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	return &Store{
+		opts: opts,
+		om:   newStoreMetrics(opts.Metrics),
+		logs: make(map[types.GroupID]*Log),
+	}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.opts.Dir }
+
+// Policy returns the configured fsync policy.
+func (s *Store) Policy() FsyncPolicy { return s.opts.Policy }
+
+// SaveMeta durably records the group + membership sidecar (tmp + rename).
+func (s *Store) SaveMeta(m Meta) error {
+	body := binary.AppendUvarint(nil, uint64(m.Group))
+	body = binary.AppendUvarint(body, uint64(len(m.Members)))
+	for _, p := range m.Members {
+		body = binary.AppendUvarint(body, uint64(p))
+	}
+	return writeFileDurable(filepath.Join(s.opts.Dir, "meta"), frameRecord(body))
+}
+
+// LoadMeta reads the sidecar; ok is false when absent or corrupt.
+func (s *Store) LoadMeta() (Meta, bool) {
+	raw, err := os.ReadFile(filepath.Join(s.opts.Dir, "meta"))
+	if err != nil {
+		return Meta{}, false
+	}
+	body, _, err := decodeRecord(raw)
+	if err != nil {
+		return Meta{}, false
+	}
+	g, body, err1 := getUvarint(body)
+	n, body, err2 := getUvarint(body)
+	if err1 != nil || err2 != nil || n > uint64(len(body)) {
+		return Meta{}, false
+	}
+	m := Meta{Group: types.GroupID(g), Members: make([]types.ProcessID, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		var p uint64
+		var err error
+		if p, body, err = getUvarint(body); err != nil {
+			return Meta{}, false
+		}
+		m.Members = append(m.Members, types.ProcessID(p))
+	}
+	return m, true
+}
+
+// OpenGroup opens (creating if needed) group g's log. One *Log per group
+// per store; reopening returns the same instance.
+func (s *Store) OpenGroup(g types.GroupID) (*Log, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if l, ok := s.logs[g]; ok {
+		return l, nil
+	}
+	l, err := openLog(s, g)
+	if err != nil {
+		return nil, err
+	}
+	s.logs[g] = l
+	return l, nil
+}
+
+// Groups lists the group incarnations present on disk, ascending.
+func (s *Store) Groups() []types.GroupID {
+	ents, err := os.ReadDir(s.opts.Dir)
+	if err != nil {
+		return nil
+	}
+	var out []types.GroupID
+	for _, e := range ents {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "g") {
+			continue
+		}
+		if v, err := strconv.ParseUint(e.Name()[1:], 10, 32); err == nil {
+			out = append(out, types.GroupID(v))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Prune deletes every group directory except keep's — called once a
+// successor group's state is durable, making older incarnations garbage.
+func (s *Store) Prune(keep types.GroupID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, g := range s.Groups() {
+		if g == keep {
+			continue
+		}
+		if l, ok := s.logs[g]; ok {
+			_ = l.Close()
+			delete(s.logs, g)
+		}
+		_ = os.RemoveAll(s.groupDir(g))
+	}
+}
+
+// Reset wipes the whole store — the discard rule: the on-disk lineage was
+// superseded (or explicitly abandoned) and the daemon rejoins fresh.
+func (s *Store) Reset() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for g, l := range s.logs {
+		_ = l.Close()
+		delete(s.logs, g)
+	}
+	ents, err := os.ReadDir(s.opts.Dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if err := os.RemoveAll(filepath.Join(s.opts.Dir, e.Name())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Crash models power loss across every open log (tests): each active
+// segment loses a suffix of its unsynced bytes and all further mutations
+// fail with ErrCrashed. The store itself stays open — Close remains safe.
+func (s *Store) Crash() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, l := range s.logs {
+		l.Crash()
+	}
+}
+
+// Close closes every open log.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for g, l := range s.logs {
+		if err := l.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(s.logs, g)
+	}
+	return first
+}
+
+func (s *Store) groupDir(g types.GroupID) string {
+	return filepath.Join(s.opts.Dir, fmt.Sprintf("g%d", uint64(g)))
+}
+
+// ---------------------------------------------------------------------------
+// Record framing
+// ---------------------------------------------------------------------------
+
+// Record frame: u32le CRC32-IEEE(body) | uvarint len(body) | body.
+// Everything after the frame fails its CRC or runs out of bytes is a torn
+// tail and is truncated by recovery.
+
+const maxRecordBody = 64 << 20 // decode sanity bound
+
+func frameRecord(body []byte) []byte {
+	out := make([]byte, 4, 4+binary.MaxVarintLen64+len(body))
+	binary.LittleEndian.PutUint32(out, crc32.ChecksumIEEE(body))
+	out = binary.AppendUvarint(out, uint64(len(body)))
+	return append(out, body...)
+}
+
+// appendRecord frames body into dst (append semantics).
+func appendRecord(dst, body []byte) []byte {
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(body))
+	dst = append(dst, crc[:]...)
+	dst = binary.AppendUvarint(dst, uint64(len(body)))
+	return append(dst, body...)
+}
+
+// decodeRecord pulls one framed record off buf, returning the body and
+// the remainder. Any framing violation — short header, absurd length,
+// short body, CRC mismatch — is an error; callers treat it as a torn
+// tail.
+func decodeRecord(buf []byte) (body, rest []byte, err error) {
+	if len(buf) < 5 {
+		return nil, nil, errors.New("storage: short record header")
+	}
+	crc := binary.LittleEndian.Uint32(buf)
+	n, w := binary.Uvarint(buf[4:])
+	if w <= 0 || n > maxRecordBody {
+		return nil, nil, errors.New("storage: bad record length")
+	}
+	buf = buf[4+w:]
+	if uint64(len(buf)) < n {
+		return nil, nil, errors.New("storage: short record body")
+	}
+	body, rest = buf[:n], buf[n:]
+	if crc32.ChecksumIEEE(body) != crc {
+		return nil, nil, errors.New("storage: record crc mismatch")
+	}
+	return body, rest, nil
+}
+
+// Entry body: uvarint group | uvarint index | uvarint origin | cmd bytes.
+
+func appendEntryBody(dst []byte, e Entry) []byte {
+	dst = binary.AppendUvarint(dst, uint64(e.Pos.Group))
+	dst = binary.AppendUvarint(dst, e.Pos.Index)
+	dst = binary.AppendUvarint(dst, uint64(e.Origin))
+	return append(dst, e.Cmd...)
+}
+
+func decodeEntryBody(body []byte) (Entry, error) {
+	g, body, err1 := getUvarint(body)
+	idx, body, err2 := getUvarint(body)
+	origin, body, err3 := getUvarint(body)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return Entry{}, errors.New("storage: truncated entry body")
+	}
+	return Entry{
+		Pos:    types.LogPos{Group: types.GroupID(g), Index: idx},
+		Origin: types.ProcessID(origin),
+		Cmd:    body,
+	}, nil
+}
+
+func getUvarint(buf []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, nil, errors.New("storage: truncated uvarint")
+	}
+	return v, buf[n:], nil
+}
+
+// ---------------------------------------------------------------------------
+// Durable file helpers
+// ---------------------------------------------------------------------------
+
+// writeFileDurable writes data via tmp + fsync + rename + dir fsync, so
+// the file is either the old content or the complete new content.
+func writeFileDurable(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	syncDir(filepath.Dir(path))
+	return nil
+}
+
+// syncDir best-effort fsyncs a directory so renames/creates within it are
+// durable. Errors are ignored: not every filesystem supports it.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}

@@ -78,6 +78,12 @@ func (ep *endpoint) push(from types.ProcessID, m *types.Message, buf *wire.Buf) 
 	ep.cond.Signal()
 }
 
+func (ep *endpoint) isClosed() bool {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.closed
+}
+
 func (ep *endpoint) shutdown() {
 	ep.mu.Lock()
 	if ep.closed {

@@ -72,16 +72,21 @@ func New(opts ...Option) *Network {
 	return n
 }
 
-// Attach creates the endpoint for process p. Each process may attach once.
+// Attach creates the endpoint for process p. A process may attach once
+// while alive; attaching again after Crash — or after closing its own
+// endpoint — models a restart: the process returns with a fresh endpoint
+// (messages queued for the dead incarnation were dropped; stale in-flight
+// ones may still arrive, as in any asynchronous network).
 func (n *Network) Attach(p types.ProcessID) (transport.Endpoint, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.closed {
 		return nil, transport.ErrClosed
 	}
-	if _, ok := n.eps[p]; ok {
+	if old, ok := n.eps[p]; ok && !n.crashed[p] && !old.isClosed() {
 		return nil, fmt.Errorf("memnet: process %v already attached", p)
 	}
+	delete(n.crashed, p)
 	ep := newEndpoint(n, p)
 	n.eps[p] = ep
 	return ep, nil
@@ -149,8 +154,9 @@ func (n *Network) Connected(a, b types.ProcessID) bool {
 }
 
 // Crash marks p as crashed: its endpoint stops sending and receiving, and
-// undelivered messages addressed to it are dropped. Crashes are permanent
-// (crash-stop model, §3).
+// undelivered messages addressed to it are dropped. The crashed process
+// never resumes (crash-stop model, §3) — but the host may restart a NEW
+// incarnation of it by calling Attach(p) again.
 func (n *Network) Crash(p types.ProcessID) {
 	n.mu.Lock()
 	ep := n.eps[p]

@@ -108,6 +108,52 @@ func TestDoubleAttachRejected(t *testing.T) {
 	}
 }
 
+func TestReattachAfterCrash(t *testing.T) {
+	n := New()
+	defer n.Close()
+	if _, err := n.Attach(1); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := n.Attach(2)
+	n.Crash(1)
+	ep, err := n.Attach(1)
+	if err != nil {
+		t.Fatalf("re-attach after crash: %v", err)
+	}
+	if n.Crashed(1) {
+		t.Error("restarted process still marked crashed")
+	}
+	// The new incarnation sends and receives.
+	if err := ep.Send(2, testMsg(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case in := <-b.Recv():
+		if in.From != 1 {
+			t.Errorf("from = %v", in.From)
+		}
+		in.Release()
+	case <-time.After(time.Second):
+		t.Fatal("message from restarted process never arrived")
+	}
+	if err := b.Send(1, testMsg(2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case in := <-ep.Recv():
+		if in.From != 2 {
+			t.Errorf("from = %v", in.From)
+		}
+		in.Release()
+	case <-time.After(time.Second):
+		t.Fatal("message to restarted process never arrived")
+	}
+	// Still only one live endpoint per process.
+	if _, err := n.Attach(1); err == nil {
+		t.Error("double attach of the restarted process succeeded")
+	}
+}
+
 func TestDisconnectDropsMessages(t *testing.T) {
 	n := New(WithSeed(3))
 	defer n.Close()

@@ -1,0 +1,42 @@
+package types
+
+import "fmt"
+
+// LogPos addresses one entry in a group's delivery stream: the group
+// incarnation it was delivered in plus the zero-based index of the
+// delivery within that group's total order. Because every member of a
+// group delivers the same messages in the same order (safe1'/safe2), a
+// LogPos names the same entry at every member — it is the layer-crossing
+// address used by the replication log, the snapshot cut, the WAL and the
+// recovery replay.
+//
+// Groups are never rejoined (§3): a reconfiguration forms a successor
+// group and its stream restarts at index 0, so positions from different
+// groups in one lineage are ordered by Group first.
+type LogPos struct {
+	Group GroupID
+	Index uint64
+}
+
+// NilPos is the zero position: "nothing delivered yet".
+var NilPos = LogPos{}
+
+// IsNil reports whether p is the zero position.
+func (p LogPos) IsNil() bool { return p == LogPos{} }
+
+// Before reports whether p addresses an earlier entry than q within one
+// lineage: earlier group incarnation, or same group and lower index.
+func (p LogPos) Before(q LogPos) bool {
+	if p.Group != q.Group {
+		return p.Group < q.Group
+	}
+	return p.Index < q.Index
+}
+
+// String implements fmt.Stringer.
+func (p LogPos) String() string {
+	if p.IsNil() {
+		return "pos(nil)"
+	}
+	return fmt.Sprintf("%v@%d", p.Group, p.Index)
+}

@@ -195,8 +195,9 @@ type Config struct {
 	RingPullAfter time.Duration
 
 	// AcceptInvite, when set, decides group-formation invitations
-	// (§5.3 step 2). Nil accepts everything.
-	AcceptInvite func(GroupID, []ProcessID) bool
+	// (§5.3 step 2): group, formation coordinator, intended membership.
+	// Nil accepts everything.
+	AcceptInvite func(GroupID, ProcessID, []ProcessID) bool
 
 	// TraceSampleEvery enables delivery-stream tracing: one in every N
 	// data messages (by Lamport number) is stamped through its lifecycle
